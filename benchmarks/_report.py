@@ -1,0 +1,37 @@
+"""Reporting helper for the benchmark suite.
+
+Each bench regenerates one of the paper's figures/claims and prints the
+corresponding rows.  Because pytest captures file descriptors during the
+run, tables are buffered here and flushed by the ``pytest_terminal_summary``
+hook in ``benchmarks/conftest.py`` — so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records the
+regenerated figures alongside the timing summary.  A copy is also written
+to ``benchmarks/results_latest.txt``.
+"""
+
+from __future__ import annotations
+
+#: Buffered table lines, flushed at end of session.
+BUFFER: list[str] = []
+
+
+def report(*lines):
+    """Buffer table lines for the end-of-session summary."""
+    BUFFER.extend(str(line) for line in lines)
+
+
+def report_table(title, headers, rows):
+    """Buffer one aligned table."""
+    widths = [
+        max(len(str(header)), *(len(str(row[i])) for row in rows))
+        for i, header in enumerate(headers)
+    ]
+    divider = "-+-".join("-" * w for w in widths)
+    report(
+        "",
+        f"== {title} ==",
+        " | ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        divider,
+    )
+    for row in rows:
+        report(" | ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))

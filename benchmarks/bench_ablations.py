@@ -1,0 +1,149 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each table isolates one design decision and measures its effect:
+
+* SABRE extended-set lookahead weight (routing quality knob),
+* SPSA gradient-magnitude calibration (on/off),
+* decision-diagram vs. stabilizer vs. dense engines on Clifford workloads,
+* QSD synthesis cost versus width.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import SPSA, VQE, exact_ground_energy, h2_hamiltonian
+from repro.circuit import QuantumCircuit, random_circuit
+from repro.quantum_info import random_unitary
+from repro.simulators import (
+    DDSimulator,
+    QasmSimulator,
+    StabilizerSimulator,
+    StatevectorSimulator,
+)
+from repro.synthesis import synthesize_unitary
+from repro.transpiler import CouplingMap, PassManager
+from repro.transpiler.passes import ApplyLayout, SabreSwap, TrivialLayout
+
+from benchmarks._report import report_table
+from tests.conftest import build_ghz
+
+
+def test_ablation_sabre_lookahead_weight(benchmark):
+    """Extended-set weight 0 (pure greedy) vs the default 0.5."""
+    coupling = CouplingMap.qx5()
+    rows = []
+    totals = {}
+    for weight in (0.0, 0.25, 0.5, 1.0):
+        added = 0
+        for seed in range(4):
+            circuit = random_circuit(10, 6, seed=seed)
+            router = SabreSwap(coupling, seed=3)
+            router.EXTENDED_WEIGHT = weight
+            manager = PassManager(
+                [TrivialLayout(coupling), ApplyLayout(coupling), router]
+            )
+            routed = manager.run(circuit)
+            added += routed.count_ops().get("swap", 0)
+        totals[weight] = added
+        rows.append([weight, added])
+    report_table(
+        "ABLATION: SABRE extended-set weight vs. inserted SWAPs "
+        "(4 random 10q circuits on QX5)",
+        ["lookahead weight", "total SWAPs"],
+        rows,
+    )
+    # Lookahead must beat pure greedy on aggregate.
+    assert min(totals[0.25], totals[0.5], totals[1.0]) <= totals[0.0]
+
+    circuit = random_circuit(10, 6, seed=0)
+    manager = PassManager(
+        [TrivialLayout(coupling), ApplyLayout(coupling),
+         SabreSwap(coupling, seed=3)]
+    )
+    benchmark(manager.run, circuit)
+
+
+def test_ablation_spsa_calibration(benchmark):
+    """SPSA with and without the gradient-magnitude calibration step."""
+    hamiltonian = h2_hamiltonian()
+    exact = exact_ground_energy(hamiltonian)
+    rows = []
+    errors = {}
+    for label, a_value in (("calibrated (a=auto)", None),
+                           ("fixed a=0.05", 0.05),
+                           ("fixed a=2.0", 2.0)):
+        per_seed = []
+        for seed in (1, 4, 7):
+            vqe = VQE(
+                hamiltonian,
+                optimizer=SPSA(maxiter=120, a=a_value, seed=seed),
+                mode="shots", shots=512, seed=seed,
+            )
+            per_seed.append(vqe.run().eigenvalue - exact)
+        mean_error = float(np.mean(np.abs(per_seed)))
+        errors[label] = mean_error
+        rows.append([label, f"{mean_error:.4f}"])
+    report_table(
+        "ABLATION: SPSA calibration vs. fixed step (H2 VQE, 512 shots)",
+        ["configuration", "mean |energy error| (Ha)"],
+        rows,
+    )
+    # Calibration's value: it never picks a catastrophically small step
+    # (a=0.05 stalls an order of magnitude away), and it stays competitive
+    # with the best hand-tuned constant without any tuning.
+    assert errors["calibrated (a=auto)"] < errors["fixed a=0.05"] / 5
+    assert errors["calibrated (a=auto)"] < 3 * errors["fixed a=2.0"]
+
+    vqe = VQE(hamiltonian, optimizer=SPSA(maxiter=10, seed=1),
+              mode="shots", shots=256, seed=1)
+    benchmark(lambda: vqe.energy(np.zeros(vqe.ansatz.num_parameters)))
+
+
+def test_ablation_engine_matrix_for_clifford(benchmark):
+    """GHZ workloads across the three engine families."""
+    import time
+
+    rows = []
+    for n in (10, 16, 24, 40):
+        circuit = build_ghz(n, measure=True)
+        start = time.perf_counter()
+        StabilizerSimulator().run(circuit, shots=64, seed=1)
+        stab_time = f"{time.perf_counter() - start:.4f}"
+        start = time.perf_counter()
+        DDSimulator().run(build_ghz(n)).sample_counts(64, seed=1)
+        dd_time = f"{time.perf_counter() - start:.4f}"
+        if n <= 20:
+            start = time.perf_counter()
+            QasmSimulator().run(circuit, shots=64, seed=1)
+            dense_time = f"{time.perf_counter() - start:.4f}"
+        else:
+            dense_time = "infeasible"
+        rows.append([n, dense_time, dd_time, stab_time])
+    report_table(
+        "ABLATION: engine choice on GHZ circuits (64 shots, seconds)",
+        ["qubits", "dense", "decision diagram", "stabilizer"],
+        rows,
+    )
+
+    circuit = build_ghz(24, measure=True)
+    benchmark(StabilizerSimulator().run, circuit, 64, 1)
+
+
+def test_ablation_synthesis_cost(benchmark):
+    """QSD gate counts versus width (the 4^n scaling of generic unitaries)."""
+    rows = []
+    for n in (1, 2, 3, 4):
+        circuit = synthesize_unitary(random_unitary(n, seed=n))
+        rows.append(
+            [n, circuit.count_ops().get("cx", 0), circuit.size(), 4**n]
+        )
+    report_table(
+        "ABLATION: Shannon-decomposition cost vs. width",
+        ["qubits", "CX count", "total gates", "4^n (parameter count)"],
+        rows,
+    )
+    # Generic unitaries need exponentially many gates — the reason the
+    # paper's transpiler works with structured gate sets instead.
+    assert rows[3][1] > 8 * rows[2][1] / 4
+
+    benchmark(synthesize_unitary, random_unitary(3, seed=3))

@@ -1,0 +1,50 @@
+"""FIG1 — Fig. 1a/1b: OpenQASM text and circuit diagram of the paper's
+4-qubit example.
+
+Regenerates: the parsed circuit's gate census (matching the listing), the
+ASCII diagram (matching Fig. 1b's wire layout), and benchmarks the QASM
+parse / export / draw pipeline.
+"""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.quantum_info import Operator
+
+from benchmarks._report import report, report_table
+from tests.conftest import PAPER_FIG1_QASM, build_paper_fig1
+
+
+def test_fig1_regenerate(benchmark):
+    circuit = benchmark(QuantumCircuit.from_qasm_str, PAPER_FIG1_QASM)
+    built = build_paper_fig1()
+    assert circuit.count_ops() == {"h": 2, "cx": 5, "t": 1}
+    assert Operator.from_circuit(circuit).equiv(Operator.from_circuit(built))
+    report_table(
+        "FIG1: paper circuit, parsed from the Fig. 1a listing",
+        ["metric", "value", "paper"],
+        [
+            ["qubits", circuit.num_qubits, 4],
+            ["H gates", circuit.count_ops()["h"], 2],
+            ["CX gates", circuit.count_ops()["cx"], 5],
+            ["T gates", circuit.count_ops()["t"], 1],
+            ["depth", circuit.depth(), 5],
+        ],
+    )
+    report("", "FIG1b: circuit diagram", circuit.draw())
+
+
+def test_fig1_export_roundtrip(benchmark):
+    circuit = QuantumCircuit.from_qasm_str(PAPER_FIG1_QASM)
+
+    def roundtrip():
+        return QuantumCircuit.from_qasm_str(circuit.qasm())
+
+    again = benchmark(roundtrip)
+    assert Operator.from_circuit(again).equiv(Operator.from_circuit(circuit))
+
+
+def test_fig1_draw(benchmark):
+    circuit = build_paper_fig1()
+    text = benchmark(circuit.draw)
+    assert len(text.splitlines()) == 4

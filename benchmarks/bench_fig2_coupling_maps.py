@@ -1,0 +1,61 @@
+"""FIG2 — Fig. 2: the coupling map of the IBM QX4 architecture.
+
+Regenerates the arrow list of the figure (plus the other QX devices) and
+benchmarks distance-matrix construction, the primitive every router uses.
+"""
+
+from repro.transpiler import CouplingMap
+
+from benchmarks._report import report, report_table
+
+
+def test_fig2_qx4_arrows(benchmark):
+    coupling = benchmark(CouplingMap.qx4)
+    assert set(coupling.edges) == {
+        (1, 0), (2, 0), (2, 1), (3, 2), (3, 4), (2, 4)
+    }
+    report("", "FIG2: IBM QX4 coupling map (arrows = allowed CNOT direction)")
+    report(coupling.draw())
+    # The two direction facts the paper states in Sec. V-B.
+    assert coupling.has_edge(3, 2) and not coupling.has_edge(2, 3)
+    assert coupling.has_edge(1, 0) and not coupling.has_edge(0, 1)
+
+
+def test_fig2_all_devices(benchmark):
+    def build_all():
+        return {
+            name: CouplingMap.from_name(name)
+            for name in ("ibmqx2", "ibmqx3", "ibmqx4", "ibmqx5")
+        }
+
+    devices = benchmark(build_all)
+    rows = []
+    for name, coupling in sorted(devices.items()):
+        distances = coupling.distance_matrix
+        rows.append(
+            [
+                name,
+                coupling.num_qubits,
+                len(coupling.edges),
+                int(distances.max()),
+            ]
+        )
+    report_table(
+        "FIG2 (extended): QX device family",
+        ["device", "qubits", "directed edges", "diameter"],
+        rows,
+    )
+    assert devices["ibmqx4"].num_qubits == 5
+    assert devices["ibmqx5"].num_qubits == 16
+
+
+def test_fig2_distance_matrix(benchmark):
+    coupling = CouplingMap.qx5()
+
+    def distances():
+        coupling._distance = None  # force recomputation
+        return coupling.distance_matrix
+
+    matrix = benchmark(distances)
+    assert matrix.shape == (16, 16)
+    assert matrix.max() >= 3  # the ladder has diameter > 3? at least 3

@@ -1,0 +1,25 @@
+"""Benchmark-session hooks: flush the regenerated figure tables."""
+
+from __future__ import annotations
+
+import pathlib
+
+from benchmarks import _report
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results_latest.txt"
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every regenerated paper figure/table after the timing summary."""
+    if not _report.BUFFER:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        "================ regenerated paper figures/tables ================"
+    )
+    for line in _report.BUFFER:
+        terminalreporter.write_line(line)
+    RESULTS_PATH.write_text("\n".join(_report.BUFFER) + "\n", encoding="utf-8")
+    terminalreporter.write_line(
+        f"(also written to {RESULTS_PATH})"
+    )

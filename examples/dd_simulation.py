@@ -1,0 +1,62 @@
+"""Decision-diagram simulation — the paper's Sec. V-A / Fig. 3 showcase.
+
+Demonstrates why decision diagrams beat dense arrays on structured
+circuits: a GHZ state over 28 qubits (a 4 GiB dense vector) simulates in
+milliseconds with a ~linear number of DD nodes, and the Fig. 3-style
+3-qubit operator collapses from 64 matrix entries to a handful of shared
+nodes.
+
+Run:  python examples/dd_simulation.py
+"""
+
+import time
+
+from repro.circuit import QuantumCircuit
+from repro.simulators import DDSimulator, StatevectorSimulator
+
+
+def ghz(n):
+    circuit = QuantumCircuit(n)
+    circuit.h(0)
+    for i in range(n - 1):
+        circuit.cx(i, i + 1)
+    return circuit
+
+
+# -- Fig. 3: matrix vs. decision diagram of a 3-qubit operation --------------
+circuit3 = QuantumCircuit(3)
+circuit3.h(0)
+circuit3.cx(0, 1)
+circuit3.cx(1, 2)
+simulator = DDSimulator()
+edge, package = simulator.unitary_with_package(circuit3)
+print("Fig. 3 — 3-qubit operation:")
+print(f"  dense matrix entries : {4**3}")
+print(f"  decision-diagram nodes: {package.node_count(edge)}")
+print()
+
+# -- Scaling sweep: dense vs. DD ----------------------------------------------
+print(f"{'qubits':>7} {'dense memory':>14} {'dense time':>12} "
+      f"{'DD time':>10} {'DD nodes':>9}")
+dense = StatevectorSimulator(max_qubits=22)
+for n in (8, 12, 16, 20, 24, 28):
+    start = time.perf_counter()
+    result = simulator.run(ghz(n))
+    dd_time = time.perf_counter() - start
+    if n <= 20:
+        start = time.perf_counter()
+        dense.run(ghz(n))
+        sv_time = f"{time.perf_counter() - start:10.4f}s"
+        memory = f"{2**n * 16 / 1024:10.0f} KiB"
+    else:
+        sv_time = "infeasible"
+        memory = f"{2**n * 16 / 2**20:10.0f} MiB"
+    print(f"{n:>7} {memory:>14} {sv_time:>12} {dd_time:>9.4f}s "
+          f"{result.node_count():>9}")
+
+# -- Sampling straight from the diagram ---------------------------------------
+result = simulator.run(ghz(28))
+counts = result.sample_counts(10, seed=1)
+print("\n10 samples from the 28-qubit GHZ decision diagram:")
+for outcome, count in sorted(counts.items()):
+    print(f"  {outcome} x{count}")

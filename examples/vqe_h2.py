@@ -1,0 +1,51 @@
+"""VQE ground-state of molecular hydrogen — the flagship Aqua application.
+
+"Most notably, the Variational Quantum Eigensolver (VQE) algorithm [15] is
+at the basis of many of Aqua's applications" (paper, Sec. III).  Runs VQE
+on the 2-qubit H2 Hamiltonian in three regimes: exact statevector
+estimation, shot-based sampling (SPSA), and shot-based sampling under
+device-style noise.
+
+Run:  python examples/vqe_h2.py
+"""
+
+from repro.algorithms import (
+    COBYLA,
+    SPSA,
+    VQE,
+    exact_ground_energy,
+    h2_hamiltonian,
+)
+from repro.simulators import NoiseModel
+from repro.simulators.noise import depolarizing_error
+
+hamiltonian = h2_hamiltonian()
+exact = exact_ground_energy(hamiltonian)
+print(f"H2 at 0.735 A, 2-qubit Hamiltonian with {len(hamiltonian)} terms")
+print(f"Exact ground-state energy: {exact:.8f} Ha\n")
+
+# -- 1. Ideal statevector VQE -------------------------------------------------
+vqe = VQE(hamiltonian, optimizer=COBYLA(maxiter=400), seed=11)
+result = vqe.run()
+print("Statevector VQE (COBYLA):")
+print(f"  energy  : {result.eigenvalue:.8f} Ha")
+print(f"  error   : {result.eigenvalue - exact:+.2e} Ha")
+print(f"  circuit evaluations: {result.evaluations}\n")
+
+# -- 2. Shot-based VQE with SPSA -----------------------------------------------
+sampled = VQE(hamiltonian, optimizer=SPSA(maxiter=150, seed=4),
+              mode="shots", shots=1024, seed=4).run()
+print("Sampled VQE (1024 shots/term, SPSA):")
+print(f"  energy  : {sampled.eigenvalue:.8f} Ha")
+print(f"  error   : {sampled.eigenvalue - exact:+.2e} Ha\n")
+
+# -- 3. Under gate noise ----------------------------------------------------------
+noise = NoiseModel()
+noise.add_all_qubit_quantum_error(depolarizing_error(0.01, 2), ["cx"])
+noisy = VQE(hamiltonian, optimizer=SPSA(maxiter=150, seed=7),
+            mode="shots", shots=1024, seed=7, noise_model=noise).run()
+print("Sampled VQE with 1% CX depolarizing noise:")
+print(f"  energy  : {noisy.eigenvalue:.8f} Ha")
+print(f"  error   : {noisy.eigenvalue - exact:+.2e} Ha")
+print("\n(The noisy estimate sits above the noiseless one — noise raises "
+      "the variational energy.)")

@@ -1,0 +1,45 @@
+"""repro — a from-scratch reproduction of IBM's Qiskit tool chain.
+
+Reproduces the system described in "IBM's Qiskit Tool Chain: Working with
+and Developing for Real Quantum Computers" (DATE 2019): circuits and
+OpenQASM 2.0 (Terra), simulators with noise and a decision-diagram backend
+(Aer + Sec. V-A), transpilation/mapping to the IBM QX architectures
+(Sec. II-B/V-B), application algorithms (Aqua), and characterization
+(Ignis).
+"""
+
+from repro.circuit import (
+    ClassicalRegister,
+    Parameter,
+    QuantumCircuit,
+    QuantumRegister,
+)
+from repro.exceptions import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClassicalRegister",
+    "Parameter",
+    "QuantumCircuit",
+    "QuantumRegister",
+    "ReproError",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy top-level conveniences to avoid import cycles at package load.
+    if name == "execute":
+        from repro.providers.execute import execute
+
+        return execute
+    if name == "transpile":
+        from repro.providers.execute import transpile
+
+        return transpile
+    if name == "Aer":
+        from repro.providers.aer import Aer
+
+        return Aer
+    raise AttributeError(f"module 'repro' has no attribute '{name}'")

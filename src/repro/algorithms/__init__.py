@@ -1,0 +1,105 @@
+"""Aqua-equivalent application algorithms."""
+
+from repro.algorithms.ansatz import (
+    VariationalForm,
+    ry_ansatz,
+    ryrz_ansatz,
+    two_local,
+)
+from repro.algorithms.bernstein_vazirani import bv_circuit, run_bernstein_vazirani
+from repro.algorithms.chemistry import (
+    h2_hamiltonian,
+    heisenberg_chain,
+    transverse_ising,
+)
+from repro.algorithms.deutsch_jozsa import (
+    balanced_oracle,
+    constant_oracle,
+    deutsch_jozsa_circuit,
+    run_deutsch_jozsa,
+)
+from repro.algorithms.expectation import (
+    ExpectationEstimator,
+    expectation_from_counts,
+    measurement_basis_change,
+)
+from repro.algorithms.grover import (
+    Grover,
+    GroverResult,
+    diffusion_operator,
+    grover_circuit,
+    optimal_iterations,
+    phase_oracle,
+)
+from repro.algorithms.optimizers import (
+    COBYLA,
+    SPSA,
+    GradientDescent,
+    NelderMead,
+    Optimizer,
+    OptimizerResult,
+    ParameterShiftDescent,
+    Powell,
+    ScipyOptimizer,
+    get_optimizer,
+)
+from repro.algorithms.phase_estimation import (
+    estimate_phase,
+    phase_estimation_circuit,
+)
+from repro.algorithms.qaoa import (
+    QAOA,
+    QAOAResult,
+    brute_force_maxcut,
+    cut_value,
+    maxcut_hamiltonian,
+)
+from repro.algorithms.amplitude_estimation import (
+    AmplitudeEstimationResult,
+    estimate_amplitude,
+    grover_operator_matrix,
+    true_amplitude,
+)
+from repro.algorithms.protocols import (
+    run_superdense,
+    run_teleportation,
+    superdense_circuit,
+    teleportation_circuit,
+)
+from repro.algorithms.qft import qft_circuit, qft_statevector_reference
+from repro.algorithms.shor import (
+    find_order,
+    modular_multiplication_unitary,
+    multiplicative_order,
+    order_finding_circuit,
+    shor_factor,
+)
+from repro.algorithms.simon import (
+    run_simon,
+    simon_circuit,
+    simon_oracle,
+    solve_gf2,
+)
+from repro.algorithms.vqe import VQE, VQEResult, exact_ground_energy
+
+__all__ = [
+    "AmplitudeEstimationResult",
+    "COBYLA", "ExpectationEstimator", "GradientDescent", "Grover",
+    "estimate_amplitude", "find_order", "grover_operator_matrix",
+    "modular_multiplication_unitary", "multiplicative_order",
+    "order_finding_circuit", "shor_factor", "true_amplitude",
+    "GroverResult", "NelderMead", "Optimizer", "OptimizerResult", "QAOA",
+    "QAOAResult", "ParameterShiftDescent", "Powell", "SPSA",
+    "ScipyOptimizer", "VQE", "VQEResult", "VariationalForm",
+    "balanced_oracle", "brute_force_maxcut", "bv_circuit", "constant_oracle",
+    "cut_value", "deutsch_jozsa_circuit", "diffusion_operator",
+    "estimate_phase", "exact_ground_energy", "expectation_from_counts",
+    "get_optimizer", "grover_circuit", "h2_hamiltonian", "heisenberg_chain",
+    "maxcut_hamiltonian", "measurement_basis_change", "optimal_iterations",
+    "phase_estimation_circuit", "phase_oracle", "qft_circuit",
+    "qft_statevector_reference", "run_bernstein_vazirani",
+    "run_deutsch_jozsa", "run_simon", "run_superdense",
+    "run_teleportation", "ry_ansatz", "ryrz_ansatz", "simon_circuit",
+    "simon_oracle", "solve_gf2", "superdense_circuit",
+    "teleportation_circuit", "transverse_ising", "two_local",
+]

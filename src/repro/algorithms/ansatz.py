@@ -1,0 +1,110 @@
+"""Variational forms (ansatz circuits) for VQE-style algorithms."""
+
+from __future__ import annotations
+
+from repro.circuit.parameter import Parameter
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import AlgorithmError
+
+
+def _entangle(circuit: QuantumCircuit, num_qubits: int, entanglement: str):
+    if entanglement == "linear":
+        pairs = [(i, i + 1) for i in range(num_qubits - 1)]
+    elif entanglement == "circular":
+        pairs = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+        if num_qubits == 2:
+            pairs = [(0, 1)]
+    elif entanglement == "full":
+        pairs = [
+            (i, j)
+            for i in range(num_qubits)
+            for j in range(i + 1, num_qubits)
+        ]
+    else:
+        raise AlgorithmError(f"unknown entanglement pattern '{entanglement}'")
+    for a, b in pairs:
+        circuit.cx(a, b)
+
+
+class VariationalForm:
+    """A parameterized circuit template with a bind helper."""
+
+    def __init__(self, circuit: QuantumCircuit, parameters):
+        self.circuit = circuit
+        self.parameters = list(parameters)
+
+    @property
+    def num_parameters(self) -> int:
+        """Number of free parameters."""
+        return len(self.parameters)
+
+    def bind(self, values) -> QuantumCircuit:
+        """Return the circuit with ``values`` substituted in order."""
+        values = list(values)
+        if len(values) != len(self.parameters):
+            raise AlgorithmError(
+                f"expected {len(self.parameters)} values, got {len(values)}"
+            )
+        return self.circuit.bind_parameters(dict(zip(self.parameters, values)))
+
+
+def ry_ansatz(num_qubits: int, reps: int = 2,
+              entanglement: str = "linear") -> VariationalForm:
+    """Hardware-efficient RY ansatz: RY layers alternating with CNOTs.
+
+    This is the hardware-efficient form of the paper's VQE reference [15].
+    """
+    circuit = QuantumCircuit(num_qubits)
+    parameters = []
+    index = 0
+    for layer in range(reps + 1):
+        for qubit in range(num_qubits):
+            param = Parameter(f"θ[{index}]")
+            parameters.append(param)
+            circuit.ry(param, qubit)
+            index += 1
+        if layer < reps and num_qubits > 1:
+            _entangle(circuit, num_qubits, entanglement)
+    return VariationalForm(circuit, parameters)
+
+
+def ryrz_ansatz(num_qubits: int, reps: int = 2,
+                entanglement: str = "linear") -> VariationalForm:
+    """RY+RZ (EfficientSU2-style) ansatz — spans all single-qubit rotations."""
+    circuit = QuantumCircuit(num_qubits)
+    parameters = []
+    index = 0
+    for layer in range(reps + 1):
+        for qubit in range(num_qubits):
+            theta = Parameter(f"θ[{index}]")
+            phi = Parameter(f"φ[{index}]")
+            parameters.extend([theta, phi])
+            circuit.ry(theta, qubit)
+            circuit.rz(phi, qubit)
+            index += 1
+        if layer < reps and num_qubits > 1:
+            _entangle(circuit, num_qubits, entanglement)
+    return VariationalForm(circuit, parameters)
+
+
+def two_local(num_qubits: int, rotation: str = "ry", reps: int = 2,
+              entanglement: str = "linear") -> VariationalForm:
+    """Generic two-local ansatz with a chosen rotation axis."""
+    if rotation == "ry":
+        return ry_ansatz(num_qubits, reps, entanglement)
+    if rotation == "ryrz":
+        return ryrz_ansatz(num_qubits, reps, entanglement)
+    if rotation in ("rx", "rz"):
+        circuit = QuantumCircuit(num_qubits)
+        parameters = []
+        index = 0
+        for layer in range(reps + 1):
+            for qubit in range(num_qubits):
+                param = Parameter(f"θ[{index}]")
+                parameters.append(param)
+                getattr(circuit, rotation)(param, qubit)
+                index += 1
+            if layer < reps and num_qubits > 1:
+                _entangle(circuit, num_qubits, entanglement)
+        return VariationalForm(circuit, parameters)
+    raise AlgorithmError(f"unknown rotation layer '{rotation}'")

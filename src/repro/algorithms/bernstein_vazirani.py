@@ -1,0 +1,37 @@
+"""Bernstein-Vazirani: recover a hidden bitstring with one query."""
+
+from __future__ import annotations
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import AlgorithmError
+from repro.simulators.qasm_simulator import QasmSimulator
+
+
+def bv_circuit(hidden: str) -> QuantumCircuit:
+    """Circuit whose measurement reveals the hidden string (bit 0 rightmost)."""
+    if not hidden or any(ch not in "01" for ch in hidden):
+        raise AlgorithmError("hidden string must be a non-empty bitstring")
+    num_inputs = len(hidden)
+    circuit = QuantumCircuit(num_inputs + 1, num_inputs)
+    circuit.x(num_inputs)
+    for qubit in range(num_inputs + 1):
+        circuit.h(qubit)
+    for qubit in range(num_inputs):
+        if hidden[num_inputs - 1 - qubit] == "1":
+            circuit.cx(qubit, num_inputs)
+    for qubit in range(num_inputs):
+        circuit.h(qubit)
+    for qubit in range(num_inputs):
+        circuit.measure(qubit, qubit)
+    return circuit
+
+
+def run_bernstein_vazirani(hidden: str, shots: int = 1024, seed=None,
+                           noise_model=None) -> str:
+    """Recover the hidden string (exactly, on the noiseless simulator)."""
+    circuit = bv_circuit(hidden)
+    outcome = QasmSimulator().run(
+        circuit, shots=shots, seed=seed, noise_model=noise_model
+    )
+    counts = outcome["counts"]
+    return max(counts, key=counts.get)

@@ -1,0 +1,57 @@
+"""Deutsch-Jozsa: decide constant vs. balanced with one oracle query."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import AlgorithmError
+from repro.simulators.qasm_simulator import QasmSimulator
+
+
+def constant_oracle(num_qubits: int, value: int = 0) -> QuantumCircuit:
+    """Oracle for f(x) = value (0 or 1) over ``num_qubits`` inputs."""
+    oracle = QuantumCircuit(num_qubits + 1, name="const-oracle")
+    if value:
+        oracle.x(num_qubits)
+    return oracle
+
+
+def balanced_oracle(num_qubits: int, mask: int = None) -> QuantumCircuit:
+    """Oracle for the balanced function f(x) = parity(x & mask)."""
+    if mask is None:
+        mask = (1 << num_qubits) - 1
+    if mask == 0 or mask >= (1 << num_qubits):
+        raise AlgorithmError("mask must select at least one input bit")
+    oracle = QuantumCircuit(num_qubits + 1, name="balanced-oracle")
+    for qubit in range(num_qubits):
+        if (mask >> qubit) & 1:
+            oracle.cx(qubit, num_qubits)
+    return oracle
+
+
+def deutsch_jozsa_circuit(oracle: QuantumCircuit) -> QuantumCircuit:
+    """Assemble the DJ circuit around a (num_qubits+1)-wire oracle."""
+    num_inputs = oracle.num_qubits - 1
+    circuit = QuantumCircuit(num_inputs + 1, num_inputs)
+    circuit.x(num_inputs)
+    for qubit in range(num_inputs + 1):
+        circuit.h(qubit)
+    circuit.compose(oracle, qubits=circuit.qubits[: num_inputs + 1],
+                    inplace=True)
+    for qubit in range(num_inputs):
+        circuit.h(qubit)
+    for qubit in range(num_inputs):
+        circuit.measure(qubit, qubit)
+    return circuit
+
+
+def run_deutsch_jozsa(oracle: QuantumCircuit, shots: int = 1024,
+                      seed=None) -> str:
+    """Return ``"constant"`` or ``"balanced"`` for the given oracle."""
+    circuit = deutsch_jozsa_circuit(oracle)
+    outcome = QasmSimulator().run(circuit, shots=shots, seed=seed)
+    counts = outcome["counts"]
+    zero_key = "0" * circuit.num_clbits
+    zero_fraction = counts.get(zero_key, 0) / shots
+    return "constant" if zero_fraction > 0.5 else "balanced"

@@ -1,0 +1,117 @@
+"""Pauli expectation-value estimation, exact or from measurement counts.
+
+A VQE objective evaluates <psi(theta)| H |psi(theta)> for a Pauli-sum H.
+Exactly (statevector) this is one matrix quadratic form; on a shot-based
+backend each Pauli term needs a basis-change circuit and a parity average —
+the conventional-quantum hybrid loop of the paper's Aqua description.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import AlgorithmError
+from repro.quantum_info.pauli import Pauli, PauliSumOp
+from repro.simulators.qasm_simulator import QasmSimulator
+from repro.simulators.statevector_simulator import StatevectorSimulator
+
+
+def measurement_basis_change(pauli: Pauli, circuit: QuantumCircuit) -> None:
+    """Append the rotations mapping ``pauli``'s eigenbasis to the Z basis.
+
+    X -> H; Y -> Sdg then H; Z and I need nothing.
+    """
+    for qubit in range(pauli.num_qubits):
+        char = pauli.char(qubit)
+        if char == "X":
+            circuit.h(qubit)
+        elif char == "Y":
+            circuit.sdg(qubit)
+            circuit.h(qubit)
+
+
+def expectation_from_counts(pauli: Pauli, counts: dict) -> float:
+    """Estimate <P> from Z-basis counts taken after the basis change.
+
+    Outcome bit ``q`` (0 = rightmost key character) contributes to the
+    parity iff ``pauli`` acts non-trivially on qubit ``q``.
+    """
+    support = set(pauli.support)
+    if not support:
+        return 1.0
+    total = 0
+    accumulator = 0
+    for key, value in counts.items():
+        parity = 0
+        for qubit in support:
+            position = len(key) - 1 - qubit
+            if position < 0:
+                raise AlgorithmError("counts key shorter than Pauli support")
+            if key[position] == "1":
+                parity ^= 1
+        accumulator += (-1) ** parity * value
+        total += value
+    if total == 0:
+        raise AlgorithmError("empty counts")
+    return accumulator / total
+
+
+class ExpectationEstimator:
+    """Evaluates <H> for circuits, exactly or by sampling.
+
+    Args:
+        hamiltonian: the :class:`PauliSumOp` observable.
+        mode: ``"exact"`` (statevector) or ``"shots"`` (sampled).
+        shots: samples per Pauli term in shot mode.
+        seed: RNG seed for shot mode.
+        noise_model: optional noise for shot mode.
+    """
+
+    def __init__(self, hamiltonian: PauliSumOp, mode: str = "exact",
+                 shots: int = 2048, seed=None, noise_model=None):
+        if mode not in ("exact", "shots"):
+            raise AlgorithmError(f"unknown estimation mode '{mode}'")
+        self.hamiltonian = hamiltonian
+        self.mode = mode
+        self.shots = shots
+        self.seed = seed
+        self.noise_model = noise_model
+        self._statevector_engine = StatevectorSimulator()
+        self._qasm_engine = QasmSimulator()
+        self.evaluations = 0
+
+    def estimate(self, circuit: QuantumCircuit) -> float:
+        """<H> for the state prepared by ``circuit`` from |0...0>."""
+        self.evaluations += 1
+        if circuit.num_qubits != self.hamiltonian.num_qubits:
+            raise AlgorithmError(
+                "circuit width does not match the Hamiltonian"
+            )
+        if self.mode == "exact":
+            state = self._statevector_engine.run(circuit)
+            return self.hamiltonian.expectation(state)
+        return self._estimate_shots(circuit)
+
+    def _estimate_shots(self, circuit: QuantumCircuit) -> float:
+        energy = 0.0
+        for index, (coeff, pauli) in enumerate(self.hamiltonian.terms):
+            if abs(coeff.imag) > 1e-9:
+                raise AlgorithmError("shot estimation needs real coefficients")
+            if not pauli.support:
+                energy += coeff.real
+                continue
+            measured = QuantumCircuit(circuit.num_qubits, circuit.num_qubits)
+            measured.compose(circuit, qubits=measured.qubits, inplace=True)
+            measurement_basis_change(pauli, measured)
+            for qubit in pauli.support:
+                measured.measure(qubit, qubit)
+            seed = None if self.seed is None else self.seed + 97 * index
+            outcome = self._qasm_engine.run(
+                measured, shots=self.shots, seed=seed,
+                noise_model=self.noise_model,
+            )
+            energy += coeff.real * expectation_from_counts(
+                pauli, outcome["counts"]
+            )
+        return energy

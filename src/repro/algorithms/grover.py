@@ -1,0 +1,159 @@
+"""Grover search — the canonical quadratic-speedup algorithm.
+
+Builds phase oracles for marked computational-basis states, the diffusion
+(inversion about the mean) operator, and the full iterated circuit with the
+optimal iteration count floor(pi/4 * sqrt(N/M)).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuit.library.standard_gates import UnitaryGate
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import AlgorithmError
+from repro.simulators.statevector_simulator import StatevectorSimulator
+
+
+def multi_controlled_z(circuit: QuantumCircuit, qubits) -> None:
+    """Append a Z controlled on all of ``qubits`` (phase flip of |1...1>).
+
+    Uses native gates up to three qubits; beyond that a diagonal
+    :class:`UnitaryGate` (simulator-friendly) is emitted.
+    """
+    qubits = list(qubits)
+    if not qubits:
+        raise AlgorithmError("need at least one qubit")
+    if len(qubits) == 1:
+        circuit.z(qubits[0])
+    elif len(qubits) == 2:
+        circuit.cz(qubits[0], qubits[1])
+    elif len(qubits) == 3:
+        circuit.h(qubits[2])
+        circuit.ccx(qubits[0], qubits[1], qubits[2])
+        circuit.h(qubits[2])
+    else:
+        dim = 2 ** len(qubits)
+        diagonal = np.ones(dim, dtype=complex)
+        diagonal[-1] = -1.0
+        circuit.unitary(np.diag(diagonal), qubits, label=f"mcz{len(qubits)}")
+
+
+def phase_oracle(num_qubits: int, marked_states) -> QuantumCircuit:
+    """Oracle flipping the phase of each marked basis state.
+
+    ``marked_states`` are bitstrings (qubit 0 rightmost) or integers.
+    """
+    marked = []
+    for state in marked_states:
+        if isinstance(state, str):
+            if len(state) != num_qubits:
+                raise AlgorithmError(
+                    f"marked state '{state}' is not {num_qubits} bits"
+                )
+            marked.append(int(state, 2))
+        else:
+            marked.append(int(state))
+    if not marked:
+        raise AlgorithmError("need at least one marked state")
+    if any(m < 0 or m >= 2**num_qubits for m in marked):
+        raise AlgorithmError("marked state out of range")
+    oracle = QuantumCircuit(num_qubits, name="oracle")
+    for index in marked:
+        # Map |index> to |1...1>, phase-flip, and undo.
+        flips = [q for q in range(num_qubits) if not (index >> q) & 1]
+        for qubit in flips:
+            oracle.x(qubit)
+        multi_controlled_z(oracle, range(num_qubits))
+        for qubit in flips:
+            oracle.x(qubit)
+    return oracle
+
+
+def diffusion_operator(num_qubits: int) -> QuantumCircuit:
+    """Grover diffusion: 2|s><s| - I over the uniform state |s>."""
+    diffusion = QuantumCircuit(num_qubits, name="diffusion")
+    for qubit in range(num_qubits):
+        diffusion.h(qubit)
+        diffusion.x(qubit)
+    multi_controlled_z(diffusion, range(num_qubits))
+    for qubit in range(num_qubits):
+        diffusion.x(qubit)
+        diffusion.h(qubit)
+    return diffusion
+
+
+def optimal_iterations(num_qubits: int, num_marked: int) -> int:
+    """floor(pi/4 sqrt(N/M)), at least one iteration."""
+    n_total = 2**num_qubits
+    return max(1, int(math.floor(math.pi / 4 * math.sqrt(n_total / num_marked))))
+
+
+def grover_circuit(num_qubits: int, marked_states, iterations=None,
+                   measure: bool = False) -> QuantumCircuit:
+    """The full Grover circuit: H^n then iterated oracle + diffusion."""
+    marked_states = list(marked_states)
+    if iterations is None:
+        iterations = optimal_iterations(num_qubits, len(marked_states))
+    circuit = QuantumCircuit(num_qubits, num_qubits if measure else 0)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    oracle = phase_oracle(num_qubits, marked_states)
+    diffusion = diffusion_operator(num_qubits)
+    for _ in range(iterations):
+        circuit.compose(oracle, qubits=circuit.qubits[:num_qubits], inplace=True)
+        circuit.compose(diffusion, qubits=circuit.qubits[:num_qubits],
+                        inplace=True)
+    if measure:
+        for qubit in range(num_qubits):
+            circuit.measure(qubit, qubit)
+    return circuit
+
+
+class GroverResult:
+    """Outcome of a Grover run."""
+
+    def __init__(self, top_state, success_probability, iterations, counts):
+        self.top_state = top_state
+        self.success_probability = success_probability
+        self.iterations = iterations
+        self.counts = counts
+
+    def __repr__(self):
+        return (
+            f"GroverResult(top='{self.top_state}', "
+            f"p={self.success_probability:.3f}, "
+            f"iterations={self.iterations})"
+        )
+
+
+class Grover:
+    """Convenience driver: build, simulate, report success probability."""
+
+    def __init__(self, num_qubits: int, marked_states, iterations=None):
+        self.num_qubits = num_qubits
+        self.marked_states = [
+            state if isinstance(state, str) else format(state, f"0{num_qubits}b")
+            for state in marked_states
+        ]
+        self.iterations = (
+            iterations
+            if iterations is not None
+            else optimal_iterations(num_qubits, len(self.marked_states))
+        )
+
+    def run(self, shots: int = 2048, seed=None) -> GroverResult:
+        """Simulate and measure."""
+        circuit = grover_circuit(
+            self.num_qubits, self.marked_states, self.iterations
+        )
+        state = StatevectorSimulator().run(circuit)
+        probabilities = state.probabilities_dict()
+        success = sum(
+            probabilities.get(marked, 0.0) for marked in self.marked_states
+        )
+        counts = state.sample_counts(shots, seed=seed)
+        top_state = max(counts, key=counts.get)
+        return GroverResult(top_state, success, self.iterations, counts)

@@ -1,0 +1,72 @@
+"""Quantum phase estimation.
+
+Estimates the eigenphase of a unitary on its eigenstate using controlled
+powers of U and an inverse QFT over a counting register.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.qft import qft_circuit
+from repro.circuit.library.standard_gates import (
+    ControlledUnitaryGate,
+    UnitaryGate,
+)
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import AlgorithmError
+from repro.simulators.qasm_simulator import QasmSimulator
+
+
+def phase_estimation_circuit(unitary, num_counting: int,
+                             eigenstate_prep=None) -> QuantumCircuit:
+    """Build the QPE circuit.
+
+    Args:
+        unitary: dense matrix (or Gate) whose phase is measured.
+        num_counting: counting-register width; resolution is 2**-width.
+        eigenstate_prep: optional circuit preparing the eigenstate on the
+            system register (defaults to |0...0>).
+    """
+    matrix = (
+        unitary.to_matrix() if hasattr(unitary, "to_matrix")
+        else np.asarray(unitary, dtype=complex)
+    )
+    num_system = int(round(np.log2(matrix.shape[0])))
+    if 2**num_system != matrix.shape[0]:
+        raise AlgorithmError("unitary dimension is not a power of two")
+    total = num_counting + num_system
+    circuit = QuantumCircuit(total, num_counting)
+    system = list(range(num_counting, total))
+    if eigenstate_prep is not None:
+        circuit.compose(
+            eigenstate_prep,
+            qubits=[circuit.qubits[q] for q in system],
+            inplace=True,
+        )
+    for qubit in range(num_counting):
+        circuit.h(qubit)
+    power = matrix
+    for qubit in range(num_counting):
+        gate = ControlledUnitaryGate(UnitaryGate(power, label=f"U^{2**qubit}"))
+        circuit.append(gate, [[qubit] + system])
+        power = power @ power
+    inverse_qft = qft_circuit(num_counting, inverse=True)
+    circuit.compose(
+        inverse_qft,
+        qubits=[circuit.qubits[q] for q in range(num_counting)],
+        inplace=True,
+    )
+    for qubit in range(num_counting):
+        circuit.measure(qubit, qubit)
+    return circuit
+
+
+def estimate_phase(unitary, num_counting: int = 5, eigenstate_prep=None,
+                   shots: int = 2048, seed=None) -> float:
+    """Run QPE and return the most likely phase in [0, 1)."""
+    circuit = phase_estimation_circuit(unitary, num_counting, eigenstate_prep)
+    outcome = QasmSimulator().run(circuit, shots=shots, seed=seed)
+    counts = outcome["counts"]
+    best = max(counts, key=counts.get)
+    return int(best, 2) / 2**num_counting

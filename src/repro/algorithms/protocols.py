@@ -1,0 +1,105 @@
+"""Entanglement-powered protocols: teleportation and superdense coding.
+
+Classic tutorial circuits (the Qiskit tutorial library the paper points to
+walks through both).  Teleportation moves an unknown qubit state with two
+classical bits + one Bell pair; superdense coding sends two classical bits
+with one qubit + one Bell pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.circuit.register import ClassicalRegister, QuantumRegister
+from repro.exceptions import AlgorithmError
+from repro.simulators.qasm_simulator import QasmSimulator
+
+
+def teleportation_circuit(state_preparation: QuantumCircuit = None,
+                          verify: bool = True) -> QuantumCircuit:
+    """Quantum teleportation of qubit 0 onto qubit 2.
+
+    Args:
+        state_preparation: 1-qubit circuit preparing the payload (defaults
+            to |0>).
+        verify: when True, the inverse preparation plus a measurement are
+            appended on the destination, so a perfect run always reads 0
+            into the ``verify`` register.
+    """
+    qreg = QuantumRegister(3, "q")
+    alice0 = ClassicalRegister(1, "m0")
+    alice1 = ClassicalRegister(1, "m1")
+    registers = [qreg, alice0, alice1]
+    if verify:
+        check = ClassicalRegister(1, "chk")
+        registers.append(check)
+    circuit = QuantumCircuit(*registers)
+    if state_preparation is not None:
+        if state_preparation.num_qubits != 1:
+            raise AlgorithmError("payload preparation must be 1-qubit")
+        circuit.compose(state_preparation, qubits=[qreg[0]], inplace=True)
+    # Bell pair between Alice (q1) and Bob (q2).
+    circuit.h(1)
+    circuit.cx(1, 2)
+    # Alice's Bell measurement.
+    circuit.cx(0, 1)
+    circuit.h(0)
+    circuit.measure(qreg[0], alice0[0])
+    circuit.measure(qreg[1], alice1[0])
+    # Bob's conditional corrections.
+    circuit.x(2)
+    circuit.data[-1].operation.c_if(alice1, 1)
+    circuit.z(2)
+    circuit.data[-1].operation.c_if(alice0, 1)
+    if verify and state_preparation is not None:
+        circuit.compose(
+            state_preparation.inverse(), qubits=[qreg[2]], inplace=True
+        )
+    if verify:
+        circuit.measure(qreg[2], check[0])
+    return circuit
+
+
+def run_teleportation(state_preparation: QuantumCircuit = None,
+                      shots: int = 1024, seed=None) -> float:
+    """Run teleportation; returns the verification success probability."""
+    circuit = teleportation_circuit(state_preparation, verify=True)
+    outcome = QasmSimulator().run(circuit, shots=shots, seed=seed)
+    # The check bit is the top classical bit (clbit 2).
+    good = sum(
+        value for key, value in outcome["counts"].items() if key[0] == "0"
+    )
+    return good / shots
+
+
+def superdense_circuit(bits: str) -> QuantumCircuit:
+    """Superdense coding of two classical ``bits`` (e.g. ``"10"``)."""
+    if len(bits) != 2 or any(ch not in "01" for ch in bits):
+        raise AlgorithmError("superdense coding sends exactly two bits")
+    circuit = QuantumCircuit(2, 2, name=f"superdense({bits})")
+    # Shared Bell pair.
+    circuit.h(0)
+    circuit.cx(0, 1)
+    # Alice encodes on her half (qubit 0): bits = b1 b0.
+    if bits[1] == "1":
+        circuit.x(0)
+    if bits[0] == "1":
+        circuit.z(0)
+    # Bob decodes.
+    circuit.cx(0, 1)
+    circuit.h(0)
+    circuit.measure(0, 0)
+    circuit.measure(1, 1)
+    return circuit
+
+
+def run_superdense(bits: str, shots: int = 512, seed=None) -> str:
+    """Send two classical bits through superdense coding; returns them."""
+    circuit = superdense_circuit(bits)
+    outcome = QasmSimulator().run(circuit, shots=shots, seed=seed)
+    counts = outcome["counts"]
+    best = max(counts, key=counts.get)
+    # Bob's decode leaves the X-encoded bit on qubit 1 (clbit 1, the left
+    # key character) and the Z-encoded bit on qubit 0 (clbit 0).
+    return best[1] + best[0]

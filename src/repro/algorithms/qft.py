@@ -1,0 +1,41 @@
+"""Quantum Fourier transform circuits."""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+
+
+def qft_circuit(num_qubits: int, do_swaps: bool = True,
+                inverse: bool = False) -> QuantumCircuit:
+    """The QFT (or inverse QFT) on ``num_qubits`` qubits.
+
+    Uses the textbook ladder of Hadamards and controlled phase rotations;
+    ``do_swaps`` appends the final bit-reversal swaps.
+    """
+    circuit = QuantumCircuit(num_qubits, name="qft" if not inverse else "iqft")
+    for target in reversed(range(num_qubits)):
+        circuit.h(target)
+        for control in reversed(range(target)):
+            angle = math.pi / (2 ** (target - control))
+            circuit.cu1(angle, control, target)
+    if do_swaps:
+        for qubit in range(num_qubits // 2):
+            circuit.swap(qubit, num_qubits - 1 - qubit)
+    if inverse:
+        return circuit.inverse()
+    return circuit
+
+
+def qft_statevector_reference(amplitudes):
+    """Classical DFT matching the QFT convention, for verification.
+
+    QFT|x> = 1/sqrt(N) sum_y exp(2 pi i x y / N) |y> — the *inverse* DFT in
+    numpy's sign convention, normalized symmetrically.
+    """
+    import numpy as np
+
+    amplitudes = np.asarray(amplitudes, dtype=complex)
+    n = amplitudes.shape[0]
+    return np.fft.ifft(amplitudes) * math.sqrt(n)

@@ -1,0 +1,153 @@
+"""Shor's algorithm: quantum order finding plus classical post-processing.
+
+The paper's introduction lists cryptography among the promised quantum
+speedups; Shor's factoring algorithm is its anchor.  This implementation
+runs the full pipeline for laptop-sized moduli:
+
+* the modular-multiplication unitary ``U_a |x> = |a x mod N>`` built as an
+  explicit permutation matrix over ``ceil(log2 N)`` qubits,
+* quantum phase estimation over controlled powers ``U_a^(2^k)``,
+* continued-fraction expansion of the measured phase to the order ``r``,
+* the classical gcd step recovering the factors.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+
+from repro.algorithms.phase_estimation import phase_estimation_circuit
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import AlgorithmError
+from repro.simulators.qasm_simulator import QasmSimulator
+
+
+def modular_multiplication_unitary(a: int, modulus: int) -> np.ndarray:
+    """The permutation matrix of ``x -> a x mod N`` (identity above N).
+
+    Requires ``gcd(a, N) == 1`` so the map is a bijection on [0, N).
+    """
+    if modulus < 2:
+        raise AlgorithmError("modulus must be at least 2")
+    if math.gcd(a, modulus) != 1:
+        raise AlgorithmError(f"{a} and {modulus} are not coprime")
+    num_qubits = max(1, (modulus - 1).bit_length())
+    dim = 2**num_qubits
+    matrix = np.zeros((dim, dim), dtype=complex)
+    for x in range(dim):
+        if x < modulus:
+            matrix[(a * x) % modulus, x] = 1.0
+        else:
+            matrix[x, x] = 1.0
+    return matrix
+
+
+def multiplicative_order(a: int, modulus: int) -> int:
+    """Classical reference: smallest r > 0 with a^r = 1 (mod N)."""
+    if math.gcd(a, modulus) != 1:
+        raise AlgorithmError(f"{a} and {modulus} are not coprime")
+    value = a % modulus
+    order = 1
+    while value != 1:
+        value = (value * a) % modulus
+        order += 1
+        if order > modulus:
+            raise AlgorithmError("order search exceeded the modulus")
+    return order
+
+
+def order_finding_circuit(a: int, modulus: int,
+                          num_counting: int = None) -> QuantumCircuit:
+    """QPE circuit whose phases are multiples of 1/ord(a)."""
+    unitary = modular_multiplication_unitary(a, modulus)
+    num_system = int(round(math.log2(unitary.shape[0])))
+    if num_counting is None:
+        num_counting = 2 * num_system + 1
+    # Eigenstate preparation: |1> is a uniform combination of the order-r
+    # eigenstates, so phases k/r appear with equal weight.
+    prep = QuantumCircuit(num_system)
+    prep.x(0)
+    return phase_estimation_circuit(unitary, num_counting, prep)
+
+
+def phase_to_order(phase: float, modulus: int,
+                   max_denominator: int = None) -> int | None:
+    """Continued-fraction step: recover a candidate order from a phase."""
+    if max_denominator is None:
+        max_denominator = modulus
+    fraction = Fraction(phase).limit_denominator(max_denominator)
+    if fraction.denominator == 0:
+        return None
+    return fraction.denominator or None
+
+
+def find_order(a: int, modulus: int, shots: int = 32, seed=None,
+               num_counting: int = None) -> int:
+    """Quantum order finding: run QPE, post-process every measured phase.
+
+    Returns the multiplicative order of ``a`` mod ``modulus``; raises when
+    no measured phase yields it (increase shots/counting bits).
+    """
+    circuit = order_finding_circuit(a, modulus, num_counting)
+    counting_bits = circuit.num_clbits
+    outcome = QasmSimulator().run(circuit, shots=shots, seed=seed)
+    candidates = set()
+    for key, _count in sorted(
+        outcome["counts"].items(), key=lambda kv: -kv[1]
+    ):
+        phase = int(key, 2) / 2**counting_bits
+        if phase == 0:
+            continue
+        candidate = phase_to_order(phase, modulus)
+        if not candidate or candidate < 2:
+            continue
+        # Candidates may be divisors of r; collect lcm-able values.
+        candidates.add(candidate)
+        if pow(a, candidate, modulus) == 1:
+            return candidate
+    # Try least common multiples of pairs (handles k/r with gcd(k, r) > 1).
+    candidate_list = sorted(candidates)
+    for i, first in enumerate(candidate_list):
+        for second in candidate_list[i:]:
+            combined = first * second // math.gcd(first, second)
+            if combined <= modulus and pow(a, combined, modulus) == 1:
+                return combined
+    raise AlgorithmError(
+        f"order finding failed for a={a}, N={modulus}; increase shots"
+    )
+
+
+def shor_factor(modulus: int, seed=None, max_attempts: int = 10) -> tuple:
+    """Factor ``modulus`` via quantum order finding.
+
+    Returns a nontrivial factor pair ``(p, q)``.  Handles the classical
+    shortcuts (even numbers, perfect powers are not special-cased — bases
+    are retried) and retries bases whose order is odd or unlucky.
+    """
+    if modulus < 4:
+        raise AlgorithmError("modulus too small to factor")
+    if modulus % 2 == 0:
+        return 2, modulus // 2
+    rng = np.random.default_rng(seed)
+    for attempt in range(max_attempts):
+        a = int(rng.integers(2, modulus - 1))
+        shared = math.gcd(a, modulus)
+        if shared > 1:
+            return shared, modulus // shared  # lucky classical hit
+        order = find_order(
+            a, modulus, seed=None if seed is None else seed + attempt
+        )
+        if order % 2:
+            continue  # odd order: pick another base
+        half_power = pow(a, order // 2, modulus)
+        if half_power == modulus - 1:
+            continue  # a^(r/2) = -1: unlucky base
+        factor = math.gcd(half_power - 1, modulus)
+        if 1 < factor < modulus:
+            return factor, modulus // factor
+        factor = math.gcd(half_power + 1, modulus)
+        if 1 < factor < modulus:
+            return factor, modulus // factor
+    raise AlgorithmError(f"failed to factor {modulus} in {max_attempts} tries")

@@ -1,0 +1,107 @@
+"""Simon's algorithm: find a hidden XOR mask with exponential speedup.
+
+Given a 2-to-1 oracle with ``f(x) = f(x ^ s)``, each quantum query returns
+a random ``y`` with ``y . s = 0 (mod 2)``; collecting ``n-1`` independent
+equations and solving over GF(2) reveals ``s``.  Includes the classical
+Gaussian-elimination post-processing the algorithm requires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import AlgorithmError
+from repro.simulators.qasm_simulator import QasmSimulator
+
+
+def simon_oracle(hidden: str) -> QuantumCircuit:
+    """A standard Simon oracle for the hidden mask ``hidden``.
+
+    Uses 2n qubits: inputs 0..n-1, outputs n..2n-1.  First copies x into
+    the output register; then, if ``s != 0``, XORs ``s`` into the output
+    conditioned on one chosen input bit, making f(x) = f(x ^ s).
+    """
+    if not hidden or any(ch not in "01" for ch in hidden):
+        raise AlgorithmError("hidden mask must be a non-empty bitstring")
+    n = len(hidden)
+    oracle = QuantumCircuit(2 * n, name=f"simon({hidden})")
+    for i in range(n):
+        oracle.cx(i, n + i)
+    mask = int(hidden, 2)
+    if mask:
+        # Pivot on the lowest set bit of s.
+        pivot = (mask & -mask).bit_length() - 1
+        for i in range(n):
+            if (mask >> i) & 1:
+                oracle.cx(pivot, n + i)
+    return oracle
+
+
+def simon_circuit(oracle: QuantumCircuit) -> QuantumCircuit:
+    """One Simon query: H on inputs, oracle, H on inputs, measure inputs."""
+    total = oracle.num_qubits
+    n = total // 2
+    circuit = QuantumCircuit(total, n)
+    for i in range(n):
+        circuit.h(i)
+    circuit.compose(oracle, qubits=circuit.qubits[:total], inplace=True)
+    for i in range(n):
+        circuit.h(i)
+    for i in range(n):
+        circuit.measure(i, i)
+    return circuit
+
+
+def solve_gf2(equations: list[int], num_bits: int) -> int | None:
+    """Solve ``y . s = 0`` over GF(2) for a non-zero ``s`` (None if only 0).
+
+    ``equations`` are bitmask rows; returns the hidden mask when the null
+    space is one-dimensional, raising if it is larger (not enough data).
+    """
+    rows = [e for e in equations if e]
+    # Gaussian elimination to row echelon form.
+    pivots: dict[int, int] = {}
+    for row in rows:
+        for bit in reversed(range(num_bits)):
+            if not (row >> bit) & 1:
+                continue
+            if bit in pivots:
+                row ^= pivots[bit]
+            else:
+                pivots[bit] = row
+                break
+    rank = len(pivots)
+    free_bits = [b for b in range(num_bits) if b not in pivots]
+    if rank == num_bits:
+        return None  # only the trivial solution: s = 0
+    if len(free_bits) > 1:
+        raise AlgorithmError(
+            "underdetermined system; collect more measurements"
+        )
+    # Back-substitute with the single free bit set to 1.
+    solution = 1 << free_bits[0]
+    for bit in sorted(pivots, reverse=False):
+        row = pivots[bit]
+        # Parity of the already-fixed part of this row decides this bit.
+        parity = bin(row & solution & ~(1 << bit)).count("1") % 2
+        if parity:
+            solution |= 1 << bit
+    return solution
+
+
+def run_simon(hidden: str, shots: int = 64, seed=None) -> str:
+    """End-to-end Simon: query, collect equations, solve, return the mask."""
+    n = len(hidden)
+    circuit = simon_circuit(simon_oracle(hidden))
+    outcome = QasmSimulator().run(circuit, shots=shots, seed=seed)
+    equations = [int(key, 2) for key in outcome["counts"]]
+    # Every measured y must satisfy y . s = 0.
+    mask = int(hidden, 2)
+    for y in equations:
+        if bin(y & mask).count("1") % 2:
+            raise AlgorithmError("oracle produced an inconsistent equation")
+    solution = solve_gf2(equations, n)
+    if solution is None:
+        return "0" * n
+    return format(solution, f"0{n}b")

@@ -1,0 +1,87 @@
+"""Variational Quantum Eigensolver — the flagship Aqua algorithm.
+
+"Most notably, the Variational Quantum Eigensolver (VQE) algorithm [15] is
+at the basis of many of Aqua's applications" (paper Sec. III).  The hybrid
+loop: a parameterized ansatz prepares |psi(theta)>, the quantum resource
+(here: a simulator) estimates <psi|H|psi>, and a classical optimizer updates
+theta.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.ansatz import VariationalForm, ry_ansatz
+from repro.algorithms.expectation import ExpectationEstimator
+from repro.algorithms.optimizers import COBYLA, Optimizer
+from repro.exceptions import AlgorithmError
+from repro.quantum_info.pauli import PauliSumOp
+
+
+class VQEResult:
+    """Outcome of a VQE run."""
+
+    def __init__(self, eigenvalue, optimal_point, optimizer_result,
+                 evaluations):
+        self.eigenvalue = float(eigenvalue)
+        self.optimal_point = np.asarray(optimal_point, dtype=float)
+        self.optimizer_result = optimizer_result
+        self.evaluations = evaluations
+
+    def __repr__(self):
+        return (
+            f"VQEResult(eigenvalue={self.eigenvalue:.8f}, "
+            f"evaluations={self.evaluations})"
+        )
+
+
+class VQE:
+    """Minimal-but-complete VQE driver.
+
+    Args:
+        hamiltonian: :class:`PauliSumOp` observable to minimize.
+        ansatz: a :class:`VariationalForm`; defaults to a 2-rep RY ansatz.
+        optimizer: an :class:`Optimizer`; defaults to COBYLA.
+        mode: ``"exact"`` or ``"shots"`` expectation estimation.
+        shots / seed / noise_model: passed to the estimator.
+    """
+
+    def __init__(self, hamiltonian: PauliSumOp, ansatz: VariationalForm = None,
+                 optimizer: Optimizer = None, mode: str = "exact",
+                 shots: int = 2048, seed=None, noise_model=None):
+        self.hamiltonian = hamiltonian
+        self.ansatz = ansatz or ry_ansatz(hamiltonian.num_qubits, reps=2)
+        self.optimizer = optimizer or COBYLA(maxiter=500)
+        self.estimator = ExpectationEstimator(
+            hamiltonian, mode=mode, shots=shots, seed=seed,
+            noise_model=noise_model,
+        )
+        self.seed = seed
+
+    def energy(self, values) -> float:
+        """Objective: <H> at one parameter point."""
+        bound = self.ansatz.bind(values)
+        return self.estimator.estimate(bound)
+
+    def run(self, initial_point=None) -> VQEResult:
+        """Execute the hybrid optimization loop."""
+        num_parameters = self.ansatz.num_parameters
+        if num_parameters == 0:
+            raise AlgorithmError("ansatz has no parameters to optimize")
+        if initial_point is None:
+            rng = np.random.default_rng(self.seed)
+            initial_point = rng.uniform(-np.pi, np.pi, size=num_parameters)
+        initial_point = np.asarray(initial_point, dtype=float)
+        if initial_point.shape != (num_parameters,):
+            raise AlgorithmError(
+                f"initial point must have {num_parameters} entries"
+            )
+        outcome = self.optimizer.optimize(self.energy, initial_point)
+        return VQEResult(
+            outcome.fun, outcome.x, outcome, self.estimator.evaluations
+        )
+
+
+def exact_ground_energy(hamiltonian: PauliSumOp) -> float:
+    """Reference value by dense diagonalization."""
+    return hamiltonian.ground_state_energy()

@@ -1,0 +1,30 @@
+"""Terra-equivalent circuit layer: bits, registers, gates, and circuits."""
+
+from repro.circuit.bit import Clbit, Qubit
+from repro.circuit.circuitinstruction import CircuitInstruction
+from repro.circuit.gate import Gate
+from repro.circuit.instruction import Instruction
+from repro.circuit.measure import Barrier, Measure, Reset
+from repro.circuit.parameter import Parameter, ParameterExpression
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.circuit.random_circuit import random_circuit, random_clifford_t_circuit
+from repro.circuit.register import ClassicalRegister, QuantumRegister, Register
+
+__all__ = [
+    "Barrier",
+    "CircuitInstruction",
+    "ClassicalRegister",
+    "Clbit",
+    "Gate",
+    "Instruction",
+    "Measure",
+    "Parameter",
+    "ParameterExpression",
+    "QuantumCircuit",
+    "QuantumRegister",
+    "Qubit",
+    "Register",
+    "Reset",
+    "random_circuit",
+    "random_clifford_t_circuit",
+]

@@ -1,0 +1,65 @@
+"""Bit objects: the atomic wires of a quantum circuit.
+
+A :class:`Qubit` or :class:`Clbit` is identified by the register that owns it
+and its index within that register.  Bits are immutable and hashable so they
+can serve as dictionary keys in layouts and DAGs.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import CircuitError
+
+
+class Bit:
+    """A generic circuit bit, owned by a register at a fixed index."""
+
+    __slots__ = ("_register", "_index", "_hash")
+
+    def __init__(self, register, index):
+        if not isinstance(index, int):
+            raise CircuitError(f"bit index must be an int, got {type(index).__name__}")
+        if index < 0 or index >= register.size:
+            raise CircuitError(
+                f"index {index} out of range for register '{register.name}' "
+                f"of size {register.size}"
+            )
+        self._register = register
+        self._index = index
+        self._hash = hash((type(self).__name__, register.name, register.size, index))
+
+    @property
+    def register(self):
+        """The register this bit belongs to."""
+        return self._register
+
+    @property
+    def index(self) -> int:
+        """The index of this bit within its register."""
+        return self._index
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self._register.name}, {self._index})"
+
+    def __eq__(self, other):
+        if not isinstance(other, Bit):
+            return NotImplemented
+        return (
+            type(self) is type(other)
+            and self._register == other._register
+            and self._index == other._index
+        )
+
+    def __hash__(self):
+        return self._hash
+
+
+class Qubit(Bit):
+    """A quantum bit."""
+
+    __slots__ = ()
+
+
+class Clbit(Bit):
+    """A classical bit."""
+
+    __slots__ = ()

@@ -1,0 +1,39 @@
+"""A single entry in a circuit's instruction list."""
+
+from __future__ import annotations
+
+
+class CircuitInstruction:
+    """An operation bound to concrete qubits and clbits.
+
+    Supports tuple-style unpacking, ``op, qargs, cargs = item``, for
+    compatibility with the historical Qiskit data format the paper-era API
+    used.
+    """
+
+    __slots__ = ("operation", "qubits", "clbits")
+
+    def __init__(self, operation, qubits=(), clbits=()):
+        self.operation = operation
+        self.qubits = tuple(qubits)
+        self.clbits = tuple(clbits)
+
+    def __iter__(self):
+        yield self.operation
+        yield list(self.qubits)
+        yield list(self.clbits)
+
+    def __eq__(self, other):
+        if not isinstance(other, CircuitInstruction):
+            return NotImplemented
+        return (
+            self.operation == other.operation
+            and self.qubits == other.qubits
+            and self.clbits == other.clbits
+        )
+
+    def __repr__(self):
+        return (
+            f"CircuitInstruction({self.operation!r}, "
+            f"qubits={list(self.qubits)}, clbits={list(self.clbits)})"
+        )

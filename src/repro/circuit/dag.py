@@ -1,0 +1,166 @@
+"""Directed-acyclic-graph view of a circuit.
+
+The transpiler's analysis and routing passes (Sec. V-B) work on wire
+dependencies rather than the flat instruction list: two gates on disjoint
+qubits commute trivially, and a router consumes the *front layer* of gates
+whose predecessors have all been executed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+
+from repro.circuit.circuitinstruction import CircuitInstruction
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import CircuitError
+
+
+class DAGOpNode:
+    """One operation node in the DAG."""
+
+    __slots__ = ("node_id", "operation", "qubits", "clbits")
+
+    def __init__(self, node_id, operation, qubits, clbits):
+        self.node_id = node_id
+        self.operation = operation
+        self.qubits = tuple(qubits)
+        self.clbits = tuple(clbits)
+
+    @property
+    def name(self) -> str:
+        """Operation name."""
+        return self.operation.name
+
+    def __repr__(self):
+        return f"DAGOpNode({self.node_id}: {self.operation.name} {list(self.qubits)})"
+
+
+class DAGCircuit:
+    """Wire-dependency DAG over a circuit's operations."""
+
+    def __init__(self, circuit: QuantumCircuit):
+        self._circuit = circuit
+        self._counter = itertools.count()
+        self._nodes: dict[int, DAGOpNode] = {}
+        self._succ: dict[int, set[int]] = defaultdict(set)
+        self._pred: dict[int, set[int]] = defaultdict(set)
+        self._order: list[int] = []
+        last_on_wire: dict = {}
+        for item in circuit.data:
+            wires = list(item.qubits) + list(item.clbits)
+            if item.operation.condition is not None:
+                wires.extend(item.operation.condition[0])
+            node_id = next(self._counter)
+            node = DAGOpNode(node_id, item.operation, item.qubits, item.clbits)
+            self._nodes[node_id] = node
+            self._order.append(node_id)
+            for wire in wires:
+                prev = last_on_wire.get(wire)
+                if prev is not None and prev != node_id:
+                    self._succ[prev].add(node_id)
+                    self._pred[node_id].add(prev)
+                last_on_wire[wire] = node_id
+
+    # -- basic queries ---------------------------------------------------------
+
+    @property
+    def circuit(self) -> QuantumCircuit:
+        """The source circuit."""
+        return self._circuit
+
+    def op_nodes(self, name=None) -> list[DAGOpNode]:
+        """All operation nodes in topological (insertion) order."""
+        nodes = [self._nodes[i] for i in self._order if i in self._nodes]
+        if name is not None:
+            nodes = [n for n in nodes if n.operation.name == name]
+        return nodes
+
+    def successors(self, node: DAGOpNode) -> list[DAGOpNode]:
+        """Direct successors of ``node``."""
+        return [self._nodes[i] for i in sorted(self._succ[node.node_id])
+                if i in self._nodes]
+
+    def predecessors(self, node: DAGOpNode) -> list[DAGOpNode]:
+        """Direct predecessors of ``node``."""
+        return [self._nodes[i] for i in sorted(self._pred[node.node_id])
+                if i in self._nodes]
+
+    def front_layer(self) -> list[DAGOpNode]:
+        """Nodes with no unexecuted predecessors."""
+        return [
+            self._nodes[i]
+            for i in self._order
+            if i in self._nodes and not self._pred[i]
+        ]
+
+    def remove_op_node(self, node: DAGOpNode) -> None:
+        """Delete a node, splicing predecessors to successors."""
+        node_id = node.node_id
+        if node_id not in self._nodes:
+            raise CircuitError("node not in DAG")
+        preds = self._pred.pop(node_id, set())
+        succs = self._succ.pop(node_id, set())
+        for p in preds:
+            self._succ[p].discard(node_id)
+            self._succ[p] |= succs
+        for s in succs:
+            self._pred[s].discard(node_id)
+            self._pred[s] |= preds
+        del self._nodes[node_id]
+
+    def layers(self):
+        """Yield lists of nodes by ASAP level (like Fig. 1b columns)."""
+        level: dict[int, int] = {}
+        buckets: dict[int, list[DAGOpNode]] = defaultdict(list)
+        for node_id in self._order:
+            if node_id not in self._nodes:
+                continue
+            preds = self._pred[node_id]
+            lvl = max((level[p] for p in preds if p in level), default=-1) + 1
+            level[node_id] = lvl
+            buckets[lvl].append(self._nodes[node_id])
+        for lvl in sorted(buckets):
+            yield buckets[lvl]
+
+    def depth(self) -> int:
+        """Longest path length over op nodes (barriers excluded)."""
+        level: dict[int, int] = {}
+        depth = 0
+        for node_id in self._order:
+            if node_id not in self._nodes:
+                continue
+            node = self._nodes[node_id]
+            preds = self._pred[node_id]
+            lvl = max((level[p] for p in preds if p in level), default=0)
+            if node.operation.name != "barrier":
+                lvl += 1
+            level[node_id] = lvl
+            depth = max(depth, lvl)
+        return depth
+
+    def count_ops(self) -> dict:
+        """Histogram of op names."""
+        counts: dict = {}
+        for node in self.op_nodes():
+            counts[node.name] = counts.get(node.name, 0) + 1
+        return counts
+
+    def two_qubit_ops(self) -> list[DAGOpNode]:
+        """All 2-qubit gates (the CNOT-constraint carriers of Sec. II-B)."""
+        return [
+            n
+            for n in self.op_nodes()
+            if len(n.qubits) == 2 and n.operation.name != "barrier"
+        ]
+
+    def to_circuit(self) -> QuantumCircuit:
+        """Rebuild a flat circuit in topological order."""
+        fresh = self._circuit.copy_empty_like()
+        for node in self.op_nodes():
+            fresh.data.append(
+                CircuitInstruction(
+                    node.operation.copy(), list(node.qubits), list(node.clbits)
+                )
+            )
+        return fresh

@@ -1,0 +1,69 @@
+"""The :class:`Gate` base class — unitary instructions.
+
+Gates extend :class:`Instruction` with a dense unitary matrix.  Composite
+gates may leave ``_matrix`` unimplemented; ``to_matrix`` then assembles the
+unitary from the gate's definition recursively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.instruction import Instruction
+from repro.circuit.matrix_utils import apply_matrix
+from repro.exceptions import CircuitError
+
+
+class Gate(Instruction):
+    """A unitary operation on qubits only."""
+
+    def __init__(self, name, num_qubits, params=None, label=None):
+        super().__init__(name, num_qubits, 0, params=params, label=label)
+
+    def _matrix(self):
+        """Return the dense unitary, or None to derive it from the definition."""
+        return None
+
+    def to_matrix(self) -> np.ndarray:
+        """The gate's ``2**n x 2**n`` unitary in little-endian convention."""
+        if self.is_parameterized():
+            raise CircuitError(
+                f"gate '{self.name}' has unbound parameters; bind before to_matrix"
+            )
+        matrix = self._matrix()
+        if matrix is not None:
+            return np.asarray(matrix, dtype=complex)
+        definition = self.definition
+        if definition is None:
+            raise CircuitError(f"gate '{self.name}' has neither matrix nor definition")
+        dim = 2**self.num_qubits
+        unitary = np.eye(dim, dtype=complex)
+        for sub, qargs, _cargs in definition:
+            if not isinstance(sub, Gate):
+                raise CircuitError(
+                    f"definition of '{self.name}' contains non-unitary '{sub.name}'"
+                )
+            unitary = apply_matrix(unitary, sub.to_matrix(), list(qargs), self.num_qubits)
+        return unitary
+
+    def control(self, num_ctrl_qubits=1) -> "Gate":
+        """Return the controlled version of this gate.
+
+        The generic construction builds the controlled unitary matrix
+        directly; standard gates override with structural definitions where
+        one exists (e.g. ``x.control() -> cx``).
+        """
+        from repro.circuit.library.standard_gates import ControlledUnitaryGate
+
+        base = self
+        for _ in range(num_ctrl_qubits):
+            base = ControlledUnitaryGate(base)
+        return base
+
+    def power(self, exponent: float) -> "Gate":
+        """Return this gate raised to ``exponent`` via eigendecomposition."""
+        from repro.circuit.library.standard_gates import UnitaryGate
+        from scipy.linalg import fractional_matrix_power
+
+        matrix = fractional_matrix_power(self.to_matrix(), exponent)
+        return UnitaryGate(matrix, label=f"{self.name}^{exponent}")

@@ -1,0 +1,910 @@
+"""The standard gate library.
+
+Covers the Clifford+T set the paper highlights (H, T, CNOT — a universal
+library, Sec. II-A), the IBM QX elementary operations ``U(theta, phi, lambda)``
+and CNOT (Sec. II-B), the OpenQASM 2.0 ``qelib1.inc`` gates, and the
+two-qubit rotation gates used by the application layer (QAOA et al.).
+
+All matrices use the little-endian convention described in
+:mod:`repro.circuit.matrix_utils`; qargs[0] is the least-significant bit.
+Definitions are expressed as ``(gate, positions, ())`` tuples so the
+transpiler can unroll any gate down to the ``{u1, u2, u3, cx}`` basis.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+from repro.circuit.gate import Gate
+from repro.circuit.parameter import is_parameterized
+from repro.exceptions import CircuitError
+
+_SQRT2_INV = 1.0 / math.sqrt(2.0)
+
+
+def _f(value) -> float:
+    """Coerce a bound parameter to float."""
+    return float(value)
+
+
+def controlled_matrix(base: np.ndarray) -> np.ndarray:
+    """Add one control (as the least-significant qubit) to ``base``."""
+    dim = base.shape[0]
+    full = np.eye(2 * dim, dtype=complex)
+    full[1::2, 1::2] = base
+    return full
+
+
+# ---------------------------------------------------------------------------
+# One-qubit fixed gates
+# ---------------------------------------------------------------------------
+
+
+class IGate(Gate):
+    """Identity gate."""
+
+    def __init__(self):
+        super().__init__("id", 1)
+
+    def _matrix(self):
+        return np.eye(2, dtype=complex)
+
+    def _define(self):
+        return [(U3Gate(0.0, 0.0, 0.0), (0,), ())]
+
+    def inverse(self):
+        return IGate()
+
+
+class XGate(Gate):
+    """Pauli-X (NOT) gate."""
+
+    def __init__(self):
+        super().__init__("x", 1)
+
+    def _matrix(self):
+        return np.array([[0, 1], [1, 0]], dtype=complex)
+
+    def _define(self):
+        return [(U3Gate(math.pi, 0.0, math.pi), (0,), ())]
+
+    def inverse(self):
+        return XGate()
+
+    def control(self, num_ctrl_qubits=1):
+        if num_ctrl_qubits == 1:
+            return CXGate()
+        if num_ctrl_qubits == 2:
+            return CCXGate()
+        return super().control(num_ctrl_qubits)
+
+
+class YGate(Gate):
+    """Pauli-Y gate."""
+
+    def __init__(self):
+        super().__init__("y", 1)
+
+    def _matrix(self):
+        return np.array([[0, -1j], [1j, 0]], dtype=complex)
+
+    def _define(self):
+        return [(U3Gate(math.pi, math.pi / 2, math.pi / 2), (0,), ())]
+
+    def inverse(self):
+        return YGate()
+
+    def control(self, num_ctrl_qubits=1):
+        if num_ctrl_qubits == 1:
+            return CYGate()
+        return super().control(num_ctrl_qubits)
+
+
+class ZGate(Gate):
+    """Pauli-Z gate."""
+
+    def __init__(self):
+        super().__init__("z", 1)
+
+    def _matrix(self):
+        return np.array([[1, 0], [0, -1]], dtype=complex)
+
+    def _define(self):
+        return [(U1Gate(math.pi), (0,), ())]
+
+    def inverse(self):
+        return ZGate()
+
+    def control(self, num_ctrl_qubits=1):
+        if num_ctrl_qubits == 1:
+            return CZGate()
+        return super().control(num_ctrl_qubits)
+
+
+class HGate(Gate):
+    """Hadamard gate."""
+
+    def __init__(self):
+        super().__init__("h", 1)
+
+    def _matrix(self):
+        return _SQRT2_INV * np.array([[1, 1], [1, -1]], dtype=complex)
+
+    def _define(self):
+        return [(U2Gate(0.0, math.pi), (0,), ())]
+
+    def inverse(self):
+        return HGate()
+
+    def control(self, num_ctrl_qubits=1):
+        if num_ctrl_qubits == 1:
+            return CHGate()
+        return super().control(num_ctrl_qubits)
+
+
+class SGate(Gate):
+    """Phase gate S = sqrt(Z)."""
+
+    def __init__(self):
+        super().__init__("s", 1)
+
+    def _matrix(self):
+        return np.array([[1, 0], [0, 1j]], dtype=complex)
+
+    def _define(self):
+        return [(U1Gate(math.pi / 2), (0,), ())]
+
+    def inverse(self):
+        return SdgGate()
+
+
+class SdgGate(Gate):
+    """Adjoint of the S gate."""
+
+    def __init__(self):
+        super().__init__("sdg", 1)
+
+    def _matrix(self):
+        return np.array([[1, 0], [0, -1j]], dtype=complex)
+
+    def _define(self):
+        return [(U1Gate(-math.pi / 2), (0,), ())]
+
+    def inverse(self):
+        return SGate()
+
+
+class TGate(Gate):
+    """T gate — phase shift by pi/4 (the 'T' of Clifford+T)."""
+
+    def __init__(self):
+        super().__init__("t", 1)
+
+    def _matrix(self):
+        return np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]], dtype=complex)
+
+    def _define(self):
+        return [(U1Gate(math.pi / 4), (0,), ())]
+
+    def inverse(self):
+        return TdgGate()
+
+
+class TdgGate(Gate):
+    """Adjoint of the T gate."""
+
+    def __init__(self):
+        super().__init__("tdg", 1)
+
+    def _matrix(self):
+        return np.array([[1, 0], [0, cmath.exp(-1j * math.pi / 4)]], dtype=complex)
+
+    def _define(self):
+        return [(U1Gate(-math.pi / 4), (0,), ())]
+
+    def inverse(self):
+        return TGate()
+
+
+class SXGate(Gate):
+    """Square root of X."""
+
+    def __init__(self):
+        super().__init__("sx", 1)
+
+    def _matrix(self):
+        return 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+
+    def _define(self):
+        return [
+            (SdgGate(), (0,), ()),
+            (HGate(), (0,), ()),
+            (SdgGate(), (0,), ()),
+        ]
+
+    def inverse(self):
+        return SXdgGate()
+
+
+class SXdgGate(Gate):
+    """Adjoint of sqrt(X)."""
+
+    def __init__(self):
+        super().__init__("sxdg", 1)
+
+    def _matrix(self):
+        return 0.5 * np.array([[1 - 1j, 1 + 1j], [1 + 1j, 1 - 1j]], dtype=complex)
+
+    def _define(self):
+        return [
+            (SGate(), (0,), ()),
+            (HGate(), (0,), ()),
+            (SGate(), (0,), ()),
+        ]
+
+    def inverse(self):
+        return SXGate()
+
+
+# ---------------------------------------------------------------------------
+# One-qubit parameterized gates — the IBM QX elementary operations
+# ---------------------------------------------------------------------------
+
+
+class U3Gate(Gate):
+    """The generic IBM QX single-qubit gate U(theta, phi, lambda).
+
+    Euler decomposition Rz(phi) Ry(theta) Rz(lambda) up to global phase
+    (Sec. II-B of the paper).
+    """
+
+    def __init__(self, theta, phi, lam):
+        super().__init__("u3", 1, [theta, phi, lam])
+
+    def _matrix(self):
+        theta, phi, lam = (_f(p) for p in self.params)
+        cos = math.cos(theta / 2)
+        sin = math.sin(theta / 2)
+        return np.array(
+            [
+                [cos, -cmath.exp(1j * lam) * sin],
+                [cmath.exp(1j * phi) * sin, cmath.exp(1j * (phi + lam)) * cos],
+            ],
+            dtype=complex,
+        )
+
+    def inverse(self):
+        theta, phi, lam = self.params
+        return U3Gate(-theta, -lam, -phi)
+
+
+class UGate(U3Gate):
+    """Alias of :class:`U3Gate` under the modern name ``u``."""
+
+    def __init__(self, theta, phi, lam):
+        super().__init__(theta, phi, lam)
+        self._name = "u"
+
+    def inverse(self):
+        theta, phi, lam = self.params
+        return UGate(-theta, -lam, -phi)
+
+
+class U2Gate(Gate):
+    """Single-qubit gate u2(phi, lambda) = u3(pi/2, phi, lambda)."""
+
+    def __init__(self, phi, lam):
+        super().__init__("u2", 1, [phi, lam])
+
+    def _matrix(self):
+        phi, lam = (_f(p) for p in self.params)
+        return _SQRT2_INV * np.array(
+            [
+                [1, -cmath.exp(1j * lam)],
+                [cmath.exp(1j * phi), cmath.exp(1j * (phi + lam))],
+            ],
+            dtype=complex,
+        )
+
+    def _define(self):
+        phi, lam = self.params
+        return [(U3Gate(math.pi / 2, phi, lam), (0,), ())]
+
+    def inverse(self):
+        phi, lam = self.params
+        return U2Gate(-lam - math.pi, -phi + math.pi)
+
+
+class U1Gate(Gate):
+    """Diagonal phase gate u1(lambda) = diag(1, e^{i lambda})."""
+
+    def __init__(self, lam):
+        super().__init__("u1", 1, [lam])
+
+    def _matrix(self):
+        lam = _f(self.params[0])
+        return np.array([[1, 0], [0, cmath.exp(1j * lam)]], dtype=complex)
+
+    def _define(self):
+        lam = self.params[0]
+        return [(U3Gate(0.0, 0.0, lam), (0,), ())]
+
+    def inverse(self):
+        return U1Gate(-self.params[0])
+
+
+class PhaseGate(U1Gate):
+    """Alias of :class:`U1Gate` under the modern name ``p``."""
+
+    def __init__(self, lam):
+        super().__init__(lam)
+        self._name = "p"
+
+    def inverse(self):
+        return PhaseGate(-self.params[0])
+
+
+class RXGate(Gate):
+    """Rotation around the X axis by ``theta``."""
+
+    def __init__(self, theta):
+        super().__init__("rx", 1, [theta])
+
+    def _matrix(self):
+        theta = _f(self.params[0])
+        cos = math.cos(theta / 2)
+        sin = math.sin(theta / 2)
+        return np.array([[cos, -1j * sin], [-1j * sin, cos]], dtype=complex)
+
+    def _define(self):
+        theta = self.params[0]
+        return [(U3Gate(theta, -math.pi / 2, math.pi / 2), (0,), ())]
+
+    def inverse(self):
+        return RXGate(-self.params[0])
+
+    def control(self, num_ctrl_qubits=1):
+        if num_ctrl_qubits == 1:
+            return CRXGate(self.params[0])
+        return super().control(num_ctrl_qubits)
+
+
+class RYGate(Gate):
+    """Rotation around the Y axis by ``theta``."""
+
+    def __init__(self, theta):
+        super().__init__("ry", 1, [theta])
+
+    def _matrix(self):
+        theta = _f(self.params[0])
+        cos = math.cos(theta / 2)
+        sin = math.sin(theta / 2)
+        return np.array([[cos, -sin], [sin, cos]], dtype=complex)
+
+    def _define(self):
+        theta = self.params[0]
+        return [(U3Gate(theta, 0.0, 0.0), (0,), ())]
+
+    def inverse(self):
+        return RYGate(-self.params[0])
+
+    def control(self, num_ctrl_qubits=1):
+        if num_ctrl_qubits == 1:
+            return CRYGate(self.params[0])
+        return super().control(num_ctrl_qubits)
+
+
+class RZGate(Gate):
+    """Rotation around the Z axis by ``phi`` (traceless convention)."""
+
+    def __init__(self, phi):
+        super().__init__("rz", 1, [phi])
+
+    def _matrix(self):
+        phi = _f(self.params[0])
+        return np.array(
+            [[cmath.exp(-1j * phi / 2), 0], [0, cmath.exp(1j * phi / 2)]],
+            dtype=complex,
+        )
+
+    def _define(self):
+        # Equal to u1(phi) up to the global phase e^{-i phi/2}, which
+        # OpenQASM 2.0 semantics ignore.
+        phi = self.params[0]
+        return [(U1Gate(phi), (0,), ())]
+
+    def inverse(self):
+        return RZGate(-self.params[0])
+
+    def control(self, num_ctrl_qubits=1):
+        if num_ctrl_qubits == 1:
+            return CRZGate(self.params[0])
+        return super().control(num_ctrl_qubits)
+
+
+# ---------------------------------------------------------------------------
+# Two-qubit gates
+# ---------------------------------------------------------------------------
+
+
+class CXGate(Gate):
+    """Controlled-NOT; qargs are ``(control, target)``."""
+
+    def __init__(self):
+        super().__init__("cx", 2)
+
+    def _matrix(self):
+        return np.array(
+            [[1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0], [0, 1, 0, 0]],
+            dtype=complex,
+        )
+
+    def inverse(self):
+        return CXGate()
+
+
+class CYGate(Gate):
+    """Controlled-Y; qargs are ``(control, target)``."""
+
+    def __init__(self):
+        super().__init__("cy", 2)
+
+    def _matrix(self):
+        return controlled_matrix(YGate()._matrix())
+
+    def _define(self):
+        return [
+            (SdgGate(), (1,), ()),
+            (CXGate(), (0, 1), ()),
+            (SGate(), (1,), ()),
+        ]
+
+    def inverse(self):
+        return CYGate()
+
+
+class CZGate(Gate):
+    """Controlled-Z; symmetric in its two qubits."""
+
+    def __init__(self):
+        super().__init__("cz", 2)
+
+    def _matrix(self):
+        return np.diag([1, 1, 1, -1]).astype(complex)
+
+    def _define(self):
+        return [
+            (HGate(), (1,), ()),
+            (CXGate(), (0, 1), ()),
+            (HGate(), (1,), ()),
+        ]
+
+    def inverse(self):
+        return CZGate()
+
+
+class CHGate(Gate):
+    """Controlled-Hadamard; qargs are ``(control, target)``."""
+
+    def __init__(self):
+        super().__init__("ch", 2)
+
+    def _matrix(self):
+        return controlled_matrix(HGate()._matrix())
+
+    def _define(self):
+        # qelib1.inc decomposition.
+        return [
+            (HGate(), (1,), ()),
+            (SdgGate(), (1,), ()),
+            (CXGate(), (0, 1), ()),
+            (HGate(), (1,), ()),
+            (TGate(), (1,), ()),
+            (CXGate(), (0, 1), ()),
+            (TGate(), (1,), ()),
+            (HGate(), (1,), ()),
+            (SGate(), (1,), ()),
+            (XGate(), (1,), ()),
+            (SGate(), (0,), ()),
+        ]
+
+    def inverse(self):
+        return CHGate()
+
+
+class SwapGate(Gate):
+    """SWAP gate — three alternating CNOTs, as the paper notes (Sec. V-B)."""
+
+    def __init__(self):
+        super().__init__("swap", 2)
+
+    def _matrix(self):
+        return np.array(
+            [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]],
+            dtype=complex,
+        )
+
+    def _define(self):
+        return [
+            (CXGate(), (0, 1), ()),
+            (CXGate(), (1, 0), ()),
+            (CXGate(), (0, 1), ()),
+        ]
+
+    def inverse(self):
+        return SwapGate()
+
+
+class CRXGate(Gate):
+    """Controlled X rotation; qargs are ``(control, target)``."""
+
+    def __init__(self, theta):
+        super().__init__("crx", 2, [theta])
+
+    def _matrix(self):
+        return controlled_matrix(RXGate(self.params[0])._matrix())
+
+    def _define(self):
+        theta = self.params[0]
+        return [
+            (U1Gate(math.pi / 2), (1,), ()),
+            (CXGate(), (0, 1), ()),
+            (U3Gate(-theta / 2, 0.0, 0.0), (1,), ()),
+            (CXGate(), (0, 1), ()),
+            (U3Gate(theta / 2, -math.pi / 2, 0.0), (1,), ()),
+        ]
+
+    def inverse(self):
+        return CRXGate(-self.params[0])
+
+
+class CRYGate(Gate):
+    """Controlled Y rotation; qargs are ``(control, target)``."""
+
+    def __init__(self, theta):
+        super().__init__("cry", 2, [theta])
+
+    def _matrix(self):
+        return controlled_matrix(RYGate(self.params[0])._matrix())
+
+    def _define(self):
+        theta = self.params[0]
+        return [
+            (RYGate(theta / 2), (1,), ()),
+            (CXGate(), (0, 1), ()),
+            (RYGate(-theta / 2), (1,), ()),
+            (CXGate(), (0, 1), ()),
+        ]
+
+    def inverse(self):
+        return CRYGate(-self.params[0])
+
+
+class CRZGate(Gate):
+    """Controlled Z rotation; qargs are ``(control, target)``."""
+
+    def __init__(self, theta):
+        super().__init__("crz", 2, [theta])
+
+    def _matrix(self):
+        return controlled_matrix(RZGate(self.params[0])._matrix())
+
+    def _define(self):
+        theta = self.params[0]
+        return [
+            (U1Gate(theta / 2), (1,), ()),
+            (CXGate(), (0, 1), ()),
+            (U1Gate(-theta / 2), (1,), ()),
+            (CXGate(), (0, 1), ()),
+        ]
+
+    def inverse(self):
+        return CRZGate(-self.params[0])
+
+
+class CU1Gate(Gate):
+    """Controlled phase gate diag(1, 1, 1, e^{i lambda}); symmetric."""
+
+    def __init__(self, lam):
+        super().__init__("cu1", 2, [lam])
+
+    def _matrix(self):
+        lam = _f(self.params[0])
+        return np.diag([1, 1, 1, cmath.exp(1j * lam)]).astype(complex)
+
+    def _define(self):
+        lam = self.params[0]
+        return [
+            (U1Gate(lam / 2), (0,), ()),
+            (CXGate(), (0, 1), ()),
+            (U1Gate(-lam / 2), (1,), ()),
+            (CXGate(), (0, 1), ()),
+            (U1Gate(lam / 2), (1,), ()),
+        ]
+
+    def inverse(self):
+        return CU1Gate(-self.params[0])
+
+
+class CU3Gate(Gate):
+    """Controlled u3 gate; qargs are ``(control, target)``."""
+
+    def __init__(self, theta, phi, lam):
+        super().__init__("cu3", 2, [theta, phi, lam])
+
+    def _matrix(self):
+        theta, phi, lam = self.params
+        return controlled_matrix(U3Gate(theta, phi, lam)._matrix())
+
+    def _define(self):
+        theta, phi, lam = self.params
+        return [
+            (U1Gate((lam + phi) / 2), (0,), ()),
+            (U1Gate((lam - phi) / 2), (1,), ()),
+            (CXGate(), (0, 1), ()),
+            (U3Gate(-theta / 2, 0.0, -(phi + lam) / 2), (1,), ()),
+            (CXGate(), (0, 1), ()),
+            (U3Gate(theta / 2, phi, 0.0), (1,), ()),
+        ]
+
+    def inverse(self):
+        theta, phi, lam = self.params
+        return CU3Gate(-theta, -lam, -phi)
+
+
+class RZZGate(Gate):
+    """Two-qubit ZZ interaction exp(-i theta/2 Z⊗Z)."""
+
+    def __init__(self, theta):
+        super().__init__("rzz", 2, [theta])
+
+    def _matrix(self):
+        theta = _f(self.params[0])
+        plus = cmath.exp(1j * theta / 2)
+        minus = cmath.exp(-1j * theta / 2)
+        return np.diag([minus, plus, plus, minus]).astype(complex)
+
+    def _define(self):
+        theta = self.params[0]
+        return [
+            (CXGate(), (0, 1), ()),
+            (RZGate(theta), (1,), ()),
+            (CXGate(), (0, 1), ()),
+        ]
+
+    def inverse(self):
+        return RZZGate(-self.params[0])
+
+
+class RXXGate(Gate):
+    """Two-qubit XX interaction exp(-i theta/2 X⊗X)."""
+
+    def __init__(self, theta):
+        super().__init__("rxx", 2, [theta])
+
+    def _define(self):
+        theta = self.params[0]
+        return [
+            (HGate(), (0,), ()),
+            (HGate(), (1,), ()),
+            (RZZGate(theta), (0, 1), ()),
+            (HGate(), (0,), ()),
+            (HGate(), (1,), ()),
+        ]
+
+    def inverse(self):
+        return RXXGate(-self.params[0])
+
+
+class RYYGate(Gate):
+    """Two-qubit YY interaction exp(-i theta/2 Y⊗Y)."""
+
+    def __init__(self, theta):
+        super().__init__("ryy", 2, [theta])
+
+    def _define(self):
+        theta = self.params[0]
+        return [
+            (RXGate(math.pi / 2), (0,), ()),
+            (RXGate(math.pi / 2), (1,), ()),
+            (RZZGate(theta), (0, 1), ()),
+            (RXGate(-math.pi / 2), (0,), ()),
+            (RXGate(-math.pi / 2), (1,), ()),
+        ]
+
+    def inverse(self):
+        return RYYGate(-self.params[0])
+
+
+# ---------------------------------------------------------------------------
+# Three-qubit gates
+# ---------------------------------------------------------------------------
+
+
+class CCXGate(Gate):
+    """Toffoli gate; qargs are ``(control, control, target)``."""
+
+    def __init__(self):
+        super().__init__("ccx", 3)
+
+    def _matrix(self):
+        return controlled_matrix(controlled_matrix(XGate()._matrix()))
+
+    def _define(self):
+        # qelib1.inc Clifford+T decomposition (6 CNOTs, 7 T gates).
+        a, b, c = 0, 1, 2
+        return [
+            (HGate(), (c,), ()),
+            (CXGate(), (b, c), ()),
+            (TdgGate(), (c,), ()),
+            (CXGate(), (a, c), ()),
+            (TGate(), (c,), ()),
+            (CXGate(), (b, c), ()),
+            (TdgGate(), (c,), ()),
+            (CXGate(), (a, c), ()),
+            (TGate(), (b,), ()),
+            (TGate(), (c,), ()),
+            (HGate(), (c,), ()),
+            (CXGate(), (a, b), ()),
+            (TGate(), (a,), ()),
+            (TdgGate(), (b,), ()),
+            (CXGate(), (a, b), ()),
+        ]
+
+    def inverse(self):
+        return CCXGate()
+
+
+class CSwapGate(Gate):
+    """Fredkin gate; qargs are ``(control, target, target)``."""
+
+    def __init__(self):
+        super().__init__("cswap", 3)
+
+    def _matrix(self):
+        return controlled_matrix(SwapGate()._matrix())
+
+    def _define(self):
+        a, b, c = 0, 1, 2
+        return [
+            (CXGate(), (c, b), ()),
+            (CCXGate(), (a, b, c), ()),
+            (CXGate(), (c, b), ()),
+        ]
+
+    def inverse(self):
+        return CSwapGate()
+
+
+# ---------------------------------------------------------------------------
+# Arbitrary unitaries
+# ---------------------------------------------------------------------------
+
+
+class UnitaryGate(Gate):
+    """An arbitrary unitary supplied as a dense matrix."""
+
+    def __init__(self, matrix, label=None):
+        from repro.circuit.matrix_utils import is_unitary
+
+        matrix = np.asarray(matrix, dtype=complex)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise CircuitError("unitary matrix must be square")
+        dim = matrix.shape[0]
+        num_qubits = int(round(math.log2(dim)))
+        if 2**num_qubits != dim:
+            raise CircuitError(f"matrix dimension {dim} is not a power of two")
+        if not is_unitary(matrix, atol=1e-8):
+            raise CircuitError("matrix is not unitary")
+        super().__init__("unitary", num_qubits, label=label)
+        self._unitary = matrix
+
+    def _matrix(self):
+        return self._unitary
+
+    def inverse(self):
+        return UnitaryGate(self._unitary.conj().T, label=self.label)
+
+    def __eq__(self, other):
+        if not isinstance(other, UnitaryGate):
+            return NotImplemented
+        return self._unitary.shape == other._unitary.shape and np.allclose(
+            self._unitary, other._unitary
+        )
+
+
+class ControlledUnitaryGate(Gate):
+    """A generic single-control wrapper around any base gate."""
+
+    def __init__(self, base: Gate):
+        if base.is_parameterized():
+            raise CircuitError("cannot control a gate with unbound parameters")
+        super().__init__(f"c{base.name}", base.num_qubits + 1, list(base.params))
+        self._base = base
+
+    @property
+    def base_gate(self) -> Gate:
+        """The uncontrolled gate."""
+        return self._base
+
+    def _matrix(self):
+        return controlled_matrix(self._base.to_matrix())
+
+    def inverse(self):
+        return ControlledUnitaryGate(self._base.inverse())
+
+
+# ---------------------------------------------------------------------------
+# Registry — OpenQASM gate name -> constructor
+# ---------------------------------------------------------------------------
+
+STANDARD_GATES = {
+    "id": (IGate, 0, 1),
+    "u0": (lambda: IGate(), 0, 1),
+    "x": (XGate, 0, 1),
+    "y": (YGate, 0, 1),
+    "z": (ZGate, 0, 1),
+    "h": (HGate, 0, 1),
+    "s": (SGate, 0, 1),
+    "sdg": (SdgGate, 0, 1),
+    "t": (TGate, 0, 1),
+    "tdg": (TdgGate, 0, 1),
+    "sx": (SXGate, 0, 1),
+    "sxdg": (SXdgGate, 0, 1),
+    "u1": (U1Gate, 1, 1),
+    "p": (PhaseGate, 1, 1),
+    "u2": (U2Gate, 2, 1),
+    "u3": (U3Gate, 3, 1),
+    "u": (UGate, 3, 1),
+    "rx": (RXGate, 1, 1),
+    "ry": (RYGate, 1, 1),
+    "rz": (RZGate, 1, 1),
+    "cx": (CXGate, 0, 2),
+    "CX": (CXGate, 0, 2),
+    "cy": (CYGate, 0, 2),
+    "cz": (CZGate, 0, 2),
+    "ch": (CHGate, 0, 2),
+    "swap": (SwapGate, 0, 2),
+    "crx": (CRXGate, 1, 2),
+    "cry": (CRYGate, 1, 2),
+    "crz": (CRZGate, 1, 2),
+    "cu1": (CU1Gate, 1, 2),
+    "cp": (CU1Gate, 1, 2),
+    "cu3": (CU3Gate, 3, 2),
+    "rzz": (RZZGate, 1, 2),
+    "rxx": (RXXGate, 1, 2),
+    "ryy": (RYYGate, 1, 2),
+    "ccx": (CCXGate, 0, 3),
+    "cswap": (CSwapGate, 0, 3),
+}
+
+
+def get_standard_gate(name: str, params=()) -> Gate:
+    """Instantiate a standard gate by OpenQASM name.
+
+    Args:
+        name: gate mnemonic, e.g. ``"cx"`` or ``"u3"``.
+        params: sequence of parameters; its length must match the gate.
+
+    Raises:
+        CircuitError: for unknown names or wrong parameter counts.
+    """
+    if name not in STANDARD_GATES:
+        raise CircuitError(f"unknown standard gate '{name}'")
+    ctor, num_params, _num_qubits = STANDARD_GATES[name]
+    params = list(params)
+    if len(params) != num_params:
+        raise CircuitError(
+            f"gate '{name}' takes {num_params} parameter(s), got {len(params)}"
+        )
+    return ctor(*params)
+
+
+def standard_gate_num_qubits(name: str) -> int:
+    """Number of qubits the named standard gate acts on."""
+    if name not in STANDARD_GATES:
+        raise CircuitError(f"unknown standard gate '{name}'")
+    return STANDARD_GATES[name][2]

@@ -1,0 +1,94 @@
+"""Dense linear-algebra helpers shared by gates, simulators, and tests.
+
+Conventions (identical to Qiskit's little-endian ordering):
+
+* A computational-basis index ``x`` encodes qubit ``i`` in bit ``i`` of ``x``
+  (qubit 0 is the least-significant bit).
+* A ``k``-qubit gate matrix applied to qargs ``[q0, q1, ...]`` treats ``q0``
+  as the least-significant bit of the gate's own ``2**k`` index space.
+
+Note that the paper's Section V-A prints matrices in the big-endian textbook
+convention; the two differ only by a fixed qubit permutation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def apply_matrix(state, matrix, targets, num_qubits):
+    """Apply a ``2**k x 2**k`` matrix to ``targets`` of an ``num_qubits`` state.
+
+    Args:
+        state: ndarray of shape ``(2**num_qubits,)`` or ``(2**num_qubits, B)``
+            for a batch of ``B`` column vectors.
+        matrix: the gate matrix (``k = len(targets)`` qubits).
+        targets: qubit indices the matrix acts on; ``targets[0]`` is the
+            least-significant bit of the matrix's index space.
+        num_qubits: total number of qubits in ``state``.
+
+    Returns:
+        ndarray of the same shape as ``state``.
+    """
+    state = np.asarray(state)
+    n = num_qubits
+    k = len(targets)
+    batch_shape = state.shape[1:]
+    tensor = state.reshape((2,) * n + batch_shape)
+    mat = np.asarray(matrix, dtype=complex).reshape((2,) * (2 * k))
+
+    # Axis of qubit q in the reshaped state (C order: axis 0 = qubit n-1).
+    state_axes = [n - 1 - q for q in targets]
+    # Input axis of the matrix corresponding to target j.
+    mat_in_axes = [2 * k - 1 - j for j in range(k)]
+
+    result = np.tensordot(mat, tensor, axes=(mat_in_axes, state_axes))
+    # The matrix output axes now lead; move them back to the target slots.
+    src = [k - 1 - j for j in range(k)]
+    result = np.moveaxis(result, src, state_axes)
+    return result.reshape(state.shape)
+
+
+def embed_unitary(matrix, targets, num_qubits):
+    """Embed a ``k``-qubit unitary on ``targets`` into the full space.
+
+    Returns the ``2**num_qubits`` square matrix acting as ``matrix`` on the
+    target qubits and the identity elsewhere.
+    """
+    dim = 2**num_qubits
+    identity = np.eye(dim, dtype=complex)
+    return apply_matrix(identity, matrix, targets, num_qubits)
+
+
+def is_unitary(matrix, atol=1e-10) -> bool:
+    """Check whether ``matrix`` is unitary to tolerance ``atol``."""
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    product = matrix.conj().T @ matrix
+    return np.allclose(product, np.eye(matrix.shape[0]), atol=atol)
+
+
+def allclose_up_to_global_phase(a, b, atol=1e-8) -> bool:
+    """Compare two matrices or vectors ignoring an overall complex phase."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        return False
+    flat_a = a.ravel()
+    flat_b = b.ravel()
+    pivot = int(np.argmax(np.abs(flat_b)))
+    if abs(flat_b[pivot]) < atol:
+        return bool(np.allclose(a, b, atol=atol))
+    phase = flat_a[pivot] / flat_b[pivot]
+    if abs(abs(phase) - 1.0) > 1e-6:
+        return False
+    return bool(np.allclose(flat_a, phase * flat_b, atol=atol))
+
+
+def kron_all(matrices):
+    """Kronecker product of a sequence of matrices, left to right."""
+    result = np.array([[1.0 + 0.0j]])
+    for matrix in matrices:
+        result = np.kron(result, matrix)
+    return result

@@ -1,0 +1,39 @@
+"""Measurement, reset, and barrier instructions."""
+
+from __future__ import annotations
+
+from repro.circuit.instruction import Instruction
+
+
+class Measure(Instruction):
+    """Projective Z-basis measurement of one qubit into one clbit."""
+
+    def __init__(self):
+        super().__init__("measure", 1, 1)
+
+    def inverse(self):
+        from repro.exceptions import CircuitError
+
+        raise CircuitError("measurement is not invertible")
+
+
+class Reset(Instruction):
+    """Reset a qubit to |0> (measure and conditionally flip)."""
+
+    def __init__(self):
+        super().__init__("reset", 1, 0)
+
+    def inverse(self):
+        from repro.exceptions import CircuitError
+
+        raise CircuitError("reset is not invertible")
+
+
+class Barrier(Instruction):
+    """A directive preventing the transpiler from reordering across it."""
+
+    def __init__(self, num_qubits):
+        super().__init__("barrier", num_qubits, 0)
+
+    def inverse(self):
+        return Barrier(self.num_qubits)

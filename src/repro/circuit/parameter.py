@@ -1,0 +1,180 @@
+"""Symbolic circuit parameters.
+
+:class:`Parameter` is a named free symbol; arithmetic on parameters builds
+:class:`ParameterExpression` trees that can later be bound to numeric values.
+This is the minimal machinery needed for variational algorithms (VQE, QAOA)
+where one template circuit is evaluated at many parameter points.
+"""
+
+from __future__ import annotations
+
+import math
+import uuid
+
+from repro.exceptions import CircuitError
+
+
+class ParameterExpression:
+    """An expression over :class:`Parameter` symbols and constants.
+
+    Internally the expression is a closure ``fn(binding) -> float`` plus the
+    set of free parameters, which keeps the implementation small while
+    supporting +, -, *, /, negation, and ``sin``/``cos``/``exp`` composition.
+    """
+
+    __slots__ = ("_parameters", "_fn", "_repr")
+
+    def __init__(self, parameters, fn, repr_str):
+        self._parameters = frozenset(parameters)
+        self._fn = fn
+        self._repr = repr_str
+
+    @property
+    def parameters(self) -> frozenset:
+        """The free parameters appearing in this expression."""
+        return self._parameters
+
+    def bind(self, binding: dict) -> float | "ParameterExpression":
+        """Substitute values for parameters.
+
+        Args:
+            binding: mapping from :class:`Parameter` to numeric value.  May
+                bind a superset or subset of this expression's parameters.
+
+        Returns:
+            A float if every free parameter is bound, otherwise a new
+            expression over the remaining free parameters.
+        """
+        missing = self._parameters - set(binding)
+        if not missing:
+            return float(self._fn(binding))
+        captured = dict(binding)
+        remaining = missing
+
+        def fn(more):
+            merged = dict(captured)
+            merged.update(more)
+            return self._fn(merged)
+
+        return ParameterExpression(remaining, fn, f"bind({self._repr})")
+
+    # -- arithmetic ---------------------------------------------------------
+
+    @staticmethod
+    def _coerce(value):
+        if isinstance(value, ParameterExpression):
+            return value
+        if isinstance(value, (int, float)):
+            const = float(value)
+            return ParameterExpression((), lambda _b, c=const: c, repr(value))
+        return None
+
+    def _binary(self, other, op, sym, reflected=False):
+        other = self._coerce(other)
+        if other is None:
+            return NotImplemented
+        left, right = (other, self) if reflected else (self, other)
+        return ParameterExpression(
+            left._parameters | right._parameters,
+            lambda b: op(left._fn(b), right._fn(b)),
+            f"({left._repr} {sym} {right._repr})",
+        )
+
+    def __add__(self, other):
+        return self._binary(other, lambda a, b: a + b, "+")
+
+    def __radd__(self, other):
+        return self._binary(other, lambda a, b: a + b, "+", reflected=True)
+
+    def __sub__(self, other):
+        return self._binary(other, lambda a, b: a - b, "-")
+
+    def __rsub__(self, other):
+        return self._binary(other, lambda a, b: a - b, "-", reflected=True)
+
+    def __mul__(self, other):
+        return self._binary(other, lambda a, b: a * b, "*")
+
+    def __rmul__(self, other):
+        return self._binary(other, lambda a, b: a * b, "*", reflected=True)
+
+    def __truediv__(self, other):
+        return self._binary(other, lambda a, b: a / b, "/")
+
+    def __rtruediv__(self, other):
+        return self._binary(other, lambda a, b: a / b, "/", reflected=True)
+
+    def __neg__(self):
+        return ParameterExpression(
+            self._parameters, lambda b: -self._fn(b), f"(-{self._repr})"
+        )
+
+    def sin(self):
+        """Return ``sin`` of this expression."""
+        return ParameterExpression(
+            self._parameters, lambda b: math.sin(self._fn(b)), f"sin({self._repr})"
+        )
+
+    def cos(self):
+        """Return ``cos`` of this expression."""
+        return ParameterExpression(
+            self._parameters, lambda b: math.cos(self._fn(b)), f"cos({self._repr})"
+        )
+
+    def __float__(self):
+        if self._parameters:
+            names = sorted(p.name for p in self._parameters)
+            raise CircuitError(
+                f"expression has unbound parameters {names}; bind them first"
+            )
+        return float(self._fn({}))
+
+    def __repr__(self):
+        return self._repr
+
+    def __str__(self):
+        return self._repr
+
+
+class Parameter(ParameterExpression):
+    """A named free symbol usable as a gate angle."""
+
+    __slots__ = ("_name", "_uuid")
+
+    def __init__(self, name: str):
+        if not isinstance(name, str) or not name:
+            raise CircuitError("parameter name must be a non-empty string")
+        self._name = name
+        self._uuid = uuid.uuid4()
+        super().__init__((self,), lambda b: b[self], name)
+
+    @property
+    def name(self) -> str:
+        """The symbol's name."""
+        return self._name
+
+    def __eq__(self, other):
+        if not isinstance(other, Parameter):
+            return NotImplemented
+        return self._uuid == other._uuid
+
+    def __hash__(self):
+        return hash(self._uuid)
+
+    def __repr__(self):
+        return f"Parameter({self._name})"
+
+    def __str__(self):
+        return self._name
+
+
+def parameter_value(value) -> float:
+    """Coerce a gate parameter to float, raising on unbound symbols."""
+    if isinstance(value, ParameterExpression):
+        return float(value)
+    return float(value)
+
+
+def is_parameterized(value) -> bool:
+    """Return True when ``value`` contains unbound parameters."""
+    return isinstance(value, ParameterExpression) and bool(value.parameters)

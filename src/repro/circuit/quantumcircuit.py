@@ -1,0 +1,701 @@
+"""The :class:`QuantumCircuit` — the central user-facing object.
+
+Mirrors the API the paper demonstrates in Section IV::
+
+    q = QuantumRegister(4, 'q')
+    circ = QuantumCircuit(q)
+    circ.h(q[2])
+    circ.cx(q[2], q[3])
+    ...
+    measured = circ + measurement
+
+plus the analysis and transformation methods (depth, count_ops, inverse,
+compose, parameter binding) that the transpiler and algorithm layers build
+on.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.circuit.bit import Clbit, Qubit
+from repro.circuit.circuitinstruction import CircuitInstruction
+from repro.circuit.gate import Gate
+from repro.circuit.instruction import Instruction
+from repro.circuit.library import standard_gates as sg
+from repro.circuit.measure import Barrier, Measure, Reset
+from repro.circuit.parameter import ParameterExpression
+from repro.circuit.register import ClassicalRegister, QuantumRegister, Register
+from repro.exceptions import CircuitError
+
+
+class QuantumCircuit:
+    """An ordered list of instructions over quantum and classical registers."""
+
+    _name_counter = itertools.count()
+
+    def __init__(self, *regs, name=None):
+        if name is None:
+            name = f"circuit-{next(QuantumCircuit._name_counter)}"
+        self.name = name
+        self.qregs: list[QuantumRegister] = []
+        self.cregs: list[ClassicalRegister] = []
+        self._qubits: list[Qubit] = []
+        self._clbits: list[Clbit] = []
+        self._qubit_indices: dict[Qubit, int] = {}
+        self._clbit_indices: dict[Clbit, int] = {}
+        self.data: list[CircuitInstruction] = []
+
+        # Integer shorthand: QuantumCircuit(3) or QuantumCircuit(3, 2).
+        if regs and all(isinstance(reg, int) for reg in regs):
+            if len(regs) > 2:
+                raise CircuitError(
+                    "integer form takes at most (num_qubits, num_clbits)"
+                )
+            if regs[0] > 0:
+                self.add_register(QuantumRegister(regs[0], "q"))
+            if len(regs) == 2 and regs[1] > 0:
+                self.add_register(ClassicalRegister(regs[1], "c"))
+        else:
+            for reg in regs:
+                self.add_register(reg)
+
+    # -- registers & bits ----------------------------------------------------
+
+    def add_register(self, register: Register) -> None:
+        """Add a quantum or classical register to the circuit."""
+        if isinstance(register, QuantumRegister):
+            if any(existing.name == register.name for existing in self.qregs):
+                raise CircuitError(f"duplicate register name '{register.name}'")
+            self.qregs.append(register)
+            for bit in register:
+                self._qubit_indices[bit] = len(self._qubits)
+                self._qubits.append(bit)
+        elif isinstance(register, ClassicalRegister):
+            if any(existing.name == register.name for existing in self.cregs):
+                raise CircuitError(f"duplicate register name '{register.name}'")
+            self.cregs.append(register)
+            for bit in register:
+                self._clbit_indices[bit] = len(self._clbits)
+                self._clbits.append(bit)
+        else:
+            raise CircuitError(f"expected a register, got {type(register).__name__}")
+
+    @property
+    def qubits(self) -> list[Qubit]:
+        """All qubits, in register-addition order."""
+        return list(self._qubits)
+
+    @property
+    def clbits(self) -> list[Clbit]:
+        """All classical bits, in register-addition order."""
+        return list(self._clbits)
+
+    @property
+    def num_qubits(self) -> int:
+        """Total number of qubits."""
+        return len(self._qubits)
+
+    @property
+    def num_clbits(self) -> int:
+        """Total number of classical bits."""
+        return len(self._clbits)
+
+    def find_bit(self, bit) -> int:
+        """Return the flat index of a qubit or clbit in this circuit."""
+        if isinstance(bit, Qubit):
+            try:
+                return self._qubit_indices[bit]
+            except KeyError:
+                raise CircuitError(f"{bit!r} is not in this circuit") from None
+        if isinstance(bit, Clbit):
+            try:
+                return self._clbit_indices[bit]
+            except KeyError:
+                raise CircuitError(f"{bit!r} is not in this circuit") from None
+        raise CircuitError(f"expected a bit, got {type(bit).__name__}")
+
+    # -- argument resolution ---------------------------------------------------
+
+    def _resolve_qargs(self, spec) -> list[Qubit]:
+        """Flatten a qubit specifier into a list of qubits of this circuit."""
+        if isinstance(spec, Qubit):
+            self.find_bit(spec)
+            return [spec]
+        if isinstance(spec, int):
+            if spec < 0 or spec >= len(self._qubits):
+                raise CircuitError(f"qubit index {spec} out of range")
+            return [self._qubits[spec]]
+        if isinstance(spec, QuantumRegister):
+            return list(spec)
+        if isinstance(spec, (list, tuple, range)):
+            resolved = []
+            for item in spec:
+                resolved.extend(self._resolve_qargs(item))
+            return resolved
+        if isinstance(spec, slice):
+            return self._qubits[spec]
+        raise CircuitError(f"cannot interpret {spec!r} as qubits")
+
+    def _resolve_cargs(self, spec) -> list[Clbit]:
+        """Flatten a clbit specifier into a list of clbits of this circuit."""
+        if isinstance(spec, Clbit):
+            self.find_bit(spec)
+            return [spec]
+        if isinstance(spec, int):
+            if spec < 0 or spec >= len(self._clbits):
+                raise CircuitError(f"clbit index {spec} out of range")
+            return [self._clbits[spec]]
+        if isinstance(spec, ClassicalRegister):
+            return list(spec)
+        if isinstance(spec, (list, tuple, range)):
+            resolved = []
+            for item in spec:
+                resolved.extend(self._resolve_cargs(item))
+            return resolved
+        if isinstance(spec, slice):
+            return self._clbits[spec]
+        raise CircuitError(f"cannot interpret {spec!r} as clbits")
+
+    # -- appending ------------------------------------------------------------
+
+    def append(self, instruction: Instruction, qargs=(), cargs=()) -> None:
+        """Append an instruction, broadcasting register arguments.
+
+        Broadcasting follows OpenQASM semantics: a 1-qubit gate applied to a
+        whole register is applied to each of its qubits; a multi-qubit gate
+        given equal-length bit lists is applied position-wise.
+        """
+        if not isinstance(instruction, Instruction):
+            raise CircuitError(
+                f"expected an Instruction, got {type(instruction).__name__}"
+            )
+        qarg_groups = [self._resolve_qargs(arg) for arg in qargs]
+        carg_groups = [self._resolve_cargs(arg) for arg in cargs]
+        for qubits, clbits in self._broadcast(
+            instruction, qarg_groups, carg_groups
+        ):
+            self._check_dups(qubits)
+            self.data.append(CircuitInstruction(instruction, qubits, clbits))
+
+    def _broadcast(self, instruction, qarg_groups, carg_groups):
+        """Yield concrete (qubits, clbits) applications for one append call."""
+        expected_q = instruction.num_qubits
+        expected_c = instruction.num_clbits
+        if instruction.name == "barrier":
+            flat = [bit for group in qarg_groups for bit in group]
+            yield flat, []
+            return
+        lengths = {len(group) for group in qarg_groups + carg_groups}
+        lengths.discard(1)
+        if len(lengths) > 1:
+            raise CircuitError(
+                f"cannot broadcast arguments of mismatched lengths {sorted(lengths)}"
+            )
+        repeat = lengths.pop() if lengths else 1
+        if len(qarg_groups) != expected_q:
+            # Allow the flat form: append(gate, [q0, q1]) for a 2-qubit gate.
+            flat = [bit for group in qarg_groups for bit in group]
+            flat_c = [bit for group in carg_groups for bit in group]
+            if len(flat) == expected_q and len(flat_c) == expected_c:
+                yield flat, flat_c
+                return
+            raise CircuitError(
+                f"'{instruction.name}' expects {expected_q} qubit argument(s), "
+                f"got {len(qarg_groups)}"
+            )
+        if len(carg_groups) != expected_c:
+            raise CircuitError(
+                f"'{instruction.name}' expects {expected_c} clbit argument(s), "
+                f"got {len(carg_groups)}"
+            )
+        for i in range(repeat):
+            qubits = [
+                group[0] if len(group) == 1 else group[i] for group in qarg_groups
+            ]
+            clbits = [
+                group[0] if len(group) == 1 else group[i] for group in carg_groups
+            ]
+            yield qubits, clbits
+
+    @staticmethod
+    def _check_dups(qubits):
+        if len(set(qubits)) != len(qubits):
+            raise CircuitError(f"duplicate qubit arguments: {qubits}")
+
+    # -- standard-gate builder methods ----------------------------------------
+
+    def i(self, qubit):
+        """Apply the identity gate."""
+        self.append(sg.IGate(), [qubit])
+
+    id = i
+
+    def x(self, qubit):
+        """Apply a Pauli-X gate."""
+        self.append(sg.XGate(), [qubit])
+
+    def y(self, qubit):
+        """Apply a Pauli-Y gate."""
+        self.append(sg.YGate(), [qubit])
+
+    def z(self, qubit):
+        """Apply a Pauli-Z gate."""
+        self.append(sg.ZGate(), [qubit])
+
+    def h(self, qubit):
+        """Apply a Hadamard gate."""
+        self.append(sg.HGate(), [qubit])
+
+    def s(self, qubit):
+        """Apply an S gate."""
+        self.append(sg.SGate(), [qubit])
+
+    def sdg(self, qubit):
+        """Apply an S-dagger gate."""
+        self.append(sg.SdgGate(), [qubit])
+
+    def t(self, qubit):
+        """Apply a T gate."""
+        self.append(sg.TGate(), [qubit])
+
+    def tdg(self, qubit):
+        """Apply a T-dagger gate."""
+        self.append(sg.TdgGate(), [qubit])
+
+    def sx(self, qubit):
+        """Apply a sqrt(X) gate."""
+        self.append(sg.SXGate(), [qubit])
+
+    def sxdg(self, qubit):
+        """Apply a sqrt(X)-dagger gate."""
+        self.append(sg.SXdgGate(), [qubit])
+
+    def rx(self, theta, qubit):
+        """Apply an X rotation."""
+        self.append(sg.RXGate(theta), [qubit])
+
+    def ry(self, theta, qubit):
+        """Apply a Y rotation."""
+        self.append(sg.RYGate(theta), [qubit])
+
+    def rz(self, phi, qubit):
+        """Apply a Z rotation."""
+        self.append(sg.RZGate(phi), [qubit])
+
+    def u1(self, lam, qubit):
+        """Apply a u1 phase gate."""
+        self.append(sg.U1Gate(lam), [qubit])
+
+    def p(self, lam, qubit):
+        """Apply a phase gate (alias of u1)."""
+        self.append(sg.PhaseGate(lam), [qubit])
+
+    def u2(self, phi, lam, qubit):
+        """Apply a u2 gate."""
+        self.append(sg.U2Gate(phi, lam), [qubit])
+
+    def u3(self, theta, phi, lam, qubit):
+        """Apply the generic single-qubit gate u3."""
+        self.append(sg.U3Gate(theta, phi, lam), [qubit])
+
+    def u(self, theta, phi, lam, qubit):
+        """Apply the generic single-qubit gate (modern name)."""
+        self.append(sg.UGate(theta, phi, lam), [qubit])
+
+    def cx(self, control, target):
+        """Apply a CNOT gate."""
+        self.append(sg.CXGate(), [control, target])
+
+    cnot = cx
+
+    def cy(self, control, target):
+        """Apply a controlled-Y gate."""
+        self.append(sg.CYGate(), [control, target])
+
+    def cz(self, control, target):
+        """Apply a controlled-Z gate."""
+        self.append(sg.CZGate(), [control, target])
+
+    def ch(self, control, target):
+        """Apply a controlled-Hadamard gate."""
+        self.append(sg.CHGate(), [control, target])
+
+    def swap(self, qubit1, qubit2):
+        """Apply a SWAP gate."""
+        self.append(sg.SwapGate(), [qubit1, qubit2])
+
+    def crx(self, theta, control, target):
+        """Apply a controlled X rotation."""
+        self.append(sg.CRXGate(theta), [control, target])
+
+    def cry(self, theta, control, target):
+        """Apply a controlled Y rotation."""
+        self.append(sg.CRYGate(theta), [control, target])
+
+    def crz(self, theta, control, target):
+        """Apply a controlled Z rotation."""
+        self.append(sg.CRZGate(theta), [control, target])
+
+    def cu1(self, lam, control, target):
+        """Apply a controlled phase gate."""
+        self.append(sg.CU1Gate(lam), [control, target])
+
+    cp = cu1
+
+    def cu3(self, theta, phi, lam, control, target):
+        """Apply a controlled u3 gate."""
+        self.append(sg.CU3Gate(theta, phi, lam), [control, target])
+
+    def rzz(self, theta, qubit1, qubit2):
+        """Apply a ZZ interaction."""
+        self.append(sg.RZZGate(theta), [qubit1, qubit2])
+
+    def rxx(self, theta, qubit1, qubit2):
+        """Apply an XX interaction."""
+        self.append(sg.RXXGate(theta), [qubit1, qubit2])
+
+    def ryy(self, theta, qubit1, qubit2):
+        """Apply a YY interaction."""
+        self.append(sg.RYYGate(theta), [qubit1, qubit2])
+
+    def ccx(self, control1, control2, target):
+        """Apply a Toffoli gate."""
+        self.append(sg.CCXGate(), [control1, control2, target])
+
+    toffoli = ccx
+
+    def cswap(self, control, target1, target2):
+        """Apply a Fredkin gate."""
+        self.append(sg.CSwapGate(), [control, target1, target2])
+
+    fredkin = cswap
+
+    def unitary(self, matrix, qubits, label=None):
+        """Apply an arbitrary unitary matrix to ``qubits``."""
+        gate = sg.UnitaryGate(matrix, label=label)
+        self.append(gate, [qubits])
+
+    def initialize(self, state, qubits=None):
+        """Prepare an arbitrary state on ``qubits`` (must be in |0...0>).
+
+        Uses Möttönen state preparation; the result matches ``state`` up to
+        global phase.
+        """
+        from repro.synthesis.state_preparation import initialize as _init
+
+        _init(self, state, qubits)
+
+    # -- non-unitary operations -------------------------------------------------
+
+    def measure(self, qubit, clbit):
+        """Measure ``qubit`` into ``clbit`` (broadcasts over registers)."""
+        self.append(Measure(), [qubit], [clbit])
+
+    def measure_all(self, add_register=True):
+        """Measure every qubit; adds a ``meas`` register unless told not to.
+
+        When ``add_register`` is False the circuit must already contain at
+        least ``num_qubits`` classical bits, which receive the results in
+        order.
+        """
+        if add_register:
+            meas = ClassicalRegister(self.num_qubits, "meas")
+            self.add_register(meas)
+            targets = list(meas)
+        else:
+            if self.num_clbits < self.num_qubits:
+                raise CircuitError("not enough classical bits to measure into")
+            targets = self._clbits[: self.num_qubits]
+        self.barrier()
+        for qubit, clbit in zip(self._qubits, targets):
+            self.append(Measure(), [qubit], [clbit])
+
+    def reset(self, qubit):
+        """Reset ``qubit`` to |0> (broadcasts over registers)."""
+        self.append(Reset(), [qubit])
+
+    def barrier(self, *qargs):
+        """Insert a barrier over the given qubits (all qubits if none)."""
+        if not qargs:
+            qubits = list(self._qubits)
+        else:
+            qubits = []
+            for arg in qargs:
+                qubits.extend(self._resolve_qargs(arg))
+        if qubits:
+            self.data.append(CircuitInstruction(Barrier(len(qubits)), qubits, []))
+
+    # -- composition ------------------------------------------------------------
+
+    def compose(self, other: "QuantumCircuit", qubits=None, clbits=None,
+                front=False, inplace=False):
+        """Append ``other``'s instructions onto this circuit.
+
+        Args:
+            other: the circuit to splice in.
+            qubits: qubits of ``self`` that ``other``'s qubits map onto
+                (defaults to the first ``other.num_qubits`` qubits).
+            clbits: same for classical bits.
+            front: if True, insert before the existing instructions.
+            inplace: if True, modify ``self``; otherwise return a new circuit.
+
+        Returns:
+            The composed circuit (None when ``inplace``).
+        """
+        target = self if inplace else self.copy()
+        if qubits is None:
+            qubit_map_list = target._qubits[: other.num_qubits]
+        else:
+            qubit_map_list = target._resolve_qargs(qubits)
+        if clbits is None:
+            clbit_map_list = target._clbits[: other.num_clbits]
+        else:
+            clbit_map_list = target._resolve_cargs(clbits)
+        if len(qubit_map_list) < other.num_qubits:
+            raise CircuitError(
+                f"cannot compose a {other.num_qubits}-qubit circuit onto "
+                f"{len(qubit_map_list)} qubit(s)"
+            )
+        if len(clbit_map_list) < other.num_clbits:
+            raise CircuitError(
+                f"cannot compose a circuit with {other.num_clbits} clbits onto "
+                f"{len(clbit_map_list)} clbit(s)"
+            )
+        qubit_map = dict(zip(other._qubits, qubit_map_list))
+        clbit_map = dict(zip(other._clbits, clbit_map_list))
+        spliced = [
+            CircuitInstruction(
+                item.operation.copy(),
+                [qubit_map[q] for q in item.qubits],
+                [clbit_map[c] for c in item.clbits],
+            )
+            for item in other.data
+        ]
+        if front:
+            target.data = spliced + target.data
+        else:
+            target.data.extend(spliced)
+        if not inplace:
+            return target
+        return None
+
+    def __add__(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Concatenate two circuits, unioning their registers (paper Sec. IV)."""
+        if not isinstance(other, QuantumCircuit):
+            return NotImplemented
+        combined = QuantumCircuit(name=f"{self.name}+{other.name}")
+        for reg in self.qregs + other.qregs:
+            if reg not in combined.qregs:
+                combined.add_register(reg)
+        for reg in self.cregs + other.cregs:
+            if reg not in combined.cregs:
+                combined.add_register(reg)
+        for item in self.data + other.data:
+            combined.data.append(
+                CircuitInstruction(
+                    item.operation.copy(), list(item.qubits), list(item.clbits)
+                )
+            )
+        return combined
+
+    def copy(self, name=None) -> "QuantumCircuit":
+        """Return a copy sharing registers but with an independent data list."""
+        fresh = QuantumCircuit(name=name or self.name)
+        for reg in self.qregs:
+            fresh.add_register(reg)
+        for reg in self.cregs:
+            fresh.add_register(reg)
+        fresh.data = [
+            CircuitInstruction(
+                item.operation.copy(), list(item.qubits), list(item.clbits)
+            )
+            for item in self.data
+        ]
+        return fresh
+
+    def copy_empty_like(self, name=None) -> "QuantumCircuit":
+        """Return an empty circuit with the same registers."""
+        fresh = QuantumCircuit(name=name or self.name)
+        for reg in self.qregs:
+            fresh.add_register(reg)
+        for reg in self.cregs:
+            fresh.add_register(reg)
+        return fresh
+
+    def inverse(self) -> "QuantumCircuit":
+        """Return the adjoint circuit (reversed order, inverted gates)."""
+        inverted = self.copy_empty_like(name=f"{self.name}_dg")
+        for item in reversed(self.data):
+            inverted.data.append(
+                CircuitInstruction(
+                    item.operation.inverse(), list(item.qubits), list(item.clbits)
+                )
+            )
+        return inverted
+
+    def repeat(self, reps: int) -> "QuantumCircuit":
+        """Return this circuit repeated ``reps`` times."""
+        if reps < 0:
+            raise CircuitError("repetition count must be non-negative")
+        repeated = self.copy_empty_like(name=f"{self.name}**{reps}")
+        for _ in range(reps):
+            repeated.compose(self, qubits=repeated._qubits,
+                             clbits=repeated._clbits, inplace=True)
+        return repeated
+
+    def to_gate(self, label=None) -> Gate:
+        """Convert a unitary-only circuit into a composite :class:`Gate`."""
+        qubit_position = {qubit: i for i, qubit in enumerate(self._qubits)}
+        definition = []
+        for item in self.data:
+            op = item.operation
+            if op.name == "barrier":
+                continue
+            if not isinstance(op, Gate):
+                raise CircuitError(
+                    f"cannot convert to gate: '{op.name}' is not unitary"
+                )
+            positions = tuple(qubit_position[q] for q in item.qubits)
+            definition.append((op.copy(), positions, ()))
+        gate = Gate(self.name, self.num_qubits, label=label)
+        gate._definition = definition
+        return gate
+
+    # -- parameters -------------------------------------------------------------
+
+    @property
+    def parameters(self) -> set:
+        """The set of unbound parameters appearing in the circuit."""
+        found = set()
+        for item in self.data:
+            for param in item.operation.params:
+                if isinstance(param, ParameterExpression):
+                    found |= param.parameters
+        return found
+
+    def bind_parameters(self, binding) -> "QuantumCircuit":
+        """Return a copy with parameters substituted.
+
+        Args:
+            binding: either a dict ``{Parameter: value}`` or a sequence of
+                values matched to ``sorted(parameters, key=name)``.
+        """
+        if not isinstance(binding, dict):
+            ordered = sorted(self.parameters, key=lambda p: p.name)
+            values = list(binding)
+            if len(values) != len(ordered):
+                raise CircuitError(
+                    f"expected {len(ordered)} values, got {len(values)}"
+                )
+            binding = dict(zip(ordered, values))
+        bound = self.copy_empty_like()
+        for item in self.data:
+            op = item.operation
+            if op.is_parameterized():
+                op = op.bind_parameters(binding)
+            else:
+                op = op.copy()
+            bound.data.append(
+                CircuitInstruction(op, list(item.qubits), list(item.clbits))
+            )
+        return bound
+
+    assign_parameters = bind_parameters
+
+    # -- analysis -----------------------------------------------------------------
+
+    def size(self) -> int:
+        """Number of operations, excluding barriers."""
+        return sum(1 for item in self.data if item.operation.name != "barrier")
+
+    def width(self) -> int:
+        """Total number of qubits plus clbits."""
+        return self.num_qubits + self.num_clbits
+
+    def depth(self) -> int:
+        """Circuit depth: length of the longest gate-dependency path."""
+        level: dict = {}
+        depth = 0
+        for item in self.data:
+            if item.operation.name == "barrier":
+                # Barriers synchronize their wires but add no depth.
+                wires = list(item.qubits)
+                sync = max((level.get(w, 0) for w in wires), default=0)
+                for w in wires:
+                    level[w] = sync
+                continue
+            wires = list(item.qubits) + list(item.clbits)
+            if item.operation.condition is not None:
+                wires.extend(item.operation.condition[0])
+            new_level = max((level.get(w, 0) for w in wires), default=0) + 1
+            for w in wires:
+                level[w] = new_level
+            depth = max(depth, new_level)
+        return depth
+
+    def count_ops(self) -> dict:
+        """Histogram of operation names, in insertion order of first use."""
+        counts: dict = {}
+        for item in self.data:
+            name = item.operation.name
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def num_nonlocal_gates(self) -> int:
+        """Number of gates acting on two or more qubits."""
+        return sum(
+            1
+            for item in self.data
+            if isinstance(item.operation, Gate) and item.operation.num_qubits > 1
+        )
+
+    # -- interchange formats --------------------------------------------------------
+
+    def qasm(self) -> str:
+        """Serialize to OpenQASM 2.0 (Fig. 1a of the paper)."""
+        from repro.qasm.exporter import circuit_to_qasm
+
+        return circuit_to_qasm(self)
+
+    @classmethod
+    def from_qasm_str(cls, qasm: str) -> "QuantumCircuit":
+        """Parse an OpenQASM 2.0 program into a circuit."""
+        from repro.qasm.parser import parse_qasm
+
+        return parse_qasm(qasm)
+
+    @classmethod
+    def from_qasm_file(cls, path: str) -> "QuantumCircuit":
+        """Parse an OpenQASM 2.0 file into a circuit."""
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_qasm_str(handle.read())
+
+    def draw(self, output: str = "text") -> str:
+        """Render the circuit; only the ASCII drawer is provided."""
+        from repro.visualization.text import circuit_to_text
+
+        if output != "text":
+            raise CircuitError(f"unsupported drawer '{output}'")
+        return circuit_to_text(self)
+
+    def __str__(self):
+        return self.draw()
+
+    def __repr__(self):
+        return (
+            f"<QuantumCircuit {self.name}: {self.num_qubits} qubits, "
+            f"{self.num_clbits} clbits, {len(self.data)} instructions>"
+        )
+
+    def __len__(self):
+        return len(self.data)
+
+    def __eq__(self, other):
+        if not isinstance(other, QuantumCircuit):
+            return NotImplemented
+        return (
+            self.qregs == other.qregs
+            and self.cregs == other.cregs
+            and self.data == other.data
+        )

@@ -1,0 +1,86 @@
+"""Random circuit generation for tests and benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.library import standard_gates as sg
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import CircuitError
+
+_ONE_QUBIT_FIXED = [
+    sg.IGate, sg.XGate, sg.YGate, sg.ZGate, sg.HGate,
+    sg.SGate, sg.SdgGate, sg.TGate, sg.TdgGate,
+]
+_ONE_QUBIT_PARAM = [sg.RXGate, sg.RYGate, sg.RZGate, sg.U1Gate]
+_TWO_QUBIT_FIXED = [sg.CXGate, sg.CZGate, sg.SwapGate]
+_TWO_QUBIT_PARAM = [sg.CRZGate, sg.CU1Gate, sg.RZZGate]
+_CLIFFORD_T = [
+    sg.HGate, sg.SGate, sg.SdgGate, sg.TGate, sg.TdgGate,
+    sg.XGate, sg.YGate, sg.ZGate,
+]
+
+
+def random_circuit(num_qubits, depth, seed=None, measure=False,
+                   two_qubit_prob=0.3) -> QuantumCircuit:
+    """Generate a pseudo-random circuit.
+
+    Args:
+        num_qubits: circuit width.
+        depth: number of gate layers to attempt.
+        seed: RNG seed for reproducibility.
+        measure: append a final measure-all when True.
+        two_qubit_prob: probability that a slot becomes a two-qubit gate.
+
+    Returns:
+        A :class:`QuantumCircuit` over a register named ``q``.
+    """
+    if num_qubits < 1:
+        raise CircuitError("random circuit needs at least one qubit")
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, num_qubits if measure else 0)
+    for _ in range(depth):
+        available = list(range(num_qubits))
+        rng.shuffle(available)
+        while available:
+            use_two = (
+                len(available) >= 2 and rng.random() < two_qubit_prob
+            )
+            if use_two:
+                a = available.pop()
+                b = available.pop()
+                if rng.random() < 0.5:
+                    cls = _TWO_QUBIT_FIXED[rng.integers(len(_TWO_QUBIT_FIXED))]
+                    circuit.append(cls(), [a, b])
+                else:
+                    cls = _TWO_QUBIT_PARAM[rng.integers(len(_TWO_QUBIT_PARAM))]
+                    circuit.append(cls(rng.uniform(0, 2 * np.pi)), [a, b])
+            else:
+                q = available.pop()
+                if rng.random() < 0.5:
+                    cls = _ONE_QUBIT_FIXED[rng.integers(len(_ONE_QUBIT_FIXED))]
+                    circuit.append(cls(), [q])
+                else:
+                    cls = _ONE_QUBIT_PARAM[rng.integers(len(_ONE_QUBIT_PARAM))]
+                    circuit.append(cls(rng.uniform(0, 2 * np.pi)), [q])
+    if measure:
+        for i in range(num_qubits):
+            circuit.measure(i, i)
+    return circuit
+
+
+def random_clifford_t_circuit(num_qubits, num_gates, seed=None,
+                              cx_prob=0.3) -> QuantumCircuit:
+    """Generate a random circuit over the Clifford+T library (paper Sec. II-A)."""
+    if num_qubits < 1:
+        raise CircuitError("random circuit needs at least one qubit")
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits)
+    for _ in range(num_gates):
+        if num_qubits >= 2 and rng.random() < cx_prob:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circuit.cx(int(a), int(b))
+        else:
+            cls = _CLIFFORD_T[rng.integers(len(_CLIFFORD_T))]
+            circuit.append(cls(), [int(rng.integers(num_qubits))])
+    return circuit

@@ -1,0 +1,107 @@
+"""Quantum and classical registers.
+
+Registers are named, fixed-size collections of bits, mirroring OpenQASM 2.0's
+``qreg``/``creg`` declarations.  Indexing a register yields its bits; slicing
+yields a list of bits.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+
+from repro.circuit.bit import Clbit, Qubit
+from repro.exceptions import CircuitError
+
+_VALID_NAME = re.compile(r"^[a-z][a-zA-Z0-9_]*$")
+
+
+class Register:
+    """A named, fixed-size collection of bits."""
+
+    #: Bit subclass instantiated for each slot; set by subclasses.
+    bit_type = None
+    #: Prefix used for auto-generated names; set by subclasses.
+    prefix = "reg"
+
+    _anonymous_counter = itertools.count()
+
+    __slots__ = ("_name", "_size", "_bits", "_hash")
+
+    def __init__(self, size, name=None):
+        if name is None:
+            name = f"{self.prefix}{next(Register._anonymous_counter)}"
+        if not isinstance(name, str) or not _VALID_NAME.match(name):
+            raise CircuitError(
+                f"register name must match [a-z][a-zA-Z0-9_]*, got {name!r}"
+            )
+        if not isinstance(size, int) or size <= 0:
+            raise CircuitError(f"register size must be a positive int, got {size!r}")
+        self._name = name
+        self._size = size
+        self._hash = hash((type(self).__name__, name, size))
+        self._bits = [self.bit_type(self, i) for i in range(size)]
+
+    @property
+    def name(self) -> str:
+        """The register's name."""
+        return self._name
+
+    @property
+    def size(self) -> int:
+        """Number of bits in the register."""
+        return self._size
+
+    def __len__(self):
+        return self._size
+
+    def __getitem__(self, key):
+        if isinstance(key, slice):
+            return self._bits[key]
+        if isinstance(key, (list, tuple)):
+            return [self._bits[i] for i in key]
+        return self._bits[key]
+
+    def __iter__(self):
+        return iter(self._bits)
+
+    def __contains__(self, bit):
+        return bit in self._bits
+
+    def index(self, bit) -> int:
+        """Return the index of ``bit`` within this register."""
+        try:
+            return self._bits.index(bit)
+        except ValueError:
+            raise CircuitError(f"{bit!r} is not in register '{self._name}'") from None
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self._size}, '{self._name}')"
+
+    def __eq__(self, other):
+        if not isinstance(other, Register):
+            return NotImplemented
+        return (
+            type(self) is type(other)
+            and self._name == other._name
+            and self._size == other._size
+        )
+
+    def __hash__(self):
+        return self._hash
+
+
+class QuantumRegister(Register):
+    """A register of qubits (OpenQASM ``qreg``)."""
+
+    bit_type = Qubit
+    prefix = "q"
+    __slots__ = ()
+
+
+class ClassicalRegister(Register):
+    """A register of classical bits (OpenQASM ``creg``)."""
+
+    bit_type = Clbit
+    prefix = "c"
+    __slots__ = ()

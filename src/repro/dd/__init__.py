@@ -1,0 +1,5 @@
+"""Decision-diagram (QMDD) package for compact state/operator representation."""
+
+from repro.dd.package import DDNode, DDPackage, Edge, TOLERANCE
+
+__all__ = ["DDNode", "DDPackage", "Edge", "TOLERANCE"]

@@ -1,0 +1,495 @@
+"""QMDD decision-diagram package (paper Sec. V-A, Fig. 3).
+
+Represents state vectors and operator matrices as quantum multiple-valued
+decision diagrams: the ``2**n`` vector (or ``4**n`` matrix) is split
+recursively by qubit, structurally identical sub-blocks are shared through a
+unique table, and scalar differences between blocks live on *edge weights*
+(the ``-i`` annotation of Fig. 3b).  Operations (addition, matrix-vector and
+matrix-matrix multiplication, kronecker products) are recursive with a
+compute cache, exactly as in Zulehner & Wille, "Advanced simulation of
+quantum computations" (the paper's Ref. [40]).
+
+Conventions:
+
+* Variable (level) ``q`` is qubit ``q``; the top variable of an ``n``-qubit
+  DD is qubit ``n-1``.  Levels are never skipped: every path visits every
+  variable, except that a weight-0 edge to the terminal denotes an all-zero
+  block at any level.
+* Vector nodes have 2 successors ``[b=0, b=1]``; matrix nodes have 4 in the
+  order ``[e00, e01, e10, e11]`` = [row 0 col 0, row 0 col 1, ...].
+* Nodes are normalized by their largest-magnitude successor weight, so equal
+  blocks up to scale share one node.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+from repro.exceptions import DDError
+
+#: Weights closer than this are identified by the unique/compute caches.
+TOLERANCE = 1e-12
+_KEY_SCALE = 1e10
+
+
+def _wkey(weight: complex) -> tuple[int, int]:
+    """Hashable key for a complex weight, rounded to the tolerance grid."""
+    return (round(weight.real * _KEY_SCALE), round(weight.imag * _KEY_SCALE))
+
+
+def _is_zero(weight: complex) -> bool:
+    return abs(weight) < TOLERANCE
+
+
+class DDNode:
+    """A decision-diagram node: a variable plus successor edges."""
+
+    __slots__ = ("var", "edges", "_norm2")
+
+    def __init__(self, var, edges):
+        self.var = var
+        self.edges = tuple(edges)
+        self._norm2 = None
+
+    def __repr__(self):
+        kind = "M" if len(self.edges) == 4 else "V"
+        return f"{kind}Node(q{self.var}, id={id(self) & 0xFFFF:x})"
+
+
+class Edge:
+    """A weighted pointer to a node (or to the terminal)."""
+
+    __slots__ = ("node", "weight")
+
+    def __init__(self, node, weight):
+        self.node = node
+        self.weight = complex(weight)
+
+    def is_zero(self) -> bool:
+        """Whether this edge denotes the all-zero block."""
+        return _is_zero(self.weight)
+
+    def __repr__(self):
+        return f"Edge({self.node!r}, {self.weight:.4g})"
+
+
+class DDPackage:
+    """Unique table, compute caches, and DD algorithms."""
+
+    def __init__(self):
+        #: The shared terminal node (var = -1, no successors).
+        self.terminal = DDNode(-1, ())
+        self._unique: dict = {}
+        self._cache_mv: dict = {}
+        self._cache_mm: dict = {}
+        self._cache_add_v: dict = {}
+        self._cache_add_m: dict = {}
+        self.peak_nodes = 0
+
+    # -- construction -----------------------------------------------------------
+
+    def zero_edge(self) -> Edge:
+        """The all-zero block."""
+        return Edge(self.terminal, 0.0)
+
+    def terminal_edge(self, weight=1.0) -> Edge:
+        """A scalar (terminal) edge."""
+        return Edge(self.terminal, weight)
+
+    def make_node(self, var, edges) -> Edge:
+        """Create (or reuse) a normalized node; returns the entering edge."""
+        edges = list(edges)
+        if all(edge.is_zero() for edge in edges):
+            return self.zero_edge()
+        # Normalize by the largest-magnitude successor weight.
+        norm_index = max(
+            range(len(edges)), key=lambda i: (abs(edges[i].weight), -i)
+        )
+        norm = edges[norm_index].weight
+        normalized = []
+        for edge in edges:
+            if edge.is_zero():
+                normalized.append(self.zero_edge())
+            else:
+                normalized.append(Edge(edge.node, edge.weight / norm))
+        key = (
+            var,
+            len(edges),
+            tuple((id(e.node), _wkey(e.weight)) for e in normalized),
+        )
+        node = self._unique.get(key)
+        if node is None:
+            node = DDNode(var, normalized)
+            self._unique[key] = node
+            if len(self._unique) > self.peak_nodes:
+                self.peak_nodes = len(self._unique)
+        return Edge(node, norm)
+
+    def zero_state(self, num_qubits: int) -> Edge:
+        """Vector DD for |0...0>."""
+        if num_qubits < 1:
+            raise DDError("need at least one qubit")
+        edge = self.terminal_edge(1.0)
+        for var in range(num_qubits):
+            edge = self.make_node(var, [edge, self.zero_edge()])
+        return edge
+
+    def basis_state(self, num_qubits: int, index: int) -> Edge:
+        """Vector DD for computational basis state |index>."""
+        edge = self.terminal_edge(1.0)
+        for var in range(num_qubits):
+            if (index >> var) & 1:
+                edge = self.make_node(var, [self.zero_edge(), edge])
+            else:
+                edge = self.make_node(var, [edge, self.zero_edge()])
+        return edge
+
+    def vector_from_array(self, amplitudes) -> Edge:
+        """Build a vector DD from a dense amplitude array."""
+        amplitudes = np.asarray(amplitudes, dtype=complex)
+        num_qubits = int(round(math.log2(amplitudes.shape[0])))
+        if 2**num_qubits != amplitudes.shape[0]:
+            raise DDError("array length is not a power of two")
+
+        def build(var, block):
+            if var < 0:
+                return self.terminal_edge(block[0])
+            half = len(block) // 2
+            low = build(var - 1, block[:half])
+            high = build(var - 1, block[half:])
+            return self.make_node(var, [low, high])
+
+        return build(num_qubits - 1, amplitudes)
+
+    def identity(self, num_qubits: int) -> Edge:
+        """Matrix DD of the identity on ``num_qubits`` qubits."""
+        edge = self.terminal_edge(1.0)
+        for var in range(num_qubits):
+            edge = self.make_node(
+                var, [edge, self.zero_edge(), self.zero_edge(), edge]
+            )
+        return edge
+
+    def gate_matrix(self, matrix, targets, num_qubits) -> Edge:
+        """Matrix DD of a dense gate on ``targets`` within ``num_qubits``.
+
+        ``targets[j]`` is bit ``j`` of the dense matrix's index space
+        (little-endian, matching :mod:`repro.circuit.matrix_utils`).
+        """
+        matrix = np.asarray(matrix, dtype=complex)
+        k = len(targets)
+        if matrix.shape != (2**k, 2**k):
+            raise DDError("gate matrix shape does not match target count")
+        target_bit = {q: j for j, q in enumerate(targets)}
+        if len(target_bit) != k:
+            raise DDError("duplicate target qubits")
+        if any(q < 0 or q >= num_qubits for q in targets):
+            raise DDError("target qubit out of range")
+        memo: dict = {}
+
+        def build(var, row_bits, col_bits):
+            key = (var, row_bits, col_bits)
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+            if var < 0:
+                result = self.terminal_edge(matrix[row_bits, col_bits])
+            elif var in target_bit:
+                j = target_bit[var]
+                children = []
+                for row in (0, 1):
+                    for col in (0, 1):
+                        children.append(
+                            build(
+                                var - 1,
+                                row_bits | (row << j),
+                                col_bits | (col << j),
+                            )
+                        )
+                result = self.make_node(var, children)
+            else:
+                sub = build(var - 1, row_bits, col_bits)
+                result = self.make_node(
+                    var, [sub, self.zero_edge(), self.zero_edge(), sub]
+                )
+            memo[key] = result
+            return result
+
+        return build(num_qubits - 1, 0, 0)
+
+    # -- arithmetic ------------------------------------------------------------------
+
+    def add(self, a: Edge, b: Edge) -> Edge:
+        """Add two vector DDs."""
+        return self._add(a, b, arity=2)
+
+    def add_matrices(self, a: Edge, b: Edge) -> Edge:
+        """Add two matrix DDs."""
+        return self._add(a, b, arity=4)
+
+    def _add(self, a: Edge, b: Edge, arity: int) -> Edge:
+        if a.is_zero():
+            return b
+        if b.is_zero():
+            return a
+        if a.node is self.terminal and b.node is self.terminal:
+            return self.terminal_edge(a.weight + b.weight)
+        if a.node.var != b.node.var:
+            raise DDError("cannot add DDs with mismatched levels")
+        cache = self._cache_add_v if arity == 2 else self._cache_add_m
+        # Factor out a's weight so the cache key only carries the ratio.
+        ratio = b.weight / a.weight
+        key = (id(a.node), id(b.node), _wkey(ratio))
+        cached = cache.get(key)
+        if cached is not None:
+            node, weight_scale = cached
+            return Edge(node, a.weight * weight_scale)
+        children = []
+        for i in range(arity):
+            ea = a.node.edges[i]
+            eb = b.node.edges[i]
+            children.append(
+                self._add(
+                    Edge(ea.node, ea.weight),
+                    Edge(eb.node, eb.weight * ratio),
+                    arity,
+                )
+            )
+        result = self.make_node(a.node.var, children)
+        cache[key] = (result.node, result.weight)
+        return Edge(result.node, result.weight * a.weight)
+
+    def multiply_mv(self, m: Edge, v: Edge) -> Edge:
+        """Matrix-vector product: apply operator DD ``m`` to state DD ``v``."""
+        if m.is_zero() or v.is_zero():
+            return self.zero_edge()
+        if m.node is self.terminal and v.node is self.terminal:
+            return self.terminal_edge(m.weight * v.weight)
+        if m.node.var != v.node.var:
+            raise DDError("operator and state have mismatched levels")
+        key = (id(m.node), id(v.node))
+        cached = self._cache_mv.get(key)
+        if cached is None:
+            children = []
+            for row in (0, 1):
+                total = self.zero_edge()
+                for col in (0, 1):
+                    part = self.multiply_mv(
+                        m.node.edges[2 * row + col], v.node.edges[col]
+                    )
+                    total = self._add(total, part, arity=2)
+                children.append(total)
+            result = self.make_node(m.node.var, children)
+            cached = (result.node, result.weight)
+            self._cache_mv[key] = cached
+        node, scale = cached
+        return Edge(node, scale * m.weight * v.weight)
+
+    def multiply_mm(self, a: Edge, b: Edge) -> Edge:
+        """Matrix-matrix product ``a @ b`` of two operator DDs."""
+        if a.is_zero() or b.is_zero():
+            return self.zero_edge()
+        if a.node is self.terminal and b.node is self.terminal:
+            return self.terminal_edge(a.weight * b.weight)
+        if a.node.var != b.node.var:
+            raise DDError("operators have mismatched levels")
+        key = (id(a.node), id(b.node))
+        cached = self._cache_mm.get(key)
+        if cached is None:
+            children = []
+            for row in (0, 1):
+                for col in (0, 1):
+                    total = self.zero_edge()
+                    for inner in (0, 1):
+                        part = self.multiply_mm(
+                            a.node.edges[2 * row + inner],
+                            b.node.edges[2 * inner + col],
+                        )
+                        total = self._add(total, part, arity=4)
+                    children.append(total)
+            result = self.make_node(a.node.var, children)
+            cached = (result.node, result.weight)
+            self._cache_mm[key] = cached
+        node, scale = cached
+        return Edge(node, scale * a.weight * b.weight)
+
+    # -- queries ------------------------------------------------------------------------
+
+    def to_array(self, edge: Edge) -> np.ndarray:
+        """Expand a vector DD to a dense amplitude array."""
+        if edge.node is self.terminal:
+            return np.array([edge.weight], dtype=complex)
+        if len(edge.node.edges) != 2:
+            raise DDError("expected a vector DD")
+        low = self.to_array(edge.node.edges[0])
+        high = self.to_array(edge.node.edges[1])
+        size = 2 ** edge.node.var
+        if low.shape[0] != size:
+            low = np.pad(low, (0, size - low.shape[0]))
+        if high.shape[0] != size:
+            high = np.pad(high, (0, size - high.shape[0]))
+        return edge.weight * np.concatenate([low, high])
+
+    def to_matrix(self, edge: Edge, num_qubits=None) -> np.ndarray:
+        """Expand a matrix DD to a dense array."""
+        if edge.node is self.terminal:
+            if num_qubits in (None, 0):
+                return np.array([[edge.weight]], dtype=complex)
+            dim = 2**num_qubits
+            return edge.weight * np.zeros((dim, dim), dtype=complex)
+        if len(edge.node.edges) != 4:
+            raise DDError("expected a matrix DD")
+        var = edge.node.var
+        size = 2**var
+        blocks = []
+        for child in edge.node.edges:
+            if child.is_zero():
+                blocks.append(np.zeros((size, size), dtype=complex))
+            else:
+                blocks.append(self.to_matrix(child, var))
+        top = np.hstack([blocks[0], blocks[1]])
+        bottom = np.hstack([blocks[2], blocks[3]])
+        return edge.weight * np.vstack([top, bottom])
+
+    def node_count(self, edge: Edge) -> int:
+        """Number of distinct non-terminal nodes reachable from ``edge``."""
+        seen: set = set()
+
+        def walk(node):
+            if node is self.terminal or id(node) in seen:
+                return
+            seen.add(id(node))
+            for child in node.edges:
+                walk(child.node)
+
+        walk(edge.node)
+        return len(seen)
+
+    def _norm2(self, node) -> float:
+        """Cached squared norm of the (sub)vector rooted at ``node``."""
+        if node is self.terminal:
+            return 1.0
+        if node._norm2 is None:
+            total = 0.0
+            for child in node.edges:
+                if not child.is_zero():
+                    total += abs(child.weight) ** 2 * self._norm2(child.node)
+            node._norm2 = total
+        return node._norm2
+
+    def norm(self, edge: Edge) -> float:
+        """Euclidean norm of a vector DD."""
+        if edge.is_zero():
+            return 0.0
+        return abs(edge.weight) * math.sqrt(self._norm2(edge.node))
+
+    def amplitude(self, edge: Edge, index: int) -> complex:
+        """Amplitude of basis state ``index`` in a vector DD."""
+        weight = edge.weight
+        node = edge.node
+        while node is not self.terminal:
+            child = node.edges[(index >> node.var) & 1]
+            if child.is_zero():
+                return 0.0
+            weight *= child.weight
+            node = child.node
+        return weight
+
+    def sample(self, edge: Edge, num_qubits: int, rng) -> int:
+        """Sample one measurement outcome from a normalized vector DD."""
+        outcome = 0
+        node = edge.node
+        while node is not self.terminal:
+            zero_child, one_child = node.edges
+            p0 = (
+                abs(zero_child.weight) ** 2 * self._norm2(zero_child.node)
+                if not zero_child.is_zero()
+                else 0.0
+            )
+            p1 = (
+                abs(one_child.weight) ** 2 * self._norm2(one_child.node)
+                if not one_child.is_zero()
+                else 0.0
+            )
+            total = p0 + p1
+            if total <= 0:
+                raise DDError("cannot sample from a zero state")
+            if rng.random() < p1 / total:
+                outcome |= 1 << node.var
+                node = one_child.node
+            else:
+                node = zero_child.node
+        return outcome
+
+    def probabilities(self, edge: Edge, num_qubits: int) -> np.ndarray:
+        """Dense probability vector (for testing/inspection)."""
+        amplitudes = self.to_array(edge)
+        expected = 2**num_qubits
+        if amplitudes.shape[0] != expected:
+            raise DDError("vector DD does not span the requested qubits")
+        return np.abs(amplitudes) ** 2
+
+    def fidelity(self, a: Edge, b: Edge) -> float:
+        """|<a|b>|^2 via recursive inner product."""
+        return abs(self.inner_product(a, b)) ** 2
+
+    def inner_product(self, a: Edge, b: Edge) -> complex:
+        """<a|b> of two vector DDs."""
+        cache: dict = {}
+
+        def walk(x: Edge, y: Edge) -> complex:
+            if x.is_zero() or y.is_zero():
+                return 0.0
+            if x.node is self.terminal and y.node is self.terminal:
+                return x.weight.conjugate() * y.weight
+            key = (id(x.node), id(y.node))
+            cached = cache.get(key)
+            if cached is None:
+                cached = sum(
+                    walk(x.node.edges[i], y.node.edges[i]) for i in (0, 1)
+                )
+                cache[key] = cached
+            return x.weight.conjugate() * y.weight * cached
+
+        return complex(walk(a, b))
+
+    # -- bookkeeping ------------------------------------------------------------------------
+
+    @property
+    def num_unique_nodes(self) -> int:
+        """Current size of the unique table."""
+        return len(self._unique)
+
+    def clear_caches(self):
+        """Drop compute caches (unique table is kept)."""
+        self._cache_mv.clear()
+        self._cache_mm.clear()
+        self._cache_add_v.clear()
+        self._cache_add_m.clear()
+
+    def garbage_collect(self, roots):
+        """Drop unique-table entries unreachable from ``roots``.
+
+        Python's GC reclaims the node objects themselves; this trims the
+        tables so long simulations do not grow without bound.
+        """
+        reachable: set = set()
+
+        def walk(node):
+            if node is self.terminal or id(node) in reachable:
+                return
+            reachable.add(id(node))
+            for child in node.edges:
+                walk(child.node)
+
+        for root in roots:
+            walk(root.node)
+        self._unique = {
+            key: node
+            for key, node in self._unique.items()
+            if id(node) in reachable
+        }
+        self.clear_caches()

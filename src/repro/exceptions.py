@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro tool chain.
+
+Every error raised by the library derives from :class:`ReproError`, so user
+code can catch a single base class.  Subpackages raise the more specific
+subclasses defined here.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuit construction or manipulation."""
+
+
+class QasmError(ReproError):
+    """Raised for OpenQASM 2.0 lexing, parsing, or export problems."""
+
+
+class SimulatorError(ReproError):
+    """Raised when a simulator cannot execute the given circuit."""
+
+
+class TranspilerError(ReproError):
+    """Raised when a transpiler pass fails or receives bad input."""
+
+
+class BackendError(ReproError):
+    """Raised for provider/backend/job lifecycle problems."""
+
+
+class AlgorithmError(ReproError):
+    """Raised by application-level (Aqua-like) algorithms."""
+
+
+class IgnisError(ReproError):
+    """Raised by characterization/mitigation (Ignis-like) routines."""
+
+
+class DDError(ReproError):
+    """Raised by the decision-diagram package."""
+
+
+class NoiseError(ReproError):
+    """Raised for invalid noise-model construction."""
+
+
+class VisualizationError(ReproError):
+    """Raised when a drawer cannot render the requested object."""

@@ -1,0 +1,88 @@
+"""Ignis-equivalent characterization, mitigation, and error correction."""
+
+from repro.ignis.coherence import (
+    characterize_coherence,
+    fit_t1,
+    fit_t2_ramsey,
+    relaxation_noise_model,
+    run_t1_experiment,
+    run_t2_experiment,
+    t1_circuit,
+    t2_ramsey_circuit,
+)
+from repro.ignis.process_tomography import (
+    average_gate_fidelity_from_ptm,
+    process_tomography_ptm,
+    ptm_of_unitary,
+)
+from repro.ignis.codes import (
+    bit_flip_correct,
+    bit_flip_encode,
+    logical_error_rate,
+    phase_flip_correct,
+    phase_flip_encode,
+    theoretical_logical_error,
+)
+from repro.ignis.mitigation import (
+    CompleteMeasurementFitter,
+    MeasurementFilter,
+    TensoredMeasurementFitter,
+    complete_measurement_calibration,
+    tensored_calibration,
+)
+from repro.ignis.rb import (
+    CLIFFORD_1Q,
+    average_clifford_gate_count,
+    clifford_inverse_index,
+    fit_rb_decay,
+    interleaved_gate_error,
+    interleaved_rb_circuit,
+    interleaved_rb_experiment,
+    rb_circuit,
+    rb_experiment,
+)
+from repro.ignis.tomography import (
+    fit_state,
+    project_to_physical,
+    run_state_tomography,
+    state_tomography_circuits,
+    tomography_bases,
+)
+
+__all__ = [
+    "CLIFFORD_1Q",
+    "average_gate_fidelity_from_ptm",
+    "characterize_coherence",
+    "fit_t1",
+    "fit_t2_ramsey",
+    "process_tomography_ptm",
+    "ptm_of_unitary",
+    "relaxation_noise_model",
+    "run_t1_experiment",
+    "run_t2_experiment",
+    "t1_circuit",
+    "t2_ramsey_circuit",
+    "CompleteMeasurementFitter",
+    "MeasurementFilter",
+    "TensoredMeasurementFitter",
+    "average_clifford_gate_count",
+    "bit_flip_correct",
+    "bit_flip_encode",
+    "clifford_inverse_index",
+    "complete_measurement_calibration",
+    "fit_rb_decay",
+    "fit_state",
+    "interleaved_gate_error",
+    "interleaved_rb_circuit",
+    "interleaved_rb_experiment",
+    "logical_error_rate",
+    "phase_flip_correct",
+    "phase_flip_encode",
+    "project_to_physical",
+    "rb_circuit",
+    "rb_experiment",
+    "run_state_tomography",
+    "state_tomography_circuits",
+    "tensored_calibration",
+    "theoretical_logical_error",
+]

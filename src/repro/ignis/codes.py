@@ -1,0 +1,103 @@
+"""Quantum error-correcting codes: 3-qubit repetition codes (Ignis).
+
+The paper promises "a portfolio of error correcting codes"; the 3-qubit
+bit-flip and phase-flip repetition codes are the canonical members.  The
+decoder here is coherent (majority vote via Toffoli), so no mid-circuit
+measurement is needed.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import IgnisError
+from repro.simulators.noise import NoiseModel, bit_flip_error, phase_flip_error
+from repro.simulators.qasm_simulator import QasmSimulator
+
+
+def bit_flip_encode() -> QuantumCircuit:
+    """Encode qubit 0 into the 3-qubit bit-flip code (|q00> -> code)."""
+    encode = QuantumCircuit(3, name="bitflip-encode")
+    encode.cx(0, 1)
+    encode.cx(0, 2)
+    return encode
+
+
+def bit_flip_correct() -> QuantumCircuit:
+    """Coherent decode+correct: majority vote back onto qubit 0."""
+    correct = QuantumCircuit(3, name="bitflip-correct")
+    correct.cx(0, 1)
+    correct.cx(0, 2)
+    correct.ccx(1, 2, 0)
+    return correct
+
+
+def phase_flip_encode() -> QuantumCircuit:
+    """Encode into the 3-qubit phase-flip code (bit-flip in the X basis)."""
+    encode = QuantumCircuit(3, name="phaseflip-encode")
+    encode.cx(0, 1)
+    encode.cx(0, 2)
+    for qubit in range(3):
+        encode.h(qubit)
+    return encode
+
+
+def phase_flip_correct() -> QuantumCircuit:
+    """Decode+correct for the phase-flip code."""
+    correct = QuantumCircuit(3, name="phaseflip-correct")
+    for qubit in range(3):
+        correct.h(qubit)
+    correct.cx(0, 1)
+    correct.cx(0, 2)
+    correct.ccx(1, 2, 0)
+    return correct
+
+
+def _protected_circuit(kind: str, initial_x: bool) -> QuantumCircuit:
+    if kind == "bit":
+        encode, correct = bit_flip_encode(), bit_flip_correct()
+    elif kind == "phase":
+        encode, correct = phase_flip_encode(), phase_flip_correct()
+    else:
+        raise IgnisError(f"unknown code kind '{kind}'")
+    circuit = QuantumCircuit(3, 1)
+    if initial_x:
+        circuit.x(0)
+    circuit.compose(encode, qubits=circuit.qubits, inplace=True)
+    # The noisy idle location: identity gates carry the error channel.
+    for qubit in range(3):
+        circuit.i(qubit)
+    circuit.compose(correct, qubits=circuit.qubits, inplace=True)
+    circuit.measure(0, 0)
+    return circuit
+
+
+def logical_error_rate(kind: str, physical_error: float, shots: int = 4000,
+                       seed=None, initial_x: bool = True) -> float:
+    """Simulated logical error rate with error probability ``p`` per qubit.
+
+    For ``p < 1/2`` the repetition code must beat the bare qubit:
+    ``p_L = 3 p^2 - 2 p^3 < p``.
+    """
+    if kind == "bit":
+        channel = bit_flip_error(physical_error)
+    elif kind == "phase":
+        channel = phase_flip_error(physical_error)
+    else:
+        raise IgnisError(f"unknown code kind '{kind}'")
+    noise = NoiseModel()
+    noise.add_all_qubit_quantum_error(channel, ["id"])
+    circuit = _protected_circuit(kind, initial_x)
+    outcome = QasmSimulator().run(
+        circuit, shots=shots, seed=seed, noise_model=noise
+    )
+    expected = "1" if initial_x else "0"
+    wrong = sum(
+        value for key, value in outcome["counts"].items() if key != expected
+    )
+    return wrong / shots
+
+
+def theoretical_logical_error(physical_error: float) -> float:
+    """p_L = 3 p^2 - 2 p^3 for the distance-3 repetition code."""
+    p = physical_error
+    return 3 * p**2 - 2 * p**3

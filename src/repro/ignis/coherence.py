@@ -1,0 +1,132 @@
+"""Coherence characterization: T1 and T2 (Ramsey) experiments.
+
+The Ignis hardware-characterization workflows for relaxation times: inject
+a thermal-relaxation channel with known T1/T2 on idle (identity) gates,
+run inversion-recovery and Ramsey sequences over growing delays, and fit
+the exponential decays to recover the injected constants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import curve_fit
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import IgnisError
+from repro.simulators.density_matrix_simulator import DensityMatrixSimulator
+from repro.simulators.noise import NoiseModel, thermal_relaxation_error
+
+
+def t1_circuit(delay: int) -> QuantumCircuit:
+    """Inversion recovery: X, idle ``delay`` samples, measure."""
+    circuit = QuantumCircuit(1, 1)
+    circuit.x(0)
+    for _ in range(delay):
+        circuit.i(0)
+    circuit.measure(0, 0)
+    return circuit
+
+
+def t2_ramsey_circuit(delay: int) -> QuantumCircuit:
+    """Ramsey: H, idle, H, measure (on-resonance: pure T2 contrast)."""
+    circuit = QuantumCircuit(1, 1)
+    circuit.h(0)
+    for _ in range(delay):
+        circuit.i(0)
+    circuit.h(0)
+    circuit.measure(0, 0)
+    return circuit
+
+
+def relaxation_noise_model(t1: float, t2: float,
+                           gate_time: float = 1.0) -> NoiseModel:
+    """Thermal relaxation on every identity gate (the idle location)."""
+    model = NoiseModel()
+    model.add_all_qubit_quantum_error(
+        thermal_relaxation_error(t1, t2, gate_time), ["id"]
+    )
+    return model
+
+
+def run_t1_experiment(t1: float, t2: float, delays, shots: int = 2000,
+                      seed=None):
+    """Measure P(|1>) vs. delay under the injected relaxation.
+
+    Uses the exact density-matrix engine (the channel is not a unitary
+    mixture, so trajectory sampling would be slow) and samples ``shots``
+    outcomes from the exact distribution.
+    """
+    model = relaxation_noise_model(t1, t2)
+    engine = DensityMatrixSimulator()
+    populations = []
+    for index, delay in enumerate(delays):
+        run_seed = None if seed is None else seed + 13 * index
+        counts = engine.counts(
+            t1_circuit(delay), shots=shots, seed=run_seed, noise_model=model
+        )["counts"]
+        populations.append(counts.get("1", 0) / shots)
+    return list(delays), populations
+
+
+def run_t2_experiment(t1: float, t2: float, delays, shots: int = 2000,
+                      seed=None):
+    """Measure Ramsey P(|0>) vs. delay under the injected relaxation."""
+    model = relaxation_noise_model(t1, t2)
+    engine = DensityMatrixSimulator()
+    populations = []
+    for index, delay in enumerate(delays):
+        run_seed = None if seed is None else seed + 17 * index
+        counts = engine.counts(
+            t2_ramsey_circuit(delay), shots=shots, seed=run_seed,
+            noise_model=model,
+        )["counts"]
+        populations.append(counts.get("0", 0) / shots)
+    return list(delays), populations
+
+
+def fit_t1(delays, populations) -> float:
+    """Fit ``P(1) = A exp(-t/T1) + B``; returns the fitted T1."""
+    delays = np.asarray(delays, dtype=float)
+    populations = np.asarray(populations, dtype=float)
+
+    def model(t, amplitude, t1, offset):
+        return amplitude * np.exp(-t / t1) + offset
+
+    initial = (1.0, max(delays.max() / 2, 1.0), 0.0)
+    bounds = ([0.0, 1e-3, -0.2], [1.2, 1e6, 0.5])
+    params, _cov = curve_fit(model, delays, populations, p0=initial,
+                             bounds=bounds, maxfev=20_000)
+    return float(params[1])
+
+
+def fit_t2_ramsey(delays, populations) -> float:
+    """Fit ``P(0) = (1 + A exp(-t/T2)) / 2``; returns the fitted T2."""
+    delays = np.asarray(delays, dtype=float)
+    contrast = 2.0 * np.asarray(populations, dtype=float) - 1.0
+
+    def model(t, amplitude, t2):
+        return amplitude * np.exp(-t / t2)
+
+    initial = (1.0, max(delays.max() / 2, 1.0))
+    bounds = ([0.0, 1e-3], [1.2, 1e6])
+    params, _cov = curve_fit(model, delays, contrast, p0=initial,
+                             bounds=bounds, maxfev=20_000)
+    return float(params[1])
+
+
+def characterize_coherence(t1: float, t2: float, max_delay=None,
+                           points: int = 8, shots: int = 4000, seed=1):
+    """End-to-end: inject (T1, T2), run both experiments, fit.
+
+    Returns ``(t1_fit, t2_fit)``.
+    """
+    if t2 > 2 * t1:
+        raise IgnisError("T2 must not exceed 2*T1")
+    if max_delay is None:
+        max_delay = int(2 * max(t1, t2))
+    delays = np.unique(
+        np.linspace(0, max_delay, points).astype(int)
+    )
+    d1, p1 = run_t1_experiment(t1, t2, delays, shots=shots, seed=seed)
+    d2, p2 = run_t2_experiment(t1, t2, delays, shots=shots, seed=seed + 99)
+    return fit_t1(d1, p1), fit_t2_ramsey(d2, p2)

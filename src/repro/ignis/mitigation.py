@@ -1,0 +1,178 @@
+"""Measurement-error mitigation (Ignis, paper Sec. III).
+
+Calibrate the readout confusion matrix by preparing every computational
+basis state, then invert it (least squares with a physicality constraint) to
+un-scramble measured histograms.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+from scipy.optimize import nnls
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import IgnisError
+
+
+def complete_measurement_calibration(num_qubits: int):
+    """Calibration circuits preparing each of the 2**n basis states.
+
+    Returns ``(circuits, labels)``; labels are bitstrings (qubit 0
+    rightmost) naming the prepared state.
+    """
+    if num_qubits < 1:
+        raise IgnisError("need at least one qubit")
+    circuits = []
+    labels = []
+    for index in range(2**num_qubits):
+        label = format(index, f"0{num_qubits}b")
+        circuit = QuantumCircuit(num_qubits, num_qubits,
+                                 name=f"cal_{label}")
+        for qubit in range(num_qubits):
+            if (index >> qubit) & 1:
+                circuit.x(qubit)
+        for qubit in range(num_qubits):
+            circuit.measure(qubit, qubit)
+        circuits.append(circuit)
+        labels.append(label)
+    return circuits, labels
+
+
+class MeasurementFilter:
+    """Applies the inverse confusion matrix to measured counts."""
+
+    def __init__(self, confusion_matrix: np.ndarray, labels):
+        self._matrix = np.asarray(confusion_matrix, dtype=float)
+        self._labels = list(labels)
+        dim = len(self._labels)
+        if self._matrix.shape != (dim, dim):
+            raise IgnisError("confusion matrix shape mismatch")
+
+    @property
+    def confusion_matrix(self) -> np.ndarray:
+        """M[i, j] = P(measure labels[i] | prepared labels[j])."""
+        return self._matrix.copy()
+
+    def apply(self, counts: dict, method: str = "least_squares") -> dict:
+        """Mitigate a counts dictionary.
+
+        ``method`` is ``"least_squares"`` (non-negative, recommended) or
+        ``"pseudo_inverse"`` (fast, may go negative).
+        """
+        total = sum(counts.values())
+        if total == 0:
+            raise IgnisError("empty counts")
+        measured = np.array(
+            [counts.get(label, 0) / total for label in self._labels]
+        )
+        if method == "pseudo_inverse":
+            mitigated = np.linalg.pinv(self._matrix) @ measured
+        elif method == "least_squares":
+            mitigated, _residual = nnls(self._matrix, measured)
+        else:
+            raise IgnisError(f"unknown mitigation method '{method}'")
+        norm = mitigated.sum()
+        if norm <= 0:
+            raise IgnisError("mitigation produced a null distribution")
+        mitigated = mitigated / norm
+        return {
+            label: float(probability * total)
+            for label, probability in zip(self._labels, mitigated)
+            if probability > 1e-12
+        }
+
+
+class CompleteMeasurementFitter:
+    """Builds a :class:`MeasurementFilter` from calibration counts."""
+
+    def __init__(self, calibration_counts, labels):
+        """``calibration_counts[i]`` are the counts measured when state
+        ``labels[i]`` was prepared."""
+        self._labels = list(labels)
+        dim = len(self._labels)
+        if len(calibration_counts) != dim:
+            raise IgnisError("one counts dict per prepared label required")
+        matrix = np.zeros((dim, dim))
+        index_of = {label: i for i, label in enumerate(self._labels)}
+        for j, counts in enumerate(calibration_counts):
+            total = sum(counts.values())
+            if total == 0:
+                raise IgnisError(f"empty calibration counts for column {j}")
+            for outcome, value in counts.items():
+                if outcome not in index_of:
+                    raise IgnisError(f"unexpected outcome '{outcome}'")
+                matrix[index_of[outcome], j] = value / total
+        self._matrix = matrix
+
+    @property
+    def confusion_matrix(self) -> np.ndarray:
+        """The fitted confusion matrix."""
+        return self._matrix.copy()
+
+    @property
+    def readout_fidelity(self) -> float:
+        """Mean of the diagonal: P(correct outcome)."""
+        return float(np.mean(np.diag(self._matrix)))
+
+    @property
+    def filter(self) -> MeasurementFilter:
+        """The mitigation filter."""
+        return MeasurementFilter(self._matrix, self._labels)
+
+
+def tensored_calibration(num_qubits: int):
+    """Two-circuit calibration (all-zeros, all-ones) for per-qubit models."""
+    zeros = QuantumCircuit(num_qubits, num_qubits, name="cal_zeros")
+    for qubit in range(num_qubits):
+        zeros.measure(qubit, qubit)
+    ones = QuantumCircuit(num_qubits, num_qubits, name="cal_ones")
+    for qubit in range(num_qubits):
+        ones.x(qubit)
+    for qubit in range(num_qubits):
+        ones.measure(qubit, qubit)
+    return [zeros, ones]
+
+
+class TensoredMeasurementFitter:
+    """Per-qubit 2x2 confusion matrices from the two-circuit calibration."""
+
+    def __init__(self, zeros_counts: dict, ones_counts: dict,
+                 num_qubits: int):
+        self._num_qubits = num_qubits
+        self._matrices = []
+        for qubit in range(num_qubits):
+            p1_given0 = self._marginal_one(zeros_counts, qubit)
+            p1_given1 = self._marginal_one(ones_counts, qubit)
+            self._matrices.append(
+                np.array(
+                    [[1 - p1_given0, 1 - p1_given1], [p1_given0, p1_given1]]
+                )
+            )
+
+    @staticmethod
+    def _marginal_one(counts, qubit) -> float:
+        total = sum(counts.values())
+        ones = sum(
+            value
+            for key, value in counts.items()
+            if key[len(key) - 1 - qubit] == "1"
+        )
+        return ones / total
+
+    def qubit_matrix(self, qubit: int) -> np.ndarray:
+        """The 2x2 confusion matrix of one qubit."""
+        return self._matrices[qubit].copy()
+
+    @property
+    def filter(self) -> MeasurementFilter:
+        """Full filter as the tensor product of per-qubit matrices."""
+        full = np.array([[1.0]])
+        for matrix in self._matrices:  # qubit i becomes bit i (kron left)
+            full = np.kron(matrix, full)
+        labels = [
+            "".join(bits)
+            for bits in itertools.product("01", repeat=self._num_qubits)
+        ]
+        return MeasurementFilter(full, labels)

@@ -1,0 +1,93 @@
+"""Single-qubit quantum process tomography via the Pauli transfer matrix.
+
+Feeds the four informationally-complete inputs {|0>, |1>, |+>, |+i>}
+through the channel, state-tomographs each output, and assembles the PTM
+``R[i, j] = Tr(P_i E(P_j)) / 2`` by linearity.  Average gate fidelity to a
+target unitary follows as ``(Tr(R_U^T R)/2 + 1)/3``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import IgnisError
+from repro.ignis.tomography import run_state_tomography
+from repro.quantum_info.pauli import Pauli
+
+_PAULIS = [Pauli("I"), Pauli("X"), Pauli("Y"), Pauli("Z")]
+
+#: Preparation circuits for the informationally complete input set.
+_PREPARATIONS = ("0", "1", "+", "r")
+
+
+def _preparation_circuit(label: str) -> QuantumCircuit:
+    circuit = QuantumCircuit(1, name=f"prep_{label}")
+    if label == "1":
+        circuit.x(0)
+    elif label == "+":
+        circuit.h(0)
+    elif label == "r":
+        circuit.h(0)
+        circuit.s(0)
+    elif label != "0":
+        raise IgnisError(f"unknown preparation '{label}'")
+    return circuit
+
+
+def process_tomography_ptm(channel_circuit: QuantumCircuit,
+                           shots: int = 4000, seed=None,
+                           noise_model=None) -> np.ndarray:
+    """Reconstruct the 4x4 Pauli transfer matrix of a 1-qubit channel.
+
+    ``channel_circuit`` is the gate sequence realizing the channel (noise,
+    if any, enters through ``noise_model`` during simulation).
+    """
+    if channel_circuit.num_qubits != 1:
+        raise IgnisError("process tomography implemented for one qubit")
+    outputs = {}
+    for index, label in enumerate(_PREPARATIONS):
+        experiment = _preparation_circuit(label)
+        experiment.compose(channel_circuit, qubits=experiment.qubits,
+                           inplace=True)
+        run_seed = None if seed is None else seed + 101 * index
+        outputs[label] = run_state_tomography(
+            experiment, shots=shots, seed=run_seed, noise_model=noise_model
+        ).data
+    # Input Paulis by linearity of the channel:
+    #   I = rho_0 + rho_1,      Z = rho_0 - rho_1,
+    #   X = 2 rho_+ - I,        Y = 2 rho_r - I.
+    e_of = {
+        "I": outputs["0"] + outputs["1"],
+        "Z": outputs["0"] - outputs["1"],
+        "X": 2 * outputs["+"] - outputs["0"] - outputs["1"],
+        "Y": 2 * outputs["r"] - outputs["0"] - outputs["1"],
+    }
+    ptm = np.zeros((4, 4))
+    for i, pauli_i in enumerate(_PAULIS):
+        for j, pauli_j in enumerate(_PAULIS):
+            value = np.trace(pauli_i.to_matrix() @ e_of[pauli_j.label])
+            ptm[i, j] = float(np.real(value)) / 2.0
+    return ptm
+
+
+def ptm_of_unitary(matrix) -> np.ndarray:
+    """Exact PTM of a unitary (reference for fidelity computations)."""
+    matrix = np.asarray(matrix, dtype=complex)
+    ptm = np.zeros((4, 4))
+    for i, pauli_i in enumerate(_PAULIS):
+        for j, pauli_j in enumerate(_PAULIS):
+            value = np.trace(
+                pauli_i.to_matrix()
+                @ matrix @ pauli_j.to_matrix() @ matrix.conj().T
+            )
+            ptm[i, j] = float(np.real(value)) / 2.0
+    return ptm
+
+
+def average_gate_fidelity_from_ptm(ptm: np.ndarray,
+                                   target_unitary) -> float:
+    """F_avg = (Tr(R_U^T R)/2 + 1) / 3 for a 1-qubit channel."""
+    reference = ptm_of_unitary(target_unitary)
+    process_fid = float(np.trace(reference.T @ ptm)) / 4.0
+    return (2.0 * process_fid + 1.0) / 3.0

@@ -1,0 +1,191 @@
+"""Single-qubit randomized benchmarking (Ignis, paper Sec. III).
+
+"Rigorously categorizing and analyzing noise processes in the hardware
+through randomized benchmarking": random Clifford sequences of growing
+length are inverted back to the identity; survival probability decays as
+``A * alpha**m + B``, and the error per Clifford is ``(1 - alpha) / 2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import curve_fit
+
+from repro.circuit.library.standard_gates import HGate, SGate
+from repro.circuit.matrix_utils import allclose_up_to_global_phase
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import IgnisError
+from repro.simulators.qasm_simulator import QasmSimulator
+
+
+def _generate_clifford_group():
+    """Enumerate the 24 single-qubit Cliffords as (name sequence, matrix).
+
+    Generated as products of H and S, deduplicated up to global phase.
+    """
+    generators = {"h": HGate().to_matrix(), "s": SGate().to_matrix()}
+    found = [((), np.eye(2, dtype=complex))]
+    frontier = list(found)
+    while frontier:
+        fresh = []
+        for names, matrix in frontier:
+            for gen_name, gen_matrix in generators.items():
+                candidate = gen_matrix @ matrix
+                if any(
+                    allclose_up_to_global_phase(candidate, existing[1])
+                    for existing in found
+                ):
+                    continue
+                entry = (names + (gen_name,), candidate)
+                found.append(entry)
+                fresh.append(entry)
+        frontier = fresh
+    if len(found) != 24:
+        raise IgnisError(f"Clifford enumeration found {len(found)} elements")
+    return found
+
+
+#: The 24 single-qubit Cliffords as (gate-name tuple, unitary) pairs.
+CLIFFORD_1Q = _generate_clifford_group()
+
+
+def clifford_inverse_index(matrix) -> int:
+    """Index of the Clifford inverting ``matrix`` (up to global phase)."""
+    target = np.linalg.inv(matrix)
+    for index, (_names, candidate) in enumerate(CLIFFORD_1Q):
+        if allclose_up_to_global_phase(candidate, target):
+            return index
+    raise IgnisError("matrix is not a Clifford (no inverse found)")
+
+
+def rb_circuit(length: int, qubit: int = 0, num_qubits: int = 1,
+               seed=None) -> QuantumCircuit:
+    """One RB sequence: ``length`` random Cliffords plus the inversion."""
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, num_qubits)
+    accumulated = np.eye(2, dtype=complex)
+    for _ in range(length):
+        index = int(rng.integers(len(CLIFFORD_1Q)))
+        names, matrix = CLIFFORD_1Q[index]
+        for name in names:
+            getattr(circuit, name)(qubit)
+        accumulated = matrix @ accumulated
+    inverse_index = clifford_inverse_index(accumulated)
+    for name in CLIFFORD_1Q[inverse_index][0]:
+        getattr(circuit, name)(qubit)
+    circuit.measure(qubit, qubit)
+    return circuit
+
+
+def rb_experiment(lengths, num_samples: int = 5, shots: int = 512,
+                  noise_model=None, seed=None, qubit: int = 0):
+    """Run RB over the given sequence lengths.
+
+    Returns ``(lengths, survival)`` where ``survival[i]`` is the average
+    probability of recovering |0> at ``lengths[i]``.
+    """
+    engine = QasmSimulator()
+    rng = np.random.default_rng(seed)
+    survival = []
+    for length in lengths:
+        probabilities = []
+        for _ in range(num_samples):
+            circuit = rb_circuit(
+                length, qubit=qubit, seed=int(rng.integers(1 << 31))
+            )
+            outcome = engine.run(
+                circuit,
+                shots=shots,
+                seed=int(rng.integers(1 << 31)),
+                noise_model=noise_model,
+            )
+            zeros = outcome["counts"].get("0" * circuit.num_clbits, 0)
+            probabilities.append(zeros / shots)
+        survival.append(float(np.mean(probabilities)))
+    return list(lengths), survival
+
+
+def fit_rb_decay(lengths, survival):
+    """Fit ``A * alpha**m + B``; returns ``(alpha, A, B, error_per_clifford)``."""
+    lengths = np.asarray(lengths, dtype=float)
+    survival = np.asarray(survival, dtype=float)
+
+    def model(m, a, alpha, b):
+        return a * alpha**m + b
+
+    initial = (0.5, 0.98, 0.5)
+    bounds = ([0.0, 0.0, 0.0], [1.0, 1.0, 1.0])
+    params, _covariance = curve_fit(
+        model, lengths, survival, p0=initial, bounds=bounds, maxfev=20_000
+    )
+    a, alpha, b = params
+    error_per_clifford = (1 - alpha) / 2
+    return float(alpha), float(a), float(b), float(error_per_clifford)
+
+
+def average_clifford_gate_count() -> float:
+    """Mean H/S gate count per Clifford in our enumeration (for converting
+    error-per-Clifford to error-per-gate)."""
+    return float(np.mean([len(names) for names, _ in CLIFFORD_1Q]))
+
+
+def interleaved_rb_circuit(length: int, gate_name: str, qubit: int = 0,
+                           seed=None) -> QuantumCircuit:
+    """Interleaved RB sequence: (random Clifford, target gate) x length.
+
+    The target gate must itself be Clifford (by name on QuantumCircuit,
+    e.g. ``"x"``, ``"h"``, ``"s"``) so the inversion stays in the group.
+    """
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(1, 1)
+    probe = QuantumCircuit(1)
+    getattr(probe, gate_name)(0)
+    gate_matrix = probe.data[0].operation.to_matrix()
+    accumulated = np.eye(2, dtype=complex)
+    for _ in range(length):
+        index = int(rng.integers(len(CLIFFORD_1Q)))
+        names, matrix = CLIFFORD_1Q[index]
+        for name in names:
+            getattr(circuit, name)(qubit)
+        getattr(circuit, gate_name)(qubit)
+        accumulated = gate_matrix @ matrix @ accumulated
+    inverse_index = clifford_inverse_index(accumulated)
+    for name in CLIFFORD_1Q[inverse_index][0]:
+        getattr(circuit, name)(qubit)
+    circuit.measure(qubit, qubit)
+    return circuit
+
+
+def interleaved_rb_experiment(lengths, gate_name: str, num_samples: int = 5,
+                              shots: int = 512, noise_model=None, seed=None):
+    """Run reference + interleaved RB; returns both survival curves."""
+    engine = QasmSimulator()
+    rng = np.random.default_rng(seed)
+    reference = []
+    interleaved = []
+    for length in lengths:
+        ref_probs = []
+        int_probs = []
+        for _ in range(num_samples):
+            ref_circ = rb_circuit(length, seed=int(rng.integers(1 << 31)))
+            int_circ = interleaved_rb_circuit(
+                length, gate_name, seed=int(rng.integers(1 << 31))
+            )
+            for circ, bucket in ((ref_circ, ref_probs), (int_circ, int_probs)):
+                outcome = engine.run(
+                    circ, shots=shots, seed=int(rng.integers(1 << 31)),
+                    noise_model=noise_model,
+                )
+                zeros = outcome["counts"].get("0" * circ.num_clbits, 0)
+                bucket.append(zeros / shots)
+        reference.append(float(np.mean(ref_probs)))
+        interleaved.append(float(np.mean(int_probs)))
+    return list(lengths), reference, interleaved
+
+
+def interleaved_gate_error(lengths, reference, interleaved) -> float:
+    """Per-gate error from the two decays: r = (1 - a_int/a_ref) / 2."""
+    alpha_ref, _a, _b, _epc = fit_rb_decay(lengths, reference)
+    alpha_int, _a2, _b2, _epc2 = fit_rb_decay(lengths, interleaved)
+    ratio = min(1.0, alpha_int / alpha_ref)
+    return (1.0 - ratio) / 2.0

@@ -1,0 +1,122 @@
+"""Quantum state tomography (Ignis, paper Sec. III).
+
+Measures the prepared state in all 3**n Pauli bases and reconstructs
+rho = (1/2**n) * sum_P <P> P by linear inversion, followed by projection
+onto the physical (PSD, trace-1) cone.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.algorithms.expectation import expectation_from_counts
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import IgnisError
+from repro.quantum_info.density_matrix import DensityMatrix
+from repro.quantum_info.pauli import Pauli
+
+
+def tomography_bases(num_qubits: int) -> list[str]:
+    """All 3**n measurement-basis labels, e.g. ``["XX", "XY", ...]``."""
+    return ["".join(chars) for chars in itertools.product("XYZ",
+                                                          repeat=num_qubits)]
+
+
+def state_tomography_circuits(circuit: QuantumCircuit):
+    """Measurement circuits for every Pauli basis.
+
+    Returns ``(circuits, basis_labels)``; label characters read qubit
+    ``n-1`` to qubit 0, left to right.
+    """
+    num_qubits = circuit.num_qubits
+    circuits = []
+    labels = tomography_bases(num_qubits)
+    for label in labels:
+        tomo = QuantumCircuit(num_qubits, num_qubits,
+                              name=f"tomo_{label}")
+        tomo.compose(circuit, qubits=tomo.qubits[:num_qubits], inplace=True)
+        for qubit in range(num_qubits):
+            char = label[num_qubits - 1 - qubit]
+            if char == "X":
+                tomo.h(qubit)
+            elif char == "Y":
+                tomo.sdg(qubit)
+                tomo.h(qubit)
+        for qubit in range(num_qubits):
+            tomo.measure(qubit, qubit)
+        circuits.append(tomo)
+    return circuits, labels
+
+
+def _compatible_basis(pauli_label: str, basis_label: str) -> bool:
+    """Whether a Pauli string is measurable in a basis (I matches any)."""
+    return all(p == "I" or p == b for p, b in zip(pauli_label, basis_label))
+
+
+def fit_state(counts_by_basis: dict, num_qubits: int,
+              project: bool = True) -> DensityMatrix:
+    """Linear-inversion tomography from ``{basis_label: counts}``.
+
+    Every expectation <P> is averaged over all bases compatible with P.
+    With ``project`` the estimate is projected to the nearest PSD state.
+    """
+    expected_bases = set(tomography_bases(num_qubits))
+    if set(counts_by_basis) != expected_bases:
+        missing = expected_bases - set(counts_by_basis)
+        raise IgnisError(f"missing tomography bases: {sorted(missing)[:5]}")
+    dim = 2**num_qubits
+    rho = np.eye(dim, dtype=complex) / dim
+    for pauli_chars in itertools.product("IXYZ", repeat=num_qubits):
+        pauli_label = "".join(pauli_chars)
+        if pauli_label == "I" * num_qubits:
+            continue
+        pauli = Pauli(pauli_label)
+        estimates = []
+        for basis_label, counts in counts_by_basis.items():
+            if _compatible_basis(pauli_label, basis_label):
+                estimates.append(expectation_from_counts(pauli, counts))
+        if not estimates:
+            raise IgnisError(f"no compatible basis for {pauli_label}")
+        rho += float(np.mean(estimates)) * pauli.to_matrix() / dim
+    if project:
+        rho = project_to_physical(rho)
+    return DensityMatrix(rho, validate=False)
+
+
+def project_to_physical(rho: np.ndarray) -> np.ndarray:
+    """Project onto PSD trace-1 matrices (Smolin-Gambetta-Smith style)."""
+    rho = (rho + rho.conj().T) / 2
+    eigenvalues, eigenvectors = np.linalg.eigh(rho)
+    # Water-filling: clip negatives, redistribute to keep trace 1.
+    clipped = eigenvalues.copy()
+    deficit = 0.0
+    for index in range(len(clipped)):
+        if clipped[index] + deficit / (len(clipped) - index) < 0:
+            deficit += clipped[index]
+            clipped[index] = 0.0
+        else:
+            clipped[index:] += deficit / (len(clipped) - index)
+            deficit = 0.0
+            break
+    clipped = np.clip(clipped, 0, None)
+    clipped /= clipped.sum()
+    return (eigenvectors * clipped) @ eigenvectors.conj().T
+
+
+def run_state_tomography(circuit: QuantumCircuit, shots: int = 2048,
+                         seed=None, noise_model=None) -> DensityMatrix:
+    """Convenience wrapper: simulate all bases and fit."""
+    from repro.simulators.qasm_simulator import QasmSimulator
+
+    engine = QasmSimulator()
+    circuits, labels = state_tomography_circuits(circuit)
+    counts_by_basis = {}
+    for index, (tomo, label) in enumerate(zip(circuits, labels)):
+        run_seed = None if seed is None else seed + 31 * index
+        outcome = engine.run(
+            tomo, shots=shots, seed=run_seed, noise_model=noise_model
+        )
+        counts_by_basis[label] = outcome["counts"]
+    return fit_state(counts_by_basis, circuit.num_qubits)

@@ -1,0 +1,22 @@
+"""Providers: Aer simulators, simulated IBM QX devices, jobs and results."""
+
+from repro.providers.aer import Aer
+from repro.providers.backend import BackendConfiguration, BaseBackend, Job
+from repro.providers.execute import execute, transpile
+from repro.providers.fake import IBMQ, FakeQXBackend, build_device_noise_model
+from repro.providers.result import Counts, ExperimentResult, Result
+
+__all__ = [
+    "Aer",
+    "BackendConfiguration",
+    "BaseBackend",
+    "Counts",
+    "ExperimentResult",
+    "FakeQXBackend",
+    "IBMQ",
+    "Job",
+    "Result",
+    "build_device_noise_model",
+    "execute",
+    "transpile",
+]

@@ -1,0 +1,194 @@
+"""The Aer provider: simulator backends behind the Qiskit-style API.
+
+Mirrors the paper's Section IV usage::
+
+    job = execute(measured_circ, backend=Aer.get_backend('qasm_simulator'))
+    counts = job.result().get_counts()
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import BackendError
+from repro.providers.backend import BackendConfiguration, BaseBackend
+from repro.providers.result import ExperimentResult
+from repro.simulators.dd_simulator import DDSimulator
+from repro.simulators.density_matrix_simulator import DensityMatrixSimulator
+from repro.simulators.qasm_simulator import QasmSimulator
+from repro.simulators.stabilizer_simulator import StabilizerSimulator
+from repro.simulators.statevector_simulator import StatevectorSimulator
+from repro.simulators.unitary_simulator import UnitarySimulator
+
+_ALL_GATES = [
+    "u1", "u2", "u3", "u", "p", "cx", "id", "x", "y", "z", "h", "s", "sdg",
+    "t", "tdg", "sx", "sxdg", "rx", "ry", "rz", "cy", "cz", "ch", "swap",
+    "crx", "cry", "crz", "cu1", "cu3", "rzz", "rxx", "ryy", "ccx", "cswap",
+    "unitary",
+]
+
+
+class QasmSimulatorBackend(BaseBackend):
+    """Shot-based simulator backend (optionally noisy)."""
+
+    def __init__(self):
+        super().__init__(
+            BackendConfiguration(
+                "qasm_simulator", 24, _ALL_GATES,
+                description="shot-based statevector/trajectory simulator",
+            )
+        )
+        self._engine = QasmSimulator()
+
+    def _run_experiment(self, circuit, options):
+        payload = self._engine.run(
+            circuit,
+            shots=options.get("shots", 1024),
+            seed=options.get("seed"),
+            noise_model=options.get("noise_model"),
+            memory=options.get("memory", False),
+        )
+        return ExperimentResult(circuit.name, payload["shots"], payload)
+
+
+class StatevectorSimulatorBackend(BaseBackend):
+    """Ideal statevector backend."""
+
+    def __init__(self):
+        super().__init__(
+            BackendConfiguration(
+                "statevector_simulator", 24, _ALL_GATES,
+                description="dense statevector simulator",
+            )
+        )
+        self._engine = StatevectorSimulator()
+
+    def _run_experiment(self, circuit, options):
+        state = self._engine.run(circuit)
+        return ExperimentResult(circuit.name, 1, {"statevector": state})
+
+
+class UnitarySimulatorBackend(BaseBackend):
+    """Full-unitary backend."""
+
+    def __init__(self):
+        super().__init__(
+            BackendConfiguration(
+                "unitary_simulator", 12, _ALL_GATES,
+                description="dense unitary simulator",
+            )
+        )
+        self._engine = UnitarySimulator()
+
+    def _run_experiment(self, circuit, options):
+        operator = self._engine.run(circuit)
+        return ExperimentResult(circuit.name, 1, {"unitary": operator})
+
+
+class DensityMatrixSimulatorBackend(BaseBackend):
+    """Exact noisy (density-matrix) backend."""
+
+    def __init__(self):
+        super().__init__(
+            BackendConfiguration(
+                "density_matrix_simulator", 10, _ALL_GATES,
+                description="exact density-matrix simulator with noise",
+            )
+        )
+        self._engine = DensityMatrixSimulator()
+
+    def _run_experiment(self, circuit, options):
+        noise = options.get("noise_model")
+        if circuit.num_clbits:
+            payload = self._engine.counts(
+                circuit,
+                shots=options.get("shots", 1024),
+                seed=options.get("seed"),
+                noise_model=noise,
+            )
+            payload["density_matrix"] = self._engine.run(circuit, noise)
+            return ExperimentResult(circuit.name, payload["shots"], payload)
+        state = self._engine.run(circuit, noise)
+        return ExperimentResult(circuit.name, 1, {"density_matrix": state})
+
+
+class DDSimulatorBackend(BaseBackend):
+    """Decision-diagram backend (the JKU add-on of the paper's Ref. [5])."""
+
+    def __init__(self):
+        super().__init__(
+            BackendConfiguration(
+                "dd_simulator", 64, _ALL_GATES,
+                description="QMDD decision-diagram simulator",
+            )
+        )
+        self._engine = DDSimulator()
+
+    def _run_experiment(self, circuit, options):
+        dd_state = self._engine.run(circuit)
+        shots = options.get("shots", 1024)
+        data = {
+            "dd_nodes": dd_state.node_count(),
+            "dd_peak_nodes": dd_state.peak_nodes,
+        }
+        if circuit.num_clbits:
+            data["counts"] = dd_state.sample_counts(
+                shots, seed=options.get("seed")
+            )
+            data["shots"] = shots
+        if circuit.num_qubits <= 20:
+            data["statevector"] = dd_state.to_statevector()
+        return ExperimentResult(circuit.name, shots, data)
+
+
+class StabilizerSimulatorBackend(BaseBackend):
+    """Clifford tableau backend (polynomial-time for Clifford circuits)."""
+
+    _CLIFFORD_GATES = [
+        "h", "s", "sdg", "x", "y", "z", "cx", "cz", "swap", "id",
+    ]
+
+    def __init__(self):
+        super().__init__(
+            BackendConfiguration(
+                "stabilizer_simulator", 256, self._CLIFFORD_GATES,
+                description="Aaronson-Gottesman stabilizer simulator",
+            )
+        )
+        self._engine = StabilizerSimulator()
+
+    def _run_experiment(self, circuit, options):
+        payload = self._engine.run(
+            circuit,
+            shots=options.get("shots", 1024),
+            seed=options.get("seed"),
+        )
+        return ExperimentResult(circuit.name, payload["shots"], payload)
+
+
+class _AerProvider:
+    """Provider object exposing ``Aer.get_backend(name)``."""
+
+    def __init__(self):
+        self._factories = {
+            "qasm_simulator": QasmSimulatorBackend,
+            "statevector_simulator": StatevectorSimulatorBackend,
+            "unitary_simulator": UnitarySimulatorBackend,
+            "density_matrix_simulator": DensityMatrixSimulatorBackend,
+            "dd_simulator": DDSimulatorBackend,
+            "stabilizer_simulator": StabilizerSimulatorBackend,
+        }
+
+    def backends(self) -> list[str]:
+        """Available backend names."""
+        return sorted(self._factories)
+
+    def get_backend(self, name: str) -> BaseBackend:
+        """Instantiate a simulator backend by name."""
+        if name not in self._factories:
+            raise BackendError(
+                f"unknown Aer backend '{name}'; available: {self.backends()}"
+            )
+        return self._factories[name]()
+
+
+#: Singleton provider, used as ``Aer.get_backend('qasm_simulator')``.
+Aer = _AerProvider()

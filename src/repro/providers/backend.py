@@ -1,0 +1,96 @@
+"""Backend abstraction: configuration, base class, and synchronous jobs."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.exceptions import BackendError
+
+
+class BackendConfiguration:
+    """Static description of a backend's capabilities."""
+
+    def __init__(self, name, num_qubits, basis_gates, simulator=True,
+                 coupling_map=None, conditional=True, memory=True,
+                 max_shots=1 << 20, description=""):
+        self.backend_name = name
+        self.num_qubits = num_qubits
+        self.basis_gates = list(basis_gates)
+        self.simulator = simulator
+        self.coupling_map = coupling_map
+        self.conditional = conditional
+        self.memory = memory
+        self.max_shots = max_shots
+        self.description = description
+
+    def __repr__(self):
+        kind = "simulator" if self.simulator else "device"
+        return (
+            f"BackendConfiguration({self.backend_name!r}, "
+            f"{self.num_qubits} qubits, {kind})"
+        )
+
+
+class Job:
+    """A completed (synchronous) execution."""
+
+    _id_counter = itertools.count()
+
+    def __init__(self, backend, result):
+        self._backend = backend
+        self._result = result
+        self.job_id = f"job-{next(Job._id_counter)}"
+
+    def result(self):
+        """The :class:`~repro.providers.result.Result`."""
+        return self._result
+
+    def status(self) -> str:
+        """Always ``"DONE"`` — execution is synchronous."""
+        return "DONE"
+
+    def backend(self):
+        """The backend that ran this job."""
+        return self._backend
+
+    def __repr__(self):
+        return f"Job({self.job_id}, backend={self._backend.name()!r})"
+
+
+class BaseBackend:
+    """Common backend behaviour."""
+
+    def __init__(self, configuration: BackendConfiguration):
+        self._configuration = configuration
+
+    def configuration(self) -> BackendConfiguration:
+        """Static backend description."""
+        return self._configuration
+
+    def name(self) -> str:
+        """Backend name."""
+        return self._configuration.backend_name
+
+    def run(self, circuits, **options) -> Job:
+        """Execute one circuit or a list of circuits; returns a Job."""
+        if not isinstance(circuits, (list, tuple)):
+            circuits = [circuits]
+        if not circuits:
+            raise BackendError("no circuits to run")
+        shots = options.get("shots", 1024)
+        if shots > self._configuration.max_shots:
+            raise BackendError(
+                f"shots {shots} exceeds backend maximum "
+                f"{self._configuration.max_shots}"
+            )
+        experiments = [self._run_experiment(c, options) for c in circuits]
+        from repro.providers.result import Result
+
+        result = Result(self.name(), f"job-{id(self) & 0xffff:x}", experiments)
+        return Job(self, result)
+
+    def _run_experiment(self, circuit, options):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<{type(self).__name__}('{self.name()}')>"

@@ -1,0 +1,43 @@
+"""Top-level ``execute`` and ``transpile`` entry points (paper Sec. IV)."""
+
+from __future__ import annotations
+
+from repro.providers.backend import BaseBackend, Job
+from repro.exceptions import BackendError
+from repro.transpiler.preset import transpile as _transpile
+
+#: Re-exported so ``from repro import transpile`` matches the Qiskit API.
+transpile = _transpile
+
+
+def execute(circuits, backend: BaseBackend, shots: int = 1024, seed=None,
+            noise_model=None, memory: bool = False,
+            optimization_level: int = 1) -> Job:
+    """Compile (if needed) and run circuits on a backend.
+
+    For simulator backends the circuits run as-is.  For device backends the
+    circuits are transpiled to the device's coupling map and basis first —
+    the ``compile`` step of the paper's Section IV run-through.
+    """
+    if not isinstance(backend, BaseBackend):
+        raise BackendError("backend must come from Aer or IBMQ get_backend")
+    single = not isinstance(circuits, (list, tuple))
+    batch = [circuits] if single else list(circuits)
+    configuration = backend.configuration()
+    if not configuration.simulator:
+        prepared = []
+        for circuit in batch:
+            mapped = _transpile(
+                circuit,
+                coupling_map=configuration.coupling_map,
+                basis_gates=configuration.basis_gates,
+                optimization_level=optimization_level,
+                seed=seed,
+            )
+            mapped.name = circuit.name
+            prepared.append(mapped)
+        batch = prepared
+    options = {"shots": shots, "seed": seed, "memory": memory}
+    if noise_model is not None:
+        options["noise_model"] = noise_model
+    return backend.run(batch, **options)

@@ -1,0 +1,121 @@
+"""Execution results: counts histograms and the Result container."""
+
+from __future__ import annotations
+
+from repro.exceptions import BackendError
+
+
+class Counts(dict):
+    """A measurement histogram keyed by bitstring (clbit 0 rightmost)."""
+
+    def most_frequent(self) -> str:
+        """The most common outcome."""
+        if not self:
+            raise BackendError("no counts recorded")
+        return max(self, key=self.get)
+
+    def probabilities(self) -> dict:
+        """Normalized outcome frequencies."""
+        total = sum(self.values())
+        return {key: value / total for key, value in self.items()}
+
+    def int_outcomes(self) -> dict:
+        """Counts keyed by integer outcome values."""
+        return {int(key, 2): value for key, value in self.items()}
+
+    def marginal(self, positions) -> "Counts":
+        """Marginalize onto the given clbit positions (0 = rightmost).
+
+        The returned keys list ``positions[-1] ... positions[0]`` left to
+        right, i.e. ``positions[0]`` becomes the new bit 0.
+        """
+        merged: dict = {}
+        for key, value in self.items():
+            bits = key[::-1]  # bits[i] = clbit i
+            selected = "".join(
+                bits[p] if p < len(bits) else "0" for p in positions
+            )[::-1]
+            merged[selected] = merged.get(selected, 0) + value
+        return Counts(merged)
+
+
+class ExperimentResult:
+    """Result of one circuit's execution."""
+
+    def __init__(self, circuit_name, shots, data):
+        self.circuit_name = circuit_name
+        self.shots = shots
+        #: Raw payload: may contain 'counts', 'memory', 'statevector',
+        #: 'unitary', 'density_matrix', 'dd_nodes', ...
+        self.data = data
+
+    def __repr__(self):
+        return (
+            f"ExperimentResult({self.circuit_name!r}, shots={self.shots}, "
+            f"keys={sorted(self.data)})"
+        )
+
+
+class Result:
+    """Results for a batch of circuits run on one backend."""
+
+    def __init__(self, backend_name, job_id, experiment_results):
+        self.backend_name = backend_name
+        self.job_id = job_id
+        self._results = list(experiment_results)
+
+    def _lookup(self, circuit=None) -> ExperimentResult:
+        if circuit is None:
+            if len(self._results) != 1:
+                raise BackendError(
+                    "multiple experiments in result; specify a circuit"
+                )
+            return self._results[0]
+        name = circuit if isinstance(circuit, str) else circuit.name
+        for experiment in self._results:
+            if experiment.circuit_name == name:
+                return experiment
+        raise BackendError(f"no result for circuit '{name}'")
+
+    def get_counts(self, circuit=None) -> Counts:
+        """Measurement counts for one circuit."""
+        experiment = self._lookup(circuit)
+        if "counts" not in experiment.data:
+            raise BackendError("this result holds no counts")
+        return Counts(experiment.data["counts"])
+
+    def get_memory(self, circuit=None) -> list:
+        """Per-shot outcomes (requires ``memory=True`` at run time)."""
+        experiment = self._lookup(circuit)
+        if "memory" not in experiment.data:
+            raise BackendError("memory was not requested")
+        return list(experiment.data["memory"])
+
+    def get_statevector(self, circuit=None):
+        """Final statevector (statevector backend only)."""
+        experiment = self._lookup(circuit)
+        if "statevector" not in experiment.data:
+            raise BackendError("this result holds no statevector")
+        return experiment.data["statevector"]
+
+    def get_unitary(self, circuit=None):
+        """Circuit unitary (unitary backend only)."""
+        experiment = self._lookup(circuit)
+        if "unitary" not in experiment.data:
+            raise BackendError("this result holds no unitary")
+        return experiment.data["unitary"]
+
+    def data(self, circuit=None) -> dict:
+        """The raw data payload."""
+        return dict(self._lookup(circuit).data)
+
+    @property
+    def results(self) -> list:
+        """All experiment results."""
+        return list(self._results)
+
+    def __repr__(self):
+        return (
+            f"Result(backend={self.backend_name!r}, job={self.job_id!r}, "
+            f"experiments={len(self._results)})"
+        )

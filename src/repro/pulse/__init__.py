@@ -1,0 +1,27 @@
+"""OpenPulse-style pulse layer: waveforms, schedules, physics simulation."""
+
+from repro.pulse.calibration import (
+    calibrate_pi_amplitude,
+    fit_rabi,
+    frequency_sweep,
+    rabi_experiment,
+    rabi_schedule,
+)
+from repro.pulse.schedule import Delay, DriveChannel, Play, Schedule, ShiftPhase
+from repro.pulse.simulator import PulseSimulator, TransmonQubit
+from repro.pulse.waveforms import (
+    PulseError,
+    Waveform,
+    constant,
+    drag,
+    gaussian,
+    gaussian_square,
+)
+
+__all__ = [
+    "Delay", "DriveChannel", "Play", "PulseError", "PulseSimulator",
+    "Schedule", "ShiftPhase", "TransmonQubit", "Waveform",
+    "calibrate_pi_amplitude", "constant", "drag", "fit_rabi",
+    "frequency_sweep", "gaussian", "gaussian_square", "rabi_experiment",
+    "rabi_schedule",
+]

@@ -1,0 +1,91 @@
+"""Pulse-level calibration experiments.
+
+The hardware-characterization workflows that sit beneath gate-level
+operation: a Rabi amplitude sweep fits the oscillation
+``P(1) = A (1 - cos(2 pi amp / period)) / 2`` and reads off the pi-pulse
+amplitude; a detuning (frequency) sweep locates the qubit resonance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import curve_fit
+
+from repro.pulse.schedule import DriveChannel, Play, Schedule
+from repro.pulse.simulator import PulseSimulator, TransmonQubit
+from repro.pulse.waveforms import gaussian
+
+
+def rabi_schedule(amplitude: float, qubit: int = 0, duration: int = 64,
+                  sigma: float = 16.0) -> Schedule:
+    """One Rabi point: a Gaussian drive of the given amplitude."""
+    schedule = Schedule(name=f"rabi(amp={amplitude:.3f})")
+    schedule.append(
+        Play(gaussian(duration, amplitude, sigma), DriveChannel(qubit))
+    )
+    return schedule
+
+
+def rabi_experiment(simulator: PulseSimulator, amplitudes, qubit: int = 0,
+                    duration: int = 64, sigma: float = 16.0):
+    """Sweep drive amplitude, return P(|1>) per amplitude."""
+    populations = []
+    for amplitude in amplitudes:
+        schedule = rabi_schedule(amplitude, qubit, duration, sigma)
+        populations.append(
+            simulator.excited_population(schedule)[qubit]
+        )
+    return list(amplitudes), populations
+
+
+def fit_rabi(amplitudes, populations) -> float:
+    """Fit the Rabi oscillation; returns the pi-pulse amplitude."""
+    amplitudes = np.asarray(amplitudes, dtype=float)
+    populations = np.asarray(populations, dtype=float)
+
+    def model(amp, scale, period, offset):
+        return scale * (1 - np.cos(2 * np.pi * amp / period)) / 2 + offset
+
+    # Initial period guess from the first maximum.
+    peak = amplitudes[int(np.argmax(populations))]
+    initial = (1.0, max(2 * peak, 1e-3), 0.0)
+    params, _cov = curve_fit(
+        model, amplitudes, populations, p0=initial, maxfev=20_000
+    )
+    period = abs(params[1])
+    return period / 2.0
+
+
+def frequency_sweep(simulator: PulseSimulator, detunings, qubit: int = 0,
+                    amplitude: float = 0.3, duration: int = 64,
+                    sigma: float = 16.0):
+    """Drive at a range of detunings; resonance maximizes P(|1>)."""
+    resonance = simulator.qubits[qubit].frequency
+    populations = []
+    for detuning in detunings:
+        schedule = rabi_schedule(amplitude, qubit, duration, sigma)
+        frequencies = [q.frequency for q in simulator.qubits]
+        frequencies[qubit] = resonance - detuning
+        populations.append(
+            simulator.excited_population(schedule, frequencies)[qubit]
+        )
+    return list(detunings), populations
+
+
+def calibrate_pi_amplitude(rabi_rate: float = 0.1, duration: int = 64,
+                           sigma: float = 16.0, points: int = 30):
+    """End-to-end Rabi calibration on a fresh simulated qubit.
+
+    Returns ``(pi_amplitude, residual_error)`` where the residual is
+    |P(1) - 1| when driving at the fitted pi amplitude.
+    """
+    simulator = PulseSimulator([TransmonQubit(rabi_rate=rabi_rate)])
+    amplitudes = np.linspace(0.02, 1.0, points)
+    _amps, populations = rabi_experiment(
+        simulator, amplitudes, duration=duration, sigma=sigma
+    )
+    pi_amplitude = fit_rabi(amplitudes, populations)
+    check = simulator.excited_population(
+        rabi_schedule(pi_amplitude, duration=duration, sigma=sigma)
+    )[0]
+    return float(pi_amplitude), float(abs(check - 1.0))

@@ -1,0 +1,116 @@
+"""Pulse schedules: time-ordered instructions on drive channels."""
+
+from __future__ import annotations
+
+from repro.pulse.waveforms import PulseError, Waveform
+
+
+class DriveChannel:
+    """The microwave drive line of one qubit."""
+
+    __slots__ = ("qubit",)
+
+    def __init__(self, qubit: int):
+        if qubit < 0:
+            raise PulseError("qubit index must be non-negative")
+        self.qubit = qubit
+
+    def __eq__(self, other):
+        return isinstance(other, DriveChannel) and self.qubit == other.qubit
+
+    def __hash__(self):
+        return hash(("drive", self.qubit))
+
+    def __repr__(self):
+        return f"DriveChannel({self.qubit})"
+
+
+class Play:
+    """Play a waveform on a channel."""
+
+    def __init__(self, waveform: Waveform, channel: DriveChannel):
+        self.waveform = waveform
+        self.channel = channel
+        self.duration = waveform.duration
+
+    def __repr__(self):
+        return f"Play({self.waveform.name}, {self.channel})"
+
+
+class Delay:
+    """Idle a channel for a number of samples."""
+
+    def __init__(self, duration: int, channel: DriveChannel):
+        if duration < 0:
+            raise PulseError("delay must be non-negative")
+        self.duration = duration
+        self.channel = channel
+
+    def __repr__(self):
+        return f"Delay({self.duration}, {self.channel})"
+
+
+class ShiftPhase:
+    """Shift the frame phase of a channel (virtual-Z)."""
+
+    def __init__(self, phase: float, channel: DriveChannel):
+        self.phase = float(phase)
+        self.channel = channel
+        self.duration = 0
+
+    def __repr__(self):
+        return f"ShiftPhase({self.phase:.4f}, {self.channel})"
+
+
+class Schedule:
+    """A time-ordered pulse program.
+
+    Instructions are appended per channel; each channel has its own clock
+    and ``append`` places the instruction at that channel's current end.
+    """
+
+    def __init__(self, name=None):
+        self.name = name or "schedule"
+        self._timeline: list[tuple[int, object]] = []
+        self._channel_ends: dict = {}
+
+    def append(self, instruction) -> "Schedule":
+        """Schedule ``instruction`` at its channel's current end time."""
+        channel = instruction.channel
+        start = self._channel_ends.get(channel, 0)
+        self._timeline.append((start, instruction))
+        self._channel_ends[channel] = start + instruction.duration
+        return self
+
+    def insert(self, start: int, instruction) -> "Schedule":
+        """Schedule ``instruction`` at an explicit start time."""
+        if start < 0:
+            raise PulseError("start time must be non-negative")
+        channel = instruction.channel
+        self._timeline.append((start, instruction))
+        end = start + instruction.duration
+        self._channel_ends[channel] = max(
+            self._channel_ends.get(channel, 0), end
+        )
+        return self
+
+    @property
+    def duration(self) -> int:
+        """Total schedule length in samples."""
+        return max(self._channel_ends.values(), default=0)
+
+    @property
+    def instructions(self) -> list:
+        """(start_time, instruction) pairs in time order."""
+        return sorted(self._timeline, key=lambda pair: pair[0])
+
+    @property
+    def channels(self) -> set:
+        """Channels used by the schedule."""
+        return set(self._channel_ends)
+
+    def __repr__(self):
+        return (
+            f"Schedule({self.name}, duration={self.duration}, "
+            f"instructions={len(self._timeline)})"
+        )

@@ -1,0 +1,93 @@
+"""Pulse envelopes (OpenPulse-style waveforms).
+
+The paper's Terra section: circuits can be specified "at the pulse levels
+through OpenPulse [19]".  A waveform is a list of complex samples at a
+fixed sample period ``dt``; the real part drives the in-phase (X) axis and
+the imaginary part the quadrature (Y) axis in the rotating frame.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+
+class PulseError(ReproError):
+    """Raised for invalid pulse construction or scheduling."""
+
+
+class Waveform:
+    """A sampled complex pulse envelope."""
+
+    def __init__(self, samples, name=None):
+        self.samples = np.asarray(samples, dtype=complex).ravel()
+        if self.samples.size == 0:
+            raise PulseError("waveform needs at least one sample")
+        if np.abs(self.samples).max() > 1.0 + 1e-9:
+            raise PulseError("waveform amplitude must not exceed 1")
+        self.name = name or "waveform"
+
+    @property
+    def duration(self) -> int:
+        """Length in samples."""
+        return self.samples.size
+
+    def __repr__(self):
+        return f"Waveform({self.name}, duration={self.duration})"
+
+
+def constant(duration: int, amplitude: complex, name=None) -> Waveform:
+    """A flat-top pulse."""
+    if duration < 1:
+        raise PulseError("duration must be positive")
+    return Waveform(
+        np.full(duration, amplitude, dtype=complex), name or "const"
+    )
+
+
+def gaussian(duration: int, amplitude: complex, sigma: float,
+             name=None) -> Waveform:
+    """A Gaussian envelope centered on the pulse midpoint."""
+    if duration < 1 or sigma <= 0:
+        raise PulseError("invalid gaussian parameters")
+    times = np.arange(duration)
+    center = (duration - 1) / 2
+    envelope = np.exp(-0.5 * ((times - center) / sigma) ** 2)
+    return Waveform(amplitude * envelope, name or "gauss")
+
+
+def gaussian_square(duration: int, amplitude: complex, sigma: float,
+                    width: int, name=None) -> Waveform:
+    """Flat top with Gaussian rising and falling edges."""
+    if width >= duration:
+        raise PulseError("flat width must be shorter than the duration")
+    edge = (duration - width) / 2
+    times = np.arange(duration)
+    envelope = np.ones(duration)
+    rising = times < edge
+    falling = times >= edge + width
+    envelope[rising] = np.exp(-0.5 * ((times[rising] - edge) / sigma) ** 2)
+    envelope[falling] = np.exp(
+        -0.5 * ((times[falling] - (edge + width)) / sigma) ** 2
+    )
+    return Waveform(amplitude * envelope, name or "gauss_square")
+
+
+def drag(duration: int, amplitude: complex, sigma: float, beta: float,
+         name=None) -> Waveform:
+    """DRAG pulse: Gaussian with a derivative quadrature correction.
+
+    The beta-weighted imaginary component suppresses leakage/phase errors —
+    one of the Ignis-flavoured "pulse schemes for mitigation of systematic
+    gate-implementation errors" the paper mentions.
+    """
+    base = gaussian(duration, 1.0, sigma).samples.real
+    times = np.arange(duration)
+    center = (duration - 1) / 2
+    derivative = -(times - center) / sigma**2 * base
+    samples = amplitude * (base + 1j * beta * derivative)
+    peak = np.abs(samples).max()
+    if peak > 1.0:
+        samples = samples / peak
+    return Waveform(samples, name or "drag")

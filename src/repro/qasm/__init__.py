@@ -1,0 +1,7 @@
+"""OpenQASM 2.0 front end: lexer, parser, exporter."""
+
+from repro.qasm.exporter import circuit_to_qasm
+from repro.qasm.lexer import Token, tokenize
+from repro.qasm.parser import QasmParser, parse_qasm
+
+__all__ = ["QasmParser", "Token", "circuit_to_qasm", "parse_qasm", "tokenize"]

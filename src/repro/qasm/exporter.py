@@ -1,0 +1,88 @@
+"""Serialize circuits back to OpenQASM 2.0 text (round-trip with the parser).
+
+Gates outside the qelib1 vocabulary (composite gates from
+``QuantumCircuit.to_gate`` or raw ``unitary`` gates) are expanded inline via
+their definitions until only standard gates remain.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.library.standard_gates import STANDARD_GATES
+from repro.circuit.parameter import ParameterExpression
+from repro.exceptions import QasmError
+
+#: Standard-gate names writable directly in a qelib1 program.
+_EMITTABLE = set(STANDARD_GATES) | {"U", "CX"}
+#: Aliases whose qelib1 spelling differs from our internal name.
+_RENAME = {"u": "u3", "p": "u1", "cp": "cu1"}
+
+
+def _format_param(param) -> str:
+    if isinstance(param, ParameterExpression):
+        if param.parameters:
+            raise QasmError(
+                "cannot export unbound parameters to OpenQASM 2.0; "
+                "bind them first"
+            )
+        param = float(param)
+    value = float(param)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _bit_ref(bit) -> str:
+    return f"{bit.register.name}[{bit.index}]"
+
+
+def _emit_operation(lines, operation, qubit_refs, clbit_refs):
+    """Append the QASM line(s) for one operation, expanding composites."""
+    name = operation.name
+    prefix = ""
+    if operation.condition is not None:
+        register, value = operation.condition
+        prefix = f"if({register.name}=={value}) "
+    if name == "measure":
+        lines.append(f"{prefix}measure {qubit_refs[0]} -> {clbit_refs[0]};")
+        return
+    if name == "reset":
+        lines.append(f"{prefix}reset {qubit_refs[0]};")
+        return
+    if name == "barrier":
+        lines.append(f"barrier {', '.join(qubit_refs)};")
+        return
+    emit_name = _RENAME.get(name, name)
+    if emit_name in _EMITTABLE and emit_name not in ("U", "CX", "unitary"):
+        if operation.params:
+            params = ",".join(_format_param(p) for p in operation.params)
+            lines.append(f"{prefix}{emit_name}({params}) {', '.join(qubit_refs)};")
+        else:
+            lines.append(f"{prefix}{emit_name} {', '.join(qubit_refs)};")
+        return
+    # Composite or opaque: expand through the definition.
+    definition = operation.definition
+    if definition is None:
+        raise QasmError(
+            f"cannot export gate '{name}': not in qelib1 and has no definition"
+        )
+    for sub, qpos, cpos in definition:
+        sub_qubits = [qubit_refs[i] for i in qpos]
+        sub_clbits = [clbit_refs[i] for i in cpos]
+        if operation.condition is not None and sub.condition is None:
+            sub = sub.copy()
+            sub.condition = operation.condition
+        _emit_operation(lines, sub, sub_qubits, sub_clbits)
+
+
+def circuit_to_qasm(circuit) -> str:
+    """Serialize ``circuit`` to an OpenQASM 2.0 program string."""
+    lines = ['OPENQASM 2.0;', 'include "qelib1.inc";']
+    for register in circuit.qregs:
+        lines.append(f"qreg {register.name}[{register.size}];")
+    for register in circuit.cregs:
+        lines.append(f"creg {register.name}[{register.size}];")
+    for item in circuit.data:
+        qubit_refs = [_bit_ref(q) for q in item.qubits]
+        clbit_refs = [_bit_ref(c) for c in item.clbits]
+        _emit_operation(lines, item.operation, qubit_refs, clbit_refs)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,144 @@
+"""Tokenizer for OpenQASM 2.0 (the language of the paper's Fig. 1a)."""
+
+from __future__ import annotations
+
+from repro.exceptions import QasmError
+
+KEYWORDS = {
+    "OPENQASM", "include", "qreg", "creg", "gate", "opaque",
+    "measure", "reset", "barrier", "if", "pi",
+}
+
+SYMBOLS = {
+    "->": "ARROW",
+    "==": "EQEQ",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "[": "LBRACKET",
+    "]": "RBRACKET",
+    "{": "LBRACE",
+    "}": "RBRACE",
+    ",": "COMMA",
+    ";": "SEMICOLON",
+    "+": "PLUS",
+    "-": "MINUS",
+    "*": "TIMES",
+    "/": "DIVIDE",
+    "^": "POWER",
+}
+
+
+class Token:
+    """A lexical token with position information for error messages."""
+
+    __slots__ = ("type", "value", "line", "column")
+
+    def __init__(self, type_, value, line, column):
+        self.type = type_
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        return f"Token({self.type}, {self.value!r}, line {self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert OpenQASM source text into a token list (EOF-terminated)."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    length = len(source)
+
+    def error(message):
+        raise QasmError(f"line {line}, column {col}: {message}")
+
+    while i < length:
+        char = source[i]
+        # Whitespace.
+        if char in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if char == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        # Comments.
+        if source.startswith("//", i):
+            while i < length and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                error("unterminated block comment")
+            skipped = source[i : end + 2]
+            line += skipped.count("\n")
+            i = end + 2
+            continue
+        # Strings.
+        if char == '"':
+            end = source.find('"', i + 1)
+            if end == -1:
+                error("unterminated string literal")
+            tokens.append(Token("STRING", source[i + 1 : end], line, col))
+            col += end + 1 - i
+            i = end + 1
+            continue
+        # Numbers.
+        if char.isdigit() or (char == "." and i + 1 < length and source[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            seen_exp = False
+            while i < length:
+                c = source[i]
+                if c.isdigit():
+                    i += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    i += 1
+                elif c in "eE" and not seen_exp and i > start:
+                    seen_exp = True
+                    i += 1
+                    if i < length and source[i] in "+-":
+                        i += 1
+                else:
+                    break
+            text = source[start:i]
+            if seen_dot or seen_exp:
+                tokens.append(Token("REAL", float(text), line, col))
+            else:
+                tokens.append(Token("INT", int(text), line, col))
+            col += i - start
+            continue
+        # Identifiers / keywords.
+        if char.isalpha() or char == "_":
+            start = i
+            while i < length and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            word = source[start:i]
+            if word in KEYWORDS:
+                tokens.append(Token(word.upper() if word == "pi" else word, word, line, col))
+                if word == "pi":
+                    tokens[-1] = Token("PI", word, line, col)
+            else:
+                tokens.append(Token("ID", word, line, col))
+            col += i - start
+            continue
+        # Two-character symbols first.
+        matched = False
+        for text, name in SYMBOLS.items():
+            if source.startswith(text, i):
+                tokens.append(Token(name, text, line, col))
+                i += len(text)
+                col += len(text)
+                matched = True
+                break
+        if matched:
+            continue
+        error(f"unexpected character {char!r}")
+    tokens.append(Token("EOF", None, line, col))
+    return tokens

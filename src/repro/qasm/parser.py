@@ -1,0 +1,451 @@
+"""Recursive-descent parser for OpenQASM 2.0.
+
+Implements the grammar of Cross et al., "Open quantum assembly language"
+(the paper's Ref. [12]): register declarations, gate definitions, the
+builtin ``U``/``CX`` operations, ``qelib1.inc`` standard gates, measurement,
+reset, barriers, and classically-conditioned operations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuit.gate import Gate
+from repro.circuit.library.standard_gates import (
+    STANDARD_GATES,
+    CXGate,
+    U3Gate,
+    get_standard_gate,
+)
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.circuit.register import ClassicalRegister, QuantumRegister
+from repro.exceptions import QasmError
+from repro.qasm.lexer import Token, tokenize
+
+_FUNCTIONS = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "exp": math.exp,
+    "ln": math.log,
+    "sqrt": math.sqrt,
+}
+
+
+class _GateDef:
+    """A user ``gate`` declaration: parameter names, qubit names, body."""
+
+    __slots__ = ("name", "params", "qubits", "body", "opaque")
+
+    def __init__(self, name, params, qubits, body, opaque=False):
+        self.name = name
+        self.params = params
+        self.qubits = qubits
+        self.body = body
+        self.opaque = opaque
+
+
+class _GateCall:
+    """One call inside a gate body (args are formal qubit names)."""
+
+    __slots__ = ("name", "exprs", "qubit_args")
+
+    def __init__(self, name, exprs, qubit_args):
+        self.name = name
+        self.exprs = exprs
+        self.qubit_args = qubit_args
+
+
+class QasmParser:
+    """Parses one OpenQASM 2.0 program into a :class:`QuantumCircuit`."""
+
+    def __init__(self, source: str):
+        self._tokens = tokenize(source)
+        self._pos = 0
+        self._qregs: dict[str, QuantumRegister] = {}
+        self._cregs: dict[str, ClassicalRegister] = {}
+        self._gate_defs: dict[str, _GateDef] = {}
+        self._qelib1 = False
+        self._circuit = QuantumCircuit(name="qasm-circuit")
+
+    # -- token helpers ---------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect(self, type_) -> Token:
+        token = self._advance()
+        if token.type != type_:
+            raise QasmError(
+                f"line {token.line}: expected {type_}, got {token.type} "
+                f"({token.value!r})"
+            )
+        return token
+
+    def _accept(self, type_):
+        if self._peek().type == type_:
+            return self._advance()
+        return None
+
+    # -- entry point ---------------------------------------------------------
+
+    def parse(self) -> QuantumCircuit:
+        """Parse the full program and return the circuit."""
+        self._expect("OPENQASM")
+        version = self._advance()
+        if version.type not in ("REAL", "INT") or float(version.value) != 2.0:
+            raise QasmError(f"unsupported OpenQASM version {version.value!r}")
+        self._expect("SEMICOLON")
+        while self._peek().type != "EOF":
+            self._statement()
+        return self._circuit
+
+    # -- statements --------------------------------------------------------------
+
+    def _statement(self):
+        token = self._peek()
+        if token.type == "include":
+            self._include()
+        elif token.type in ("qreg", "creg"):
+            self._register_decl()
+        elif token.type == "gate":
+            self._gate_decl()
+        elif token.type == "opaque":
+            self._opaque_decl()
+        elif token.type == "if":
+            self._if_statement()
+        elif token.type == "measure":
+            self._measure()
+        elif token.type == "reset":
+            self._reset()
+        elif token.type == "barrier":
+            self._barrier()
+        elif token.type == "ID":
+            self._gate_call()
+        else:
+            raise QasmError(
+                f"line {token.line}: unexpected token {token.value!r}"
+            )
+
+    def _include(self):
+        self._expect("include")
+        filename = self._expect("STRING").value
+        self._expect("SEMICOLON")
+        if filename == "qelib1.inc":
+            self._qelib1 = True
+        else:
+            raise QasmError(
+                f"cannot include {filename!r}: only qelib1.inc is available"
+            )
+
+    def _register_decl(self):
+        kind = self._advance().type
+        name = self._expect("ID").value
+        self._expect("LBRACKET")
+        size = self._expect("INT").value
+        self._expect("RBRACKET")
+        self._expect("SEMICOLON")
+        if name in self._qregs or name in self._cregs:
+            raise QasmError(f"register '{name}' already declared")
+        if kind == "qreg":
+            register = QuantumRegister(size, name)
+            self._qregs[name] = register
+        else:
+            register = ClassicalRegister(size, name)
+            self._cregs[name] = register
+        self._circuit.add_register(register)
+
+    def _gate_decl(self):
+        self._expect("gate")
+        name = self._expect("ID").value
+        params: list[str] = []
+        if self._accept("LPAREN"):
+            if self._peek().type != "RPAREN":
+                params.append(self._expect("ID").value)
+                while self._accept("COMMA"):
+                    params.append(self._expect("ID").value)
+            self._expect("RPAREN")
+        qubits = [self._expect("ID").value]
+        while self._accept("COMMA"):
+            qubits.append(self._expect("ID").value)
+        self._expect("LBRACE")
+        body: list[_GateCall] = []
+        while self._peek().type != "RBRACE":
+            token = self._peek()
+            if token.type == "barrier":
+                # Barriers inside gate bodies are directives; skip them.
+                self._advance()
+                while self._peek().type != "SEMICOLON":
+                    self._advance()
+                self._expect("SEMICOLON")
+                continue
+            call_name = self._expect("ID").value
+            exprs = []
+            if self._accept("LPAREN"):
+                if self._peek().type != "RPAREN":
+                    exprs.append(self._expression())
+                    while self._accept("COMMA"):
+                        exprs.append(self._expression())
+                self._expect("RPAREN")
+            args = [self._expect("ID").value]
+            while self._accept("COMMA"):
+                args.append(self._expect("ID").value)
+            self._expect("SEMICOLON")
+            for arg in args:
+                if arg not in qubits:
+                    raise QasmError(
+                        f"gate '{name}': unknown qubit argument '{arg}'"
+                    )
+            body.append(_GateCall(call_name, exprs, args))
+        self._expect("RBRACE")
+        self._gate_defs[name] = _GateDef(name, params, qubits, body)
+
+    def _opaque_decl(self):
+        self._expect("opaque")
+        name = self._expect("ID").value
+        params: list[str] = []
+        if self._accept("LPAREN"):
+            if self._peek().type != "RPAREN":
+                params.append(self._expect("ID").value)
+                while self._accept("COMMA"):
+                    params.append(self._expect("ID").value)
+            self._expect("RPAREN")
+        qubits = [self._expect("ID").value]
+        while self._accept("COMMA"):
+            qubits.append(self._expect("ID").value)
+        self._expect("SEMICOLON")
+        self._gate_defs[name] = _GateDef(name, params, qubits, [], opaque=True)
+
+    # -- quantum operations ------------------------------------------------------
+
+    def _if_statement(self):
+        self._expect("if")
+        self._expect("LPAREN")
+        reg_name = self._expect("ID").value
+        self._expect("EQEQ")
+        value = self._expect("INT").value
+        self._expect("RPAREN")
+        if reg_name not in self._cregs:
+            raise QasmError(f"unknown classical register '{reg_name}'")
+        register = self._cregs[reg_name]
+        before = len(self._circuit.data)
+        token = self._peek()
+        if token.type == "measure":
+            self._measure()
+        elif token.type == "reset":
+            self._reset()
+        elif token.type == "ID":
+            self._gate_call()
+        else:
+            raise QasmError(f"line {token.line}: invalid conditioned operation")
+        for item in self._circuit.data[before:]:
+            item.operation.condition = (register, value)
+
+    def _measure(self):
+        self._expect("measure")
+        qubit = self._quantum_argument()
+        self._expect("ARROW")
+        clbit = self._classical_argument()
+        self._expect("SEMICOLON")
+        self._circuit.measure(qubit, clbit)
+
+    def _reset(self):
+        self._expect("reset")
+        qubit = self._quantum_argument()
+        self._expect("SEMICOLON")
+        self._circuit.reset(qubit)
+
+    def _barrier(self):
+        self._expect("barrier")
+        args = [self._quantum_argument()]
+        while self._accept("COMMA"):
+            args.append(self._quantum_argument())
+        self._expect("SEMICOLON")
+        self._circuit.barrier(*args)
+
+    def _gate_call(self):
+        name_token = self._expect("ID")
+        name = name_token.value
+        exprs = []
+        if self._accept("LPAREN"):
+            if self._peek().type != "RPAREN":
+                exprs.append(self._expression())
+                while self._accept("COMMA"):
+                    exprs.append(self._expression())
+            self._expect("RPAREN")
+        args = [self._quantum_argument()]
+        while self._accept("COMMA"):
+            args.append(self._quantum_argument())
+        self._expect("SEMICOLON")
+        params = [self._evaluate(expr, {}) for expr in exprs]
+        gate = self._instantiate(name, params, name_token.line)
+        self._circuit.append(gate, args)
+
+    def _instantiate(self, name, params, line) -> Gate:
+        """Build a gate object for ``name`` with evaluated ``params``."""
+        if name in self._gate_defs:
+            gdef = self._gate_defs[name]
+            if len(params) != len(gdef.params):
+                raise QasmError(
+                    f"line {line}: gate '{name}' takes {len(gdef.params)} "
+                    f"parameter(s), got {len(params)}"
+                )
+            if gdef.opaque:
+                return Gate(name, len(gdef.qubits), params)
+            env = dict(zip(gdef.params, params))
+            definition = []
+            for call in gdef.body:
+                sub_params = [self._evaluate(expr, env) for expr in call.exprs]
+                sub_gate = self._instantiate(call.name, sub_params, line)
+                positions = tuple(gdef.qubits.index(q) for q in call.qubit_args)
+                definition.append((sub_gate, positions, ()))
+            gate = Gate(name, len(gdef.qubits), params)
+            gate._definition = definition
+            return gate
+        if name == "U":
+            if len(params) != 3:
+                raise QasmError(f"line {line}: U takes 3 parameters")
+            return U3Gate(*params)
+        if name == "CX":
+            return CXGate()
+        if name in STANDARD_GATES:
+            if not self._qelib1:
+                raise QasmError(
+                    f"line {line}: gate '{name}' requires "
+                    f'include "qelib1.inc";'
+                )
+            return get_standard_gate(name, params)
+        raise QasmError(f"line {line}: unknown gate '{name}'")
+
+    # -- arguments ------------------------------------------------------------------
+
+    def _quantum_argument(self):
+        name = self._expect("ID").value
+        if name not in self._qregs:
+            raise QasmError(f"unknown quantum register '{name}'")
+        register = self._qregs[name]
+        if self._accept("LBRACKET"):
+            index = self._expect("INT").value
+            self._expect("RBRACKET")
+            if index >= register.size:
+                raise QasmError(
+                    f"index {index} out of range for qreg '{name}'"
+                )
+            return register[index]
+        return register
+
+    def _classical_argument(self):
+        name = self._expect("ID").value
+        if name not in self._cregs:
+            raise QasmError(f"unknown classical register '{name}'")
+        register = self._cregs[name]
+        if self._accept("LBRACKET"):
+            index = self._expect("INT").value
+            self._expect("RBRACKET")
+            if index >= register.size:
+                raise QasmError(
+                    f"index {index} out of range for creg '{name}'"
+                )
+            return register[index]
+        return register
+
+    # -- expressions ------------------------------------------------------------------
+
+    def _expression(self):
+        """Parse an expression into a small AST (tuples)."""
+        return self._parse_additive()
+
+    def _parse_additive(self):
+        node = self._parse_multiplicative()
+        while self._peek().type in ("PLUS", "MINUS"):
+            op = self._advance().type
+            right = self._parse_multiplicative()
+            node = ("binop", op, node, right)
+        return node
+
+    def _parse_multiplicative(self):
+        node = self._parse_power()
+        while self._peek().type in ("TIMES", "DIVIDE"):
+            op = self._advance().type
+            right = self._parse_power()
+            node = ("binop", op, node, right)
+        return node
+
+    def _parse_power(self):
+        node = self._parse_unary()
+        if self._peek().type == "POWER":
+            self._advance()
+            right = self._parse_power()
+            node = ("binop", "POWER", node, right)
+        return node
+
+    def _parse_unary(self):
+        token = self._peek()
+        if token.type == "MINUS":
+            self._advance()
+            return ("neg", self._parse_unary())
+        if token.type == "PLUS":
+            self._advance()
+            return self._parse_unary()
+        return self._parse_atom()
+
+    def _parse_atom(self):
+        token = self._advance()
+        if token.type in ("REAL", "INT"):
+            return ("num", float(token.value))
+        if token.type == "PI":
+            return ("pi",)
+        if token.type == "ID":
+            if token.value in _FUNCTIONS and self._peek().type == "LPAREN":
+                self._advance()
+                inner = self._expression()
+                self._expect("RPAREN")
+                return ("func", token.value, inner)
+            return ("param", token.value)
+        if token.type == "LPAREN":
+            inner = self._expression()
+            self._expect("RPAREN")
+            return inner
+        raise QasmError(
+            f"line {token.line}: unexpected token {token.value!r} in expression"
+        )
+
+    def _evaluate(self, node, env) -> float:
+        kind = node[0]
+        if kind == "num":
+            return node[1]
+        if kind == "pi":
+            return math.pi
+        if kind == "param":
+            if node[1] not in env:
+                raise QasmError(f"unknown identifier '{node[1]}' in expression")
+            return env[node[1]]
+        if kind == "neg":
+            return -self._evaluate(node[1], env)
+        if kind == "func":
+            return _FUNCTIONS[node[1]](self._evaluate(node[2], env))
+        if kind == "binop":
+            _, op, left, right = node
+            lv = self._evaluate(left, env)
+            rv = self._evaluate(right, env)
+            if op == "PLUS":
+                return lv + rv
+            if op == "MINUS":
+                return lv - rv
+            if op == "TIMES":
+                return lv * rv
+            if op == "DIVIDE":
+                return lv / rv
+            if op == "POWER":
+                return lv**rv
+        raise QasmError(f"bad expression node {node!r}")
+
+
+def parse_qasm(source: str) -> QuantumCircuit:
+    """Parse OpenQASM 2.0 source into a :class:`QuantumCircuit`."""
+    return QasmParser(source).parse()

@@ -1,0 +1,15 @@
+"""Qobj-style circuit serialization (JSON-compatible interchange)."""
+
+from repro.qobj.assembler import (
+    assemble,
+    circuit_to_experiment,
+    disassemble,
+    experiment_to_circuit,
+)
+
+__all__ = [
+    "assemble",
+    "circuit_to_experiment",
+    "disassemble",
+    "experiment_to_circuit",
+]

@@ -1,0 +1,177 @@
+"""Qobj-style serialization: circuits <-> JSON-compatible dictionaries.
+
+Terra's role (paper Sec. III) includes "the suitable data structures and
+interfaces ... and pass those constructs among the different Qiskit
+libraries, and to the hardware".  The 2018-era wire format was the Qobj: a
+JSON payload with per-experiment instruction lists over flat qubit/clbit
+indices.  ``assemble`` produces that payload, ``disassemble`` reverses it.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.circuit.circuitinstruction import CircuitInstruction
+from repro.circuit.library.standard_gates import (
+    STANDARD_GATES,
+    UnitaryGate,
+    get_standard_gate,
+)
+from repro.circuit.measure import Barrier, Measure, Reset
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.circuit.register import ClassicalRegister, QuantumRegister
+from repro.exceptions import BackendError
+
+_QOBJ_COUNTER = itertools.count()
+
+_DIRECT_NAMES = set(STANDARD_GATES) | {"measure", "barrier", "reset"}
+
+
+def _serialize_operation(operation, qubit_indices, clbit_indices,
+                         creg_names):
+    """One instruction dict; composite gates are flattened recursively."""
+    name = operation.name
+    entry: dict = {"name": name, "qubits": list(qubit_indices)}
+    if operation.condition is not None:
+        register, value = operation.condition
+        entry["conditional"] = {"register": register.name, "value": value}
+    if name == "measure":
+        entry["memory"] = list(clbit_indices)
+        return [entry]
+    if name in ("barrier", "reset"):
+        return [entry]
+    if name == "unitary":
+        matrix = operation.to_matrix()
+        entry["params"] = [
+            [[float(cell.real), float(cell.imag)] for cell in row]
+            for row in matrix
+        ]
+        return [entry]
+    if name in _DIRECT_NAMES:
+        if operation.params:
+            entry["params"] = [float(p) for p in operation.params]
+        return [entry]
+    definition = operation.definition
+    if definition is None:
+        raise BackendError(
+            f"cannot assemble '{name}': not a standard gate and no "
+            "definition"
+        )
+    flattened = []
+    for sub, qpos, cpos in definition:
+        sub = sub.copy()
+        if operation.condition is not None and sub.condition is None:
+            sub.condition = operation.condition
+        flattened.extend(
+            _serialize_operation(
+                sub,
+                [qubit_indices[i] for i in qpos],
+                [clbit_indices[i] for i in cpos],
+                creg_names,
+            )
+        )
+    return flattened
+
+
+def circuit_to_experiment(circuit: QuantumCircuit) -> dict:
+    """Serialize one circuit to an experiment dictionary."""
+    qubit_index = {q: i for i, q in enumerate(circuit.qubits)}
+    clbit_index = {c: i for i, c in enumerate(circuit.clbits)}
+    instructions = []
+    for item in circuit.data:
+        instructions.extend(
+            _serialize_operation(
+                item.operation,
+                [qubit_index[q] for q in item.qubits],
+                [clbit_index[c] for c in item.clbits],
+                {reg.name for reg in circuit.cregs},
+            )
+        )
+    return {
+        "header": {
+            "name": circuit.name,
+            "n_qubits": circuit.num_qubits,
+            "memory_slots": circuit.num_clbits,
+            "qreg_sizes": [[reg.name, reg.size] for reg in circuit.qregs],
+            "creg_sizes": [[reg.name, reg.size] for reg in circuit.cregs],
+        },
+        "instructions": instructions,
+    }
+
+
+def assemble(circuits, shots: int = 1024, seed=None,
+             memory: bool = False) -> dict:
+    """Bundle circuits into a Qobj-style dictionary."""
+    if not isinstance(circuits, (list, tuple)):
+        circuits = [circuits]
+    if not circuits:
+        raise BackendError("nothing to assemble")
+    return {
+        "qobj_id": f"qobj-{next(_QOBJ_COUNTER)}",
+        "type": "QASM",
+        "schema_version": "1.3.0",
+        "config": {"shots": shots, "seed": seed, "memory": memory},
+        "experiments": [circuit_to_experiment(c) for c in circuits],
+    }
+
+
+def experiment_to_circuit(experiment: dict) -> QuantumCircuit:
+    """Rebuild a circuit from an experiment dictionary."""
+    header = experiment["header"]
+    circuit = QuantumCircuit(name=header.get("name", "qobj-circuit"))
+    cregs_by_name = {}
+    for name, size in header.get("qreg_sizes", []):
+        circuit.add_register(QuantumRegister(size, name))
+    for name, size in header.get("creg_sizes", []):
+        register = ClassicalRegister(size, name)
+        cregs_by_name[name] = register
+        circuit.add_register(register)
+    if circuit.num_qubits != header.get("n_qubits", circuit.num_qubits):
+        raise BackendError("header qubit count mismatch")
+    qubits = circuit.qubits
+    clbits = circuit.clbits
+    for entry in experiment["instructions"]:
+        name = entry["name"]
+        qargs = [qubits[i] for i in entry.get("qubits", [])]
+        if name == "measure":
+            cargs = [clbits[i] for i in entry["memory"]]
+            operation = Measure()
+        elif name == "barrier":
+            operation = Barrier(len(qargs))
+            cargs = []
+        elif name == "reset":
+            operation = Reset()
+            cargs = []
+        elif name == "unitary":
+            rows = entry["params"]
+            matrix = np.array(
+                [[complex(re, im) for re, im in row] for row in rows]
+            )
+            operation = UnitaryGate(matrix)
+            cargs = []
+        else:
+            operation = get_standard_gate(name, entry.get("params", []))
+            cargs = []
+        if "conditional" in entry:
+            condition = entry["conditional"]
+            register = cregs_by_name.get(condition["register"])
+            if register is None:
+                raise BackendError(
+                    f"conditional on unknown register "
+                    f"'{condition['register']}'"
+                )
+            operation.condition = (register, condition["value"])
+        circuit.data.append(CircuitInstruction(operation, qargs, cargs))
+    return circuit
+
+
+def disassemble(qobj: dict):
+    """Rebuild ``(circuits, config)`` from a Qobj dictionary."""
+    if qobj.get("type") != "QASM":
+        raise BackendError(f"unsupported qobj type {qobj.get('type')!r}")
+    circuits = [
+        experiment_to_circuit(e) for e in qobj.get("experiments", [])
+    ]
+    return circuits, dict(qobj.get("config", {}))

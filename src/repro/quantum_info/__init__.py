@@ -1,0 +1,40 @@
+"""Quantum information primitives: states, operators, Paulis, measures."""
+
+from repro.quantum_info.density_matrix import DensityMatrix
+from repro.quantum_info.measures import (
+    concurrence,
+    entropy,
+    hellinger_fidelity,
+    partial_trace,
+    process_fidelity,
+    purity,
+    state_fidelity,
+)
+from repro.quantum_info.operator import Operator
+from repro.quantum_info.pauli import Pauli, PauliSumOp
+from repro.quantum_info.random import (
+    random_density_matrix,
+    random_hermitian,
+    random_statevector,
+    random_unitary,
+)
+from repro.quantum_info.statevector import Statevector
+
+__all__ = [
+    "DensityMatrix",
+    "Operator",
+    "Pauli",
+    "PauliSumOp",
+    "Statevector",
+    "concurrence",
+    "entropy",
+    "hellinger_fidelity",
+    "partial_trace",
+    "process_fidelity",
+    "purity",
+    "random_density_matrix",
+    "random_hermitian",
+    "random_statevector",
+    "random_unitary",
+    "state_fidelity",
+]

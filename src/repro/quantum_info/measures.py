@@ -1,0 +1,137 @@
+"""State and channel measures: fidelity, entropy, purity, partial trace."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import SimulatorError
+from repro.quantum_info.density_matrix import DensityMatrix
+from repro.quantum_info.statevector import Statevector
+
+
+def _as_density(state) -> np.ndarray:
+    if isinstance(state, Statevector):
+        return np.outer(state.data, state.data.conj())
+    if isinstance(state, DensityMatrix):
+        return state.data
+    arr = np.asarray(state, dtype=complex)
+    if arr.ndim == 1:
+        return np.outer(arr, arr.conj())
+    return arr
+
+
+def state_fidelity(state_a, state_b) -> float:
+    """Uhlmann fidelity F(rho, sigma) = (Tr sqrt(sqrt(rho) sigma sqrt(rho)))^2.
+
+    Accepts any mix of :class:`Statevector`, :class:`DensityMatrix`, or raw
+    arrays; pure-pure and pure-mixed cases use the cheaper overlap formulas.
+    """
+    pure_a = isinstance(state_a, Statevector) or (
+        not isinstance(state_a, DensityMatrix)
+        and np.asarray(state_a).ndim == 1
+    )
+    pure_b = isinstance(state_b, Statevector) or (
+        not isinstance(state_b, DensityMatrix)
+        and np.asarray(state_b).ndim == 1
+    )
+    if pure_a and pure_b:
+        vec_a = state_a.data if isinstance(state_a, Statevector) else np.asarray(state_a)
+        vec_b = state_b.data if isinstance(state_b, Statevector) else np.asarray(state_b)
+        return float(abs(np.vdot(vec_a, vec_b)) ** 2)
+    if pure_a or pure_b:
+        vec = state_a if pure_a else state_b
+        rho = _as_density(state_b if pure_a else state_a)
+        vec = vec.data if isinstance(vec, Statevector) else np.asarray(vec)
+        return float(np.real(np.vdot(vec, rho @ vec)))
+    rho = _as_density(state_a)
+    sigma = _as_density(state_b)
+    from scipy.linalg import sqrtm
+
+    sqrt_rho = sqrtm(rho)
+    inner = sqrtm(sqrt_rho @ sigma @ sqrt_rho)
+    return float(np.real(np.trace(inner)) ** 2)
+
+
+def purity(state) -> float:
+    """Tr(rho^2)."""
+    rho = _as_density(state)
+    return float(np.real(np.trace(rho @ rho)))
+
+
+def entropy(state, base: float = 2.0) -> float:
+    """Von Neumann entropy S(rho) = -Tr(rho log rho)."""
+    rho = _as_density(state)
+    eigenvalues = np.linalg.eigvalsh(rho)
+    eigenvalues = eigenvalues[eigenvalues > 1e-12]
+    return float(-np.sum(eigenvalues * np.log(eigenvalues)) / math.log(base))
+
+
+def partial_trace(state, trace_qubits) -> DensityMatrix:
+    """Trace out ``trace_qubits``, returning the reduced density matrix.
+
+    The remaining qubits keep their relative order (and are re-indexed from
+    zero, lowest original index first).
+    """
+    rho = _as_density(state)
+    dim = rho.shape[0]
+    num_qubits = int(round(math.log2(dim)))
+    if 2**num_qubits != dim:
+        raise SimulatorError("density matrix dimension is not a power of two")
+    trace_qubits = sorted(set(trace_qubits))
+    if any(q < 0 or q >= num_qubits for q in trace_qubits):
+        raise SimulatorError("trace qubit index out of range")
+    keep = [q for q in range(num_qubits) if q not in trace_qubits]
+    tensor = rho.reshape((2,) * (2 * num_qubits))
+    # Row axes 0..n-1 (axis a = qubit n-1-a); column axes n..2n-1 similarly.
+    # Trace ascending qubit indices; earlier removals only shift labels of
+    # qubits above the removed one, which the ``traced`` offset accounts for.
+    remaining = num_qubits
+    traced = 0
+    for q in trace_qubits:
+        adjusted = q - traced
+        axis_row = remaining - 1 - adjusted
+        tensor = np.trace(tensor, axis1=axis_row, axis2=axis_row + remaining)
+        remaining -= 1
+        traced += 1
+    reduced_dim = 2 ** len(keep)
+    return DensityMatrix(tensor.reshape(reduced_dim, reduced_dim), validate=False)
+
+
+def concurrence(state) -> float:
+    """Two-qubit concurrence (entanglement monotone)."""
+    rho = _as_density(state)
+    if rho.shape[0] != 4:
+        raise SimulatorError("concurrence is defined for two qubits")
+    sigma_y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+    yy = np.kron(sigma_y, sigma_y)
+    rho_tilde = yy @ rho.conj() @ yy
+    eigenvalues = np.linalg.eigvals(rho @ rho_tilde)
+    lambdas = np.sqrt(np.abs(np.real(eigenvalues)))
+    lambdas = np.sort(lambdas)[::-1]
+    return float(max(0.0, lambdas[0] - lambdas[1] - lambdas[2] - lambdas[3]))
+
+
+def process_fidelity(channel_unitary, target_unitary) -> float:
+    """Fidelity between two unitaries: |Tr(U+ V)|^2 / d^2."""
+    u = np.asarray(channel_unitary, dtype=complex)
+    v = np.asarray(target_unitary, dtype=complex)
+    if u.shape != v.shape:
+        raise SimulatorError("unitary shapes differ")
+    dim = u.shape[0]
+    return float(abs(np.trace(u.conj().T @ v)) ** 2 / dim**2)
+
+
+def hellinger_fidelity(counts_a: dict, counts_b: dict) -> float:
+    """Classical fidelity between two counts histograms."""
+    total_a = sum(counts_a.values())
+    total_b = sum(counts_b.values())
+    if total_a == 0 or total_b == 0:
+        raise SimulatorError("empty counts")
+    keys = set(counts_a) | set(counts_b)
+    overlap = sum(
+        math.sqrt((counts_a.get(k, 0) / total_a) * (counts_b.get(k, 0) / total_b))
+        for k in keys
+    )
+    return float(overlap**2)

@@ -1,0 +1,184 @@
+"""Pauli strings and weighted Pauli sums.
+
+These are the operator currency of the Aqua-style algorithm layer: a VQE
+Hamiltonian is a :class:`PauliSumOp`, and expectation values are estimated
+per Pauli term either exactly (statevector) or from measurement counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import AlgorithmError
+
+_PAULI_MATRICES = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+_PAULI_PRODUCT = {
+    # (a, b) -> (phase, c) with a·b = phase·c
+    ("I", "I"): (1, "I"), ("I", "X"): (1, "X"), ("I", "Y"): (1, "Y"), ("I", "Z"): (1, "Z"),
+    ("X", "I"): (1, "X"), ("X", "X"): (1, "I"), ("X", "Y"): (1j, "Z"), ("X", "Z"): (-1j, "Y"),
+    ("Y", "I"): (1, "Y"), ("Y", "X"): (-1j, "Z"), ("Y", "Y"): (1, "I"), ("Y", "Z"): (1j, "X"),
+    ("Z", "I"): (1, "Z"), ("Z", "X"): (1j, "Y"), ("Z", "Y"): (-1j, "X"), ("Z", "Z"): (1, "I"),
+}
+
+
+class Pauli:
+    """An ``n``-qubit Pauli string such as ``"XZI"``.
+
+    The label reads left to right from qubit ``n-1`` down to qubit 0
+    (matching bitstring keys), so ``Pauli("XI")`` acts with X on qubit 1.
+    """
+
+    def __init__(self, label: str):
+        label = label.upper()
+        if not label or any(char not in _PAULI_MATRICES for char in label):
+            raise AlgorithmError(f"invalid Pauli label {label!r}")
+        self._label = label
+
+    @property
+    def label(self) -> str:
+        """The Pauli string."""
+        return self._label
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits."""
+        return len(self._label)
+
+    def char(self, qubit: int) -> str:
+        """The Pauli letter acting on ``qubit`` (0 = rightmost)."""
+        return self._label[len(self._label) - 1 - qubit]
+
+    def to_matrix(self) -> np.ndarray:
+        """Dense matrix in little-endian qubit order."""
+        matrix = np.array([[1.0 + 0.0j]])
+        for char in self._label:
+            matrix = np.kron(matrix, _PAULI_MATRICES[char])
+        return matrix
+
+    def compose(self, other: "Pauli") -> tuple[complex, "Pauli"]:
+        """Return (phase, pauli) with ``self·other = phase·pauli``."""
+        if self.num_qubits != other.num_qubits:
+            raise AlgorithmError("Pauli sizes differ")
+        phase = 1.0 + 0.0j
+        chars = []
+        for a, b in zip(self._label, other._label):
+            factor, c = _PAULI_PRODUCT[(a, b)]
+            phase *= factor
+            chars.append(c)
+        return phase, Pauli("".join(chars))
+
+    def commutes(self, other: "Pauli") -> bool:
+        """Whether the two Pauli strings commute."""
+        anti = 0
+        for a, b in zip(self._label, other._label):
+            if a != "I" and b != "I" and a != b:
+                anti += 1
+        return anti % 2 == 0
+
+    @property
+    def support(self) -> list[int]:
+        """Qubits on which the Pauli acts non-trivially, ascending."""
+        n = len(self._label)
+        return sorted(
+            n - 1 - i for i, char in enumerate(self._label) if char != "I"
+        )
+
+    def __eq__(self, other):
+        if not isinstance(other, Pauli):
+            return NotImplemented
+        return self._label == other._label
+
+    def __hash__(self):
+        return hash(self._label)
+
+    def __repr__(self):
+        return f"Pauli('{self._label}')"
+
+    def __str__(self):
+        return self._label
+
+
+class PauliSumOp:
+    """A real- or complex-weighted sum of Pauli strings (a Hamiltonian)."""
+
+    def __init__(self, terms):
+        """``terms``: iterable of ``(coefficient, Pauli-or-label)`` pairs."""
+        collected: dict[str, complex] = {}
+        num_qubits = None
+        for coeff, pauli in terms:
+            if isinstance(pauli, str):
+                pauli = Pauli(pauli)
+            if num_qubits is None:
+                num_qubits = pauli.num_qubits
+            elif pauli.num_qubits != num_qubits:
+                raise AlgorithmError("mixed Pauli sizes in sum")
+            collected[pauli.label] = collected.get(pauli.label, 0.0) + complex(coeff)
+        if num_qubits is None:
+            raise AlgorithmError("empty Pauli sum")
+        self._num_qubits = num_qubits
+        self._terms = [
+            (coeff, Pauli(label))
+            for label, coeff in collected.items()
+            if abs(coeff) > 1e-14
+        ]
+
+    @classmethod
+    def from_dict(cls, mapping: dict) -> "PauliSumOp":
+        """Build from ``{"XZ": 0.5, "II": -1.0}``-style dicts."""
+        return cls([(coeff, label) for label, coeff in mapping.items()])
+
+    @property
+    def terms(self) -> list:
+        """List of ``(coefficient, Pauli)`` pairs."""
+        return list(self._terms)
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits."""
+        return self._num_qubits
+
+    def to_matrix(self) -> np.ndarray:
+        """Dense Hamiltonian matrix."""
+        dim = 2**self._num_qubits
+        matrix = np.zeros((dim, dim), dtype=complex)
+        for coeff, pauli in self._terms:
+            matrix += coeff * pauli.to_matrix()
+        return matrix
+
+    def ground_state_energy(self) -> float:
+        """Smallest eigenvalue, by exact diagonalization."""
+        eigenvalues = np.linalg.eigvalsh(self.to_matrix())
+        return float(eigenvalues[0])
+
+    def expectation(self, statevector) -> float:
+        """<psi|H|psi> for a Statevector or raw amplitude array."""
+        data = getattr(statevector, "data", statevector)
+        data = np.asarray(data, dtype=complex)
+        return float(np.real(np.vdot(data, self.to_matrix() @ data)))
+
+    def __add__(self, other: "PauliSumOp") -> "PauliSumOp":
+        if not isinstance(other, PauliSumOp):
+            return NotImplemented
+        return PauliSumOp(
+            [(c, p.label) for c, p in self._terms]
+            + [(c, p.label) for c, p in other._terms]
+        )
+
+    def __mul__(self, scalar) -> "PauliSumOp":
+        return PauliSumOp([(c * scalar, p.label) for c, p in self._terms])
+
+    __rmul__ = __mul__
+
+    def __len__(self):
+        return len(self._terms)
+
+    def __repr__(self):
+        parts = " + ".join(f"{c:.4g}*{p.label}" for c, p in self._terms[:6])
+        suffix = " + ..." if len(self._terms) > 6 else ""
+        return f"PauliSumOp({parts}{suffix})"

@@ -1,0 +1,47 @@
+"""Random states and unitaries (Haar measure) for tests and benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantum_info.density_matrix import DensityMatrix
+from repro.quantum_info.statevector import Statevector
+
+
+def random_statevector(num_qubits: int, seed=None) -> Statevector:
+    """A Haar-random pure state."""
+    rng = np.random.default_rng(seed)
+    dim = 2**num_qubits
+    vec = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+    vec /= np.linalg.norm(vec)
+    return Statevector(vec)
+
+
+def random_unitary(num_qubits: int, seed=None) -> np.ndarray:
+    """A Haar-random unitary matrix, via QR of a Ginibre matrix."""
+    rng = np.random.default_rng(seed)
+    dim = 2**num_qubits
+    ginibre = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(ginibre)
+    # Fix the phase ambiguity so the distribution is Haar.
+    phases = np.diag(r) / np.abs(np.diag(r))
+    return q * phases
+
+
+def random_density_matrix(num_qubits: int, rank=None, seed=None) -> DensityMatrix:
+    """A random mixed state from a Ginibre ensemble of the given rank."""
+    rng = np.random.default_rng(seed)
+    dim = 2**num_qubits
+    rank = dim if rank is None else rank
+    ginibre = rng.normal(size=(dim, rank)) + 1j * rng.normal(size=(dim, rank))
+    rho = ginibre @ ginibre.conj().T
+    rho /= np.trace(rho)
+    return DensityMatrix(rho)
+
+
+def random_hermitian(num_qubits: int, seed=None) -> np.ndarray:
+    """A random Hermitian matrix (GUE-like, unnormalized)."""
+    rng = np.random.default_rng(seed)
+    dim = 2**num_qubits
+    raw = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    return (raw + raw.conj().T) / 2

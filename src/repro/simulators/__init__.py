@@ -1,0 +1,25 @@
+"""Aer-equivalent simulators: statevector, unitary, shot-based, density
+matrix, and the decision-diagram backend of the paper's Sec. V-A."""
+
+from repro.simulators.dd_simulator import DDSimulator, DDState
+from repro.simulators.density_matrix_simulator import DensityMatrixSimulator
+from repro.simulators.noise import NoiseModel
+from repro.simulators.qasm_simulator import QasmSimulator
+from repro.simulators.stabilizer_simulator import (
+    StabilizerSimulator,
+    StabilizerState,
+)
+from repro.simulators.statevector_simulator import StatevectorSimulator
+from repro.simulators.unitary_simulator import UnitarySimulator
+
+__all__ = [
+    "DDSimulator",
+    "DDState",
+    "DensityMatrixSimulator",
+    "NoiseModel",
+    "QasmSimulator",
+    "StabilizerSimulator",
+    "StabilizerState",
+    "StatevectorSimulator",
+    "UnitarySimulator",
+]

@@ -1,0 +1,31 @@
+"""Noise channels and noise models for Aer-style noisy simulation."""
+
+from repro.simulators.noise.errors import (
+    QuantumError,
+    ReadoutError,
+    amplitude_damping_error,
+    bit_flip_error,
+    coherent_unitary_error,
+    depolarizing_error,
+    kraus_error,
+    pauli_error,
+    phase_damping_error,
+    phase_flip_error,
+    thermal_relaxation_error,
+)
+from repro.simulators.noise.model import NoiseModel
+
+__all__ = [
+    "NoiseModel",
+    "QuantumError",
+    "ReadoutError",
+    "amplitude_damping_error",
+    "bit_flip_error",
+    "coherent_unitary_error",
+    "depolarizing_error",
+    "kraus_error",
+    "pauli_error",
+    "phase_damping_error",
+    "phase_flip_error",
+    "thermal_relaxation_error",
+]

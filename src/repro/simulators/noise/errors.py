@@ -1,0 +1,255 @@
+"""Quantum error channels for noisy (Aer-style) simulation.
+
+Each :class:`QuantumError` is a CPTP channel given by Kraus operators.  The
+constructors below build the standard channels the paper's Aer section
+motivates ("injecting specific noise processes into the circuits and
+observing their effect on the results"): depolarizing, Pauli, damping,
+thermal relaxation, and coherent over-rotation errors.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuit.matrix_utils import kron_all
+from repro.exceptions import NoiseError
+
+_PAULIS = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+
+class QuantumError:
+    """A noise channel represented by Kraus operators."""
+
+    def __init__(self, kraus_ops):
+        kraus_ops = [np.asarray(k, dtype=complex) for k in kraus_ops]
+        if not kraus_ops:
+            raise NoiseError("a quantum error needs at least one Kraus operator")
+        dim = kraus_ops[0].shape[0]
+        num_qubits = int(round(math.log2(dim)))
+        if 2**num_qubits != dim:
+            raise NoiseError(f"Kraus dimension {dim} is not a power of two")
+        for k in kraus_ops:
+            if k.shape != (dim, dim):
+                raise NoiseError("Kraus operators must share one square shape")
+        total = sum(k.conj().T @ k for k in kraus_ops)
+        if not np.allclose(total, np.eye(dim), atol=1e-6):
+            raise NoiseError("Kraus operators do not satisfy sum K+K = I")
+        self._kraus = kraus_ops
+        self._num_qubits = num_qubits
+        # Fast path for trajectory sampling: when every Kraus operator is a
+        # scaled unitary (sqrt(p) U) — Pauli/depolarizing/coherent channels —
+        # branch probabilities are state-independent, so one branch can be
+        # sampled up front and applied once.
+        self._unitary_branches = self._detect_unitary_branches()
+
+    def _detect_unitary_branches(self):
+        branches = []
+        dim = 2**self._num_qubits
+        for kraus in self._kraus:
+            gram = kraus.conj().T @ kraus
+            probability = float(np.real(np.trace(gram))) / dim
+            if probability < 1e-14:
+                continue
+            if not np.allclose(gram, probability * np.eye(dim), atol=1e-9):
+                return None
+            unitary = kraus / math.sqrt(probability)
+            is_identity = np.allclose(unitary, np.eye(dim), atol=1e-12)
+            branches.append((probability, unitary, is_identity))
+        return branches
+
+    @property
+    def kraus_operators(self) -> list[np.ndarray]:
+        """The Kraus operator list."""
+        return list(self._kraus)
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the channel acts on."""
+        return self._num_qubits
+
+    def compose(self, other: "QuantumError") -> "QuantumError":
+        """Channel composition: apply ``self`` then ``other``."""
+        if other._num_qubits != self._num_qubits:
+            raise NoiseError("cannot compose channels of different sizes")
+        return QuantumError(
+            [kb @ ka for ka in self._kraus for kb in other._kraus]
+        )
+
+    def tensor(self, other: "QuantumError") -> "QuantumError":
+        """Channel on the joint space, ``self`` on high qubits."""
+        return QuantumError(
+            [np.kron(ka, kb) for ka in self._kraus for kb in other._kraus]
+        )
+
+    def sample_kraus(self, state: np.ndarray, targets, num_qubits, rng):
+        """Trajectory sampling: pick one Kraus branch for a statevector.
+
+        Returns the (renormalized) post-channel state.
+        """
+        from repro.circuit.matrix_utils import apply_matrix
+
+        if self._unitary_branches is not None:
+            pick = rng.random()
+            cumulative = 0.0
+            chosen, identity = self._unitary_branches[-1][1:]
+            for probability, unitary, is_identity in self._unitary_branches:
+                cumulative += probability
+                if pick <= cumulative:
+                    chosen, identity = unitary, is_identity
+                    break
+            if identity:
+                return state
+            return apply_matrix(state, chosen, list(targets), num_qubits)
+
+        cumulative = 0.0
+        pick = rng.random()
+        last_candidate = None
+        for kraus in self._kraus:
+            candidate = apply_matrix(state, kraus, list(targets), num_qubits)
+            weight = float(np.real(np.vdot(candidate, candidate)))
+            last_candidate = (candidate, weight)
+            cumulative += weight
+            if pick <= cumulative:
+                if weight <= 0:
+                    continue
+                return candidate / math.sqrt(weight)
+        # Numerical slack: fall back to the final branch.
+        candidate, weight = last_candidate
+        if weight <= 0:
+            raise NoiseError("all Kraus branches annihilated the state")
+        return candidate / math.sqrt(weight)
+
+    def __repr__(self):
+        return f"QuantumError(num_qubits={self._num_qubits}, kraus={len(self._kraus)})"
+
+
+def pauli_error(terms) -> QuantumError:
+    """Probabilistic Pauli channel from ``[(label, probability), ...]``."""
+    kraus = []
+    total = 0.0
+    for label, prob in terms:
+        if prob < 0:
+            raise NoiseError("probabilities must be non-negative")
+        total += prob
+        matrix = kron_all([_PAULIS[ch] for ch in label.upper()])
+        kraus.append(math.sqrt(prob) * matrix)
+    if abs(total - 1.0) > 1e-8:
+        raise NoiseError(f"Pauli probabilities sum to {total}, expected 1")
+    return QuantumError(kraus)
+
+
+def bit_flip_error(probability: float) -> QuantumError:
+    """X error with the given probability."""
+    return pauli_error([("I", 1 - probability), ("X", probability)])
+
+
+def phase_flip_error(probability: float) -> QuantumError:
+    """Z error with the given probability."""
+    return pauli_error([("I", 1 - probability), ("Z", probability)])
+
+
+def depolarizing_error(param: float, num_qubits: int = 1) -> QuantumError:
+    """Depolarizing channel: with probability ``param`` apply a uniformly
+    random non-identity Pauli on ``num_qubits`` qubits."""
+    if not 0 <= param <= 1:
+        raise NoiseError("depolarizing parameter must lie in [0, 1]")
+    labels = ["I", "X", "Y", "Z"]
+    terms = []
+    num_paulis = 4**num_qubits
+    for index in range(num_paulis):
+        label = ""
+        value = index
+        for _ in range(num_qubits):
+            label = labels[value % 4] + label
+            value //= 4
+        if index == 0:
+            terms.append((label, 1 - param))
+        else:
+            terms.append((label, param / (num_paulis - 1)))
+    return pauli_error(terms)
+
+
+def amplitude_damping_error(gamma: float) -> QuantumError:
+    """T1-style energy relaxation with damping parameter ``gamma``."""
+    if not 0 <= gamma <= 1:
+        raise NoiseError("gamma must lie in [0, 1]")
+    k0 = np.array([[1, 0], [0, math.sqrt(1 - gamma)]], dtype=complex)
+    k1 = np.array([[0, math.sqrt(gamma)], [0, 0]], dtype=complex)
+    return QuantumError([k0, k1])
+
+
+def phase_damping_error(lam: float) -> QuantumError:
+    """Pure dephasing with parameter ``lam``."""
+    if not 0 <= lam <= 1:
+        raise NoiseError("lambda must lie in [0, 1]")
+    k0 = np.array([[1, 0], [0, math.sqrt(1 - lam)]], dtype=complex)
+    k1 = np.array([[0, 0], [0, math.sqrt(lam)]], dtype=complex)
+    return QuantumError([k0, k1])
+
+
+def thermal_relaxation_error(t1: float, t2: float, gate_time: float) -> QuantumError:
+    """Combined T1/T2 relaxation over ``gate_time`` (all in the same units).
+
+    Requires ``t2 <= 2*t1`` (physicality).  Models relaxation to |0> plus
+    dephasing, the dominant error processes on IBM QX transmons.
+    """
+    if t1 <= 0 or t2 <= 0:
+        raise NoiseError("T1 and T2 must be positive")
+    if t2 > 2 * t1:
+        raise NoiseError("T2 must not exceed 2*T1")
+    gamma = 1 - math.exp(-gate_time / t1)
+    # Residual pure dephasing after removing the T1 contribution.
+    exp_t2 = math.exp(-gate_time / t2)
+    exp_t1_half = math.exp(-gate_time / (2 * t1))
+    ratio = exp_t2 / exp_t1_half
+    lam = max(0.0, 1 - ratio**2)
+    damping = amplitude_damping_error(gamma)
+    dephasing = phase_damping_error(min(1.0, lam))
+    return damping.compose(dephasing)
+
+
+def coherent_unitary_error(unitary) -> QuantumError:
+    """A deterministic (coherent) unitary error, e.g. an over-rotation."""
+    return QuantumError([np.asarray(unitary, dtype=complex)])
+
+
+def kraus_error(kraus_ops) -> QuantumError:
+    """Wrap raw Kraus matrices as a :class:`QuantumError`."""
+    return QuantumError(kraus_ops)
+
+
+class ReadoutError:
+    """Classical measurement confusion for one qubit.
+
+    ``probabilities[i][j]`` is the probability of *recording* ``j`` when the
+    true outcome is ``i``.
+    """
+
+    def __init__(self, probabilities):
+        matrix = np.asarray(probabilities, dtype=float)
+        if matrix.shape != (2, 2):
+            raise NoiseError("readout error expects a 2x2 row-stochastic matrix")
+        if not np.allclose(matrix.sum(axis=1), 1.0, atol=1e-8):
+            raise NoiseError("readout rows must each sum to 1")
+        if (matrix < -1e-12).any():
+            raise NoiseError("readout probabilities must be non-negative")
+        self._matrix = matrix.clip(min=0.0)
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """The 2x2 confusion matrix."""
+        return self._matrix.copy()
+
+    def sample(self, true_bit: int, rng) -> int:
+        """Sample the recorded bit given the true bit."""
+        return int(rng.random() < self._matrix[true_bit][1])
+
+    def __repr__(self):
+        return f"ReadoutError({self._matrix.tolist()})"

@@ -1,0 +1,87 @@
+"""Noise model: attaches error channels to gates and measurements.
+
+Mirrors Aer's ``NoiseModel``: errors can be registered for all qubits or for
+specific qubit tuples, keyed by gate name, plus per-qubit readout errors.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import NoiseError
+from repro.simulators.noise.errors import QuantumError, ReadoutError
+
+
+class NoiseModel:
+    """A collection of gate and readout errors applied during simulation."""
+
+    def __init__(self):
+        # gate name -> error for any qubits.
+        self._default_errors: dict[str, QuantumError] = {}
+        # (gate name, qubit tuple) -> error.
+        self._local_errors: dict[tuple, QuantumError] = {}
+        # qubit index -> readout error; None key = all qubits.
+        self._readout: dict = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def add_all_qubit_quantum_error(self, error: QuantumError, gate_names):
+        """Attach ``error`` after every occurrence of the named gates."""
+        if isinstance(gate_names, str):
+            gate_names = [gate_names]
+        for name in gate_names:
+            self._default_errors[name] = error
+        return self
+
+    def add_quantum_error(self, error: QuantumError, gate_names, qubits):
+        """Attach ``error`` to the named gates on specific qubit tuples."""
+        if isinstance(gate_names, str):
+            gate_names = [gate_names]
+        key_qubits = tuple(qubits)
+        if error.num_qubits != len(key_qubits):
+            raise NoiseError(
+                f"error acts on {error.num_qubits} qubit(s) but "
+                f"{len(key_qubits)} were given"
+            )
+        for name in gate_names:
+            self._local_errors[(name, key_qubits)] = error
+        return self
+
+    def add_readout_error(self, error: ReadoutError, qubits=None):
+        """Attach a readout error to ``qubits`` (all qubits when None)."""
+        if qubits is None:
+            self._readout[None] = error
+        else:
+            for qubit in qubits:
+                self._readout[int(qubit)] = error
+        return self
+
+    # -- lookup ------------------------------------------------------------------
+
+    def gate_error(self, gate_name: str, qubits) -> QuantumError | None:
+        """The error channel for one gate application, if any."""
+        local = self._local_errors.get((gate_name, tuple(qubits)))
+        if local is not None:
+            return local
+        return self._default_errors.get(gate_name)
+
+    def readout_error(self, qubit: int) -> ReadoutError | None:
+        """The readout error for ``qubit``, if any."""
+        if qubit in self._readout:
+            return self._readout[qubit]
+        return self._readout.get(None)
+
+    @property
+    def noisy_gates(self) -> set:
+        """Names of gates with registered errors."""
+        names = set(self._default_errors)
+        names.update(name for name, _ in self._local_errors)
+        return names
+
+    def is_ideal(self) -> bool:
+        """True when no errors are registered."""
+        return not (self._default_errors or self._local_errors or self._readout)
+
+    def __repr__(self):
+        return (
+            f"NoiseModel(gates={sorted(self.noisy_gates)}, "
+            f"readout={'yes' if self._readout else 'no'})"
+        )

@@ -1,0 +1,357 @@
+"""Shot-based simulator — the ``qasm_simulator`` of the paper's Section IV.
+
+Two execution strategies:
+
+* **Sampling**: when the circuit is ideal (no noise, reset, conditions, or
+  mid-circuit measurement), the statevector is evolved once and ``shots``
+  outcomes are sampled from the final distribution.
+* **Trajectories**: otherwise each shot is simulated individually; noise
+  channels are applied by Monte-Carlo sampling one Kraus branch per
+  application (quantum-trajectory method), and measurements collapse the
+  state.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuit.gate import Gate
+from repro.circuit.matrix_utils import apply_matrix
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import SimulatorError
+
+
+def _prob_one(state: np.ndarray, qubit: int, num_qubits: int) -> float:
+    """Probability of measuring ``qubit`` as 1."""
+    tensor = np.abs(state.reshape((2,) * num_qubits)) ** 2
+    axis = num_qubits - 1 - qubit
+    other_axes = tuple(a for a in range(num_qubits) if a != axis)
+    marginal = tensor.sum(axis=other_axes) if other_axes else tensor
+    return float(marginal[1])
+
+
+def _project(state: np.ndarray, qubit: int, outcome: int,
+             num_qubits: int) -> np.ndarray:
+    """Collapse ``qubit`` to ``outcome`` and renormalize."""
+    tensor = state.reshape((2,) * num_qubits).copy()
+    axis = num_qubits - 1 - qubit
+    index = [slice(None)] * num_qubits
+    index[axis] = 1 - outcome
+    tensor[tuple(index)] = 0.0
+    flat = tensor.reshape(-1)
+    norm = math.sqrt(float(np.real(np.vdot(flat, flat))))
+    if norm <= 0:
+        raise SimulatorError("projection annihilated the state")
+    return flat / norm
+
+
+class QasmSimulator:
+    """Executes measured circuits for a number of shots."""
+
+    name = "qasm_simulator"
+
+    def __init__(self, max_qubits: int = 24):
+        self._max_qubits = max_qubits
+
+    # -- public API --------------------------------------------------------------
+
+    def run(self, circuit: QuantumCircuit, shots: int = 1024, seed=None,
+            noise_model=None, memory: bool = False) -> dict:
+        """Simulate and return ``{"counts": ..., "shots": ..., ["memory"]}``.
+
+        Counts keys are bitstrings over *all* classical bits, clbit 0
+        rightmost; unwritten clbits read 0.
+        """
+        if shots < 1:
+            raise SimulatorError("shots must be positive")
+        if circuit.num_qubits == 0:
+            raise SimulatorError("circuit has no qubits")
+        if circuit.num_qubits > self._max_qubits:
+            raise SimulatorError(
+                f"{circuit.num_qubits} qubits exceeds the dense-array limit"
+            )
+        if circuit.num_clbits == 0:
+            raise SimulatorError(
+                "qasm simulation needs classical bits; add measurements"
+            )
+        if self._strippable(noise_model):
+            circuit = self._strip_idle_qubits(circuit)
+        rng = np.random.default_rng(seed)
+        gate_noise_free = noise_model is None or not noise_model.noisy_gates
+        if gate_noise_free and self._samplable(circuit):
+            # Readout errors (if any) are applied to the sampled bits, so
+            # readout-only noise models still take the fast sampling path.
+            shot_values = self._run_sampling(circuit, shots, rng, noise_model)
+        elif self._samplable(circuit) and self._batchable(circuit, noise_model):
+            # Probabilistic-unitary noise with terminal measurement: evolve
+            # all shots as one (2**n x chunk) batch, splitting columns only
+            # where noise branches differ.  Chunk to bound memory at ~64 MiB.
+            max_columns = max(1, (1 << 22) // (2**circuit.num_qubits))
+            shot_values = []
+            remaining = shots
+            while remaining:
+                chunk = min(remaining, max_columns)
+                shot_values.extend(
+                    self._run_batched(circuit, chunk, rng, noise_model)
+                )
+                remaining -= chunk
+        else:
+            shot_values = self._run_trajectories(
+                circuit, shots, rng, noise_model
+            )
+        width = circuit.num_clbits
+        counts: dict[str, int] = {}
+        for value in shot_values:
+            key = format(value, f"0{width}b")
+            counts[key] = counts.get(key, 0) + 1
+        result = {"counts": counts, "shots": shots}
+        if memory:
+            result["memory"] = [format(v, f"0{width}b") for v in shot_values]
+        return result
+
+    @staticmethod
+    def _strippable(noise_model) -> bool:
+        """Idle-qubit stripping is only safe for qubit-uniform noise."""
+        if noise_model is None:
+            return True
+        if noise_model._local_errors:
+            return False
+        return all(key is None for key in noise_model._readout)
+
+    @staticmethod
+    def _strip_idle_qubits(circuit: QuantumCircuit):
+        """Drop qubits no instruction touches (e.g. unused device wires).
+
+        Transpiled circuits span the whole physical register; simulating the
+        idle wires would square the state dimension for nothing.  Idle
+        qubits are always in |0>, so dropping them leaves counts unchanged.
+        """
+        used = set()
+        for item in circuit.data:
+            used.update(item.qubits)
+        if len(used) == circuit.num_qubits or not used:
+            return circuit
+        from repro.circuit.circuitinstruction import CircuitInstruction
+        from repro.circuit.register import QuantumRegister
+
+        kept = [q for q in circuit.qubits if q in used]
+        compact_reg = QuantumRegister(len(kept), "sim")
+        mapping = dict(zip(kept, compact_reg))
+        compact = QuantumCircuit(compact_reg, name=circuit.name)
+        for creg in circuit.cregs:
+            compact.add_register(creg)
+        for item in circuit.data:
+            compact.data.append(
+                CircuitInstruction(
+                    item.operation,
+                    [mapping[q] for q in item.qubits],
+                    list(item.clbits),
+                )
+            )
+        return compact
+
+    # -- sampling strategy ----------------------------------------------------------
+
+    @staticmethod
+    def _samplable(circuit: QuantumCircuit) -> bool:
+        """True when one statevector pass plus sampling is exact."""
+        measured: set = set()
+        written: set = set()
+        for item in circuit.data:
+            op = item.operation
+            if op.condition is not None or op.name == "reset":
+                return False
+            if op.name == "barrier":
+                continue
+            if op.name == "measure":
+                if item.clbits[0] in written:
+                    return False
+                measured.add(item.qubits[0])
+                written.add(item.clbits[0])
+                continue
+            if any(q in measured for q in item.qubits):
+                return False
+        return True
+
+    def _run_sampling(self, circuit, shots, rng, noise_model=None) -> list[int]:
+        num_qubits = circuit.num_qubits
+        qubit_index = {q: i for i, q in enumerate(circuit.qubits)}
+        clbit_index = {c: i for i, c in enumerate(circuit.clbits)}
+        state = np.zeros(2**num_qubits, dtype=complex)
+        state[0] = 1.0
+        qubit_to_clbit: dict[int, int] = {}
+        for item in circuit.data:
+            op = item.operation
+            if op.name == "barrier":
+                continue
+            if op.name == "measure":
+                qubit_to_clbit[qubit_index[item.qubits[0]]] = clbit_index[
+                    item.clbits[0]
+                ]
+                continue
+            if not isinstance(op, Gate):
+                raise SimulatorError(f"cannot simulate '{op.name}'")
+            targets = [qubit_index[q] for q in item.qubits]
+            state = apply_matrix(state, op.to_matrix(), targets, num_qubits)
+        probs = np.abs(state) ** 2
+        probs = probs / probs.sum()
+        outcomes = np.asarray(rng.choice(len(probs), size=shots, p=probs))
+        values = np.zeros(shots, dtype=np.int64)
+        for qubit, clbit in qubit_to_clbit.items():
+            bits = (outcomes >> qubit) & 1
+            if noise_model is not None:
+                readout = noise_model.readout_error(qubit)
+                if readout is not None:
+                    confusion = readout.probabilities
+                    flips = rng.random(shots)
+                    p_one = np.where(bits == 1, confusion[1][1],
+                                     confusion[0][1])
+                    bits = (flips < p_one).astype(np.int64)
+            values |= bits << clbit
+        return values.tolist()
+
+    # -- batched trajectory strategy ---------------------------------------------------
+
+    def _batchable(self, circuit, noise_model) -> bool:
+        """True when every gate error is a probabilistic-unitary mixture."""
+        if noise_model is None:
+            return True
+        qubit_index = {q: i for i, q in enumerate(circuit.qubits)}
+        for item in circuit.data:
+            op = item.operation
+            if op.name in ("barrier", "measure"):
+                continue
+            targets = [qubit_index[q] for q in item.qubits]
+            error = noise_model.gate_error(op.name, targets)
+            if error is not None and error._unitary_branches is None:
+                return False
+        return True
+
+    def _run_batched(self, circuit, shots, rng, noise_model) -> list[int]:
+        num_qubits = circuit.num_qubits
+        qubit_index = {q: i for i, q in enumerate(circuit.qubits)}
+        clbit_index = {c: i for i, c in enumerate(circuit.clbits)}
+        states = np.zeros((2**num_qubits, shots), dtype=complex)
+        states[0, :] = 1.0
+        qubit_to_clbit: dict[int, int] = {}
+        for item in circuit.data:
+            op = item.operation
+            if op.name == "barrier":
+                continue
+            if op.name == "measure":
+                qubit_to_clbit[qubit_index[item.qubits[0]]] = clbit_index[
+                    item.clbits[0]
+                ]
+                continue
+            if not isinstance(op, Gate):
+                raise SimulatorError(f"cannot simulate '{op.name}'")
+            targets = [qubit_index[q] for q in item.qubits]
+            states = apply_matrix(states, op.to_matrix(), targets, num_qubits)
+            if noise_model is None:
+                continue
+            error = noise_model.gate_error(op.name, targets)
+            if error is None:
+                continue
+            branches = error._unitary_branches
+            probabilities = np.array([b[0] for b in branches])
+            probabilities = probabilities / probabilities.sum()
+            choice = rng.choice(len(branches), size=shots, p=probabilities)
+            for index, (_p, unitary, is_identity) in enumerate(branches):
+                if is_identity:
+                    continue
+                columns = choice == index
+                if columns.any():
+                    states[:, columns] = apply_matrix(
+                        states[:, columns], unitary, targets, num_qubits
+                    )
+        # Per-column measurement sampling via the inverse-CDF trick.
+        probabilities = np.abs(states) ** 2
+        probabilities /= probabilities.sum(axis=0, keepdims=True)
+        cumulative = np.cumsum(probabilities, axis=0)
+        draws = rng.random(shots)
+        outcomes = (cumulative < draws[None, :]).sum(axis=0)
+        values = np.zeros(shots, dtype=np.int64)
+        for qubit, clbit in qubit_to_clbit.items():
+            bits = (outcomes >> qubit) & 1
+            if noise_model is not None:
+                readout = noise_model.readout_error(qubit)
+                if readout is not None:
+                    confusion = readout.probabilities
+                    flips = rng.random(shots)
+                    p_one = np.where(bits == 1, confusion[1][1],
+                                     confusion[0][1])
+                    bits = (flips < p_one).astype(np.int64)
+            values |= bits << clbit
+        return values.tolist()
+
+    # -- trajectory strategy ----------------------------------------------------------
+
+    def _run_trajectories(self, circuit, shots, rng, noise_model) -> list[int]:
+        num_qubits = circuit.num_qubits
+        qubit_index = {q: i for i, q in enumerate(circuit.qubits)}
+        clbit_index = {c: i for i, c in enumerate(circuit.clbits)}
+        creg_slices = {
+            reg: [clbit_index[c] for c in reg] for reg in circuit.cregs
+        }
+        shot_values = []
+        for _ in range(shots):
+            state = np.zeros(2**num_qubits, dtype=complex)
+            state[0] = 1.0
+            classical = 0
+            for item in circuit.data:
+                op = item.operation
+                name = op.name
+                if name == "barrier":
+                    continue
+                if op.condition is not None:
+                    register, target_value = op.condition
+                    positions = creg_slices[register]
+                    actual = 0
+                    for offset, position in enumerate(positions):
+                        if (classical >> position) & 1:
+                            actual |= 1 << offset
+                    if actual != target_value:
+                        continue
+                if name == "measure":
+                    qubit = qubit_index[item.qubits[0]]
+                    clbit = clbit_index[item.clbits[0]]
+                    outcome = int(rng.random() < _prob_one(state, qubit, num_qubits))
+                    state = _project(state, qubit, outcome, num_qubits)
+                    recorded = outcome
+                    if noise_model is not None:
+                        readout = noise_model.readout_error(qubit)
+                        if readout is not None:
+                            recorded = readout.sample(outcome, rng)
+                    if recorded:
+                        classical |= 1 << clbit
+                    else:
+                        classical &= ~(1 << clbit)
+                    continue
+                if name == "reset":
+                    qubit = qubit_index[item.qubits[0]]
+                    outcome = int(rng.random() < _prob_one(state, qubit, num_qubits))
+                    state = _project(state, qubit, outcome, num_qubits)
+                    if outcome:
+                        x_matrix = np.array([[0, 1], [1, 0]], dtype=complex)
+                        state = apply_matrix(state, x_matrix, [qubit], num_qubits)
+                    continue
+                if not isinstance(op, Gate):
+                    raise SimulatorError(f"cannot simulate '{name}'")
+                targets = [qubit_index[q] for q in item.qubits]
+                state = apply_matrix(state, op.to_matrix(), targets, num_qubits)
+                if noise_model is not None:
+                    error = noise_model.gate_error(name, targets)
+                    if error is not None:
+                        if error.num_qubits != len(targets):
+                            raise SimulatorError(
+                                f"noise for '{name}' acts on "
+                                f"{error.num_qubits} qubit(s), gate on "
+                                f"{len(targets)}"
+                            )
+                        state = error.sample_kraus(
+                            state, targets, num_qubits, rng
+                        )
+            shot_values.append(classical)
+        return shot_values

@@ -1,0 +1,280 @@
+"""Stabilizer (Clifford tableau) simulation — Aaronson-Gottesman CHP.
+
+Clifford circuits (H, S, CNOT, Paulis, CZ, SWAP, measurements) simulate in
+polynomial time by tracking the stabilizer group instead of amplitudes.
+Together with the decision-diagram backend this rounds out the paper's
+"set of simulators and emulators" (Sec. III, Aer): dense arrays for small
+generic circuits, DDs for structured ones, tableaus for Clifford ones.
+
+The tableau follows Aaronson & Gottesman, "Improved simulation of
+stabilizer circuits": rows 0..n-1 are destabilizers, n..2n-1 stabilizers;
+each row stores x-bits, z-bits, and a sign bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import SimulatorError
+
+#: Gates natively handled by the tableau (all Clifford).
+CLIFFORD_GATES = {
+    "h", "s", "sdg", "x", "y", "z", "cx", "cz", "swap", "id",
+}
+
+
+class StabilizerState:
+    """An ``n``-qubit stabilizer state as a CHP tableau."""
+
+    def __init__(self, num_qubits: int):
+        if num_qubits < 1:
+            raise SimulatorError("need at least one qubit")
+        self.num_qubits = num_qubits
+        n = num_qubits
+        self._x = np.zeros((2 * n, n), dtype=np.int8)
+        self._z = np.zeros((2 * n, n), dtype=np.int8)
+        self._r = np.zeros(2 * n, dtype=np.int8)
+        # |0...0>: destabilizers X_i, stabilizers Z_i.
+        for i in range(n):
+            self._x[i, i] = 1
+            self._z[n + i, i] = 1
+
+    def copy(self) -> "StabilizerState":
+        """An independent copy of the tableau."""
+        fresh = StabilizerState.__new__(StabilizerState)
+        fresh.num_qubits = self.num_qubits
+        fresh._x = self._x.copy()
+        fresh._z = self._z.copy()
+        fresh._r = self._r.copy()
+        return fresh
+
+    # -- gate actions --------------------------------------------------------
+
+    def h(self, q: int):
+        """Hadamard: X <-> Z."""
+        self._r ^= self._x[:, q] & self._z[:, q]
+        self._x[:, q], self._z[:, q] = (
+            self._z[:, q].copy(), self._x[:, q].copy()
+        )
+
+    def s(self, q: int):
+        """Phase gate: X -> Y."""
+        self._r ^= self._x[:, q] & self._z[:, q]
+        self._z[:, q] ^= self._x[:, q]
+
+    def sdg(self, q: int):
+        """S-dagger = S Z."""
+        self.z(q)
+        self.s(q)
+
+    def x(self, q: int):
+        """Pauli X: flips signs of rows anticommuting with X (z-bit set)."""
+        self._r ^= self._z[:, q]
+
+    def z(self, q: int):
+        """Pauli Z: flips signs of rows with the x-bit set."""
+        self._r ^= self._x[:, q]
+
+    def y(self, q: int):
+        """Pauli Y = iXZ."""
+        self._r ^= self._x[:, q] ^ self._z[:, q]
+
+    def cx(self, control: int, target: int):
+        """CNOT per CHP update rules."""
+        self._r ^= (
+            self._x[:, control]
+            & self._z[:, target]
+            & (self._x[:, target] ^ self._z[:, control] ^ 1)
+        )
+        self._x[:, target] ^= self._x[:, control]
+        self._z[:, control] ^= self._z[:, target]
+
+    def cz(self, a: int, b: int):
+        """CZ = H(b) CX(a,b) H(b)."""
+        self.h(b)
+        self.cx(a, b)
+        self.h(b)
+
+    def swap(self, a: int, b: int):
+        """SWAP via column exchange."""
+        self._x[:, [a, b]] = self._x[:, [b, a]]
+        self._z[:, [a, b]] = self._z[:, [b, a]]
+
+    def apply_gate(self, name: str, qubits):
+        """Dispatch a named Clifford gate."""
+        if name == "id":
+            return
+        handler = getattr(self, name, None)
+        if name not in CLIFFORD_GATES or handler is None:
+            raise SimulatorError(
+                f"'{name}' is not a native Clifford gate; transpile to "
+                f"{sorted(CLIFFORD_GATES)} first"
+            )
+        handler(*qubits)
+
+    # -- measurement -----------------------------------------------------------
+
+    @staticmethod
+    def _g(x1, z1, x2, z2):
+        """Phase exponent of multiplying single-qubit Paulis (CHP's g)."""
+        if x1 == 0 and z1 == 0:
+            return 0
+        if x1 == 1 and z1 == 1:  # Y
+            return z2 - x2
+        if x1 == 1 and z1 == 0:  # X
+            return z2 * (2 * x2 - 1)
+        return x2 * (1 - 2 * z2)  # Z
+
+    def _rowsum(self, h: int, i: int):
+        """Row h *= row i, tracking the sign."""
+        n = self.num_qubits
+        phase = 2 * self._r[h] + 2 * self._r[i]
+        for j in range(n):
+            phase += self._g(
+                self._x[i, j], self._z[i, j], self._x[h, j], self._z[h, j]
+            )
+        self._r[h] = (phase % 4) // 2
+        self._x[h] ^= self._x[i]
+        self._z[h] ^= self._z[i]
+
+    def measure(self, q: int, rng) -> int:
+        """Z-measure qubit ``q``, collapsing the tableau."""
+        n = self.num_qubits
+        # Random outcome iff some stabilizer anticommutes with Z_q.
+        candidates = np.nonzero(self._x[n:, q])[0]
+        if candidates.size:
+            p = int(candidates[0]) + n
+            for i in range(2 * n):
+                if i != p and self._x[i, q]:
+                    self._rowsum(i, p)
+            self._x[p - n] = self._x[p]
+            self._z[p - n] = self._z[p]
+            self._r[p - n] = self._r[p]
+            self._x[p] = 0
+            self._z[p] = 0
+            self._z[p, q] = 1
+            outcome = int(rng.integers(2))
+            self._r[p] = outcome
+            return outcome
+        # Deterministic: accumulate into a scratch row.
+        scratch_x = np.zeros(n, dtype=np.int8)
+        scratch_z = np.zeros(n, dtype=np.int8)
+        scratch_r = 0
+        for i in range(n):
+            if self._x[i, q]:
+                phase = 2 * scratch_r + 2 * self._r[n + i]
+                for j in range(n):
+                    phase += self._g(
+                        self._x[n + i, j], self._z[n + i, j],
+                        scratch_x[j], scratch_z[j],
+                    )
+                scratch_r = (phase % 4) // 2
+                scratch_x ^= self._x[n + i]
+                scratch_z ^= self._z[n + i]
+        return int(scratch_r)
+
+    # -- inspection ---------------------------------------------------------------
+
+    def stabilizers(self) -> list[str]:
+        """Stabilizer generators as signed Pauli strings (qubit n-1 first)."""
+        n = self.num_qubits
+        labels = []
+        for i in range(n, 2 * n):
+            chars = []
+            for q in reversed(range(n)):
+                x_bit = self._x[i, q]
+                z_bit = self._z[i, q]
+                chars.append(
+                    "I" if not x_bit and not z_bit
+                    else "X" if x_bit and not z_bit
+                    else "Z" if not x_bit and z_bit
+                    else "Y"
+                )
+            sign = "-" if self._r[i] else "+"
+            labels.append(sign + "".join(chars))
+        return labels
+
+    def expectation_z(self, q: int) -> float:
+        """<Z_q>: +-1 if deterministic, 0 if random."""
+        n = self.num_qubits
+        if self._x[n:, q].any():
+            return 0.0
+        scratch = self.copy()
+        outcome = scratch.measure(q, rng=np.random.default_rng(0))
+        return 1.0 - 2.0 * outcome
+
+
+class StabilizerSimulator:
+    """Shot-based Clifford-circuit simulator."""
+
+    name = "stabilizer_simulator"
+
+    def run(self, circuit: QuantumCircuit, shots: int = 1024,
+            seed=None) -> dict:
+        """Simulate a Clifford circuit; returns ``{"counts", "shots"}``.
+
+        Supports mid-circuit measurement, reset, and classical conditions —
+        every shot replays the tableau, which is cheap (polynomial).
+        """
+        if circuit.num_qubits == 0:
+            raise SimulatorError("circuit has no qubits")
+        if circuit.num_clbits == 0:
+            raise SimulatorError("add measurements before running")
+        rng = np.random.default_rng(seed)
+        qubit_index = {q: i for i, q in enumerate(circuit.qubits)}
+        clbit_index = {c: i for i, c in enumerate(circuit.clbits)}
+        creg_slices = {
+            reg: [clbit_index[c] for c in reg] for reg in circuit.cregs
+        }
+        width = circuit.num_clbits
+        counts: dict[str, int] = {}
+        for _ in range(shots):
+            state = StabilizerState(circuit.num_qubits)
+            classical = 0
+            for item in circuit.data:
+                op = item.operation
+                name = op.name
+                if name == "barrier":
+                    continue
+                if op.condition is not None:
+                    register, target_value = op.condition
+                    actual = 0
+                    for offset, position in enumerate(creg_slices[register]):
+                        if (classical >> position) & 1:
+                            actual |= 1 << offset
+                    if actual != target_value:
+                        continue
+                if name == "measure":
+                    qubit = qubit_index[item.qubits[0]]
+                    clbit = clbit_index[item.clbits[0]]
+                    outcome = state.measure(qubit, rng)
+                    if outcome:
+                        classical |= 1 << clbit
+                    else:
+                        classical &= ~(1 << clbit)
+                    continue
+                if name == "reset":
+                    qubit = qubit_index[item.qubits[0]]
+                    if state.measure(qubit, rng):
+                        state.x(qubit)
+                    continue
+                state.apply_gate(name, [qubit_index[q] for q in item.qubits])
+            key = format(classical, f"0{width}b")
+            counts[key] = counts.get(key, 0) + 1
+        return {"counts": counts, "shots": shots}
+
+    def final_state(self, circuit: QuantumCircuit) -> StabilizerState:
+        """Run the gate portion only and return the tableau."""
+        state = StabilizerState(circuit.num_qubits)
+        qubit_index = {q: i for i, q in enumerate(circuit.qubits)}
+        for item in circuit.data:
+            op = item.operation
+            if op.name in ("barrier", "measure"):
+                continue
+            if op.condition is not None or op.name == "reset":
+                raise SimulatorError(
+                    "final_state supports plain Clifford gates only"
+                )
+            state.apply_gate(op.name, [qubit_index[q] for q in item.qubits])
+        return state

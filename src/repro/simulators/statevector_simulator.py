@@ -1,0 +1,80 @@
+"""Ideal statevector simulation — the workhorse array-based simulator.
+
+Implements exactly the scheme of Sec. V-A: simulation "boils down to a
+sequence of matrix-vector multiplications", with the vector stored densely
+(2**n amplitudes).  The decision-diagram simulator in
+:mod:`repro.simulators.dd_simulator` is the paper's improved alternative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.gate import Gate
+from repro.circuit.matrix_utils import apply_matrix
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import SimulatorError
+from repro.quantum_info.statevector import Statevector
+
+
+class StatevectorSimulator:
+    """Evolves |0...0> through a unitary-only circuit."""
+
+    name = "statevector_simulator"
+
+    def __init__(self, max_qubits: int = 24):
+        self._max_qubits = max_qubits
+
+    def run(self, circuit: QuantumCircuit, initial_state=None) -> Statevector:
+        """Simulate ``circuit`` and return the final state.
+
+        Barriers are skipped; trailing measurements (nothing after them on
+        any qubit) are ignored so circuits written for shot-based backends
+        also run here.  Mid-circuit measurement, reset, or classical
+        conditions raise :class:`SimulatorError`.
+        """
+        num_qubits = circuit.num_qubits
+        if num_qubits == 0:
+            raise SimulatorError("cannot simulate a circuit with no qubits")
+        if num_qubits > self._max_qubits:
+            raise SimulatorError(
+                f"{num_qubits} qubits exceeds the dense-array limit "
+                f"({self._max_qubits}); consider the DD simulator"
+            )
+        if initial_state is None:
+            state = np.zeros(2**num_qubits, dtype=complex)
+            state[0] = 1.0
+        else:
+            init = (
+                initial_state.data
+                if isinstance(initial_state, Statevector)
+                else np.asarray(initial_state, dtype=complex)
+            )
+            if init.shape != (2**num_qubits,):
+                raise SimulatorError("initial state has the wrong dimension")
+            state = init.copy()
+        qubit_index = {q: i for i, q in enumerate(circuit.qubits)}
+        measured: set = set()
+        for item in circuit.data:
+            op = item.operation
+            if op.name == "barrier":
+                continue
+            if op.name == "measure":
+                measured.add(item.qubits[0])
+                continue
+            if op.condition is not None:
+                raise SimulatorError(
+                    "classical conditions require the qasm simulator"
+                )
+            if op.name == "reset":
+                raise SimulatorError("reset requires the qasm simulator")
+            if not isinstance(op, Gate):
+                raise SimulatorError(f"cannot simulate operation '{op.name}'")
+            for qubit in item.qubits:
+                if qubit in measured:
+                    raise SimulatorError(
+                        "gate after measurement requires the qasm simulator"
+                    )
+            targets = [qubit_index[q] for q in item.qubits]
+            state = apply_matrix(state, op.to_matrix(), targets, num_qubits)
+        return Statevector(state, validate=False)

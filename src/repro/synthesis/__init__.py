@@ -1,0 +1,26 @@
+"""Unitary and state synthesis (quantum Shannon decomposition, Möttönen)."""
+
+from repro.synthesis.mcx import (
+    mcx_circuit,
+    mcx_recursive,
+    mcx_vchain,
+)
+from repro.synthesis.multiplexed import (
+    apply_uc_rotation,
+    transform_angles,
+    uc_rotation_circuit,
+)
+from repro.synthesis.qsd import synthesize_unitary
+from repro.synthesis.state_preparation import initialize, prepare_state
+
+__all__ = [
+    "apply_uc_rotation",
+    "initialize",
+    "mcx_circuit",
+    "mcx_recursive",
+    "mcx_vchain",
+    "prepare_state",
+    "synthesize_unitary",
+    "transform_angles",
+    "uc_rotation_circuit",
+]

@@ -1,0 +1,136 @@
+"""Multi-controlled X synthesis.
+
+``k``-controlled NOTs are the workhorse of oracle construction (Grover,
+arithmetic).  Exact decompositions:
+
+* k = 1, 2: native CX / Toffoli.
+* k >= 3 with ``k - 2`` clean ancillas: the linear-cost Toffoli V-chain.
+* k >= 3 without ancillas: recursive splitting via one borrowed *dirty*
+  qubit (any idle wire), doubling the Toffoli count per level.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.library.standard_gates import CCXGate, CXGate
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import CircuitError
+
+
+def mcx_vchain(circuit: QuantumCircuit, controls, target, ancillas) -> None:
+    """Append a k-controlled X using ``k - 2`` clean (|0>) ancillas.
+
+    The ancillas are returned to |0>, so they can be reused.
+    """
+    controls = list(controls)
+    ancillas = list(ancillas)
+    k = len(controls)
+    if k == 0:
+        raise CircuitError("need at least one control")
+    if k == 1:
+        circuit.append(CXGate(), [controls[0], target])
+        return
+    if k == 2:
+        circuit.append(CCXGate(), [controls[0], controls[1], target])
+        return
+    if len(ancillas) < k - 2:
+        raise CircuitError(
+            f"V-chain needs {k - 2} ancillas for {k} controls, got "
+            f"{len(ancillas)}"
+        )
+    used = ancillas[: k - 2]
+    # Accumulate the AND of all controls into the last ancilla.
+    circuit.append(CCXGate(), [controls[0], controls[1], used[0]])
+    for i in range(k - 3):
+        circuit.append(CCXGate(), [controls[i + 2], used[i], used[i + 1]])
+    circuit.append(CCXGate(), [controls[-1], used[-1], target])
+    # Uncompute.
+    for i in reversed(range(k - 3)):
+        circuit.append(CCXGate(), [controls[i + 2], used[i], used[i + 1]])
+    circuit.append(CCXGate(), [controls[0], controls[1], used[0]])
+
+
+def mcx_recursive(circuit: QuantumCircuit, controls, target,
+                  borrowed) -> None:
+    """Append a k-controlled X using one *dirty* borrowed qubit.
+
+    ``borrowed`` may hold any state; it is restored.  Splits the controls
+    into two halves with the borrowed qubit as a relay
+    (Barenco et al., Lemma 7.3):
+
+        MCX(C, t) = MCX(C2+b, t) MCX(C1, b) MCX(C2+b, t) MCX(C1, b)
+
+    where each half uses the *other* half's qubits as dirty ancillas via
+    the V-chain-with-dirty-ancillas construction; for the sizes used here
+    (halving) plain recursion suffices.
+    """
+    controls = list(controls)
+    k = len(controls)
+    if k <= 2:
+        mcx_vchain(circuit, controls, target, [])
+        return
+    half = (k + 1) // 2
+    first = controls[:half]
+    second = controls[half:] + [borrowed]
+    # Dirty-ancilla relay: toggling twice cancels any initial ancilla state.
+    for _ in range(2):
+        _mcx_dirty(circuit, first, borrowed, second[:-1] + [target])
+        _mcx_dirty(circuit, second, target, first)
+
+
+def _mcx_dirty(circuit: QuantumCircuit, controls, target, dirty_pool) -> None:
+    """k-controlled X using dirty ancillas from ``dirty_pool``.
+
+    Implements the Toffoli ladder that is self-inverse on the ancillas
+    (each ancilla is toggled an even number of times regardless of its
+    state).
+    """
+    controls = list(controls)
+    k = len(controls)
+    if k <= 2:
+        mcx_vchain(circuit, controls, target, [])
+        return
+    needed = k - 2
+    pool = [q for q in dirty_pool if q != target and q not in controls]
+    if len(pool) < needed:
+        raise CircuitError(
+            f"need {needed} dirty ancillas for {k} controls, got {len(pool)}"
+        )
+    ancillas = pool[:needed]
+    # Ladder (Barenco Lemma 7.2): two sweeps make every ancilla toggle even.
+    def ladder():
+        circuit.append(CCXGate(), [controls[-1], ancillas[-1], target])
+        for i in reversed(range(k - 3)):
+            circuit.append(
+                CCXGate(), [controls[i + 2], ancillas[i], ancillas[i + 1]]
+            )
+        circuit.append(CCXGate(), [controls[0], controls[1], ancillas[0]])
+        for i in range(k - 3):
+            circuit.append(
+                CCXGate(), [controls[i + 2], ancillas[i], ancillas[i + 1]]
+            )
+
+    ladder()
+    # Second half-ladder restores the ancillas.
+    circuit.append(CCXGate(), [controls[-1], ancillas[-1], target])
+    for i in reversed(range(k - 3)):
+        circuit.append(
+            CCXGate(), [controls[i + 2], ancillas[i], ancillas[i + 1]]
+        )
+    circuit.append(CCXGate(), [controls[0], controls[1], ancillas[0]])
+    for i in range(k - 3):
+        circuit.append(
+            CCXGate(), [controls[i + 2], ancillas[i], ancillas[i + 1]]
+        )
+
+
+def mcx_circuit(num_controls: int, use_ancillas: bool = True) -> QuantumCircuit:
+    """Standalone MCX circuit: controls first, target next, ancillas last."""
+    if num_controls < 1:
+        raise CircuitError("need at least one control")
+    num_ancillas = max(0, num_controls - 2) if use_ancillas else 0
+    circuit = QuantumCircuit(num_controls + 1 + num_ancillas)
+    controls = list(range(num_controls))
+    target = num_controls
+    ancillas = list(range(num_controls + 1, num_controls + 1 + num_ancillas))
+    mcx_vchain(circuit, controls, target, ancillas)
+    return circuit

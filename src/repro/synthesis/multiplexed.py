@@ -1,0 +1,101 @@
+"""Uniformly-controlled (multiplexed) rotations.
+
+A uniformly-controlled rotation applies ``R(angle[x])`` to a target qubit
+for every classical state ``x`` of the control qubits.  The Möttönen et al.
+construction realizes it with ``2**k`` plain rotations interleaved with
+``2**k`` CNOTs whose controls follow the Gray code, after a Walsh-Hadamard
+style transform of the angle vector.  This is the workhorse of both the
+Shannon decomposition and state preparation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.library.standard_gates import CXGate, RYGate, RZGate
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import CircuitError
+
+_ROTATIONS = {"ry": RYGate, "rz": RZGate}
+
+
+def _gray(value: int) -> int:
+    return value ^ (value >> 1)
+
+
+def _control_index(step: int) -> int:
+    """Index of the control whose Gray-code bit flips after ``step``.
+
+    Equals the position of the lowest set bit of ``step + 1`` (the binary
+    ruler sequence).
+    """
+    return ((step + 1) & -(step + 1)).bit_length() - 1
+
+
+def transform_angles(angles) -> np.ndarray:
+    """Map per-pattern angles to the interleaved-rotation angles.
+
+    The circuit applies, for control state ``x``, the net rotation
+    ``sum_j (-1)**popcount(x & gray(j)) theta'_j``; inverting that linear
+    map gives ``theta' = M.T @ theta / 2**k``.
+    """
+    angles = np.asarray(angles, dtype=float)
+    size = angles.shape[0]
+    if size & (size - 1):
+        raise CircuitError("angle count must be a power of two")
+    signs = np.empty((size, size))
+    for x in range(size):
+        for j in range(size):
+            signs[x, j] = (-1) ** bin(x & _gray(j)).count("1")
+    return signs.T @ angles / size
+
+
+def apply_uc_rotation(circuit: QuantumCircuit, axis: str, angles,
+                      controls, target) -> None:
+    """Append a uniformly-controlled RY or RZ to ``circuit``.
+
+    Args:
+        circuit: circuit to extend (qubits given as indices).
+        axis: ``"ry"`` or ``"rz"``.
+        angles: ``2**len(controls)`` rotation angles; ``angles[x]`` applies
+            when control ``controls[i]`` holds bit ``i`` of ``x``.
+        controls: control qubit indices (may be empty).
+        target: target qubit index.
+    """
+    if axis not in _ROTATIONS:
+        raise CircuitError(f"unsupported multiplexed axis '{axis}'")
+    rotation = _ROTATIONS[axis]
+    controls = list(controls)
+    angles = np.asarray(angles, dtype=float)
+    expected = 2 ** len(controls)
+    if angles.shape[0] != expected:
+        raise CircuitError(
+            f"need {expected} angles for {len(controls)} controls, "
+            f"got {angles.shape[0]}"
+        )
+    if not controls:
+        if abs(angles[0]) > 1e-12:
+            circuit.append(rotation(angles[0]), [target])
+        return
+    transformed = transform_angles(angles)
+    size = angles.shape[0]
+    for step in range(size):
+        if abs(transformed[step]) > 1e-12:
+            circuit.append(rotation(transformed[step]), [target])
+        # The final CNOT (step == size-1) closes the ladder from the
+        # highest control.
+        control = controls[min(_control_index(step), len(controls) - 1)]
+        circuit.append(CXGate(), [control, target])
+
+
+def uc_rotation_circuit(axis: str, angles, num_controls: int) -> QuantumCircuit:
+    """Standalone uniformly-controlled rotation circuit.
+
+    Qubits ``0..num_controls-1`` are the controls, the last qubit is the
+    target.
+    """
+    circuit = QuantumCircuit(num_controls + 1)
+    apply_uc_rotation(
+        circuit, axis, angles, list(range(num_controls)), num_controls
+    )
+    return circuit

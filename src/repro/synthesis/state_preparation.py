@@ -1,0 +1,86 @@
+"""Arbitrary state preparation (Möttönen et al.).
+
+Prepares any target statevector from |0...0> by running the disentangling
+sequence in reverse: for each qubit from the top down, a uniformly-
+controlled RZ aligns the phases and a uniformly-controlled RY moves the
+magnitudes, so the prepared state matches the target up to global phase.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import CircuitError
+from repro.synthesis.multiplexed import apply_uc_rotation
+
+
+def _disentangling_angles(amplitudes):
+    """Angles removing the top qubit of ``amplitudes``.
+
+    Returns ``(ry_angles, rz_angles, reduced)`` where applying
+    RY(-ry)/RZ(-rz) multiplexed on the lower qubits maps the state to
+    ``reduced ⊗ |0>``.
+    """
+    half = amplitudes.shape[0] // 2
+    low = amplitudes[:half]       # top qubit = 0
+    high = amplitudes[half:]      # top qubit = 1
+    magnitudes = np.sqrt(np.abs(low) ** 2 + np.abs(high) ** 2)
+    ry_angles = np.zeros(half)
+    rz_angles = np.zeros(half)
+    reduced = np.zeros(half, dtype=complex)
+    for x in range(half):
+        if magnitudes[x] < 1e-12:
+            reduced[x] = 0.0
+            continue
+        a = low[x]
+        b = high[x]
+        ry_angles[x] = 2.0 * math.atan2(abs(b), abs(a))
+        phase_a = np.angle(a) if abs(a) > 1e-12 else 0.0
+        phase_b = np.angle(b) if abs(b) > 1e-12 else 0.0
+        rz_angles[x] = phase_b - phase_a
+        reduced[x] = magnitudes[x] * np.exp(1j * (phase_a + phase_b) / 2.0)
+    return ry_angles, rz_angles, reduced
+
+
+def prepare_state(target) -> QuantumCircuit:
+    """Return a circuit preparing ``target`` from |0...0> (up to phase)."""
+    target = np.asarray(target, dtype=complex).ravel()
+    dim = target.shape[0]
+    num_qubits = int(round(math.log2(dim)))
+    if 2**num_qubits != dim:
+        raise CircuitError("state dimension must be a power of two")
+    norm = np.linalg.norm(target)
+    if norm < 1e-12:
+        raise CircuitError("cannot prepare the zero vector")
+    amplitudes = target / norm
+
+    # Collect the disentangling sequence top-down, then emit it reversed.
+    steps = []
+    current = amplitudes
+    for qubit in reversed(range(num_qubits)):
+        ry_angles, rz_angles, current = _disentangling_angles(current)
+        steps.append((qubit, ry_angles, rz_angles))
+
+    circuit = QuantumCircuit(num_qubits, name="prepare")
+    for qubit, ry_angles, rz_angles in reversed(steps):
+        controls = list(range(qubit))
+        apply_uc_rotation(circuit, "ry", ry_angles, controls, qubit)
+        if np.abs(rz_angles).max() > 1e-12:
+            apply_uc_rotation(circuit, "rz", rz_angles, controls, qubit)
+    return circuit
+
+
+def initialize(circuit: QuantumCircuit, target, qubits=None) -> None:
+    """Append state preparation for ``target`` onto ``qubits`` of circuit.
+
+    The qubits must be in the |0> state for the result to equal ``target``.
+    """
+    preparation = prepare_state(target)
+    if qubits is None:
+        qubits = circuit.qubits[: preparation.num_qubits]
+    else:
+        qubits = circuit._resolve_qargs(qubits)
+    circuit.compose(preparation, qubits=qubits, inplace=True)

@@ -1,0 +1,15 @@
+"""Transpiler: coupling maps, layouts, pass manager, and preset pipelines."""
+
+from repro.transpiler.coupling import CouplingMap
+from repro.transpiler.layout import Layout
+from repro.transpiler.passmanager import BasePass, PassManager
+from repro.transpiler.preset import build_pass_manager, transpile
+
+__all__ = [
+    "BasePass",
+    "CouplingMap",
+    "Layout",
+    "PassManager",
+    "build_pass_manager",
+    "transpile",
+]

@@ -1,0 +1,223 @@
+"""Coupling maps — the CNOT-constraints of the IBM QX architectures.
+
+A coupling map is a directed graph over physical qubits: an edge
+``Qi -> Qj`` means a CNOT with control ``Qi`` and target ``Qj`` is natively
+executable (paper Sec. II-B, Fig. 2).  Routing passes use the *undirected*
+distance (a misdirected CNOT costs only 4 Hadamards, a non-adjacent one
+costs SWAPs); the direction pass repairs orientation afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import TranspilerError
+
+#: IBM QX2 (5 qubits, launched March 2017) — bow-tie, paper Sec. I/II-B.
+QX2_EDGES = [(0, 1), (0, 2), (1, 2), (3, 2), (3, 4), (4, 2)]
+
+#: IBM QX4 (5 qubits, September 2017) — Fig. 2 of the paper: arrows point
+#: from allowed control to allowed target.
+QX4_EDGES = [(1, 0), (2, 0), (2, 1), (3, 2), (3, 4), (2, 4)]
+
+#: IBM QX5 (16 qubits, revision of QX3) — 2x8 ladder with published
+#: directions.
+QX5_EDGES = [
+    (1, 0), (1, 2), (2, 3), (3, 4), (3, 14), (5, 4), (6, 5), (6, 7),
+    (6, 11), (7, 10), (8, 7), (9, 8), (9, 10), (11, 10), (12, 5),
+    (12, 11), (12, 13), (13, 4), (13, 14), (15, 0), (15, 2), (15, 14),
+]
+
+#: IBM QX3 (16 qubits, June 2017).  Same ladder topology as its QX5
+#: revision; the revision changed calibration, not connectivity, so we
+#: model QX3 with the QX5 edge list.
+QX3_EDGES = list(QX5_EDGES)
+
+
+class CouplingMap:
+    """Directed connectivity constraints over physical qubits."""
+
+    def __init__(self, edges, num_qubits=None, name=None):
+        self._edges = [(int(a), int(b)) for a, b in edges]
+        if any(a == b for a, b in self._edges):
+            raise TranspilerError("coupling edges must join distinct qubits")
+        inferred = max((max(a, b) for a, b in self._edges), default=-1) + 1
+        self._num_qubits = num_qubits if num_qubits is not None else inferred
+        if self._num_qubits < inferred:
+            raise TranspilerError("edge references qubit beyond num_qubits")
+        self.name = name or "coupling"
+        self._edge_set = set(self._edges)
+        self._undirected = self._edge_set | {(b, a) for a, b in self._edge_set}
+        self._distance = None
+        self._next_hop = None
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def qx2(cls) -> "CouplingMap":
+        """IBM QX2."""
+        return cls(QX2_EDGES, name="ibmqx2")
+
+    @classmethod
+    def qx3(cls) -> "CouplingMap":
+        """IBM QX3."""
+        return cls(QX3_EDGES, name="ibmqx3")
+
+    @classmethod
+    def qx4(cls) -> "CouplingMap":
+        """IBM QX4 — the paper's Fig. 2."""
+        return cls(QX4_EDGES, name="ibmqx4")
+
+    @classmethod
+    def qx5(cls) -> "CouplingMap":
+        """IBM QX5."""
+        return cls(QX5_EDGES, name="ibmqx5")
+
+    @classmethod
+    def from_name(cls, name: str) -> "CouplingMap":
+        """Look up a preset architecture by name (e.g. ``"ibmqx4"``)."""
+        presets = {
+            "ibmqx2": cls.qx2,
+            "ibmqx3": cls.qx3,
+            "ibmqx4": cls.qx4,
+            "ibmqx5": cls.qx5,
+        }
+        if name not in presets:
+            raise TranspilerError(f"unknown architecture '{name}'")
+        return presets[name]()
+
+    @classmethod
+    def linear(cls, num_qubits: int) -> "CouplingMap":
+        """A 1-D nearest-neighbour chain."""
+        return cls(
+            [(i, i + 1) for i in range(num_qubits - 1)],
+            num_qubits=num_qubits,
+            name=f"linear-{num_qubits}",
+        )
+
+    @classmethod
+    def ring(cls, num_qubits: int) -> "CouplingMap":
+        """A ring."""
+        edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+        return cls(edges, num_qubits=num_qubits, name=f"ring-{num_qubits}")
+
+    @classmethod
+    def grid(cls, rows: int, cols: int) -> "CouplingMap":
+        """A 2-D grid."""
+        edges = []
+        for r in range(rows):
+            for c in range(cols):
+                idx = r * cols + c
+                if c + 1 < cols:
+                    edges.append((idx, idx + 1))
+                if r + 1 < rows:
+                    edges.append((idx, idx + cols))
+        return cls(edges, num_qubits=rows * cols, name=f"grid-{rows}x{cols}")
+
+    @classmethod
+    def full(cls, num_qubits: int) -> "CouplingMap":
+        """All-to-all connectivity."""
+        edges = [
+            (i, j)
+            for i in range(num_qubits)
+            for j in range(num_qubits)
+            if i != j
+        ]
+        return cls(edges, num_qubits=num_qubits, name=f"full-{num_qubits}")
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of physical qubits."""
+        return self._num_qubits
+
+    @property
+    def edges(self) -> list[tuple[int, int]]:
+        """The directed edge list."""
+        return list(self._edges)
+
+    def has_edge(self, control: int, target: int) -> bool:
+        """Whether a CNOT control->target is natively allowed."""
+        return (control, target) in self._edge_set
+
+    def connected(self, a: int, b: int) -> bool:
+        """Whether the qubits are adjacent in either direction."""
+        return (a, b) in self._undirected
+
+    def neighbors(self, qubit: int) -> list[int]:
+        """Undirected neighbours of ``qubit``."""
+        return sorted(
+            {b for a, b in self._undirected if a == qubit}
+        )
+
+    def _compute_distances(self):
+        n = self._num_qubits
+        dist = np.full((n, n), np.inf)
+        nxt = np.full((n, n), -1, dtype=int)
+        for i in range(n):
+            dist[i, i] = 0
+            nxt[i, i] = i
+        for a, b in self._undirected:
+            dist[a, b] = 1
+            nxt[a, b] = b
+        # Floyd-Warshall: device graphs are small (<= dozens of qubits).
+        for k in range(n):
+            for i in range(n):
+                through = dist[i, k] + dist[k]
+                better = through < dist[i]
+                if better.any():
+                    dist[i, better] = through[better]
+                    nxt[i, better] = nxt[i, k]
+        self._distance = dist
+        self._next_hop = nxt
+
+    def distance(self, a: int, b: int) -> int:
+        """Undirected shortest-path distance between physical qubits."""
+        if self._distance is None:
+            self._compute_distances()
+        value = self._distance[a, b]
+        if np.isinf(value):
+            raise TranspilerError(f"qubits {a} and {b} are disconnected")
+        return int(value)
+
+    @property
+    def distance_matrix(self) -> np.ndarray:
+        """Full pairwise distance matrix."""
+        if self._distance is None:
+            self._compute_distances()
+        return self._distance.copy()
+
+    def shortest_path(self, a: int, b: int) -> list[int]:
+        """One undirected shortest path from ``a`` to ``b`` (inclusive)."""
+        if self._distance is None:
+            self._compute_distances()
+        if np.isinf(self._distance[a, b]):
+            raise TranspilerError(f"qubits {a} and {b} are disconnected")
+        path = [a]
+        current = a
+        while current != b:
+            current = int(self._next_hop[current, b])
+            path.append(current)
+        return path
+
+    def is_connected(self) -> bool:
+        """Whether the undirected graph is connected."""
+        if self._num_qubits == 0:
+            return True
+        if self._distance is None:
+            self._compute_distances()
+        return not np.isinf(self._distance[0]).any()
+
+    def draw(self) -> str:
+        """Text rendering of the directed edge list (cf. Fig. 2)."""
+        lines = [f"{self.name}: {self._num_qubits} qubits"]
+        for a, b in sorted(self._edges):
+            lines.append(f"  Q{a} -> Q{b}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (
+            f"CouplingMap({self.name}, {self._num_qubits} qubits, "
+            f"{len(self._edges)} edges)"
+        )

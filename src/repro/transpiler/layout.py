@@ -1,0 +1,103 @@
+"""Layout: the assignment of virtual circuit qubits to physical qubits."""
+
+from __future__ import annotations
+
+from repro.circuit.bit import Qubit
+from repro.exceptions import TranspilerError
+
+
+class Layout:
+    """A bijection between virtual qubits and physical qubit indices."""
+
+    def __init__(self, mapping=None):
+        self._v2p: dict[Qubit, int] = {}
+        self._p2v: dict[int, Qubit] = {}
+        if mapping:
+            for virtual, physical in mapping.items():
+                self.add(virtual, physical)
+
+    @classmethod
+    def trivial(cls, qubits) -> "Layout":
+        """virtual qubit i -> physical i."""
+        layout = cls()
+        for i, qubit in enumerate(qubits):
+            layout.add(qubit, i)
+        return layout
+
+    @classmethod
+    def from_intlist(cls, physical_list, qubits) -> "Layout":
+        """``physical_list[i]`` is the physical slot of ``qubits[i]``."""
+        if len(physical_list) != len(qubits):
+            raise TranspilerError("intlist length does not match qubit count")
+        layout = cls()
+        for qubit, physical in zip(qubits, physical_list):
+            layout.add(qubit, physical)
+        return layout
+
+    def add(self, virtual: Qubit, physical: int):
+        """Register one virtual-physical pair."""
+        physical = int(physical)
+        if virtual in self._v2p:
+            raise TranspilerError(f"{virtual!r} already placed")
+        if physical in self._p2v:
+            raise TranspilerError(f"physical qubit {physical} already used")
+        self._v2p[virtual] = physical
+        self._p2v[physical] = virtual
+
+    def physical(self, virtual: Qubit) -> int:
+        """Physical slot of a virtual qubit."""
+        try:
+            return self._v2p[virtual]
+        except KeyError:
+            raise TranspilerError(f"{virtual!r} has no layout entry") from None
+
+    def virtual(self, physical: int):
+        """Virtual qubit on a physical slot (None if unused)."""
+        return self._p2v.get(physical)
+
+    def swap(self, physical_a: int, physical_b: int):
+        """Exchange the virtual qubits on two physical slots (a SWAP gate)."""
+        va = self._p2v.get(physical_a)
+        vb = self._p2v.get(physical_b)
+        if va is not None:
+            self._v2p[va] = physical_b
+        if vb is not None:
+            self._v2p[vb] = physical_a
+        if va is not None:
+            self._p2v[physical_b] = va
+        elif physical_b in self._p2v:
+            del self._p2v[physical_b]
+        if vb is not None:
+            self._p2v[physical_a] = vb
+        elif physical_a in self._p2v:
+            del self._p2v[physical_a]
+
+    def copy(self) -> "Layout":
+        """An independent copy."""
+        fresh = Layout()
+        fresh._v2p = dict(self._v2p)
+        fresh._p2v = dict(self._p2v)
+        return fresh
+
+    @property
+    def virtual_qubits(self) -> list[Qubit]:
+        """All placed virtual qubits."""
+        return list(self._v2p)
+
+    def to_intlist(self, qubits) -> list[int]:
+        """Physical slots in the order of ``qubits``."""
+        return [self.physical(q) for q in qubits]
+
+    def __len__(self):
+        return len(self._v2p)
+
+    def __eq__(self, other):
+        if not isinstance(other, Layout):
+            return NotImplemented
+        return self._v2p == other._v2p
+
+    def __repr__(self):
+        pairs = ", ".join(
+            f"{v.register.name}[{v.index}]->Q{p}" for v, p in self._v2p.items()
+        )
+        return f"Layout({pairs})"

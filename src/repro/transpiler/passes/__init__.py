@@ -1,0 +1,35 @@
+"""Transpiler passes."""
+
+from repro.transpiler.passes.commutation import CommutativeCancellation
+from repro.transpiler.passes.direction import CheckMap, CXDirection
+from repro.transpiler.passes.layout_passes import (
+    ApplyLayout,
+    DenseLayout,
+    SetLayout,
+    TrivialLayout,
+)
+from repro.transpiler.passes.optimization import (
+    CXCancellation,
+    Depth,
+    GateCancellation,
+    Optimize1qGates,
+    RemoveBarriers,
+    Size,
+)
+from repro.transpiler.passes.routing import BasicSwap, LookaheadSwap, SabreSwap
+from repro.transpiler.passes.unroller import (
+    IBMQX_BASIS,
+    Decompose,
+    Unroller,
+    u3_from_matrix,
+    zyz_decomposition,
+)
+
+__all__ = [
+    "ApplyLayout", "BasicSwap", "CXCancellation", "CXDirection", "CheckMap",
+    "CommutativeCancellation",
+    "Decompose", "DenseLayout", "Depth", "GateCancellation", "IBMQX_BASIS",
+    "LookaheadSwap", "Optimize1qGates", "RemoveBarriers", "SabreSwap",
+    "SetLayout", "Size", "TrivialLayout", "Unroller", "u3_from_matrix",
+    "zyz_decomposition",
+]

@@ -1,0 +1,103 @@
+"""Commutation-aware cancellation.
+
+:class:`GateCancellation` only cancels *adjacent* inverse pairs; this pass
+additionally commutes diagonal gates (u1/rz/z/s/t/cz/rzz and friends) past
+CNOT controls, and X-type gates past CNOT targets, so pairs separated by
+such gates cancel too — e.g. ``CX(0,1) T(0) CX(0,1) -> T(0)``.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuitinstruction import CircuitInstruction
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.transpiler.passes.optimization import GateCancellation
+from repro.transpiler.passmanager import BasePass
+
+#: Gates diagonal in the computational basis (commute with CX controls).
+_DIAGONAL = {"z", "s", "sdg", "t", "tdg", "u1", "p", "rz", "cz", "cu1",
+             "cp", "rzz", "id"}
+#: Gates that commute through a CX target (X-type on the target wire).
+_X_TYPE = {"x", "rx", "sx", "sxdg", "id"}
+
+
+def _commutes_with_cx(op, op_qubits, cx_control, cx_target) -> bool:
+    """Whether ``op`` commutes with a CX on (control, target)."""
+    if op.condition is not None:
+        return False
+    name = op.name
+    involved = set(op_qubits) & {cx_control, cx_target}
+    if not involved:
+        return True
+    if name in _DIAGONAL:
+        # Diagonal gates commute with the control wire; two-qubit diagonal
+        # gates must avoid the target wire.
+        return cx_target not in op_qubits
+    if name in _X_TYPE:
+        return op_qubits == [cx_target] or set(op_qubits) == {cx_target}
+    if name == "cx":
+        this_control, this_target = op_qubits
+        # Same control or same target commute; crossed wires do not.
+        if this_control == cx_control and this_target == cx_target:
+            return True
+        if this_control == cx_control and this_target != cx_target:
+            return cx_target != this_target and this_target != cx_control
+        if this_target == cx_target and this_control != cx_control:
+            return this_control != cx_target and cx_control != this_target
+        return False
+    return False
+
+
+class CommutativeCancellation(BasePass):
+    """Cancel CX pairs separated only by gates that commute through them.
+
+    A linear sweep: for every CX, look back along its wires for an earlier
+    identical CX such that everything in between commutes with it; if
+    found, delete both.  Finishes with a plain :class:`GateCancellation`
+    fixed-point pass to mop up newly adjacent pairs.
+    """
+
+    def run(self, circuit: QuantumCircuit, property_set: dict):
+        data = list(circuit.data)
+        alive = [True] * len(data)
+        changed = True
+        while changed:
+            changed = False
+            for index, item in enumerate(data):
+                if not alive[index] or item.operation.name != "cx":
+                    continue
+                if item.operation.condition is not None:
+                    continue
+                control = item.qubits[0]
+                target = item.qubits[1]
+                # Scan backwards for a matching CX.
+                for back in range(index - 1, -1, -1):
+                    if not alive[back]:
+                        continue
+                    earlier = data[back]
+                    if (
+                        earlier.operation.name == "cx"
+                        and list(earlier.qubits) == [control, target]
+                        and earlier.operation.condition is None
+                    ):
+                        alive[back] = False
+                        alive[index] = False
+                        changed = True
+                        break
+                    wires = set(earlier.qubits) | set(earlier.clbits)
+                    if not wires & {control, target}:
+                        continue
+                    if earlier.operation.name in ("barrier", "measure",
+                                                  "reset"):
+                        break
+                    if not _commutes_with_cx(
+                        earlier.operation,
+                        list(earlier.qubits),
+                        control,
+                        target,
+                    ):
+                        break
+        reduced = circuit.copy_empty_like()
+        reduced.data = [
+            item for keep, item in zip(alive, data) if keep
+        ]
+        return GateCancellation().run(reduced, property_set)

@@ -1,0 +1,79 @@
+"""CNOT-direction repair (paper Sec. II-B/V-B).
+
+On the QX architectures a CNOT may only point along a coupling-map arrow;
+within an allowed pair "it is firmly defined which qubit is the target and
+which is the control".  A reversed CNOT is fixed by conjugating with four
+Hadamards: CX(a,b) = (H ⊗ H) CX(b,a) (H ⊗ H).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuitinstruction import CircuitInstruction
+from repro.circuit.library.standard_gates import CXGate, HGate
+from repro.exceptions import TranspilerError
+from repro.transpiler.coupling import CouplingMap
+from repro.transpiler.passmanager import BasePass
+
+
+class CXDirection(BasePass):
+    """Flip CNOTs that point against the coupling map's arrows."""
+
+    def __init__(self, coupling: CouplingMap):
+        self._coupling = coupling
+
+    def run(self, circuit, property_set):
+        index_of = {q: i for i, q in enumerate(circuit.qubits)}
+        result = circuit.copy_empty_like()
+        for item in circuit.data:
+            op = item.operation
+            if op.name != "cx":
+                result.data.append(
+                    CircuitInstruction(op, list(item.qubits), list(item.clbits))
+                )
+                continue
+            control, target = item.qubits
+            c_idx, t_idx = index_of[control], index_of[target]
+            if self._coupling.has_edge(c_idx, t_idx):
+                result.data.append(
+                    CircuitInstruction(op, [control, target], [])
+                )
+            elif self._coupling.has_edge(t_idx, c_idx):
+                result.data.append(CircuitInstruction(HGate(), [control], []))
+                result.data.append(CircuitInstruction(HGate(), [target], []))
+                result.data.append(
+                    CircuitInstruction(CXGate(), [target, control], [])
+                )
+                result.data.append(CircuitInstruction(HGate(), [control], []))
+                result.data.append(CircuitInstruction(HGate(), [target], []))
+            else:
+                raise TranspilerError(
+                    f"cx on non-adjacent physical qubits {c_idx}, {t_idx}; "
+                    "run a routing pass first"
+                )
+        return result
+
+
+class CheckMap(BasePass):
+    """Analysis pass: verify every 2q gate satisfies the coupling map."""
+
+    def __init__(self, coupling: CouplingMap, check_direction: bool = False):
+        self._coupling = coupling
+        self._check_direction = check_direction
+
+    def run(self, circuit, property_set):
+        index_of = {q: i for i, q in enumerate(circuit.qubits)}
+        ok = True
+        for item in circuit.data:
+            if len(item.qubits) != 2 or item.operation.name == "barrier":
+                continue
+            a, b = (index_of[q] for q in item.qubits)
+            if self._check_direction and item.operation.name == "cx":
+                if not self._coupling.has_edge(a, b):
+                    ok = False
+                    break
+            elif not self._coupling.connected(a, b):
+                ok = False
+                break
+        key = "is_direction_mapped" if self._check_direction else "is_swap_mapped"
+        property_set[key] = ok
+        return circuit

@@ -1,0 +1,142 @@
+"""Layout selection and application passes."""
+
+from __future__ import annotations
+
+from repro.circuit.circuitinstruction import CircuitInstruction
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.circuit.register import QuantumRegister
+from repro.exceptions import TranspilerError
+from repro.transpiler.coupling import CouplingMap
+from repro.transpiler.layout import Layout
+from repro.transpiler.passmanager import BasePass
+
+
+class SetLayout(BasePass):
+    """Install a user-provided layout (int list or :class:`Layout`)."""
+
+    def __init__(self, layout):
+        self._layout = layout
+
+    def run(self, circuit, property_set):
+        layout = self._layout
+        if not isinstance(layout, Layout):
+            layout = Layout.from_intlist(list(layout), circuit.qubits)
+        property_set["layout"] = layout
+        return circuit
+
+
+class TrivialLayout(BasePass):
+    """Map virtual qubit i to physical qubit i (the naive 1:1 mapping the
+    paper describes as 'just mapping all qubits qi to corresponding physical
+    qubits Qi')."""
+
+    def __init__(self, coupling: CouplingMap):
+        self._coupling = coupling
+
+    def run(self, circuit, property_set):
+        if circuit.num_qubits > self._coupling.num_qubits:
+            raise TranspilerError(
+                f"circuit needs {circuit.num_qubits} qubits but the device "
+                f"has {self._coupling.num_qubits}"
+            )
+        property_set["layout"] = Layout.trivial(circuit.qubits)
+        return circuit
+
+
+class DenseLayout(BasePass):
+    """Place the circuit on the densest-connected device region.
+
+    Greedy BFS growth from every seed qubit; the region with the most
+    internal edges wins.  Virtual qubits with more two-qubit interactions
+    get the higher-degree physical slots.
+    """
+
+    def __init__(self, coupling: CouplingMap):
+        self._coupling = coupling
+
+    def run(self, circuit, property_set):
+        needed = circuit.num_qubits
+        device = self._coupling
+        if needed > device.num_qubits:
+            raise TranspilerError("circuit is wider than the device")
+        best_region = None
+        best_edges = -1
+        undirected = {(a, b) for a, b in device.edges}
+        undirected |= {(b, a) for a, b in undirected}
+        for seed in range(device.num_qubits):
+            region = [seed]
+            chosen = {seed}
+            while len(region) < needed:
+                # Add the neighbour with most links into the region.
+                candidates = {}
+                for q in region:
+                    for nb in device.neighbors(q):
+                        if nb not in chosen:
+                            candidates[nb] = candidates.get(nb, 0) + 1
+                if not candidates:
+                    break
+                pick = max(sorted(candidates), key=lambda q: candidates[q])
+                region.append(pick)
+                chosen.add(pick)
+            if len(region) < needed:
+                continue
+            edges = sum(
+                1
+                for i, a in enumerate(region)
+                for b in region[i + 1 :]
+                if (a, b) in undirected
+            )
+            if edges > best_edges:
+                best_edges = edges
+                best_region = region
+        if best_region is None:
+            raise TranspilerError("device has no connected region large enough")
+        # Busiest virtual qubits onto best-connected physical slots.
+        interactions: dict = {q: 0 for q in circuit.qubits}
+        for item in circuit.data:
+            if len(item.qubits) == 2:
+                for q in item.qubits:
+                    interactions[q] += 1
+        region_by_degree = sorted(
+            best_region,
+            key=lambda p: -sum(1 for nb in device.neighbors(p) if nb in best_region),
+        )
+        virtual_by_busy = sorted(
+            circuit.qubits, key=lambda q: -interactions[q]
+        )
+        layout = Layout()
+        for virtual, physical in zip(virtual_by_busy, region_by_degree):
+            layout.add(virtual, physical)
+        property_set["layout"] = layout
+        return circuit
+
+
+class ApplyLayout(BasePass):
+    """Rewrite the circuit over the device's physical register.
+
+    After this pass every qubit reference is a physical qubit ``Q[i]``; the
+    chosen :class:`Layout` is left in ``property_set['layout']`` and the
+    physical register in ``property_set['physical_register']``.
+    """
+
+    def __init__(self, coupling: CouplingMap):
+        self._coupling = coupling
+
+    def run(self, circuit, property_set):
+        layout = property_set.get("layout")
+        if layout is None:
+            raise TranspilerError("ApplyLayout requires a layout pass first")
+        physical_reg = QuantumRegister(self._coupling.num_qubits, "phys")
+        mapped = QuantumCircuit(physical_reg, name=circuit.name)
+        for creg in circuit.cregs:
+            mapped.add_register(creg)
+        for item in circuit.data:
+            new_qubits = [
+                physical_reg[layout.physical(q)] for q in item.qubits
+            ]
+            mapped.data.append(
+                CircuitInstruction(item.operation, new_qubits, list(item.clbits))
+            )
+        property_set["physical_register"] = physical_reg
+        property_set["original_qubits"] = list(circuit.qubits)
+        return mapped

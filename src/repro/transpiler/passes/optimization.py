@@ -1,0 +1,179 @@
+"""Optimization passes: gate cancellation and single-qubit resynthesis.
+
+The paper (Sec. III): the transpiler makes "quantum circuits more optimized
+for running on real hardware e.g. by minimizing occurrences of CNOT gates"
+— and inserting fewer gates matters because every added gate increases the
+error probability (Sec. V-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.circuitinstruction import CircuitInstruction
+from repro.circuit.gate import Gate
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.transpiler.passes.unroller import u3_from_matrix
+from repro.transpiler.passmanager import BasePass
+
+#: Gates that cancel with an identical neighbour on the same qubits.
+_SELF_INVERSE = {"cx", "cz", "swap", "h", "x", "y", "z", "ccx", "cswap", "id"}
+#: Pairs that cancel each other.
+_INVERSE_PAIRS = {("s", "sdg"), ("sdg", "s"), ("t", "tdg"), ("tdg", "t"),
+                  ("sx", "sxdg"), ("sxdg", "sx")}
+#: Symmetric gates where operand order does not matter.
+_SYMMETRIC = {"cz", "swap", "rzz", "cu1", "cp"}
+
+
+def _cancels(op_a, qubits_a, op_b, qubits_b) -> bool:
+    """Whether two adjacent gates annihilate."""
+    if op_a.condition is not None or op_b.condition is not None:
+        return False
+    same_qubits = qubits_a == qubits_b or (
+        op_a.name in _SYMMETRIC and set(qubits_a) == set(qubits_b)
+    )
+    if not same_qubits:
+        return False
+    if op_a.name == op_b.name and op_a.name in _SELF_INVERSE:
+        return True
+    return (op_a.name, op_b.name) in _INVERSE_PAIRS
+
+
+class GateCancellation(BasePass):
+    """Cancel adjacent self-inverse / mutually-inverse gate pairs.
+
+    Covers the classic CX-CX cancellation plus H-H, X-X, S-Sdg, etc.
+    Iterates to a fixed point so chains like H H H H vanish entirely.
+    """
+
+    def run(self, circuit, property_set):
+        data = list(circuit.data)
+        changed = True
+        while changed:
+            changed = False
+            # last un-cancelled instruction index per wire.
+            last_on_wire: dict = {}
+            alive = [True] * len(data)
+            for index, item in enumerate(data):
+                wires = list(item.qubits) + list(item.clbits)
+                if item.operation.condition is not None:
+                    wires.extend(item.operation.condition[0])
+                if item.operation.name == "barrier":
+                    for wire in wires:
+                        last_on_wire[wire] = index
+                    continue
+                prev_indices = {
+                    last_on_wire.get(wire) for wire in wires
+                }
+                prev = prev_indices.pop() if len(prev_indices) == 1 else None
+                if (
+                    prev is not None
+                    and alive[prev]
+                    and data[prev].operation.name != "barrier"
+                    and tuple(data[prev].qubits + data[prev].clbits)
+                    and _cancels(
+                        data[prev].operation,
+                        list(data[prev].qubits),
+                        item.operation,
+                        list(item.qubits),
+                    )
+                    and not data[prev].clbits
+                    and not item.clbits
+                ):
+                    alive[prev] = False
+                    alive[index] = False
+                    changed = True
+                    # Rewind wires to whatever preceded the cancelled pair.
+                    for wire in wires:
+                        last_on_wire.pop(wire, None)
+                    continue
+                for wire in wires:
+                    last_on_wire[wire] = index
+            if changed:
+                data = [item for keep, item in zip(alive, data) if keep]
+        result = circuit.copy_empty_like()
+        result.data = data
+        return result
+
+
+#: Backwards-compatible name: the CNOT-minimization pass.
+CXCancellation = GateCancellation
+
+
+class Optimize1qGates(BasePass):
+    """Fuse runs of adjacent single-qubit gates into one u1/u2/u3.
+
+    Any maximal run of 1q gates on a wire is multiplied out and
+    re-synthesized via ZYZ Euler decomposition — the
+    ``U(theta,phi,lambda) = Rz Ry Rz`` form of the paper's Sec. II-B.
+    Identity products are dropped entirely.
+    """
+
+    def __init__(self, tolerance: float = 1e-10, basis=None):
+        self._tol = tolerance
+        self._basis = set(basis) if basis is not None else None
+
+    def run(self, circuit, property_set):
+        result = circuit.copy_empty_like()
+        pending: dict = {}  # qubit -> accumulated 2x2 matrix
+
+        def flush(qubit):
+            matrix = pending.pop(qubit, None)
+            if matrix is None:
+                return
+            phase_fixed = matrix * np.exp(-1j * np.angle(matrix[0, 0])) \
+                if abs(matrix[0, 0]) > 1e-12 else matrix
+            if np.allclose(phase_fixed, np.eye(2), atol=self._tol):
+                return
+            gate = u3_from_matrix(matrix, basis=self._basis)
+            result.data.append(CircuitInstruction(gate, [qubit], []))
+
+        for item in circuit.data:
+            op = item.operation
+            fusable = (
+                isinstance(op, Gate)
+                and op.num_qubits == 1
+                and op.condition is None
+                and not op.is_parameterized()
+                and op.name != "unitary"
+            )
+            if fusable:
+                qubit = item.qubits[0]
+                current = pending.get(qubit, np.eye(2, dtype=complex))
+                pending[qubit] = op.to_matrix() @ current
+                continue
+            for qubit in item.qubits:
+                flush(qubit)
+            result.data.append(
+                CircuitInstruction(op, list(item.qubits), list(item.clbits))
+            )
+        for qubit in list(pending):
+            flush(qubit)
+        return result
+
+
+class RemoveBarriers(BasePass):
+    """Strip all barriers (useful before equivalence checking)."""
+
+    def run(self, circuit, property_set):
+        result = circuit.copy_empty_like()
+        result.data = [
+            item for item in circuit.data if item.operation.name != "barrier"
+        ]
+        return result
+
+
+class Depth(BasePass):
+    """Analysis: record circuit depth in ``property_set['depth']``."""
+
+    def run(self, circuit, property_set):
+        property_set["depth"] = circuit.depth()
+        return circuit
+
+
+class Size(BasePass):
+    """Analysis: record gate count in ``property_set['size']``."""
+
+    def run(self, circuit, property_set):
+        property_set["size"] = circuit.size()
+        return circuit

@@ -1,0 +1,398 @@
+"""Routing passes: insert SWAPs to satisfy the coupling map (Sec. V-B).
+
+Three mappers of increasing quality, mirroring the paper's narrative:
+
+* :class:`BasicSwap` — the straightforward solution: walk each distant CNOT's
+  qubits together along a shortest path (the naive mapper that "may
+  drastically increase the number of gates").
+* :class:`LookaheadSwap` — A*-style search that satisfies a whole front
+  layer with a minimal swap sequence, following Zulehner, Paler & Wille
+  (the paper's Ref. [39]).
+* :class:`SabreSwap` — the bidirectional-heuristic router of Li, Ding & Xie
+  (the paper's Ref. [18]), scoring candidate swaps on the front layer plus
+  a discounted extended set, with a decay term against ping-ponging.
+
+All routers consume a circuit already rewritten over physical qubits
+(:class:`~repro.transpiler.passes.layout_passes.ApplyLayout`) and record the
+final home->slot permutation in ``property_set['final_permutation']``.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.circuit.circuitinstruction import CircuitInstruction
+from repro.circuit.library.standard_gates import SwapGate
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import TranspilerError
+from repro.transpiler.coupling import CouplingMap
+from repro.transpiler.passmanager import BasePass
+
+
+class _WireScheduler:
+    """Tracks which instructions are ready, per wire-dependency order."""
+
+    def __init__(self, circuit: QuantumCircuit):
+        self.items = list(circuit.data)
+        self._wires_of: list[tuple] = []
+        self._queues: dict = {}
+        self._pos: dict = {}
+        for index, item in enumerate(self.items):
+            wires = list(item.qubits) + list(item.clbits)
+            if item.operation.condition is not None:
+                for bit in item.operation.condition[0]:
+                    if bit not in wires:
+                        wires.append(bit)
+            self._wires_of.append(tuple(wires))
+            for wire in wires:
+                self._queues.setdefault(wire, []).append(index)
+        for wire in self._queues:
+            self._pos[wire] = 0
+        self._done = [False] * len(self.items)
+        self.remaining = len(self.items)
+
+    def ready(self) -> list[int]:
+        """Indices of instructions whose wires are all at their head."""
+        heads = set()
+        for wire, queue in self._queues.items():
+            pos = self._pos[wire]
+            if pos < len(queue):
+                heads.add(queue[pos])
+        result = []
+        for index in heads:
+            if self._done[index]:
+                continue
+            if all(
+                self._queues[w][self._pos[w]] == index
+                for w in self._wires_of[index]
+            ):
+                result.append(index)
+        return sorted(result)
+
+    def complete(self, index: int):
+        """Mark an instruction executed, advancing its wires."""
+        if self._done[index]:
+            raise TranspilerError("instruction completed twice")
+        self._done[index] = True
+        self.remaining -= 1
+        for wire in self._wires_of[index]:
+            self._pos[wire] += 1
+
+
+class _RoutingState:
+    """Shared bookkeeping for all routers."""
+
+    def __init__(self, circuit, coupling):
+        self.coupling = coupling
+        self.physical_qubits = circuit.qubits
+        if circuit.num_qubits != coupling.num_qubits:
+            raise TranspilerError(
+                "routing expects a circuit over the full physical register; "
+                "run ApplyLayout first"
+            )
+        self.index_of = {q: i for i, q in enumerate(circuit.qubits)}
+        # pi[home] = current physical slot of the qubit that started at home.
+        self.pi = list(range(coupling.num_qubits))
+        self.out = circuit.copy_empty_like()
+
+    def current(self, qubit) -> int:
+        """Current slot of a (home) physical-qubit wire."""
+        return self.pi[self.index_of[qubit]]
+
+    def emit(self, item):
+        """Emit one instruction remapped through the current permutation."""
+        new_qubits = [
+            self.physical_qubits[self.current(q)] for q in item.qubits
+        ]
+        self.out.data.append(
+            CircuitInstruction(item.operation, new_qubits, list(item.clbits))
+        )
+
+    def emit_swap(self, slot_a: int, slot_b: int):
+        """Emit a SWAP on two current slots and update the permutation."""
+        if not self.coupling.connected(slot_a, slot_b):
+            raise TranspilerError(
+                f"swap on non-adjacent physical qubits {slot_a}, {slot_b}"
+            )
+        self.out.data.append(
+            CircuitInstruction(
+                SwapGate(),
+                [self.physical_qubits[slot_a], self.physical_qubits[slot_b]],
+                [],
+            )
+        )
+        for home, slot in enumerate(self.pi):
+            if slot == slot_a:
+                self.pi[home] = slot_b
+            elif slot == slot_b:
+                self.pi[home] = slot_a
+
+    def gate_distance(self, item) -> int:
+        """Current undirected distance between a 2q gate's slots."""
+        a, b = (self.current(q) for q in item.qubits)
+        return self.coupling.distance(a, b)
+
+
+def _is_routable_2q(item) -> bool:
+    return len(item.qubits) == 2 and item.operation.name != "barrier"
+
+
+class BasicSwap(BasePass):
+    """Naive router: swap along a shortest path for every distant CNOT."""
+
+    def __init__(self, coupling: CouplingMap):
+        self._coupling = coupling
+
+    def run(self, circuit, property_set):
+        state = _RoutingState(circuit, self._coupling)
+        for item in circuit.data:
+            if _is_routable_2q(item):
+                slot_a = state.current(item.qubits[0])
+                slot_b = state.current(item.qubits[1])
+                if self._coupling.distance(slot_a, slot_b) > 1:
+                    path = self._coupling.shortest_path(slot_a, slot_b)
+                    for hop in range(len(path) - 2):
+                        state.emit_swap(path[hop], path[hop + 1])
+            state.emit(item)
+        property_set["final_permutation"] = list(state.pi)
+        return state.out
+
+
+class SabreSwap(BasePass):
+    """Heuristic router scoring swaps on front layer + extended set."""
+
+    EXTENDED_SIZE = 20
+    EXTENDED_WEIGHT = 0.5
+    DECAY_STEP = 0.001
+    DECAY_RESET_INTERVAL = 5
+
+    def __init__(self, coupling: CouplingMap, seed=None):
+        self._coupling = coupling
+        self._seed = seed
+
+    def run(self, circuit, property_set):
+        coupling = self._coupling
+        state = _RoutingState(circuit, coupling)
+        scheduler = _WireScheduler(circuit)
+        rng = np.random.default_rng(self._seed)
+        decay = np.ones(coupling.num_qubits)
+        since_reset = 0
+        stall_guard = 0
+        max_stall = 10 * max(1, len(scheduler.items)) * coupling.num_qubits
+        while scheduler.remaining:
+            progress = False
+            for index in scheduler.ready():
+                item = scheduler.items[index]
+                if _is_routable_2q(item) and state.gate_distance(item) > 1:
+                    continue
+                state.emit(item)
+                scheduler.complete(index)
+                progress = True
+            if progress:
+                stall_guard = 0
+                continue
+            front = [
+                scheduler.items[i]
+                for i in scheduler.ready()
+                if _is_routable_2q(scheduler.items[i])
+            ]
+            if not front:
+                raise TranspilerError("router stalled with no 2q gate in front")
+            extended = self._extended_set(scheduler)
+            best_score = None
+            best_swaps = []
+            for edge in self._candidate_swaps(state, front):
+                score = self._score(state, edge, front, extended, decay)
+                if best_score is None or score < best_score - 1e-12:
+                    best_score = score
+                    best_swaps = [edge]
+                elif abs(score - best_score) <= 1e-12:
+                    best_swaps.append(edge)
+            pick = best_swaps[int(rng.integers(len(best_swaps)))]
+            state.emit_swap(*pick)
+            decay[pick[0]] += self.DECAY_STEP
+            decay[pick[1]] += self.DECAY_STEP
+            since_reset += 1
+            if since_reset >= self.DECAY_RESET_INTERVAL:
+                decay[:] = 1.0
+                since_reset = 0
+            stall_guard += 1
+            if stall_guard > max_stall:
+                raise TranspilerError("router exceeded stall limit")
+        property_set["final_permutation"] = list(state.pi)
+        return state.out
+
+    def _extended_set(self, scheduler) -> list:
+        extended = []
+        for index, item in enumerate(scheduler.items):
+            if scheduler._done[index]:
+                continue
+            if _is_routable_2q(item):
+                extended.append(item)
+                if len(extended) >= self.EXTENDED_SIZE:
+                    break
+        return extended
+
+    def _candidate_swaps(self, state, front):
+        involved = set()
+        for item in front:
+            involved.add(state.current(item.qubits[0]))
+            involved.add(state.current(item.qubits[1]))
+        seen = set()
+        for slot in involved:
+            for neighbor in self._coupling.neighbors(slot):
+                edge = (min(slot, neighbor), max(slot, neighbor))
+                if edge not in seen:
+                    seen.add(edge)
+                    yield edge
+
+    def _score(self, state, edge, front, extended, decay):
+        def dist_after(item):
+            a = state.current(item.qubits[0])
+            b = state.current(item.qubits[1])
+            a = edge[1] if a == edge[0] else edge[0] if a == edge[1] else a
+            b = edge[1] if b == edge[0] else edge[0] if b == edge[1] else b
+            return self._coupling.distance(a, b)
+
+        front_cost = sum(dist_after(item) for item in front) / len(front)
+        extended_cost = 0.0
+        if extended:
+            extended_cost = (
+                self.EXTENDED_WEIGHT
+                * sum(dist_after(item) for item in extended)
+                / len(extended)
+            )
+        return max(decay[edge[0]], decay[edge[1]]) * (front_cost + extended_cost)
+
+
+class LookaheadSwap(BasePass):
+    """A*-based router: finds a swap sequence making the whole front layer
+    executable before committing it (Zulehner-style)."""
+
+    MAX_EXPANSIONS = 20_000
+    LOOKAHEAD_WEIGHT = 0.1
+
+    def __init__(self, coupling: CouplingMap, seed=None):
+        self._coupling = coupling
+        self._seed = seed
+
+    def run(self, circuit, property_set):
+        coupling = self._coupling
+        state = _RoutingState(circuit, coupling)
+        scheduler = _WireScheduler(circuit)
+        while scheduler.remaining:
+            progress = False
+            for index in scheduler.ready():
+                item = scheduler.items[index]
+                if _is_routable_2q(item) and state.gate_distance(item) > 1:
+                    continue
+                state.emit(item)
+                scheduler.complete(index)
+                progress = True
+            if progress:
+                continue
+            front_pairs = []
+            for index in scheduler.ready():
+                item = scheduler.items[index]
+                if _is_routable_2q(item):
+                    front_pairs.append(
+                        (state.current(item.qubits[0]),
+                         state.current(item.qubits[1]))
+                    )
+            if not front_pairs:
+                raise TranspilerError("router stalled with no 2q gate in front")
+            lookahead_pairs = self._lookahead_pairs(scheduler, state)
+            swaps = self._astar(state.pi, front_pairs, lookahead_pairs)
+            for swap in swaps:
+                state.emit_swap(*swap)
+        property_set["final_permutation"] = list(state.pi)
+        return state.out
+
+    def _lookahead_pairs(self, scheduler, state, limit=8):
+        pairs = []
+        for index, item in enumerate(scheduler.items):
+            if scheduler._done[index]:
+                continue
+            if _is_routable_2q(item):
+                pairs.append(
+                    (state.current(item.qubits[0]),
+                     state.current(item.qubits[1]))
+                )
+                if len(pairs) >= limit:
+                    break
+        return pairs
+
+    def _astar(self, pi, front_pairs, lookahead_pairs):
+        """Search for the shortest swap sequence satisfying ``front_pairs``.
+
+        States are permutations sigma of slots (applied on top of the current
+        mapping): a pair (a, b) currently at slots (a, b) sits at
+        (sigma[a], sigma[b]) after the candidate swaps.
+        """
+        coupling = self._coupling
+        n = coupling.num_qubits
+        edges = [
+            (min(a, b), max(a, b))
+            for a, b in {(min(a, b), max(a, b)) for a, b in coupling.edges}
+        ]
+
+        def heuristic(sigma):
+            cost = sum(
+                coupling.distance(sigma[a], sigma[b]) - 1
+                for a, b in front_pairs
+            )
+            if lookahead_pairs:
+                cost += self.LOOKAHEAD_WEIGHT * sum(
+                    coupling.distance(sigma[a], sigma[b]) - 1
+                    for a, b in lookahead_pairs
+                )
+            return cost
+
+        def satisfied(sigma):
+            return all(
+                coupling.distance(sigma[a], sigma[b]) == 1
+                for a, b in front_pairs
+            )
+
+        start = tuple(range(n))
+        open_heap = [(heuristic(start), 0, start, ())]
+        best_g: dict = {start: 0}
+        expansions = 0
+        counter = 0
+        while open_heap:
+            _, g, sigma, swaps = heapq.heappop(open_heap)
+            if g > best_g.get(sigma, float("inf")):
+                continue
+            if satisfied(sigma):
+                return list(swaps)
+            expansions += 1
+            if expansions > self.MAX_EXPANSIONS:
+                break
+            for edge in edges:
+                new_sigma = list(sigma)
+                # Swapping slots edge[0], edge[1]: anything mapped there moves.
+                for i in range(n):
+                    if new_sigma[i] == edge[0]:
+                        new_sigma[i] = edge[1]
+                    elif new_sigma[i] == edge[1]:
+                        new_sigma[i] = edge[0]
+                new_sigma = tuple(new_sigma)
+                new_g = g + 1
+                if new_g < best_g.get(new_sigma, float("inf")):
+                    best_g[new_sigma] = new_g
+                    counter += 1
+                    heapq.heappush(
+                        open_heap,
+                        (
+                            new_g + heuristic(new_sigma),
+                            new_g,
+                            new_sigma,
+                            swaps + (edge,),
+                        ),
+                    )
+        # Fallback: route the first front pair along a shortest path.
+        a, b = front_pairs[0]
+        path = coupling.shortest_path(a, b)
+        return [(path[i], path[i + 1]) for i in range(len(path) - 2)]

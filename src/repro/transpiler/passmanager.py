@@ -1,0 +1,58 @@
+"""The pass-manager framework: composable circuit transformations.
+
+Every pass consumes a circuit plus a shared ``property_set`` dict and
+returns a (possibly new) circuit.  Analysis passes only write properties;
+transformation passes rewrite the circuit.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import TranspilerError
+
+
+class BasePass:
+    """Base class for transpiler passes."""
+
+    @property
+    def name(self) -> str:
+        """Pass name (class name by default)."""
+        return type(self).__name__
+
+    def run(self, circuit: QuantumCircuit, property_set: dict) -> QuantumCircuit:
+        """Transform ``circuit``; analysis passes return it unchanged."""
+        raise NotImplementedError
+
+
+class PassManager:
+    """Runs a sequence of passes, threading the property set through."""
+
+    def __init__(self, passes=None):
+        self._passes: list[BasePass] = list(passes or [])
+        self.property_set: dict = {}
+
+    def append(self, pass_) -> "PassManager":
+        """Add a pass (or list of passes) to the schedule."""
+        if isinstance(pass_, (list, tuple)):
+            self._passes.extend(pass_)
+        else:
+            self._passes.append(pass_)
+        return self
+
+    @property
+    def passes(self) -> list[BasePass]:
+        """The scheduled passes."""
+        return list(self._passes)
+
+    def run(self, circuit: QuantumCircuit) -> QuantumCircuit:
+        """Execute all passes on ``circuit``."""
+        self.property_set = {}
+        current = circuit
+        for pass_ in self._passes:
+            result = pass_.run(current, self.property_set)
+            if result is None:
+                raise TranspilerError(
+                    f"pass {pass_.name} returned None instead of a circuit"
+                )
+            current = result
+        return current

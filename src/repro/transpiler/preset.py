@@ -1,0 +1,160 @@
+"""Preset transpilation pipelines — the ``compile`` step of Sec. IV.
+
+``transpile`` assembles the standard pass sequence: unroll to 1q/2q gates,
+choose a layout, route for the coupling map, decompose SWAPs, repair CNOT
+directions, unroll to the device basis, and optimize.  Optimization levels:
+
+* 0 — naive: trivial 1:1 layout, :class:`BasicSwap` routing, no cleanup
+  (this is the flow that produces Fig. 4a).
+* 1 — default: trivial layout, SABRE routing, 1q resynthesis + cancellation.
+* 2 — adds dense layout selection.
+* 3 — adds the A* lookahead router and iterated cleanup
+  (the "improved mapping" flow of Fig. 4b).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import TranspilerError
+from repro.transpiler.coupling import CouplingMap
+from repro.transpiler.passes.commutation import CommutativeCancellation
+from repro.transpiler.passes.direction import CheckMap, CXDirection
+from repro.transpiler.passes.layout_passes import (
+    ApplyLayout,
+    DenseLayout,
+    SetLayout,
+    TrivialLayout,
+)
+from repro.transpiler.passes.optimization import (
+    GateCancellation,
+    Optimize1qGates,
+)
+from repro.transpiler.passes.routing import BasicSwap, LookaheadSwap, SabreSwap
+from repro.transpiler.passes.unroller import IBMQX_BASIS, Decompose, Unroller
+from repro.transpiler.passmanager import PassManager
+
+_ROUTERS = {"basic": BasicSwap, "sabre": SabreSwap, "lookahead": LookaheadSwap}
+
+
+def build_pass_manager(coupling_map=None, basis_gates=IBMQX_BASIS,
+                       initial_layout=None, optimization_level=1,
+                       routing_method=None, seed=None,
+                       layout_method=None) -> PassManager:
+    """Construct the pass schedule for the given options."""
+    if optimization_level not in (0, 1, 2, 3):
+        raise TranspilerError("optimization_level must be 0..3")
+    manager = PassManager()
+    # Pre-routing: reduce everything to <=2q gates so routing sees CNOTs.
+    pre_basis = set(basis_gates) | {
+        "cx", "u1", "u2", "u3", "h", "t", "tdg", "s", "sdg", "x", "y", "z",
+        "rx", "ry", "rz", "swap", "cz", "cu1",
+    }
+    manager.append(Unroller(sorted(pre_basis)))
+    if coupling_map is not None:
+        if layout_method is None:
+            layout_method = "dense" if optimization_level >= 2 else "trivial"
+        if initial_layout is not None:
+            manager.append(SetLayout(initial_layout))
+        elif layout_method == "dense":
+            manager.append(DenseLayout(coupling_map))
+        elif layout_method == "trivial":
+            manager.append(TrivialLayout(coupling_map))
+        else:
+            raise TranspilerError(f"unknown layout method '{layout_method}'")
+        manager.append(ApplyLayout(coupling_map))
+        if routing_method is None:
+            routing_method = (
+                "basic"
+                if optimization_level == 0
+                else "lookahead"
+                if optimization_level == 3
+                else "sabre"
+            )
+        if routing_method not in _ROUTERS:
+            raise TranspilerError(f"unknown routing method '{routing_method}'")
+        router_cls = _ROUTERS[routing_method]
+        if routing_method == "basic":
+            manager.append(router_cls(coupling_map))
+        else:
+            manager.append(router_cls(coupling_map, seed=seed))
+        if "cx" not in basis_gates:
+            raise TranspilerError(
+                "coupling-mapped transpilation needs 'cx' in the basis"
+            )
+        manager.append(Decompose("swap"))
+        # Reduce every remaining 2q gate (cz, cu1, ...) to CX before fixing
+        # directions, otherwise later unrolling could reintroduce reversed
+        # CNOTs.
+        manager.append(Unroller(basis_gates))
+        manager.append(CXDirection(coupling_map))
+        manager.append(CheckMap(coupling_map, check_direction=True))
+    if optimization_level >= 1:
+        manager.append(GateCancellation())
+    manager.append(Unroller(basis_gates))
+    if optimization_level >= 1:
+        manager.append(Optimize1qGates(basis=basis_gates))
+        manager.append(GateCancellation())
+    if optimization_level >= 2:
+        manager.append(CommutativeCancellation())
+    if optimization_level >= 3:
+        manager.append(Optimize1qGates(basis=basis_gates))
+        manager.append(GateCancellation())
+    return manager
+
+
+def transpile(circuit: QuantumCircuit, coupling_map=None,
+              basis_gates=IBMQX_BASIS, initial_layout=None,
+              optimization_level=1, routing_method=None,
+              seed=None) -> QuantumCircuit:
+    """Compile ``circuit`` for a device (the paper's Sec. IV ``compile``).
+
+    Returns the mapped circuit.  Layout and routing metadata are attached as
+    ``result.initial_layout`` (a :class:`Layout` or None) and
+    ``result.final_permutation`` (``perm[home_slot] = final_slot``).
+    """
+    if isinstance(coupling_map, str):
+        coupling_map = CouplingMap.from_name(coupling_map)
+
+    def run_once(layout_method, routing):
+        manager = build_pass_manager(
+            coupling_map=coupling_map,
+            basis_gates=basis_gates,
+            initial_layout=initial_layout,
+            optimization_level=optimization_level,
+            routing_method=routing,
+            seed=seed,
+            layout_method=layout_method,
+        )
+        result = manager.run(circuit)
+        if coupling_map is not None and not manager.property_set.get(
+            "is_direction_mapped", True
+        ):
+            raise TranspilerError(
+                "transpilation failed to satisfy the coupling map"
+            )
+        result.initial_layout = manager.property_set.get("layout")
+        result.final_permutation = manager.property_set.get(
+            "final_permutation"
+        )
+        return result
+
+    if (
+        optimization_level == 3
+        and coupling_map is not None
+        and initial_layout is None
+    ):
+        # Portfolio: try layout/router combinations, keep the cheapest
+        # (fewest CNOTs, then total size, then depth).
+        attempts = []
+        for layout_method in ("trivial", "dense"):
+            for routing in ("lookahead", "sabre"):
+                if routing_method is not None:
+                    routing = routing_method
+                attempts.append(run_once(layout_method, routing))
+
+        def cost(candidate):
+            ops = candidate.count_ops()
+            return (ops.get("cx", 0), candidate.size(), candidate.depth())
+
+        return min(attempts, key=cost)
+    return run_once(None, routing_method)

@@ -1,0 +1,6 @@
+"""Text-mode visualization: circuit diagrams, histograms, coupling maps."""
+
+from repro.visualization.histogram import plot_histogram
+from repro.visualization.text import circuit_to_text
+
+__all__ = ["circuit_to_text", "plot_histogram"]

@@ -1,0 +1,42 @@
+"""ASCII histogram of measurement counts.
+
+Stands in for ``plot_histogram`` from the paper's Section IV run-through;
+emits a text bar chart instead of a matplotlib figure.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import VisualizationError
+
+
+def plot_histogram(counts: dict, width: int = 40, sort: str = "key") -> str:
+    """Render a counts dictionary as an ASCII bar chart.
+
+    Args:
+        counts: mapping from bitstring to integer count (or probability).
+        width: width of the largest bar in characters.
+        sort: ``"key"`` to sort by bitstring, ``"value"`` for descending count.
+
+    Returns:
+        A multi-line string.
+    """
+    if not counts:
+        raise VisualizationError("cannot plot empty counts")
+    if sort == "key":
+        items = sorted(counts.items())
+    elif sort == "value":
+        items = sorted(counts.items(), key=lambda kv: -kv[1])
+    else:
+        raise VisualizationError(f"unknown sort order '{sort}'")
+    total = sum(counts.values())
+    peak = max(counts.values())
+    label_width = max(len(str(key)) for key, _ in items)
+    lines = []
+    for key, value in items:
+        bar = "█" * max(1, round(width * value / peak)) if value > 0 else ""
+        share = value / total if total else 0.0
+        lines.append(
+            f"{str(key).rjust(label_width)} | {bar.ljust(width)} "
+            f"{value} ({share:.3f})"
+        )
+    return "\n".join(lines)

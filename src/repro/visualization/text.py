@@ -1,0 +1,129 @@
+"""ASCII circuit drawer — renders circuit diagrams like the paper's Fig. 1b.
+
+Qubits are horizontal lines read left to right; gate symbols follow common
+conventions: ``■`` control, ``⊕`` CNOT target, ``×`` swap, ``M`` measure,
+``░`` barrier, boxed mnemonics for everything else.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.parameter import ParameterExpression
+
+
+def _gate_label(operation) -> str:
+    """Short printable label for an operation, with rounded parameters."""
+    name = operation.name.upper()
+    if not operation.params:
+        return name
+    rendered = []
+    for param in operation.params:
+        if isinstance(param, ParameterExpression) and param.parameters:
+            rendered.append(str(param))
+        else:
+            rendered.append(f"{float(param):.4g}")
+    return f"{name}({','.join(rendered)})"
+
+
+def circuit_to_text(circuit) -> str:
+    """Render ``circuit`` as a multi-line string diagram."""
+    qubits = circuit.qubits
+    clbits = circuit.clbits
+    num_q = len(qubits)
+    num_c = len(clbits)
+    if num_q == 0:
+        return "(empty circuit)"
+    q_row = {qubit: i for i, qubit in enumerate(qubits)}
+    c_row = {clbit: num_q + i for i, clbit in enumerate(clbits)}
+    total_rows = num_q + num_c
+
+    # Assign each instruction to the earliest column after its wires' last use.
+    columns: list[dict[int, str]] = []  # column -> {row: symbol}
+    col_connect: list[dict[int, str]] = []  # vertical connector rows
+    level = [0] * total_rows
+
+    def place(rows_syms, connect_rows):
+        rows = [r for r, _ in rows_syms] + list(connect_rows)
+        col = max(level[r] for r in rows)
+        while len(columns) <= col:
+            columns.append({})
+            col_connect.append({})
+        for r, sym in rows_syms:
+            columns[col][r] = sym
+        for r in connect_rows:
+            if r not in columns[col]:
+                col_connect[col][r] = "│"
+        for r in rows:
+            level[r] = col + 1
+
+    for item in circuit.data:
+        op = item.operation
+        name = op.name
+        rows_q = [q_row[q] for q in item.qubits]
+        rows_c = [c_row[c] for c in item.clbits]
+        if name == "barrier":
+            place([(r, "░") for r in rows_q], [])
+            continue
+        if name == "measure":
+            span = range(min(rows_q + rows_c), max(rows_q + rows_c) + 1)
+            inner = [r for r in span if r not in rows_q + rows_c]
+            place([(rows_q[0], "M")] + [(rows_c[0], "╩")], inner)
+            continue
+        if name == "reset":
+            place([(rows_q[0], "|0>")], [])
+            continue
+        if len(rows_q) == 1:
+            place([(rows_q[0], _gate_label(op))], [])
+            continue
+        # Multi-qubit gates: pick per-wire symbols.
+        symbols = None
+        if name in ("cx", "ccx"):
+            symbols = ["■"] * (len(rows_q) - 1) + ["⊕"]
+        elif name == "cz":
+            symbols = ["■"] * len(rows_q)
+        elif name == "swap":
+            symbols = ["×", "×"]
+        elif name == "cswap":
+            symbols = ["■", "×", "×"]
+        elif name.startswith("c") and len(rows_q) == 2:
+            symbols = ["■", _gate_label(op)[1:]]
+        else:
+            label = _gate_label(op)
+            symbols = [f"{label}:{i}" for i in range(len(rows_q))]
+        span = range(min(rows_q), max(rows_q) + 1)
+        inner = [r for r in span if r not in rows_q]
+        place(list(zip(rows_q, symbols)), inner)
+
+    # Render the grid.
+    col_widths = [
+        max(
+            (len(sym) for sym in list(col.values()) + ["─"]),
+            default=1,
+        )
+        + 2
+        for col in columns
+    ]
+    lines = []
+    for row in range(total_rows):
+        if row < num_q:
+            qubit = qubits[row]
+            prefix = f"{qubit.register.name}_{qubit.index}: "
+            fill = "─"
+        else:
+            clbit = clbits[row - num_q]
+            prefix = f"{clbit.register.name}_{clbit.index}: "
+            fill = "═"
+        prefix = prefix.rjust(max(len(prefix), 8))
+        parts = [prefix]
+        for col_idx, col in enumerate(columns):
+            width = col_widths[col_idx]
+            if row in col:
+                sym = col[row]
+            elif row in col_connect[col_idx]:
+                sym = "│"
+            else:
+                sym = ""
+            pad_char = fill if not sym or sym in ("■", "⊕", "×", "░") else fill
+            text = sym.center(width, pad_char) if sym else pad_char * width
+            parts.append(text)
+        lines.append("".join(parts))
+    return "\n".join(lines)

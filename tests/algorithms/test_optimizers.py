@@ -1,0 +1,80 @@
+"""Tests for the classical optimizers on analytic objectives."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    COBYLA,
+    SPSA,
+    GradientDescent,
+    NelderMead,
+    ParameterShiftDescent,
+    Powell,
+    get_optimizer,
+)
+from repro.exceptions import AlgorithmError
+
+
+def quadratic(x):
+    return float(np.sum((x - 1.5) ** 2))
+
+
+class TestDeterministicOptimizers:
+    @pytest.mark.parametrize(
+        "optimizer",
+        [COBYLA(maxiter=300), NelderMead(maxiter=400), Powell(),
+         GradientDescent(maxiter=200, learning_rate=0.3)],
+        ids=["cobyla", "nelder-mead", "powell", "gradient"],
+    )
+    def test_quadratic_minimum(self, optimizer):
+        result = optimizer.optimize(quadratic, np.zeros(3))
+        assert result.fun < 1e-3
+        assert np.allclose(result.x, 1.5, atol=0.05)
+
+    def test_history_recorded(self):
+        result = COBYLA(maxiter=100).optimize(quadratic, np.zeros(2))
+        assert len(result.history) > 0
+        assert result.nfev > 0
+
+    def test_parameter_shift_on_trig(self):
+        # Objective built from Pauli-rotation structure: cos(x0) + cos(x1).
+        def objective(x):
+            return float(np.cos(x[0]) + np.cos(x[1]))
+
+        result = ParameterShiftDescent(maxiter=100, learning_rate=0.3).optimize(
+            objective, np.array([1.0, 2.0])
+        )
+        assert result.fun == pytest.approx(-2.0, abs=1e-4)
+
+
+class TestSPSA:
+    def test_quadratic_with_noise(self):
+        rng = np.random.default_rng(0)
+
+        def noisy(x):
+            return quadratic(x) + rng.normal(scale=0.05)
+
+        result = SPSA(maxiter=300, seed=1).optimize(noisy, np.zeros(3))
+        assert np.linalg.norm(result.x - 1.5) < 0.3
+
+    def test_fixed_a_skips_calibration(self):
+        result = SPSA(maxiter=50, a=0.5, seed=2).optimize(
+            quadratic, np.zeros(2)
+        )
+        assert result.nfev == 2 * 50 + 1
+
+    def test_reproducible(self):
+        a = SPSA(maxiter=30, seed=3).optimize(quadratic, np.zeros(2))
+        b = SPSA(maxiter=30, seed=3).optimize(quadratic, np.zeros(2))
+        assert np.allclose(a.x, b.x)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert isinstance(get_optimizer("spsa"), SPSA)
+        assert get_optimizer("cobyla").method == "COBYLA"
+        assert get_optimizer("Nelder-Mead").method == "Nelder-Mead"
+
+    def test_unknown(self):
+        with pytest.raises(AlgorithmError):
+            get_optimizer("adamw")

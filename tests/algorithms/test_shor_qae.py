@@ -1,0 +1,132 @@
+"""Tests for Shor's order finding/factoring and amplitude estimation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    estimate_amplitude,
+    find_order,
+    grover_operator_matrix,
+    modular_multiplication_unitary,
+    multiplicative_order,
+    shor_factor,
+    true_amplitude,
+)
+from repro.circuit import QuantumCircuit
+from repro.exceptions import AlgorithmError
+
+
+class TestModularArithmetic:
+    def test_unitary_is_permutation(self):
+        matrix = modular_multiplication_unitary(7, 15)
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(16))
+        assert set(np.abs(matrix).sum(axis=0)) == {1.0}
+
+    def test_maps_correctly(self):
+        matrix = modular_multiplication_unitary(2, 15)
+        for x in range(15):
+            output = int(np.argmax(np.abs(matrix[:, x])))
+            assert output == (2 * x) % 15
+
+    def test_identity_above_modulus(self):
+        matrix = modular_multiplication_unitary(7, 15)
+        assert matrix[15, 15] == 1.0
+
+    def test_noncoprime_rejected(self):
+        with pytest.raises(AlgorithmError):
+            modular_multiplication_unitary(3, 15)
+
+    @pytest.mark.parametrize("a,n,expected", [
+        (7, 15, 4), (2, 15, 4), (4, 15, 2), (11, 15, 2), (2, 21, 6),
+        (2, 7, 3),
+    ])
+    def test_classical_order(self, a, n, expected):
+        assert multiplicative_order(a, n) == expected
+
+
+class TestOrderFinding:
+    @pytest.mark.parametrize("a", [2, 4, 7, 8, 11, 13])
+    def test_orders_mod_15(self, a):
+        assert find_order(a, 15, shots=48, seed=5) == multiplicative_order(
+            a, 15
+        )
+
+    def test_order_mod_21(self):
+        assert find_order(2, 21, shots=48, seed=5) == 6
+
+
+class TestFactoring:
+    def test_factor_15(self):
+        p, q = shor_factor(15, seed=3)
+        assert {p, q} == {3, 5}
+
+    def test_factor_21(self):
+        p, q = shor_factor(21, seed=1)
+        assert {p, q} == {3, 7}
+
+    def test_even_shortcut(self):
+        assert shor_factor(14, seed=1) == (2, 7)
+
+    def test_too_small(self):
+        with pytest.raises(AlgorithmError):
+            shor_factor(3)
+
+
+class TestAmplitudeEstimation:
+    def test_grover_operator_eigenphases(self):
+        theta = math.pi / 8
+        preparation = QuantumCircuit(1)
+        preparation.ry(2 * theta, 0)
+        grover = grover_operator_matrix(preparation, ["1"])
+        phases = np.sort(np.angle(np.linalg.eigvals(grover))) / (2 * np.pi)
+        assert np.allclose(phases, [-1 / 8, 1 / 8], atol=1e-9)
+
+    @pytest.mark.parametrize("fraction", [1 / 8, 1 / 16, 3 / 16])
+    def test_exact_grid_amplitudes(self, fraction):
+        theta = math.pi * fraction
+        preparation = QuantumCircuit(1)
+        preparation.ry(2 * theta, 0)
+        result = estimate_amplitude(preparation, ["1"], num_counting=5,
+                                    seed=2)
+        assert result.error < 1e-9
+
+    def test_uniform_superposition(self):
+        preparation = QuantumCircuit(2)
+        preparation.h(0)
+        preparation.h(1)
+        result = estimate_amplitude(preparation, ["11"], num_counting=6,
+                                    seed=3)
+        assert result.true_value == pytest.approx(0.25)
+        assert result.error < 0.02
+
+    def test_multiple_good_states(self):
+        preparation = QuantumCircuit(2)
+        preparation.h(0)
+        preparation.h(1)
+        result = estimate_amplitude(preparation, ["00", "11"],
+                                    num_counting=5, seed=4)
+        assert result.error < 0.03
+
+    def test_resolution_improves_with_counting_bits(self):
+        theta = 0.3  # off-grid amplitude
+        preparation = QuantumCircuit(1)
+        preparation.ry(2 * theta, 0)
+        coarse = estimate_amplitude(preparation, ["1"], num_counting=3,
+                                    seed=5)
+        fine = estimate_amplitude(preparation, ["1"], num_counting=7, seed=5)
+        assert fine.error <= coarse.error + 1e-12
+        assert fine.error < 0.02
+
+    def test_true_amplitude_helper(self):
+        preparation = QuantumCircuit(2)
+        preparation.h(0)
+        assert true_amplitude(preparation, ["01"]) == pytest.approx(0.5)
+
+    def test_bad_good_state(self):
+        preparation = QuantumCircuit(1)
+        with pytest.raises(AlgorithmError):
+            estimate_amplitude(preparation, ["011"])
+        with pytest.raises(AlgorithmError):
+            estimate_amplitude(preparation, [])

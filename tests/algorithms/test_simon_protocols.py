@@ -1,0 +1,127 @@
+"""Tests for Simon's algorithm and the entanglement protocols."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    run_simon,
+    run_superdense,
+    run_teleportation,
+    simon_circuit,
+    simon_oracle,
+    solve_gf2,
+    superdense_circuit,
+    teleportation_circuit,
+)
+from repro.circuit import QuantumCircuit
+from repro.exceptions import AlgorithmError
+from repro.simulators import QasmSimulator
+
+
+class TestSimonOracle:
+    def test_two_to_one_property(self):
+        """f(x) = f(x ^ s) for every x — checked through the simulator."""
+        hidden = "110"
+        n = 3
+        oracle = simon_oracle(hidden)
+        mask = int(hidden, 2)
+        outputs = {}
+        for x in range(2**n):
+            circuit = QuantumCircuit(2 * n, n)
+            for bit in range(n):
+                if (x >> bit) & 1:
+                    circuit.x(bit)
+            circuit.compose(oracle, qubits=circuit.qubits, inplace=True)
+            for bit in range(n):
+                circuit.measure(n + bit, bit)
+            counts = QasmSimulator().run(circuit, shots=1, seed=1)["counts"]
+            outputs[x] = next(iter(counts))
+        for x in range(2**n):
+            assert outputs[x] == outputs[x ^ mask], x
+
+    def test_zero_mask_is_injective(self):
+        oracle = simon_oracle("00")
+        # With s=0 the oracle is just a copy: f is a bijection.
+        assert oracle.count_ops()["cx"] == 2
+
+    def test_invalid_mask(self):
+        with pytest.raises(AlgorithmError):
+            simon_oracle("10a")
+
+
+class TestGF2Solver:
+    def test_simple_system(self):
+        # n=3, s=0b110: y in {000, 001, 110, 111} satisfy y.s=0.
+        assert solve_gf2([0b001, 0b110], 3) == 0b110
+
+    def test_full_rank_returns_none(self):
+        assert solve_gf2([0b01, 0b10], 2) is None
+
+    def test_underdetermined_raises(self):
+        with pytest.raises(AlgorithmError):
+            solve_gf2([0b0011], 4)
+
+    def test_redundant_rows_handled(self):
+        assert solve_gf2([0b001, 0b001, 0b110, 0b111], 3) == 0b110
+
+
+class TestSimonEndToEnd:
+    @pytest.mark.parametrize("hidden", ["11", "101", "110", "1001", "0110"])
+    def test_recovers_mask(self, hidden):
+        assert run_simon(hidden, shots=80, seed=3) == hidden
+
+    def test_zero_mask(self):
+        assert run_simon("000", shots=80, seed=3) == "000"
+
+    def test_measurements_satisfy_promise(self):
+        hidden = "101"
+        circuit = simon_circuit(simon_oracle(hidden))
+        counts = QasmSimulator().run(circuit, shots=200, seed=5)["counts"]
+        mask = int(hidden, 2)
+        for key in counts:
+            assert bin(int(key, 2) & mask).count("1") % 2 == 0
+
+
+class TestTeleportation:
+    def test_default_payload(self):
+        assert run_teleportation(shots=200, seed=1) == 1.0
+
+    @pytest.mark.parametrize("angles", [(0.3, 0.0), (1.234, 0.7),
+                                        (np.pi, 0.0), (2.2, -1.1)])
+    def test_arbitrary_payloads(self, angles):
+        theta, phi = angles
+        preparation = QuantumCircuit(1)
+        preparation.ry(theta, 0)
+        preparation.rz(phi, 0)
+        assert run_teleportation(preparation, shots=400, seed=2) == 1.0
+
+    def test_uses_two_classical_bits(self):
+        circuit = teleportation_circuit()
+        # Registers: m0, m1 (Alice) + chk (verify).
+        assert circuit.num_clbits == 3
+        conditionals = [
+            item for item in circuit.data
+            if item.operation.condition is not None
+        ]
+        assert len(conditionals) == 2
+
+    def test_wrong_payload_size(self):
+        with pytest.raises(AlgorithmError):
+            teleportation_circuit(QuantumCircuit(2))
+
+
+class TestSuperdense:
+    @pytest.mark.parametrize("bits", ["00", "01", "10", "11"])
+    def test_all_messages(self, bits):
+        assert run_superdense(bits, seed=1) == bits
+
+    def test_deterministic(self):
+        circuit = superdense_circuit("10")
+        counts = QasmSimulator().run(circuit, shots=300, seed=4)["counts"]
+        assert len(counts) == 1  # noiseless protocol is deterministic
+
+    def test_invalid_bits(self):
+        with pytest.raises(AlgorithmError):
+            superdense_circuit("1")
+        with pytest.raises(AlgorithmError):
+            superdense_circuit("102")

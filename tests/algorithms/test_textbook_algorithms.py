@@ -1,0 +1,173 @@
+"""Tests for Grover, QFT, phase estimation, Deutsch-Jozsa, BV."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    Grover,
+    balanced_oracle,
+    bv_circuit,
+    constant_oracle,
+    diffusion_operator,
+    estimate_phase,
+    grover_circuit,
+    optimal_iterations,
+    phase_oracle,
+    qft_circuit,
+    qft_statevector_reference,
+    run_bernstein_vazirani,
+    run_deutsch_jozsa,
+)
+from repro.circuit import QuantumCircuit
+from repro.exceptions import AlgorithmError
+from repro.quantum_info import Operator, Statevector, random_statevector
+from repro.simulators import StatevectorSimulator
+
+
+class TestGrover:
+    def test_oracle_phases(self):
+        oracle = phase_oracle(3, ["101"])
+        unitary = Operator.from_circuit(oracle).data
+        diagonal = np.diag(unitary)
+        assert diagonal[5] == pytest.approx(-1.0)
+        assert all(
+            diagonal[i] == pytest.approx(1.0) for i in range(8) if i != 5
+        )
+
+    def test_oracle_multiple_marked(self):
+        oracle = phase_oracle(3, [0, 7])
+        diagonal = np.diag(Operator.from_circuit(oracle).data)
+        assert diagonal[0] == pytest.approx(-1.0)
+        assert diagonal[7] == pytest.approx(-1.0)
+
+    def test_diffusion_matrix(self):
+        n = 2
+        diffusion = Operator.from_circuit(diffusion_operator(n)).data
+        uniform = np.full(2**n, 1 / 2 ** (n / 2))
+        expected = 2 * np.outer(uniform, uniform) - np.eye(2**n)
+        from repro.circuit.matrix_utils import allclose_up_to_global_phase
+
+        assert allclose_up_to_global_phase(diffusion, expected)
+
+    def test_optimal_iterations(self):
+        assert optimal_iterations(4, 1) == 3
+        assert optimal_iterations(2, 1) == 1
+
+    @pytest.mark.parametrize("marked", ["101", "0110", "11"])
+    def test_search_succeeds(self, marked):
+        grover = Grover(len(marked), [marked])
+        result = grover.run(seed=1)
+        assert result.top_state == marked
+        assert result.success_probability > 0.8
+
+    def test_multiple_marked_states(self):
+        grover = Grover(4, ["0000", "1111"])
+        result = grover.run(seed=2)
+        assert result.top_state in ("0000", "1111")
+        assert result.success_probability > 0.9
+
+    def test_amplitude_oscillation(self):
+        """Too many iterations overshoot — success dips (Grover physics)."""
+        peak = Grover(3, ["111"], iterations=2).run(seed=3).success_probability
+        over = Grover(3, ["111"], iterations=4).run(seed=3).success_probability
+        assert peak > 0.9
+        assert over < peak
+
+    def test_invalid_marked(self):
+        with pytest.raises(AlgorithmError):
+            phase_oracle(2, ["10101"])
+        with pytest.raises(AlgorithmError):
+            phase_oracle(2, [9])
+        with pytest.raises(AlgorithmError):
+            phase_oracle(2, [])
+
+
+class TestQFT:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_matches_dft(self, n):
+        psi = random_statevector(n, seed=n)
+        out = psi.evolve(qft_circuit(n))
+        assert np.allclose(out.data, qft_statevector_reference(psi.data))
+
+    def test_inverse_roundtrip(self):
+        n = 3
+        psi = random_statevector(n, seed=10)
+        roundtrip = psi.evolve(qft_circuit(n)).evolve(
+            qft_circuit(n, inverse=True)
+        )
+        assert np.allclose(roundtrip.data, psi.data, atol=1e-10)
+
+    def test_basis_state_gives_phase_ramp(self):
+        n = 3
+        state = Statevector.from_label("001").evolve(qft_circuit(n))
+        expected = np.exp(2j * np.pi * np.arange(8) / 8) / math.sqrt(8)
+        assert np.allclose(state.data, expected)
+
+    def test_no_swaps_is_bit_reversed(self):
+        n = 3
+        plain = Operator.from_circuit(qft_circuit(n, do_swaps=True)).data
+        unswapped = Operator.from_circuit(qft_circuit(n, do_swaps=False)).data
+        assert not np.allclose(plain, unswapped)
+
+
+class TestPhaseEstimation:
+    @pytest.mark.parametrize("phase", [0.0, 0.25, 0.3125, 0.8125])
+    def test_exact_phases(self, phase):
+        prep = QuantumCircuit(1)
+        prep.x(0)
+        unitary = np.diag([1.0, np.exp(2j * np.pi * phase)])
+        estimate = estimate_phase(unitary, num_counting=4,
+                                  eigenstate_prep=prep, seed=1)
+        assert estimate == pytest.approx(phase)
+
+    def test_inexact_phase_within_resolution(self):
+        prep = QuantumCircuit(1)
+        prep.x(0)
+        true_phase = 0.3
+        unitary = np.diag([1.0, np.exp(2j * np.pi * true_phase)])
+        estimate = estimate_phase(unitary, num_counting=6,
+                                  eigenstate_prep=prep, seed=2, shots=4096)
+        assert abs(estimate - true_phase) < 1 / 2**5
+
+    def test_t_gate_phase(self):
+        from repro.circuit.library.standard_gates import TGate
+
+        prep = QuantumCircuit(1)
+        prep.x(0)
+        estimate = estimate_phase(TGate().to_matrix(), num_counting=3,
+                                  eigenstate_prep=prep, seed=3)
+        assert estimate == pytest.approx(1 / 8)
+
+
+class TestDeutschJozsaBV:
+    def test_constant_zero(self):
+        assert run_deutsch_jozsa(constant_oracle(3, 0), seed=1) == "constant"
+
+    def test_constant_one(self):
+        assert run_deutsch_jozsa(constant_oracle(3, 1), seed=1) == "constant"
+
+    def test_balanced_full_mask(self):
+        assert run_deutsch_jozsa(balanced_oracle(3), seed=1) == "balanced"
+
+    def test_balanced_partial_mask(self):
+        assert run_deutsch_jozsa(balanced_oracle(4, mask=0b0101),
+                                 seed=1) == "balanced"
+
+    def test_balanced_mask_validation(self):
+        with pytest.raises(AlgorithmError):
+            balanced_oracle(3, mask=0)
+
+    @pytest.mark.parametrize("hidden", ["1", "101", "11010", "0000001"])
+    def test_bv_recovers_hidden_string(self, hidden):
+        assert run_bernstein_vazirani(hidden, seed=2) == hidden
+
+    def test_bv_single_query(self):
+        circuit = bv_circuit("1011")
+        # exactly one oracle application: #cx equals popcount.
+        assert circuit.count_ops()["cx"] == 3
+
+    def test_bv_invalid_string(self):
+        with pytest.raises(AlgorithmError):
+            bv_circuit("10a")

@@ -1,0 +1,165 @@
+"""Tests for VQE and QAOA — the flagship Aqua applications."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    COBYLA,
+    QAOA,
+    SPSA,
+    VQE,
+    brute_force_maxcut,
+    cut_value,
+    exact_ground_energy,
+    h2_hamiltonian,
+    heisenberg_chain,
+    maxcut_hamiltonian,
+    ry_ansatz,
+    transverse_ising,
+)
+from repro.exceptions import AlgorithmError
+from repro.quantum_info import PauliSumOp
+
+
+class TestChemistryHamiltonians:
+    def test_h2_reference_energy(self):
+        """The textbook value: E0(H2, 0.735 A) = -1.85727503 Ha."""
+        assert exact_ground_energy(h2_hamiltonian()) == pytest.approx(
+            -1.85727503, abs=1e-6
+        )
+
+    def test_h2_term_structure(self):
+        hamiltonian = h2_hamiltonian()
+        labels = {p.label for _c, p in hamiltonian.terms}
+        assert labels == {"II", "IZ", "ZI", "ZZ", "XX"}
+        assert hamiltonian.num_qubits == 2
+
+    def test_ising_field_sweep_shape(self):
+        """TFIM: ground energy decreases monotonically with field strength
+        and crosses over at the critical point h = J."""
+        energies = [
+            exact_ground_energy(transverse_ising(4, 1.0, h))
+            for h in (0.0, 0.5, 1.0, 2.0)
+        ]
+        assert all(a > b for a, b in zip(energies, energies[1:]))
+
+    def test_ising_limits(self):
+        # h=0: classical Ising, ground energy -(n-1)J.
+        ising = transverse_ising(4, coupling=1.0, field=0.0)
+        assert exact_ground_energy(ising) == pytest.approx(-3.0)
+        # J=0: free spins, ground energy -n*h.
+        free = transverse_ising(4, coupling=0.0, field=1.0)
+        assert exact_ground_energy(free) == pytest.approx(-4.0)
+
+    def test_heisenberg_two_sites(self):
+        # Two-site Heisenberg: singlet at -3J.
+        chain = heisenberg_chain(2, coupling=1.0)
+        assert exact_ground_energy(chain) == pytest.approx(-3.0)
+
+
+class TestVQE:
+    def test_h2_exact_mode(self):
+        vqe = VQE(h2_hamiltonian(), optimizer=COBYLA(maxiter=400), seed=11)
+        result = vqe.run()
+        exact = exact_ground_energy(h2_hamiltonian())
+        assert result.eigenvalue == pytest.approx(exact, abs=1e-4)
+        assert result.evaluations > 10
+
+    def test_h2_shots_mode_spsa(self):
+        vqe = VQE(
+            h2_hamiltonian(),
+            optimizer=SPSA(maxiter=120, seed=4),
+            mode="shots",
+            shots=1024,
+            seed=4,
+        )
+        result = vqe.run()
+        exact = exact_ground_energy(h2_hamiltonian())
+        assert abs(result.eigenvalue - exact) < 0.1
+
+    def test_ising_with_restarts(self):
+        ising = transverse_ising(3, 1.0, 0.5)
+        exact = exact_ground_energy(ising)
+        best = min(
+            VQE(ising, ansatz=ry_ansatz(3, reps=3),
+                optimizer=COBYLA(maxiter=600), seed=seed).run().eigenvalue
+            for seed in (0, 3)
+        )
+        assert best == pytest.approx(exact, abs=1e-3)
+
+    def test_variational_upper_bound(self):
+        """VQE energy can never undercut the true ground energy (exact
+        mode)."""
+        hamiltonian = transverse_ising(2, 1.0, 1.0)
+        exact = exact_ground_energy(hamiltonian)
+        for seed in range(3):
+            result = VQE(hamiltonian, optimizer=COBYLA(maxiter=60),
+                         seed=seed).run()
+            assert result.eigenvalue >= exact - 1e-9
+
+    def test_explicit_initial_point(self):
+        vqe = VQE(h2_hamiltonian(), optimizer=COBYLA(maxiter=200), seed=1)
+        result = vqe.run(initial_point=np.zeros(vqe.ansatz.num_parameters))
+        assert result.eigenvalue < -1.0
+
+    def test_wrong_initial_point_size(self):
+        vqe = VQE(h2_hamiltonian())
+        with pytest.raises(AlgorithmError):
+            vqe.run(initial_point=[0.1])
+
+
+class TestQAOA:
+    def test_maxcut_hamiltonian_energies(self):
+        edges = [(0, 1), (1, 2)]
+        hamiltonian = maxcut_hamiltonian(edges, 3)
+        # Energy of a bitstring = -cut value.
+        from repro.quantum_info import Statevector
+
+        for bits in ("000", "101", "010"):
+            state = Statevector.from_label(bits)
+            energy = hamiltonian.expectation(state)
+            assert energy == pytest.approx(-cut_value(bits, edges))
+
+    def test_cut_value(self):
+        edges = [(0, 1), (1, 2), (0, 2)]
+        assert cut_value("000", edges) == 0
+        assert cut_value("001", edges) == 2  # node 0 separated
+
+    def test_weighted_edges(self):
+        edges = [(0, 1, 2.5)]
+        assert cut_value("01", edges) == 2.5
+
+    def test_brute_force(self):
+        edges = [(i, (i + 1) % 4) for i in range(4)]
+        value, bits = brute_force_maxcut(edges, 4)
+        assert value == 4  # even ring is bipartite
+        assert cut_value(bits, edges) == 4
+
+    def test_qaoa_ring5(self):
+        edges = [(i, (i + 1) % 5) for i in range(5)]
+        best, _ = brute_force_maxcut(edges, 5)
+        result = QAOA(edges, 5, reps=2, seed=9).run()
+        assert result.best_cut == best
+
+    def test_qaoa_weighted_graph(self):
+        edges = [(0, 1, 1.0), (1, 2, 3.0), (0, 2, 1.0)]
+        best, _ = brute_force_maxcut(edges, 3)
+        result = QAOA(edges, 3, reps=2, seed=5).run()
+        assert result.best_cut == pytest.approx(best)
+
+    def test_energy_decreases_from_random(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]
+        qaoa = QAOA(edges, 4, reps=1, seed=2)
+        start = np.array([0.3, 0.3])
+        initial_energy = qaoa.energy(start)
+        result = qaoa.run(initial_point=start)
+        assert result.eigenvalue <= initial_energy + 1e-9
+
+    def test_too_few_nodes(self):
+        with pytest.raises(AlgorithmError):
+            QAOA([(0, 1)], 1)
+
+    def test_bind_wrong_length(self):
+        qaoa = QAOA([(0, 1)], 2, reps=2)
+        with pytest.raises(AlgorithmError):
+            qaoa.bind([0.1])

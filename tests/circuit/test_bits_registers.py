@@ -1,0 +1,92 @@
+"""Tests for bits and registers."""
+
+import pytest
+
+from repro.circuit import ClassicalRegister, QuantumRegister
+from repro.circuit.bit import Clbit, Qubit
+from repro.exceptions import CircuitError
+
+
+class TestRegisters:
+    def test_sizes_and_names(self):
+        qreg = QuantumRegister(5, "q")
+        assert qreg.size == 5
+        assert qreg.name == "q"
+        assert len(qreg) == 5
+
+    def test_auto_name_unique(self):
+        a = QuantumRegister(2)
+        b = QuantumRegister(2)
+        assert a.name != b.name
+
+    def test_indexing_returns_bits(self):
+        qreg = QuantumRegister(3, "q")
+        assert isinstance(qreg[0], Qubit)
+        assert qreg[0].index == 0
+        assert qreg[2].register == qreg
+
+    def test_slice_and_list_indexing(self):
+        qreg = QuantumRegister(4, "q")
+        assert qreg[1:3] == [qreg[1], qreg[2]]
+        assert qreg[[0, 3]] == [qreg[0], qreg[3]]
+
+    def test_iteration(self):
+        creg = ClassicalRegister(3, "c")
+        bits = list(creg)
+        assert len(bits) == 3
+        assert all(isinstance(b, Clbit) for b in bits)
+
+    def test_contains_and_index(self):
+        qreg = QuantumRegister(3, "q")
+        assert qreg[1] in qreg
+        assert qreg.index(qreg[1]) == 1
+
+    def test_index_foreign_bit_raises(self):
+        qreg = QuantumRegister(3, "q")
+        other = QuantumRegister(3, "r")
+        with pytest.raises(CircuitError):
+            qreg.index(other[0])
+
+    def test_invalid_name(self):
+        with pytest.raises(CircuitError):
+            QuantumRegister(2, "Q")  # must start lower-case
+        with pytest.raises(CircuitError):
+            QuantumRegister(2, "2q")
+
+    def test_invalid_size(self):
+        with pytest.raises(CircuitError):
+            QuantumRegister(0, "q")
+        with pytest.raises(CircuitError):
+            QuantumRegister(-1, "q")
+
+    def test_equality_by_name_size_type(self):
+        assert QuantumRegister(3, "q") == QuantumRegister(3, "q")
+        assert QuantumRegister(3, "q") != QuantumRegister(4, "q")
+        assert QuantumRegister(3, "q") != ClassicalRegister(3, "q")
+
+    def test_hashable(self):
+        registers = {QuantumRegister(3, "q"), QuantumRegister(3, "q")}
+        assert len(registers) == 1
+
+
+class TestBits:
+    def test_equality_and_hash(self):
+        qreg = QuantumRegister(3, "q")
+        same = QuantumRegister(3, "q")
+        assert qreg[1] == same[1]
+        assert hash(qreg[1]) == hash(same[1])
+        assert qreg[1] != qreg[2]
+
+    def test_qubit_clbit_distinct(self):
+        qreg = QuantumRegister(2, "a")
+        creg = ClassicalRegister(2, "a")
+        assert qreg[0] != creg[0]
+
+    def test_repr(self):
+        qreg = QuantumRegister(2, "q")
+        assert "q" in repr(qreg[0])
+
+    def test_out_of_range_bit(self):
+        qreg = QuantumRegister(2, "q")
+        with pytest.raises(IndexError):
+            qreg[5]

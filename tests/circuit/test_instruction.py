@@ -1,0 +1,76 @@
+"""Tests for the Instruction base class."""
+
+import pytest
+
+from repro.circuit import ClassicalRegister, Instruction, Parameter
+from repro.circuit.library.standard_gates import HGate, RXGate, SGate
+from repro.circuit.measure import Barrier, Measure, Reset
+from repro.exceptions import CircuitError
+
+
+class TestInstructionBasics:
+    def test_fields(self):
+        instruction = Instruction("foo", 2, 1, [0.5])
+        assert instruction.name == "foo"
+        assert instruction.num_qubits == 2
+        assert instruction.num_clbits == 1
+        assert instruction.params == [0.5]
+
+    def test_negative_counts_raise(self):
+        with pytest.raises(CircuitError):
+            Instruction("bad", -1, 0)
+
+    def test_copy_is_independent(self):
+        instruction = Instruction("foo", 1, 0, [0.5])
+        clone = instruction.copy()
+        clone.params[0] = 9.0
+        assert instruction.params == [0.5]
+
+    def test_equality_params_tolerance(self):
+        assert RXGate(0.5) == RXGate(0.5 + 1e-12)
+        assert RXGate(0.5) != RXGate(0.51)
+
+    def test_condition_affects_equality(self):
+        creg = ClassicalRegister(1, "c")
+        a = HGate()
+        b = HGate()
+        b.c_if(creg, 1)
+        assert a != b
+
+    def test_c_if_negative_raises(self):
+        creg = ClassicalRegister(1, "c")
+        with pytest.raises(CircuitError):
+            HGate().c_if(creg, -1)
+
+    def test_generic_inverse_without_definition_raises(self):
+        with pytest.raises(CircuitError):
+            Instruction("opaque_thing", 1, 0).inverse()
+
+    def test_bind_parameters_noop_on_floats(self):
+        gate = RXGate(0.25)
+        assert gate.bind_parameters({}).params == [0.25]
+
+    def test_is_parameterized(self):
+        theta = Parameter("t")
+        assert RXGate(theta).is_parameterized()
+        assert not RXGate(1.0).is_parameterized()
+
+
+class TestNonUnitaryInstructions:
+    def test_measure_shape(self):
+        measure = Measure()
+        assert (measure.num_qubits, measure.num_clbits) == (1, 1)
+
+    def test_measure_not_invertible(self):
+        with pytest.raises(CircuitError):
+            Measure().inverse()
+
+    def test_reset_not_invertible(self):
+        with pytest.raises(CircuitError):
+            Reset().inverse()
+
+    def test_barrier_inverse_is_barrier(self):
+        assert Barrier(3).inverse().name == "barrier"
+
+    def test_sgate_inverse_type(self):
+        assert SGate().inverse().name == "sdg"

@@ -1,0 +1,111 @@
+"""Tests (incl. property-based) for the dense linear-algebra helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.matrix_utils import (
+    allclose_up_to_global_phase,
+    apply_matrix,
+    embed_unitary,
+    is_unitary,
+    kron_all,
+)
+from repro.quantum_info.random import random_statevector, random_unitary
+
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+H = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+
+
+class TestApplyMatrix:
+    def test_x_on_qubit0(self):
+        state = np.zeros(4, dtype=complex)
+        state[0] = 1.0
+        out = apply_matrix(state, X, [0], 2)
+        assert out[1] == pytest.approx(1.0)  # |01> (qubit 0 flipped)
+
+    def test_x_on_qubit1(self):
+        state = np.zeros(4, dtype=complex)
+        state[0] = 1.0
+        out = apply_matrix(state, X, [1], 2)
+        assert out[2] == pytest.approx(1.0)
+
+    def test_two_qubit_target_order(self):
+        # CX with control = first target argument.
+        cx = np.array(
+            [[1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0], [0, 1, 0, 0]],
+            dtype=complex,
+        )
+        state = np.zeros(4, dtype=complex)
+        state[1] = 1.0  # q0=1, q1=0
+        out = apply_matrix(state, cx, [0, 1], 2)
+        assert out[3] == pytest.approx(1.0)  # target q1 flipped
+        out2 = apply_matrix(state, cx, [1, 0], 2)
+        assert out2[1] == pytest.approx(1.0)  # control q1=0: no flip
+
+    def test_batch_columns(self):
+        batch = np.eye(4, dtype=complex)
+        out = apply_matrix(batch, X, [0], 2)
+        assert np.allclose(out, embed_unitary(X, [0], 2))
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_norm_preserved(self, seed):
+        state = random_statevector(3, seed=seed).data
+        unitary = random_unitary(2, seed=seed + 1)
+        out = apply_matrix(state, unitary, [0, 2], 3)
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_full_embedding(self, seed):
+        state = random_statevector(3, seed=seed).data
+        unitary = random_unitary(2, seed=seed + 7)
+        targets = [2, 0]
+        direct = apply_matrix(state, unitary, targets, 3)
+        via_embed = embed_unitary(unitary, targets, 3) @ state
+        assert np.allclose(direct, via_embed)
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_composition_order(self, seed):
+        # Applying U then V equals applying (V @ U).
+        state = random_statevector(2, seed=seed).data
+        u = random_unitary(1, seed=seed + 1)
+        v = random_unitary(1, seed=seed + 2)
+        seq = apply_matrix(apply_matrix(state, u, [1], 2), v, [1], 2)
+        combined = apply_matrix(state, v @ u, [1], 2)
+        assert np.allclose(seq, combined)
+
+
+class TestEmbedUnitary:
+    def test_identity_everywhere_else(self):
+        embedded = embed_unitary(X, [1], 3)
+        assert is_unitary(embedded)
+        expected = np.kron(np.eye(2), np.kron(X, np.eye(2)))
+        assert np.allclose(embedded, expected)
+
+    def test_kron_ordering(self):
+        # embed on the top qubit = X ⊗ I ⊗ I in big-endian kron order.
+        embedded = embed_unitary(X, [2], 3)
+        assert np.allclose(embedded, np.kron(X, np.eye(4)))
+
+
+class TestPredicates:
+    def test_is_unitary(self):
+        assert is_unitary(H)
+        assert not is_unitary(np.array([[1, 1], [0, 1]]))
+        assert not is_unitary(np.ones((2, 3)))
+
+    def test_global_phase_comparison(self):
+        assert allclose_up_to_global_phase(H, np.exp(0.7j) * H)
+        assert not allclose_up_to_global_phase(H, X)
+        assert not allclose_up_to_global_phase(H, 2 * H)
+
+    def test_global_phase_shape_mismatch(self):
+        assert not allclose_up_to_global_phase(np.eye(2), np.eye(4))
+
+    def test_kron_all(self):
+        assert np.allclose(kron_all([X, H]), np.kron(X, H))
+        assert np.allclose(kron_all([]), [[1.0]])

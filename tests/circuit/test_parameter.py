@@ -1,0 +1,84 @@
+"""Tests for symbolic parameters."""
+
+import math
+
+import pytest
+
+from repro.circuit import Parameter
+from repro.circuit.parameter import ParameterExpression, is_parameterized
+from repro.exceptions import CircuitError
+
+
+class TestParameter:
+    def test_name(self):
+        theta = Parameter("theta")
+        assert theta.name == "theta"
+        assert str(theta) == "theta"
+
+    def test_identity_not_name_equality(self):
+        a1 = Parameter("a")
+        a2 = Parameter("a")
+        assert a1 != a2  # distinct symbols despite the same name
+        assert a1 == a1
+
+    def test_bind_single(self):
+        theta = Parameter("t")
+        assert theta.bind({theta: 1.5}) == 1.5
+
+    def test_float_of_unbound_raises(self):
+        theta = Parameter("t")
+        with pytest.raises(CircuitError):
+            float(theta)
+
+    def test_empty_name_raises(self):
+        with pytest.raises(CircuitError):
+            Parameter("")
+
+
+class TestParameterExpression:
+    def test_arithmetic(self):
+        a = Parameter("a")
+        b = Parameter("b")
+        expr = 2 * a + b / 4 - 1
+        value = expr.bind({a: 3.0, b: 8.0})
+        assert value == pytest.approx(2 * 3 + 8 / 4 - 1)
+
+    def test_negation_and_rsub(self):
+        a = Parameter("a")
+        assert (-a).bind({a: 2.0}) == -2.0
+        assert (5 - a).bind({a: 2.0}) == 3.0
+
+    def test_division_both_ways(self):
+        a = Parameter("a")
+        assert (a / 2).bind({a: 6.0}) == 3.0
+        assert (6 / a).bind({a: 2.0}) == 3.0
+
+    def test_trig(self):
+        a = Parameter("a")
+        assert a.sin().bind({a: math.pi / 2}) == pytest.approx(1.0)
+        assert a.cos().bind({a: 0.0}) == pytest.approx(1.0)
+
+    def test_partial_bind(self):
+        a = Parameter("a")
+        b = Parameter("b")
+        expr = a + b
+        partial = expr.bind({a: 1.0})
+        assert isinstance(partial, ParameterExpression)
+        assert partial.parameters == frozenset({b})
+        assert partial.bind({b: 2.0}) == 3.0
+
+    def test_parameters_property(self):
+        a = Parameter("a")
+        b = Parameter("b")
+        assert (a * b + a).parameters == frozenset({a, b})
+
+    def test_is_parameterized(self):
+        a = Parameter("a")
+        assert is_parameterized(a)
+        assert is_parameterized(a + 1)
+        assert not is_parameterized(1.0)
+
+    def test_superset_binding_ok(self):
+        a = Parameter("a")
+        b = Parameter("b")
+        assert (a + 1).bind({a: 1.0, b: 9.0}) == 2.0

@@ -1,0 +1,353 @@
+"""Tests for QuantumCircuit construction, analysis, and transformation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    ClassicalRegister,
+    Parameter,
+    QuantumCircuit,
+    QuantumRegister,
+)
+from repro.exceptions import CircuitError
+from repro.quantum_info import Operator, Statevector
+
+
+class TestConstruction:
+    def test_int_shorthand(self):
+        circuit = QuantumCircuit(3, 2)
+        assert circuit.num_qubits == 3
+        assert circuit.num_clbits == 2
+        assert circuit.qregs[0].name == "q"
+        assert circuit.cregs[0].name == "c"
+
+    def test_register_form(self):
+        q = QuantumRegister(2, "a")
+        c = ClassicalRegister(2, "b")
+        circuit = QuantumCircuit(q, c)
+        assert circuit.qubits == list(q)
+        assert circuit.clbits == list(c)
+
+    def test_multiple_qregs(self):
+        a = QuantumRegister(2, "a")
+        b = QuantumRegister(3, "b")
+        circuit = QuantumCircuit(a, b)
+        assert circuit.num_qubits == 5
+        assert circuit.find_bit(b[0]) == 2
+
+    def test_duplicate_register_name_raises(self):
+        circuit = QuantumCircuit(QuantumRegister(2, "a"))
+        with pytest.raises(CircuitError):
+            circuit.add_register(QuantumRegister(3, "a"))
+
+    def test_too_many_int_args(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(1, 2, 3)
+
+    def test_find_bit_foreign_raises(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            circuit.find_bit(QuantumRegister(2, "zz")[0])
+
+
+class TestGateBuilders:
+    def test_all_builder_methods_append(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.x(1)
+        circuit.y(2)
+        circuit.z(0)
+        circuit.s(1)
+        circuit.sdg(1)
+        circuit.t(2)
+        circuit.tdg(2)
+        circuit.sx(0)
+        circuit.rx(0.1, 0)
+        circuit.ry(0.2, 1)
+        circuit.rz(0.3, 2)
+        circuit.u1(0.4, 0)
+        circuit.u2(0.5, 0.6, 1)
+        circuit.u3(0.7, 0.8, 0.9, 2)
+        circuit.cx(0, 1)
+        circuit.cy(1, 2)
+        circuit.cz(0, 2)
+        circuit.ch(0, 1)
+        circuit.swap(1, 2)
+        circuit.crz(0.1, 0, 1)
+        circuit.cu1(0.2, 1, 2)
+        circuit.cu3(0.1, 0.2, 0.3, 0, 2)
+        circuit.rzz(0.4, 0, 1)
+        circuit.ccx(0, 1, 2)
+        circuit.cswap(0, 1, 2)
+        assert circuit.size() == 26
+
+    def test_qubit_specifier_forms(self):
+        q = QuantumRegister(3, "q")
+        circuit = QuantumCircuit(q)
+        circuit.h(0)            # int
+        circuit.h(q[1])         # Qubit
+        circuit.h([2])          # list
+        assert circuit.size() == 3
+
+    def test_register_broadcast_1q(self):
+        q = QuantumRegister(3, "q")
+        circuit = QuantumCircuit(q)
+        circuit.h(q)
+        assert circuit.count_ops() == {"h": 3}
+
+    def test_register_broadcast_measure(self):
+        q = QuantumRegister(3, "q")
+        c = ClassicalRegister(3, "c")
+        circuit = QuantumCircuit(q, c)
+        circuit.measure(q, c)
+        assert circuit.count_ops() == {"measure": 3}
+
+    def test_broadcast_cx_register_to_register(self):
+        a = QuantumRegister(2, "a")
+        b = QuantumRegister(2, "b")
+        circuit = QuantumCircuit(a, b)
+        circuit.cx(a, b)
+        assert circuit.count_ops() == {"cx": 2}
+        assert list(circuit.data[0].qubits) == [a[0], b[0]]
+
+    def test_broadcast_one_to_many(self):
+        a = QuantumRegister(1, "a")
+        b = QuantumRegister(3, "b")
+        circuit = QuantumCircuit(a, b)
+        circuit.cx(a[0], b)
+        assert circuit.count_ops() == {"cx": 3}
+
+    def test_broadcast_mismatch_raises(self):
+        circuit = QuantumCircuit(5)
+        with pytest.raises(CircuitError):
+            circuit.cx([0, 1], [2, 3, 4])
+
+    def test_duplicate_qubits_raise(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            circuit.cx(0, 0)
+
+    def test_out_of_range_raises(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            circuit.h(5)
+
+    def test_unitary_builder(self):
+        circuit = QuantumCircuit(2)
+        circuit.unitary(np.eye(4), [0, 1])
+        assert circuit.data[0].operation.name == "unitary"
+
+
+class TestNonUnitary:
+    def test_measure_all_adds_register(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.measure_all()
+        assert circuit.num_clbits == 3
+        assert circuit.count_ops()["measure"] == 3
+
+    def test_measure_all_existing_register(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.measure_all(add_register=False)
+        assert circuit.num_clbits == 2
+
+    def test_measure_all_insufficient_clbits(self):
+        circuit = QuantumCircuit(3, 1)
+        with pytest.raises(CircuitError):
+            circuit.measure_all(add_register=False)
+
+    def test_barrier_all(self):
+        circuit = QuantumCircuit(3)
+        circuit.barrier()
+        assert circuit.data[0].operation.num_qubits == 3
+
+    def test_barrier_subset(self):
+        circuit = QuantumCircuit(3)
+        circuit.barrier(0, 2)
+        assert len(circuit.data[0].qubits) == 2
+
+    def test_reset(self):
+        circuit = QuantumCircuit(1)
+        circuit.reset(0)
+        assert circuit.data[0].operation.name == "reset"
+
+    def test_c_if(self):
+        c = ClassicalRegister(2, "c")
+        circuit = QuantumCircuit(QuantumRegister(1, "q"), c)
+        circuit.x(0)
+        circuit.data[-1].operation.c_if(c, 2)
+        assert circuit.data[-1].operation.condition == (c, 2)
+
+
+class TestAnalysis:
+    def test_depth_parallel_gates(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.h(1)
+        assert circuit.depth() == 1
+
+    def test_depth_serial(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.h(1)
+        assert circuit.depth() == 3
+
+    def test_depth_empty(self):
+        assert QuantumCircuit(2).depth() == 0
+
+    def test_barrier_does_not_add_depth(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.barrier()
+        circuit.h(1)
+        assert circuit.depth() == 2  # barrier synchronizes the wires
+
+    def test_size_excludes_barriers(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.barrier()
+        assert circuit.size() == 1
+        assert len(circuit) == 2
+
+    def test_width(self):
+        assert QuantumCircuit(3, 2).width() == 5
+
+    def test_count_ops(self, paper_fig1):
+        assert paper_fig1.count_ops() == {"h": 2, "cx": 5, "t": 1}
+
+    def test_num_nonlocal_gates(self, paper_fig1):
+        assert paper_fig1.num_nonlocal_gates() == 5
+
+    def test_paper_fig1_depth(self, paper_fig1):
+        assert paper_fig1.depth() == 5
+
+
+class TestComposition:
+    def test_add_merges_registers(self, paper_fig1):
+        q = paper_fig1.qregs[0]
+        c = ClassicalRegister(4, "c")
+        measurement = QuantumCircuit(q, c)
+        measurement.measure(q, c)
+        total = paper_fig1 + measurement
+        assert total.num_qubits == 4
+        assert total.num_clbits == 4
+        assert total.count_ops()["measure"] == 4
+        # Originals untouched.
+        assert "measure" not in paper_fig1.count_ops()
+
+    def test_compose_returns_new(self, bell):
+        base = QuantumCircuit(2)
+        combined = base.compose(bell)
+        assert combined.size() == 2
+        assert base.size() == 0
+
+    def test_compose_inplace(self, bell):
+        base = QuantumCircuit(3)
+        assert base.compose(bell, qubits=[1, 2], inplace=True) is None
+        assert base.size() == 2
+        assert base.data[0].qubits[0] == base.qubits[1]
+
+    def test_compose_front(self):
+        a = QuantumCircuit(1)
+        a.x(0)
+        b = QuantumCircuit(1)
+        b.h(0)
+        combined = a.compose(b, front=True)
+        assert combined.data[0].operation.name == "h"
+
+    def test_compose_too_narrow_raises(self, bell):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(1).compose(bell)
+
+    def test_inverse_gives_identity(self, paper_fig1):
+        inverted = paper_fig1.inverse()
+        combined = paper_fig1 + inverted
+        op = Operator.from_circuit(combined)
+        assert op.equiv(np.eye(16))
+
+    def test_repeat(self, bell):
+        doubled = bell.repeat(2)
+        assert doubled.size() == 4
+        assert Operator.from_circuit(doubled).equiv(
+            Operator.from_circuit(bell).data @ Operator.from_circuit(bell).data
+        )
+
+    def test_copy_independent(self, bell):
+        clone = bell.copy()
+        clone.x(0)
+        assert bell.size() == 2
+        assert clone.size() == 3
+
+    def test_to_gate_roundtrip(self, bell):
+        gate = bell.to_gate()
+        assert gate.num_qubits == 2
+        holder = QuantumCircuit(2)
+        holder.append(gate, [[0, 1]])
+        assert Operator.from_circuit(holder).equiv(Operator.from_circuit(bell))
+
+    def test_to_gate_rejects_measure(self, measured_bell):
+        with pytest.raises(CircuitError):
+            measured_bell.to_gate()
+
+
+class TestParameters:
+    def test_parameters_property(self):
+        theta = Parameter("t")
+        phi = Parameter("p")
+        circuit = QuantumCircuit(1)
+        circuit.rx(theta, 0)
+        circuit.rz(phi + 1, 0)
+        assert circuit.parameters == {theta, phi}
+
+    def test_bind_dict(self):
+        theta = Parameter("t")
+        circuit = QuantumCircuit(1)
+        circuit.ry(theta, 0)
+        bound = circuit.bind_parameters({theta: math.pi})
+        state = Statevector.from_instruction(bound)
+        assert abs(state.data[1]) == pytest.approx(1.0)
+
+    def test_bind_sequence_sorted_by_name(self):
+        a = Parameter("a")
+        b = Parameter("b")
+        circuit = QuantumCircuit(1)
+        circuit.rx(b, 0)
+        circuit.rz(a, 0)
+        bound = circuit.bind_parameters([0.1, 0.2])  # a=0.1, b=0.2
+        values = [item.operation.params[0] for item in bound.data]
+        assert values[0] == pytest.approx(0.2)  # rx got b
+        assert values[1] == pytest.approx(0.1)
+
+    def test_bind_wrong_length(self):
+        theta = Parameter("t")
+        circuit = QuantumCircuit(1)
+        circuit.rx(theta, 0)
+        with pytest.raises(CircuitError):
+            circuit.bind_parameters([1.0, 2.0])
+
+    def test_original_unchanged_after_bind(self):
+        theta = Parameter("t")
+        circuit = QuantumCircuit(1)
+        circuit.rx(theta, 0)
+        circuit.bind_parameters({theta: 1.0})
+        assert circuit.parameters == {theta}
+
+
+class TestDunder:
+    def test_equality(self, bell):
+        other = QuantumCircuit(2)
+        other.h(0)
+        other.cx(0, 1)
+        assert bell == other
+        other.x(1)
+        assert bell != other
+
+    def test_str_is_drawing(self, bell):
+        text = str(bell)
+        assert "q_0" in text and "q_1" in text
+
+    def test_repr(self, bell):
+        assert "2 qubits" in repr(bell)

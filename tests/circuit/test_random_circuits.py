@@ -1,0 +1,98 @@
+"""Tests for random circuit generation and the exception hierarchy."""
+
+import pytest
+
+from repro.circuit import random_circuit, random_clifford_t_circuit
+from repro.exceptions import (
+    AlgorithmError,
+    BackendError,
+    CircuitError,
+    DDError,
+    IgnisError,
+    NoiseError,
+    QasmError,
+    ReproError,
+    SimulatorError,
+    TranspilerError,
+    VisualizationError,
+)
+from repro.quantum_info import Operator
+
+
+class TestRandomCircuit:
+    def test_reproducible_by_seed(self):
+        a = random_circuit(4, 5, seed=42)
+        b = random_circuit(4, 5, seed=42)
+        assert a.count_ops() == b.count_ops()
+        assert Operator.from_circuit(a).equiv(Operator.from_circuit(b))
+
+    def test_different_seeds_differ(self):
+        a = random_circuit(4, 5, seed=1)
+        b = random_circuit(4, 5, seed=2)
+        assert a.count_ops() != b.count_ops() or not Operator.from_circuit(
+            a
+        ).equiv(Operator.from_circuit(b))
+
+    def test_measure_flag(self):
+        circuit = random_circuit(3, 4, seed=1, measure=True)
+        assert circuit.count_ops()["measure"] == 3
+        assert circuit.num_clbits == 3
+
+    def test_width_validation(self):
+        with pytest.raises(CircuitError):
+            random_circuit(0, 3)
+
+    def test_two_qubit_probability_extremes(self):
+        only_1q = random_circuit(4, 6, seed=3, two_qubit_prob=0.0)
+        assert all(
+            len(item.qubits) == 1 for item in only_1q.data
+        )
+
+    def test_clifford_t_gate_set(self):
+        circuit = random_clifford_t_circuit(4, 40, seed=5)
+        allowed = {"h", "s", "sdg", "t", "tdg", "x", "y", "z", "cx"}
+        assert set(circuit.count_ops()) <= allowed
+        assert circuit.size() == 40
+
+    def test_clifford_t_single_qubit(self):
+        circuit = random_clifford_t_circuit(1, 10, seed=6)
+        assert "cx" not in circuit.count_ops()
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [CircuitError, QasmError, SimulatorError, TranspilerError,
+         BackendError, AlgorithmError, IgnisError, DDError, NoiseError,
+         VisualizationError],
+    )
+    def test_all_derive_from_repro_error(self, subclass):
+        assert issubclass(subclass, ReproError)
+        with pytest.raises(ReproError):
+            raise subclass("boom")
+
+    def test_catchable_as_base(self):
+        from repro.circuit import QuantumCircuit
+
+        try:
+            QuantumCircuit(2).cx(0, 0)
+        except ReproError as error:
+            assert "duplicate" in str(error)
+        else:  # pragma: no cover
+            pytest.fail("expected an error")
+
+
+class TestGroverTranspilesToDevice:
+    def test_four_qubit_oracle_via_synthesis(self):
+        """The >=4-qubit MCZ uses a UnitaryGate — now transpilable through
+        the Shannon decomposition."""
+        from repro.algorithms import grover_circuit
+        from repro.transpiler import CouplingMap, transpile
+        from repro.transpiler.equivalence import routed_equivalent
+
+        circuit = grover_circuit(4, ["1010"], iterations=1)
+        mapped = transpile(circuit, CouplingMap.qx5(), optimization_level=1,
+                           seed=2)
+        allowed = {"u1", "u2", "u3", "cx", "id"}
+        assert set(mapped.count_ops()) <= allowed
+        assert routed_equivalent(circuit, mapped)

@@ -1,0 +1,221 @@
+"""Exhaustive checks of the standard gate library.
+
+Every gate must: expose a unitary matrix, agree with its definition (up to
+global phase, the OpenQASM 2.0 convention), and invert correctly.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.gate import Gate
+from repro.circuit.library import standard_gates as sg
+from repro.circuit.matrix_utils import (
+    allclose_up_to_global_phase,
+    apply_matrix,
+    is_unitary,
+)
+from repro.exceptions import CircuitError
+
+_SAMPLE_ANGLES = [0.3, -1.2, 2 * math.pi / 3]
+
+
+def _instantiate(name):
+    ctor, num_params, _num_qubits = sg.STANDARD_GATES[name]
+    return ctor(*_SAMPLE_ANGLES[:num_params])
+
+
+def _definition_matrix(gate):
+    dim = 2**gate.num_qubits
+    unitary = np.eye(dim, dtype=complex)
+    for sub, qargs, _cargs in gate.definition:
+        unitary = apply_matrix(unitary, sub.to_matrix(), list(qargs),
+                               gate.num_qubits)
+    return unitary
+
+
+@pytest.mark.parametrize("name", sorted(sg.STANDARD_GATES))
+class TestEveryStandardGate:
+    def test_matrix_is_unitary(self, name):
+        gate = _instantiate(name)
+        assert is_unitary(gate.to_matrix())
+
+    def test_definition_matches_matrix(self, name):
+        gate = _instantiate(name)
+        if gate.definition is None:
+            # The device-basis primitives.
+            assert name in ("cx", "CX", "u3", "u")
+            return
+        assert allclose_up_to_global_phase(
+            _definition_matrix(gate), gate.to_matrix()
+        ), f"{name} definition disagrees with matrix"
+
+    def test_inverse_annihilates(self, name):
+        gate = _instantiate(name)
+        product = gate.inverse().to_matrix() @ gate.to_matrix()
+        assert allclose_up_to_global_phase(
+            product, np.eye(product.shape[0])
+        ), f"{name} inverse wrong"
+
+    def test_registry_qubit_count(self, name):
+        gate = _instantiate(name)
+        assert gate.num_qubits == sg.standard_gate_num_qubits(name)
+
+
+class TestSpecificMatrices:
+    """Spot checks against textbook values."""
+
+    def test_x(self):
+        assert np.array_equal(sg.XGate().to_matrix(),
+                              np.array([[0, 1], [1, 0]], dtype=complex))
+
+    def test_hadamard(self):
+        expected = np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+        assert np.allclose(sg.HGate().to_matrix(), expected)
+
+    def test_t_is_pi_over_4_phase(self):
+        t_matrix = sg.TGate().to_matrix()
+        assert t_matrix[1, 1] == pytest.approx(np.exp(1j * math.pi / 4))
+
+    def test_s_squared_is_z(self):
+        s = sg.SGate().to_matrix()
+        assert np.allclose(s @ s, sg.ZGate().to_matrix())
+
+    def test_t_squared_is_s(self):
+        t = sg.TGate().to_matrix()
+        assert np.allclose(t @ t, sg.SGate().to_matrix())
+
+    def test_sx_squared_is_x(self):
+        sx = sg.SXGate().to_matrix()
+        assert np.allclose(sx @ sx, sg.XGate().to_matrix())
+
+    def test_cx_little_endian(self):
+        # qargs (control, target): control = bit 0. CX|01> = |11>.
+        expected = np.zeros((4, 4))
+        expected[0, 0] = expected[2, 2] = 1  # c=0 fixed
+        expected[3, 1] = expected[1, 3] = 1  # c=1 flips target
+        assert np.allclose(sg.CXGate().to_matrix(), expected)
+
+    def test_swap_matrix(self):
+        swap = sg.SwapGate().to_matrix()
+        state = np.zeros(4)
+        state[1] = 1  # |q1=0, q0=1>
+        assert np.allclose(swap @ state, np.eye(4)[2])  # -> |q1=1, q0=0>
+
+    def test_u3_special_cases(self):
+        assert allclose_up_to_global_phase(
+            sg.U3Gate(math.pi, 0, math.pi).to_matrix(), sg.XGate().to_matrix()
+        )
+        assert allclose_up_to_global_phase(
+            sg.U2Gate(0, math.pi).to_matrix(), sg.HGate().to_matrix()
+        )
+        assert allclose_up_to_global_phase(
+            sg.U1Gate(math.pi).to_matrix(), sg.ZGate().to_matrix()
+        )
+
+    def test_rz_vs_u1_phase_relation(self):
+        theta = 0.7
+        rz = sg.RZGate(theta).to_matrix()
+        u1 = sg.U1Gate(theta).to_matrix()
+        assert allclose_up_to_global_phase(rz, u1)
+        assert not np.allclose(rz, u1)  # they differ by a real global phase
+
+    def test_ccx_truth_table(self):
+        ccx = sg.CCXGate().to_matrix()
+        for basis in range(8):
+            state = np.zeros(8)
+            state[basis] = 1.0
+            output = ccx @ state
+            c1, c2 = basis & 1, (basis >> 1) & 1
+            target = (basis >> 2) & 1
+            expected_target = target ^ (c1 & c2)
+            expected_index = c1 | (c2 << 1) | (expected_target << 2)
+            assert output[expected_index] == pytest.approx(1.0), basis
+
+    def test_cswap_swaps_when_control_set(self):
+        cswap = sg.CSwapGate().to_matrix()
+        # |c=1, t1=1, t2=0> = index 0b011 = 3 -> |c=1, t1=0, t2=1> = 0b101 = 5
+        state = np.zeros(8)
+        state[3] = 1.0
+        assert cswap[5, 3] == pytest.approx(1.0)
+
+    def test_rzz_diagonal(self):
+        theta = 0.9
+        rzz = sg.RZZGate(theta).to_matrix()
+        assert np.allclose(np.diag(rzz),
+                           [np.exp(-1j * theta / 2), np.exp(1j * theta / 2),
+                            np.exp(1j * theta / 2), np.exp(-1j * theta / 2)])
+
+
+class TestGateProtocol:
+    def test_get_standard_gate_unknown(self):
+        with pytest.raises(CircuitError):
+            sg.get_standard_gate("nope")
+
+    def test_get_standard_gate_wrong_params(self):
+        with pytest.raises(CircuitError):
+            sg.get_standard_gate("rx", [])
+        with pytest.raises(CircuitError):
+            sg.get_standard_gate("h", [0.1])
+
+    def test_unitary_gate_validation(self):
+        with pytest.raises(CircuitError):
+            sg.UnitaryGate(np.array([[1, 1], [0, 1]]))  # not unitary
+        with pytest.raises(CircuitError):
+            sg.UnitaryGate(np.eye(3))  # not power-of-two
+
+    def test_unitary_gate_inverse(self):
+        from repro.quantum_info.random import random_unitary
+
+        matrix = random_unitary(2, seed=3)
+        gate = sg.UnitaryGate(matrix)
+        assert np.allclose(
+            gate.inverse().to_matrix() @ gate.to_matrix(), np.eye(4),
+            atol=1e-10,
+        )
+
+    def test_generic_control(self):
+        controlled_h = sg.HGate().control()
+        assert controlled_h.name == "ch"
+        assert allclose_up_to_global_phase(
+            controlled_h.to_matrix(), sg.CHGate().to_matrix()
+        )
+
+    def test_x_control_shortcuts(self):
+        assert isinstance(sg.XGate().control(1), sg.CXGate)
+        assert isinstance(sg.XGate().control(2), sg.CCXGate)
+
+    def test_double_control_matrix(self):
+        ccz = sg.ZGate().control(2)
+        expected = np.diag([1, 1, 1, 1, 1, 1, 1, -1]).astype(complex)
+        assert allclose_up_to_global_phase(ccz.to_matrix(), expected)
+
+    def test_power(self):
+        sqrt_x = sg.XGate().power(0.5)
+        assert allclose_up_to_global_phase(
+            sqrt_x.to_matrix() @ sqrt_x.to_matrix(), sg.XGate().to_matrix()
+        )
+
+    def test_parameterized_gate_to_matrix_raises(self):
+        from repro.circuit import Parameter
+
+        theta = Parameter("t")
+        gate = sg.RXGate(theta)
+        assert gate.is_parameterized()
+        with pytest.raises(CircuitError):
+            gate.to_matrix()
+
+    def test_bind_parameters(self):
+        from repro.circuit import Parameter
+
+        theta = Parameter("t")
+        gate = sg.RXGate(theta)
+        bound = gate.bind_parameters({theta: 0.5})
+        assert not bound.is_parameterized()
+        assert np.allclose(bound.to_matrix(), sg.RXGate(0.5).to_matrix())
+
+    def test_equality(self):
+        assert sg.RXGate(0.5) == sg.RXGate(0.5)
+        assert sg.RXGate(0.5) != sg.RXGate(0.6)
+        assert sg.XGate() != sg.YGate()

@@ -1,0 +1,72 @@
+"""Shared fixtures: reference circuits used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import ClassicalRegister, QuantumCircuit, QuantumRegister
+
+#: OpenQASM listing of the paper's Fig. 1a, verbatim.
+PAPER_FIG1_QASM = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q[2];
+cx q[2],q[3];
+cx q[0],q[1];
+h q[1];
+cx q[1],q[2];
+t q[0];
+cx q[2],q[0];
+cx q[0],q[1];
+"""
+
+
+def build_paper_fig1() -> QuantumCircuit:
+    """The paper's Fig. 1 circuit, built through the Python API (Sec. IV)."""
+    q = QuantumRegister(4, "q")
+    circ = QuantumCircuit(q)
+    circ.h(q[2])
+    circ.cx(q[2], q[3])
+    circ.cx(q[0], q[1])
+    circ.h(q[1])
+    circ.cx(q[1], q[2])
+    circ.t(q[0])
+    circ.cx(q[2], q[0])
+    circ.cx(q[0], q[1])
+    return circ
+
+
+@pytest.fixture
+def paper_fig1() -> QuantumCircuit:
+    """Fig. 1 circuit fixture."""
+    return build_paper_fig1()
+
+
+def build_ghz(num_qubits: int, measure: bool = False) -> QuantumCircuit:
+    """A GHZ-state preparation circuit."""
+    circuit = QuantumCircuit(num_qubits, num_qubits if measure else 0)
+    circuit.h(0)
+    for i in range(num_qubits - 1):
+        circuit.cx(i, i + 1)
+    if measure:
+        for i in range(num_qubits):
+            circuit.measure(i, i)
+    return circuit
+
+
+@pytest.fixture
+def bell() -> QuantumCircuit:
+    """A 2-qubit Bell pair circuit."""
+    return build_ghz(2)
+
+
+@pytest.fixture
+def ghz3() -> QuantumCircuit:
+    """A 3-qubit GHZ circuit."""
+    return build_ghz(3)
+
+
+@pytest.fixture
+def measured_bell() -> QuantumCircuit:
+    """Bell circuit with measurements."""
+    return build_ghz(2, measure=True)

@@ -1,0 +1,226 @@
+"""Tests for the QMDD decision-diagram package (paper Sec. V-A, Fig. 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.library.standard_gates import CXGate, HGate, TGate, XGate
+from repro.circuit.matrix_utils import embed_unitary
+from repro.dd import DDPackage
+from repro.exceptions import DDError
+from repro.quantum_info.random import random_statevector, random_unitary
+
+
+@pytest.fixture
+def package():
+    return DDPackage()
+
+
+class TestConstruction:
+    def test_zero_state_array(self, package):
+        edge = package.zero_state(3)
+        amplitudes = package.to_array(edge)
+        expected = np.zeros(8)
+        expected[0] = 1.0
+        assert np.allclose(amplitudes, expected)
+
+    def test_zero_state_node_count_linear(self, package):
+        edge = package.zero_state(10)
+        assert package.node_count(edge) == 10  # one node per level
+
+    def test_basis_state(self, package):
+        edge = package.basis_state(3, 5)
+        amplitudes = package.to_array(edge)
+        assert amplitudes[5] == pytest.approx(1.0)
+        assert np.linalg.norm(amplitudes) == pytest.approx(1.0)
+
+    def test_vector_from_array_roundtrip(self, package):
+        state = random_statevector(4, seed=3).data
+        edge = package.vector_from_array(state)
+        assert np.allclose(package.to_array(edge), state)
+
+    def test_identity_matrix(self, package):
+        edge = package.identity(3)
+        assert np.allclose(package.to_matrix(edge), np.eye(8))
+        assert package.node_count(edge) == 3  # maximally shared
+
+    def test_gate_matrix_embedding(self, package):
+        h = HGate().to_matrix()
+        edge = package.gate_matrix(h, [1], 3)
+        assert np.allclose(package.to_matrix(edge), embed_unitary(h, [1], 3))
+
+    def test_gate_matrix_two_qubit(self, package):
+        cx = CXGate().to_matrix()
+        for targets in ([0, 1], [1, 0], [0, 2], [2, 0]):
+            edge = package.gate_matrix(cx, targets, 3)
+            assert np.allclose(
+                package.to_matrix(edge), embed_unitary(cx, targets, 3)
+            ), targets
+
+    def test_gate_matrix_validation(self, package):
+        with pytest.raises(DDError):
+            package.gate_matrix(np.eye(2), [0, 1], 3)  # shape mismatch
+        with pytest.raises(DDError):
+            package.gate_matrix(np.eye(4), [0, 0], 3)  # duplicate targets
+        with pytest.raises(DDError):
+            package.gate_matrix(np.eye(2), [5], 3)  # out of range
+
+
+class TestCanonicity:
+    def test_shared_structure(self, package):
+        # Two identical construction paths must yield the same node object.
+        a = package.zero_state(4)
+        b = package.zero_state(4)
+        assert a.node is b.node
+
+    def test_scale_invariance(self, package):
+        # Blocks differing only by a factor share one node (Fig. 3 edge
+        # weights).
+        state1 = np.array([0.5, 0.5, 0.5, 0.5])
+        state2 = np.array([0.5, 0.5, -0.5, -0.5])
+        edge1 = package.vector_from_array(state1)
+        edge2 = package.vector_from_array(state2)
+        # Both are (|0>+|1>)⊗(|0>+|1>) up to a sign on the top qubit.
+        assert package.node_count(edge1) == 2
+        assert package.node_count(edge2) == 2
+
+    def test_all_zero_edges_collapse(self, package):
+        edge = package.vector_from_array(np.array([1.0, 0, 0, 0]))
+        zero_children = [
+            child for child in edge.node.edges if child.is_zero()
+        ]
+        assert all(child.node is package.terminal for child in zero_children)
+
+
+class TestArithmetic:
+    def test_add_vectors(self, package):
+        a = random_statevector(3, seed=1).data
+        b = random_statevector(3, seed=2).data
+        edge = package.add(
+            package.vector_from_array(a), package.vector_from_array(b)
+        )
+        assert np.allclose(package.to_array(edge), a + b)
+
+    def test_add_with_zero(self, package):
+        a = package.vector_from_array(random_statevector(2, seed=3).data)
+        total = package.add(a, package.zero_edge())
+        assert total.node is a.node
+
+    def test_multiply_mv_matches_dense(self, package):
+        state = random_statevector(3, seed=4).data
+        unitary = random_unitary(1, seed=5)
+        gate = package.gate_matrix(unitary, [1], 3)
+        vector = package.vector_from_array(state)
+        product = package.multiply_mv(gate, vector)
+        assert np.allclose(
+            package.to_array(product), embed_unitary(unitary, [1], 3) @ state
+        )
+
+    def test_multiply_mm_matches_dense(self, package):
+        u1 = random_unitary(2, seed=6)
+        u2 = random_unitary(2, seed=7)
+        a = package.gate_matrix(u1, [0, 1], 2)
+        b = package.gate_matrix(u2, [0, 1], 2)
+        product = package.multiply_mm(a, b)
+        assert np.allclose(package.to_matrix(product), u1 @ u2)
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=20, deadline=None)
+    def test_mv_random_gates(self, seed):
+        package = DDPackage()
+        rng = np.random.default_rng(seed)
+        n = 3
+        state = random_statevector(n, seed=seed).data
+        dense = state.copy()
+        vector = package.vector_from_array(state)
+        for _ in range(4):
+            k = int(rng.integers(1, 3))
+            targets = list(rng.choice(n, size=k, replace=False).astype(int))
+            unitary = random_unitary(k, seed=int(rng.integers(1 << 30)))
+            dense = embed_unitary(unitary, targets, n) @ dense
+            gate = package.gate_matrix(unitary, targets, n)
+            vector = package.multiply_mv(gate, vector)
+        assert np.allclose(package.to_array(vector), dense, atol=1e-8)
+
+
+class TestQueries:
+    def test_norm(self, package):
+        state = random_statevector(3, seed=8).data
+        edge = package.vector_from_array(state)
+        assert package.norm(edge) == pytest.approx(1.0)
+
+    def test_amplitude_lookup(self, package):
+        state = random_statevector(3, seed=9).data
+        edge = package.vector_from_array(state)
+        for index in range(8):
+            assert package.amplitude(edge, index) == pytest.approx(
+                state[index]
+            )
+
+    def test_inner_product(self, package):
+        a = random_statevector(3, seed=10).data
+        b = random_statevector(3, seed=11).data
+        inner = package.inner_product(
+            package.vector_from_array(a), package.vector_from_array(b)
+        )
+        assert inner == pytest.approx(np.vdot(a, b))
+
+    def test_fidelity(self, package):
+        a = random_statevector(2, seed=12).data
+        edge = package.vector_from_array(a)
+        assert package.fidelity(edge, edge) == pytest.approx(1.0)
+
+    def test_sampling_distribution(self, package):
+        # GHZ: only all-zeros / all-ones outcomes.
+        state = np.zeros(8)
+        state[0] = state[7] = 1 / np.sqrt(2)
+        edge = package.vector_from_array(state)
+        rng = np.random.default_rng(5)
+        outcomes = {package.sample(edge, 3, rng) for _ in range(200)}
+        assert outcomes == {0, 7}
+
+    def test_probabilities(self, package):
+        state = random_statevector(2, seed=13).data
+        edge = package.vector_from_array(state)
+        assert np.allclose(
+            package.probabilities(edge, 2), np.abs(state) ** 2
+        )
+
+
+class TestCompactness:
+    """The paper's core V-A claim: structure => compact DDs."""
+
+    def test_ghz_is_linear(self, package):
+        n = 12
+        state = np.zeros(2**n)
+        state[0] = state[-1] = 1 / np.sqrt(2)
+        edge = package.vector_from_array(state)
+        # GHZ needs 2 nodes per level except the top: ~2n vs 2^n amplitudes.
+        assert package.node_count(edge) <= 2 * n
+
+    def test_uniform_superposition_is_linear(self, package):
+        n = 12
+        state = np.full(2**n, 1 / np.sqrt(2**n))
+        edge = package.vector_from_array(state)
+        assert package.node_count(edge) == n  # maximal sharing
+
+    def test_fig3_style_circuit_unitary(self, package):
+        # A 3-qubit structured unitary has far fewer nodes than 4^3 entries.
+        h_dd = package.gate_matrix(HGate().to_matrix(), [0], 3)
+        cx01 = package.gate_matrix(CXGate().to_matrix(), [0, 1], 3)
+        cx12 = package.gate_matrix(CXGate().to_matrix(), [1, 2], 3)
+        t_dd = package.gate_matrix(TGate().to_matrix(), [2], 3)
+        unitary = package.multiply_mm(
+            t_dd, package.multiply_mm(cx12, package.multiply_mm(cx01, h_dd))
+        )
+        assert package.node_count(unitary) < 10
+
+    def test_garbage_collect_keeps_roots(self, package):
+        edge = package.zero_state(5)
+        x_dd = package.gate_matrix(XGate().to_matrix(), [0], 5)
+        result = package.multiply_mv(x_dd, edge)
+        before = package.to_array(result)
+        package.garbage_collect([result])
+        assert np.allclose(package.to_array(result), before)
+        assert package.num_unique_nodes <= 10

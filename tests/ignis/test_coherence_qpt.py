@@ -1,0 +1,107 @@
+"""Tests for coherence (T1/T2) characterization and process tomography."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.library.standard_gates import HGate, IGate, SGate, XGate
+from repro.exceptions import IgnisError
+from repro.ignis import (
+    average_gate_fidelity_from_ptm,
+    characterize_coherence,
+    fit_t1,
+    fit_t2_ramsey,
+    process_tomography_ptm,
+    ptm_of_unitary,
+    run_t1_experiment,
+    run_t2_experiment,
+)
+from repro.simulators import NoiseModel
+from repro.simulators.noise import depolarizing_error
+
+
+class TestCoherence:
+    def test_t1_decay_shape(self):
+        delays, populations = run_t1_experiment(
+            t1=30.0, t2=30.0, delays=[0, 15, 30, 60], shots=3000, seed=1
+        )
+        assert populations[0] > 0.97
+        assert all(a > b for a, b in zip(populations, populations[1:]))
+        # At t = T1, population ~ 1/e.
+        assert populations[2] == pytest.approx(np.exp(-1), abs=0.05)
+
+    def test_t2_ramsey_contrast_decay(self):
+        delays, populations = run_t2_experiment(
+            t1=100.0, t2=40.0, delays=[0, 20, 40, 80], shots=3000, seed=2
+        )
+        assert populations[0] > 0.97
+        contrast = [2 * p - 1 for p in populations]
+        assert contrast[2] == pytest.approx(np.exp(-1), abs=0.07)
+
+    def test_fit_recovers_injected_times(self):
+        t1_fit, t2_fit = characterize_coherence(
+            t1=50.0, t2=60.0, shots=4000, seed=1
+        )
+        assert t1_fit == pytest.approx(50.0, rel=0.2)
+        assert t2_fit == pytest.approx(60.0, rel=0.2)
+
+    def test_fit_t1_on_synthetic(self):
+        delays = np.linspace(0, 100, 12)
+        populations = np.exp(-delays / 37.0)
+        assert fit_t1(delays, populations) == pytest.approx(37.0, rel=0.01)
+
+    def test_fit_t2_on_synthetic(self):
+        delays = np.linspace(0, 100, 12)
+        populations = (1 + np.exp(-delays / 23.0)) / 2
+        assert fit_t2_ramsey(delays, populations) == pytest.approx(
+            23.0, rel=0.01
+        )
+
+    def test_unphysical_t2_rejected(self):
+        with pytest.raises(IgnisError):
+            characterize_coherence(t1=10.0, t2=30.0)
+
+
+class TestProcessTomography:
+    def test_identity_ptm(self):
+        ptm = process_tomography_ptm(QuantumCircuit(1), shots=4000, seed=2)
+        assert np.allclose(ptm, np.eye(4), atol=0.06)
+
+    @pytest.mark.parametrize("gate", [XGate(), HGate(), SGate()],
+                             ids=["x", "h", "s"])
+    def test_unitary_ptms(self, gate):
+        circuit = QuantumCircuit(1)
+        circuit.append(gate, [0])
+        ptm = process_tomography_ptm(circuit, shots=4000, seed=3)
+        reference = ptm_of_unitary(gate.to_matrix())
+        assert np.allclose(ptm, reference, atol=0.07)
+        fidelity = average_gate_fidelity_from_ptm(ptm, gate.to_matrix())
+        assert fidelity > 0.97
+
+    def test_ptm_of_unitary_reference_values(self):
+        x_ptm = ptm_of_unitary(XGate().to_matrix())
+        assert np.allclose(np.diag(x_ptm), [1, 1, -1, -1])
+
+    def test_depolarizing_fidelity_matches_theory(self):
+        """Depolarizing p on the channel only: F_avg = 1 - 2p/3."""
+        p = 0.09
+        channel = QuantumCircuit(1)
+        channel.i(0)  # the noisy location; tomography gates are unaffected
+        model = NoiseModel()
+        model.add_all_qubit_quantum_error(depolarizing_error(p, 1), ["id"])
+        ptm = process_tomography_ptm(channel, shots=8000, seed=4,
+                                     noise_model=model)
+        fidelity = average_gate_fidelity_from_ptm(ptm, np.eye(2))
+        assert fidelity == pytest.approx(1 - 2 * p / 3, abs=0.015)
+        # PTM structure: identity row/column, uniformly shrunk Pauli block.
+        shrink = np.diag(ptm)[1:]
+        assert np.allclose(shrink, 1 - 4 * p / 3, atol=0.04)
+
+    def test_trace_preservation_row(self):
+        ptm = process_tomography_ptm(QuantumCircuit(1), shots=2000, seed=5)
+        assert ptm[0, 0] == pytest.approx(1.0, abs=0.03)
+        assert np.allclose(ptm[0, 1:], 0.0, atol=0.05)
+
+    def test_multi_qubit_rejected(self):
+        with pytest.raises(IgnisError):
+            process_tomography_ptm(QuantumCircuit(2))

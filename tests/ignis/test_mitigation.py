@@ -1,0 +1,129 @@
+"""Tests for measurement-error mitigation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import IgnisError
+from repro.ignis import (
+    CompleteMeasurementFitter,
+    TensoredMeasurementFitter,
+    complete_measurement_calibration,
+    tensored_calibration,
+)
+from repro.simulators import NoiseModel, QasmSimulator
+from repro.simulators.noise import ReadoutError
+from tests.conftest import build_ghz
+
+
+def _noisy_model():
+    model = NoiseModel()
+    model.add_readout_error(ReadoutError([[0.92, 0.08], [0.12, 0.88]]))
+    return model
+
+
+def _calibrate(num_qubits, model, shots=6000):
+    engine = QasmSimulator()
+    circuits, labels = complete_measurement_calibration(num_qubits)
+    counts = [
+        engine.run(c, shots=shots, seed=i, noise_model=model)["counts"]
+        for i, c in enumerate(circuits)
+    ]
+    return CompleteMeasurementFitter(counts, labels)
+
+
+class TestCalibrationCircuits:
+    def test_circuit_count(self):
+        circuits, labels = complete_measurement_calibration(3)
+        assert len(circuits) == 8
+        assert labels[5] == "101"
+
+    def test_prepared_states(self):
+        circuits, labels = complete_measurement_calibration(2)
+        engine = QasmSimulator()
+        for circuit, label in zip(circuits, labels):
+            counts = engine.run(circuit, shots=50, seed=1)["counts"]
+            assert counts == {label: 50}
+
+    def test_invalid_size(self):
+        with pytest.raises(IgnisError):
+            complete_measurement_calibration(0)
+
+
+class TestCompleteFitter:
+    def test_ideal_confusion_is_identity(self):
+        fitter = _calibrate(2, NoiseModel())
+        assert np.allclose(fitter.confusion_matrix, np.eye(4))
+        assert fitter.readout_fidelity == pytest.approx(1.0)
+
+    def test_noisy_confusion_structure(self):
+        fitter = _calibrate(1, _noisy_model(), shots=20000)
+        matrix = fitter.confusion_matrix
+        assert matrix[1, 0] == pytest.approx(0.08, abs=0.01)
+        assert matrix[0, 1] == pytest.approx(0.12, abs=0.01)
+
+    def test_mitigation_restores_ghz(self):
+        model = _noisy_model()
+        fitter = _calibrate(3, model)
+        circuit = build_ghz(3, measure=True)
+        raw = QasmSimulator().run(circuit, shots=8000, seed=42,
+                                  noise_model=model)["counts"]
+        mitigated = fitter.filter.apply(raw)
+
+        def ghz_fraction(counts):
+            total = sum(counts.values())
+            return (counts.get("000", 0) + counts.get("111", 0)) / total
+
+        assert ghz_fraction(mitigated) > ghz_fraction(raw) + 0.1
+        assert ghz_fraction(mitigated) > 0.97
+
+    def test_pseudo_inverse_method(self):
+        model = _noisy_model()
+        fitter = _calibrate(2, model)
+        raw = {"00": 800, "01": 100, "10": 80, "11": 20}
+        mitigated = fitter.filter.apply(raw, method="pseudo_inverse")
+        assert sum(mitigated.values()) == pytest.approx(1000, rel=0.05)
+
+    def test_unknown_method(self):
+        fitter = _calibrate(1, NoiseModel(), shots=100)
+        with pytest.raises(IgnisError):
+            fitter.filter.apply({"0": 10}, method="sorcery")
+
+    def test_empty_counts(self):
+        fitter = _calibrate(1, NoiseModel(), shots=100)
+        with pytest.raises(IgnisError):
+            fitter.filter.apply({})
+
+
+class TestTensoredFitter:
+    def test_two_circuit_calibration(self):
+        circuits = tensored_calibration(3)
+        assert len(circuits) == 2
+
+    def test_per_qubit_matrices(self):
+        model = _noisy_model()
+        engine = QasmSimulator()
+        zeros, ones = tensored_calibration(2)
+        zero_counts = engine.run(zeros, shots=20000, seed=1,
+                                 noise_model=model)["counts"]
+        one_counts = engine.run(ones, shots=20000, seed=2,
+                                noise_model=model)["counts"]
+        fitter = TensoredMeasurementFitter(zero_counts, one_counts, 2)
+        matrix = fitter.qubit_matrix(0)
+        assert matrix[1, 0] == pytest.approx(0.08, abs=0.01)
+
+    def test_tensored_filter_mitigates(self):
+        model = _noisy_model()
+        engine = QasmSimulator()
+        zeros, ones = tensored_calibration(2)
+        zero_counts = engine.run(zeros, shots=10000, seed=3,
+                                 noise_model=model)["counts"]
+        one_counts = engine.run(ones, shots=10000, seed=4,
+                                noise_model=model)["counts"]
+        fitter = TensoredMeasurementFitter(zero_counts, one_counts, 2)
+        circuit = build_ghz(2, measure=True)
+        raw = engine.run(circuit, shots=8000, seed=5,
+                         noise_model=model)["counts"]
+        mitigated = fitter.filter.apply(raw)
+        total = sum(mitigated.values())
+        bell = (mitigated.get("00", 0) + mitigated.get("11", 0)) / total
+        assert bell > 0.97

@@ -1,0 +1,194 @@
+"""Tests for randomized benchmarking, tomography, and repetition codes."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.exceptions import IgnisError
+from repro.ignis import (
+    CLIFFORD_1Q,
+    average_clifford_gate_count,
+    bit_flip_correct,
+    bit_flip_encode,
+    clifford_inverse_index,
+    fit_rb_decay,
+    fit_state,
+    logical_error_rate,
+    phase_flip_correct,
+    phase_flip_encode,
+    rb_circuit,
+    rb_experiment,
+    run_state_tomography,
+    state_tomography_circuits,
+    theoretical_logical_error,
+    tomography_bases,
+)
+from repro.quantum_info import Operator, Statevector, state_fidelity
+from repro.simulators import NoiseModel, QasmSimulator
+from repro.simulators.noise import depolarizing_error
+
+
+class TestCliffordGroup:
+    def test_group_size_is_24(self):
+        assert len(CLIFFORD_1Q) == 24
+
+    def test_all_distinct_up_to_phase(self):
+        from repro.circuit.matrix_utils import allclose_up_to_global_phase
+
+        for i, (_n1, m1) in enumerate(CLIFFORD_1Q):
+            for _n2, m2 in CLIFFORD_1Q[i + 1 :]:
+                assert not allclose_up_to_global_phase(m1, m2)
+
+    def test_closure_under_inverse(self):
+        for _names, matrix in CLIFFORD_1Q:
+            index = clifford_inverse_index(matrix)
+            product = CLIFFORD_1Q[index][1] @ matrix
+            from repro.circuit.matrix_utils import (
+                allclose_up_to_global_phase,
+            )
+
+            assert allclose_up_to_global_phase(product, np.eye(2))
+
+    def test_non_clifford_rejected(self):
+        from repro.circuit.library.standard_gates import TGate
+
+        with pytest.raises(IgnisError):
+            clifford_inverse_index(TGate().to_matrix())
+
+
+class TestRB:
+    def test_sequence_inverts_to_identity(self):
+        for seed in range(5):
+            circuit = rb_circuit(10, seed=seed)
+            counts = QasmSimulator().run(circuit, shots=100,
+                                         seed=seed)["counts"]
+            assert counts == {"0": 100}
+
+    def test_noiseless_survival_flat(self):
+        lengths, survival = rb_experiment([1, 10, 30], num_samples=3,
+                                          shots=200, seed=1)
+        assert all(s == pytest.approx(1.0) for s in survival)
+
+    def test_decay_recovers_injected_error(self):
+        error_per_gate = 0.01
+        model = NoiseModel()
+        model.add_all_qubit_quantum_error(
+            depolarizing_error(error_per_gate, 1),
+            ["h", "s", "sdg", "x", "y", "z"],
+        )
+        lengths, survival = rb_experiment(
+            [1, 5, 10, 20, 40, 80], num_samples=6, shots=600,
+            noise_model=model, seed=5,
+        )
+        alpha, _a, _b, epc = fit_rb_decay(lengths, survival)
+        # depolarizing(p) shrinks the Bloch sphere by 1 - 4p/3 per gate.
+        shrink_per_gate = 1 - 4 * error_per_gate / 3
+        expected_alpha = shrink_per_gate ** average_clifford_gate_count()
+        assert alpha == pytest.approx(expected_alpha, abs=0.015)
+        assert 0 < epc < 0.05
+
+    def test_survival_monotone_decreasing(self):
+        model = NoiseModel()
+        model.add_all_qubit_quantum_error(
+            depolarizing_error(0.03, 1), ["h", "s", "sdg", "x", "y", "z"]
+        )
+        _lengths, survival = rb_experiment(
+            [1, 20, 60], num_samples=8, shots=400, noise_model=model, seed=9
+        )
+        assert survival[0] > survival[1] > survival[2]
+
+
+class TestTomography:
+    def test_basis_enumeration(self):
+        assert tomography_bases(1) == ["X", "Y", "Z"]
+        assert len(tomography_bases(2)) == 9
+
+    def test_circuit_count(self, bell):
+        circuits, labels = state_tomography_circuits(bell)
+        assert len(circuits) == 9
+        assert all(c.count_ops()["measure"] == 2 for c in circuits)
+
+    def test_bell_reconstruction(self, bell):
+        rho = run_state_tomography(bell, shots=3000, seed=7)
+        target = Statevector.from_instruction(bell)
+        assert state_fidelity(target, rho) > 0.97
+
+    def test_single_qubit_plus_state(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        rho = run_state_tomography(circuit, shots=4000, seed=8)
+        plus = Statevector.from_label("+")
+        assert state_fidelity(plus, rho) > 0.98
+
+    def test_reconstruction_is_physical(self, bell):
+        rho = run_state_tomography(bell, shots=500, seed=9)
+        eigenvalues = np.linalg.eigvalsh(rho.data)
+        assert eigenvalues.min() > -1e-10
+        assert np.trace(rho.data).real == pytest.approx(1.0)
+
+    def test_missing_basis_raises(self):
+        with pytest.raises(IgnisError):
+            fit_state({"XX": {"00": 10}}, 2)
+
+    def test_noisy_tomography_lower_fidelity(self, bell):
+        model = NoiseModel()
+        model.add_all_qubit_quantum_error(depolarizing_error(0.1, 2), ["cx"])
+        noisy_rho = run_state_tomography(bell, shots=3000, seed=10,
+                                         noise_model=model)
+        target = Statevector.from_instruction(bell)
+        fidelity = state_fidelity(target, noisy_rho)
+        assert 0.7 < fidelity < 0.99
+
+
+class TestRepetitionCodes:
+    def test_bit_flip_corrects_single_error(self):
+        # Encode |1>, flip one qubit, decode: must recover.
+        for error_qubit in range(3):
+            circuit = QuantumCircuit(3, 1)
+            circuit.x(0)
+            circuit.compose(bit_flip_encode(), qubits=circuit.qubits,
+                            inplace=True)
+            circuit.x(error_qubit)
+            circuit.compose(bit_flip_correct(), qubits=circuit.qubits,
+                            inplace=True)
+            circuit.measure(0, 0)
+            counts = QasmSimulator().run(circuit, shots=50, seed=1)["counts"]
+            assert counts == {"1": 50}, error_qubit
+
+    def test_phase_flip_corrects_single_error(self):
+        for error_qubit in range(3):
+            circuit = QuantumCircuit(3, 1)
+            circuit.x(0)
+            circuit.compose(phase_flip_encode(), qubits=circuit.qubits,
+                            inplace=True)
+            circuit.z(error_qubit)
+            circuit.compose(phase_flip_correct(), qubits=circuit.qubits,
+                            inplace=True)
+            circuit.measure(0, 0)
+            counts = QasmSimulator().run(circuit, shots=50, seed=2)["counts"]
+            assert counts == {"1": 50}, error_qubit
+
+    def test_double_error_fails(self):
+        circuit = QuantumCircuit(3, 1)
+        circuit.compose(bit_flip_encode(), qubits=circuit.qubits, inplace=True)
+        circuit.x(0)
+        circuit.x(1)
+        circuit.compose(bit_flip_correct(), qubits=circuit.qubits,
+                        inplace=True)
+        circuit.measure(0, 0)
+        counts = QasmSimulator().run(circuit, shots=50, seed=3)["counts"]
+        assert counts == {"1": 50}  # majority vote fooled: logical flip
+
+    @pytest.mark.parametrize("kind", ["bit", "phase"])
+    def test_logical_rate_matches_theory(self, kind):
+        p = 0.08
+        rate = logical_error_rate(kind, p, shots=8000, seed=4)
+        assert rate == pytest.approx(theoretical_logical_error(p), abs=0.012)
+
+    def test_code_beats_bare_qubit(self):
+        p = 0.05
+        assert logical_error_rate("bit", p, shots=8000, seed=5) < p
+
+    def test_unknown_kind(self):
+        with pytest.raises(IgnisError):
+            logical_error_rate("spin", 0.1)

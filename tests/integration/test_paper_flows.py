@@ -1,0 +1,168 @@
+"""Integration tests reenacting the paper's figures and Section IV flow."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import ClassicalRegister, QuantumCircuit, QuantumRegister
+from repro.providers import Aer, IBMQ, execute
+from repro.quantum_info import Operator, hellinger_fidelity
+from repro.simulators import DDSimulator
+from repro.transpiler import CouplingMap, transpile
+from repro.transpiler.equivalence import routed_equivalent
+from tests.conftest import PAPER_FIG1_QASM, build_paper_fig1
+
+
+class TestFig1:
+    """Fig. 1: the same circuit as OpenQASM text and as a diagram."""
+
+    def test_qasm_and_api_agree(self):
+        parsed = QuantumCircuit.from_qasm_str(PAPER_FIG1_QASM)
+        built = build_paper_fig1()
+        assert parsed.count_ops() == built.count_ops()
+        assert Operator.from_circuit(parsed).equiv(Operator.from_circuit(built))
+
+    def test_roundtrip_preserves_semantics(self):
+        parsed = QuantumCircuit.from_qasm_str(PAPER_FIG1_QASM)
+        again = QuantumCircuit.from_qasm_str(parsed.qasm())
+        assert Operator.from_circuit(parsed).equiv(Operator.from_circuit(again))
+
+    def test_diagram_has_four_wires(self):
+        built = build_paper_fig1()
+        assert len(built.draw().splitlines()) == 4
+
+
+class TestFig2:
+    """Fig. 2: the QX4 coupling map."""
+
+    def test_exact_arrows(self):
+        qx4 = CouplingMap.qx4()
+        assert set(qx4.edges) == {(1, 0), (2, 0), (2, 1), (3, 2), (3, 4),
+                                  (2, 4)}
+
+
+class TestFig3:
+    """Fig. 3: matrix vs. decision diagram of a 3-qubit computation."""
+
+    def test_dd_far_smaller_than_matrix(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        edge, package = DDSimulator().unitary_with_package(circuit)
+        nodes = package.node_count(edge)
+        matrix_entries = 4**3
+        assert nodes <= 6
+        assert nodes * 8 < matrix_entries
+        # And it is the right operator.
+        assert np.allclose(
+            package.to_matrix(edge), Operator.from_circuit(circuit).data
+        )
+
+
+class TestFig4:
+    """Fig. 4: naive vs. optimized mapping of Fig. 1's circuit to QX4."""
+
+    def test_naive_mapping_is_correct_but_heavy(self):
+        circuit = build_paper_fig1()
+        naive = transpile(circuit, CouplingMap.qx4(), optimization_level=0,
+                          seed=1)
+        assert routed_equivalent(circuit, naive)
+        # Fig. 4a adds many H gates around flipped CNOTs.
+        one_qubit = sum(v for k, v in naive.count_ops().items()
+                        if k in ("u1", "u2", "u3"))
+        assert one_qubit >= 12
+
+    def test_optimized_mapping_matches_fig4b_shape(self):
+        circuit = build_paper_fig1()
+        naive = transpile(circuit, CouplingMap.qx4(), optimization_level=0,
+                          seed=1)
+        optimized = transpile(circuit, CouplingMap.qx4(),
+                              optimization_level=3, seed=1)
+        assert routed_equivalent(circuit, optimized)
+        # Fig. 4b: same 5 CNOTs, far fewer H-type gates, lower depth.
+        assert optimized.count_ops()["cx"] == 5
+        assert optimized.size() < naive.size()
+        assert optimized.depth() < naive.depth()
+
+
+class TestSectionIVUserFlow:
+    """The full Section IV run-through against our backends."""
+
+    def test_complete_flow(self):
+        q = QuantumRegister(4, "q")
+        circ = QuantumCircuit(q)
+        circ.h(q[2])
+        circ.cx(q[2], q[3])
+        circ.cx(q[0], q[1])
+        circ.h(q[1])
+        circ.cx(q[1], q[2])
+        circ.t(q[0])
+        circ.cx(q[2], q[0])
+        circ.cx(q[0], q[1])
+
+        c = ClassicalRegister(4, "c")
+        measurement = QuantumCircuit(q, c)
+        measurement.measure(q, c)
+        measured_circ = circ + measurement
+
+        # 1. Simulate (the paper's qasm_simulator step).
+        job = execute(measured_circ, backend=Aer.get_backend("qasm_simulator"),
+                      shots=4096, seed=11)
+        ideal = job.result().get_counts()
+        # The ideal distribution of this circuit is uniform over 4 outcomes.
+        assert set(ideal) == {"0000", "0101", "1010", "1111"}
+
+        # 2. Switch the backend string to the device, as the paper instructs.
+        IBMQ.load_accounts()
+        ibmqx4 = IBMQ.get_backend("ibmqx4")
+        noisy = execute(measured_circ, backend=ibmqx4, shots=4096,
+                        seed=12).result().get_counts()
+        assert hellinger_fidelity(ideal, noisy) > 0.7
+
+    def test_dd_backend_drop_in(self, measured_bell):
+        ideal = execute(measured_bell, Aer.get_backend("qasm_simulator"),
+                        shots=2000, seed=1).result().get_counts()
+        dd = execute(measured_bell, Aer.get_backend("dd_simulator"),
+                     shots=2000, seed=2).result().get_counts()
+        assert hellinger_fidelity(ideal, dd) > 0.99
+
+
+class TestCrossSimulatorAgreement:
+    """Property-style agreement across all simulation backends."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_all_backends_same_distribution(self, seed):
+        from repro.circuit import random_circuit
+        from repro.quantum_info import Statevector
+        from repro.simulators import (
+            DensityMatrixSimulator,
+            StatevectorSimulator,
+            UnitarySimulator,
+        )
+
+        circuit = random_circuit(3, 4, seed=100 + seed)
+        sv = StatevectorSimulator().run(circuit)
+        probs_sv = sv.probabilities()
+        probs_dd = (
+            DDSimulator().run(circuit).to_statevector().probabilities()
+        )
+        probs_dm = DensityMatrixSimulator().run(circuit).probabilities()
+        unitary = UnitarySimulator().run(circuit).data
+        probs_u = np.abs(unitary[:, 0]) ** 2
+        assert np.allclose(probs_sv, probs_dd, atol=1e-8)
+        assert np.allclose(probs_sv, probs_dm, atol=1e-8)
+        assert np.allclose(probs_sv, probs_u, atol=1e-8)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_transpiled_counts_match_original(self, seed):
+        """Routing + direction + optimization must not change observable
+        statistics (trivial layout keeps clbit semantics unchanged)."""
+        from repro.circuit import random_circuit
+        from repro.simulators import QasmSimulator
+
+        circuit = random_circuit(4, 4, seed=200 + seed, measure=True)
+        mapped = transpile(circuit, CouplingMap.qx5(), optimization_level=1,
+                           seed=seed)
+        original = QasmSimulator().run(circuit, shots=4000, seed=3)["counts"]
+        routed = QasmSimulator().run(mapped, shots=4000, seed=4)["counts"]
+        assert hellinger_fidelity(original, routed) > 0.99

@@ -1,0 +1,134 @@
+"""Tests for the simulated IBM QX devices and the full device workflow."""
+
+import pytest
+
+from repro.exceptions import BackendError
+from repro.providers import IBMQ, execute
+from repro.quantum_info import hellinger_fidelity
+from repro.transpiler import transpile
+from tests.conftest import build_ghz
+
+
+class TestIBMQProvider:
+    def test_backends(self):
+        assert IBMQ.backends() == ["ibmqx2", "ibmqx3", "ibmqx4", "ibmqx5"]
+
+    def test_load_accounts_flow(self):
+        """The paper's Sec. IV incantation works verbatim."""
+        IBMQ.load_accounts()
+        backend = IBMQ.get_backend("ibmqx4")
+        assert backend.name() == "ibmqx4"
+        assert backend.configuration().num_qubits == 5
+        assert not backend.configuration().simulator
+
+    def test_unknown_device(self):
+        with pytest.raises(BackendError):
+            IBMQ.get_backend("ibmqx9000")
+
+
+class TestDeviceValidation:
+    def test_rejects_unmapped_gates(self, measured_bell):
+        backend = IBMQ.get_backend("ibmqx4")
+        with pytest.raises(BackendError):
+            backend.run(measured_bell)  # h is not in the device basis
+
+    def test_rejects_bad_cx_direction(self):
+        from repro.circuit import QuantumCircuit
+
+        backend = IBMQ.get_backend("ibmqx4")
+        circuit = QuantumCircuit(5, 5)
+        circuit.cx(0, 1)  # QX4 allows only 1->0
+        circuit.measure(0, 0)
+        with pytest.raises(BackendError):
+            backend.run(circuit)
+
+    def test_rejects_too_wide(self):
+        from repro.circuit import QuantumCircuit
+
+        backend = IBMQ.get_backend("ibmqx4")
+        with pytest.raises(BackendError):
+            backend.run(QuantumCircuit(6, 6))
+
+    def test_accepts_transpiled(self, measured_bell):
+        backend = IBMQ.get_backend("ibmqx4")
+        mapped = transpile(measured_bell, backend.coupling_map,
+                           basis_gates=backend.configuration().basis_gates,
+                           seed=1)
+        job = backend.run(mapped, shots=200, seed=2)
+        counts = job.result().get_counts()
+        assert sum(counts.values()) == 200
+
+
+class TestDeviceExecution:
+    def test_execute_auto_transpiles(self, measured_bell):
+        backend = IBMQ.get_backend("ibmqx4")
+        job = execute(measured_bell, backend, shots=1000, seed=3)
+        counts = job.result().get_counts()
+        good = counts.get("00", 0) + counts.get("11", 0)
+        assert good / 1000 > 0.85  # noisy but dominated by Bell outcomes
+
+    def test_noise_degrades_vs_ideal(self):
+        from repro.providers import Aer
+
+        circuit = build_ghz(4, measure=True)
+        ideal = execute(circuit, Aer.get_backend("qasm_simulator"),
+                        shots=2000, seed=4).result().get_counts()
+        noisy = execute(circuit, IBMQ.get_backend("ibmqx4"),
+                        shots=2000, seed=4).result().get_counts()
+        fidelity = hellinger_fidelity(ideal, noisy)
+        assert 0.5 < fidelity < 0.999  # noisy, but recognizably the GHZ
+
+    def test_devices_have_distinct_noise(self):
+        circuit = build_ghz(5, measure=True)
+        results = {}
+        for name in ("ibmqx4", "ibmqx5"):
+            counts = execute(circuit, IBMQ.get_backend(name), shots=3000,
+                             seed=5).result().get_counts()
+            good = counts.get("00000", 0) + counts.get("11111", 0)
+            results[name] = good / 3000
+        # QX5 is modeled noisier than QX4.
+        assert results["ibmqx5"] < results["ibmqx4"]
+
+    def test_override_noise_model(self, measured_bell):
+        from repro.simulators import NoiseModel
+
+        backend = IBMQ.get_backend("ibmqx4")
+        job = execute(measured_bell, backend, shots=500, seed=6,
+                      noise_model=NoiseModel())  # ideal override
+        counts = job.result().get_counts()
+        assert set(counts) == {"00", "11"}
+
+
+class TestCounts:
+    def test_most_frequent(self):
+        from repro.providers import Counts
+
+        counts = Counts({"00": 10, "11": 30})
+        assert counts.most_frequent() == "11"
+
+    def test_probabilities(self):
+        from repro.providers import Counts
+
+        probs = Counts({"0": 25, "1": 75}).probabilities()
+        assert probs["1"] == pytest.approx(0.75)
+
+    def test_int_outcomes(self):
+        from repro.providers import Counts
+
+        assert Counts({"10": 5}).int_outcomes() == {2: 5}
+
+    def test_marginal(self):
+        from repro.providers import Counts
+
+        counts = Counts({"01": 10, "11": 20})
+        # keep clbit 0 only
+        assert counts.marginal([0]) == {"1": 30}
+        # keep clbit 1 only
+        assert counts.marginal([1]) == {"0": 10, "1": 20}
+
+    def test_empty_most_frequent_raises(self):
+        from repro.exceptions import BackendError
+        from repro.providers import Counts
+
+        with pytest.raises(BackendError):
+            Counts({}).most_frequent()

@@ -1,0 +1,175 @@
+"""Tests for the OpenPulse-style pulse layer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulatorError
+from repro.pulse import (
+    Delay,
+    DriveChannel,
+    Play,
+    PulseError,
+    PulseSimulator,
+    Schedule,
+    ShiftPhase,
+    TransmonQubit,
+    calibrate_pi_amplitude,
+    constant,
+    drag,
+    fit_rabi,
+    frequency_sweep,
+    gaussian,
+    gaussian_square,
+    rabi_experiment,
+    rabi_schedule,
+)
+
+
+class TestWaveforms:
+    def test_constant(self):
+        pulse = constant(10, 0.5)
+        assert pulse.duration == 10
+        assert np.allclose(pulse.samples, 0.5)
+
+    def test_gaussian_shape(self):
+        pulse = gaussian(63, 1.0, sigma=10)
+        samples = pulse.samples.real
+        assert samples[31] == pytest.approx(1.0)   # peak at the center
+        assert samples[0] < samples[31]
+        assert np.allclose(samples, samples[::-1])  # symmetric
+
+    def test_gaussian_square_flat_top(self):
+        pulse = gaussian_square(100, 0.8, sigma=8, width=40)
+        flat = pulse.samples.real[40:60]
+        assert np.allclose(flat, 0.8, atol=1e-6)
+
+    def test_drag_has_quadrature(self):
+        pulse = drag(64, 0.5, sigma=12, beta=1.0)
+        assert np.abs(pulse.samples.imag).max() > 0
+        # Imag part is the derivative: antisymmetric.
+        assert pulse.samples.imag[0] == pytest.approx(
+            -pulse.samples.imag[-1], abs=1e-9
+        )
+
+    def test_amplitude_cap(self):
+        with pytest.raises(PulseError):
+            constant(4, 1.5)
+
+    def test_invalid_params(self):
+        with pytest.raises(PulseError):
+            gaussian(0, 0.5, 4)
+        with pytest.raises(PulseError):
+            gaussian_square(10, 0.5, 2, width=10)
+
+
+class TestSchedule:
+    def test_append_sequences_per_channel(self):
+        schedule = Schedule()
+        channel = DriveChannel(0)
+        schedule.append(Play(constant(10, 0.1), channel))
+        schedule.append(Play(constant(5, 0.1), channel))
+        assert schedule.duration == 15
+        starts = [start for start, _ in schedule.instructions]
+        assert starts == [0, 10]
+
+    def test_channels_independent(self):
+        schedule = Schedule()
+        schedule.append(Play(constant(10, 0.1), DriveChannel(0)))
+        schedule.append(Play(constant(4, 0.1), DriveChannel(1)))
+        starts = {
+            inst.channel.qubit: start
+            for start, inst in schedule.instructions
+        }
+        assert starts == {0: 0, 1: 0}
+
+    def test_insert_explicit_time(self):
+        schedule = Schedule()
+        schedule.insert(20, Play(constant(5, 0.1), DriveChannel(0)))
+        assert schedule.duration == 25
+
+    def test_delay_advances_clock(self):
+        schedule = Schedule()
+        channel = DriveChannel(0)
+        schedule.append(Delay(8, channel))
+        schedule.append(Play(constant(2, 0.1), channel))
+        starts = [start for start, _ in schedule.instructions]
+        assert starts == [0, 8]
+
+    def test_shift_phase_zero_duration(self):
+        schedule = Schedule()
+        channel = DriveChannel(0)
+        schedule.append(ShiftPhase(np.pi, channel))
+        schedule.append(Play(constant(2, 0.1), channel))
+        assert schedule.duration == 2
+
+
+class TestSimulator:
+    def test_no_drive_stays_ground(self):
+        simulator = PulseSimulator([TransmonQubit()])
+        schedule = Schedule()
+        schedule.append(Delay(32, DriveChannel(0)))
+        assert simulator.excited_population(schedule)[0] == pytest.approx(0.0)
+
+    def test_pi_pulse_flips(self):
+        pi_amp, residual = calibrate_pi_amplitude()
+        assert residual < 1e-6
+
+    def test_half_pi_superposition(self):
+        pi_amp, _ = calibrate_pi_amplitude()
+        simulator = PulseSimulator([TransmonQubit()])
+        population = simulator.excited_population(
+            rabi_schedule(pi_amp / 2)
+        )[0]
+        assert population == pytest.approx(0.5, abs=0.02)
+
+    def test_rabi_oscillation_monotone_then_turns(self):
+        simulator = PulseSimulator([TransmonQubit()])
+        amplitudes, populations = rabi_experiment(
+            simulator, np.linspace(0.05, 1.0, 12)
+        )
+        # Rises to a maximum then falls: a genuine oscillation.
+        peak = int(np.argmax(populations))
+        assert 0 < peak < len(populations) - 1
+
+    def test_detuning_reduces_transfer(self):
+        simulator = PulseSimulator([TransmonQubit()])
+        pi_amp, _ = calibrate_pi_amplitude()
+        detunings, populations = frequency_sweep(
+            simulator, np.linspace(-0.05, 0.05, 11), amplitude=pi_amp
+        )
+        resonance_index = int(np.argmax(populations))
+        assert abs(detunings[resonance_index]) < 0.011
+        assert populations[0] < populations[resonance_index]
+
+    def test_virtual_z_echo(self):
+        pi_amp, _ = calibrate_pi_amplitude()
+        simulator = PulseSimulator([TransmonQubit()])
+        half = rabi_schedule(pi_amp / 2).instructions[0][1].waveform
+        channel = DriveChannel(0)
+        schedule = Schedule()
+        schedule.append(Play(half, channel))
+        schedule.append(ShiftPhase(np.pi, channel))
+        schedule.append(Play(half, channel))
+        assert simulator.excited_population(schedule)[0] < 1e-6
+
+    def test_two_qubits_independent(self):
+        pi_amp, _ = calibrate_pi_amplitude()
+        simulator = PulseSimulator([TransmonQubit(), TransmonQubit()])
+        schedule = rabi_schedule(pi_amp, qubit=1)
+        populations = simulator.excited_population(schedule)
+        assert populations[0] == pytest.approx(0.0)
+        assert populations[1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_unknown_qubit_rejected(self):
+        simulator = PulseSimulator([TransmonQubit()])
+        schedule = rabi_schedule(0.3, qubit=3)
+        with pytest.raises(SimulatorError):
+            simulator.run(schedule)
+
+    def test_fit_rabi_quality(self):
+        simulator = PulseSimulator([TransmonQubit()])
+        amplitudes = np.linspace(0.02, 1.0, 30)
+        _amps, populations = rabi_experiment(simulator, amplitudes)
+        pi_amp = fit_rabi(amplitudes, populations)
+        check = simulator.excited_population(rabi_schedule(pi_amp))[0]
+        assert check == pytest.approx(1.0, abs=1e-4)

@@ -1,0 +1,96 @@
+"""Round-trip tests for the OpenQASM exporter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Parameter, QuantumCircuit, random_circuit
+from repro.exceptions import QasmError
+from repro.quantum_info import Operator
+from tests.conftest import PAPER_FIG1_QASM
+
+
+class TestExport:
+    def test_header_and_registers(self, measured_bell):
+        qasm = measured_bell.qasm()
+        assert qasm.startswith('OPENQASM 2.0;\ninclude "qelib1.inc";')
+        assert "qreg q[2];" in qasm
+        assert "creg c[2];" in qasm
+
+    def test_measure_arrow(self, measured_bell):
+        assert "measure q[0] -> c[0];" in measured_bell.qasm()
+
+    def test_conditional_export(self):
+        from repro.circuit import ClassicalRegister, QuantumRegister
+
+        c = ClassicalRegister(1, "c")
+        circuit = QuantumCircuit(QuantumRegister(1, "q"), c)
+        circuit.x(0)
+        circuit.data[-1].operation.c_if(c, 1)
+        assert "if(c==1) x q[0];" in circuit.qasm()
+
+    def test_composite_gate_expanded(self, bell):
+        holder = QuantumCircuit(2)
+        holder.append(bell.to_gate(), [[0, 1]])
+        qasm = holder.qasm()
+        assert "h q[0];" in qasm
+        assert "cx q[0], q[1];" in qasm
+
+    def test_unbound_parameter_raises(self):
+        theta = Parameter("t")
+        circuit = QuantumCircuit(1)
+        circuit.rx(theta, 0)
+        with pytest.raises(QasmError):
+            circuit.qasm()
+
+    def test_unitary_gate_unexportable(self):
+        circuit = QuantumCircuit(1)
+        circuit.unitary(np.eye(2), [0])
+        with pytest.raises(QasmError):
+            circuit.qasm()
+
+
+class TestRoundTrip:
+    def test_paper_fig1_roundtrip(self):
+        original = QuantumCircuit.from_qasm_str(PAPER_FIG1_QASM)
+        reparsed = QuantumCircuit.from_qasm_str(original.qasm())
+        assert reparsed.count_ops() == original.count_ops()
+        assert Operator.from_circuit(reparsed).equiv(
+            Operator.from_circuit(original)
+        )
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_random_circuit_roundtrip(self, seed):
+        original = random_circuit(4, 5, seed=seed)
+        reparsed = QuantumCircuit.from_qasm_str(original.qasm())
+        assert Operator.from_circuit(reparsed).equiv(
+            Operator.from_circuit(original)
+        ), f"seed {seed}"
+
+    def test_measured_roundtrip_counts(self, measured_bell):
+        reparsed = QuantumCircuit.from_qasm_str(measured_bell.qasm())
+        from repro.simulators import QasmSimulator
+
+        counts_a = QasmSimulator().run(measured_bell, shots=500, seed=3)
+        counts_b = QasmSimulator().run(reparsed, shots=500, seed=3)
+        assert counts_a["counts"] == counts_b["counts"]
+
+    def test_all_standard_gates_roundtrip(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0); circuit.x(1); circuit.y(2); circuit.z(0)
+        circuit.s(1); circuit.sdg(2); circuit.t(0); circuit.tdg(1)
+        circuit.sx(2); circuit.sxdg(0)
+        circuit.rx(0.1, 0); circuit.ry(0.2, 1); circuit.rz(0.3, 2)
+        circuit.u1(0.4, 0); circuit.u2(0.5, 0.6, 1); circuit.u3(0.7, 0.8, 0.9, 2)
+        circuit.cx(0, 1); circuit.cy(1, 2); circuit.cz(0, 2); circuit.ch(0, 1)
+        circuit.swap(1, 2); circuit.crx(0.1, 0, 1); circuit.cry(0.2, 1, 2)
+        circuit.crz(0.3, 0, 2); circuit.cu1(0.4, 0, 1)
+        circuit.cu3(0.5, 0.6, 0.7, 1, 2)
+        circuit.rzz(0.8, 0, 1); circuit.rxx(0.9, 1, 2); circuit.ryy(1.0, 0, 2)
+        circuit.ccx(0, 1, 2); circuit.cswap(0, 1, 2)
+        reparsed = QuantumCircuit.from_qasm_str(circuit.qasm())
+        assert Operator.from_circuit(reparsed).equiv(
+            Operator.from_circuit(circuit)
+        )

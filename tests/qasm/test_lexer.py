@@ -1,0 +1,72 @@
+"""Tests for the OpenQASM tokenizer."""
+
+import pytest
+
+from repro.exceptions import QasmError
+from repro.qasm.lexer import tokenize
+
+
+def types(source):
+    return [t.type for t in tokenize(source)][:-1]  # drop EOF
+
+
+class TestTokens:
+    def test_header(self):
+        tokens = tokenize("OPENQASM 2.0;")
+        assert tokens[0].type == "OPENQASM"
+        assert tokens[1].type == "REAL"
+        assert tokens[1].value == 2.0
+        assert tokens[2].type == "SEMICOLON"
+
+    def test_identifiers_vs_keywords(self):
+        assert types("qreg foo") == ["qreg", "ID"]
+        assert types("measure barrier") == ["measure", "barrier"]
+
+    def test_pi(self):
+        tokens = tokenize("pi")
+        assert tokens[0].type == "PI"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.5 1e-3 2.5E2")
+        assert [t.type for t in tokens[:-1]] == ["INT", "REAL", "REAL", "REAL"]
+        assert tokens[2].value == pytest.approx(1e-3)
+
+    def test_symbols(self):
+        assert types("( ) [ ] { } , ; -> ==") == [
+            "LPAREN", "RPAREN", "LBRACKET", "RBRACKET", "LBRACE", "RBRACE",
+            "COMMA", "SEMICOLON", "ARROW", "EQEQ",
+        ]
+
+    def test_arrow_vs_minus(self):
+        assert types("a -> b") == ["ID", "ARROW", "ID"]
+        assert types("a - b") == ["ID", "MINUS", "ID"]
+
+    def test_string_literal(self):
+        tokens = tokenize('include "qelib1.inc";')
+        assert tokens[1].type == "STRING"
+        assert tokens[1].value == "qelib1.inc"
+
+    def test_line_comment(self):
+        assert types("h q; // comment\nx q;") == [
+            "ID", "ID", "SEMICOLON", "ID", "ID", "SEMICOLON",
+        ]
+
+    def test_block_comment(self):
+        assert types("h /* stuff\nmore */ q;") == ["ID", "ID", "SEMICOLON"]
+
+    def test_line_tracking(self):
+        tokens = tokenize("a;\nb;")
+        assert tokens[0].line == 1
+        assert tokens[2].line == 2
+
+    def test_unterminated_string(self):
+        with pytest.raises(QasmError):
+            tokenize('include "oops')
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(QasmError):
+            tokenize("/* never ends")
+
+    def test_bad_character(self):
+        with pytest.raises(QasmError):
+            tokenize("h q @ 3;")

@@ -1,0 +1,209 @@
+"""Tests for the OpenQASM 2.0 parser."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.exceptions import QasmError
+from repro.quantum_info import Operator
+from tests.conftest import PAPER_FIG1_QASM, build_paper_fig1
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+class TestBasicParsing:
+    def test_paper_fig1(self):
+        circuit = QuantumCircuit.from_qasm_str(PAPER_FIG1_QASM)
+        assert circuit.num_qubits == 4
+        assert circuit.count_ops() == {"h": 2, "cx": 5, "t": 1}
+
+    def test_paper_fig1_matches_python_api(self):
+        parsed = QuantumCircuit.from_qasm_str(PAPER_FIG1_QASM)
+        built = build_paper_fig1()
+        assert Operator.from_circuit(parsed).equiv(
+            Operator.from_circuit(built)
+        )
+
+    def test_registers(self):
+        circuit = QuantumCircuit.from_qasm_str(
+            HEADER + "qreg a[2];\nqreg b[3];\ncreg c[2];\n"
+        )
+        assert circuit.num_qubits == 5
+        assert circuit.num_clbits == 2
+        assert circuit.qregs[0].name == "a"
+
+    def test_builtin_u_and_cx_without_include(self):
+        source = "OPENQASM 2.0;\nqreg q[2];\nU(0.1,0.2,0.3) q[0];\nCX q[0],q[1];\n"
+        circuit = QuantumCircuit.from_qasm_str(source)
+        assert circuit.count_ops() == {"u3": 1, "cx": 1}
+
+    def test_qelib_gate_requires_include(self):
+        source = "OPENQASM 2.0;\nqreg q[1];\nh q[0];\n"
+        with pytest.raises(QasmError):
+            QuantumCircuit.from_qasm_str(source)
+
+    def test_register_broadcast(self):
+        circuit = QuantumCircuit.from_qasm_str(HEADER + "qreg q[3];\nh q;\n")
+        assert circuit.count_ops() == {"h": 3}
+
+    def test_measure_and_reset(self):
+        circuit = QuantumCircuit.from_qasm_str(
+            HEADER + "qreg q[2];\ncreg c[2];\nreset q[0];\nmeasure q -> c;\n"
+        )
+        ops = circuit.count_ops()
+        assert ops == {"reset": 1, "measure": 2}
+
+    def test_barrier(self):
+        circuit = QuantumCircuit.from_qasm_str(
+            HEADER + "qreg q[3];\nbarrier q[0], q[2];\nbarrier q;\n"
+        )
+        barriers = [i for i in circuit.data if i.operation.name == "barrier"]
+        assert len(barriers[0].qubits) == 2
+        assert len(barriers[1].qubits) == 3
+
+
+class TestExpressions:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("pi", math.pi),
+            ("pi/2", math.pi / 2),
+            ("-pi/4", -math.pi / 4),
+            ("2*pi", 2 * math.pi),
+            ("1+2*3", 7.0),
+            ("(1+2)*3", 9.0),
+            ("2^3", 8.0),
+            ("2^3^2", 512.0),  # right associative
+            ("sin(pi/2)", 1.0),
+            ("cos(0)", 1.0),
+            ("sqrt(4)", 2.0),
+            ("ln(exp(1))", 1.0),
+            ("tan(0)", 0.0),
+            ("1e-2", 0.01),
+        ],
+    )
+    def test_expression_values(self, expr, expected):
+        source = HEADER + f"qreg q[1];\nrz({expr}) q[0];\n"
+        circuit = QuantumCircuit.from_qasm_str(source)
+        assert circuit.data[0].operation.params[0] == pytest.approx(expected)
+
+    def test_unknown_identifier_in_expression(self):
+        with pytest.raises(QasmError):
+            QuantumCircuit.from_qasm_str(HEADER + "qreg q[1];\nrz(foo) q[0];\n")
+
+
+class TestCustomGates:
+    def test_definition_and_call(self):
+        source = HEADER + (
+            "gate bellpair a,b { h a; cx a,b; }\n"
+            "qreg q[2];\nbellpair q[0],q[1];\n"
+        )
+        circuit = QuantumCircuit.from_qasm_str(source)
+        assert circuit.count_ops() == {"bellpair": 1}
+        gate = circuit.data[0].operation
+        assert [sub.name for sub, _, _ in gate.definition] == ["h", "cx"]
+
+    def test_parameterized_definition(self):
+        source = HEADER + (
+            "gate wiggle(theta) a { rx(theta/2) a; rz(-theta) a; }\n"
+            "qreg q[1];\nwiggle(pi) q[0];\n"
+        )
+        circuit = QuantumCircuit.from_qasm_str(source)
+        gate = circuit.data[0].operation
+        sub_params = [sub.params[0] for sub, _, _ in gate.definition]
+        assert sub_params[0] == pytest.approx(math.pi / 2)
+        assert sub_params[1] == pytest.approx(-math.pi)
+
+    def test_nested_custom_gates(self):
+        source = HEADER + (
+            "gate inner a { h a; }\n"
+            "gate outer a,b { inner a; cx a,b; inner b; }\n"
+            "qreg q[2];\nouter q[0],q[1];\n"
+        )
+        circuit = QuantumCircuit.from_qasm_str(source)
+        gate = circuit.data[0].operation
+        matrix = gate.to_matrix()
+        import repro.circuit.library.standard_gates as sg
+        from repro.circuit.matrix_utils import apply_matrix
+
+        expected = np.eye(4, dtype=complex)
+        expected = apply_matrix(expected, sg.HGate().to_matrix(), [0], 2)
+        expected = apply_matrix(expected, sg.CXGate().to_matrix(), [0, 1], 2)
+        expected = apply_matrix(expected, sg.HGate().to_matrix(), [1], 2)
+        assert np.allclose(matrix, expected)
+
+    def test_wrong_param_count(self):
+        source = HEADER + (
+            "gate wiggle(theta) a { rx(theta) a; }\n"
+            "qreg q[1];\nwiggle(1,2) q[0];\n"
+        )
+        with pytest.raises(QasmError):
+            QuantumCircuit.from_qasm_str(source)
+
+    def test_unknown_qubit_in_body(self):
+        source = HEADER + "gate broken a { h b; }\nqreg q[1];\n"
+        with pytest.raises(QasmError):
+            QuantumCircuit.from_qasm_str(source)
+
+    def test_opaque_gate(self):
+        source = HEADER + "opaque magic a,b;\nqreg q[2];\nmagic q[0],q[1];\n"
+        circuit = QuantumCircuit.from_qasm_str(source)
+        assert circuit.data[0].operation.name == "magic"
+        assert circuit.data[0].operation.definition is None
+
+
+class TestConditionals:
+    def test_if_gate(self):
+        source = HEADER + (
+            "qreg q[1];\ncreg c[1];\nmeasure q[0] -> c[0];\n"
+            "if(c==1) x q[0];\n"
+        )
+        circuit = QuantumCircuit.from_qasm_str(source)
+        conditional = circuit.data[-1].operation
+        assert conditional.name == "x"
+        assert conditional.condition[1] == 1
+
+    def test_if_unknown_register(self):
+        source = HEADER + "qreg q[1];\nif(c==1) x q[0];\n"
+        with pytest.raises(QasmError):
+            QuantumCircuit.from_qasm_str(source)
+
+
+class TestErrors:
+    def test_wrong_version(self):
+        with pytest.raises(QasmError):
+            QuantumCircuit.from_qasm_str("OPENQASM 3.0;\n")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(QasmError):
+            QuantumCircuit.from_qasm_str(HEADER + "qreg q[2]\nh q[0];\n")
+
+    def test_unknown_gate(self):
+        with pytest.raises(QasmError):
+            QuantumCircuit.from_qasm_str(HEADER + "qreg q[1];\nfoo q[0];\n")
+
+    def test_unknown_register(self):
+        with pytest.raises(QasmError):
+            QuantumCircuit.from_qasm_str(HEADER + "h nothere[0];\n")
+
+    def test_index_out_of_range(self):
+        with pytest.raises(QasmError):
+            QuantumCircuit.from_qasm_str(HEADER + "qreg q[2];\nh q[5];\n")
+
+    def test_duplicate_register(self):
+        with pytest.raises(QasmError):
+            QuantumCircuit.from_qasm_str(HEADER + "qreg q[2];\ncreg q[2];\n")
+
+    def test_unknown_include(self):
+        with pytest.raises(QasmError):
+            QuantumCircuit.from_qasm_str('OPENQASM 2.0;\ninclude "other.inc";\n')
+
+
+class TestFileInterface:
+    def test_from_qasm_file(self, tmp_path):
+        path = tmp_path / "fig1.qasm"
+        path.write_text(PAPER_FIG1_QASM, encoding="utf-8")
+        circuit = QuantumCircuit.from_qasm_file(str(path))
+        assert circuit.count_ops() == {"h": 2, "cx": 5, "t": 1}

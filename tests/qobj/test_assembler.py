@@ -1,0 +1,140 @@
+"""Tests for Qobj-style serialization round trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    ClassicalRegister,
+    QuantumCircuit,
+    QuantumRegister,
+    random_circuit,
+)
+from repro.exceptions import BackendError
+from repro.qobj import assemble, disassemble, experiment_to_circuit
+from repro.quantum_info import Operator, random_unitary
+
+
+class TestAssemble:
+    def test_structure(self, measured_bell):
+        qobj = assemble(measured_bell, shots=512, seed=3)
+        assert qobj["type"] == "QASM"
+        assert qobj["config"]["shots"] == 512
+        assert len(qobj["experiments"]) == 1
+        header = qobj["experiments"][0]["header"]
+        assert header["n_qubits"] == 2
+        assert header["memory_slots"] == 2
+
+    def test_json_serializable(self, measured_bell):
+        qobj = assemble(measured_bell)
+        text = json.dumps(qobj)
+        assert json.loads(text)["experiments"]
+
+    def test_json_with_unitary(self):
+        circuit = QuantumCircuit(2)
+        circuit.unitary(random_unitary(2, seed=1), [0, 1])
+        qobj = assemble(circuit)
+        json.dumps(qobj)  # complex matrices serialized as [re, im] pairs
+
+    def test_measure_memory_slots(self, measured_bell):
+        qobj = assemble(measured_bell)
+        measures = [
+            entry
+            for entry in qobj["experiments"][0]["instructions"]
+            if entry["name"] == "measure"
+        ]
+        assert [m["memory"] for m in measures] == [[0], [1]]
+
+    def test_composite_gates_flattened(self, bell):
+        holder = QuantumCircuit(2)
+        holder.append(bell.to_gate(), [[0, 1]])
+        qobj = assemble(holder)
+        names = [
+            e["name"] for e in qobj["experiments"][0]["instructions"]
+        ]
+        assert names == ["h", "cx"]
+
+    def test_conditionals(self):
+        creg = ClassicalRegister(1, "c")
+        circuit = QuantumCircuit(QuantumRegister(1, "q"), creg)
+        circuit.x(0)
+        circuit.data[-1].operation.c_if(creg, 1)
+        qobj = assemble(circuit)
+        entry = qobj["experiments"][0]["instructions"][0]
+        assert entry["conditional"] == {"register": "c", "value": 1}
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(BackendError):
+            assemble([])
+
+    def test_opaque_gate_rejected(self):
+        from repro.circuit.gate import Gate
+
+        circuit = QuantumCircuit(2)
+        circuit.append(Gate("mystery", 2), [[0, 1]])
+        with pytest.raises(BackendError):
+            assemble(circuit)
+
+
+class TestRoundTrip:
+    def test_bell_roundtrip(self, measured_bell):
+        qobj = assemble(measured_bell, shots=256)
+        circuits, config = disassemble(qobj)
+        assert config["shots"] == 256
+        rebuilt = circuits[0]
+        assert rebuilt.count_ops() == measured_bell.count_ops()
+        from repro.simulators import QasmSimulator
+
+        a = QasmSimulator().run(measured_bell, shots=300, seed=1)["counts"]
+        b = QasmSimulator().run(rebuilt, shots=300, seed=1)["counts"]
+        assert a == b
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_circuit_unitary_roundtrip(self, seed):
+        circuit = random_circuit(3, 5, seed=seed)
+        circuits, _config = disassemble(assemble(circuit))
+        assert Operator.from_circuit(circuits[0]).equiv(
+            Operator.from_circuit(circuit)
+        )
+
+    def test_unitary_gate_roundtrip(self):
+        circuit = QuantumCircuit(2)
+        matrix = random_unitary(2, seed=7)
+        circuit.unitary(matrix, [0, 1])
+        circuits, _config = disassemble(assemble(circuit))
+        assert np.allclose(
+            circuits[0].data[0].operation.to_matrix(), matrix
+        )
+
+    def test_registers_preserved(self):
+        a = QuantumRegister(2, "alpha")
+        b = ClassicalRegister(3, "beta")
+        circuit = QuantumCircuit(a, b)
+        circuit.h(a[1])
+        circuit.measure(a[1], b[2])
+        circuits, _config = disassemble(assemble(circuit))
+        rebuilt = circuits[0]
+        assert [r.name for r in rebuilt.qregs] == ["alpha"]
+        assert [r.name for r in rebuilt.cregs] == ["beta"]
+        assert rebuilt.find_bit(rebuilt.data[1].clbits[0]) == 2
+
+    def test_conditional_roundtrip(self):
+        creg = ClassicalRegister(2, "c")
+        circuit = QuantumCircuit(QuantumRegister(1, "q"), creg)
+        circuit.measure(0, creg[0])
+        circuit.x(0)
+        circuit.data[-1].operation.c_if(creg, 2)
+        circuits, _config = disassemble(assemble(circuit))
+        condition = circuits[0].data[-1].operation.condition
+        assert condition[0].name == "c"
+        assert condition[1] == 2
+
+    def test_batch_roundtrip(self, measured_bell):
+        variants = [measured_bell.copy(name=f"v{i}") for i in range(3)]
+        circuits, _config = disassemble(assemble(variants))
+        assert [c.name for c in circuits] == ["v0", "v1", "v2"]
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(BackendError):
+            disassemble({"type": "PULSE"})

@@ -1,0 +1,89 @@
+"""Tests for the DensityMatrix class."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.library.standard_gates import HGate, XGate
+from repro.exceptions import SimulatorError
+from repro.quantum_info import DensityMatrix, Statevector
+
+
+class TestConstruction:
+    def test_zero_state(self):
+        rho = DensityMatrix.zero_state(2)
+        assert rho.dim == 4
+        assert rho.data[0, 0] == 1.0
+        assert rho.purity() == pytest.approx(1.0)
+
+    def test_from_vector(self):
+        rho = DensityMatrix(np.array([1, 1]) / np.sqrt(2))
+        assert rho.data[0, 1] == pytest.approx(0.5)
+
+    def test_trace_validation(self):
+        with pytest.raises(SimulatorError):
+            DensityMatrix(np.eye(2))  # trace 2
+
+    def test_hermiticity_validation(self):
+        bad = np.array([[0.5, 0.5], [0.1, 0.5]])
+        with pytest.raises(SimulatorError):
+            DensityMatrix(bad)
+
+    def test_from_instruction(self, bell):
+        rho = DensityMatrix.from_instruction(bell)
+        state = Statevector.from_instruction(bell)
+        assert np.allclose(rho.data, np.outer(state.data, state.data.conj()))
+
+
+class TestEvolution:
+    def test_unitary_evolution(self):
+        rho = DensityMatrix.zero_state(1).evolve(XGate().to_matrix(), qargs=[0])
+        assert rho.data[1, 1] == pytest.approx(1.0)
+
+    def test_circuit_evolution(self, ghz3):
+        rho = DensityMatrix.zero_state(3).evolve(ghz3)
+        assert rho.data[0, 0] == pytest.approx(0.5)
+        assert rho.data[7, 7] == pytest.approx(0.5)
+        assert abs(rho.data[0, 7]) == pytest.approx(0.5)
+
+    def test_kraus_channel_decoheres(self):
+        # Full dephasing kills off-diagonals.
+        plus = DensityMatrix(np.array([1, 1]) / np.sqrt(2))
+        k0 = np.diag([1, 0]).astype(complex)
+        k1 = np.diag([0, 1]).astype(complex)
+        dephased = plus.apply_channel([k0, k1], qargs=[0])
+        assert dephased.data[0, 1] == pytest.approx(0.0)
+        assert dephased.purity() == pytest.approx(0.5)
+
+    def test_evolve_with_kraus_list(self):
+        plus = DensityMatrix(np.array([1, 1]) / np.sqrt(2))
+        k0 = np.diag([1, 0]).astype(complex)
+        k1 = np.diag([0, 1]).astype(complex)
+        assert plus.evolve([k0, k1], qargs=[0]).purity() == pytest.approx(0.5)
+
+
+class TestMeasurement:
+    def test_probabilities(self, bell):
+        rho = DensityMatrix.from_instruction(bell)
+        probs = rho.probabilities()
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[3] == pytest.approx(0.5)
+
+    def test_marginal(self, bell):
+        rho = DensityMatrix.from_instruction(bell)
+        assert np.allclose(rho.probabilities([1]), [0.5, 0.5])
+
+    def test_probabilities_dict(self, bell):
+        probs = DensityMatrix.from_instruction(bell).probabilities_dict()
+        assert set(probs) == {"00", "11"}
+
+    def test_sample_counts(self, bell):
+        rho = DensityMatrix.from_instruction(bell)
+        counts = rho.sample_counts(200, seed=1)
+        assert sum(counts.values()) == 200
+        assert set(counts) <= {"00", "11"}
+
+    def test_expectation_value(self):
+        rho = DensityMatrix.zero_state(1)
+        z = np.diag([1, -1]).astype(complex)
+        assert rho.expectation_value(z) == pytest.approx(1.0)

@@ -1,0 +1,154 @@
+"""Tests for fidelity, entropy, purity, partial trace, and friends."""
+
+import numpy as np
+import pytest
+
+from repro.quantum_info import (
+    DensityMatrix,
+    Statevector,
+    concurrence,
+    entropy,
+    hellinger_fidelity,
+    partial_trace,
+    process_fidelity,
+    purity,
+    state_fidelity,
+)
+from repro.quantum_info.random import (
+    random_density_matrix,
+    random_statevector,
+    random_unitary,
+)
+
+
+class TestStateFidelity:
+    def test_identical_pure(self):
+        state = random_statevector(2, seed=1)
+        assert state_fidelity(state, state) == pytest.approx(1.0)
+
+    def test_orthogonal_pure(self):
+        a = Statevector.from_label("0")
+        b = Statevector.from_label("1")
+        assert state_fidelity(a, b) == pytest.approx(0.0)
+
+    def test_pure_mixed(self):
+        plus = Statevector.from_label("+")
+        mixed = DensityMatrix(np.eye(2) / 2)
+        assert state_fidelity(plus, mixed) == pytest.approx(0.5)
+
+    def test_mixed_mixed_symmetry(self):
+        rho = random_density_matrix(2, seed=2)
+        sigma = random_density_matrix(2, seed=3)
+        assert state_fidelity(rho, sigma) == pytest.approx(
+            state_fidelity(sigma, rho), abs=1e-8
+        )
+
+    def test_mixed_self(self):
+        rho = random_density_matrix(2, seed=4)
+        assert state_fidelity(rho, rho) == pytest.approx(1.0, abs=1e-6)
+
+    def test_raw_arrays_accepted(self):
+        assert state_fidelity([1, 0], [0, 1]) == pytest.approx(0.0)
+
+
+class TestEntropyPurity:
+    def test_pure_state(self):
+        state = random_statevector(3, seed=5)
+        assert purity(state) == pytest.approx(1.0)
+        assert entropy(state) == pytest.approx(0.0, abs=1e-9)
+
+    def test_maximally_mixed(self):
+        rho = DensityMatrix(np.eye(4) / 4)
+        assert purity(rho) == pytest.approx(0.25)
+        assert entropy(rho) == pytest.approx(2.0)
+
+    def test_entropy_base_e(self):
+        rho = DensityMatrix(np.eye(2) / 2)
+        assert entropy(rho, base=np.e) == pytest.approx(np.log(2))
+
+
+class TestPartialTrace:
+    def test_bell_reduction_is_mixed(self, bell):
+        rho = Statevector.from_instruction(bell).to_density_matrix()
+        reduced = partial_trace(rho, [1])
+        assert np.allclose(reduced.data, np.eye(2) / 2)
+
+    def test_product_state_reduction(self):
+        state = Statevector.from_label("10")  # q1=1, q0=0
+        keep0 = partial_trace(state.to_density_matrix(), [1])
+        assert keep0.data[0, 0] == pytest.approx(1.0)  # q0 = |0>
+        keep1 = partial_trace(state.to_density_matrix(), [0])
+        assert keep1.data[1, 1] == pytest.approx(1.0)  # q1 = |1>
+
+    def test_trace_multiple(self, ghz3):
+        rho = Statevector.from_instruction(ghz3).to_density_matrix()
+        reduced = partial_trace(rho, [0, 2])
+        assert reduced.dim == 2
+        assert np.allclose(reduced.data, np.eye(2) / 2)
+
+    def test_trace_preserved(self):
+        rho = random_density_matrix(3, seed=6)
+        reduced = partial_trace(rho, [1])
+        assert np.trace(reduced.data).real == pytest.approx(1.0)
+
+    def test_out_of_range_raises(self):
+        from repro.exceptions import SimulatorError
+
+        rho = random_density_matrix(2, seed=7)
+        with pytest.raises(SimulatorError):
+            partial_trace(rho, [5])
+
+
+class TestOtherMeasures:
+    def test_concurrence_bell(self, bell):
+        state = Statevector.from_instruction(bell)
+        assert concurrence(state) == pytest.approx(1.0)
+
+    def test_concurrence_product(self):
+        assert concurrence(Statevector.from_label("00")) == pytest.approx(0.0)
+
+    def test_process_fidelity_self(self):
+        unitary = random_unitary(2, seed=8)
+        assert process_fidelity(unitary, unitary) == pytest.approx(1.0)
+
+    def test_process_fidelity_orthogonal(self):
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        z = np.diag([1, -1]).astype(complex)
+        assert process_fidelity(x, z) == pytest.approx(0.0)
+
+    def test_hellinger(self):
+        assert hellinger_fidelity({"00": 50, "11": 50},
+                                  {"00": 50, "11": 50}) == pytest.approx(1.0)
+        assert hellinger_fidelity({"00": 100}, {"11": 100}) == pytest.approx(0.0)
+
+
+class TestOperator:
+    def test_compose_vs_dot(self, bell):
+        from repro.quantum_info import Operator
+
+        op = Operator.from_circuit(bell)
+        assert op.is_unitary()
+        identity = op.dot(op.adjoint())
+        assert identity.equiv(np.eye(4))
+
+    def test_tensor(self):
+        from repro.quantum_info import Operator
+
+        x = Operator(np.array([[0, 1], [1, 0]], dtype=complex))
+        eye = Operator(np.eye(2))
+        combined = x.tensor(eye)  # X on high qubit
+        assert np.allclose(combined.data, np.kron(x.data, np.eye(2)))
+
+    def test_compose_order(self):
+        from repro.quantum_info import Operator
+
+        a = Operator(np.diag([1, 1j]))
+        b = Operator(np.array([[0, 1], [1, 0]], dtype=complex))
+        # compose: apply self first -> other @ self
+        assert np.allclose(a.compose(b).data, b.data @ a.data)
+
+    def test_matmul(self):
+        from repro.quantum_info import Operator
+
+        a = Operator(np.diag([1, -1]).astype(complex))
+        assert np.allclose((a @ a).data, np.eye(2))

@@ -1,0 +1,131 @@
+"""Tests for Pauli strings and Pauli sums, incl. property-based algebra."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import AlgorithmError
+from repro.quantum_info import Pauli, PauliSumOp
+
+pauli_labels = st.text(alphabet="IXYZ", min_size=1, max_size=4)
+
+
+class TestPauli:
+    def test_label_and_size(self):
+        pauli = Pauli("XYZ")
+        assert pauli.label == "XYZ"
+        assert pauli.num_qubits == 3
+
+    def test_char_indexing(self):
+        pauli = Pauli("XYZ")  # qubit 2 = X, qubit 1 = Y, qubit 0 = Z
+        assert pauli.char(0) == "Z"
+        assert pauli.char(2) == "X"
+
+    def test_support(self):
+        assert Pauli("IXZI").support == [1, 2]
+        assert Pauli("II").support == []
+
+    def test_matrix_single(self):
+        assert np.allclose(Pauli("X").to_matrix(), [[0, 1], [1, 0]])
+
+    def test_matrix_kron_order(self):
+        # "XI": X on qubit 1 -> X ⊗ I in big-endian kron.
+        assert np.allclose(Pauli("XI").to_matrix(),
+                           np.kron([[0, 1], [1, 0]], np.eye(2)))
+
+    def test_invalid_label(self):
+        with pytest.raises(AlgorithmError):
+            Pauli("AB")
+        with pytest.raises(AlgorithmError):
+            Pauli("")
+
+    def test_lowercase_accepted(self):
+        assert Pauli("xz").label == "XZ"
+
+    def test_hashable(self):
+        assert len({Pauli("XX"), Pauli("XX"), Pauli("YY")}) == 2
+
+    @given(pauli_labels, pauli_labels)
+    @settings(max_examples=60, deadline=None)
+    def test_compose_matches_matrices(self, label_a, label_b):
+        size = min(len(label_a), len(label_b))
+        a = Pauli(label_a[:size])
+        b = Pauli(label_b[:size])
+        phase, product = a.compose(b)
+        assert np.allclose(
+            phase * product.to_matrix(), a.to_matrix() @ b.to_matrix()
+        )
+
+    @given(pauli_labels, pauli_labels)
+    @settings(max_examples=60, deadline=None)
+    def test_commutes_matches_matrices(self, label_a, label_b):
+        size = min(len(label_a), len(label_b))
+        a = Pauli(label_a[:size])
+        b = Pauli(label_b[:size])
+        commutator = (
+            a.to_matrix() @ b.to_matrix() - b.to_matrix() @ a.to_matrix()
+        )
+        assert a.commutes(b) == np.allclose(commutator, 0)
+
+    def test_mismatched_compose_raises(self):
+        with pytest.raises(AlgorithmError):
+            Pauli("X").compose(Pauli("XX"))
+
+
+class TestPauliSumOp:
+    def test_collects_duplicates(self):
+        op = PauliSumOp([(0.5, "Z"), (0.25, "Z"), (1.0, "X")])
+        coefficients = {p.label: c for c, p in op.terms}
+        assert coefficients["Z"] == pytest.approx(0.75)
+
+    def test_drops_zero_terms(self):
+        op = PauliSumOp([(0.5, "Z"), (-0.5, "Z"), (1.0, "X")])
+        assert len(op) == 1
+
+    def test_from_dict(self):
+        op = PauliSumOp.from_dict({"ZZ": 1.0, "XI": 0.5})
+        assert op.num_qubits == 2
+        assert len(op) == 2
+
+    def test_to_matrix(self):
+        op = PauliSumOp.from_dict({"Z": 1.0, "X": 1.0})
+        expected = np.array([[1, 1], [1, -1]], dtype=complex)
+        assert np.allclose(op.to_matrix(), expected)
+
+    def test_ground_state_energy(self):
+        op = PauliSumOp.from_dict({"Z": 1.0})
+        assert op.ground_state_energy() == pytest.approx(-1.0)
+
+    def test_expectation(self):
+        op = PauliSumOp.from_dict({"Z": 1.0})
+        assert op.expectation(np.array([0, 1])) == pytest.approx(-1.0)
+        assert op.expectation(np.array([1, 1]) / np.sqrt(2)) == pytest.approx(0.0)
+
+    def test_addition_and_scaling(self):
+        a = PauliSumOp.from_dict({"Z": 1.0})
+        b = PauliSumOp.from_dict({"Z": 1.0, "X": 2.0})
+        combined = a + 2 * b
+        coefficients = {p.label: c for c, p in combined.terms}
+        assert coefficients["Z"] == pytest.approx(3.0)
+        assert coefficients["X"] == pytest.approx(4.0)
+
+    def test_mixed_sizes_raise(self):
+        with pytest.raises(AlgorithmError):
+            PauliSumOp([(1.0, "Z"), (1.0, "ZZ")])
+
+    def test_empty_raises(self):
+        with pytest.raises(AlgorithmError):
+            PauliSumOp([])
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_hermitian_for_real_coefficients(self, seed):
+        rng = np.random.default_rng(seed)
+        labels = ["".join(p) for p in itertools.product("IXYZ", repeat=2)]
+        chosen = rng.choice(labels, size=4, replace=False)
+        op = PauliSumOp([(rng.normal(), label) for label in chosen])
+        matrix = op.to_matrix()
+        assert np.allclose(matrix, matrix.conj().T)

@@ -1,0 +1,150 @@
+"""Tests for the Statevector class."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.library.standard_gates import HGate, XGate
+from repro.exceptions import SimulatorError
+from repro.quantum_info import Statevector, random_statevector
+
+
+class TestConstruction:
+    def test_zero_state(self):
+        state = Statevector.zero_state(3)
+        assert state.dim == 8
+        assert state.data[0] == 1.0
+
+    def test_from_label(self):
+        state = Statevector.from_label("01")
+        # label left char = qubit 1; "01" means q1=0, q0=1 -> index 1
+        assert state.data[1] == pytest.approx(1.0)
+
+    def test_from_label_superposition(self):
+        plus = Statevector.from_label("+")
+        assert np.allclose(plus.data, [1, 1] / np.sqrt(2))
+        right = Statevector.from_label("r")
+        assert np.allclose(right.data, [1, 1j] / np.sqrt(2))
+
+    def test_from_label_invalid(self):
+        with pytest.raises(SimulatorError):
+            Statevector.from_label("0x")
+
+    def test_unnormalized_rejected(self):
+        with pytest.raises(SimulatorError):
+            Statevector([1.0, 1.0])
+
+    def test_bad_dimension_rejected(self):
+        with pytest.raises(SimulatorError):
+            Statevector([1.0, 0.0, 0.0])
+
+    def test_from_instruction(self, bell):
+        state = Statevector.from_instruction(bell)
+        assert state.equiv(np.array([1, 0, 0, 1]) / np.sqrt(2))
+
+
+class TestEvolve:
+    def test_gate_on_qubit(self):
+        state = Statevector.zero_state(2).evolve(XGate(), qargs=[1])
+        assert state.data[2] == pytest.approx(1.0)
+
+    def test_matrix_evolve(self):
+        h = HGate().to_matrix()
+        state = Statevector.zero_state(1).evolve(h)
+        assert np.allclose(state.data, [1, 1] / np.sqrt(2))
+
+    def test_circuit_evolve_skips_barrier(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.barrier()
+        state = Statevector.zero_state(1).evolve(circuit)
+        assert np.allclose(state.data, [1, 1] / np.sqrt(2))
+
+    def test_circuit_with_measure_raises(self, measured_bell):
+        with pytest.raises(SimulatorError):
+            Statevector.zero_state(2).evolve(measured_bell)
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=25, deadline=None)
+    def test_evolution_preserves_norm(self, seed):
+        from repro.circuit import random_circuit
+
+        circuit = random_circuit(3, 4, seed=seed)
+        state = Statevector.zero_state(3).evolve(circuit)
+        assert np.linalg.norm(state.data) == pytest.approx(1.0)
+
+
+class TestProbabilities:
+    def test_full_distribution(self, bell):
+        probs = Statevector.from_instruction(bell).probabilities()
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[3] == pytest.approx(0.5)
+
+    def test_marginal_single_qubit(self, bell):
+        state = Statevector.from_instruction(bell)
+        assert np.allclose(state.probabilities([0]), [0.5, 0.5])
+
+    def test_marginal_ordering(self):
+        state = Statevector.from_label("01")  # q0=1, q1=0
+        assert np.allclose(state.probabilities([0]), [0, 1])
+        assert np.allclose(state.probabilities([1]), [1, 0])
+        # qargs [1, 0]: qubit 1 is the new bit 0.
+        assert np.allclose(state.probabilities([1, 0]), [0, 0, 1, 0])
+
+    def test_probabilities_dict(self, ghz3):
+        probs = Statevector.from_instruction(ghz3).probabilities_dict()
+        assert set(probs) == {"000", "111"}
+
+    def test_sample_counts_deterministic_seed(self, bell):
+        state = Statevector.from_instruction(bell)
+        counts1 = state.sample_counts(100, seed=5)
+        counts2 = state.sample_counts(100, seed=5)
+        assert counts1 == counts2
+        assert sum(counts1.values()) == 100
+        assert set(counts1) <= {"00", "11"}
+
+    def test_measure_collapses(self):
+        state = Statevector.from_label("+")
+        outcome, collapsed = state.measure(seed=1)
+        assert outcome in ("0", "1")
+        assert collapsed.data[int(outcome)] == pytest.approx(1.0)
+
+
+class TestLinearAlgebra:
+    def test_expectation_value_z(self):
+        state = Statevector.from_label("1")
+        z = np.diag([1, -1]).astype(complex)
+        assert state.expectation_value(z) == pytest.approx(-1.0)
+
+    def test_expectation_on_subsystem(self, bell):
+        state = Statevector.from_instruction(bell)
+        z = np.diag([1, -1]).astype(complex)
+        assert state.expectation_value(z, qargs=[0]) == pytest.approx(0.0)
+
+    def test_inner_product(self):
+        a = Statevector.from_label("0")
+        b = Statevector.from_label("+")
+        assert a.inner(b) == pytest.approx(1 / np.sqrt(2))
+
+    def test_tensor(self):
+        a = Statevector.from_label("1")
+        b = Statevector.from_label("0")
+        combined = a.tensor(b)
+        # a occupies the high qubit: |q1=1,q0=0> = index 2
+        assert combined.data[2] == pytest.approx(1.0)
+
+    def test_equiv_global_phase(self):
+        state = Statevector.from_label("+")
+        assert state.equiv(np.exp(1j) * state.data)
+
+    def test_to_density_matrix(self, bell):
+        rho = Statevector.from_instruction(bell).to_density_matrix()
+        assert rho.purity() == pytest.approx(1.0)
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_random_statevector_normalized(self, seed):
+        state = random_statevector(4, seed=seed)
+        assert np.linalg.norm(state.data) == pytest.approx(1.0)

@@ -1,0 +1,129 @@
+"""Tests for the decision-diagram simulator (paper Sec. V-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit, random_circuit
+from repro.circuit.matrix_utils import allclose_up_to_global_phase
+from repro.exceptions import SimulatorError
+from repro.quantum_info import Operator
+from repro.simulators import DDSimulator, StatevectorSimulator
+from tests.conftest import build_ghz
+
+
+class TestAgainstStatevector:
+    """The DD simulator must agree with the dense simulator everywhere."""
+
+    def test_bell(self, bell):
+        dd = DDSimulator().run(bell).to_statevector()
+        dense = StatevectorSimulator().run(bell)
+        assert allclose_up_to_global_phase(dd.data, dense.data)
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_random_circuits(self, seed):
+        circuit = random_circuit(4, 6, seed=seed)
+        dd = DDSimulator().run(circuit).to_statevector()
+        dense = StatevectorSimulator().run(circuit)
+        assert allclose_up_to_global_phase(dd.data, dense.data), seed
+
+    def test_paper_fig1(self, paper_fig1):
+        dd = DDSimulator().run(paper_fig1).to_statevector()
+        dense = StatevectorSimulator().run(paper_fig1)
+        assert allclose_up_to_global_phase(dd.data, dense.data)
+
+
+class TestCompactness:
+    def test_ghz_stays_small(self):
+        result = DDSimulator().run(build_ghz(16))
+        assert result.node_count() <= 32  # vs 65536 amplitudes
+        assert result.peak_nodes <= 40
+
+    def test_beyond_dense_limit(self):
+        # 28 qubits would need 4 GiB dense; the DD handles the GHZ easily.
+        result = DDSimulator().run(build_ghz(28))
+        assert result.node_count() <= 56
+        assert abs(result.amplitude(0)) == pytest.approx(1 / np.sqrt(2))
+        assert abs(result.amplitude(2**28 - 1)) == pytest.approx(
+            1 / np.sqrt(2)
+        )
+
+    def test_w_state_linear(self):
+        # W-state-like circuit stays polynomial.
+        import math
+
+        n = 12
+        circuit = QuantumCircuit(n)
+        circuit.ry(2 * math.acos(math.sqrt(1 / n)), 0)
+        for k in range(1, n):
+            angle = 2 * math.acos(math.sqrt(1 / (n - k))) if k < n - 1 else 0
+            circuit.cx(k - 1, k)
+        result = DDSimulator().run(circuit)
+        assert result.node_count() < 6 * n
+
+
+class TestSamplingAndMeasurement:
+    def test_sample_counts_no_measurements(self, ghz3):
+        result = DDSimulator().run(ghz3)
+        counts = result.sample_counts(500, seed=1)
+        assert set(counts) == {"000", "111"}
+        assert sum(counts.values()) == 500
+
+    def test_sample_counts_with_measurements(self):
+        circuit = build_ghz(3, measure=True)
+        result = DDSimulator().run(circuit)
+        counts = result.sample_counts(500, seed=2)
+        assert set(counts) == {"000", "111"}
+
+    def test_partial_measurement_mapping(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.x(1)
+        circuit.measure(1, 0)
+        result = DDSimulator().run(circuit)
+        assert result.sample_counts(50, seed=3) == {"1": 50}
+
+    def test_amplitude_query(self, bell):
+        result = DDSimulator().run(bell)
+        assert abs(result.amplitude(0)) == pytest.approx(1 / np.sqrt(2))
+        assert result.amplitude(1) == pytest.approx(0.0)
+
+
+class TestUnitaryConstruction:
+    def test_matches_dense_unitary(self, paper_fig1):
+        simulator = DDSimulator()
+        edge, package = simulator.unitary_with_package(paper_fig1)
+        dense = Operator.from_circuit(paper_fig1)
+        assert np.allclose(package.to_matrix(edge), dense.data, atol=1e-8)
+
+    def test_fig3_node_count_vs_matrix(self):
+        """Fig. 3: the 3-qubit operation's DD is tiny vs. its 4^n matrix."""
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        simulator = DDSimulator()
+        edge, package = simulator.unitary_with_package(circuit)
+        nodes = package.node_count(edge)
+        assert nodes < 8
+        assert nodes < 4**3 / 8  # dramatically below the 64 matrix entries
+
+
+class TestRejections:
+    def test_reset_rejected(self):
+        circuit = QuantumCircuit(1)
+        circuit.reset(0)
+        with pytest.raises(SimulatorError):
+            DDSimulator().run(circuit)
+
+    def test_gate_after_measure_rejected(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        circuit.x(0)
+        with pytest.raises(SimulatorError):
+            DDSimulator().run(circuit)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulatorError):
+            DDSimulator().run(QuantumCircuit())

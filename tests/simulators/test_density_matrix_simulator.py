@@ -1,0 +1,76 @@
+"""Tests for the exact density-matrix simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.exceptions import SimulatorError
+from repro.quantum_info import Statevector, state_fidelity
+from repro.simulators import DensityMatrixSimulator, NoiseModel
+from repro.simulators.noise import depolarizing_error
+
+
+@pytest.fixture
+def engine():
+    return DensityMatrixSimulator()
+
+
+class TestIdeal:
+    def test_pure_state_evolution(self, engine, ghz3):
+        rho = engine.run(ghz3)
+        target = Statevector.from_instruction(ghz3)
+        assert state_fidelity(target, rho) == pytest.approx(1.0)
+        assert rho.purity() == pytest.approx(1.0)
+
+    def test_counts(self, engine):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.measure(0, 0)
+        circuit.measure(1, 1)
+        result = engine.counts(circuit, shots=1000, seed=1)
+        assert set(result["counts"]) == {"00", "11"}
+
+    def test_counts_need_clbits(self, engine, bell):
+        with pytest.raises(SimulatorError):
+            engine.counts(bell)
+
+
+class TestNoisy:
+    def test_depolarizing_lowers_purity(self, engine, ghz3):
+        model = NoiseModel()
+        model.add_all_qubit_quantum_error(depolarizing_error(0.1, 2), ["cx"])
+        rho = engine.run(ghz3, noise_model=model)
+        assert rho.purity() < 0.99
+        assert np.trace(rho.data).real == pytest.approx(1.0)
+
+    def test_noise_strength_orders_fidelity(self, engine, ghz3):
+        target = Statevector.from_instruction(ghz3)
+        fidelities = []
+        for strength in (0.01, 0.05, 0.2):
+            model = NoiseModel()
+            model.add_all_qubit_quantum_error(
+                depolarizing_error(strength, 2), ["cx"]
+            )
+            rho = engine.run(ghz3, noise_model=model)
+            fidelities.append(state_fidelity(target, rho))
+        assert fidelities[0] > fidelities[1] > fidelities[2]
+
+
+class TestRejections:
+    def test_qubit_limit(self, engine):
+        with pytest.raises(SimulatorError):
+            DensityMatrixSimulator(max_qubits=2).run(QuantumCircuit(3))
+
+    def test_reset_rejected(self, engine):
+        circuit = QuantumCircuit(1)
+        circuit.reset(0)
+        with pytest.raises(SimulatorError):
+            engine.run(circuit)
+
+    def test_mid_circuit_measure_rejected(self, engine):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        circuit.h(0)
+        with pytest.raises(SimulatorError):
+            engine.run(circuit)

@@ -1,0 +1,209 @@
+"""Tests for noise channels, noise models, and noisy simulation."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.exceptions import NoiseError
+from repro.quantum_info import DensityMatrix, hellinger_fidelity
+from repro.simulators import (
+    DensityMatrixSimulator,
+    NoiseModel,
+    QasmSimulator,
+)
+from repro.simulators.noise import (
+    QuantumError,
+    ReadoutError,
+    amplitude_damping_error,
+    bit_flip_error,
+    coherent_unitary_error,
+    depolarizing_error,
+    pauli_error,
+    phase_damping_error,
+    phase_flip_error,
+    thermal_relaxation_error,
+)
+
+
+class TestChannels:
+    def test_kraus_completeness_enforced(self):
+        with pytest.raises(NoiseError):
+            QuantumError([np.eye(2) * 0.5])
+
+    def test_pauli_error_probabilities(self):
+        with pytest.raises(NoiseError):
+            pauli_error([("I", 0.5), ("X", 0.4)])  # sums to 0.9
+        with pytest.raises(NoiseError):
+            pauli_error([("I", 1.5), ("X", -0.5)])
+
+    def test_bit_flip_action(self):
+        channel = bit_flip_error(0.25)
+        rho = DensityMatrix.zero_state(1).apply_channel(
+            channel.kraus_operators, [0]
+        )
+        assert rho.data[1, 1] == pytest.approx(0.25)
+
+    def test_phase_flip_kills_coherence(self):
+        channel = phase_flip_error(0.5)
+        plus = DensityMatrix(np.array([1, 1]) / np.sqrt(2))
+        rho = plus.apply_channel(channel.kraus_operators, [0])
+        assert rho.data[0, 1] == pytest.approx(0.0)
+
+    def test_depolarizing_to_identity(self):
+        channel = depolarizing_error(1.0, 1)
+        # p=1 with uniform X/Y/Z... leaves a partially mixed state.
+        rho = DensityMatrix.zero_state(1).apply_channel(
+            channel.kraus_operators, [0]
+        )
+        # 1/3 each of X,Y,Z applied to |0><0|: Z keeps |0>, X/Y flip.
+        assert rho.data[0, 0] == pytest.approx(1 / 3)
+
+    def test_depolarizing_two_qubit_size(self):
+        channel = depolarizing_error(0.1, 2)
+        assert channel.num_qubits == 2
+        assert len(channel.kraus_operators) == 16
+
+    def test_depolarizing_invalid_param(self):
+        with pytest.raises(NoiseError):
+            depolarizing_error(1.5)
+
+    def test_amplitude_damping_fixed_point(self):
+        channel = amplitude_damping_error(1.0)
+        one = DensityMatrix(np.array([0.0, 1.0]))
+        rho = one.apply_channel(channel.kraus_operators, [0])
+        assert rho.data[0, 0] == pytest.approx(1.0)  # decays to |0>
+
+    def test_phase_damping_preserves_populations(self):
+        channel = phase_damping_error(0.7)
+        plus = DensityMatrix(np.array([1, 1]) / np.sqrt(2))
+        rho = plus.apply_channel(channel.kraus_operators, [0])
+        assert rho.data[0, 0] == pytest.approx(0.5)
+        assert abs(rho.data[0, 1]) < 0.5
+
+    def test_thermal_relaxation_physicality(self):
+        with pytest.raises(NoiseError):
+            thermal_relaxation_error(t1=10.0, t2=30.0, gate_time=1.0)
+        channel = thermal_relaxation_error(t1=50.0, t2=70.0, gate_time=1.0)
+        assert channel.num_qubits == 1
+
+    def test_coherent_error(self):
+        from repro.circuit.library.standard_gates import RXGate
+
+        channel = coherent_unitary_error(RXGate(0.1).to_matrix())
+        assert len(channel.kraus_operators) == 1
+
+    def test_compose(self):
+        a = bit_flip_error(0.1)
+        b = phase_flip_error(0.1)
+        composed = a.compose(b)
+        assert composed.num_qubits == 1
+        assert len(composed.kraus_operators) == 4
+
+    def test_tensor(self):
+        joint = bit_flip_error(0.1).tensor(bit_flip_error(0.2))
+        assert joint.num_qubits == 2
+
+
+class TestReadoutError:
+    def test_validation(self):
+        with pytest.raises(NoiseError):
+            ReadoutError([[0.9, 0.2], [0.1, 0.9]])  # rows don't sum to 1
+        with pytest.raises(NoiseError):
+            ReadoutError([[1.2, -0.2], [0.0, 1.0]])
+
+    def test_sampling_bias(self):
+        error = ReadoutError([[0.8, 0.2], [0.0, 1.0]])
+        rng = np.random.default_rng(1)
+        flips = sum(error.sample(0, rng) for _ in range(5000))
+        assert abs(flips / 5000 - 0.2) < 0.03
+
+
+class TestNoiseModel:
+    def test_lookup_precedence(self):
+        model = NoiseModel()
+        default = depolarizing_error(0.1, 2)
+        local = depolarizing_error(0.3, 2)
+        model.add_all_qubit_quantum_error(default, ["cx"])
+        model.add_quantum_error(local, ["cx"], [0, 1])
+        assert model.gate_error("cx", (0, 1)) is local
+        assert model.gate_error("cx", (1, 2)) is default
+        assert model.gate_error("h", (0,)) is None
+
+    def test_local_error_size_check(self):
+        model = NoiseModel()
+        with pytest.raises(NoiseError):
+            model.add_quantum_error(depolarizing_error(0.1, 1), ["cx"], [0, 1])
+
+    def test_readout_lookup(self):
+        model = NoiseModel()
+        specific = ReadoutError([[0.9, 0.1], [0.1, 0.9]])
+        fallback = ReadoutError([[0.95, 0.05], [0.05, 0.95]])
+        model.add_readout_error(specific, qubits=[1])
+        model.add_readout_error(fallback)
+        assert model.readout_error(1) is specific
+        assert model.readout_error(0) is fallback
+
+    def test_is_ideal(self):
+        model = NoiseModel()
+        assert model.is_ideal()
+        model.add_all_qubit_quantum_error(bit_flip_error(0.1), ["x"])
+        assert not model.is_ideal()
+
+
+class TestNoisySimulation:
+    def test_trajectory_agrees_with_density_matrix(self, ghz3):
+        from repro.circuit import ClassicalRegister
+
+        circuit = ghz3.copy()
+        circuit.add_register(ClassicalRegister(3, "m"))
+        for i in range(3):
+            circuit.measure(i, i)
+        model = NoiseModel()
+        model.add_all_qubit_quantum_error(depolarizing_error(0.08, 2), ["cx"])
+        trajectory = QasmSimulator().run(
+            circuit, shots=6000, seed=1, noise_model=model
+        )["counts"]
+        exact = DensityMatrixSimulator().counts(
+            circuit, shots=6000, seed=2, noise_model=model
+        )["counts"]
+        assert hellinger_fidelity(trajectory, exact) > 0.99
+
+    def test_noise_reduces_ghz_fidelity_monotonically(self, ghz3):
+        circuit = ghz3.copy()
+        circuit.measure_all()
+        success = []
+        for strength in (0.0, 0.05, 0.2):
+            model = NoiseModel()
+            if strength:
+                model.add_all_qubit_quantum_error(
+                    depolarizing_error(strength, 2), ["cx"]
+                )
+            counts = QasmSimulator().run(
+                circuit, shots=3000, seed=3, noise_model=model
+            )["counts"]
+            good = counts.get("000", 0) + counts.get("111", 0)
+            success.append(good / 3000)
+        assert success[0] > success[1] > success[2]
+        assert success[0] == pytest.approx(1.0)
+
+    def test_readout_error_in_sampling(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        model = NoiseModel()
+        model.add_readout_error(ReadoutError([[0.7, 0.3], [0.0, 1.0]]))
+        counts = QasmSimulator().run(
+            circuit, shots=4000, seed=4, noise_model=model
+        )["counts"]
+        assert abs(counts.get("1", 0) / 4000 - 0.3) < 0.03
+
+    def test_amplitude_damping_trajectories(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.x(0)
+        circuit.i(0)  # noisy idle
+        circuit.measure(0, 0)
+        model = NoiseModel()
+        model.add_all_qubit_quantum_error(amplitude_damping_error(0.4), ["id"])
+        counts = QasmSimulator().run(
+            circuit, shots=5000, seed=5, noise_model=model
+        )["counts"]
+        assert abs(counts.get("0", 0) / 5000 - 0.4) < 0.03

@@ -1,0 +1,145 @@
+"""Tests for the stabilizer (CHP tableau) simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import ClassicalRegister, QuantumCircuit, QuantumRegister
+from repro.exceptions import SimulatorError
+from repro.quantum_info import hellinger_fidelity
+from repro.simulators import (
+    QasmSimulator,
+    StabilizerSimulator,
+    StabilizerState,
+)
+from tests.conftest import build_ghz
+
+
+def random_clifford_circuit(num_qubits, num_gates, seed, measure=True):
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, num_qubits if measure else 0)
+    one_qubit = ["h", "s", "sdg", "x", "y", "z"]
+    for _ in range(num_gates):
+        if num_qubits > 1 and rng.random() < 0.4:
+            a, b = rng.choice(num_qubits, 2, replace=False)
+            if rng.random() < 0.5:
+                circuit.cx(int(a), int(b))
+            else:
+                circuit.cz(int(a), int(b))
+        else:
+            name = one_qubit[rng.integers(len(one_qubit))]
+            getattr(circuit, name)(int(rng.integers(num_qubits)))
+    if measure:
+        for i in range(num_qubits):
+            circuit.measure(i, i)
+    return circuit
+
+
+class TestTableau:
+    def test_initial_stabilizers(self):
+        state = StabilizerState(2)
+        assert state.stabilizers() == ["+IZ", "+ZI"]
+
+    def test_bell_stabilizers(self):
+        state = StabilizerState(2)
+        state.h(0)
+        state.cx(0, 1)
+        assert set(state.stabilizers()) == {"+XX", "+ZZ"}
+
+    def test_x_flips_sign(self):
+        state = StabilizerState(1)
+        state.x(0)
+        assert state.stabilizers() == ["-Z"]
+
+    def test_swap(self):
+        state = StabilizerState(2)
+        state.x(0)
+        state.swap(0, 1)
+        assert state.expectation_z(1) == -1.0
+        assert state.expectation_z(0) == 1.0
+
+    def test_expectation_random_axis(self):
+        state = StabilizerState(1)
+        state.h(0)
+        assert state.expectation_z(0) == 0.0
+
+    def test_deterministic_measure(self):
+        state = StabilizerState(1)
+        state.x(0)
+        assert state.measure(0, np.random.default_rng(0)) == 1
+
+    def test_repeated_measure_consistent(self):
+        rng = np.random.default_rng(5)
+        state = StabilizerState(1)
+        state.h(0)
+        first = state.measure(0, rng)
+        # After collapse the outcome is pinned.
+        for _ in range(5):
+            assert state.measure(0, rng) == first
+
+    def test_non_clifford_rejected(self):
+        state = StabilizerState(1)
+        with pytest.raises(SimulatorError):
+            state.apply_gate("t", [0])
+
+
+class TestSimulator:
+    def test_bell_counts(self):
+        circuit = build_ghz(2, measure=True)
+        counts = StabilizerSimulator().run(circuit, shots=500, seed=1)["counts"]
+        assert set(counts) == {"00", "11"}
+
+    def test_agreement_with_dense(self):
+        for seed in range(4):
+            circuit = random_clifford_circuit(4, 25, seed)
+            stab = StabilizerSimulator().run(circuit, shots=4000,
+                                             seed=7)["counts"]
+            dense = QasmSimulator().run(circuit, shots=4000, seed=8)["counts"]
+            assert hellinger_fidelity(stab, dense) > 0.98, seed
+
+    def test_ghz_50_qubits(self):
+        """Far past any dense simulator's reach."""
+        circuit = build_ghz(50, measure=True)
+        counts = StabilizerSimulator().run(circuit, shots=30, seed=2)["counts"]
+        assert set(counts) <= {"0" * 50, "1" * 50}
+
+    def test_mid_circuit_measure_and_conditional(self):
+        qreg = QuantumRegister(2, "q")
+        creg = ClassicalRegister(1, "c")
+        out = ClassicalRegister(1, "d")
+        circuit = QuantumCircuit(qreg, creg, out)
+        circuit.h(0)
+        circuit.measure(0, creg[0])
+        circuit.x(1)
+        circuit.data[-1].operation.c_if(creg, 1)
+        circuit.measure(1, out[0])
+        counts = StabilizerSimulator().run(circuit, shots=500, seed=3)["counts"]
+        # q1 equals the measured q0 bit: only 00 and 11 appear.
+        assert set(counts) == {"00", "11"}
+
+    def test_reset(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0)
+        circuit.reset(0)
+        circuit.measure(0, 0)
+        counts = StabilizerSimulator().run(circuit, shots=200, seed=4)["counts"]
+        assert counts == {"0": 200}
+
+    def test_t_gate_rejected(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.t(0)
+        circuit.measure(0, 0)
+        with pytest.raises(SimulatorError):
+            StabilizerSimulator().run(circuit, shots=1)
+
+    def test_final_state_helper(self):
+        state = StabilizerSimulator().final_state(build_ghz(3))
+        labels = set(state.stabilizers())
+        assert "+XXX" in labels
+
+    def test_backend_registration(self):
+        from repro.providers import Aer
+
+        backend = Aer.get_backend("stabilizer_simulator")
+        circuit = build_ghz(2, measure=True)
+        counts = backend.run(circuit, shots=100, seed=5).result().get_counts()
+        assert set(counts) <= {"00", "11"}

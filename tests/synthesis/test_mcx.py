@@ -1,0 +1,98 @@
+"""Tests for multi-controlled-X synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.exceptions import CircuitError
+from repro.quantum_info import Operator
+from repro.synthesis import mcx_circuit, mcx_recursive, mcx_vchain
+
+
+def _check_vchain_truth_table(num_controls):
+    circuit = mcx_circuit(num_controls)
+    total = circuit.num_qubits
+    unitary = Operator.from_circuit(circuit).data
+    mask = (1 << num_controls) - 1
+    for x in range(2**total):
+        if x >> (num_controls + 1):
+            continue  # clean ancillas start in |0>
+        controls = x & mask
+        target = (x >> num_controls) & 1
+        flipped = target ^ (controls == mask)
+        expected = controls | (flipped << num_controls)
+        assert abs(unitary[expected, x] - 1) < 1e-9, (num_controls, x)
+
+
+class TestVChain:
+    @pytest.mark.parametrize("num_controls", [1, 2, 3, 4, 5, 6])
+    def test_truth_table(self, num_controls):
+        _check_vchain_truth_table(num_controls)
+
+    def test_ancillas_restored(self):
+        """The full unitary is a permutation leaving ancillas invariant."""
+        circuit = mcx_circuit(4)
+        unitary = Operator.from_circuit(circuit).data
+        num_controls = 4
+        anc_shift = num_controls + 1
+        for x in range(unitary.shape[0]):
+            y = int(np.argmax(np.abs(unitary[:, x])))
+            assert (y >> anc_shift) == (x >> anc_shift), x
+
+    def test_linear_toffoli_count(self):
+        counts = [
+            mcx_circuit(k).count_ops().get("ccx", 0) for k in (3, 4, 5, 6)
+        ]
+        # V-chain: 2(k-2) + 1 Toffolis.
+        assert counts == [3, 5, 7, 9]
+
+    def test_insufficient_ancillas(self):
+        circuit = QuantumCircuit(5)
+        with pytest.raises(CircuitError):
+            mcx_vchain(circuit, [0, 1, 2, 3], 4, [])
+
+    def test_zero_controls_rejected(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            mcx_vchain(circuit, [], 0, [])
+
+
+class TestRecursive:
+    @pytest.mark.parametrize("num_controls", [3, 4, 5])
+    def test_dirty_borrowed_qubit(self, num_controls):
+        """One borrowed qubit in ANY state; must be restored."""
+        total = num_controls + 2
+        circuit = QuantumCircuit(total)
+        mcx_recursive(
+            circuit, list(range(num_controls)), num_controls,
+            num_controls + 1,
+        )
+        unitary = Operator.from_circuit(circuit).data
+        mask = (1 << num_controls) - 1
+        for x in range(2**total):
+            controls = x & mask
+            target = (x >> num_controls) & 1
+            borrowed = (x >> (num_controls + 1)) & 1
+            flipped = target ^ (controls == mask)
+            expected = (
+                controls
+                | (flipped << num_controls)
+                | (borrowed << (num_controls + 1))
+            )
+            assert abs(unitary[expected, x] - 1) < 1e-9, (num_controls, x)
+
+    def test_small_cases_delegate(self):
+        circuit = QuantumCircuit(4)
+        mcx_recursive(circuit, [0, 1], 2, 3)
+        assert circuit.count_ops() == {"ccx": 1}
+
+
+class TestTranspilability:
+    def test_vchain_to_device(self):
+        from repro.transpiler import CouplingMap, transpile
+        from repro.transpiler.equivalence import routed_equivalent
+
+        circuit = mcx_circuit(4)  # 7 qubits
+        mapped = transpile(circuit, CouplingMap.qx5(), optimization_level=1,
+                           seed=3)
+        assert routed_equivalent(circuit, mapped)

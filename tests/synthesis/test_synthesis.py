@@ -1,0 +1,181 @@
+"""Tests for the synthesis layer: multiplexed rotations, QSD, state prep."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.library.standard_gates import RYGate, RZGate
+from repro.circuit.matrix_utils import allclose_up_to_global_phase
+from repro.exceptions import CircuitError
+from repro.quantum_info import (
+    Operator,
+    Statevector,
+    random_statevector,
+    random_unitary,
+)
+from repro.synthesis import (
+    prepare_state,
+    synthesize_unitary,
+    uc_rotation_circuit,
+)
+
+
+def _expected_uc(axis, angles, num_controls):
+    """Reference block-diagonal multiplexed rotation matrix."""
+    dim = 2 ** (num_controls + 1)
+    expected = np.zeros((dim, dim), dtype=complex)
+    rotation = RYGate if axis == "ry" else RZGate
+    for pattern in range(2**num_controls):
+        block = rotation(angles[pattern]).to_matrix()
+        for row in range(2):
+            for col in range(2):
+                expected[(row << num_controls) | pattern,
+                         (col << num_controls) | pattern] = block[row, col]
+    return expected
+
+
+class TestMultiplexedRotations:
+    @pytest.mark.parametrize("axis", ["ry", "rz"])
+    @pytest.mark.parametrize("num_controls", [0, 1, 2, 3])
+    def test_exact_block_structure(self, axis, num_controls):
+        rng = np.random.default_rng(num_controls + (axis == "rz") * 10)
+        angles = rng.uniform(-np.pi, np.pi, size=2**num_controls)
+        circuit = uc_rotation_circuit(axis, angles, num_controls)
+        got = Operator.from_circuit(circuit).data
+        assert np.allclose(got, _expected_uc(axis, angles, num_controls),
+                           atol=1e-9)
+
+    def test_cx_count(self):
+        circuit = uc_rotation_circuit("ry", np.ones(8), 3)
+        assert circuit.count_ops()["cx"] == 8
+
+    def test_zero_angles_elide_rotations(self):
+        circuit = uc_rotation_circuit("rz", np.zeros(4), 2)
+        assert "rz" not in circuit.count_ops()
+
+    def test_bad_axis(self):
+        with pytest.raises(CircuitError):
+            uc_rotation_circuit("rx", [0.1], 0)
+
+    def test_wrong_angle_count(self):
+        with pytest.raises(CircuitError):
+            uc_rotation_circuit("ry", [0.1, 0.2, 0.3], 1)
+
+
+class TestShannonDecomposition:
+    @pytest.mark.parametrize("num_qubits", [1, 2, 3, 4])
+    def test_random_unitaries(self, num_qubits):
+        for seed in range(2):
+            unitary = random_unitary(num_qubits, seed=10 * num_qubits + seed)
+            circuit = synthesize_unitary(unitary)
+            assert allclose_up_to_global_phase(
+                Operator.from_circuit(circuit).data, unitary, atol=1e-7
+            )
+            allowed = {"u1", "u2", "u3", "ry", "rz", "cx"}
+            assert set(circuit.count_ops()) <= allowed
+
+    def test_two_qubit_cx_budget(self):
+        circuit = synthesize_unitary(random_unitary(2, seed=1))
+        assert circuit.count_ops().get("cx", 0) <= 6
+
+    def test_exact_phase_mode(self):
+        unitary = random_unitary(2, seed=2)
+        circuit = synthesize_unitary(unitary, up_to_phase=False)
+        assert np.allclose(
+            Operator.from_circuit(circuit).data, unitary, atol=1e-7
+        )
+
+    def test_known_gates(self):
+        from repro.circuit.library.standard_gates import CXGate, SwapGate
+
+        for gate in (CXGate(), SwapGate()):
+            circuit = synthesize_unitary(gate.to_matrix())
+            assert allclose_up_to_global_phase(
+                Operator.from_circuit(circuit).data, gate.to_matrix(),
+                atol=1e-8,
+            )
+
+    def test_identity(self):
+        circuit = synthesize_unitary(np.eye(8))
+        assert allclose_up_to_global_phase(
+            Operator.from_circuit(circuit).data, np.eye(8), atol=1e-8
+        )
+
+    def test_nonunitary_rejected(self):
+        with pytest.raises(CircuitError):
+            synthesize_unitary(np.ones((4, 4)))
+
+    def test_bad_dimension_rejected(self):
+        with pytest.raises(CircuitError):
+            synthesize_unitary(np.eye(3))
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_property_random_3q(self, seed):
+        unitary = random_unitary(3, seed=seed)
+        circuit = synthesize_unitary(unitary)
+        assert allclose_up_to_global_phase(
+            Operator.from_circuit(circuit).data, unitary, atol=1e-6
+        )
+
+
+class TestStatePreparation:
+    @pytest.mark.parametrize("num_qubits", [1, 2, 3, 4, 5])
+    def test_random_states(self, num_qubits):
+        for seed in range(2):
+            target = random_statevector(num_qubits,
+                                        seed=100 * num_qubits + seed).data
+            circuit = prepare_state(target)
+            got = Statevector.from_instruction(circuit).data
+            assert allclose_up_to_global_phase(got, target, atol=1e-8)
+
+    def test_basis_states(self):
+        for label in ("0", "1", "01", "110"):
+            target = Statevector.from_label(label).data
+            got = Statevector.from_instruction(prepare_state(target)).data
+            assert allclose_up_to_global_phase(got, target)
+
+    def test_ghz(self):
+        target = np.zeros(8)
+        target[0] = target[7] = 1 / np.sqrt(2)
+        got = Statevector.from_instruction(prepare_state(target)).data
+        assert allclose_up_to_global_phase(got, target)
+
+    def test_unnormalized_input_normalized(self):
+        got = Statevector.from_instruction(prepare_state([3.0, 4.0])).data
+        assert allclose_up_to_global_phase(got, [0.6, 0.8])
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(CircuitError):
+            prepare_state([0.0, 0.0])
+
+    def test_bad_dimension_rejected(self):
+        with pytest.raises(CircuitError):
+            prepare_state([1.0, 0.0, 0.0])
+
+    def test_circuit_initialize_method(self):
+        circuit = QuantumCircuit(2)
+        circuit.initialize(np.array([1, 0, 0, 1]) / np.sqrt(2))
+        got = Statevector.from_instruction(circuit).data
+        assert allclose_up_to_global_phase(
+            got, np.array([1, 0, 0, 1]) / np.sqrt(2)
+        )
+
+    def test_initialize_on_subset(self):
+        circuit = QuantumCircuit(3)
+        circuit.initialize([0.0, 1.0], qubits=[2])
+        got = Statevector.from_instruction(circuit)
+        assert got.probabilities_dict() == {"100": 1.0}
+
+    def test_transpiles_to_device(self):
+        """Prepared states survive full transpilation to QX4."""
+        from repro.transpiler import CouplingMap, transpile
+        from repro.transpiler.equivalence import routed_equivalent
+
+        circuit = QuantumCircuit(3)
+        circuit.initialize(random_statevector(3, seed=9).data)
+        mapped = transpile(circuit, CouplingMap.qx4(), optimization_level=1,
+                           seed=3)
+        assert routed_equivalent(circuit, mapped)

@@ -1,0 +1,131 @@
+"""Tests for commutation-aware cancellation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit, random_circuit
+from repro.quantum_info import Operator
+from repro.transpiler import PassManager
+from repro.transpiler.passes import CommutativeCancellation
+
+
+def run(circuit):
+    return PassManager([CommutativeCancellation()]).run(circuit)
+
+
+class TestCommutativeCancellation:
+    def test_cx_t_cx(self):
+        """The flagship pattern: CX (T on control) CX -> T."""
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.t(0)
+        circuit.cx(0, 1)
+        reduced = run(circuit)
+        assert reduced.count_ops() == {"t": 1}
+        assert Operator.from_circuit(reduced).equiv(
+            Operator.from_circuit(circuit)
+        )
+
+    def test_cx_rz_control_cx(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.rz(0.7, 0)
+        circuit.cx(0, 1)
+        reduced = run(circuit)
+        assert "cx" not in reduced.count_ops()
+
+    def test_cx_x_target_cx(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.x(1)
+        circuit.cx(0, 1)
+        reduced = run(circuit)
+        assert reduced.count_ops() == {"x": 1}
+        assert Operator.from_circuit(reduced).equiv(
+            Operator.from_circuit(circuit)
+        )
+
+    def test_blocking_h_on_control(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        reduced = run(circuit)
+        assert reduced.count_ops()["cx"] == 2
+
+    def test_blocking_z_on_target(self):
+        # Z on the *target* does not commute with CX.
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.z(1)
+        circuit.cx(0, 1)
+        reduced = run(circuit)
+        assert reduced.count_ops()["cx"] == 2
+
+    def test_shared_control_cx_commute(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(0, 2)
+        circuit.cx(0, 1)
+        reduced = run(circuit)
+        assert reduced.count_ops() == {"cx": 1}
+        assert Operator.from_circuit(reduced).equiv(
+            Operator.from_circuit(circuit)
+        )
+
+    def test_shared_target_cx_commute(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 2)
+        circuit.cx(1, 2)
+        circuit.cx(0, 2)
+        reduced = run(circuit)
+        assert reduced.count_ops() == {"cx": 1}
+        assert Operator.from_circuit(reduced).equiv(
+            Operator.from_circuit(circuit)
+        )
+
+    def test_crossed_cx_block(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.cx(1, 0)
+        circuit.cx(0, 1)
+        reduced = run(circuit)
+        assert reduced.count_ops()["cx"] == 3
+
+    def test_barrier_blocks(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.barrier()
+        circuit.cx(0, 1)
+        reduced = run(circuit)
+        assert reduced.count_ops()["cx"] == 2
+
+    def test_measure_blocks(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.cx(0, 1)
+        circuit.measure(0, 0)
+        circuit.cx(0, 1)
+        reduced = run(circuit)
+        assert reduced.count_ops()["cx"] == 2
+
+    def test_cz_on_control_commutes(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cz(0, 2)
+        circuit.cx(0, 1)
+        reduced = run(circuit)
+        assert "cx" not in reduced.count_ops()
+        assert Operator.from_circuit(reduced).equiv(
+            Operator.from_circuit(circuit)
+        )
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=25, deadline=None)
+    def test_preserves_unitary(self, seed):
+        circuit = random_circuit(4, 6, seed=seed)
+        reduced = run(circuit)
+        assert Operator.from_circuit(reduced).equiv(
+            Operator.from_circuit(circuit)
+        ), seed
+        assert reduced.size() <= circuit.size()

@@ -1,0 +1,108 @@
+"""Tests for coupling maps, incl. the paper's Fig. 2 (QX4)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TranspilerError
+from repro.transpiler import CouplingMap
+
+
+class TestQXPresets:
+    def test_qx4_matches_fig2(self):
+        """Fig. 2: arrows Q1->Q0, Q2->Q0, Q2->Q1, Q3->Q2, Q3->Q4, Q2->Q4."""
+        qx4 = CouplingMap.qx4()
+        assert qx4.num_qubits == 5
+        assert set(qx4.edges) == {
+            (1, 0), (2, 0), (2, 1), (3, 2), (3, 4), (2, 4)
+        }
+
+    def test_qx4_paper_direction_statements(self):
+        """Sec. V-B: q2->q3 prohibited (only opposite allowed);
+        q0->q1 prohibited."""
+        qx4 = CouplingMap.qx4()
+        assert not qx4.has_edge(2, 3)
+        assert qx4.has_edge(3, 2)
+        assert not qx4.has_edge(0, 1)
+        assert qx4.has_edge(1, 0)
+
+    def test_qx2(self):
+        qx2 = CouplingMap.qx2()
+        assert qx2.num_qubits == 5
+        assert qx2.has_edge(0, 1)
+        assert qx2.is_connected()
+
+    def test_qx5_sixteen_qubits(self):
+        qx5 = CouplingMap.qx5()
+        assert qx5.num_qubits == 16
+        assert qx5.is_connected()
+        assert len(qx5.edges) == 22
+
+    def test_qx3_topology_like_qx5(self):
+        assert set(CouplingMap.qx3().edges) == set(CouplingMap.qx5().edges)
+
+    def test_from_name(self):
+        assert CouplingMap.from_name("ibmqx4").name == "ibmqx4"
+        with pytest.raises(TranspilerError):
+            CouplingMap.from_name("ibmqx99")
+
+
+class TestGenerators:
+    def test_linear(self):
+        linear = CouplingMap.linear(4)
+        assert set(linear.edges) == {(0, 1), (1, 2), (2, 3)}
+        assert linear.distance(0, 3) == 3
+
+    def test_ring(self):
+        ring = CouplingMap.ring(5)
+        assert ring.distance(0, 3) == 2  # shortcut around the ring
+
+    def test_grid(self):
+        grid = CouplingMap.grid(2, 3)
+        assert grid.num_qubits == 6
+        assert grid.distance(0, 5) == 3
+
+    def test_full(self):
+        full = CouplingMap.full(4)
+        distances = full.distance_matrix
+        assert distances.max() == 1
+
+
+class TestQueries:
+    def test_connected_is_undirected(self):
+        qx4 = CouplingMap.qx4()
+        assert qx4.connected(0, 1)
+        assert qx4.connected(1, 0)
+        assert not qx4.connected(0, 4)
+
+    def test_neighbors(self):
+        qx4 = CouplingMap.qx4()
+        assert qx4.neighbors(2) == [0, 1, 3, 4]
+
+    def test_distance_symmetry(self):
+        qx5 = CouplingMap.qx5()
+        matrix = qx5.distance_matrix
+        assert np.allclose(matrix, matrix.T)
+
+    def test_shortest_path_endpoints(self):
+        qx5 = CouplingMap.qx5()
+        path = qx5.shortest_path(0, 8)
+        assert path[0] == 0
+        assert path[-1] == 8
+        assert len(path) == qx5.distance(0, 8) + 1
+        for a, b in zip(path, path[1:]):
+            assert qx5.connected(a, b)
+
+    def test_disconnected_distance_raises(self):
+        disconnected = CouplingMap([(0, 1), (2, 3)])
+        with pytest.raises(TranspilerError):
+            disconnected.distance(0, 3)
+        assert not disconnected.is_connected()
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TranspilerError):
+            CouplingMap([(0, 0)])
+
+    def test_draw_text(self):
+        text = CouplingMap.qx4().draw()
+        assert "Q3 -> Q2" in text
+        assert "ibmqx4" in text

@@ -1,0 +1,97 @@
+"""Tests for the text drawers (circuit, histogram, coupling map)."""
+
+import pytest
+
+from repro.circuit import ClassicalRegister, QuantumCircuit, QuantumRegister
+from repro.exceptions import CircuitError, VisualizationError
+from repro.visualization import circuit_to_text, plot_histogram
+
+
+class TestCircuitDrawer:
+    def test_fig1b_structure(self, paper_fig1):
+        text = paper_fig1.draw()
+        lines = text.splitlines()
+        assert len(lines) == 4  # one line per qubit, like Fig. 1b
+        assert lines[0].startswith("   q_0:")
+        # H appears on q1 and q2 rows only.
+        assert "H" in lines[1] and "H" in lines[2]
+        assert "T" in lines[0]
+
+    def test_cx_symbols(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        text = circuit_to_text(circuit)
+        assert "■" in text.splitlines()[0]
+        assert "⊕" in text.splitlines()[1]
+
+    def test_vertical_connector_spans_middle_wire(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 2)
+        lines = circuit_to_text(circuit).splitlines()
+        assert "│" in lines[1]
+
+    def test_swap_symbols(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        text = circuit_to_text(circuit)
+        assert text.count("×") == 2
+
+    def test_parameter_rendering(self):
+        circuit = QuantumCircuit(1)
+        circuit.rx(1.5708, 0)
+        assert "RX(1.571)" in circuit_to_text(circuit)
+
+    def test_measure_and_classical_wires(self, measured_bell):
+        text = circuit_to_text(measured_bell)
+        assert "M" in text
+        assert "╩" in text
+        assert "═" in text
+
+    def test_barrier(self):
+        circuit = QuantumCircuit(2)
+        circuit.barrier()
+        assert "░" in circuit_to_text(circuit)
+
+    def test_empty_circuit(self):
+        assert circuit_to_text(QuantumCircuit()) == "(empty circuit)"
+
+    def test_unknown_output_format(self, bell):
+        with pytest.raises(CircuitError):
+            bell.draw(output="latex")
+
+    def test_register_names_in_prefix(self):
+        qreg = QuantumRegister(1, "anc")
+        circuit = QuantumCircuit(qreg)
+        circuit.h(0)
+        assert "anc_0:" in circuit_to_text(circuit)
+
+
+class TestHistogram:
+    def test_bars_and_shares(self):
+        text = plot_histogram({"00": 300, "11": 100})
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "(0.750)" in lines[0]
+        assert "(0.250)" in lines[1]
+
+    def test_sort_by_value(self):
+        text = plot_histogram({"a": 1, "b": 9}, sort="value")
+        assert text.splitlines()[0].startswith("b")
+
+    def test_sort_by_key_default(self):
+        text = plot_histogram({"b": 9, "a": 1})
+        assert text.splitlines()[0].lstrip().startswith("a")
+
+    def test_empty_raises(self):
+        with pytest.raises(VisualizationError):
+            plot_histogram({})
+
+    def test_unknown_sort(self):
+        with pytest.raises(VisualizationError):
+            plot_histogram({"0": 1}, sort="rainbow")
+
+    def test_bar_width_scaling(self):
+        text = plot_histogram({"0": 100, "1": 50}, width=20)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 20
+        assert lines[1].count("█") == 10
