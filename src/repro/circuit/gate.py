@@ -7,15 +7,33 @@ unitary from the gate's definition recursively.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.circuit.instruction import Instruction
 from repro.circuit.matrix_utils import apply_matrix
 from repro.exceptions import CircuitError
 
+#: Shared LRU of computed matrices for ``_matrix_cacheable`` gate classes,
+#: keyed on ``(class, bound-params)``.  Transpiled circuits apply thousands
+#: of identical ``u3``/``cx`` instances; this makes each matrix a dict hit.
+_MATRIX_CACHE: OrderedDict = OrderedDict()
+_MATRIX_CACHE_SIZE = 512
+
+
+def clear_matrix_cache():
+    """Drop the shared gate-matrix LRU (for tests/benchmarks)."""
+    _MATRIX_CACHE.clear()
+
 
 class Gate(Instruction):
     """A unitary operation on qubits only."""
+
+    #: Set ``True`` on classes whose matrix is a pure function of
+    #: ``(class, params)`` — the standard-gate library opts in; gates that
+    #: carry extra state (``UnitaryGate``, ``ControlledUnitaryGate``) do not.
+    _matrix_cacheable = False
 
     def __init__(self, name, num_qubits, params=None, label=None):
         super().__init__(name, num_qubits, 0, params=params, label=label)
@@ -24,12 +42,53 @@ class Gate(Instruction):
         """Return the dense unitary, or None to derive it from the definition."""
         return None
 
+    def _params_key(self):
+        """Hashable key identifying the bound parameters, or None.
+
+        ``None`` disables caching (parameters that are not plain numbers).
+        """
+        try:
+            return tuple(float(p) for p in self.params)
+        except (TypeError, ValueError):
+            return None
+
     def to_matrix(self) -> np.ndarray:
-        """The gate's ``2**n x 2**n`` unitary in little-endian convention."""
+        """The gate's ``2**n x 2**n`` unitary in little-endian convention.
+
+        Results are cached: per instance (validated against the current
+        parameter values, so ``bind_parameters``/param mutation invalidates
+        naturally) and, for standard-library gates, in a shared LRU across
+        instances.  Cached matrices are marked read-only; copy before
+        mutating.
+        """
         if self.is_parameterized():
             raise CircuitError(
                 f"gate '{self.name}' has unbound parameters; bind before to_matrix"
             )
+        key = self._params_key()
+        if key is None:
+            return self._compute_matrix()
+        cached = getattr(self, "_matrix_cache", None)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        shared_key = (type(self), key) if type(self)._matrix_cacheable else None
+        if shared_key is not None:
+            matrix = _MATRIX_CACHE.get(shared_key)
+            if matrix is not None:
+                _MATRIX_CACHE.move_to_end(shared_key)
+                self._matrix_cache = (key, matrix)
+                return matrix
+        matrix = self._compute_matrix()
+        matrix.setflags(write=False)
+        self._matrix_cache = (key, matrix)
+        if shared_key is not None:
+            _MATRIX_CACHE[shared_key] = matrix
+            while len(_MATRIX_CACHE) > _MATRIX_CACHE_SIZE:
+                _MATRIX_CACHE.popitem(last=False)
+        return matrix
+
+    def _compute_matrix(self) -> np.ndarray:
+        """Uncached matrix assembly: explicit ``_matrix`` or definition walk."""
         matrix = self._matrix()
         if matrix is not None:
             return np.asarray(matrix, dtype=complex)

@@ -830,6 +830,11 @@ class ControlledUnitaryGate(Gate):
         """The uncontrolled gate."""
         return self._base
 
+    def _params_key(self):
+        # Delegate to the (possibly mutated) base gate so the instance
+        # matrix cache invalidates when the base's parameters change.
+        return self._base._params_key()
+
     def _matrix(self):
         return controlled_matrix(self._base.to_matrix())
 
@@ -880,6 +885,15 @@ STANDARD_GATES = {
     "ccx": (CCXGate, 0, 3),
     "cswap": (CSwapGate, 0, 3),
 }
+
+
+# Standard-library gate matrices are pure functions of (class, params):
+# opt them into the shared matrix LRU.  ``UnitaryGate`` and
+# ``ControlledUnitaryGate`` carry per-instance state and stay excluded.
+for _ctor, _num_params, _num_qubits in STANDARD_GATES.values():
+    if isinstance(_ctor, type) and issubclass(_ctor, Gate):
+        _ctor._matrix_cacheable = True
+del _ctor, _num_params, _num_qubits
 
 
 def get_standard_gate(name: str, params=()) -> Gate:

@@ -54,10 +54,26 @@ def embed_unitary(matrix, targets, num_qubits):
 
     Returns the ``2**num_qubits`` square matrix acting as ``matrix`` on the
     target qubits and the identity elsewhere.
+
+    Built as ``kron(I, matrix)`` (gate on the low qubits) followed by a
+    basis-index permutation that moves gate bit ``i`` to ``targets[i]`` —
+    one Kronecker product plus one fancy-indexed gather instead of pushing
+    a dense ``2**n`` identity through ``apply_matrix``.
     """
-    dim = 2**num_qubits
-    identity = np.eye(dim, dtype=complex)
-    return apply_matrix(identity, matrix, targets, num_qubits)
+    matrix = np.asarray(matrix, dtype=complex)
+    k = len(targets)
+    base = np.kron(np.eye(2 ** (num_qubits - k), dtype=complex), matrix)
+    if list(targets) == list(range(k)):
+        return base
+    # Virtual ordering: gate bits first, then the remaining qubits ascending.
+    permutation = list(targets) + [
+        q for q in range(num_qubits) if q not in set(targets)
+    ]
+    source = np.arange(2**num_qubits)
+    lookup = np.zeros_like(source)
+    for position, qubit in enumerate(permutation):
+        lookup |= ((source >> qubit) & 1) << position
+    return base[np.ix_(lookup, lookup)]
 
 
 def is_unitary(matrix, atol=1e-10) -> bool:

@@ -33,7 +33,8 @@ class QasmSimulatorBackend(BaseBackend):
         super().__init__(
             BackendConfiguration(
                 "qasm_simulator", 24, _ALL_GATES,
-                description="shot-based statevector/trajectory simulator",
+                description="shot-based statevector/trajectory simulator "
+                            "(specialized gate kernels)",
             )
         )
         self._engine = QasmSimulator()
@@ -56,7 +57,7 @@ class StatevectorSimulatorBackend(BaseBackend):
         super().__init__(
             BackendConfiguration(
                 "statevector_simulator", 24, _ALL_GATES,
-                description="dense statevector simulator",
+                description="dense statevector simulator (specialized gate kernels)",
             )
         )
         self._engine = StatevectorSimulator()
@@ -73,7 +74,7 @@ class UnitarySimulatorBackend(BaseBackend):
         super().__init__(
             BackendConfiguration(
                 "unitary_simulator", 12, _ALL_GATES,
-                description="dense unitary simulator",
+                description="dense unitary simulator (specialized gate kernels)",
             )
         )
         self._engine = UnitarySimulator()
@@ -90,7 +91,8 @@ class DensityMatrixSimulatorBackend(BaseBackend):
         super().__init__(
             BackendConfiguration(
                 "density_matrix_simulator", 10, _ALL_GATES,
-                description="exact density-matrix simulator with noise",
+                description="exact density-matrix simulator with noise "
+                            "(specialized gate kernels)",
             )
         )
         self._engine = DensityMatrixSimulator()

@@ -72,7 +72,12 @@ class BaseBackend:
         return self._configuration.backend_name
 
     def run(self, circuits, **options) -> Job:
-        """Execute one circuit or a list of circuits; returns a Job."""
+        """Execute one circuit or a list of circuits; returns a Job.
+
+        The ``use_kernels`` option (default True) toggles the specialized
+        gate kernels of :mod:`repro.simulators.kernels`; pass False to force
+        the generic ``apply_matrix`` path (A/B benchmarking, debugging).
+        """
         if not isinstance(circuits, (list, tuple)):
             circuits = [circuits]
         if not circuits:
@@ -83,7 +88,15 @@ class BaseBackend:
                 f"shots {shots} exceeds backend maximum "
                 f"{self._configuration.max_shots}"
             )
-        experiments = [self._run_experiment(c, options) for c in circuits]
+        if options.get("use_kernels", True):
+            experiments = [self._run_experiment(c, options) for c in circuits]
+        else:
+            from repro.simulators import kernels
+
+            with kernels.disabled():
+                experiments = [
+                    self._run_experiment(c, options) for c in circuits
+                ]
         from repro.providers.result import Result
 
         result = Result(self.name(), f"job-{id(self) & 0xffff:x}", experiments)

@@ -7,7 +7,6 @@ import math
 import numpy as np
 
 from repro.circuit.gate import Gate
-from repro.circuit.matrix_utils import apply_matrix
 from repro.circuit.quantumcircuit import QuantumCircuit
 from repro.exceptions import SimulatorError
 
@@ -63,11 +62,20 @@ class DensityMatrix:
     # -- evolution ------------------------------------------------------------
 
     def _apply_unitary(self, matrix, qargs) -> np.ndarray:
-        """rho -> U rho U+ applied on ``qargs``."""
-        rho = apply_matrix(self._data, matrix, list(qargs), self._num_qubits)
+        """rho -> U rho U+ applied on ``qargs``.
+
+        Both sides go through the specialized kernels: the left product
+        treats rho's columns as a batch, the right product is the conjugated
+        left product of the transpose.
+        """
+        from repro.simulators import kernels
+
+        rho = kernels.apply_unitary(
+            self._data, matrix, list(qargs), self._num_qubits
+        )
         # Right-multiplication by U+ = conjugate applied to the transposed rho.
-        rho = apply_matrix(
-            rho.conj().T, matrix, list(qargs), self._num_qubits
+        rho = kernels.apply_unitary(
+            rho.conj().T, matrix, list(qargs), self._num_qubits, mutate=True
         ).conj().T
         return rho
 
@@ -106,13 +114,17 @@ class DensityMatrix:
         """Apply a CPTP channel given by Kraus operators on ``qargs``."""
         if qargs is None:
             qargs = list(range(self._num_qubits))
+        from repro.simulators import kernels
+
         qargs = list(qargs)
         total = np.zeros_like(self._data)
         for kraus in kraus_ops:
             kraus = np.asarray(kraus, dtype=complex)
-            term = apply_matrix(self._data, kraus, qargs, self._num_qubits)
-            term = apply_matrix(
-                term.conj().T, kraus, qargs, self._num_qubits
+            term = kernels.apply_unitary(
+                self._data, kraus, qargs, self._num_qubits
+            )
+            term = kernels.apply_unitary(
+                term.conj().T, kraus, qargs, self._num_qubits, mutate=True
             ).conj().T
             total += term
         fresh = DensityMatrix.__new__(DensityMatrix)
@@ -164,7 +176,11 @@ class DensityMatrix:
         if qargs is None:
             num_targets = int(round(math.log2(matrix.shape[0])))
             qargs = list(range(num_targets))
-        evolved = apply_matrix(self._data, matrix, list(qargs), self._num_qubits)
+        from repro.simulators import kernels
+
+        evolved = kernels.apply_unitary(
+            self._data, matrix, list(qargs), self._num_qubits
+        )
         return complex(np.trace(evolved))
 
     def purity(self) -> float:

@@ -9,7 +9,6 @@ import numpy as np
 from repro.circuit.gate import Gate
 from repro.circuit.matrix_utils import (
     allclose_up_to_global_phase,
-    apply_matrix,
     is_unitary,
 )
 from repro.circuit.quantumcircuit import QuantumCircuit
@@ -36,7 +35,13 @@ class Operator:
 
     @classmethod
     def from_circuit(cls, circuit: QuantumCircuit) -> "Operator":
-        """Compute the full unitary of a unitary-only circuit."""
+        """Compute the full unitary of a unitary-only circuit.
+
+        The identity's ``2**n`` columns evolve as one batched state through
+        the specialized kernels.
+        """
+        from repro.simulators import kernels
+
         dim = 2**circuit.num_qubits
         unitary = np.eye(dim, dtype=complex)
         qubit_index = {q: i for i, q in enumerate(circuit.qubits)}
@@ -49,8 +54,8 @@ class Operator:
                     f"circuit contains non-unitary operation '{op.name}'"
                 )
             targets = [qubit_index[q] for q in item.qubits]
-            unitary = apply_matrix(
-                unitary, op.to_matrix(), targets, circuit.num_qubits
+            unitary = kernels.apply_gate(
+                unitary, op, targets, circuit.num_qubits, mutate=True
             )
         return cls(unitary)
 

@@ -12,7 +12,7 @@ import math
 import numpy as np
 
 from repro.circuit.gate import Gate
-from repro.circuit.matrix_utils import allclose_up_to_global_phase, apply_matrix
+from repro.circuit.matrix_utils import allclose_up_to_global_phase
 from repro.circuit.quantumcircuit import QuantumCircuit
 from repro.exceptions import SimulatorError
 
@@ -98,10 +98,12 @@ class Statevector:
             qargs: target qubit indices for gate/matrix operations; defaults
                 to all qubits in order.
         """
+        from repro.simulators import kernels
+
         if isinstance(operation, QuantumCircuit):
             if qargs is not None:
                 raise SimulatorError("qargs not supported for circuit evolution")
-            state = self._data
+            state = self._data.copy()  # owned buffer for in-place kernels
             qubit_index = {q: i for i, q in enumerate(operation.qubits)}
             for item in operation.data:
                 op = item.operation
@@ -112,8 +114,8 @@ class Statevector:
                         f"cannot evolve by non-unitary operation '{op.name}'"
                     )
                 targets = [qubit_index[q] for q in item.qubits]
-                state = apply_matrix(
-                    state, op.to_matrix(), targets, self._num_qubits
+                state = kernels.apply_gate(
+                    state, op, targets, self._num_qubits, mutate=True
                 )
             return Statevector(state, validate=False)
         if isinstance(operation, Gate):
@@ -122,7 +124,9 @@ class Statevector:
             matrix = np.asarray(operation, dtype=complex)
         if qargs is None:
             qargs = list(range(self._num_qubits))
-        new_data = apply_matrix(self._data, matrix, list(qargs), self._num_qubits)
+        new_data = kernels.apply_unitary(
+            self._data, matrix, list(qargs), self._num_qubits
+        )
         return Statevector(new_data, validate=False)
 
     # -- measurement ---------------------------------------------------------------
@@ -158,17 +162,22 @@ class Statevector:
         }
 
     def sample_counts(self, shots: int, seed=None) -> dict:
-        """Sample measurement outcomes; returns a bitstring histogram."""
+        """Sample measurement outcomes; returns a bitstring histogram.
+
+        All shots are drawn with one vectorized ``searchsorted`` over the
+        cumulative distribution and binned with ``np.unique``.
+        """
         rng = np.random.default_rng(seed)
-        probs = self.probabilities()
-        probs = probs / probs.sum()
-        outcomes = rng.choice(self.dim, size=shots, p=probs)
-        counts: dict = {}
+        probs = self._data.real**2 + self._data.imag**2
+        cdf = np.cumsum(probs)
+        outcomes = np.searchsorted(cdf, rng.random(shots) * cdf[-1], side="right")
+        np.minimum(outcomes, self.dim - 1, out=outcomes)
         width = self._num_qubits
-        for outcome in outcomes:
-            key = format(int(outcome), f"0{width}b")
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+        unique, tallies = np.unique(outcomes, return_counts=True)
+        return {
+            format(int(outcome), f"0{width}b"): int(tally)
+            for outcome, tally in zip(unique, tallies)
+        }
 
     def measure(self, seed=None) -> tuple[str, "Statevector"]:
         """Sample one outcome and return (bitstring, collapsed state)."""
@@ -193,7 +202,11 @@ class Statevector:
         if qargs is None:
             num_targets = int(round(math.log2(matrix.shape[0])))
             qargs = list(range(num_targets))
-        evolved = apply_matrix(self._data, matrix, list(qargs), self._num_qubits)
+        from repro.simulators import kernels
+
+        evolved = kernels.apply_unitary(
+            self._data, matrix, list(qargs), self._num_qubits
+        )
         return complex(np.vdot(self._data, evolved))
 
     def inner(self, other: "Statevector") -> complex:

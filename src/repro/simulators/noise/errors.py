@@ -94,6 +94,7 @@ class QuantumError:
         Returns the (renormalized) post-channel state.
         """
         from repro.circuit.matrix_utils import apply_matrix
+        from repro.simulators import kernels
 
         if self._unitary_branches is not None:
             pick = rng.random()
@@ -106,7 +107,7 @@ class QuantumError:
                     break
             if identity:
                 return state
-            return apply_matrix(state, chosen, list(targets), num_qubits)
+            return kernels.apply_unitary(state, chosen, list(targets), num_qubits)
 
         cumulative = 0.0
         pick = rng.random()

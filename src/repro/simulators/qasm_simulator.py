@@ -18,33 +18,70 @@ import math
 import numpy as np
 
 from repro.circuit.gate import Gate
-from repro.circuit.matrix_utils import apply_matrix
 from repro.circuit.quantumcircuit import QuantumCircuit
 from repro.exceptions import SimulatorError
+from repro.simulators import kernels
 
 
 def _prob_one(state: np.ndarray, qubit: int, num_qubits: int) -> float:
-    """Probability of measuring ``qubit`` as 1."""
-    tensor = np.abs(state.reshape((2,) * num_qubits)) ** 2
-    axis = num_qubits - 1 - qubit
-    other_axes = tuple(a for a in range(num_qubits) if a != axis)
-    marginal = tensor.sum(axis=other_axes) if other_axes else tensor
-    return float(marginal[1])
+    """Probability of measuring ``qubit`` as 1.
+
+    Works on a strided 3-D view of the flat state — no full-tensor reshape
+    copy, no ``2**n``-element temporary beyond the squared magnitudes of
+    the qubit-one slice.
+    """
+    ones = state.reshape(-1, 2, 1 << qubit)[:, 1, :]
+    return float(np.sum(ones.real**2 + ones.imag**2))
 
 
 def _project(state: np.ndarray, qubit: int, outcome: int,
-             num_qubits: int) -> np.ndarray:
-    """Collapse ``qubit`` to ``outcome`` and renormalize."""
-    tensor = state.reshape((2,) * num_qubits).copy()
-    axis = num_qubits - 1 - qubit
-    index = [slice(None)] * num_qubits
-    index[axis] = 1 - outcome
-    tensor[tuple(index)] = 0.0
-    flat = tensor.reshape(-1)
-    norm = math.sqrt(float(np.real(np.vdot(flat, flat))))
+             num_qubits: int, *, mutate: bool = False) -> np.ndarray:
+    """Collapse ``qubit`` to ``outcome`` and renormalize.
+
+    With ``mutate=True`` the collapse happens in place (the caller owns the
+    buffer and rebinds to the return value).
+    """
+    if not mutate:
+        state = state.copy()
+    view = state.reshape(-1, 2, 1 << qubit)
+    view[:, 1 - outcome, :] = 0.0
+    norm = math.sqrt(float(np.real(np.vdot(state, state))))
     if norm <= 0:
         raise SimulatorError("projection annihilated the state")
-    return flat / norm
+    state *= 1.0 / norm
+    return state
+
+
+def _sample_outcomes(state: np.ndarray, shots: int, rng) -> np.ndarray:
+    """Draw ``shots`` basis-state indices from ``|state|**2`` at once.
+
+    One cumulative distribution + vectorized ``searchsorted`` replaces the
+    per-shot python loop; when the support is sparse (GHZ-like states after
+    Clifford circuits) the cdf is built over the nonzero entries only.
+    """
+    probs = np.square(state.real)
+    probs += np.square(state.imag)
+    draws = rng.random(shots)
+    # Only pay for the nonzero scan when the support is actually sparse
+    # (GHZ-like states after Clifford circuits); a dense distribution goes
+    # straight to the full cumulative sum.
+    if np.count_nonzero(probs) * 4 < probs.size:
+        support = np.flatnonzero(probs)
+        cdf = np.cumsum(probs[support])
+        picks = np.searchsorted(cdf, draws * cdf[-1], side="right")
+        return support[np.minimum(picks, support.size - 1)]
+    cdf = np.cumsum(probs)
+    picks = np.searchsorted(cdf, draws * cdf[-1], side="right")
+    return np.minimum(picks, probs.size - 1)
+
+
+def _zeros_for_width(shots: int, num_clbits: int) -> np.ndarray:
+    """Outcome accumulator: int64 while it fits, Python ints beyond.
+
+    Registers wider than 63 classical bits overflow an int64 shift, so the
+    (rare) wide case falls back to object dtype and arbitrary precision.
+    """
+    return np.zeros(shots, dtype=np.int64 if num_clbits <= 63 else object)
 
 
 class QasmSimulator:
@@ -102,13 +139,28 @@ class QasmSimulator:
                 circuit, shots, rng, noise_model
             )
         width = circuit.num_clbits
-        counts: dict[str, int] = {}
-        for value in shot_values:
-            key = format(value, f"0{width}b")
-            counts[key] = counts.get(key, 0) + 1
+        # Bin once over the distinct outcomes instead of per shot: formatting
+        # and dict updates dominate run() for large shot counts otherwise.
+        values = np.asarray(
+            shot_values, dtype=np.int64 if width <= 63 else object
+        )
+        unique, multiplicity = np.unique(values, return_counts=True)
+        if width <= 63:
+            # One shift/mask over all outcomes, rendered as a single byte
+            # string and sliced — far cheaper than format() per key.
+            bits = (unique[:, None] >> np.arange(width - 1, -1, -1)) & 1
+            rendered = (bits + ord("0")).astype(np.uint8).tobytes().decode()
+            keys = [
+                rendered[i * width : (i + 1) * width]
+                for i in range(len(unique))
+            ]
+        else:
+            keys = [format(int(value), f"0{width}b") for value in unique]
+        counts = dict(zip(keys, multiplicity.tolist()))
         result = {"counts": counts, "shots": shots}
         if memory:
-            result["memory"] = [format(v, f"0{width}b") for v in shot_values]
+            lookup = dict(zip(unique.tolist(), keys))
+            result["memory"] = [lookup[int(value)] for value in shot_values]
         return result
 
     @staticmethod
@@ -194,11 +246,11 @@ class QasmSimulator:
             if not isinstance(op, Gate):
                 raise SimulatorError(f"cannot simulate '{op.name}'")
             targets = [qubit_index[q] for q in item.qubits]
-            state = apply_matrix(state, op.to_matrix(), targets, num_qubits)
-        probs = np.abs(state) ** 2
-        probs = probs / probs.sum()
-        outcomes = np.asarray(rng.choice(len(probs), size=shots, p=probs))
-        values = np.zeros(shots, dtype=np.int64)
+            state = kernels.apply_gate(
+                state, op, targets, num_qubits, mutate=True
+            )
+        outcomes = _sample_outcomes(state, shots, rng)
+        values = _zeros_for_width(shots, circuit.num_clbits)
         for qubit, clbit in qubit_to_clbit.items():
             bits = (outcomes >> qubit) & 1
             if noise_model is not None:
@@ -209,7 +261,7 @@ class QasmSimulator:
                     p_one = np.where(bits == 1, confusion[1][1],
                                      confusion[0][1])
                     bits = (flips < p_one).astype(np.int64)
-            values |= bits << clbit
+            values |= bits.astype(values.dtype) << clbit
         return values.tolist()
 
     # -- batched trajectory strategy ---------------------------------------------------
@@ -248,7 +300,9 @@ class QasmSimulator:
             if not isinstance(op, Gate):
                 raise SimulatorError(f"cannot simulate '{op.name}'")
             targets = [qubit_index[q] for q in item.qubits]
-            states = apply_matrix(states, op.to_matrix(), targets, num_qubits)
+            states = kernels.apply_gate(
+                states, op, targets, num_qubits, mutate=True
+            )
             if noise_model is None:
                 continue
             error = noise_model.gate_error(op.name, targets)
@@ -263,16 +317,19 @@ class QasmSimulator:
                     continue
                 columns = choice == index
                 if columns.any():
-                    states[:, columns] = apply_matrix(
-                        states[:, columns], unitary, targets, num_qubits
+                    # Fancy-indexed columns are a copy; evolve the copy in
+                    # place and scatter it back.
+                    states[:, columns] = kernels.apply_unitary(
+                        states[:, columns], unitary, targets, num_qubits,
+                        mutate=True,
                     )
         # Per-column measurement sampling via the inverse-CDF trick.
-        probabilities = np.abs(states) ** 2
+        probabilities = states.real**2 + states.imag**2
         probabilities /= probabilities.sum(axis=0, keepdims=True)
         cumulative = np.cumsum(probabilities, axis=0)
         draws = rng.random(shots)
         outcomes = (cumulative < draws[None, :]).sum(axis=0)
-        values = np.zeros(shots, dtype=np.int64)
+        values = _zeros_for_width(shots, circuit.num_clbits)
         for qubit, clbit in qubit_to_clbit.items():
             bits = (outcomes >> qubit) & 1
             if noise_model is not None:
@@ -283,10 +340,32 @@ class QasmSimulator:
                     p_one = np.where(bits == 1, confusion[1][1],
                                      confusion[0][1])
                     bits = (flips < p_one).astype(np.int64)
-            values |= bits << clbit
+            values |= bits.astype(values.dtype) << clbit
         return values.tolist()
 
     # -- trajectory strategy ----------------------------------------------------------
+
+    def _deterministic_prefix(self, data, qubit_index, noise_model) -> int:
+        """Length of the leading run of noise-free unconditioned gates.
+
+        Every trajectory evolves identically through this prefix, so it is
+        simulated once and each shot starts from a copy of the result.
+        """
+        split = 0
+        for item in data:
+            op = item.operation
+            if (
+                op.condition is not None
+                or op.name in ("measure", "reset")
+                or not isinstance(op, Gate)
+            ):
+                break
+            if noise_model is not None:
+                targets = [qubit_index[q] for q in item.qubits]
+                if noise_model.gate_error(op.name, targets) is not None:
+                    break
+            split += 1
+        return split
 
     def _run_trajectories(self, circuit, shots, rng, noise_model) -> list[int]:
         num_qubits = circuit.num_qubits
@@ -295,16 +374,27 @@ class QasmSimulator:
         creg_slices = {
             reg: [clbit_index[c] for c in reg] for reg in circuit.cregs
         }
+        data = [
+            item for item in circuit.data if item.operation.name != "barrier"
+        ]
+        split = self._deterministic_prefix(data, qubit_index, noise_model)
+        prefix_state = np.zeros(2**num_qubits, dtype=complex)
+        prefix_state[0] = 1.0
+        for item in data[:split]:
+            targets = [qubit_index[q] for q in item.qubits]
+            prefix_state = kernels.apply_gate(
+                prefix_state, item.operation, targets, num_qubits, mutate=True
+            )
+        suffix = data[split:]
+        buffer = np.empty_like(prefix_state)
         shot_values = []
         for _ in range(shots):
-            state = np.zeros(2**num_qubits, dtype=complex)
-            state[0] = 1.0
+            np.copyto(buffer, prefix_state)
+            state = buffer
             classical = 0
-            for item in circuit.data:
+            for item in suffix:
                 op = item.operation
                 name = op.name
-                if name == "barrier":
-                    continue
                 if op.condition is not None:
                     register, target_value = op.condition
                     positions = creg_slices[register]
@@ -318,7 +408,9 @@ class QasmSimulator:
                     qubit = qubit_index[item.qubits[0]]
                     clbit = clbit_index[item.clbits[0]]
                     outcome = int(rng.random() < _prob_one(state, qubit, num_qubits))
-                    state = _project(state, qubit, outcome, num_qubits)
+                    state = _project(
+                        state, qubit, outcome, num_qubits, mutate=True
+                    )
                     recorded = outcome
                     if noise_model is not None:
                         readout = noise_model.readout_error(qubit)
@@ -332,15 +424,21 @@ class QasmSimulator:
                 if name == "reset":
                     qubit = qubit_index[item.qubits[0]]
                     outcome = int(rng.random() < _prob_one(state, qubit, num_qubits))
-                    state = _project(state, qubit, outcome, num_qubits)
+                    state = _project(
+                        state, qubit, outcome, num_qubits, mutate=True
+                    )
                     if outcome:
                         x_matrix = np.array([[0, 1], [1, 0]], dtype=complex)
-                        state = apply_matrix(state, x_matrix, [qubit], num_qubits)
+                        state = kernels.apply_unitary(
+                            state, x_matrix, [qubit], num_qubits, mutate=True
+                        )
                     continue
                 if not isinstance(op, Gate):
                     raise SimulatorError(f"cannot simulate '{name}'")
                 targets = [qubit_index[q] for q in item.qubits]
-                state = apply_matrix(state, op.to_matrix(), targets, num_qubits)
+                state = kernels.apply_gate(
+                    state, op, targets, num_qubits, mutate=True
+                )
                 if noise_model is not None:
                     error = noise_model.gate_error(name, targets)
                     if error is not None:

@@ -11,10 +11,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.circuit.gate import Gate
-from repro.circuit.matrix_utils import apply_matrix
 from repro.circuit.quantumcircuit import QuantumCircuit
 from repro.exceptions import SimulatorError
 from repro.quantum_info.statevector import Statevector
+from repro.simulators import kernels
 
 
 class StatevectorSimulator:
@@ -76,5 +76,7 @@ class StatevectorSimulator:
                         "gate after measurement requires the qasm simulator"
                     )
             targets = [qubit_index[q] for q in item.qubits]
-            state = apply_matrix(state, op.to_matrix(), targets, num_qubits)
+            state = kernels.apply_gate(
+                state, op, targets, num_qubits, mutate=True
+            )
         return Statevector(state, validate=False)

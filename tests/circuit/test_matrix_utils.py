@@ -49,6 +49,51 @@ class TestApplyMatrix:
         out = apply_matrix(batch, X, [0], 2)
         assert np.allclose(out, embed_unitary(X, [0], 2))
 
+    @given(st.integers(0, 500), st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_batch_columns_match_per_column(self, seed, batch_size):
+        # The (2**n, B) layout must agree with applying the gate to each
+        # column independently — this is the contract the kernels rely on.
+        rng = np.random.default_rng(seed)
+        num_qubits = 3
+        batch = rng.standard_normal(
+            (2**num_qubits, batch_size)
+        ) + 1j * rng.standard_normal((2**num_qubits, batch_size))
+        unitary = random_unitary(1, seed=seed + 3)
+        targets = [int(rng.integers(num_qubits))]
+        out = apply_matrix(batch, unitary, targets, num_qubits)
+        for column in range(batch_size):
+            expected = apply_matrix(
+                batch[:, column], unitary, targets, num_qubits
+            )
+            assert np.allclose(out[:, column], expected)
+
+    def test_out_of_order_nonadjacent_targets(self):
+        # Little-endian contract: targets[0] is the LSB of the gate's index
+        # space, wherever it sits in the register.  CX on [3, 0] of 4 qubits
+        # means control = qubit 3, target = qubit 0.
+        cx = np.array(
+            [[1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0], [0, 1, 0, 0]],
+            dtype=complex,
+        )
+        state = np.zeros(16, dtype=complex)
+        state[0b1000] = 1.0  # q3=1, others 0
+        out = apply_matrix(state, cx, [3, 0], 4)
+        assert out[0b1001] == pytest.approx(1.0)  # q0 flipped by control q3
+        out2 = apply_matrix(state, cx, [0, 3], 4)
+        assert out2[0b1000] == pytest.approx(1.0)  # control q0=0: no flip
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_nonadjacent_targets_match_embedding(self, seed):
+        # Non-adjacent, descending targets agree with the embedded unitary.
+        state = random_statevector(4, seed=seed).data
+        unitary = random_unitary(2, seed=seed + 11)
+        for targets in ([3, 1], [1, 3], [3, 0], [2, 0]):
+            direct = apply_matrix(state, unitary, targets, 4)
+            via_embed = embed_unitary(unitary, targets, 4) @ state
+            assert np.allclose(direct, via_embed)
+
     @given(st.integers(0, 500))
     @settings(max_examples=30, deadline=None)
     def test_norm_preserved(self, seed):
@@ -90,6 +135,28 @@ class TestEmbedUnitary:
         # embed on the top qubit = X ⊗ I ⊗ I in big-endian kron order.
         embedded = embed_unitary(X, [2], 3)
         assert np.allclose(embedded, np.kron(X, np.eye(4)))
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_apply_matrix_on_identity(self, seed):
+        # The kron/permutation construction must equal pushing the dense
+        # identity through apply_matrix (the previous implementation).
+        rng = np.random.default_rng(seed)
+        num_qubits = 4
+        for arity in (1, 2):
+            unitary = random_unitary(arity, seed=seed + arity)
+            targets = [
+                int(t) for t in rng.choice(num_qubits, arity, replace=False)
+            ]
+            direct = embed_unitary(unitary, targets, num_qubits)
+            reference = apply_matrix(
+                np.eye(2**num_qubits, dtype=complex),
+                unitary,
+                targets,
+                num_qubits,
+            )
+            assert np.allclose(direct, reference, atol=1e-12)
+            assert is_unitary(direct)
 
 
 class TestPredicates:

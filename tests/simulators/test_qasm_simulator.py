@@ -149,6 +149,24 @@ class TestTrajectoryPath:
         assert hellinger_fidelity(sampled, trajectory) > 0.99
 
 
+class TestWideClassicalRegisters:
+    def test_more_than_63_clbits(self, engine):
+        """Registers past the int64 shift limit keep their high bits."""
+        circuit = QuantumCircuit(2, 70)
+        circuit.x(0)
+        circuit.x(1)
+        circuit.measure(0, 65)
+        circuit.measure(1, 69)
+        result = engine.run(circuit, shots=16, seed=1, memory=True)
+        (key,) = result["counts"]
+        assert len(key) == 70
+        assert result["counts"][key] == 16
+        # clbit 69 and clbit 65 set; bitstrings print clbit 0 rightmost.
+        ones = {len(key) - 1 - i for i, ch in enumerate(key) if ch == "1"}
+        assert ones == {65, 69}
+        assert result["memory"] == [key] * 16
+
+
 class TestValidation:
     def test_no_clbits_raises(self, engine, bell):
         with pytest.raises(SimulatorError):
