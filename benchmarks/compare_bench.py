@@ -1,0 +1,114 @@
+"""Tolerance-banded comparison of benchmark JSON against a baseline.
+
+Run as a script::
+
+    python benchmarks/compare_bench.py BENCH_kernels.json \
+        benchmarks/baselines/BENCH_kernels.json [--tolerance 0.5]
+
+Both files are walked recursively; every numeric leaf whose key marks it
+as a higher-is-better performance figure (``*speedup*``, ``*_per_s``) is
+compared.  A leaf regresses when ``current < baseline * (1 - tolerance)``.
+The band is deliberately wide (default 50%): shared CI runners are noisy,
+and the point is to catch order-of-magnitude collapses — a kernel that
+quietly fell back to the generic path — not single-digit-percent drift.
+Keys present on only one side are reported but never fail the run.
+
+Exit status is 1 when any leaf regresses, so callers can choose whether
+to gate on it (our CI bench job runs it non-blocking).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_TOLERANCE = 0.5
+
+#: Key substrings marking a numeric leaf as a perf figure (higher=better).
+PERF_KEY_MARKERS = ("speedup", "_per_s")
+
+#: Perf-figure keys that are configuration, not measurement.
+EXCLUDED_KEYS = ("threshold", "target")
+
+
+def is_perf_key(key: str) -> bool:
+    """Whether a leaf key holds a higher-is-better measurement."""
+    lowered = key.lower()
+    if any(marker in lowered for marker in EXCLUDED_KEYS):
+        return False
+    return any(marker in lowered for marker in PERF_KEY_MARKERS)
+
+
+def numeric_leaves(node, prefix="") -> dict:
+    """Flatten a JSON tree to ``{dotted.path: value}`` for perf leaves."""
+    leaves: dict = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if isinstance(value, (dict, list)):
+                leaves.update(numeric_leaves(value, path))
+            elif isinstance(value, (int, float)) and is_perf_key(key):
+                leaves[path] = float(value)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            leaves.update(numeric_leaves(value, f"{prefix}[{index}]"))
+    return leaves
+
+
+def compare(current: dict, baseline: dict, tolerance: float):
+    """Returns (regressions, improvements, missing) leaf lists."""
+    current_leaves = numeric_leaves(current)
+    baseline_leaves = numeric_leaves(baseline)
+    regressions = []
+    improvements = []
+    for path, base_value in sorted(baseline_leaves.items()):
+        if path not in current_leaves:
+            continue
+        now = current_leaves[path]
+        floor = base_value * (1.0 - tolerance)
+        if now < floor:
+            regressions.append((path, base_value, now))
+        elif now > base_value:
+            improvements.append((path, base_value, now))
+    missing = sorted(
+        set(baseline_leaves) ^ set(current_leaves)
+    )
+    return regressions, improvements, missing
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=pathlib.Path)
+    parser.add_argument("baseline", type=pathlib.Path)
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed fractional drop below baseline "
+                             f"(default {DEFAULT_TOLERANCE})")
+    args = parser.parse_args(argv)
+
+    current = json.loads(args.current.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    regressions, improvements, missing = compare(
+        current, baseline, args.tolerance
+    )
+
+    print(f"comparing {args.current} against {args.baseline} "
+          f"(tolerance {args.tolerance:.0%})")
+    for path, base_value, now in regressions:
+        print(f"  REGRESSION {path}: {base_value:g} -> {now:g} "
+              f"({now / base_value:.0%} of baseline)")
+    for path, base_value, now in improvements:
+        print(f"  improved   {path}: {base_value:g} -> {now:g}")
+    for path in missing:
+        print(f"  note: '{path}' present on only one side")
+    if regressions:
+        print(f"{len(regressions)} perf leaf/leaves regressed beyond the "
+              "tolerance band")
+        return 1
+    print("no regressions beyond the tolerance band")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

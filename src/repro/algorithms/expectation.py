@@ -13,7 +13,6 @@ import math
 from repro.circuit.quantumcircuit import QuantumCircuit
 from repro.exceptions import AlgorithmError
 from repro.quantum_info.pauli import Pauli, PauliSumOp
-from repro.simulators.qasm_simulator import QasmSimulator
 from repro.simulators.statevector_simulator import StatevectorSimulator
 
 
@@ -78,7 +77,11 @@ class ExpectationEstimator:
         self.seed = seed
         self.noise_model = noise_model
         self._statevector_engine = StatevectorSimulator()
-        self._qasm_engine = QasmSimulator()
+        # Shot mode submits all Pauli-term circuits as one batch through
+        # the execution pipeline (assemble -> schedule -> run -> collect).
+        from repro.providers.aer import QasmSimulatorBackend
+
+        self._qasm_backend = QasmSimulatorBackend()
         self.evaluations = 0
 
     def estimate(self, circuit: QuantumCircuit) -> float:
@@ -94,24 +97,37 @@ class ExpectationEstimator:
         return self._estimate_shots(circuit)
 
     def _estimate_shots(self, circuit: QuantumCircuit) -> float:
+        """One batched submission covering every measured Pauli term.
+
+        Each term still needs its own basis-change circuit, but the whole
+        fan-out goes through the pipeline as a single job (one seed per
+        experiment derived from the estimator seed), so parallel executors
+        can spread the terms across cores.
+        """
         energy = 0.0
+        batch = []
         for index, (coeff, pauli) in enumerate(self.hamiltonian.terms):
             if abs(coeff.imag) > 1e-9:
                 raise AlgorithmError("shot estimation needs real coefficients")
             if not pauli.support:
                 energy += coeff.real
                 continue
-            measured = QuantumCircuit(circuit.num_qubits, circuit.num_qubits)
+            measured = QuantumCircuit(circuit.num_qubits, circuit.num_qubits,
+                                      name=f"term-{index}")
             measured.compose(circuit, qubits=measured.qubits, inplace=True)
             measurement_basis_change(pauli, measured)
             for qubit in pauli.support:
                 measured.measure(qubit, qubit)
-            seed = None if self.seed is None else self.seed + 97 * index
-            outcome = self._qasm_engine.run(
-                measured, shots=self.shots, seed=seed,
-                noise_model=self.noise_model,
-            )
-            energy += coeff.real * expectation_from_counts(
-                pauli, outcome["counts"]
+            batch.append((coeff.real, pauli, measured))
+        if not batch:
+            return energy
+        result = self._qasm_backend.run(
+            [measured for _coeff, _pauli, measured in batch],
+            shots=self.shots, seed=self.seed,
+            noise_model=self.noise_model,
+        ).result()
+        for coeff, pauli, measured in batch:
+            energy += coeff * expectation_from_counts(
+                pauli, result.get_counts(measured.name)
             )
         return energy

@@ -15,7 +15,6 @@ from repro.circuit.library.standard_gates import HGate, SGate
 from repro.circuit.matrix_utils import allclose_up_to_global_phase
 from repro.circuit.quantumcircuit import QuantumCircuit
 from repro.exceptions import IgnisError
-from repro.simulators.qasm_simulator import QasmSimulator
 
 
 def _generate_clifford_group():
@@ -78,28 +77,43 @@ def rb_circuit(length: int, qubit: int = 0, num_qubits: int = 1,
 
 
 def rb_experiment(lengths, num_samples: int = 5, shots: int = 512,
-                  noise_model=None, seed=None, qubit: int = 0):
+                  noise_model=None, seed=None, qubit: int = 0,
+                  executor=None):
     """Run RB over the given sequence lengths.
 
     Returns ``(lengths, survival)`` where ``survival[i]`` is the average
-    probability of recovering |0> at ``lengths[i]``.
+    probability of recovering |0> at ``lengths[i]``.  The whole
+    ``len(lengths) * num_samples`` fan-out is submitted as one batch
+    through the execution pipeline instead of looping single runs;
+    ``executor`` pins a scheduling strategy (default auto).
     """
-    engine = QasmSimulator()
+    from repro.providers.aer import QasmSimulatorBackend
+
     rng = np.random.default_rng(seed)
-    survival = []
+    batch = []
     for length in lengths:
-        probabilities = []
-        for _ in range(num_samples):
+        for sample in range(num_samples):
             circuit = rb_circuit(
                 length, qubit=qubit, seed=int(rng.integers(1 << 31))
             )
-            outcome = engine.run(
-                circuit,
-                shots=shots,
-                seed=int(rng.integers(1 << 31)),
-                noise_model=noise_model,
-            )
-            zeros = outcome["counts"].get("0" * circuit.num_clbits, 0)
+            circuit.name = f"rb_m{length}_s{sample}"
+            batch.append(circuit)
+    options = {
+        "shots": shots,
+        "seed": None if seed is None else int(rng.integers(1 << 31)),
+        "noise_model": noise_model,
+    }
+    if executor is not None:
+        options["executor"] = executor
+    result = QasmSimulatorBackend().run(batch, **options).result()
+    by_name = {circuit.name: circuit for circuit in batch}
+    survival = []
+    for length in lengths:
+        probabilities = []
+        for sample in range(num_samples):
+            name = f"rb_m{length}_s{sample}"
+            counts = result.get_counts(name)
+            zeros = counts.get("0" * by_name[name].num_clbits, 0)
             probabilities.append(zeros / shots)
         survival.append(float(np.mean(probabilities)))
     return list(lengths), survival
@@ -157,26 +171,46 @@ def interleaved_rb_circuit(length: int, gate_name: str, qubit: int = 0,
 
 
 def interleaved_rb_experiment(lengths, gate_name: str, num_samples: int = 5,
-                              shots: int = 512, noise_model=None, seed=None):
-    """Run reference + interleaved RB; returns both survival curves."""
-    engine = QasmSimulator()
+                              shots: int = 512, noise_model=None, seed=None,
+                              executor=None):
+    """Run reference + interleaved RB; returns both survival curves.
+
+    The reference and interleaved circuits for every (length, sample) pair
+    go up in a single batched submission through the execution pipeline
+    rather than one engine call per sequence.
+    """
+    from repro.providers.aer import QasmSimulatorBackend
+
     rng = np.random.default_rng(seed)
+    batch = []
+    for length in lengths:
+        for sample in range(num_samples):
+            ref_circ = rb_circuit(length, seed=int(rng.integers(1 << 31)))
+            ref_circ.name = f"ref_m{length}_s{sample}"
+            int_circ = interleaved_rb_circuit(
+                length, gate_name, seed=int(rng.integers(1 << 31))
+            )
+            int_circ.name = f"int_m{length}_s{sample}"
+            batch.extend((ref_circ, int_circ))
+    options = {
+        "shots": shots,
+        "seed": None if seed is None else int(rng.integers(1 << 31)),
+        "noise_model": noise_model,
+    }
+    if executor is not None:
+        options["executor"] = executor
+    result = QasmSimulatorBackend().run(batch, **options).result()
+    by_name = {circuit.name: circuit for circuit in batch}
     reference = []
     interleaved = []
     for length in lengths:
         ref_probs = []
         int_probs = []
-        for _ in range(num_samples):
-            ref_circ = rb_circuit(length, seed=int(rng.integers(1 << 31)))
-            int_circ = interleaved_rb_circuit(
-                length, gate_name, seed=int(rng.integers(1 << 31))
-            )
-            for circ, bucket in ((ref_circ, ref_probs), (int_circ, int_probs)):
-                outcome = engine.run(
-                    circ, shots=shots, seed=int(rng.integers(1 << 31)),
-                    noise_model=noise_model,
-                )
-                zeros = outcome["counts"].get("0" * circ.num_clbits, 0)
+        for sample in range(num_samples):
+            for prefix, bucket in (("ref", ref_probs), ("int", int_probs)):
+                name = f"{prefix}_m{length}_s{sample}"
+                counts = result.get_counts(name)
+                zeros = counts.get("0" * by_name[name].num_clbits, 0)
                 bucket.append(zeros / shots)
         reference.append(float(np.mean(ref_probs)))
         interleaved.append(float(np.mean(int_probs)))

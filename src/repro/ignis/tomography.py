@@ -106,17 +106,23 @@ def project_to_physical(rho: np.ndarray) -> np.ndarray:
 
 
 def run_state_tomography(circuit: QuantumCircuit, shots: int = 2048,
-                         seed=None, noise_model=None) -> DensityMatrix:
-    """Convenience wrapper: simulate all bases and fit."""
-    from repro.simulators.qasm_simulator import QasmSimulator
+                         seed=None, noise_model=None,
+                         executor=None) -> DensityMatrix:
+    """Convenience wrapper: simulate all bases and fit.
 
-    engine = QasmSimulator()
+    All ``3**n`` basis circuits are submitted as one batch through the
+    execution pipeline (per-basis seeds derived from ``seed``), so the
+    fan-out can run on the parallel executors — pass ``executor`` to pin
+    one (``"serial"``/``"threads"``/``"processes"``; default auto).
+    """
+    from repro.providers.aer import QasmSimulatorBackend
+
     circuits, labels = state_tomography_circuits(circuit)
-    counts_by_basis = {}
-    for index, (tomo, label) in enumerate(zip(circuits, labels)):
-        run_seed = None if seed is None else seed + 31 * index
-        outcome = engine.run(
-            tomo, shots=shots, seed=run_seed, noise_model=noise_model
-        )
-        counts_by_basis[label] = outcome["counts"]
+    options = {"shots": shots, "seed": seed, "noise_model": noise_model}
+    if executor is not None:
+        options["executor"] = executor
+    result = QasmSimulatorBackend().run(circuits, **options).result()
+    counts_by_basis = {
+        label: result.get_counts(f"tomo_{label}") for label in labels
+    }
     return fit_state(counts_by_basis, circuit.num_qubits)

@@ -3,6 +3,7 @@
 from repro.providers.aer import Aer
 from repro.providers.backend import BackendConfiguration, BaseBackend, Job
 from repro.providers.execute import execute, transpile
+from repro.providers.executor import JobStatus, choose_executor
 from repro.providers.fake import IBMQ, FakeQXBackend, build_device_noise_model
 from repro.providers.result import Counts, ExperimentResult, Result
 
@@ -15,8 +16,10 @@ __all__ = [
     "FakeQXBackend",
     "IBMQ",
     "Job",
+    "JobStatus",
     "Result",
     "build_device_noise_model",
+    "choose_executor",
     "execute",
     "transpile",
 ]

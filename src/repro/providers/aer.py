@@ -26,7 +26,15 @@ _ALL_GATES = [
 ]
 
 
-class QasmSimulatorBackend(BaseBackend):
+class _AerBackend(BaseBackend):
+    """Aer backends are registered by name, so process-pool workers can
+    rebuild them from the provider registry."""
+
+    def _backend_spec(self):
+        return ("aer", self.name())
+
+
+class QasmSimulatorBackend(_AerBackend):
     """Shot-based simulator backend (optionally noisy)."""
 
     def __init__(self):
@@ -46,11 +54,12 @@ class QasmSimulatorBackend(BaseBackend):
             seed=options.get("seed"),
             noise_model=options.get("noise_model"),
             memory=options.get("memory", False),
+            elide_diagonals=options.get("elide_diagonals", True),
         )
         return ExperimentResult(circuit.name, payload["shots"], payload)
 
 
-class StatevectorSimulatorBackend(BaseBackend):
+class StatevectorSimulatorBackend(_AerBackend):
     """Ideal statevector backend."""
 
     def __init__(self):
@@ -67,7 +76,7 @@ class StatevectorSimulatorBackend(BaseBackend):
         return ExperimentResult(circuit.name, 1, {"statevector": state})
 
 
-class UnitarySimulatorBackend(BaseBackend):
+class UnitarySimulatorBackend(_AerBackend):
     """Full-unitary backend."""
 
     def __init__(self):
@@ -84,7 +93,7 @@ class UnitarySimulatorBackend(BaseBackend):
         return ExperimentResult(circuit.name, 1, {"unitary": operator})
 
 
-class DensityMatrixSimulatorBackend(BaseBackend):
+class DensityMatrixSimulatorBackend(_AerBackend):
     """Exact noisy (density-matrix) backend."""
 
     def __init__(self):
@@ -112,7 +121,7 @@ class DensityMatrixSimulatorBackend(BaseBackend):
         return ExperimentResult(circuit.name, 1, {"density_matrix": state})
 
 
-class DDSimulatorBackend(BaseBackend):
+class DDSimulatorBackend(_AerBackend):
     """Decision-diagram backend (the JKU add-on of the paper's Ref. [5])."""
 
     def __init__(self):
@@ -141,7 +150,7 @@ class DDSimulatorBackend(BaseBackend):
         return ExperimentResult(circuit.name, shots, data)
 
 
-class StabilizerSimulatorBackend(BaseBackend):
+class StabilizerSimulatorBackend(_AerBackend):
     """Clifford tableau backend (polynomial-time for Clifford circuits)."""
 
     _CLIFFORD_GATES = [

@@ -1,10 +1,30 @@
-"""Backend abstraction: configuration, base class, and synchronous jobs."""
+"""Backend abstraction: configuration, base class, and the Job lifecycle.
+
+``BaseBackend.run`` implements the paper's Section IV pipeline in four
+stages shared by every backend:
+
+1. **assemble** — circuits are serialized into a Qobj dictionary by
+   :func:`repro.qobj.assembler.assemble`, which also derives one seed per
+   experiment from the batch seed;
+2. **schedule** — :mod:`repro.providers.executor` picks a serial, thread,
+   or process executor (``executor`` option, default auto);
+3. **run** — each experiment is disassembled and simulated independently,
+   with per-experiment timing and error capture;
+4. **collect** — :meth:`Job.result` gathers the experiment results into a
+   :class:`~repro.providers.result.Result`.
+"""
 
 from __future__ import annotations
 
 import itertools
 
 from repro.exceptions import BackendError
+from repro.providers.executor import (
+    SCHEDULING_OPTIONS,
+    JobStatus,
+    choose_executor,
+    create_dispatch,
+)
 
 
 class BackendConfiguration:
@@ -32,33 +52,66 @@ class BackendConfiguration:
 
 
 class Job:
-    """A completed (synchronous) execution."""
+    """A scheduled batch execution with an observable lifecycle.
+
+    States: ``INITIALIZING`` (accepted, not yet running) -> ``RUNNING`` ->
+    ``DONE`` or ``ERROR`` (at least one experiment failed); ``cancel()``
+    before execution starts moves the job to ``CANCELLED``.  With the
+    serial executor, execution is deferred until :meth:`result` is first
+    called; pool executors start running at submission.
+    """
 
     _id_counter = itertools.count()
 
-    def __init__(self, backend, result):
+    def __init__(self, backend, dispatch):
         self._backend = backend
-        self._result = result
+        self._dispatch = dispatch
+        self._result = None
         self.job_id = f"job-{next(Job._id_counter)}"
 
-    def result(self):
-        """The :class:`~repro.providers.result.Result`."""
+    def result(self, timeout=None):
+        """Collect the :class:`~repro.providers.result.Result` (blocking).
+
+        Raises :class:`BackendError` if the job was cancelled.  Individual
+        experiment failures do not raise here — they surface as ERROR
+        entries in the result (and through the accessors for that
+        experiment only).
+        """
+        if self._result is None:
+            from repro.providers.result import Result
+
+            outcomes = self._dispatch.collect(timeout=timeout)
+            self._result = Result(self._backend.name(), self.job_id, outcomes)
         return self._result
 
     def status(self) -> str:
-        """Always ``"DONE"`` — execution is synchronous."""
-        return "DONE"
+        """Current :class:`JobStatus` constant."""
+        state = self._dispatch.status()
+        if state == JobStatus.DONE:
+            # All experiments have finished, so collecting is instant; the
+            # terminal state depends on whether any of them failed.
+            if not self.result().success:
+                return JobStatus.ERROR
+        return state
+
+    def cancel(self) -> bool:
+        """Stop experiments that have not started; True if any were."""
+        return self._dispatch.cancel()
 
     def backend(self):
-        """The backend that ran this job."""
+        """The backend that runs this job."""
         return self._backend
 
     def __repr__(self):
-        return f"Job({self.job_id}, backend={self._backend.name()!r})"
+        return (
+            f"Job({self.job_id}, backend={self._backend.name()!r}, "
+            f"status={self.status()})"
+        )
 
 
 class BaseBackend:
-    """Common backend behaviour."""
+    """Common backend behaviour: the assemble -> schedule -> run -> collect
+    pipeline."""
 
     def __init__(self, configuration: BackendConfiguration):
         self._configuration = configuration
@@ -72,12 +125,27 @@ class BaseBackend:
         return self._configuration.backend_name
 
     def run(self, circuits, **options) -> Job:
-        """Execute one circuit or a list of circuits; returns a Job.
+        """Assemble and schedule one circuit or a list of circuits.
 
-        The ``use_kernels`` option (default True) toggles the specialized
-        gate kernels of :mod:`repro.simulators.kernels`; pass False to force
-        the generic ``apply_matrix`` path (A/B benchmarking, debugging).
+        Returns a :class:`Job` whose ``result()`` blocks until the batch
+        completes.  Options:
+
+        * ``shots`` / ``seed`` / ``memory`` / ``noise_model`` — forwarded
+          to the simulator engines.  The batch ``seed`` is expanded into
+          one derived seed per experiment by the assembler, so results are
+          bit-identical no matter which executor runs the batch.
+        * ``executor`` — ``"serial"``, ``"threads"``, ``"processes"``, or
+          ``"auto"`` (default): processes for wide multi-circuit batches
+          on multi-core hosts, serial otherwise.
+        * ``max_workers`` — pool width for the parallel executors.
+        * ``use_kernels`` (default True) — toggles the specialized gate
+          kernels of :mod:`repro.simulators.kernels`; pass False to force
+          the generic ``apply_matrix`` path (A/B benchmarking, debugging).
+          Since the kernel switch is process-global, ``use_kernels=False``
+          batches never run on the thread executor.
         """
+        from repro.qobj.assembler import assemble
+
         if not isinstance(circuits, (list, tuple)):
             circuits = [circuits]
         if not circuits:
@@ -88,19 +156,43 @@ class BaseBackend:
                 f"shots {shots} exceeds backend maximum "
                 f"{self._configuration.max_shots}"
             )
-        if options.get("use_kernels", True):
-            experiments = [self._run_experiment(c, options) for c in circuits]
-        else:
-            from repro.simulators import kernels
+        self._validate_batch(circuits)
+        requested = options.get("executor")
+        if not options.get("use_kernels", True) and requested == "threads":
+            requested = "serial"
+        max_workers = options.get("max_workers")
+        engine_options = {
+            key: value
+            for key, value in options.items()
+            if key not in SCHEDULING_OPTIONS
+        }
+        qobj = assemble(
+            circuits,
+            shots=shots,
+            seed=options.get("seed"),
+            memory=options.get("memory", False),
+        )
+        payloads = []
+        for experiment in qobj["experiments"]:
+            config = dict(engine_options)
+            config["seed"] = experiment["config"]["seed"]
+            payloads.append((experiment, config))
+        kind = choose_executor(
+            len(circuits),
+            max(circuit.num_qubits for circuit in circuits),
+            requested,
+        )
+        dispatch = create_dispatch(self, payloads, kind, max_workers)
+        return Job(self, dispatch)
 
-            with kernels.disabled():
-                experiments = [
-                    self._run_experiment(c, options) for c in circuits
-                ]
-        from repro.providers.result import Result
+    def _validate_batch(self, circuits) -> None:
+        """Submission-time validation hook; raise to reject the batch."""
 
-        result = Result(self.name(), f"job-{id(self) & 0xffff:x}", experiments)
-        return Job(self, result)
+    def _backend_spec(self):
+        """``(provider, name)`` registry key for process-pool workers, or
+        None when the backend cannot be rebuilt in a fresh process (the
+        process executor then degrades to threads)."""
+        return None
 
     def _run_experiment(self, circuit, options):
         raise NotImplementedError

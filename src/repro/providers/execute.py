@@ -12,12 +12,27 @@ transpile = _transpile
 
 def execute(circuits, backend: BaseBackend, shots: int = 1024, seed=None,
             noise_model=None, memory: bool = False,
-            optimization_level: int = 1) -> Job:
-    """Compile (if needed) and run circuits on a backend.
+            optimization_level: int = 1, executor: str = None,
+            max_workers: int = None) -> Job:
+    """Compile (if needed), assemble, and run circuits on a backend.
 
     For simulator backends the circuits run as-is.  For device backends the
     circuits are transpiled to the device's coupling map and basis first —
-    the ``compile`` step of the paper's Section IV run-through.
+    the ``compile`` step of the paper's Section IV run-through.  The batch
+    is then assembled into a Qobj and scheduled by the execution pipeline
+    (see :mod:`repro.providers.executor`).
+
+    Executor knobs:
+
+    * ``executor`` — ``"serial"``, ``"threads"``, ``"processes"``, or
+      ``"auto"`` (default None = auto): the process pool kicks in for
+      batches of 4+ experiments at 10+ qubits on multi-core hosts.
+    * ``max_workers`` — pool width for the parallel executors.
+
+    The batch ``seed`` is expanded into one derived seed per experiment at
+    assembly, so a seeded batch returns bit-identical results under every
+    executor.  The returned :class:`Job` exposes ``status()``, ``cancel()``,
+    and per-experiment timing/error metadata on its result.
     """
     if not isinstance(backend, BaseBackend):
         raise BackendError("backend must come from Aer or IBMQ get_backend")
@@ -40,4 +55,8 @@ def execute(circuits, backend: BaseBackend, shots: int = 1024, seed=None,
     options = {"shots": shots, "seed": seed, "memory": memory}
     if noise_model is not None:
         options["noise_model"] = noise_model
+    if executor is not None:
+        options["executor"] = executor
+    if max_workers is not None:
+        options["max_workers"] = max_workers
     return backend.run(batch, **options)

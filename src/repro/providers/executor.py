@@ -1,0 +1,260 @@
+"""Experiment scheduling: the middle stage of the execution pipeline.
+
+``BaseBackend.run`` assembles circuits into a Qobj and hands the
+per-experiment payloads to this module, which schedules them on one of
+three executors:
+
+* ``"serial"`` — in-process, one experiment at a time.  Execution is
+  deferred until the job's result is first requested, so the
+  :class:`~repro.providers.backend.Job` lifecycle (INITIALIZING ->
+  RUNNING -> DONE/ERROR) is observable and ``cancel()`` works before
+  execution starts.
+* ``"threads"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`.
+  Helps when the experiments spend their time in large numpy operations
+  that release the GIL.
+* ``"processes"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`.
+  Workers rebuild the backend from its provider spec and the circuit
+  from its assembled (JSON-compatible, hence picklable) experiment
+  dictionary, so nothing non-trivial crosses the process boundary.
+
+``"auto"`` (the default) picks ``processes`` for wide multi-circuit
+batches on multi-core hosts and ``serial`` otherwise.
+
+Determinism: per-experiment seeds are derived from the batch seed by the
+assembler before scheduling, so all three executors produce bit-identical
+:class:`~repro.providers.result.Result` payloads for a seeded batch.
+
+Failure isolation: a worker never raises.  An experiment that fails is
+returned as an ERROR :class:`~repro.providers.result.ExperimentResult`
+carrying the exception text; the other experiments in the batch are
+unaffected.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.exceptions import BackendError
+
+#: Options consumed by the scheduling layer itself (everything else in
+#: ``backend.run(**options)`` is forwarded to the simulator engines).
+SCHEDULING_OPTIONS = ("executor", "max_workers")
+
+#: Auto mode goes parallel only past these thresholds: process start-up and
+#: payload pickling cost more than re-running a narrow circuit in-process.
+AUTO_MIN_EXPERIMENTS = 4
+AUTO_MIN_QUBITS = 10
+
+
+class JobStatus:
+    """String constants for the :class:`Job` state machine."""
+
+    INITIALIZING = "INITIALIZING"
+    RUNNING = "RUNNING"
+    DONE = "DONE"
+    ERROR = "ERROR"
+    CANCELLED = "CANCELLED"
+
+
+def choose_executor(num_experiments: int, max_qubits: int,
+                    requested=None) -> str:
+    """Resolve the executor kind for a batch.
+
+    ``requested`` may be ``"serial"``, ``"threads"``, ``"processes"``,
+    ``"auto"``, or None (same as auto).  Auto picks processes for batches
+    of at least ``AUTO_MIN_EXPERIMENTS`` experiments whose widest circuit
+    has at least ``AUTO_MIN_QUBITS`` qubits when more than one CPU is
+    available, and serial otherwise.
+    """
+    if requested in ("serial", "threads", "processes"):
+        return requested
+    if requested not in (None, "auto"):
+        raise BackendError(
+            f"unknown executor '{requested}'; choose serial, threads, "
+            "processes, or auto"
+        )
+    if (
+        num_experiments >= AUTO_MIN_EXPERIMENTS
+        and max_qubits >= AUTO_MIN_QUBITS
+        and (os.cpu_count() or 1) > 1
+    ):
+        return "processes"
+    return "serial"
+
+
+def resolve_backend(spec):
+    """Rebuild a backend instance from its ``(provider, name)`` spec.
+
+    This is the process-worker side of backend transport: instead of
+    pickling backend objects (engines may hold caches), workers recreate
+    them from the provider registries.
+    """
+    provider, name = spec
+    if provider == "aer":
+        from repro.providers.aer import Aer
+
+        return Aer.get_backend(name)
+    if provider == "ibmq":
+        from repro.providers.fake import IBMQ
+
+        return IBMQ.get_backend(name)
+    raise BackendError(f"unknown backend provider '{provider}'")
+
+
+def run_assembled_experiment(backend, experiment: dict, config: dict):
+    """Run one assembled experiment; never raises.
+
+    The experiment dictionary is disassembled back into a circuit (the
+    Qobj is the wire format of the pipeline, for every executor) and the
+    backend's ``_run_experiment`` hook does the actual simulation.  Errors
+    are captured into an ERROR result with zero fan-out to siblings.
+    """
+    from repro.providers.result import ExperimentResult
+    from repro.qobj.assembler import experiment_to_circuit
+
+    name = experiment.get("header", {}).get("name", "unnamed")
+    start = time.perf_counter()
+    try:
+        circuit = experiment_to_circuit(experiment)
+        if config.get("use_kernels", True):
+            outcome = backend._run_experiment(circuit, config)
+        else:
+            from repro.simulators import kernels
+
+            with kernels.disabled():
+                outcome = backend._run_experiment(circuit, config)
+    except Exception as exc:  # noqa: BLE001 — isolation is the point
+        outcome = ExperimentResult(
+            name,
+            config.get("shots", 0),
+            {},
+            status=JobStatus.ERROR,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    outcome.time_taken = time.perf_counter() - start
+    outcome.seed = config.get("seed")
+    return outcome
+
+
+def _process_worker(spec, experiment, config):
+    """Top-level (hence picklable) entry point for process-pool workers."""
+    return run_assembled_experiment(resolve_backend(spec), experiment, config)
+
+
+class SerialDispatch:
+    """Deferred in-process execution of a payload list."""
+
+    def __init__(self, backend, payloads):
+        self._backend = backend
+        self._payloads = payloads
+        self._state = JobStatus.INITIALIZING
+        self._outcomes = None
+
+    def status(self) -> str:
+        """INITIALIZING until collect() first runs, then RUNNING/DONE."""
+        return self._state
+
+    def cancel(self) -> bool:
+        """Cancel the whole batch; only possible before execution starts."""
+        if self._state == JobStatus.INITIALIZING:
+            self._state = JobStatus.CANCELLED
+            return True
+        return False
+
+    def collect(self, timeout=None) -> list:
+        """Run (once) and return the experiment outcomes in batch order."""
+        if self._state == JobStatus.CANCELLED:
+            raise BackendError("job was cancelled")
+        if self._outcomes is None:
+            self._state = JobStatus.RUNNING
+            self._outcomes = [
+                run_assembled_experiment(self._backend, experiment, config)
+                for experiment, config in self._payloads
+            ]
+            self._state = JobStatus.DONE
+        return self._outcomes
+
+
+class PoolDispatch:
+    """Experiments submitted to a thread or process pool."""
+
+    def __init__(self, backend, payloads, kind: str, max_workers=None):
+        workers = max_workers or min(len(payloads), os.cpu_count() or 1)
+        workers = max(1, workers)
+        if kind == "processes":
+            spec = backend._backend_spec()
+            if spec is None:
+                # No provider registry entry to rebuild the backend from in
+                # a worker process; threads share the instance instead.
+                kind = "threads"
+        if kind == "processes":
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+            self._futures = [
+                self._pool.submit(_process_worker, spec, experiment, config)
+                for experiment, config in payloads
+            ]
+        else:
+            self._pool = ThreadPoolExecutor(max_workers=workers)
+            self._futures = [
+                self._pool.submit(
+                    run_assembled_experiment, backend, experiment, config
+                )
+                for experiment, config in payloads
+            ]
+        self._cancelled = False
+        self._outcomes = None
+
+    def status(self) -> str:
+        """RUNNING while any future is outstanding, then DONE."""
+        if self._cancelled:
+            return JobStatus.CANCELLED
+        if self._outcomes is not None or all(
+            future.done() for future in self._futures
+        ):
+            return JobStatus.DONE
+        return JobStatus.RUNNING
+
+    def cancel(self) -> bool:
+        """Cancel futures that have not started; True if any were."""
+        prevented = [future.cancel() for future in self._futures]
+        if any(prevented):
+            self._cancelled = True
+            self._pool.shutdown(wait=False)
+            return True
+        return False
+
+    def collect(self, timeout=None) -> list:
+        """Await and return the experiment outcomes in batch order."""
+        if self._cancelled:
+            raise BackendError("job was cancelled")
+        if self._outcomes is None:
+            from repro.providers.result import ExperimentResult
+
+            outcomes = []
+            for future in self._futures:
+                try:
+                    outcomes.append(future.result(timeout=timeout))
+                except Exception as exc:  # pool breakage, unpicklable payload
+                    outcomes.append(
+                        ExperimentResult(
+                            "unnamed", 0, {},
+                            status=JobStatus.ERROR,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+            # Every future has resolved, so this reaps workers immediately;
+            # a lazy shutdown would leave process pools to a noisy atexit.
+            self._pool.shutdown(wait=True)
+            self._outcomes = outcomes
+        return self._outcomes
+
+
+def create_dispatch(backend, payloads, kind: str, max_workers=None):
+    """Build the dispatch object for a resolved executor kind."""
+    if kind == "serial":
+        return SerialDispatch(backend, payloads)
+    if kind in ("threads", "processes"):
+        return PoolDispatch(backend, payloads, kind, max_workers)
+    raise BackendError(f"unknown executor '{kind}'")

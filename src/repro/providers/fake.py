@@ -105,6 +105,15 @@ class FakeQXBackend(BaseBackend):
                         f"{self.name()} coupling map; transpile first"
                     )
 
+    def _backend_spec(self):
+        return ("ibmq", self.name())
+
+    def _validate_batch(self, circuits) -> None:
+        """Reject un-transpilable batches at submission, like the cloud
+        device API would, instead of failing experiment by experiment."""
+        for circuit in circuits:
+            self.validate(circuit)
+
     def _run_experiment(self, circuit, options):
         self.validate(circuit)
         noise = options.get("noise_model", self._noise_model)
@@ -114,6 +123,7 @@ class FakeQXBackend(BaseBackend):
             seed=options.get("seed"),
             noise_model=noise,
             memory=options.get("memory", False),
+            elide_diagonals=options.get("elide_diagonals", True),
         )
         return ExperimentResult(circuit.name, payload["shots"], payload)
 

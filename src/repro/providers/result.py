@@ -40,16 +40,35 @@ class Counts(dict):
 
 
 class ExperimentResult:
-    """Result of one circuit's execution."""
+    """Result of one circuit's execution, including execution metadata."""
 
-    def __init__(self, circuit_name, shots, data):
+    def __init__(self, circuit_name, shots, data, status="DONE", error=None,
+                 time_taken=None, seed=None):
         self.circuit_name = circuit_name
         self.shots = shots
         #: Raw payload: may contain 'counts', 'memory', 'statevector',
         #: 'unitary', 'density_matrix', 'dd_nodes', ...
         self.data = data
+        #: "DONE" or "ERROR"; a failed experiment does not abort its batch.
+        self.status = status
+        #: Exception text when status is "ERROR".
+        self.error = error
+        #: Wall-clock seconds spent on this experiment (set by the executor).
+        self.time_taken = time_taken
+        #: The derived per-experiment seed the engine actually used.
+        self.seed = seed
+
+    @property
+    def success(self) -> bool:
+        """Whether this experiment completed without error."""
+        return self.error is None
 
     def __repr__(self):
+        if not self.success:
+            return (
+                f"ExperimentResult({self.circuit_name!r}, status=ERROR, "
+                f"error={self.error!r})"
+            )
         return (
             f"ExperimentResult({self.circuit_name!r}, shots={self.shots}, "
             f"keys={sorted(self.data)})"
@@ -64,18 +83,32 @@ class Result:
         self.job_id = job_id
         self._results = list(experiment_results)
 
+    @property
+    def success(self) -> bool:
+        """Whether every experiment in the batch completed without error."""
+        return all(experiment.success for experiment in self._results)
+
     def _lookup(self, circuit=None) -> ExperimentResult:
         if circuit is None:
             if len(self._results) != 1:
                 raise BackendError(
                     "multiple experiments in result; specify a circuit"
                 )
-            return self._results[0]
-        name = circuit if isinstance(circuit, str) else circuit.name
-        for experiment in self._results:
-            if experiment.circuit_name == name:
-                return experiment
-        raise BackendError(f"no result for circuit '{name}'")
+            experiment = self._results[0]
+        else:
+            name = circuit if isinstance(circuit, str) else circuit.name
+            for candidate in self._results:
+                if candidate.circuit_name == name:
+                    experiment = candidate
+                    break
+            else:
+                raise BackendError(f"no result for circuit '{name}'")
+        if not experiment.success:
+            raise BackendError(
+                f"experiment '{experiment.circuit_name}' failed: "
+                f"{experiment.error}"
+            )
+        return experiment
 
     def get_counts(self, circuit=None) -> Counts:
         """Measurement counts for one circuit."""

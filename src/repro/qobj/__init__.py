@@ -3,6 +3,7 @@
 from repro.qobj.assembler import (
     assemble,
     circuit_to_experiment,
+    derive_experiment_seeds,
     disassemble,
     experiment_to_circuit,
 )
@@ -10,6 +11,7 @@ from repro.qobj.assembler import (
 __all__ = [
     "assemble",
     "circuit_to_experiment",
+    "derive_experiment_seeds",
     "disassemble",
     "experiment_to_circuit",
 ]

@@ -101,19 +101,44 @@ def circuit_to_experiment(circuit: QuantumCircuit) -> dict:
     }
 
 
+def derive_experiment_seeds(seed, count: int) -> list:
+    """One deterministic seed per experiment from a batch seed.
+
+    Expanding the batch seed through a :class:`numpy.random.SeedSequence`
+    at assemble time (rather than seeding every experiment identically, or
+    letting each worker draw) is what makes results bit-identical across
+    the serial, thread, and process executors.  ``seed=None`` stays None
+    for every experiment (fresh entropy per run).
+    """
+    if seed is None:
+        return [None] * count
+    sequence = np.random.SeedSequence(int(seed))
+    return [int(s) for s in sequence.generate_state(count, dtype=np.uint64)]
+
+
 def assemble(circuits, shots: int = 1024, seed=None,
              memory: bool = False) -> dict:
-    """Bundle circuits into a Qobj-style dictionary."""
+    """Bundle circuits into a Qobj-style dictionary.
+
+    The batch-level config records the caller's ``seed``; each experiment
+    additionally carries its own derived seed (see
+    :func:`derive_experiment_seeds`).
+    """
     if not isinstance(circuits, (list, tuple)):
         circuits = [circuits]
     if not circuits:
         raise BackendError("nothing to assemble")
+    experiments = [circuit_to_experiment(c) for c in circuits]
+    for experiment, exp_seed in zip(
+        experiments, derive_experiment_seeds(seed, len(experiments))
+    ):
+        experiment["config"] = {"seed": exp_seed}
     return {
         "qobj_id": f"qobj-{next(_QOBJ_COUNTER)}",
         "type": "QASM",
         "schema_version": "1.3.0",
         "config": {"shots": shots, "seed": seed, "memory": memory},
-        "experiments": [circuit_to_experiment(c) for c in circuits],
+        "experiments": experiments,
     }
 
 

@@ -155,16 +155,25 @@ class DensityMatrix:
         }
 
     def sample_counts(self, shots: int, seed=None) -> dict:
-        """Sample measurement outcomes from the diagonal."""
+        """Sample measurement outcomes from the diagonal.
+
+        All shots are drawn with one vectorized ``searchsorted`` over the
+        cumulative distribution and binned with ``np.unique`` — same
+        scheme as ``Statevector.sample_counts`` and the qasm simulator's
+        sampling path.
+        """
         rng = np.random.default_rng(seed)
-        probs = self.probabilities()
-        probs = probs / probs.sum()
-        outcomes = rng.choice(self.dim, size=shots, p=probs)
-        counts: dict = {}
-        for outcome in outcomes:
-            key = format(int(outcome), f"0{self._num_qubits}b")
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+        cdf = np.cumsum(self.probabilities())
+        outcomes = np.searchsorted(
+            cdf, rng.random(shots) * cdf[-1], side="right"
+        )
+        np.minimum(outcomes, self.dim - 1, out=outcomes)
+        width = self._num_qubits
+        unique, tallies = np.unique(outcomes, return_counts=True)
+        return {
+            format(int(outcome), f"0{width}b"): int(tally)
+            for outcome, tally in zip(unique, tallies)
+        }
 
     # -- functionals --------------------------------------------------------------
 

@@ -95,11 +95,18 @@ class QasmSimulator:
     # -- public API --------------------------------------------------------------
 
     def run(self, circuit: QuantumCircuit, shots: int = 1024, seed=None,
-            noise_model=None, memory: bool = False) -> dict:
+            noise_model=None, memory: bool = False,
+            elide_diagonals: bool = True) -> dict:
         """Simulate and return ``{"counts": ..., "shots": ..., ["memory"]}``.
 
         Counts keys are bitstrings over *all* classical bits, clbit 0
         rightmost; unwritten clbits read 0.
+
+        ``elide_diagonals`` (default True) drops diagonal gates that
+        immediately precede terminal measurement on the sampling path —
+        they change amplitudes' phases but not ``|amplitude|**2``, so
+        counts, memory, and sampled values are bit-identical either way.
+        Pass False for A/B checks.
         """
         if shots < 1:
             raise SimulatorError("shots must be positive")
@@ -120,7 +127,10 @@ class QasmSimulator:
         if gate_noise_free and self._samplable(circuit):
             # Readout errors (if any) are applied to the sampled bits, so
             # readout-only noise models still take the fast sampling path.
-            shot_values = self._run_sampling(circuit, shots, rng, noise_model)
+            shot_values = self._run_sampling(
+                circuit, shots, rng, noise_model,
+                elide_diagonals=elide_diagonals,
+            )
         elif self._samplable(circuit) and self._batchable(circuit, noise_model):
             # Probabilistic-unitary noise with terminal measurement: evolve
             # all shots as one (2**n x chunk) batch, splitting columns only
@@ -227,16 +237,51 @@ class QasmSimulator:
                 return False
         return True
 
-    def _run_sampling(self, circuit, shots, rng, noise_model=None) -> list[int]:
+    @staticmethod
+    def _terminal_diagonals(data) -> set:
+        """Positions of diagonal gates followed only by measurement.
+
+        Scanning backwards, a qubit is *terminal* while everything after
+        the current position on it is a barrier, a measure, or an already
+        elided diagonal gate.  A diagonal (unitary) gate whose qubits are
+        all terminal scales amplitudes by phases only, so dropping it
+        leaves ``|amplitude|**2`` — and therefore every sampled outcome —
+        unchanged.
+        """
+        terminal: set = set()
+        for item in data:
+            terminal.update(item.qubits)
+        elided: set = set()
+        for position in range(len(data) - 1, -1, -1):
+            item = data[position]
+            op = item.operation
+            if op.name in ("barrier", "measure"):
+                continue
+            if (
+                isinstance(op, Gate)
+                and all(q in terminal for q in item.qubits)
+                and kernels.gate_is_diagonal(op)
+            ):
+                elided.add(position)
+                continue
+            terminal.difference_update(item.qubits)
+        return elided
+
+    def _run_sampling(self, circuit, shots, rng, noise_model=None, *,
+                      elide_diagonals=True) -> list[int]:
         num_qubits = circuit.num_qubits
         qubit_index = {q: i for i, q in enumerate(circuit.qubits)}
         clbit_index = {c: i for i, c in enumerate(circuit.clbits)}
         state = np.zeros(2**num_qubits, dtype=complex)
         state[0] = 1.0
         qubit_to_clbit: dict[int, int] = {}
-        for item in circuit.data:
+        elided = (
+            self._terminal_diagonals(circuit.data) if elide_diagonals
+            else set()
+        )
+        for position, item in enumerate(circuit.data):
             op = item.operation
-            if op.name == "barrier":
+            if op.name == "barrier" or position in elided:
                 continue
             if op.name == "measure":
                 qubit_to_clbit[qubit_index[item.qubits[0]]] = clbit_index[

@@ -73,9 +73,13 @@ class TestJobProtocol:
     def test_status_and_backend(self, measured_bell):
         backend = Aer.get_backend("qasm_simulator")
         job = backend.run(measured_bell, shots=5, seed=1)
+        result = job.result()
         assert job.status() == "DONE"
         assert job.backend() is backend
         assert job.job_id.startswith("job-")
+        # The monotonic Job counter is the job id end-to-end (no more
+        # id(backend)-derived Result ids that collide and repeat).
+        assert result.job_id == job.job_id
 
     def test_result_repr(self, measured_bell):
         backend = Aer.get_backend("qasm_simulator")

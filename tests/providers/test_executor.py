@@ -1,0 +1,335 @@
+"""Tests for the execution pipeline: scheduling, determinism, isolation.
+
+The contract under test (paper Sec. IV, the Qobj/job model): a seeded
+batch must produce bit-identical Results no matter which executor runs
+it, one failing experiment must not poison its siblings, and the Job
+state machine must be observable from the outside.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.exceptions import BackendError
+from repro.providers import Aer, JobStatus, choose_executor
+from repro.providers.executor import (
+    AUTO_MIN_EXPERIMENTS,
+    AUTO_MIN_QUBITS,
+    PoolDispatch,
+    SerialDispatch,
+)
+from repro.qobj import assemble, derive_experiment_seeds
+
+EXECUTORS = ["serial", "threads", "processes"]
+
+
+def _ghz(num_qubits, measure=True, name=None):
+    circuit = QuantumCircuit(num_qubits, num_qubits if measure else 0)
+    circuit.h(0)
+    for i in range(num_qubits - 1):
+        circuit.cx(i, i + 1)
+    if measure:
+        for i in range(num_qubits):
+            circuit.measure(i, i)
+    if name is not None:
+        circuit.name = name
+    return circuit
+
+
+def _batch(size, num_qubits=3, measure=True):
+    return [
+        _ghz(num_qubits, measure=measure, name=f"exp-{i}") for i in range(size)
+    ]
+
+
+def _array(value):
+    """Comparable ndarray from Statevector/Operator/DensityMatrix/ndarray."""
+    return np.asarray(getattr(value, "data", value))
+
+
+def _snapshot(result, circuits):
+    """Executor-independent view of a Result for bit-identity comparison."""
+    snap = []
+    for circuit in circuits:
+        data = result.data(circuit.name)
+        entry = {}
+        for key, value in sorted(data.items()):
+            if isinstance(value, dict):
+                entry[key] = dict(value)
+            elif isinstance(value, list):
+                entry[key] = list(value)
+            elif np.ndim(_array(value)) > 0:
+                entry[key] = _array(value).tolist()
+            else:
+                entry[key] = value
+        snap.append(entry)
+    return snap
+
+
+class TestChooseExecutor:
+    @pytest.mark.parametrize("kind", EXECUTORS)
+    def test_explicit_request_wins(self, kind):
+        assert choose_executor(1, 1, kind) == kind
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(BackendError, match="unknown executor"):
+            choose_executor(4, 12, "quantum")
+
+    def test_auto_small_batch_serial(self, monkeypatch):
+        import repro.providers.executor as executor_module
+
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 8)
+        assert choose_executor(AUTO_MIN_EXPERIMENTS - 1,
+                               AUTO_MIN_QUBITS, "auto") == "serial"
+        assert choose_executor(AUTO_MIN_EXPERIMENTS,
+                               AUTO_MIN_QUBITS - 1, None) == "serial"
+
+    def test_auto_wide_batch_processes(self, monkeypatch):
+        import repro.providers.executor as executor_module
+
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 8)
+        assert choose_executor(AUTO_MIN_EXPERIMENTS,
+                               AUTO_MIN_QUBITS, "auto") == "processes"
+
+    def test_auto_single_core_serial(self, monkeypatch):
+        import repro.providers.executor as executor_module
+
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 1)
+        assert choose_executor(16, 20, "auto") == "serial"
+
+
+class TestSeedDerivation:
+    def test_none_seed_stays_none(self):
+        assert derive_experiment_seeds(None, 3) == [None, None, None]
+
+    def test_deterministic_and_distinct(self):
+        first = derive_experiment_seeds(42, 8)
+        second = derive_experiment_seeds(42, 8)
+        assert first == second
+        assert len(set(first)) == 8
+        assert derive_experiment_seeds(43, 8) != first
+
+    def test_assemble_stamps_per_experiment_seeds(self):
+        qobj = assemble(_batch(4), shots=16, seed=7)
+        stamped = [exp["config"]["seed"] for exp in qobj["experiments"]]
+        assert stamped == derive_experiment_seeds(7, 4)
+        assert qobj["config"]["seed"] == 7
+
+
+class TestBitIdenticalAcrossExecutors:
+    """Same seeded batch, three executors, byte-for-byte equal Results."""
+
+    def _run_all(self, backend_name, circuits, **options):
+        snapshots = {}
+        seeds = {}
+        for kind in EXECUTORS:
+            backend = Aer.get_backend(backend_name)
+            result = backend.run(
+                list(circuits), executor=kind, **options
+            ).result()
+            assert result.success
+            snapshots[kind] = _snapshot(result, circuits)
+            seeds[kind] = [exp.seed for exp in result.results]
+        return snapshots, seeds
+
+    @pytest.mark.parametrize("backend_name", [
+        "qasm_simulator",
+        "density_matrix_simulator",
+        "stabilizer_simulator",
+        "dd_simulator",
+    ])
+    def test_sampling_backends(self, backend_name):
+        snapshots, seeds = self._run_all(
+            backend_name, _batch(5), shots=128, seed=11
+        )
+        assert snapshots["serial"] == snapshots["threads"]
+        assert snapshots["serial"] == snapshots["processes"]
+        assert seeds["serial"] == seeds["threads"] == seeds["processes"]
+        # Sibling experiments use derived (distinct) seeds, not the batch's.
+        assert len(set(seeds["serial"])) == 5
+
+    def test_qasm_memory_bit_identical(self):
+        """Per-shot memory (not just histograms) matches across executors."""
+        circuits = _batch(4)
+        snapshots, _seeds = self._run_all(
+            "qasm_simulator", circuits, shots=64, seed=3, memory=True
+        )
+        for circuit in circuits:
+            reference = None
+            for kind in EXECUTORS:
+                index = circuits.index(circuit)
+                memory = snapshots[kind][index]["memory"]
+                assert len(memory) == 64
+                if reference is None:
+                    reference = memory
+                assert memory == reference
+
+    @pytest.mark.parametrize("backend_name,key", [
+        ("statevector_simulator", "statevector"),
+        ("unitary_simulator", "unitary"),
+    ])
+    def test_pure_state_backends(self, backend_name, key):
+        circuits = _batch(3, measure=False)
+        snapshots, _seeds = self._run_all(backend_name, circuits)
+        for index in range(len(circuits)):
+            serial = snapshots["serial"][index][key]
+            assert snapshots["threads"][index][key] == serial
+            assert snapshots["processes"][index][key] == serial
+
+
+class TestFailureIsolation:
+    """One bad experiment must not abort or perturb its siblings."""
+
+    def _mixed_batch(self):
+        good_one = _ghz(2, name="good-one")
+        bad = QuantumCircuit(2, name="bad")  # no clbits: qasm sim rejects it
+        bad.h(0)
+        good_two = _ghz(3, name="good-two")
+        return [good_one, bad, good_two]
+
+    @pytest.mark.parametrize("kind", EXECUTORS)
+    def test_siblings_survive(self, kind):
+        backend = Aer.get_backend("qasm_simulator")
+        job = backend.run(self._mixed_batch(), shots=100, seed=9,
+                          executor=kind)
+        result = job.result()
+        assert not result.success
+        assert job.status() == JobStatus.ERROR
+        assert sum(result.get_counts("good-one").values()) == 100
+        assert sum(result.get_counts("good-two").values()) == 100
+        with pytest.raises(BackendError, match="'bad' failed"):
+            result.get_counts("bad")
+
+    def test_failed_experiment_carries_metadata(self):
+        backend = Aer.get_backend("qasm_simulator")
+        result = backend.run(self._mixed_batch(), shots=100, seed=9).result()
+        failed = [exp for exp in result.results if not exp.success]
+        assert len(failed) == 1
+        assert failed[0].circuit_name == "bad"
+        assert failed[0].status == JobStatus.ERROR
+        assert "classical bits" in failed[0].error
+        assert failed[0].time_taken is not None
+
+    @pytest.mark.parametrize("kind", EXECUTORS)
+    def test_good_results_unperturbed_by_sibling_failure(self, kind):
+        """A surviving experiment's counts match an all-good batch.
+
+        Derived seeds are positional (a prefix of the batch seed's
+        stream), so experiment 0 gets the same seed in both batches.
+        """
+        backend = Aer.get_backend("qasm_simulator")
+        mixed = backend.run(self._mixed_batch(), shots=100, seed=9,
+                            executor=kind).result()
+        engine_seed = derive_experiment_seeds(9, 3)[0]
+        from repro.simulators.qasm_simulator import QasmSimulator
+
+        direct = QasmSimulator().run(_ghz(2), shots=100, seed=engine_seed)
+        assert dict(mixed.get_counts("good-one")) == direct["counts"]
+
+
+class TestJobLifecycle:
+    def test_serial_is_lazy(self, measured_bell):
+        job = Aer.get_backend("qasm_simulator").run(
+            measured_bell, shots=10, seed=1, executor="serial"
+        )
+        assert job.status() == JobStatus.INITIALIZING
+        job.result()
+        assert job.status() == JobStatus.DONE
+
+    def test_pool_reaches_done(self, measured_bell):
+        job = Aer.get_backend("qasm_simulator").run(
+            [measured_bell], shots=10, seed=1, executor="threads"
+        )
+        assert job.status() in (JobStatus.RUNNING, JobStatus.DONE)
+        job.result()
+        assert job.status() == JobStatus.DONE
+
+    def test_cancel_before_run(self, measured_bell):
+        job = Aer.get_backend("qasm_simulator").run(
+            measured_bell, shots=10, seed=1, executor="serial"
+        )
+        assert job.cancel()
+        assert job.status() == JobStatus.CANCELLED
+        with pytest.raises(BackendError, match="cancelled"):
+            job.result()
+
+    def test_cancel_after_done_is_noop(self, measured_bell):
+        job = Aer.get_backend("qasm_simulator").run(
+            measured_bell, shots=10, seed=1, executor="serial"
+        )
+        job.result()
+        assert not job.cancel()
+        assert job.status() == JobStatus.DONE
+
+    def test_job_ids_unique_and_shared_with_result(self, measured_bell):
+        backend = Aer.get_backend("qasm_simulator")
+        jobs = [backend.run(measured_bell, shots=10, seed=1)
+                for _ in range(3)]
+        ids = [job.job_id for job in jobs]
+        assert len(set(ids)) == 3
+        numbers = [int(job_id.split("-")[1]) for job_id in ids]
+        assert numbers == sorted(numbers)
+        for job in jobs:
+            assert job.result().job_id == job.job_id
+
+    def test_per_experiment_timing(self, measured_bell):
+        result = Aer.get_backend("qasm_simulator").run(
+            [measured_bell, _ghz(3)], shots=50, seed=2
+        ).result()
+        for experiment in result.results:
+            assert experiment.time_taken is not None
+            assert experiment.time_taken >= 0
+
+    def test_unkernelled_batches_never_use_threads(self, measured_bell):
+        """The kernel switch is process-global, so use_kernels=False must
+        not share the process with concurrent threads."""
+        job = Aer.get_backend("qasm_simulator").run(
+            measured_bell, shots=10, seed=1,
+            executor="threads", use_kernels=False,
+        )
+        assert isinstance(job._dispatch, SerialDispatch)
+        assert sum(job.result().get_counts().values()) == 10
+
+    def test_spec_less_backend_degrades_processes_to_threads(
+            self, measured_bell):
+        """Backends without a registry spec cannot be rebuilt in a worker
+        process; the dispatch quietly falls back to threads."""
+        backend = Aer.get_backend("qasm_simulator")
+        backend._backend_spec = lambda: None
+        job = backend.run(measured_bell, shots=10, seed=1,
+                          executor="processes")
+        assert isinstance(job._dispatch, PoolDispatch)
+        assert sum(job.result().get_counts().values()) == 10
+
+    def test_device_backend_validates_at_submission(self):
+        """Fake-device batches fail fast with BackendError, not as
+        per-experiment ERROR entries."""
+        from repro.providers import IBMQ
+
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)  # 'h' is not in the device basis -> must transpile
+        circuit.measure(0, 0)
+        with pytest.raises(BackendError, match="transpile"):
+            IBMQ.get_backend("ibmqx4").run(circuit)
+
+
+class TestPipelineConsumers:
+    """Batched callers ride the same pipeline with pinned executors."""
+
+    def test_tomography_executor_pinning_is_deterministic(self, bell):
+        from repro.ignis.tomography import run_state_tomography
+
+        serial = run_state_tomography(bell, shots=256, seed=5,
+                                      executor="serial")
+        threads = run_state_tomography(bell, shots=256, seed=5,
+                                       executor="threads")
+        assert np.array_equal(serial.data, threads.data)
+
+    def test_rb_executor_pinning_is_deterministic(self):
+        from repro.ignis.rb import rb_experiment
+
+        _lengths, serial = rb_experiment([1, 4], num_samples=2, shots=64,
+                                         seed=8, executor="serial")
+        _lengths, threads = rb_experiment([1, 4], num_samples=2, shots=64,
+                                          seed=8, executor="threads")
+        assert serial == threads

@@ -83,6 +83,21 @@ class TestMeasurement:
         assert sum(counts.values()) == 200
         assert set(counts) <= {"00", "11"}
 
+    def test_sample_counts_seeded_reproducible(self, bell):
+        rho = DensityMatrix.from_instruction(bell)
+        assert rho.sample_counts(500, seed=7) == rho.sample_counts(500, seed=7)
+
+    def test_sample_counts_deterministic_state(self, ghz3):
+        """A computational-basis state samples to a single padded key."""
+        rho = DensityMatrix.zero_state(3)
+        assert rho.sample_counts(64, seed=2) == {"000": 64}
+
+    def test_sample_counts_matches_probabilities(self, bell):
+        rho = DensityMatrix.from_instruction(bell)
+        counts = rho.sample_counts(20_000, seed=3)
+        assert counts["00"] / 20_000 == pytest.approx(0.5, abs=0.02)
+        assert counts["11"] / 20_000 == pytest.approx(0.5, abs=0.02)
+
     def test_expectation_value(self):
         rho = DensityMatrix.zero_state(1)
         z = np.diag([1, -1]).astype(complex)
