@@ -1,15 +1,22 @@
-"""Directed-acyclic-graph view of a circuit.
+"""Directed-acyclic-graph IR for circuits.
 
 The transpiler's analysis and routing passes (Sec. V-B) work on wire
 dependencies rather than the flat instruction list: two gates on disjoint
 qubits commute trivially, and a router consumes the *front layer* of gates
 whose predecessors have all been executed.
+
+Since PR 4 the DAG is the transpiler's working representation, not just a
+view: every pass receives a :class:`DAGCircuit` and the flat
+:class:`~repro.circuit.quantumcircuit.QuantumCircuit` exists only at the
+pipeline boundary (:func:`circuit_to_dag` / :func:`dag_to_circuit`).  The
+graph is stored as one doubly-linked list per wire (qubit, clbit, or
+condition bit), which makes node surgery — removal, one-for-many
+substitution — a local splice instead of a global rebuild.
 """
 
 from __future__ import annotations
 
 import itertools
-from collections import defaultdict
 
 from repro.circuit.circuitinstruction import CircuitInstruction
 from repro.circuit.quantumcircuit import QuantumCircuit
@@ -36,90 +43,313 @@ class DAGOpNode:
         return f"DAGOpNode({self.node_id}: {self.operation.name} {list(self.qubits)})"
 
 
-class DAGCircuit:
-    """Wire-dependency DAG over a circuit's operations."""
+def _node_wires(node: DAGOpNode) -> list:
+    """Every wire the node touches (qubits, clbits, condition bits), deduped."""
+    wires = list(node.qubits) + list(node.clbits)
+    condition = node.operation.condition
+    if condition is not None:
+        wires.extend(condition[0])
+    seen = set()
+    unique = []
+    for wire in wires:
+        if wire not in seen:
+            seen.add(wire)
+            unique.append(wire)
+    return unique
 
-    def __init__(self, circuit: QuantumCircuit):
+
+class DAGCircuit:
+    """Wire-dependency DAG over a circuit's operations.
+
+    Ground truth is per-wire doubly-linked lists (``_prev`` / ``_next``
+    keyed by ``(node_id, wire)``); aggregated successor/predecessor sets
+    are derived on demand.  ``_order`` records node ids in a valid
+    topological order with lazy deletion (removed ids are skipped, and the
+    list is compacted when mostly dead).
+    """
+
+    def __init__(self, circuit: QuantumCircuit | None = None):
         self._circuit = circuit
         self._counter = itertools.count()
         self._nodes: dict[int, DAGOpNode] = {}
-        self._succ: dict[int, set[int]] = defaultdict(set)
-        self._pred: dict[int, set[int]] = defaultdict(set)
         self._order: list[int] = []
-        last_on_wire: dict = {}
-        for item in circuit.data:
-            wires = list(item.qubits) + list(item.clbits)
-            if item.operation.condition is not None:
-                wires.extend(item.operation.condition[0])
-            node_id = next(self._counter)
-            node = DAGOpNode(node_id, item.operation, item.qubits, item.clbits)
-            self._nodes[node_id] = node
-            self._order.append(node_id)
-            for wire in wires:
-                prev = last_on_wire.get(wire)
-                if prev is not None and prev != node_id:
-                    self._succ[prev].add(node_id)
-                    self._pred[node_id].add(prev)
-                last_on_wire[wire] = node_id
+        self._wire_head: dict = {}
+        self._wire_tail: dict = {}
+        self._next: dict = {}
+        self._prev: dict = {}
+        self.name = None
+        self.qregs: list = []
+        self.cregs: list = []
+        self.qubits: list = []
+        self.clbits: list = []
+        if circuit is not None:
+            self.name = circuit.name
+            self.qregs = list(circuit.qregs)
+            self.cregs = list(circuit.cregs)
+            self.qubits = list(circuit.qubits)
+            self.clbits = list(circuit.clbits)
+            for item in circuit.data:
+                self.apply_operation_back(
+                    item.operation, item.qubits, item.clbits
+                )
 
-    # -- basic queries ---------------------------------------------------------
+    # -- metadata --------------------------------------------------------------
 
     @property
     def circuit(self) -> QuantumCircuit:
-        """The source circuit."""
-        return self._circuit
+        """The source circuit (materialized if this DAG was built fresh)."""
+        if self._circuit is not None:
+            return self._circuit
+        return self.to_circuit()
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubit wires."""
+        return len(self.qubits)
+
+    @property
+    def num_clbits(self) -> int:
+        """Number of classical wires."""
+        return len(self.clbits)
+
+    def copy_empty_like(self) -> "DAGCircuit":
+        """A new DAG with the same wires/registers and no operations."""
+        fresh = DAGCircuit()
+        fresh._circuit = self._circuit
+        fresh.name = self.name
+        fresh.qregs = list(self.qregs)
+        fresh.cregs = list(self.cregs)
+        fresh.qubits = list(self.qubits)
+        fresh.clbits = list(self.clbits)
+        return fresh
+
+    # -- construction ----------------------------------------------------------
+
+    def apply_operation_back(self, operation, qubits, clbits=()) -> DAGOpNode:
+        """Append an operation at the end of its wires."""
+        node_id = next(self._counter)
+        node = DAGOpNode(node_id, operation, qubits, clbits)
+        self._nodes[node_id] = node
+        self._order.append(node_id)
+        for wire in _node_wires(node):
+            tail = self._wire_tail.get(wire)
+            if tail is None:
+                self._wire_head[wire] = node_id
+            else:
+                self._next[(tail, wire)] = node_id
+                self._prev[(node_id, wire)] = tail
+            self._wire_tail[wire] = node_id
+        return node
+
+    def __contains__(self, node: DAGOpNode) -> bool:
+        return node.node_id in self._nodes
+
+    # -- basic queries ---------------------------------------------------------
 
     def op_nodes(self, name=None) -> list[DAGOpNode]:
         """All operation nodes in topological (insertion) order."""
+        if len(self._order) > 2 * len(self._nodes):
+            self._order = [i for i in self._order if i in self._nodes]
         nodes = [self._nodes[i] for i in self._order if i in self._nodes]
         if name is not None:
             nodes = [n for n in nodes if n.operation.name == name]
         return nodes
 
+    def topological_op_nodes(self) -> list[DAGOpNode]:
+        """Operation nodes in a valid topological order."""
+        return self.op_nodes()
+
+    def node_wires(self, node: DAGOpNode) -> list:
+        """The wires ``node`` touches (qubits, clbits, condition bits)."""
+        return _node_wires(node)
+
+    def wire_successor(self, node: DAGOpNode, wire) -> DAGOpNode | None:
+        """The next node on ``wire`` after ``node`` (None at the wire end)."""
+        nxt = self._next.get((node.node_id, wire))
+        return self._nodes[nxt] if nxt is not None else None
+
+    def wire_predecessor(self, node: DAGOpNode, wire) -> DAGOpNode | None:
+        """The node on ``wire`` just before ``node`` (None at the start)."""
+        prev = self._prev.get((node.node_id, wire))
+        return self._nodes[prev] if prev is not None else None
+
     def successors(self, node: DAGOpNode) -> list[DAGOpNode]:
-        """Direct successors of ``node``."""
-        return [self._nodes[i] for i in sorted(self._succ[node.node_id])
-                if i in self._nodes]
+        """Direct successors of ``node`` across all of its wires."""
+        ids = {
+            self._next.get((node.node_id, wire))
+            for wire in _node_wires(node)
+        }
+        ids.discard(None)
+        return [self._nodes[i] for i in sorted(ids)]
 
     def predecessors(self, node: DAGOpNode) -> list[DAGOpNode]:
-        """Direct predecessors of ``node``."""
-        return [self._nodes[i] for i in sorted(self._pred[node.node_id])
-                if i in self._nodes]
+        """Direct predecessors of ``node`` across all of its wires."""
+        ids = {
+            self._prev.get((node.node_id, wire))
+            for wire in _node_wires(node)
+        }
+        ids.discard(None)
+        return [self._nodes[i] for i in sorted(ids)]
 
     def front_layer(self) -> list[DAGOpNode]:
-        """Nodes with no unexecuted predecessors."""
-        return [
-            self._nodes[i]
-            for i in self._order
-            if i in self._nodes and not self._pred[i]
-        ]
+        """Nodes with no predecessors on any of their wires."""
+        front = []
+        for node_id in self._order:
+            node = self._nodes.get(node_id)
+            if node is None:
+                continue
+            if all(
+                (node_id, wire) not in self._prev
+                for wire in _node_wires(node)
+            ):
+                front.append(node)
+        return front
+
+    # -- node surgery ----------------------------------------------------------
 
     def remove_op_node(self, node: DAGOpNode) -> None:
-        """Delete a node, splicing predecessors to successors."""
+        """Delete a node, splicing each wire's neighbours together."""
         node_id = node.node_id
         if node_id not in self._nodes:
             raise CircuitError("node not in DAG")
-        preds = self._pred.pop(node_id, set())
-        succs = self._succ.pop(node_id, set())
-        for p in preds:
-            self._succ[p].discard(node_id)
-            self._succ[p] |= succs
-        for s in succs:
-            self._pred[s].discard(node_id)
-            self._pred[s] |= preds
+        for wire in _node_wires(node):
+            prev = self._prev.pop((node_id, wire), None)
+            nxt = self._next.pop((node_id, wire), None)
+            if prev is not None:
+                if nxt is not None:
+                    self._next[(prev, wire)] = nxt
+                else:
+                    self._next.pop((prev, wire), None)
+            if nxt is not None:
+                if prev is not None:
+                    self._prev[(nxt, wire)] = prev
+                else:
+                    self._prev.pop((nxt, wire), None)
+            if self._wire_head.get(wire) == node_id:
+                if nxt is not None:
+                    self._wire_head[wire] = nxt
+                else:
+                    self._wire_head.pop(wire, None)
+            if self._wire_tail.get(wire) == node_id:
+                if prev is not None:
+                    self._wire_tail[wire] = prev
+                else:
+                    self._wire_tail.pop(wire, None)
         del self._nodes[node_id]
+
+    def substitute_node(self, node: DAGOpNode, operation) -> DAGOpNode:
+        """Swap a node's operation in place (same wires, same position)."""
+        if node.node_id not in self._nodes:
+            raise CircuitError("node not in DAG")
+        if operation.num_qubits != len(node.qubits):
+            raise CircuitError(
+                f"cannot substitute {len(node.qubits)}-qubit node with "
+                f"{operation.num_qubits}-qubit operation"
+            )
+        if operation.condition != node.operation.condition:
+            raise CircuitError(
+                "substitute_node cannot change the condition (wires would "
+                "differ); use substitute_node_with_dag"
+            )
+        node.operation = operation
+        return node
+
+    def substitute_node_with_dag(self, node: DAGOpNode,
+                                 replacement: "DAGCircuit",
+                                 wires=None) -> list[DAGOpNode]:
+        """Replace ``node`` with the contents of another DAG.
+
+        ``wires`` maps the replacement DAG's wires (its qubits then
+        clbits, in order) onto this DAG's wires; it defaults to the
+        substituted node's own ``qubits + clbits``.  Replacement
+        operations may only touch mapped wires.  The substituted node's
+        condition (if any) is propagated onto unconditioned replacement
+        operations, exactly like the unroller does.
+        """
+        node_id = node.node_id
+        if node_id not in self._nodes:
+            raise CircuitError("node not in DAG")
+        old_wires = _node_wires(node)
+        if wires is None:
+            wires = list(node.qubits) + list(node.clbits)
+        inner_wires = list(replacement.qubits) + list(replacement.clbits)
+        if len(inner_wires) != len(wires):
+            raise CircuitError(
+                f"replacement DAG has {len(inner_wires)} wires; "
+                f"{len(wires)} outer wires supplied"
+            )
+        wire_map = dict(zip(inner_wires, wires))
+        condition = node.operation.condition
+        allowed = set(old_wires)
+
+        new_nodes: list[DAGOpNode] = []
+        for rnode in replacement.op_nodes():
+            operation = rnode.operation.copy()
+            if operation.condition is not None:
+                raise CircuitError(
+                    "replacement operations may not carry their own "
+                    "conditions"
+                )
+            if condition is not None:
+                operation.condition = condition
+            qubits = [wire_map[w] for w in rnode.qubits]
+            clbits = [wire_map[w] for w in rnode.clbits]
+            new_id = next(self._counter)
+            new_node = DAGOpNode(new_id, operation, qubits, clbits)
+            for wire in _node_wires(new_node):
+                if wire not in allowed:
+                    raise CircuitError(
+                        "replacement operation touches a wire outside the "
+                        "substituted node's wires"
+                    )
+            self._nodes[new_id] = new_node
+            new_nodes.append(new_node)
+
+        position = self._order.index(node_id)
+        self._order[position:position + 1] = [n.node_id for n in new_nodes]
+
+        for wire in old_wires:
+            chain = [
+                n.node_id for n in new_nodes
+                if wire in set(_node_wires(n))
+            ]
+            prev = self._prev.pop((node_id, wire), None)
+            nxt = self._next.pop((node_id, wire), None)
+            seq = ([prev] if prev is not None else []) + chain + (
+                [nxt] if nxt is not None else []
+            )
+            if not seq:
+                self._wire_head.pop(wire, None)
+                self._wire_tail.pop(wire, None)
+                continue
+            if prev is None:
+                self._wire_head[wire] = seq[0]
+                self._prev.pop((seq[0], wire), None)
+            if nxt is None:
+                self._wire_tail[wire] = seq[-1]
+                self._next.pop((seq[-1], wire), None)
+            for a, b in zip(seq, seq[1:]):
+                self._next[(a, wire)] = b
+                self._prev[(b, wire)] = a
+        del self._nodes[node_id]
+        return new_nodes
+
+    # -- analysis --------------------------------------------------------------
 
     def layers(self):
         """Yield lists of nodes by ASAP level (like Fig. 1b columns)."""
         level: dict[int, int] = {}
-        buckets: dict[int, list[DAGOpNode]] = defaultdict(list)
-        for node_id in self._order:
-            if node_id not in self._nodes:
-                continue
-            preds = self._pred[node_id]
-            lvl = max((level[p] for p in preds if p in level), default=-1) + 1
-            level[node_id] = lvl
-            buckets[lvl].append(self._nodes[node_id])
+        buckets: dict[int, list[DAGOpNode]] = {}
+        for node in self.op_nodes():
+            preds = (
+                self._prev.get((node.node_id, wire))
+                for wire in _node_wires(node)
+            )
+            lvl = max(
+                (level[p] for p in preds if p is not None), default=-1
+            ) + 1
+            level[node.node_id] = lvl
+            buckets.setdefault(lvl, []).append(node)
         for lvl in sorted(buckets):
             yield buckets[lvl]
 
@@ -127,15 +357,15 @@ class DAGCircuit:
         """Longest path length over op nodes (barriers excluded)."""
         level: dict[int, int] = {}
         depth = 0
-        for node_id in self._order:
-            if node_id not in self._nodes:
-                continue
-            node = self._nodes[node_id]
-            preds = self._pred[node_id]
-            lvl = max((level[p] for p in preds if p in level), default=0)
+        for node in self.op_nodes():
+            preds = (
+                self._prev.get((node.node_id, wire))
+                for wire in _node_wires(node)
+            )
+            lvl = max((level[p] for p in preds if p is not None), default=0)
             if node.operation.name != "barrier":
                 lvl += 1
-            level[node_id] = lvl
+            level[node.node_id] = lvl
             depth = max(depth, lvl)
         return depth
 
@@ -145,6 +375,10 @@ class DAGCircuit:
         for node in self.op_nodes():
             counts[node.name] = counts.get(node.name, 0) + 1
         return counts
+
+    def size(self) -> int:
+        """Number of operations (barriers included)."""
+        return len(self._nodes)
 
     def two_qubit_ops(self) -> list[DAGOpNode]:
         """All 2-qubit gates (the CNOT-constraint carriers of Sec. II-B)."""
@@ -156,7 +390,17 @@ class DAGCircuit:
 
     def to_circuit(self) -> QuantumCircuit:
         """Rebuild a flat circuit in topological order."""
-        fresh = self._circuit.copy_empty_like()
+        if self._circuit is not None:
+            fresh = self._circuit.copy_empty_like()
+            fresh.name = self.name if self.name is not None else fresh.name
+        else:
+            fresh = QuantumCircuit(
+                name=self.name if self.name is not None else "dag-circuit"
+            )
+            for register in self.qregs:
+                fresh.add_register(register)
+            for register in self.cregs:
+                fresh.add_register(register)
         for node in self.op_nodes():
             fresh.data.append(
                 CircuitInstruction(
@@ -164,3 +408,13 @@ class DAGCircuit:
                 )
             )
         return fresh
+
+
+def circuit_to_dag(circuit: QuantumCircuit) -> DAGCircuit:
+    """Convert a flat circuit into the DAG IR (pipeline entry boundary)."""
+    return DAGCircuit(circuit)
+
+
+def dag_to_circuit(dag: DAGCircuit) -> QuantumCircuit:
+    """Convert the DAG IR back to a flat circuit (pipeline exit boundary)."""
+    return dag.to_circuit()

@@ -816,6 +816,49 @@ class UnitaryGate(Gate):
         )
 
 
+class DiagonalGate(Gate):
+    """A k-qubit gate diagonal in the computational basis.
+
+    Stored as the diagonal vector itself (``2**k`` unit-modulus entries),
+    so simulators can apply it as one vectorized multiply without ever
+    materializing the ``2**k x 2**k`` dense matrix.  This is the output of
+    the transpiler's ``FuseDiagonalGates`` pass, which collapses runs of
+    cu1/cp/rz/t/s/z-style gates (QFT circuits are mostly such runs) into a
+    single fused diagonal.
+    """
+
+    def __init__(self, diagonal, label=None):
+        diagonal = np.asarray(diagonal, dtype=complex).reshape(-1)
+        dim = diagonal.size
+        num_qubits = int(round(math.log2(dim)))
+        if 2**num_qubits != dim:
+            raise CircuitError(
+                f"diagonal length {dim} is not a power of two"
+            )
+        if not np.allclose(np.abs(diagonal), 1.0, atol=1e-8):
+            raise CircuitError("diagonal entries must have unit modulus")
+        super().__init__("diagonal", num_qubits, label=label)
+        self._diag = diagonal
+
+    @property
+    def diagonal(self) -> np.ndarray:
+        """The diagonal vector (little-endian index convention)."""
+        return self._diag
+
+    def _matrix(self):
+        return np.diag(self._diag)
+
+    def inverse(self):
+        return DiagonalGate(self._diag.conj(), label=self.label)
+
+    def __eq__(self, other):
+        if not isinstance(other, DiagonalGate):
+            return NotImplemented
+        return self._diag.size == other._diag.size and np.allclose(
+            self._diag, other._diag
+        )
+
+
 class ControlledUnitaryGate(Gate):
     """A generic single-control wrapper around any base gate."""
 

@@ -34,6 +34,14 @@ from repro.exceptions import DDError
 TOLERANCE = 1e-12
 _KEY_SCALE = 1e10
 
+#: Adaptive table sizing: tables start small and double whenever their
+#: entry count crosses ``_LOAD_FACTOR`` of the nominal capacity, up to
+#: ``_MAX_TABLE_SIZE``; a compute cache that cannot grow further is cleared
+#: instead (the classic DD-package compute-table policy).
+_INITIAL_TABLE_SIZE = 1 << 10
+_MAX_TABLE_SIZE = 1 << 22
+_LOAD_FACTOR = 0.75
+
 
 def _wkey(weight: complex) -> tuple[int, int]:
     """Hashable key for a complex weight, rounded to the tolerance grid."""
@@ -79,7 +87,8 @@ class Edge:
 class DDPackage:
     """Unique table, compute caches, and DD algorithms."""
 
-    def __init__(self):
+    def __init__(self, unique_table_size: int = _INITIAL_TABLE_SIZE,
+                 compute_cache_size: int = _INITIAL_TABLE_SIZE):
         #: The shared terminal node (var = -1, no successors).
         self.terminal = DDNode(-1, ())
         self._unique: dict = {}
@@ -88,6 +97,12 @@ class DDPackage:
         self._cache_add_v: dict = {}
         self._cache_add_m: dict = {}
         self.peak_nodes = 0
+        #: Nominal capacities; doubled adaptively on load-factor pressure.
+        self.unique_table_size = max(1, unique_table_size)
+        self.compute_cache_size = max(1, compute_cache_size)
+        self.unique_table_growths = 0
+        self.compute_cache_growths = 0
+        self.compute_cache_clears = 0
 
     # -- construction -----------------------------------------------------------
 
@@ -126,6 +141,12 @@ class DDPackage:
             self._unique[key] = node
             if len(self._unique) > self.peak_nodes:
                 self.peak_nodes = len(self._unique)
+            if (
+                len(self._unique) > _LOAD_FACTOR * self.unique_table_size
+                and self.unique_table_size < _MAX_TABLE_SIZE
+            ):
+                self.unique_table_size *= 2
+                self.unique_table_growths += 1
         return Edge(node, norm)
 
     def zero_state(self, num_qubits: int) -> Edge:
@@ -222,6 +243,23 @@ class DDPackage:
 
     # -- arithmetic ------------------------------------------------------------------
 
+    def _compute_entries(self) -> int:
+        return (
+            len(self._cache_mv) + len(self._cache_mm)
+            + len(self._cache_add_v) + len(self._cache_add_m)
+        )
+
+    def _cache_put(self, cache: dict, key, value) -> None:
+        """Insert into a compute cache under the adaptive sizing policy."""
+        if self._compute_entries() >= _LOAD_FACTOR * self.compute_cache_size:
+            if self.compute_cache_size < _MAX_TABLE_SIZE:
+                self.compute_cache_size *= 2
+                self.compute_cache_growths += 1
+            else:
+                self.clear_caches()
+                self.compute_cache_clears += 1
+        cache[key] = value
+
     def add(self, a: Edge, b: Edge) -> Edge:
         """Add two vector DDs."""
         return self._add(a, b, arity=2)
@@ -259,7 +297,7 @@ class DDPackage:
                 )
             )
         result = self.make_node(a.node.var, children)
-        cache[key] = (result.node, result.weight)
+        self._cache_put(cache, key, (result.node, result.weight))
         return Edge(result.node, result.weight * a.weight)
 
     def multiply_mv(self, m: Edge, v: Edge) -> Edge:
@@ -284,7 +322,7 @@ class DDPackage:
                 children.append(total)
             result = self.make_node(m.node.var, children)
             cached = (result.node, result.weight)
-            self._cache_mv[key] = cached
+            self._cache_put(self._cache_mv, key, cached)
         node, scale = cached
         return Edge(node, scale * m.weight * v.weight)
 
@@ -312,7 +350,7 @@ class DDPackage:
                     children.append(total)
             result = self.make_node(a.node.var, children)
             cached = (result.node, result.weight)
-            self._cache_mm[key] = cached
+            self._cache_put(self._cache_mm, key, cached)
         node, scale = cached
         return Edge(node, scale * a.weight * b.weight)
 
@@ -462,6 +500,19 @@ class DDPackage:
     def num_unique_nodes(self) -> int:
         """Current size of the unique table."""
         return len(self._unique)
+
+    def table_stats(self) -> dict:
+        """Occupancy, adaptive capacities, and resize counters."""
+        return {
+            "unique_table_entries": len(self._unique),
+            "unique_table_size": self.unique_table_size,
+            "unique_table_growths": self.unique_table_growths,
+            "compute_cache_entries": self._compute_entries(),
+            "compute_cache_size": self.compute_cache_size,
+            "compute_cache_growths": self.compute_cache_growths,
+            "compute_cache_clears": self.compute_cache_clears,
+            "peak_nodes": self.peak_nodes,
+        }
 
     def clear_caches(self):
         """Drop compute caches (unique table is kept)."""

@@ -30,6 +30,15 @@ class BackendError(ReproError):
     """Raised for provider/backend/job lifecycle problems."""
 
 
+class JobTimeoutError(BackendError):
+    """Raised when ``Job.result(timeout=...)`` exceeds its deadline.
+
+    Every executor (serial, threads, processes) raises this same type, so
+    callers can handle timeouts uniformly.  The job is left collectable:
+    calling ``result()`` again resumes/awaits the remaining experiments.
+    """
+
+
 class AlgorithmError(ReproError):
     """Raised by application-level (Aqua-like) algorithms."""
 

@@ -22,7 +22,7 @@ _ALL_GATES = [
     "u1", "u2", "u3", "u", "p", "cx", "id", "x", "y", "z", "h", "s", "sdg",
     "t", "tdg", "sx", "sxdg", "rx", "ry", "rz", "cy", "cz", "ch", "swap",
     "crx", "cry", "crz", "cu1", "cu3", "rzz", "rxx", "ryy", "ccx", "cswap",
-    "unitary",
+    "unitary", "diagonal",
 ]
 
 
@@ -139,6 +139,7 @@ class DDSimulatorBackend(_AerBackend):
         data = {
             "dd_nodes": dd_state.node_count(),
             "dd_peak_nodes": dd_state.peak_nodes,
+            "dd_table_stats": dd_state.table_stats(),
         }
         if circuit.num_clbits:
             data["counts"] = dd_state.sample_counts(

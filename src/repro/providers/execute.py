@@ -4,7 +4,9 @@ from __future__ import annotations
 
 from repro.providers.backend import BaseBackend, Job
 from repro.exceptions import BackendError
+from repro.transpiler.cache import get_transpile_cache
 from repro.transpiler.preset import transpile as _transpile
+from repro.transpiler.target import Target
 
 #: Re-exported so ``from repro import transpile`` matches the Qiskit API.
 transpile = _transpile
@@ -13,14 +15,19 @@ transpile = _transpile
 def execute(circuits, backend: BaseBackend, shots: int = 1024, seed=None,
             noise_model=None, memory: bool = False,
             optimization_level: int = 1, executor: str = None,
-            max_workers: int = None) -> Job:
+            max_workers: int = None, transpile_cache: bool = True) -> Job:
     """Compile (if needed), assemble, and run circuits on a backend.
 
     For simulator backends the circuits run as-is.  For device backends the
-    circuits are transpiled to the device's coupling map and basis first —
-    the ``compile`` step of the paper's Section IV run-through.  The batch
-    is then assembled into a Qobj and scheduled by the execution pipeline
-    (see :mod:`repro.providers.executor`).
+    circuits are compiled against a :class:`~repro.transpiler.target.Target`
+    built from the backend's configuration and calibrations — the
+    ``compile`` step of the paper's Section IV run-through.  Compiled
+    circuits are memoised in the content-hash transpile cache, so
+    re-executing an identical batch skips compilation entirely
+    (``transpile_cache=False`` opts out; the returned job carries the
+    cache counters as ``job.transpile_cache_stats``).  The batch is then
+    assembled into a Qobj and scheduled by the execution pipeline (see
+    :mod:`repro.providers.executor`).
 
     Executor knobs:
 
@@ -40,14 +47,15 @@ def execute(circuits, backend: BaseBackend, shots: int = 1024, seed=None,
     batch = [circuits] if single else list(circuits)
     configuration = backend.configuration()
     if not configuration.simulator:
+        target = Target.from_backend(backend)
         prepared = []
         for circuit in batch:
             mapped = _transpile(
                 circuit,
-                coupling_map=configuration.coupling_map,
-                basis_gates=configuration.basis_gates,
+                target=target,
                 optimization_level=optimization_level,
                 seed=seed,
+                transpile_cache=transpile_cache,
             )
             mapped.name = circuit.name
             prepared.append(mapped)
@@ -59,4 +67,6 @@ def execute(circuits, backend: BaseBackend, shots: int = 1024, seed=None,
         options["executor"] = executor
     if max_workers is not None:
         options["max_workers"] = max_workers
-    return backend.run(batch, **options)
+    job = backend.run(batch, **options)
+    job.transpile_cache_stats = get_transpile_cache().stats()
+    return job

@@ -35,8 +35,9 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 
-from repro.exceptions import BackendError
+from repro.exceptions import BackendError, JobTimeoutError
 
 #: Options consumed by the scheduling layer itself (everything else in
 #: ``backend.run(**options)`` is forwarded to the simulator engines).
@@ -151,6 +152,7 @@ class SerialDispatch:
         self._payloads = payloads
         self._state = JobStatus.INITIALIZING
         self._outcomes = None
+        self._finished: list = []
 
     def status(self) -> str:
         """INITIALIZING until collect() first runs, then RUNNING/DONE."""
@@ -164,15 +166,34 @@ class SerialDispatch:
         return False
 
     def collect(self, timeout=None) -> list:
-        """Run (once) and return the experiment outcomes in batch order."""
+        """Run (once) and return the experiment outcomes in batch order.
+
+        The ``timeout`` deadline is cooperative: it is checked between
+        experiments (a running experiment cannot be interrupted in-process)
+        and raises :class:`JobTimeoutError` when exceeded.  Finished
+        experiments are kept, so a later ``collect`` resumes where the
+        timed-out one stopped.
+        """
         if self._state == JobStatus.CANCELLED:
             raise BackendError("job was cancelled")
         if self._outcomes is None:
             self._state = JobStatus.RUNNING
-            self._outcomes = [
-                run_assembled_experiment(self._backend, experiment, config)
-                for experiment, config in self._payloads
-            ]
+            deadline = (
+                None if timeout is None else time.monotonic() + timeout
+            )
+            while len(self._finished) < len(self._payloads):
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise JobTimeoutError(
+                        f"job timed out after {timeout}s "
+                        f"({len(self._finished)}/{len(self._payloads)} "
+                        "experiments finished)"
+                    )
+                experiment, config = self._payloads[len(self._finished)]
+                self._finished.append(
+                    run_assembled_experiment(self._backend, experiment,
+                                             config)
+                )
+            self._outcomes = self._finished
             self._state = JobStatus.DONE
         return self._outcomes
 
@@ -226,16 +247,36 @@ class PoolDispatch:
         return False
 
     def collect(self, timeout=None) -> list:
-        """Await and return the experiment outcomes in batch order."""
+        """Await and return the experiment outcomes in batch order.
+
+        ``timeout`` bounds the whole collection, not each future; hitting
+        it raises :class:`JobTimeoutError` (same type as the serial
+        executor) and leaves the futures running, so a later ``collect``
+        can still gather them.
+        """
         if self._cancelled:
             raise BackendError("job was cancelled")
         if self._outcomes is None:
             from repro.providers.result import ExperimentResult
 
+            deadline = (
+                None if timeout is None else time.monotonic() + timeout
+            )
             outcomes = []
-            for future in self._futures:
+            for index, future in enumerate(self._futures):
+                remaining = (
+                    None
+                    if deadline is None
+                    else max(0.0, deadline - time.monotonic())
+                )
                 try:
-                    outcomes.append(future.result(timeout=timeout))
+                    outcomes.append(future.result(timeout=remaining))
+                except _FuturesTimeout:
+                    raise JobTimeoutError(
+                        f"job timed out after {timeout}s "
+                        f"({index}/{len(self._futures)} experiments "
+                        "collected)"
+                    ) from None
                 except Exception as exc:  # pool breakage, unpicklable payload
                     outcomes.append(
                         ExperimentResult(

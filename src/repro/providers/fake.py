@@ -33,6 +33,64 @@ _DEVICE_ERRORS = {
 }
 
 
+class BackendProperties:
+    """Per-qubit / per-edge calibration data for a fake device.
+
+    Mirrors the cloud API's ``backend.properties()`` payload: gate error
+    and duration for every (gate, qubits) combination plus readout error
+    per qubit.  Values are derived deterministically from the device name,
+    jittered around the published error magnitudes so each coupler is
+    distinguishable — which is what lets error-aware layout/routing
+    meaningfully prefer one region over another.
+    """
+
+    _DURATION_1Q = 50e-9
+    _DURATION_CX = 300e-9
+    _DURATION_READOUT = 1e-6
+
+    def __init__(self, name: str, coupling: CouplingMap):
+        if name not in _DEVICE_ERRORS:
+            raise BackendError(f"unknown device '{name}'")
+        err_1q, err_2q, err_ro = _DEVICE_ERRORS[name]
+        seed = int.from_bytes(name.encode(), "little") % (2**32)
+        rng = np.random.default_rng(seed)
+        self.backend_name = name
+        self._gate_errors: dict = {}
+        self._gate_durations: dict = {}
+        self._readout_errors: dict = {}
+        for qubit in range(coupling.num_qubits):
+            jitter = 0.7 + 0.6 * rng.random()
+            for gate in ("u1", "u2", "u3", "id"):
+                scale = 0.0 if gate == "u1" else jitter
+                self._gate_errors[(gate, (qubit,))] = err_1q * scale
+                self._gate_durations[(gate, (qubit,))] = (
+                    0.0 if gate == "u1" else self._DURATION_1Q
+                )
+            self._readout_errors[qubit] = err_ro * (0.7 + 0.6 * rng.random())
+        for edge in coupling.edges:
+            jitter = 0.6 + 0.8 * rng.random()
+            self._gate_errors[("cx", tuple(edge))] = err_2q * jitter
+            self._gate_durations[("cx", tuple(edge))] = (
+                self._DURATION_CX * (0.8 + 0.4 * rng.random())
+            )
+
+    def gate_error(self, gate: str, qubits) -> float | None:
+        """Calibrated error rate for ``gate`` on ``qubits`` (or None)."""
+        return self._gate_errors.get((gate, tuple(qubits)))
+
+    def gate_duration(self, gate: str, qubits) -> float | None:
+        """Calibrated duration (seconds) for ``gate`` on ``qubits``."""
+        return self._gate_durations.get((gate, tuple(qubits)))
+
+    def readout_error(self, qubit: int) -> float | None:
+        """Calibrated readout error for ``qubit``."""
+        return self._readout_errors.get(qubit)
+
+    def readout_duration(self, qubit: int) -> float:
+        """Readout duration (seconds)."""
+        return self._DURATION_READOUT
+
+
 def build_device_noise_model(name: str) -> NoiseModel:
     """Construct the canned noise model for a fake QX device."""
     if name not in _DEVICE_ERRORS:
@@ -67,6 +125,11 @@ class FakeQXBackend(BaseBackend):
         )
         self._noise_model = build_device_noise_model(name)
         self._engine = QasmSimulator()
+        self._properties = BackendProperties(name, coupling)
+
+    def properties(self) -> BackendProperties:
+        """Per-qubit/per-edge calibration data, like the cloud API."""
+        return self._properties
 
     @property
     def coupling_map(self) -> CouplingMap:

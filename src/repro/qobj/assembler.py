@@ -16,6 +16,7 @@ import numpy as np
 from repro.circuit.circuitinstruction import CircuitInstruction
 from repro.circuit.library.standard_gates import (
     STANDARD_GATES,
+    DiagonalGate,
     UnitaryGate,
     get_standard_gate,
 )
@@ -47,6 +48,12 @@ def _serialize_operation(operation, qubit_indices, clbit_indices,
         entry["params"] = [
             [[float(cell.real), float(cell.imag)] for cell in row]
             for row in matrix
+        ]
+        return [entry]
+    if name == "diagonal":
+        entry["params"] = [
+            [float(cell.real), float(cell.imag)]
+            for cell in operation.diagonal
         ]
         return [entry]
     if name in _DIRECT_NAMES:
@@ -175,6 +182,11 @@ def experiment_to_circuit(experiment: dict) -> QuantumCircuit:
                 [[complex(re, im) for re, im in row] for row in rows]
             )
             operation = UnitaryGate(matrix)
+            cargs = []
+        elif name == "diagonal":
+            operation = DiagonalGate(
+                np.array([complex(re, im) for re, im in entry["params"]])
+            )
             cargs = []
         else:
             operation = get_standard_gate(name, entry.get("params", []))

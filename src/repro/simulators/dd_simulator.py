@@ -150,6 +150,10 @@ class DDState:
         """Node count of the final state DD."""
         return self._package.node_count(self._edge)
 
+    def table_stats(self) -> dict:
+        """The package's unique-table/compute-cache sizing statistics."""
+        return self._package.table_stats()
+
     def to_statevector(self) -> Statevector:
         """Expand to a dense :class:`Statevector` (small n only)."""
         if self._num_qubits > 24:

@@ -472,8 +472,49 @@ def apply_unitary(state, matrix, targets, num_qubits, *, mutate=False):
     return result.reshape(original_shape)
 
 
+def apply_diagonal(state, diagonal, targets, num_qubits, *, mutate=False):
+    """Apply a diagonal operator given as its diagonal *vector*.
+
+    The entry point for fused :class:`DiagonalGate`\\ s: no dense matrix is
+    ever built and, unlike :func:`apply_unitary`, there is no
+    ``_MAX_ANALYZED_QUBITS`` cap — a fused 8-qubit diagonal is still one
+    tiled elementwise multiply.  ``diagonal[j]``'s bit ``p`` corresponds to
+    ``targets[p]`` (same little-endian convention as the matrix kernels).
+    """
+    diagonal = np.ascontiguousarray(diagonal, dtype=complex)
+    if not ENABLED:
+        return apply_matrix(state, np.diag(diagonal), targets, num_qubits)
+    state = np.asarray(state)
+    original_shape = state.shape
+    batch = 1
+    for extent in state.shape[1:]:
+        batch *= extent
+    if state.dtype != np.complex128 or not state.flags.c_contiguous:
+        state = np.ascontiguousarray(state, dtype=complex)
+        mutate = True  # we own the converted copy
+    flat = state.reshape(-1)
+    if not mutate:
+        flat = flat.copy()
+    targets = list(targets)
+    if (1 << min(targets)) * batch < _DIAG_TILE_RUN:
+        _apply_diag_tiled(flat, diagonal, targets, num_qubits, batch)
+    else:
+        view, axes = _compact_view(flat, targets, num_qubits, batch)
+        _apply_diag_tensor(view, axes, diagonal)
+    return flat.reshape(original_shape)
+
+
 def apply_gate(state, gate, targets, num_qubits, *, mutate=False):
-    """Apply a :class:`~repro.circuit.gate.Gate` via its (cached) matrix."""
+    """Apply a :class:`~repro.circuit.gate.Gate` via its (cached) matrix.
+
+    Gates that carry their diagonal vector directly (``DiagonalGate``)
+    skip matrix construction entirely via :func:`apply_diagonal`.
+    """
+    diagonal = getattr(gate, "diagonal", None)
+    if diagonal is not None and ENABLED:
+        return apply_diagonal(
+            state, diagonal, targets, num_qubits, mutate=mutate
+        )
     return apply_unitary(
         state, gate.to_matrix(), targets, num_qubits, mutate=mutate
     )
@@ -486,6 +527,8 @@ def gate_is_diagonal(gate) -> bool:
     callers (e.g. the sampling-path diagonal elision) agree with the kernel
     layer on what counts as diagonal.
     """
+    if getattr(gate, "diagonal", None) is not None:
+        return True
     try:
         matrix = gate.to_matrix()
     except Exception:

@@ -1,15 +1,54 @@
 """Transpiler: coupling maps, layouts, pass manager, and preset pipelines."""
 
+from repro.circuit.dag import DAGCircuit, circuit_to_dag, dag_to_circuit
+from repro.transpiler.cache import (
+    TranspileCache,
+    circuit_fingerprint,
+    clear_transpile_cache,
+    get_transpile_cache,
+    resize_transpile_cache,
+)
 from repro.transpiler.coupling import CouplingMap
 from repro.transpiler.layout import Layout
-from repro.transpiler.passmanager import BasePass, PassManager
+from repro.transpiler.passmanager import (
+    AnalysisPass,
+    BasePass,
+    ConditionalController,
+    DoWhileController,
+    FlowController,
+    PassManager,
+    PropertySet,
+    TransformationPass,
+)
 from repro.transpiler.preset import build_pass_manager, transpile
+from repro.transpiler.target import (
+    InstructionProperties,
+    Target,
+    target_from_coupling,
+)
 
 __all__ = [
+    "AnalysisPass",
     "BasePass",
+    "ConditionalController",
     "CouplingMap",
+    "DAGCircuit",
+    "DoWhileController",
+    "FlowController",
+    "InstructionProperties",
     "Layout",
     "PassManager",
+    "PropertySet",
+    "Target",
+    "TransformationPass",
+    "TranspileCache",
     "build_pass_manager",
+    "circuit_fingerprint",
+    "circuit_to_dag",
+    "clear_transpile_cache",
+    "dag_to_circuit",
+    "get_transpile_cache",
+    "resize_transpile_cache",
+    "target_from_coupling",
     "transpile",
 ]

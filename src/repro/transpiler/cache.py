@@ -1,0 +1,142 @@
+"""Content-hash transpile cache.
+
+Compiling the same circuit for the same device repeatedly is common —
+parameter sweeps, shot-batching loops, repeated ``execute`` calls over a
+fixed workload.  The cache keys on a content fingerprint of the circuit
+*structure* (registers, instruction sequence, parameters, wiring) plus the
+target identity and every transpile option that can change the output, so
+a hit is guaranteed to be the exact circuit the compiler would have
+produced.  Entries are kept in LRU order with hit/miss counters exposed
+for observability (``execute`` surfaces them through job metadata).
+
+Knobs: ``transpile(..., transpile_cache=False)`` bypasses the cache for
+one call; :func:`resize_transpile_cache` changes capacity (0 disables).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+
+def circuit_fingerprint(circuit) -> str:
+    """A content hash of the circuit's structure.
+
+    Two circuits with the same fingerprint transpile identically: the hash
+    covers register names/sizes, the full instruction sequence with
+    parameters (and raw matrix/diagonal payloads for unitary/diagonal
+    gates), qubit/clbit wiring, and conditions.
+    """
+    hasher = hashlib.sha256()
+
+    def feed(text):
+        hasher.update(text.encode())
+        hasher.update(b"\x00")
+
+    feed("qregs")
+    for register in circuit.qregs:
+        feed(f"{register.name}:{register.size}")
+    feed("cregs")
+    for register in circuit.cregs:
+        feed(f"{register.name}:{register.size}")
+    qubit_index = {qubit: i for i, qubit in enumerate(circuit.qubits)}
+    clbit_index = {clbit: i for i, clbit in enumerate(circuit.clbits)}
+    feed("ops")
+    for item in circuit.data:
+        operation = item.operation
+        feed(operation.name)
+        for param in operation.params:
+            feed(repr(complex(param)) if isinstance(param, complex)
+                 else repr(float(param)))
+        for attr in ("_unitary", "_diag"):
+            payload = getattr(operation, attr, None)
+            if payload is not None:
+                hasher.update(payload.tobytes())
+        feed(",".join(str(qubit_index[q]) for q in item.qubits))
+        feed(",".join(str(clbit_index[c]) for c in item.clbits))
+        condition = operation.condition
+        if condition is not None:
+            register, value = condition
+            feed(f"cond:{register.name}:{register.size}:{int(value)}")
+    return hasher.hexdigest()
+
+
+class TranspileCache:
+    """An LRU map from (circuit, target, options) to compiled results."""
+
+    def __init__(self, maxsize: int = 64):
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict = OrderedDict()
+
+    def make_key(self, circuit, target, options: tuple) -> tuple:
+        """The full cache key for a transpile call."""
+        target_key = target.cache_key() if target is not None else None
+        return (circuit_fingerprint(circuit), target_key, options)
+
+    def lookup(self, key):
+        """The cached compiled circuit for ``key``, or None (counts a
+        hit/miss either way)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        compiled, initial_layout, final_permutation = entry
+        result = compiled.copy()
+        result.name = compiled.name
+        result.initial_layout = initial_layout
+        result.final_permutation = final_permutation
+        return result
+
+    def store(self, key, compiled) -> None:
+        """Cache a compiled circuit (a private copy is stored)."""
+        if self.maxsize <= 0:
+            return
+        kept = compiled.copy()
+        kept.name = compiled.name
+        self._entries[key] = (
+            kept,
+            getattr(compiled, "initial_layout", None),
+            getattr(compiled, "final_permutation", None),
+        )
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def stats(self) -> dict:
+        """Hit/miss counters and current occupancy."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+        }
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_CACHE = TranspileCache()
+
+
+def get_transpile_cache() -> TranspileCache:
+    """The process-wide transpile cache."""
+    return _CACHE
+
+
+def clear_transpile_cache() -> None:
+    """Empty the process-wide cache and reset its counters."""
+    _CACHE.clear()
+
+
+def resize_transpile_cache(maxsize: int) -> None:
+    """Change cache capacity; 0 disables caching entirely."""
+    _CACHE.maxsize = maxsize
+    while len(_CACHE._entries) > maxsize:
+        _CACHE._entries.popitem(last=False)

@@ -2,6 +2,7 @@
 
 from repro.transpiler.passes.commutation import CommutativeCancellation
 from repro.transpiler.passes.direction import CheckMap, CXDirection
+from repro.transpiler.passes.fusion import FuseDiagonalGates
 from repro.transpiler.passes.layout_passes import (
     ApplyLayout,
     DenseLayout,
@@ -11,6 +12,7 @@ from repro.transpiler.passes.layout_passes import (
 from repro.transpiler.passes.optimization import (
     CXCancellation,
     Depth,
+    FixedPoint,
     GateCancellation,
     Optimize1qGates,
     RemoveBarriers,
@@ -28,7 +30,8 @@ from repro.transpiler.passes.unroller import (
 __all__ = [
     "ApplyLayout", "BasicSwap", "CXCancellation", "CXDirection", "CheckMap",
     "CommutativeCancellation",
-    "Decompose", "DenseLayout", "Depth", "GateCancellation", "IBMQX_BASIS",
+    "Decompose", "DenseLayout", "Depth", "FixedPoint", "FuseDiagonalGates",
+    "GateCancellation", "IBMQX_BASIS",
     "LookaheadSwap", "Optimize1qGates", "RemoveBarriers", "SabreSwap",
     "SetLayout", "Size", "TrivialLayout", "Unroller", "u3_from_matrix",
     "zyz_decomposition",

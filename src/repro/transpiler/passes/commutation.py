@@ -8,14 +8,13 @@ such gates cancel too — e.g. ``CX(0,1) T(0) CX(0,1) -> T(0)``.
 
 from __future__ import annotations
 
-from repro.circuit.circuitinstruction import CircuitInstruction
-from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.circuit.dag import DAGCircuit
 from repro.transpiler.passes.optimization import GateCancellation
-from repro.transpiler.passmanager import BasePass
+from repro.transpiler.passmanager import TransformationPass
 
 #: Gates diagonal in the computational basis (commute with CX controls).
 _DIAGONAL = {"z", "s", "sdg", "t", "tdg", "u1", "p", "rz", "cz", "cu1",
-             "cp", "rzz", "id"}
+             "cp", "rzz", "id", "diagonal"}
 #: Gates that commute through a CX target (X-type on the target wire).
 _X_TYPE = {"x", "rx", "sx", "sxdg", "id"}
 
@@ -47,33 +46,34 @@ def _commutes_with_cx(op, op_qubits, cx_control, cx_target) -> bool:
     return False
 
 
-class CommutativeCancellation(BasePass):
+class CommutativeCancellation(TransformationPass):
     """Cancel CX pairs separated only by gates that commute through them.
 
-    A linear sweep: for every CX, look back along its wires for an earlier
-    identical CX such that everything in between commutes with it; if
-    found, delete both.  Finishes with a plain :class:`GateCancellation`
+    A linear sweep over a materialized topological order: for every CX,
+    look back along the order for an earlier identical CX such that
+    everything in between touching its wires commutes with it; if found,
+    delete both.  Finishes with a plain :class:`GateCancellation`
     fixed-point pass to mop up newly adjacent pairs.
     """
 
-    def run(self, circuit: QuantumCircuit, property_set: dict):
-        data = list(circuit.data)
-        alive = [True] * len(data)
+    def run(self, dag: DAGCircuit, property_set) -> DAGCircuit:
+        nodes = dag.topological_op_nodes()
+        alive = [True] * len(nodes)
         changed = True
         while changed:
             changed = False
-            for index, item in enumerate(data):
-                if not alive[index] or item.operation.name != "cx":
+            for index, node in enumerate(nodes):
+                if not alive[index] or node.operation.name != "cx":
                     continue
-                if item.operation.condition is not None:
+                if node.operation.condition is not None:
                     continue
-                control = item.qubits[0]
-                target = item.qubits[1]
+                control = node.qubits[0]
+                target = node.qubits[1]
                 # Scan backwards for a matching CX.
                 for back in range(index - 1, -1, -1):
                     if not alive[back]:
                         continue
-                    earlier = data[back]
+                    earlier = nodes[back]
                     if (
                         earlier.operation.name == "cx"
                         and list(earlier.qubits) == [control, target]
@@ -96,8 +96,7 @@ class CommutativeCancellation(BasePass):
                         target,
                     ):
                         break
-        reduced = circuit.copy_empty_like()
-        reduced.data = [
-            item for keep, item in zip(alive, data) if keep
-        ]
-        return GateCancellation().run(reduced, property_set)
+        for keep, node in zip(alive, nodes):
+            if not keep:
+                dag.remove_op_node(node)
+        return GateCancellation().run(dag, property_set)

@@ -8,66 +8,72 @@ Hadamards: CX(a,b) = (H ⊗ H) CX(b,a) (H ⊗ H).
 
 from __future__ import annotations
 
-from repro.circuit.circuitinstruction import CircuitInstruction
+from repro.circuit.dag import DAGCircuit
 from repro.circuit.library.standard_gates import CXGate, HGate
+from repro.circuit.register import QuantumRegister
 from repro.exceptions import TranspilerError
 from repro.transpiler.coupling import CouplingMap
-from repro.transpiler.passmanager import BasePass
+from repro.transpiler.passmanager import AnalysisPass, TransformationPass
 
 
-class CXDirection(BasePass):
-    """Flip CNOTs that point against the coupling map's arrows."""
+def _reversed_cx_dag() -> DAGCircuit:
+    """H(c) H(t); CX(t, c); H(c) H(t) on a 2-wire scratch register."""
+    register = QuantumRegister(2, "rev")
+    dag = DAGCircuit()
+    dag.qregs = [register]
+    dag.qubits = list(register)
+    control, target = register
+    dag.apply_operation_back(HGate(), [control])
+    dag.apply_operation_back(HGate(), [target])
+    dag.apply_operation_back(CXGate(), [target, control])
+    dag.apply_operation_back(HGate(), [control])
+    dag.apply_operation_back(HGate(), [target])
+    return dag
+
+
+class CXDirection(TransformationPass):
+    """Flip CNOTs that point against the coupling map's arrows.
+
+    Reversed CNOTs are rewritten in place via
+    :meth:`DAGCircuit.substitute_node_with_dag` — a local 1-to-5 splice.
+    """
 
     def __init__(self, coupling: CouplingMap):
         self._coupling = coupling
 
-    def run(self, circuit, property_set):
-        index_of = {q: i for i, q in enumerate(circuit.qubits)}
-        result = circuit.copy_empty_like()
-        for item in circuit.data:
-            op = item.operation
-            if op.name != "cx":
-                result.data.append(
-                    CircuitInstruction(op, list(item.qubits), list(item.clbits))
-                )
-                continue
-            control, target = item.qubits
+    def run(self, dag: DAGCircuit, property_set) -> DAGCircuit:
+        index_of = {q: i for i, q in enumerate(dag.qubits)}
+        replacement = _reversed_cx_dag()
+        for node in dag.op_nodes("cx"):
+            control, target = node.qubits
             c_idx, t_idx = index_of[control], index_of[target]
             if self._coupling.has_edge(c_idx, t_idx):
-                result.data.append(
-                    CircuitInstruction(op, [control, target], [])
-                )
-            elif self._coupling.has_edge(t_idx, c_idx):
-                result.data.append(CircuitInstruction(HGate(), [control], []))
-                result.data.append(CircuitInstruction(HGate(), [target], []))
-                result.data.append(
-                    CircuitInstruction(CXGate(), [target, control], [])
-                )
-                result.data.append(CircuitInstruction(HGate(), [control], []))
-                result.data.append(CircuitInstruction(HGate(), [target], []))
+                continue
+            if self._coupling.has_edge(t_idx, c_idx):
+                dag.substitute_node_with_dag(node, replacement)
             else:
                 raise TranspilerError(
                     f"cx on non-adjacent physical qubits {c_idx}, {t_idx}; "
                     "run a routing pass first"
                 )
-        return result
+        return dag
 
 
-class CheckMap(BasePass):
+class CheckMap(AnalysisPass):
     """Analysis pass: verify every 2q gate satisfies the coupling map."""
 
     def __init__(self, coupling: CouplingMap, check_direction: bool = False):
         self._coupling = coupling
         self._check_direction = check_direction
 
-    def run(self, circuit, property_set):
-        index_of = {q: i for i, q in enumerate(circuit.qubits)}
+    def run(self, dag: DAGCircuit, property_set):
+        index_of = {q: i for i, q in enumerate(dag.qubits)}
         ok = True
-        for item in circuit.data:
-            if len(item.qubits) != 2 or item.operation.name == "barrier":
+        for node in dag.op_nodes():
+            if len(node.qubits) != 2 or node.operation.name == "barrier":
                 continue
-            a, b = (index_of[q] for q in item.qubits)
-            if self._check_direction and item.operation.name == "cx":
+            a, b = (index_of[q] for q in node.qubits)
+            if self._check_direction and node.operation.name == "cx":
                 if not self._coupling.has_edge(a, b):
                     ok = False
                     break
@@ -76,4 +82,3 @@ class CheckMap(BasePass):
                 break
         key = "is_direction_mapped" if self._check_direction else "is_swap_mapped"
         property_set[key] = ok
-        return circuit

@@ -1,31 +1,36 @@
-"""Layout selection and application passes."""
+"""Layout selection and application passes.
+
+Selection passes (:class:`SetLayout`, :class:`TrivialLayout`,
+:class:`DenseLayout`) are analyses: they inspect the DAG and leave a
+:class:`~repro.transpiler.layout.Layout` in ``property_set['layout']``.
+:class:`ApplyLayout` is the transformation that rewrites the DAG over the
+device's physical register.
+"""
 
 from __future__ import annotations
 
-from repro.circuit.circuitinstruction import CircuitInstruction
-from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.circuit.dag import DAGCircuit
 from repro.circuit.register import QuantumRegister
 from repro.exceptions import TranspilerError
 from repro.transpiler.coupling import CouplingMap
 from repro.transpiler.layout import Layout
-from repro.transpiler.passmanager import BasePass
+from repro.transpiler.passmanager import AnalysisPass, TransformationPass
 
 
-class SetLayout(BasePass):
+class SetLayout(AnalysisPass):
     """Install a user-provided layout (int list or :class:`Layout`)."""
 
     def __init__(self, layout):
         self._layout = layout
 
-    def run(self, circuit, property_set):
+    def run(self, dag: DAGCircuit, property_set):
         layout = self._layout
         if not isinstance(layout, Layout):
-            layout = Layout.from_intlist(list(layout), circuit.qubits)
+            layout = Layout.from_intlist(list(layout), dag.qubits)
         property_set["layout"] = layout
-        return circuit
 
 
-class TrivialLayout(BasePass):
+class TrivialLayout(AnalysisPass):
     """Map virtual qubit i to physical qubit i (the naive 1:1 mapping the
     paper describes as 'just mapping all qubits qi to corresponding physical
     qubits Qi')."""
@@ -33,34 +38,46 @@ class TrivialLayout(BasePass):
     def __init__(self, coupling: CouplingMap):
         self._coupling = coupling
 
-    def run(self, circuit, property_set):
-        if circuit.num_qubits > self._coupling.num_qubits:
+    def run(self, dag: DAGCircuit, property_set):
+        if dag.num_qubits > self._coupling.num_qubits:
             raise TranspilerError(
-                f"circuit needs {circuit.num_qubits} qubits but the device "
+                f"circuit needs {dag.num_qubits} qubits but the device "
                 f"has {self._coupling.num_qubits}"
             )
-        property_set["layout"] = Layout.trivial(circuit.qubits)
-        return circuit
+        property_set["layout"] = Layout.trivial(dag.qubits)
 
 
-class DenseLayout(BasePass):
+class DenseLayout(AnalysisPass):
     """Place the circuit on the densest-connected device region.
 
     Greedy BFS growth from every seed qubit; the region with the most
     internal edges wins.  Virtual qubits with more two-qubit interactions
     get the higher-degree physical slots.
+
+    With a calibrated :class:`~repro.transpiler.target.Target`, each
+    internal edge is weighted by its CX fidelity ``1 - error`` instead of
+    counting 1, so the chosen region avoids the device's worst CNOTs.
     """
 
-    def __init__(self, coupling: CouplingMap):
+    def __init__(self, coupling: CouplingMap, target=None):
         self._coupling = coupling
+        self._target = target
 
-    def run(self, circuit, property_set):
-        needed = circuit.num_qubits
+    def _edge_weight(self, a: int, b: int) -> float:
+        if self._target is None:
+            return 1.0
+        error = self._target.cx_error(a, b)
+        if error is None:
+            return 1.0
+        return max(0.0, 1.0 - error)
+
+    def run(self, dag: DAGCircuit, property_set):
+        needed = dag.num_qubits
         device = self._coupling
         if needed > device.num_qubits:
             raise TranspilerError("circuit is wider than the device")
         best_region = None
-        best_edges = -1
+        best_score = -1.0
         undirected = {(a, b) for a, b in device.edges}
         undirected |= {(b, a) for a, b in undirected}
         for seed in range(device.num_qubits):
@@ -80,39 +97,42 @@ class DenseLayout(BasePass):
                 chosen.add(pick)
             if len(region) < needed:
                 continue
-            edges = sum(
-                1
+            score = sum(
+                self._edge_weight(a, b)
                 for i, a in enumerate(region)
                 for b in region[i + 1 :]
                 if (a, b) in undirected
             )
-            if edges > best_edges:
-                best_edges = edges
+            if score > best_score:
+                best_score = score
                 best_region = region
         if best_region is None:
             raise TranspilerError("device has no connected region large enough")
         # Busiest virtual qubits onto best-connected physical slots.
-        interactions: dict = {q: 0 for q in circuit.qubits}
-        for item in circuit.data:
-            if len(item.qubits) == 2:
-                for q in item.qubits:
+        interactions: dict = {q: 0 for q in dag.qubits}
+        for node in dag.op_nodes():
+            if len(node.qubits) == 2:
+                for q in node.qubits:
                     interactions[q] += 1
         region_by_degree = sorted(
             best_region,
-            key=lambda p: -sum(1 for nb in device.neighbors(p) if nb in best_region),
+            key=lambda p: -sum(
+                self._edge_weight(p, nb)
+                for nb in device.neighbors(p)
+                if nb in best_region
+            ),
         )
         virtual_by_busy = sorted(
-            circuit.qubits, key=lambda q: -interactions[q]
+            dag.qubits, key=lambda q: -interactions[q]
         )
         layout = Layout()
         for virtual, physical in zip(virtual_by_busy, region_by_degree):
             layout.add(virtual, physical)
         property_set["layout"] = layout
-        return circuit
 
 
-class ApplyLayout(BasePass):
-    """Rewrite the circuit over the device's physical register.
+class ApplyLayout(TransformationPass):
+    """Rewrite the DAG over the device's physical register.
 
     After this pass every qubit reference is a physical qubit ``Q[i]``; the
     chosen :class:`Layout` is left in ``property_set['layout']`` and the
@@ -122,21 +142,24 @@ class ApplyLayout(BasePass):
     def __init__(self, coupling: CouplingMap):
         self._coupling = coupling
 
-    def run(self, circuit, property_set):
+    def run(self, dag: DAGCircuit, property_set) -> DAGCircuit:
         layout = property_set.get("layout")
         if layout is None:
             raise TranspilerError("ApplyLayout requires a layout pass first")
         physical_reg = QuantumRegister(self._coupling.num_qubits, "phys")
-        mapped = QuantumCircuit(physical_reg, name=circuit.name)
-        for creg in circuit.cregs:
-            mapped.add_register(creg)
-        for item in circuit.data:
+        mapped = DAGCircuit()
+        mapped.name = dag.name
+        mapped.qregs = [physical_reg]
+        mapped.qubits = list(physical_reg)
+        mapped.cregs = list(dag.cregs)
+        mapped.clbits = list(dag.clbits)
+        for node in dag.topological_op_nodes():
             new_qubits = [
-                physical_reg[layout.physical(q)] for q in item.qubits
+                physical_reg[layout.physical(q)] for q in node.qubits
             ]
-            mapped.data.append(
-                CircuitInstruction(item.operation, new_qubits, list(item.clbits))
+            mapped.apply_operation_back(
+                node.operation, new_qubits, list(node.clbits)
             )
         property_set["physical_register"] = physical_reg
-        property_set["original_qubits"] = list(circuit.qubits)
+        property_set["original_qubits"] = list(dag.qubits)
         return mapped

@@ -10,11 +10,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.circuit.circuitinstruction import CircuitInstruction
+from repro.circuit.dag import DAGCircuit
 from repro.circuit.gate import Gate
-from repro.circuit.quantumcircuit import QuantumCircuit
 from repro.transpiler.passes.unroller import u3_from_matrix
-from repro.transpiler.passmanager import BasePass
+from repro.transpiler.passmanager import AnalysisPass, TransformationPass
 
 #: Gates that cancel with an identical neighbour on the same qubits.
 _SELF_INVERSE = {"cx", "cz", "swap", "h", "x", "y", "z", "ccx", "cswap", "id"}
@@ -39,68 +38,63 @@ def _cancels(op_a, qubits_a, op_b, qubits_b) -> bool:
     return (op_a.name, op_b.name) in _INVERSE_PAIRS
 
 
-class GateCancellation(BasePass):
+class GateCancellation(TransformationPass):
     """Cancel adjacent self-inverse / mutually-inverse gate pairs.
 
-    Covers the classic CX-CX cancellation plus H-H, X-X, S-Sdg, etc.
-    Iterates to a fixed point so chains like H H H H vanish entirely.
+    Covers the classic CX-CX cancellation plus H-H, X-X, S-Sdg, etc.  On
+    the DAG, adjacency is per-wire: a pair cancels when the earlier gate
+    is the immediate predecessor on *every* wire of the later one.
+    Removal splices the wires, so chains like H H H H vanish within one
+    sweep; sweeps repeat to a fixed point.
     """
 
-    def run(self, circuit, property_set):
-        data = list(circuit.data)
+    def run(self, dag: DAGCircuit, property_set) -> DAGCircuit:
         changed = True
         while changed:
             changed = False
-            # last un-cancelled instruction index per wire.
-            last_on_wire: dict = {}
-            alive = [True] * len(data)
-            for index, item in enumerate(data):
-                wires = list(item.qubits) + list(item.clbits)
-                if item.operation.condition is not None:
-                    wires.extend(item.operation.condition[0])
-                if item.operation.name == "barrier":
-                    for wire in wires:
-                        last_on_wire[wire] = index
+            for node in dag.topological_op_nodes():
+                if node not in dag:
                     continue
-                prev_indices = {
-                    last_on_wire.get(wire) for wire in wires
-                }
-                prev = prev_indices.pop() if len(prev_indices) == 1 else None
-                if (
-                    prev is not None
-                    and alive[prev]
-                    and data[prev].operation.name != "barrier"
-                    and tuple(data[prev].qubits + data[prev].clbits)
-                    and _cancels(
-                        data[prev].operation,
-                        list(data[prev].qubits),
-                        item.operation,
-                        list(item.qubits),
+                op = node.operation
+                if op.name == "barrier" or node.clbits:
+                    continue
+                if op.condition is not None:
+                    continue
+                prev_ids = {
+                    prev.node_id if prev is not None else None
+                    for prev in (
+                        dag.wire_predecessor(node, wire)
+                        for wire in dag.node_wires(node)
                     )
-                    and not data[prev].clbits
-                    and not item.clbits
-                ):
-                    alive[prev] = False
-                    alive[index] = False
-                    changed = True
-                    # Rewind wires to whatever preceded the cancelled pair.
-                    for wire in wires:
-                        last_on_wire.pop(wire, None)
+                }
+                if len(prev_ids) != 1:
                     continue
-                for wire in wires:
-                    last_on_wire[wire] = index
-            if changed:
-                data = [item for keep, item in zip(alive, data) if keep]
-        result = circuit.copy_empty_like()
-        result.data = data
-        return result
+                (prev_id,) = prev_ids
+                if prev_id is None:
+                    continue
+                prev = next(
+                    p for p in dag.predecessors(node)
+                    if p.node_id == prev_id
+                )
+                if prev.operation.name == "barrier" or prev.clbits:
+                    continue
+                if _cancels(
+                    prev.operation,
+                    list(prev.qubits),
+                    op,
+                    list(node.qubits),
+                ):
+                    dag.remove_op_node(prev)
+                    dag.remove_op_node(node)
+                    changed = True
+        return dag
 
 
 #: Backwards-compatible name: the CNOT-minimization pass.
 CXCancellation = GateCancellation
 
 
-class Optimize1qGates(BasePass):
+class Optimize1qGates(TransformationPass):
     """Fuse runs of adjacent single-qubit gates into one u1/u2/u3.
 
     Any maximal run of 1q gates on a wire is multiplied out and
@@ -113,8 +107,8 @@ class Optimize1qGates(BasePass):
         self._tol = tolerance
         self._basis = set(basis) if basis is not None else None
 
-    def run(self, circuit, property_set):
-        result = circuit.copy_empty_like()
+    def run(self, dag: DAGCircuit, property_set) -> DAGCircuit:
+        result = dag.copy_empty_like()
         pending: dict = {}  # qubit -> accumulated 2x2 matrix
 
         def flush(qubit):
@@ -126,10 +120,10 @@ class Optimize1qGates(BasePass):
             if np.allclose(phase_fixed, np.eye(2), atol=self._tol):
                 return
             gate = u3_from_matrix(matrix, basis=self._basis)
-            result.data.append(CircuitInstruction(gate, [qubit], []))
+            result.apply_operation_back(gate, [qubit])
 
-        for item in circuit.data:
-            op = item.operation
+        for node in dag.topological_op_nodes():
+            op = node.operation
             fusable = (
                 isinstance(op, Gate)
                 and op.num_qubits == 1
@@ -138,42 +132,62 @@ class Optimize1qGates(BasePass):
                 and op.name != "unitary"
             )
             if fusable:
-                qubit = item.qubits[0]
+                qubit = node.qubits[0]
                 current = pending.get(qubit, np.eye(2, dtype=complex))
                 pending[qubit] = op.to_matrix() @ current
                 continue
-            for qubit in item.qubits:
+            for qubit in node.qubits:
                 flush(qubit)
-            result.data.append(
-                CircuitInstruction(op, list(item.qubits), list(item.clbits))
+            result.apply_operation_back(
+                op, list(node.qubits), list(node.clbits)
             )
         for qubit in list(pending):
             flush(qubit)
         return result
 
 
-class RemoveBarriers(BasePass):
+class RemoveBarriers(TransformationPass):
     """Strip all barriers (useful before equivalence checking)."""
 
-    def run(self, circuit, property_set):
-        result = circuit.copy_empty_like()
-        result.data = [
-            item for item in circuit.data if item.operation.name != "barrier"
-        ]
-        return result
+    def run(self, dag: DAGCircuit, property_set) -> DAGCircuit:
+        for node in dag.op_nodes("barrier"):
+            dag.remove_op_node(node)
+        return dag
 
 
-class Depth(BasePass):
+class Depth(AnalysisPass):
     """Analysis: record circuit depth in ``property_set['depth']``."""
 
-    def run(self, circuit, property_set):
-        property_set["depth"] = circuit.depth()
-        return circuit
+    def run(self, dag: DAGCircuit, property_set):
+        property_set["depth"] = dag.depth()
 
 
-class Size(BasePass):
+class Size(AnalysisPass):
     """Analysis: record gate count in ``property_set['size']``."""
 
-    def run(self, circuit, property_set):
-        property_set["size"] = circuit.size()
-        return circuit
+    def run(self, dag: DAGCircuit, property_set):
+        property_set["size"] = dag.size()
+
+
+class FixedPoint(AnalysisPass):
+    """Analysis: detect when a property stops changing between iterations.
+
+    Writes ``property_set['<name>_fixed_point']`` — True once the tracked
+    property equals its value from the previous invocation.  Pair with a
+    :class:`~repro.transpiler.passmanager.DoWhileController` to iterate an
+    optimization stage to a fixed point.
+    """
+
+    cacheable = False  # stateful across iterations of a do-while loop
+
+    def __init__(self, property_name: str):
+        self._property = property_name
+
+    def run(self, dag: DAGCircuit, property_set):
+        current = property_set.get(self._property)
+        previous_key = f"_{self._property}_previous"
+        property_set[f"{self._property}_fixed_point"] = (
+            current is not None
+            and property_set.get(previous_key) == current
+        )
+        property_set[previous_key] = current

@@ -12,9 +12,10 @@ Three mappers of increasing quality, mirroring the paper's narrative:
   (the paper's Ref. [18]), scoring candidate swaps on the front layer plus
   a discounted extended set, with a decay term against ping-ponging.
 
-All routers consume a circuit already rewritten over physical qubits
-(:class:`~repro.transpiler.passes.layout_passes.ApplyLayout`) and record the
-final home->slot permutation in ``property_set['final_permutation']``.
+All routers consume a DAG already rewritten over physical qubits
+(:class:`~repro.transpiler.passes.layout_passes.ApplyLayout`), schedule
+gates straight off the DAG's front layer, and record the final home->slot
+permutation in ``property_set['final_permutation']``.
 """
 
 from __future__ import annotations
@@ -23,91 +24,92 @@ import heapq
 
 import numpy as np
 
-from repro.circuit.circuitinstruction import CircuitInstruction
+from repro.circuit.dag import DAGCircuit, DAGOpNode
 from repro.circuit.library.standard_gates import SwapGate
-from repro.circuit.quantumcircuit import QuantumCircuit
 from repro.exceptions import TranspilerError
 from repro.transpiler.coupling import CouplingMap
-from repro.transpiler.passmanager import BasePass
+from repro.transpiler.passmanager import TransformationPass
 
 
-class _WireScheduler:
-    """Tracks which instructions are ready, per wire-dependency order."""
+class _FrontLayerScheduler:
+    """Incremental front-layer view over a DAG.
 
-    def __init__(self, circuit: QuantumCircuit):
-        self.items = list(circuit.data)
-        self._wires_of: list[tuple] = []
-        self._queues: dict = {}
-        self._pos: dict = {}
-        for index, item in enumerate(self.items):
-            wires = list(item.qubits) + list(item.clbits)
-            if item.operation.condition is not None:
-                for bit in item.operation.condition[0]:
-                    if bit not in wires:
-                        wires.append(bit)
-            self._wires_of.append(tuple(wires))
-            for wire in wires:
-                self._queues.setdefault(wire, []).append(index)
-        for wire in self._queues:
-            self._pos[wire] = 0
-        self._done = [False] * len(self.items)
-        self.remaining = len(self.items)
+    Seeds from :meth:`DAGCircuit.front_layer` and advances along per-wire
+    successor links as nodes complete — the DAG-native replacement for the
+    old flat-list wire scheduler.
+    """
 
-    def ready(self) -> list[int]:
-        """Indices of instructions whose wires are all at their head."""
-        heads = set()
-        for wire, queue in self._queues.items():
-            pos = self._pos[wire]
-            if pos < len(queue):
-                heads.add(queue[pos])
-        result = []
-        for index in heads:
-            if self._done[index]:
-                continue
-            if all(
-                self._queues[w][self._pos[w]] == index
-                for w in self._wires_of[index]
-            ):
-                result.append(index)
-        return sorted(result)
+    def __init__(self, dag: DAGCircuit):
+        self.dag = dag
+        self.nodes = dag.topological_op_nodes()
+        self.remaining = len(self.nodes)
+        self._done: set[int] = set()
+        self._blocked: dict[int, int] = {}
+        self._ready: set[int] = set()
+        self._by_id = {node.node_id: node for node in self.nodes}
+        for node in self.nodes:
+            missing = sum(
+                1 for wire in dag.node_wires(node)
+                if dag.wire_predecessor(node, wire) is not None
+            )
+            if missing:
+                self._blocked[node.node_id] = missing
+            else:
+                self._ready.add(node.node_id)
 
-    def complete(self, index: int):
-        """Mark an instruction executed, advancing its wires."""
-        if self._done[index]:
+    def ready(self) -> list[DAGOpNode]:
+        """Front-layer nodes, in topological (insertion) order."""
+        return [self._by_id[i] for i in sorted(self._ready)]
+
+    def is_done(self, node: DAGOpNode) -> bool:
+        return node.node_id in self._done
+
+    def complete(self, node: DAGOpNode):
+        """Mark a node executed, unblocking its per-wire successors."""
+        if node.node_id in self._done:
             raise TranspilerError("instruction completed twice")
-        self._done[index] = True
+        self._done.add(node.node_id)
+        self._ready.discard(node.node_id)
         self.remaining -= 1
-        for wire in self._wires_of[index]:
-            self._pos[wire] += 1
+        for wire in self.dag.node_wires(node):
+            successor = self.dag.wire_successor(node, wire)
+            if successor is None:
+                continue
+            left = self._blocked[successor.node_id] - 1
+            if left:
+                self._blocked[successor.node_id] = left
+            else:
+                del self._blocked[successor.node_id]
+                self._ready.add(successor.node_id)
 
 
 class _RoutingState:
     """Shared bookkeeping for all routers."""
 
-    def __init__(self, circuit, coupling):
+    def __init__(self, dag: DAGCircuit, coupling):
         self.coupling = coupling
-        self.physical_qubits = circuit.qubits
-        if circuit.num_qubits != coupling.num_qubits:
+        self.physical_qubits = dag.qubits
+        if dag.num_qubits != coupling.num_qubits:
             raise TranspilerError(
                 "routing expects a circuit over the full physical register; "
                 "run ApplyLayout first"
             )
-        self.index_of = {q: i for i, q in enumerate(circuit.qubits)}
+        self.index_of = {q: i for i, q in enumerate(dag.qubits)}
         # pi[home] = current physical slot of the qubit that started at home.
         self.pi = list(range(coupling.num_qubits))
-        self.out = circuit.copy_empty_like()
+        self.out = dag.copy_empty_like()
 
     def current(self, qubit) -> int:
         """Current slot of a (home) physical-qubit wire."""
         return self.pi[self.index_of[qubit]]
 
-    def emit(self, item):
+    def emit(self, node: DAGOpNode):
         """Emit one instruction remapped through the current permutation."""
         new_qubits = [
-            self.physical_qubits[self.current(q)] for q in item.qubits
+            self.physical_qubits[self.current(q)] for q in node.qubits
         ]
-        self.out.data.append(
-            CircuitInstruction(item.operation, new_qubits, list(item.clbits))
+        self.out.apply_operation_back(
+            node.operation, new_qubits, list(node.clbits)
         )
 
     def emit_swap(self, slot_a: int, slot_b: int):
@@ -116,12 +118,10 @@ class _RoutingState:
             raise TranspilerError(
                 f"swap on non-adjacent physical qubits {slot_a}, {slot_b}"
             )
-        self.out.data.append(
-            CircuitInstruction(
-                SwapGate(),
-                [self.physical_qubits[slot_a], self.physical_qubits[slot_b]],
-                [],
-            )
+        self.out.apply_operation_back(
+            SwapGate(),
+            [self.physical_qubits[slot_a], self.physical_qubits[slot_b]],
+            [],
         )
         for home, slot in enumerate(self.pi):
             if slot == slot_a:
@@ -129,74 +129,78 @@ class _RoutingState:
             elif slot == slot_b:
                 self.pi[home] = slot_a
 
-    def gate_distance(self, item) -> int:
+    def gate_distance(self, node: DAGOpNode) -> int:
         """Current undirected distance between a 2q gate's slots."""
-        a, b = (self.current(q) for q in item.qubits)
+        a, b = (self.current(q) for q in node.qubits)
         return self.coupling.distance(a, b)
 
 
-def _is_routable_2q(item) -> bool:
-    return len(item.qubits) == 2 and item.operation.name != "barrier"
+def _is_routable_2q(node: DAGOpNode) -> bool:
+    return len(node.qubits) == 2 and node.operation.name != "barrier"
 
 
-class BasicSwap(BasePass):
+class BasicSwap(TransformationPass):
     """Naive router: swap along a shortest path for every distant CNOT."""
 
     def __init__(self, coupling: CouplingMap):
         self._coupling = coupling
 
-    def run(self, circuit, property_set):
-        state = _RoutingState(circuit, self._coupling)
-        for item in circuit.data:
-            if _is_routable_2q(item):
-                slot_a = state.current(item.qubits[0])
-                slot_b = state.current(item.qubits[1])
+    def run(self, dag: DAGCircuit, property_set) -> DAGCircuit:
+        state = _RoutingState(dag, self._coupling)
+        for node in dag.topological_op_nodes():
+            if _is_routable_2q(node):
+                slot_a = state.current(node.qubits[0])
+                slot_b = state.current(node.qubits[1])
                 if self._coupling.distance(slot_a, slot_b) > 1:
                     path = self._coupling.shortest_path(slot_a, slot_b)
                     for hop in range(len(path) - 2):
                         state.emit_swap(path[hop], path[hop + 1])
-            state.emit(item)
+            state.emit(node)
         property_set["final_permutation"] = list(state.pi)
         return state.out
 
 
-class SabreSwap(BasePass):
-    """Heuristic router scoring swaps on front layer + extended set."""
+class SabreSwap(TransformationPass):
+    """Heuristic router scoring swaps on front layer + extended set.
+
+    With a calibrated :class:`~repro.transpiler.target.Target`, candidate
+    swap edges are additionally penalized by their own CX error, steering
+    traffic away from the device's worst couplers.
+    """
 
     EXTENDED_SIZE = 20
     EXTENDED_WEIGHT = 0.5
     DECAY_STEP = 0.001
     DECAY_RESET_INTERVAL = 5
+    ERROR_WEIGHT = 10.0
 
-    def __init__(self, coupling: CouplingMap, seed=None):
+    def __init__(self, coupling: CouplingMap, seed=None, target=None):
         self._coupling = coupling
         self._seed = seed
+        self._target = target
 
-    def run(self, circuit, property_set):
+    def run(self, dag: DAGCircuit, property_set) -> DAGCircuit:
         coupling = self._coupling
-        state = _RoutingState(circuit, coupling)
-        scheduler = _WireScheduler(circuit)
+        state = _RoutingState(dag, coupling)
+        scheduler = _FrontLayerScheduler(dag)
         rng = np.random.default_rng(self._seed)
         decay = np.ones(coupling.num_qubits)
         since_reset = 0
         stall_guard = 0
-        max_stall = 10 * max(1, len(scheduler.items)) * coupling.num_qubits
+        max_stall = 10 * max(1, len(scheduler.nodes)) * coupling.num_qubits
         while scheduler.remaining:
             progress = False
-            for index in scheduler.ready():
-                item = scheduler.items[index]
-                if _is_routable_2q(item) and state.gate_distance(item) > 1:
+            for node in scheduler.ready():
+                if _is_routable_2q(node) and state.gate_distance(node) > 1:
                     continue
-                state.emit(item)
-                scheduler.complete(index)
+                state.emit(node)
+                scheduler.complete(node)
                 progress = True
             if progress:
                 stall_guard = 0
                 continue
             front = [
-                scheduler.items[i]
-                for i in scheduler.ready()
-                if _is_routable_2q(scheduler.items[i])
+                node for node in scheduler.ready() if _is_routable_2q(node)
             ]
             if not front:
                 raise TranspilerError("router stalled with no 2q gate in front")
@@ -224,22 +228,22 @@ class SabreSwap(BasePass):
         property_set["final_permutation"] = list(state.pi)
         return state.out
 
-    def _extended_set(self, scheduler) -> list:
+    def _extended_set(self, scheduler: _FrontLayerScheduler) -> list:
         extended = []
-        for index, item in enumerate(scheduler.items):
-            if scheduler._done[index]:
+        for node in scheduler.nodes:
+            if scheduler.is_done(node):
                 continue
-            if _is_routable_2q(item):
-                extended.append(item)
+            if _is_routable_2q(node):
+                extended.append(node)
                 if len(extended) >= self.EXTENDED_SIZE:
                     break
         return extended
 
     def _candidate_swaps(self, state, front):
         involved = set()
-        for item in front:
-            involved.add(state.current(item.qubits[0]))
-            involved.add(state.current(item.qubits[1]))
+        for node in front:
+            involved.add(state.current(node.qubits[0]))
+            involved.add(state.current(node.qubits[1]))
         seen = set()
         for slot in involved:
             for neighbor in self._coupling.neighbors(slot):
@@ -249,25 +253,32 @@ class SabreSwap(BasePass):
                     yield edge
 
     def _score(self, state, edge, front, extended, decay):
-        def dist_after(item):
-            a = state.current(item.qubits[0])
-            b = state.current(item.qubits[1])
+        def dist_after(node):
+            a = state.current(node.qubits[0])
+            b = state.current(node.qubits[1])
             a = edge[1] if a == edge[0] else edge[0] if a == edge[1] else a
             b = edge[1] if b == edge[0] else edge[0] if b == edge[1] else b
             return self._coupling.distance(a, b)
 
-        front_cost = sum(dist_after(item) for item in front) / len(front)
+        front_cost = sum(dist_after(node) for node in front) / len(front)
         extended_cost = 0.0
         if extended:
             extended_cost = (
                 self.EXTENDED_WEIGHT
-                * sum(dist_after(item) for item in extended)
+                * sum(dist_after(node) for node in extended)
                 / len(extended)
             )
-        return max(decay[edge[0]], decay[edge[1]]) * (front_cost + extended_cost)
+        score = max(decay[edge[0]], decay[edge[1]]) * (
+            front_cost + extended_cost
+        )
+        if self._target is not None:
+            error = self._target.cx_error(*edge)
+            if error:
+                score *= 1.0 + self.ERROR_WEIGHT * error
+        return score
 
 
-class LookaheadSwap(BasePass):
+class LookaheadSwap(TransformationPass):
     """A*-based router: finds a swap sequence making the whole front layer
     executable before committing it (Zulehner-style)."""
 
@@ -278,28 +289,26 @@ class LookaheadSwap(BasePass):
         self._coupling = coupling
         self._seed = seed
 
-    def run(self, circuit, property_set):
+    def run(self, dag: DAGCircuit, property_set) -> DAGCircuit:
         coupling = self._coupling
-        state = _RoutingState(circuit, coupling)
-        scheduler = _WireScheduler(circuit)
+        state = _RoutingState(dag, coupling)
+        scheduler = _FrontLayerScheduler(dag)
         while scheduler.remaining:
             progress = False
-            for index in scheduler.ready():
-                item = scheduler.items[index]
-                if _is_routable_2q(item) and state.gate_distance(item) > 1:
+            for node in scheduler.ready():
+                if _is_routable_2q(node) and state.gate_distance(node) > 1:
                     continue
-                state.emit(item)
-                scheduler.complete(index)
+                state.emit(node)
+                scheduler.complete(node)
                 progress = True
             if progress:
                 continue
             front_pairs = []
-            for index in scheduler.ready():
-                item = scheduler.items[index]
-                if _is_routable_2q(item):
+            for node in scheduler.ready():
+                if _is_routable_2q(node):
                     front_pairs.append(
-                        (state.current(item.qubits[0]),
-                         state.current(item.qubits[1]))
+                        (state.current(node.qubits[0]),
+                         state.current(node.qubits[1]))
                     )
             if not front_pairs:
                 raise TranspilerError("router stalled with no 2q gate in front")
@@ -312,13 +321,13 @@ class LookaheadSwap(BasePass):
 
     def _lookahead_pairs(self, scheduler, state, limit=8):
         pairs = []
-        for index, item in enumerate(scheduler.items):
-            if scheduler._done[index]:
+        for node in scheduler.nodes:
+            if scheduler.is_done(node):
                 continue
-            if _is_routable_2q(item):
+            if _is_routable_2q(node):
                 pairs.append(
-                    (state.current(item.qubits[0]),
-                     state.current(item.qubits[1]))
+                    (state.current(node.qubits[0]),
+                     state.current(node.qubits[1]))
                 )
                 if len(pairs) >= limit:
                     break

@@ -12,12 +12,11 @@ import math
 
 import numpy as np
 
-from repro.circuit.circuitinstruction import CircuitInstruction
+from repro.circuit.dag import DAGCircuit
 from repro.circuit.gate import Gate
 from repro.circuit.library.standard_gates import U1Gate, U2Gate, U3Gate
-from repro.circuit.quantumcircuit import QuantumCircuit
 from repro.exceptions import TranspilerError
-from repro.transpiler.passmanager import BasePass
+from repro.transpiler.passmanager import TransformationPass
 
 #: The IBM QX native basis (u1 and u2 are restricted/cheaper u3 pulses).
 IBMQX_BASIS = ("u1", "u2", "u3", "cx", "id")
@@ -89,27 +88,27 @@ def _wrap(angle: float) -> float:
     return wrapped
 
 
-class Unroller(BasePass):
+class Unroller(TransformationPass):
     """Recursively expand gate definitions until only basis gates remain."""
 
     def __init__(self, basis=IBMQX_BASIS):
         self._basis = set(basis)
 
-    def run(self, circuit: QuantumCircuit, property_set: dict) -> QuantumCircuit:
-        unrolled = circuit.copy_empty_like()
-        for item in circuit.data:
-            self._emit(unrolled, item.operation, list(item.qubits),
-                       list(item.clbits))
+    def run(self, dag: DAGCircuit, property_set) -> DAGCircuit:
+        unrolled = dag.copy_empty_like()
+        for node in dag.topological_op_nodes():
+            self._emit(unrolled, node.operation, list(node.qubits),
+                       list(node.clbits))
         return unrolled
 
-    def _emit(self, target, operation, qubits, clbits, depth=0):
+    def _emit(self, target: DAGCircuit, operation, qubits, clbits, depth=0):
         if depth > 64:
             raise TranspilerError(
                 f"definition recursion too deep at '{operation.name}'"
             )
         name = operation.name
         if name in self._basis or name in _ALWAYS_ALLOWED:
-            target.data.append(CircuitInstruction(operation, qubits, clbits))
+            target.apply_operation_back(operation, qubits, clbits)
             return
         definition = operation.definition
         if definition is None:
@@ -166,7 +165,7 @@ class Unroller(BasePass):
             )
 
 
-class Decompose(BasePass):
+class Decompose(TransformationPass):
     """Expand one definition level of the named gates only."""
 
     def __init__(self, names):
@@ -174,24 +173,22 @@ class Decompose(BasePass):
             names = [names]
         self._names = set(names)
 
-    def run(self, circuit: QuantumCircuit, property_set: dict) -> QuantumCircuit:
-        result = circuit.copy_empty_like()
-        for item in circuit.data:
-            op = item.operation
+    def run(self, dag: DAGCircuit, property_set) -> DAGCircuit:
+        result = dag.copy_empty_like()
+        for node in dag.topological_op_nodes():
+            op = node.operation
             if op.name in self._names and op.definition is not None:
                 for sub, qpos, cpos in op.definition:
                     sub = sub.copy()
                     if op.condition is not None:
                         sub.condition = op.condition
-                    result.data.append(
-                        CircuitInstruction(
-                            sub,
-                            [item.qubits[i] for i in qpos],
-                            [item.clbits[i] for i in cpos],
-                        )
+                    result.apply_operation_back(
+                        sub,
+                        [node.qubits[i] for i in qpos],
+                        [node.clbits[i] for i in cpos],
                     )
             else:
-                result.data.append(
-                    CircuitInstruction(op, list(item.qubits), list(item.clbits))
+                result.apply_operation_back(
+                    op, list(node.qubits), list(node.clbits)
                 )
         return result

@@ -1,38 +1,144 @@
-"""The pass-manager framework: composable circuit transformations.
+"""The pass-manager framework: a staged pipeline over the DAG IR.
 
-Every pass consumes a circuit plus a shared ``property_set`` dict and
-returns a (possibly new) circuit.  Analysis passes only write properties;
-transformation passes rewrite the circuit.
+Every pass runs against a :class:`~repro.circuit.dag.DAGCircuit` plus a
+shared :class:`PropertySet`; the flat circuit exists only at the pipeline
+boundary (``PassManager.run`` converts on entry and exit).  Passes come in
+two flavours:
+
+* :class:`AnalysisPass` — inspects the DAG and writes properties, never
+  rewrites.  Its results stay *valid* until some transformation that does
+  not ``preserve`` it runs, so re-scheduled analyses are skipped.
+* :class:`TransformationPass` — rewrites the DAG and returns the new (or
+  mutated) one.  Its ``preserves`` tuple names analyses that survive it.
+
+``requires`` declares prerequisite passes, run on demand when their result
+is not currently valid.  :class:`ConditionalController` and
+:class:`DoWhileController` schedule nested passes conditionally or to a
+fixed point, replacing hand-unrolled repeats in the preset pipelines.
+
+Legacy passes that subclass :class:`BasePass` directly keep the historical
+circuit-level contract: they receive a ``QuantumCircuit`` and must return
+one (the manager converts at the pass boundary and conservatively
+invalidates all analysis results).
 """
 
 from __future__ import annotations
 
+from repro.circuit.dag import DAGCircuit, circuit_to_dag, dag_to_circuit
 from repro.circuit.quantumcircuit import QuantumCircuit
 from repro.exceptions import TranspilerError
 
 
+class PropertySet(dict):
+    """The shared blackboard passes read and write.
+
+    A plain dict with attribute access sugar: ``ps.layout`` is
+    ``ps["layout"]`` and reads of missing keys yield ``None``.  Well-known
+    keys: ``layout``, ``final_permutation``, ``physical_register``,
+    ``original_qubits``, ``is_swap_mapped``, ``is_direction_mapped``,
+    ``depth``, ``size``, ``fixed_point``.
+    """
+
+    def __getattr__(self, key):
+        if key.startswith("_"):
+            raise AttributeError(key)
+        return self.get(key)
+
+    def __setattr__(self, key, value):
+        self[key] = value
+
+    def __delattr__(self, key):
+        self.pop(key, None)
+
+
 class BasePass:
-    """Base class for transpiler passes."""
+    """Base class for transpiler passes.
+
+    Direct subclasses use the legacy circuit-level contract
+    (``run(circuit, property_set) -> circuit``).  New passes subclass
+    :class:`AnalysisPass` or :class:`TransformationPass` and run on the
+    DAG IR.
+    """
+
+    #: Passes whose results must be valid before this one runs.
+    requires: tuple = ()
+    #: Analysis pass names whose results survive this pass (transformations).
+    preserves: tuple = ()
+    #: Whether a valid prior result lets the scheduler skip this pass.
+    #: Analyses that are stateful across invocations (e.g. fixed-point
+    #: detection) must opt out.
+    cacheable: bool = True
 
     @property
     def name(self) -> str:
         """Pass name (class name by default)."""
         return type(self).__name__
 
-    def run(self, circuit: QuantumCircuit, property_set: dict) -> QuantumCircuit:
-        """Transform ``circuit``; analysis passes return it unchanged."""
+    def run(self, circuit, property_set):
+        """Transform the input; analysis passes return None."""
         raise NotImplementedError
+
+    def fingerprint(self):
+        """Hashable identity used by the redundant-analysis skip logic.
+
+        Two pass objects with the same class and the same configuration
+        attributes are interchangeable.
+        """
+        try:
+            config = repr(sorted(vars(self).items()))
+        except TypeError:
+            config = repr(id(self))
+        return (type(self).__name__, config)
+
+
+class AnalysisPass(BasePass):
+    """A pass that only writes properties; ``run(dag, ps)`` returns None."""
+
+
+class TransformationPass(BasePass):
+    """A pass that rewrites the DAG; ``run(dag, ps)`` returns a DAG."""
+
+
+class FlowController:
+    """Base for controllers that schedule a nested pass list."""
+
+    def __init__(self, passes):
+        if not isinstance(passes, (list, tuple)):
+            passes = [passes]
+        self.passes = list(passes)
+
+
+class ConditionalController(FlowController):
+    """Run the nested passes only when ``condition(property_set)`` holds."""
+
+    def __init__(self, passes, condition):
+        super().__init__(passes)
+        self.condition = condition
+
+
+class DoWhileController(FlowController):
+    """Run the nested passes repeatedly while ``do_while(property_set)``.
+
+    The body always executes at least once; ``max_iterations`` guards
+    against optimization loops that never reach a fixed point.
+    """
+
+    def __init__(self, passes, do_while, max_iterations: int = 100):
+        super().__init__(passes)
+        self.do_while = do_while
+        self.max_iterations = max_iterations
 
 
 class PassManager:
-    """Runs a sequence of passes, threading the property set through."""
+    """Runs a staged schedule of passes, threading the property set."""
 
     def __init__(self, passes=None):
-        self._passes: list[BasePass] = list(passes or [])
-        self.property_set: dict = {}
+        self._passes: list = list(passes or [])
+        self.property_set: PropertySet = PropertySet()
+        self._valid: set = set()
 
     def append(self, pass_) -> "PassManager":
-        """Add a pass (or list of passes) to the schedule."""
+        """Add a pass, controller, or list of them to the schedule."""
         if isinstance(pass_, (list, tuple)):
             self._passes.extend(pass_)
         else:
@@ -40,19 +146,80 @@ class PassManager:
         return self
 
     @property
-    def passes(self) -> list[BasePass]:
-        """The scheduled passes."""
+    def passes(self) -> list:
+        """The scheduled passes and controllers."""
         return list(self._passes)
 
     def run(self, circuit: QuantumCircuit) -> QuantumCircuit:
-        """Execute all passes on ``circuit``."""
-        self.property_set = {}
-        current = circuit
-        for pass_ in self._passes:
-            result = pass_.run(current, self.property_set)
+        """Execute the schedule on ``circuit``.
+
+        The circuit is converted to the DAG IR once on entry and back to
+        a flat circuit once on exit; every scheduled pass operates on the
+        DAG (legacy :class:`BasePass` subclasses get a converted circuit
+        at their own boundary).
+        """
+        self.property_set = PropertySet()
+        self._valid = set()
+        dag = circuit_to_dag(circuit)
+        dag = self._execute(self._passes, dag)
+        return dag_to_circuit(dag)
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _execute(self, passes, dag: DAGCircuit) -> DAGCircuit:
+        for item in passes:
+            dag = self._dispatch(item, dag)
+        return dag
+
+    def _dispatch(self, item, dag: DAGCircuit) -> DAGCircuit:
+        if isinstance(item, ConditionalController):
+            if item.condition(self.property_set):
+                dag = self._execute(item.passes, dag)
+            return dag
+        if isinstance(item, DoWhileController):
+            for _ in range(item.max_iterations):
+                dag = self._execute(item.passes, dag)
+                if not item.do_while(self.property_set):
+                    return dag
+            raise TranspilerError(
+                f"DoWhileController exceeded {item.max_iterations} "
+                "iterations without reaching a fixed point"
+            )
+        if isinstance(item, FlowController):
+            return self._execute(item.passes, dag)
+        return self._run_pass(item, dag)
+
+    def _run_pass(self, pass_: BasePass, dag: DAGCircuit) -> DAGCircuit:
+        for prerequisite in pass_.requires:
+            if prerequisite.fingerprint() not in self._valid:
+                dag = self._run_pass(prerequisite, dag)
+
+        if isinstance(pass_, AnalysisPass):
+            if pass_.cacheable and pass_.fingerprint() in self._valid:
+                return dag
+            pass_.run(dag, self.property_set)
+            if pass_.cacheable:
+                self._valid.add(pass_.fingerprint())
+            return dag
+
+        if isinstance(pass_, TransformationPass):
+            result = pass_.run(dag, self.property_set)
             if result is None:
                 raise TranspilerError(
-                    f"pass {pass_.name} returned None instead of a circuit"
+                    f"pass {pass_.name} returned None instead of a DAG"
                 )
-            current = result
-        return current
+            preserved = set(pass_.preserves)
+            self._valid = {
+                fp for fp in self._valid if fp[0] in preserved
+            }
+            return result
+
+        # Legacy circuit-level pass: convert at its boundary.
+        circuit = dag_to_circuit(dag)
+        result = pass_.run(circuit, self.property_set)
+        if result is None:
+            raise TranspilerError(
+                f"pass {pass_.name} returned None instead of a circuit"
+            )
+        self._valid = set()
+        return circuit_to_dag(result)

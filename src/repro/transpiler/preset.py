@@ -7,18 +7,29 @@ directions, unroll to the device basis, and optimize.  Optimization levels:
 * 0 — naive: trivial 1:1 layout, :class:`BasicSwap` routing, no cleanup
   (this is the flow that produces Fig. 4a).
 * 1 — default: trivial layout, SABRE routing, 1q resynthesis + cancellation.
-* 2 — adds dense layout selection.
-* 3 — adds the A* lookahead router and iterated cleanup
+* 2 — adds dense layout selection and iterates the cleanup passes to a
+  fixed point (:class:`DoWhileController` around resynthesis/cancellation).
+* 3 — adds the A* lookahead router and a layout/router portfolio
   (the "improved mapping" flow of Fig. 4b).
+
+The pipeline compiles against a :class:`~repro.transpiler.target.Target`
+when one is available — ``transpile(circuit, backend=...)`` builds it from
+the backend's configuration and calibrations, so error-aware layout and
+routing weight the device's actual couplers.  Compiled results are memoised
+in a content-hash LRU cache (:mod:`repro.transpiler.cache`); pass
+``transpile_cache=False`` to bypass it.
 """
 
 from __future__ import annotations
 
 from repro.circuit.quantumcircuit import QuantumCircuit
 from repro.exceptions import TranspilerError
+from repro.transpiler.cache import get_transpile_cache
 from repro.transpiler.coupling import CouplingMap
+from repro.transpiler.layout import Layout
 from repro.transpiler.passes.commutation import CommutativeCancellation
 from repro.transpiler.passes.direction import CheckMap, CXDirection
+from repro.transpiler.passes.fusion import FuseDiagonalGates
 from repro.transpiler.passes.layout_passes import (
     ApplyLayout,
     DenseLayout,
@@ -26,20 +37,27 @@ from repro.transpiler.passes.layout_passes import (
     TrivialLayout,
 )
 from repro.transpiler.passes.optimization import (
+    FixedPoint,
     GateCancellation,
     Optimize1qGates,
+    Size,
 )
 from repro.transpiler.passes.routing import BasicSwap, LookaheadSwap, SabreSwap
 from repro.transpiler.passes.unroller import IBMQX_BASIS, Decompose, Unroller
-from repro.transpiler.passmanager import PassManager
+from repro.transpiler.passmanager import DoWhileController, PassManager
+from repro.transpiler.target import Target
 
 _ROUTERS = {"basic": BasicSwap, "sabre": SabreSwap, "lookahead": LookaheadSwap}
+
+#: Names that are scheduling directives, not basis gates.
+_NON_GATES = ("measure", "barrier", "reset")
 
 
 def build_pass_manager(coupling_map=None, basis_gates=IBMQX_BASIS,
                        initial_layout=None, optimization_level=1,
                        routing_method=None, seed=None,
-                       layout_method=None) -> PassManager:
+                       layout_method=None, target=None,
+                       fuse_diagonals=False) -> PassManager:
     """Construct the pass schedule for the given options."""
     if optimization_level not in (0, 1, 2, 3):
         raise TranspilerError("optimization_level must be 0..3")
@@ -56,7 +74,7 @@ def build_pass_manager(coupling_map=None, basis_gates=IBMQX_BASIS,
         if initial_layout is not None:
             manager.append(SetLayout(initial_layout))
         elif layout_method == "dense":
-            manager.append(DenseLayout(coupling_map))
+            manager.append(DenseLayout(coupling_map, target=target))
         elif layout_method == "trivial":
             manager.append(TrivialLayout(coupling_map))
         else:
@@ -75,6 +93,8 @@ def build_pass_manager(coupling_map=None, basis_gates=IBMQX_BASIS,
         router_cls = _ROUTERS[routing_method]
         if routing_method == "basic":
             manager.append(router_cls(coupling_map))
+        elif routing_method == "sabre":
+            manager.append(router_cls(coupling_map, seed=seed, target=target))
         else:
             manager.append(router_cls(coupling_map, seed=seed))
         if "cx" not in basis_gates:
@@ -91,29 +111,101 @@ def build_pass_manager(coupling_map=None, basis_gates=IBMQX_BASIS,
     if optimization_level >= 1:
         manager.append(GateCancellation())
     manager.append(Unroller(basis_gates))
-    if optimization_level >= 1:
+    if optimization_level == 1:
         manager.append(Optimize1qGates(basis=basis_gates))
         manager.append(GateCancellation())
-    if optimization_level >= 2:
-        manager.append(CommutativeCancellation())
-    if optimization_level >= 3:
-        manager.append(Optimize1qGates(basis=basis_gates))
-        manager.append(GateCancellation())
+    elif optimization_level >= 2:
+        # Iterate the cleanup stack until the circuit stops shrinking.
+        manager.append(
+            DoWhileController(
+                [
+                    Optimize1qGates(basis=basis_gates),
+                    GateCancellation(),
+                    CommutativeCancellation(),
+                    Size(),
+                    FixedPoint("size"),
+                ],
+                do_while=lambda property_set: not property_set[
+                    "size_fixed_point"
+                ],
+            )
+        )
+    if fuse_diagonals:
+        manager.append(FuseDiagonalGates())
     return manager
+
+
+def _layout_key(initial_layout):
+    """A hashable identity for ``initial_layout`` (cache keying)."""
+    if initial_layout is None:
+        return None
+    if isinstance(initial_layout, Layout):
+        return tuple(sorted(
+            (virtual.register.name, virtual.index,
+             initial_layout.physical(virtual))
+            for virtual in initial_layout.virtual_qubits
+        ))
+    return tuple(int(entry) for entry in initial_layout)
+
+
+def _coupling_key(coupling_map):
+    if coupling_map is None:
+        return None
+    return tuple(sorted(tuple(edge) for edge in coupling_map.edges))
 
 
 def transpile(circuit: QuantumCircuit, coupling_map=None,
               basis_gates=IBMQX_BASIS, initial_layout=None,
               optimization_level=1, routing_method=None,
-              seed=None) -> QuantumCircuit:
+              seed=None, backend=None, target=None,
+              fuse_diagonals=None,
+              transpile_cache=True) -> QuantumCircuit:
     """Compile ``circuit`` for a device (the paper's Sec. IV ``compile``).
+
+    The compilation target comes from (highest priority first) ``target``,
+    ``backend`` (a :class:`Target` is built from its configuration and
+    calibrations), or the loose ``coupling_map``/``basis_gates`` kwargs.
+
+    ``fuse_diagonals`` collapses adjacent diagonal-gate runs into single
+    fused diagonal instructions; ``None`` (default) enables it exactly when
+    the target natively supports ``diagonal`` (simulators do, devices do
+    not).  ``transpile_cache=False`` bypasses the content-hash result cache
+    for this call.
 
     Returns the mapped circuit.  Layout and routing metadata are attached as
     ``result.initial_layout`` (a :class:`Layout` or None) and
     ``result.final_permutation`` (``perm[home_slot] = final_slot``).
     """
-    if isinstance(coupling_map, str):
+    if target is None and backend is not None:
+        target = Target.from_backend(backend)
+    if target is not None:
+        coupling_map = target.coupling_map
+        basis_gates = [
+            name for name in target.basis_gates if name not in _NON_GATES
+        ]
+    elif isinstance(coupling_map, str):
         coupling_map = CouplingMap.from_name(coupling_map)
+    if fuse_diagonals is None:
+        fuse_diagonals = (
+            target is not None and target.instruction_supported("diagonal")
+        )
+
+    cache = get_transpile_cache()
+    cache_key = None
+    if transpile_cache and cache.maxsize > 0:
+        options_key = (
+            tuple(basis_gates),
+            _coupling_key(coupling_map) if target is None else None,
+            _layout_key(initial_layout),
+            optimization_level,
+            routing_method,
+            seed,
+            bool(fuse_diagonals),
+        )
+        cache_key = cache.make_key(circuit, target, options_key)
+        cached = cache.lookup(cache_key)
+        if cached is not None:
+            return cached
 
     def run_once(layout_method, routing):
         manager = build_pass_manager(
@@ -124,6 +216,8 @@ def transpile(circuit: QuantumCircuit, coupling_map=None,
             routing_method=routing,
             seed=seed,
             layout_method=layout_method,
+            target=target,
+            fuse_diagonals=fuse_diagonals,
         )
         result = manager.run(circuit)
         if coupling_map is not None and not manager.property_set.get(
@@ -144,17 +238,28 @@ def transpile(circuit: QuantumCircuit, coupling_map=None,
         and initial_layout is None
     ):
         # Portfolio: try layout/router combinations, keep the cheapest
-        # (fewest CNOTs, then total size, then depth).
-        attempts = []
-        for layout_method in ("trivial", "dense"):
-            for routing in ("lookahead", "sabre"):
-                if routing_method is not None:
-                    routing = routing_method
-                attempts.append(run_once(layout_method, routing))
+        # (fewest CNOTs, then total size, then depth).  When the routing
+        # method is pinned there is only one router to try per layout —
+        # deduplicate the attempt set instead of re-running it.
+        routings = (
+            ("lookahead", "sabre")
+            if routing_method is None
+            else (routing_method,)
+        )
+        combos = [
+            (layout_method, routing)
+            for layout_method in ("trivial", "dense")
+            for routing in routings
+        ]
+        attempts = [run_once(*combo) for combo in combos]
 
         def cost(candidate):
             ops = candidate.count_ops()
             return (ops.get("cx", 0), candidate.size(), candidate.depth())
 
-        return min(attempts, key=cost)
-    return run_once(None, routing_method)
+        compiled = min(attempts, key=cost)
+    else:
+        compiled = run_once(None, routing_method)
+    if cache_key is not None:
+        cache.store(cache_key, compiled)
+    return compiled

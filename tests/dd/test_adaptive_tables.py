@@ -1,0 +1,71 @@
+"""Adaptive unique-table/compute-cache sizing in the DD package."""
+
+from __future__ import annotations
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.dd.package import DDPackage
+from repro.providers.aer import Aer
+from repro.simulators.dd_simulator import DDSimulator
+
+
+def _ghz(n):
+    circuit = QuantumCircuit(n, n)
+    circuit.h(0)
+    for q in range(n - 1):
+        circuit.cx(q, q + 1)
+    for q in range(n):
+        circuit.measure(q, q)
+    return circuit
+
+
+class TestAdaptiveSizing:
+    def test_unique_table_grows_on_load(self):
+        package = DDPackage(unique_table_size=4)
+        for index in range(32):
+            package.basis_state(6, index)
+        stats = package.table_stats()
+        assert stats["unique_table_growths"] >= 1
+        assert (
+            stats["unique_table_size"]
+            > stats["unique_table_entries"] * 0.75
+        )
+
+    def test_compute_cache_grows_then_clears_at_cap(self):
+        package = DDPackage(compute_cache_size=2)
+        # Force distinct add results so the compute cache keeps filling.
+        edges = [package.basis_state(4, index) for index in range(16)]
+        for a in edges:
+            for b in edges:
+                package.add(a, b)
+        stats = package.table_stats()
+        assert stats["compute_cache_growths"] >= 1
+
+    def test_stats_shape(self):
+        stats = DDPackage().table_stats()
+        assert set(stats) == {
+            "unique_table_entries", "unique_table_size",
+            "unique_table_growths", "compute_cache_entries",
+            "compute_cache_size", "compute_cache_growths",
+            "compute_cache_clears", "peak_nodes",
+        }
+
+    def test_simulation_unaffected_by_tiny_tables(self):
+        big = DDSimulator().run(_ghz(6))
+        # Tiny initial capacities must not change results, only stats.
+        small_package = DDPackage(unique_table_size=1, compute_cache_size=1)
+        state = small_package.zero_state(3)
+        import numpy as np
+
+        assert np.isclose(small_package.amplitude(state, 0), 1.0)
+        assert big.table_stats()["unique_table_entries"] > 0
+
+
+class TestResultMetadata:
+    def test_dd_backend_surfaces_table_stats(self):
+        backend = Aer.get_backend("dd_simulator")
+        job = backend.run(_ghz(5), shots=50, seed=3)
+        data = job.result().data()
+        assert "dd_table_stats" in data
+        stats = data["dd_table_stats"]
+        assert stats["unique_table_entries"] >= 1
+        assert stats["unique_table_size"] >= 1

@@ -1,0 +1,57 @@
+"""Job.result(timeout=...) behaviour across executors (satellite: uniform
+cooperative deadlines)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.random_circuit import random_circuit
+from repro.exceptions import JobTimeoutError
+from repro.providers.aer import Aer
+
+
+def _batch(n=3, width=10, depth=20):
+    return [
+        random_circuit(width, depth, seed=100 + i, measure=True)
+        for i in range(n)
+    ]
+
+
+class TestSerialTimeout:
+    def test_zero_timeout_raises(self):
+        backend = Aer.get_backend("qasm_simulator")
+        job = backend.run(_batch(), shots=50, seed=1, executor="serial")
+        with pytest.raises(JobTimeoutError):
+            job.result(timeout=0)
+
+    def test_collect_resumes_after_timeout(self):
+        backend = Aer.get_backend("qasm_simulator")
+        job = backend.run(_batch(), shots=50, seed=1, executor="serial")
+        with pytest.raises(JobTimeoutError):
+            job.result(timeout=0)
+        result = job.result()  # no deadline: finishes the remaining work
+        assert result.success
+        assert len(result.results) == 3
+
+    def test_generous_timeout_succeeds(self):
+        backend = Aer.get_backend("qasm_simulator")
+        job = backend.run(_batch(1, width=3, depth=4), shots=10, seed=1,
+                          executor="serial")
+        assert job.result(timeout=60).success
+
+
+class TestPoolTimeout:
+    def test_threads_zero_timeout_raises_same_type(self):
+        backend = Aer.get_backend("qasm_simulator")
+        job = backend.run(_batch(4, width=14, depth=40), shots=200, seed=1,
+                          executor="threads")
+        with pytest.raises(JobTimeoutError):
+            job.result(timeout=1e-9)
+        result = job.result()
+        assert result.success
+
+    def test_threads_generous_timeout_succeeds(self):
+        backend = Aer.get_backend("qasm_simulator")
+        job = backend.run(_batch(2, width=3, depth=4), shots=10, seed=1,
+                          executor="threads")
+        assert job.result(timeout=60).success

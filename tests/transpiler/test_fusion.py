@@ -1,0 +1,111 @@
+"""FuseDiagonalGates unit tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.dag import circuit_to_dag, dag_to_circuit
+from repro.circuit.library.standard_gates import DiagonalGate
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.quantum_info.operator import Operator
+from repro.transpiler.passes.fusion import FuseDiagonalGates
+from repro.transpiler.passmanager import PassManager, PropertySet
+
+
+def _fuse(circuit, **kwargs):
+    manager = PassManager([FuseDiagonalGates(**kwargs)])
+    return manager.run(circuit)
+
+
+def _equiv(a, b):
+    ua = Operator.from_circuit(a).data
+    ub = Operator.from_circuit(b).data
+    k = np.unravel_index(np.argmax(np.abs(ua)), ua.shape)
+    phase = ua[k] / ub[k]
+    return np.allclose(ua, ub * phase, atol=1e-10)
+
+
+class TestFuseDiagonalGates:
+    def test_run_collapses_to_one_diagonal(self):
+        circuit = QuantumCircuit(3)
+        circuit.t(0)
+        circuit.s(1)
+        circuit.cu1(0.3, 0, 1)
+        circuit.rz(0.7, 2)
+        circuit.cz(1, 2)
+        fused = _fuse(circuit)
+        assert fused.count_ops() == {"diagonal": 1}
+        assert _equiv(circuit, fused)
+
+    def test_non_diagonal_breaks_run(self):
+        circuit = QuantumCircuit(1)
+        circuit.t(0)
+        circuit.h(0)
+        circuit.t(0)
+        fused = _fuse(circuit, min_run=1)
+        ops = [item.operation.name for item in fused.data]
+        assert ops == ["diagonal", "h", "diagonal"]
+        assert _equiv(circuit, fused)
+
+    def test_barrier_flushes(self):
+        circuit = QuantumCircuit(1)
+        circuit.t(0)
+        circuit.s(0)
+        circuit.barrier(0)
+        circuit.z(0)
+        circuit.t(0)
+        fused = _fuse(circuit)
+        ops = [item.operation.name for item in fused.data]
+        assert ops == ["diagonal", "barrier", "diagonal"]
+        assert _equiv(_strip(circuit), _strip(fused))
+
+    def test_short_runs_left_alone(self):
+        circuit = QuantumCircuit(2)
+        circuit.t(0)
+        circuit.h(1)
+        fused = _fuse(circuit)
+        assert fused.count_ops() == {"t": 1, "h": 1}
+
+    def test_max_qubits_respected(self):
+        circuit = QuantumCircuit(4)
+        for q in range(4):
+            circuit.t(q)
+        circuit.cu1(0.1, 0, 1)
+        circuit.cu1(0.2, 1, 2)
+        circuit.cu1(0.3, 2, 3)
+        fused = _fuse(circuit, max_qubits=2)
+        for item in fused.data:
+            assert len(item.qubits) <= 2
+        assert _equiv(circuit, fused)
+
+    def test_diagonal_gate_roundtrip_through_qobj(self):
+        from repro.qobj.assembler import (
+            circuit_to_experiment,
+            experiment_to_circuit,
+        )
+
+        diag = np.exp(1j * np.linspace(0.1, 0.9, 4))
+        circuit = QuantumCircuit(2)
+        circuit.append(DiagonalGate(diag), [0, 1])
+        rebuilt = experiment_to_circuit(circuit_to_experiment(circuit))
+        op = rebuilt.data[0].operation
+        assert op.name == "diagonal"
+        assert np.allclose(op.diagonal, diag)
+
+    def test_measurement_not_crossed(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.t(0)
+        circuit.s(0)
+        circuit.measure(0, 0)
+        circuit.t(0)
+        fused = _fuse(circuit)
+        ops = [item.operation.name for item in fused.data]
+        assert ops == ["diagonal", "measure", "t"]
+
+
+def _strip(circuit):
+    stripped = circuit.copy_empty_like()
+    stripped.data = [
+        item for item in circuit.data if item.operation.name != "barrier"
+    ]
+    return stripped

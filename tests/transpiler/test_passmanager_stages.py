@@ -1,0 +1,148 @@
+"""Staged PassManager behaviour: pass kinds, property set, controllers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import TranspilerError
+from repro.transpiler.passes.optimization import FixedPoint, Size
+from repro.transpiler.passmanager import (
+    AnalysisPass,
+    ConditionalController,
+    DoWhileController,
+    PassManager,
+    PropertySet,
+    TransformationPass,
+)
+
+
+class CountingAnalysis(AnalysisPass):
+    def __init__(self):
+        self.runs = 0
+
+    def run(self, dag, property_set):
+        self.runs += 1
+        property_set["counted"] = dag.size()
+
+
+class NoopTransform(TransformationPass):
+    preserves = ("CountingAnalysis",)
+
+    def run(self, dag, property_set):
+        return dag
+
+
+class ClobberTransform(TransformationPass):
+    def run(self, dag, property_set):
+        return dag
+
+
+class AddHGate(TransformationPass):
+    def run(self, dag, property_set):
+        from repro.circuit.library.standard_gates import get_standard_gate
+
+        dag.apply_operation_back(get_standard_gate("h", []), [dag.qubits[0]])
+        return dag
+
+
+def _bell():
+    circuit = QuantumCircuit(2)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    return circuit
+
+
+class TestPropertySet:
+    def test_attribute_access(self):
+        properties = PropertySet()
+        assert properties.missing is None
+        properties.layout = "x"
+        assert properties["layout"] == "x"
+        del properties.layout
+        assert properties.layout is None
+
+    def test_private_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            PropertySet()._nope
+
+
+class TestAnalysisCaching:
+    def test_valid_analysis_not_rerun(self):
+        analysis = CountingAnalysis()
+        manager = PassManager([analysis, NoopTransform(), analysis])
+        manager.run(_bell())
+        assert analysis.runs == 1
+
+    def test_non_preserving_transform_invalidates(self):
+        analysis = CountingAnalysis()
+        manager = PassManager([analysis, ClobberTransform(), analysis])
+        manager.run(_bell())
+        assert analysis.runs == 2
+
+    def test_requires_runs_prerequisite(self):
+        analysis = CountingAnalysis()
+
+        class Dependent(TransformationPass):
+            requires = (analysis,)
+
+            def run(self, dag, property_set):
+                assert property_set["counted"] is not None
+                return dag
+
+        manager = PassManager([Dependent()])
+        manager.run(_bell())
+        assert analysis.runs == 1
+
+
+class TestControllers:
+    def test_conditional_controller_runs_when_true(self):
+        grower = AddHGate()
+        controller = ConditionalController(
+            [grower], condition=lambda ps: ps["go"]
+        )
+        manager = PassManager()
+        manager.append(SetGo(True))
+        manager.append(controller)
+        result = manager.run(_bell())
+        assert result.size() == 3
+
+    def test_conditional_controller_skips_when_false(self):
+        controller = ConditionalController(
+            [AddHGate()], condition=lambda ps: ps["go"]
+        )
+        manager = PassManager()
+        manager.append(SetGo(False))
+        manager.append(controller)
+        result = manager.run(_bell())
+        assert result.size() == 2
+
+    def test_do_while_reaches_fixed_point(self):
+        manager = PassManager()
+        manager.append(
+            DoWhileController(
+                [Size(), FixedPoint("size")],
+                do_while=lambda ps: not ps["size_fixed_point"],
+            )
+        )
+        result = manager.run(_bell())
+        assert result.size() == 2
+        assert manager.property_set["size_fixed_point"]
+
+    def test_do_while_iteration_cap(self):
+        manager = PassManager()
+        manager.append(
+            DoWhileController(
+                [AddHGate()], do_while=lambda ps: True, max_iterations=5
+            )
+        )
+        with pytest.raises(TranspilerError):
+            manager.run(_bell())
+
+
+class SetGo(AnalysisPass):
+    def __init__(self, value):
+        self._value = value
+
+    def run(self, dag, property_set):
+        property_set["go"] = self._value

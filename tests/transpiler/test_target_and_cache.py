@@ -1,0 +1,185 @@
+"""Target model and transpile-cache unit tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.qft import qft_circuit
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.providers.aer import Aer
+from repro.providers.fake import IBMQ
+from repro.transpiler.cache import (
+    TranspileCache,
+    circuit_fingerprint,
+    clear_transpile_cache,
+    get_transpile_cache,
+    resize_transpile_cache,
+)
+from repro.transpiler.coupling import CouplingMap
+from repro.transpiler.passes.layout_passes import DenseLayout
+from repro.transpiler.passmanager import PropertySet
+from repro.transpiler.preset import transpile
+from repro.transpiler.target import (
+    InstructionProperties,
+    Target,
+    target_from_coupling,
+)
+
+
+class TestTarget:
+    def test_from_fake_backend(self):
+        dev = IBMQ.get_backend("ibmqx4")
+        target = Target.from_backend(dev)
+        assert target.num_qubits == 5
+        assert target.coupling_map is dev.coupling_map
+        assert "cx" in target.operation_names
+        assert target.instruction_supported("measure", (0,))
+        assert not target.instruction_supported("ccx")
+        edge = dev.coupling_map.edges[0]
+        assert target.instruction_supported("cx", tuple(edge))
+
+    def test_calibrations_populated(self):
+        dev = IBMQ.get_backend("ibmqx4")
+        target = Target.from_backend(dev)
+        edge = tuple(dev.coupling_map.edges[0])
+        assert target.error("cx", edge) > 0
+        assert target.duration("cx", edge) > 0
+        assert target.error("measure", (0,)) > 0
+        # direction-insensitive coupler lookup
+        assert target.cx_error(edge[1], edge[0]) == target.error("cx", edge)
+
+    def test_calibrations_deterministic(self):
+        a = Target.from_backend(IBMQ.get_backend("ibmqx4"))
+        b = Target.from_backend(IBMQ.get_backend("ibmqx4"))
+        assert a.cache_key() == b.cache_key()
+        c = Target.from_backend(IBMQ.get_backend("ibmqx2"))
+        assert a.cache_key() != c.cache_key()
+
+    def test_simulator_backend_is_global(self):
+        target = Target.from_backend(Aer.get_backend("qasm_simulator"))
+        assert target.coupling_map is None
+        assert target.instruction_supported("cx")
+        assert target.instruction_supported("cx", (3, 17))
+        assert target.instruction_supported("diagonal")
+
+    def test_target_from_coupling(self):
+        coupling = CouplingMap.from_name("ibmqx4")
+        target = target_from_coupling(coupling, ["u1", "u2", "u3", "cx"])
+        assert target.num_qubits == 5
+        assert target.instruction_supported("cx")
+        assert target.error("cx", (0, 1)) is None
+
+    def test_error_aware_dense_layout_avoids_bad_region(self):
+        # line 0-1-2-3-4; edge (0,1) is terrible, (3,4) side is clean.
+        coupling = CouplingMap([(0, 1), (1, 2), (2, 3), (3, 4)])
+        target = Target(num_qubits=5, coupling_map=coupling)
+        errors = {(0, 1): 0.9, (1, 2): 0.5, (2, 3): 0.01, (3, 4): 0.01}
+        for edge, error in errors.items():
+            target.add_instruction(
+                "cx", edge, InstructionProperties(error=error)
+            )
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        dag_pass = DenseLayout(coupling, target=target)
+        from repro.circuit.dag import circuit_to_dag
+
+        properties = PropertySet()
+        dag_pass.run(circuit_to_dag(circuit), properties)
+        chosen = sorted(
+            properties["layout"].physical(q) for q in circuit.qubits
+        )
+        assert chosen in ([2, 3], [3, 4])
+
+
+class TestCircuitFingerprint:
+    def test_identical_circuits_match(self):
+        assert circuit_fingerprint(qft_circuit(4)) == circuit_fingerprint(
+            qft_circuit(4)
+        )
+
+    def test_param_change_differs(self):
+        a = QuantumCircuit(1)
+        a.rz(0.5, 0)
+        b = QuantumCircuit(1)
+        b.rz(0.6, 0)
+        assert circuit_fingerprint(a) != circuit_fingerprint(b)
+
+    def test_wiring_change_differs(self):
+        a = QuantumCircuit(2)
+        a.cx(0, 1)
+        b = QuantumCircuit(2)
+        b.cx(1, 0)
+        assert circuit_fingerprint(a) != circuit_fingerprint(b)
+
+    def test_unitary_payload_hashed(self):
+        from repro.circuit.library.standard_gates import UnitaryGate
+
+        m1 = np.eye(2, dtype=complex)
+        m2 = np.array([[0, 1], [1, 0]], dtype=complex)
+        a = QuantumCircuit(1)
+        a.append(UnitaryGate(m1), [0])
+        b = QuantumCircuit(1)
+        b.append(UnitaryGate(m2), [0])
+        assert circuit_fingerprint(a) != circuit_fingerprint(b)
+
+
+class TestTranspileCache:
+    def test_lru_eviction(self):
+        cache = TranspileCache(maxsize=2)
+        circuits = [QuantumCircuit(1) for _ in range(3)]
+        for i, circuit in enumerate(circuits):
+            for _ in range(i + 1):
+                circuit.h(0)
+        keys = [cache.make_key(c, None, ()) for c in circuits]
+        cache.store(keys[0], circuits[0])
+        cache.store(keys[1], circuits[1])
+        assert cache.lookup(keys[0]) is not None  # refreshes entry 0
+        cache.store(keys[2], circuits[2])  # evicts entry 1
+        assert cache.lookup(keys[1]) is None
+        assert cache.lookup(keys[0]) is not None
+        stats = cache.stats()
+        assert stats["hits"] == 2 and stats["misses"] == 1
+
+    def test_lookup_returns_copy(self):
+        cache = TranspileCache()
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        key = cache.make_key(circuit, None, ())
+        cache.store(key, circuit)
+        first = cache.lookup(key)
+        first.h(0)
+        second = cache.lookup(key)
+        assert second.size() == 1
+
+    def test_global_cache_knobs(self):
+        clear_transpile_cache()
+        circuit = qft_circuit(3)
+        transpile(circuit, coupling_map="ibmqx4")
+        transpile(circuit, coupling_map="ibmqx4")
+        stats = get_transpile_cache().stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        # opt-out flag bypasses the cache entirely
+        before = get_transpile_cache().stats()
+        transpile(circuit, coupling_map="ibmqx4", transpile_cache=False)
+        after = get_transpile_cache().stats()
+        assert (after["hits"], after["misses"]) == (
+            before["hits"], before["misses"],
+        )
+        resize_transpile_cache(0)
+        transpile(circuit, coupling_map="ibmqx4")
+        assert get_transpile_cache().stats()["size"] == 0
+        resize_transpile_cache(64)
+        clear_transpile_cache()
+
+    def test_cached_result_equals_fresh(self):
+        clear_transpile_cache()
+        circuit = qft_circuit(4)
+        fresh = transpile(circuit, coupling_map="ibmqx4", seed=2)
+        cached = transpile(circuit, coupling_map="ibmqx4", seed=2)
+        assert get_transpile_cache().stats()["hits"] == 1
+        assert fresh.count_ops() == cached.count_ops()
+        assert fresh.depth() == cached.depth()
+        assert (
+            cached.final_permutation == fresh.final_permutation
+        )
+        clear_transpile_cache()
