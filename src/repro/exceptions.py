@@ -35,7 +35,37 @@ class JobTimeoutError(BackendError):
 
     Every executor (serial, threads, processes) raises this same type, so
     callers can handle timeouts uniformly.  The job is left collectable:
-    calling ``result()`` again resumes/awaits the remaining experiments.
+    calling ``result()`` again resumes/awaits the remaining experiments
+    (or ``result(timeout=..., partial=True)`` returns whatever finished).
+    """
+
+
+class TransientFaultError(BackendError):
+    """A transient, retryable experiment failure.
+
+    Models the flaky-cloud-job class of errors (queue hiccups, dropped
+    connections) that the real IBM Q service exhibits; the retry layer
+    classifies this type as retryable, so the affected experiment is
+    re-run with its original derived seed.
+    """
+
+
+class WorkerCrashError(BackendError):
+    """A worker died mid-experiment.
+
+    In a process pool a crash surfaces as a broken pool (the dispatcher
+    degrades processes -> threads -> serial); in-process executors raise
+    this retryable type instead, since the interpreter cannot actually be
+    killed without taking the whole batch down.
+    """
+
+
+class CorruptedResultError(BackendError):
+    """An experiment returned an inconsistent payload.
+
+    Raised by the result-validation step of the retry layer when, e.g.,
+    the counts histogram does not sum to the requested shots.  Retryable:
+    re-running with the same seed regenerates the payload from scratch.
     """
 
 

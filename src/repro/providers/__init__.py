@@ -1,23 +1,42 @@
-"""Providers: Aer simulators, simulated IBM QX devices, jobs and results."""
+"""Providers: Aer simulators, simulated IBM QX devices, jobs and results.
+
+Fault tolerance lives here too: :mod:`repro.providers.retry` (per-
+experiment retry with deterministic backoff), :mod:`repro.providers.faults`
+(seeded fault injection for chaos testing), and the graceful
+processes -> threads -> serial degradation inside
+:mod:`repro.providers.executor`.
+"""
 
 from repro.providers.aer import Aer
 from repro.providers.backend import BackendConfiguration, BaseBackend, Job
 from repro.providers.execute import execute, transpile
 from repro.providers.executor import JobStatus, choose_executor
-from repro.providers.fake import IBMQ, FakeQXBackend, build_device_noise_model
+from repro.providers.fake import (
+    IBMQ,
+    BackendProperties,
+    FakeQXBackend,
+    build_device_noise_model,
+)
+from repro.providers.faults import FaultInjector, FaultKind, FaultSpec
 from repro.providers.result import Counts, ExperimentResult, Result
+from repro.providers.retry import RetryPolicy
 
 __all__ = [
     "Aer",
     "BackendConfiguration",
+    "BackendProperties",
     "BaseBackend",
     "Counts",
     "ExperimentResult",
     "FakeQXBackend",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSpec",
     "IBMQ",
     "Job",
     "JobStatus",
     "Result",
+    "RetryPolicy",
     "build_device_noise_model",
     "choose_executor",
     "execute",

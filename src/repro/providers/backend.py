@@ -69,20 +69,57 @@ class Job:
         self._result = None
         self.job_id = f"job-{next(Job._id_counter)}"
 
-    def result(self, timeout=None):
+    def result(self, timeout=None, partial=False):
         """Collect the :class:`~repro.providers.result.Result` (blocking).
 
-        Raises :class:`BackendError` if the job was cancelled.  Individual
-        experiment failures do not raise here — they surface as ERROR
-        entries in the result (and through the accessors for that
-        experiment only).
+        Raises :class:`BackendError` if the job was cancelled and
+        :class:`~repro.exceptions.JobTimeoutError` past the deadline —
+        unless ``partial=True``, which instead returns whatever has
+        finished: completed experiments are collectable through the
+        normal accessors, the rest appear as CANCELLED/INCOMPLETE
+        placeholder entries, and ``result.partial`` is True.  A partial
+        result with INCOMPLETE entries is never cached, so a later
+        ``result()`` call picks up the still-running experiments.
+
+        Individual experiment failures do not raise here — they surface
+        as ERROR entries in the result (and through the accessors for
+        that experiment only).
         """
         if self._result is None:
             from repro.providers.result import Result
 
-            outcomes = self._dispatch.collect(timeout=timeout)
-            self._result = Result(self._backend.name(), self.job_id, outcomes)
+            outcomes = self._dispatch.collect(timeout=timeout,
+                                              partial=partial)
+            result = Result(self._backend.name(), self.job_id, outcomes)
+            if any(
+                outcome.status
+                in (JobStatus.INCOMPLETE, JobStatus.CANCELLED)
+                for outcome in outcomes
+            ):
+                # Not final (or gathered after a cancel): hand it back
+                # without caching so the job stays collectable.
+                return result
+            self._result = result
         return self._result
+
+    @property
+    def fault_stats(self) -> dict:
+        """The job's fault/retry ledger.
+
+        Accounts for every attempt (retries included), total backoff
+        seconds, injected faults, executor fallbacks taken by the
+        degradation chain, and failed experiments.  Before the job is
+        collected this reflects only the experiments finished so far.
+        """
+        from repro.providers.retry import aggregate_fault_stats
+
+        if self._result is not None:
+            outcomes = self._result.results
+        else:
+            outcomes = self._dispatch.finished_outcomes()
+        return aggregate_fault_stats(
+            outcomes, getattr(self._dispatch, "fallbacks", [])
+        )
 
     def status(self) -> str:
         """Current :class:`JobStatus` constant."""
@@ -143,7 +180,17 @@ class BaseBackend:
           the generic ``apply_matrix`` path (A/B benchmarking, debugging).
           Since the kernel switch is process-global, ``use_kernels=False``
           batches never run on the thread executor.
+        * ``retry_policy`` — a :class:`~repro.providers.retry.RetryPolicy`
+          (or kwargs dict, or False to disable) applied per experiment in
+          every executor; transient failures re-run the experiment with
+          its original derived seed.  Default: up to 3 attempts with
+          exponential backoff.
+        * ``fault_injector`` — a
+          :class:`~repro.providers.faults.FaultInjector` (or FaultSpec
+          list) armed on this batch for reproducible chaos testing.
         """
+        from repro.providers.faults import resolve_injector
+        from repro.providers.retry import resolve_retry_policy
         from repro.qobj.assembler import assemble
 
         if not isinstance(circuits, (list, tuple)):
@@ -166,6 +213,15 @@ class BaseBackend:
             for key, value in options.items()
             if key not in SCHEDULING_OPTIONS
         }
+        # Normalize the fault-tolerance knobs once here, so every worker
+        # (including process-pool ones, via pickled configs) agrees on the
+        # retry budget and the seeded fault schedule.
+        engine_options["retry_policy"] = resolve_retry_policy(
+            options.get("retry_policy")
+        )
+        engine_options["fault_injector"] = resolve_injector(
+            options.get("fault_injector")
+        )
         qobj = assemble(
             circuits,
             shots=shots,
@@ -176,6 +232,7 @@ class BaseBackend:
         for experiment in qobj["experiments"]:
             config = dict(engine_options)
             config["seed"] = experiment["config"]["seed"]
+            config["experiment_index"] = experiment["config"]["index"]
             payloads.append((experiment, config))
         kind = choose_executor(
             len(circuits),

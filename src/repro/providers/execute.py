@@ -15,7 +15,8 @@ transpile = _transpile
 def execute(circuits, backend: BaseBackend, shots: int = 1024, seed=None,
             noise_model=None, memory: bool = False,
             optimization_level: int = 1, executor: str = None,
-            max_workers: int = None, transpile_cache: bool = True) -> Job:
+            max_workers: int = None, transpile_cache: bool = True,
+            retry_policy=None, fault_injector=None) -> Job:
     """Compile (if needed), assemble, and run circuits on a backend.
 
     For simulator backends the circuits run as-is.  For device backends the
@@ -35,6 +36,20 @@ def execute(circuits, backend: BaseBackend, shots: int = 1024, seed=None,
       ``"auto"`` (default None = auto): the process pool kicks in for
       batches of 4+ experiments at 10+ qubits on multi-core hosts.
     * ``max_workers`` — pool width for the parallel executors.
+
+    Fault tolerance (see :mod:`repro.providers.retry` and
+    :mod:`repro.providers.faults`):
+
+    * ``retry_policy`` — per-experiment retry budget/backoff (a
+      :class:`~repro.providers.retry.RetryPolicy`, a kwargs dict, or
+      False to disable); default: up to 3 attempts.
+    * ``fault_injector`` — arm a seeded
+      :class:`~repro.providers.faults.FaultInjector` for reproducible
+      chaos testing.
+
+    The returned job exposes the fault/retry ledger as
+    ``job.fault_stats`` and supports ``result(timeout=..., partial=True)``
+    to gather whatever finished before a deadline or cancel.
 
     The batch ``seed`` is expanded into one derived seed per experiment at
     assembly, so a seeded batch returns bit-identical results under every
@@ -67,6 +82,10 @@ def execute(circuits, backend: BaseBackend, shots: int = 1024, seed=None,
         options["executor"] = executor
     if max_workers is not None:
         options["max_workers"] = max_workers
+    if retry_policy is not None:
+        options["retry_policy"] = retry_policy
+    if fault_injector is not None:
+        options["fault_injector"] = fault_injector
     job = backend.run(batch, **options)
     job.transpile_cache_stats = get_transpile_cache().stats()
     return job

@@ -22,7 +22,23 @@ batches on multi-core hosts and ``serial`` otherwise.
 
 Determinism: per-experiment seeds are derived from the batch seed by the
 assembler before scheduling, so all three executors produce bit-identical
-:class:`~repro.providers.result.Result` payloads for a seeded batch.
+:class:`~repro.providers.result.Result` payloads for a seeded batch —
+*including* batches with retried experiments, because a retry re-runs the
+experiment with its original derived seed.
+
+Fault tolerance (see :mod:`repro.providers.retry` and
+:mod:`repro.providers.faults`):
+
+* a :class:`~repro.providers.retry.RetryPolicy` is applied per experiment
+  inside :func:`run_assembled_experiment`, the common worker path of all
+  three dispatchers, so transient failures re-run only the affected
+  experiment;
+* a broken process pool (worker crash) degrades processes -> threads ->
+  serial and finishes the batch instead of erroring;
+* exhausted retries mark only that experiment failed; the batch stays
+  collectable as a partial :class:`~repro.providers.result.Result`;
+* every dispatch keeps a ``fallbacks`` ledger, surfaced with the
+  per-experiment attempt counts as ``job.fault_stats``.
 
 Failure isolation: a worker never raises.  An experiment that fails is
 returned as an ERROR :class:`~repro.providers.result.ExperimentResult`
@@ -34,10 +50,18 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from concurrent.futures import TimeoutError as _FuturesTimeout
 
-from repro.exceptions import BackendError, JobTimeoutError
+from repro.exceptions import (
+    BackendError,
+    CorruptedResultError,
+    JobTimeoutError,
+)
 
 #: Options consumed by the scheduling layer itself (everything else in
 #: ``backend.run(**options)`` is forwarded to the simulator engines).
@@ -48,15 +72,24 @@ SCHEDULING_OPTIONS = ("executor", "max_workers")
 AUTO_MIN_EXPERIMENTS = 4
 AUTO_MIN_QUBITS = 10
 
+#: Graceful-degradation order when a pool breaks mid-batch.
+FALLBACK_ORDER = {"processes": "threads", "threads": "serial"}
+
 
 class JobStatus:
-    """String constants for the :class:`Job` state machine."""
+    """String constants for the :class:`Job` state machine.
+
+    ``INCOMPLETE`` is a per-experiment status only: it marks placeholder
+    entries in a partial result for experiments that had not finished
+    when the deadline hit.
+    """
 
     INITIALIZING = "INITIALIZING"
     RUNNING = "RUNNING"
     DONE = "DONE"
     ERROR = "ERROR"
     CANCELLED = "CANCELLED"
+    INCOMPLETE = "INCOMPLETE"
 
 
 def choose_executor(num_experiments: int, max_qubits: int,
@@ -104,44 +137,118 @@ def resolve_backend(spec):
     raise BackendError(f"unknown backend provider '{provider}'")
 
 
+def validate_outcome(outcome) -> None:
+    """Cheap payload-consistency checks; raises CorruptedResultError.
+
+    A counts histogram must sum to the shots the engine reports, and a
+    per-shot memory list must have one entry per shot.  This is what
+    turns a corrupted-payload fault into a *retryable* failure instead of
+    silently skewed statistics.
+    """
+    data = outcome.data if isinstance(outcome.data, dict) else {}
+    if "counts" in data and outcome.shots:
+        total = sum(data["counts"].values())
+        if total != outcome.shots:
+            raise CorruptedResultError(
+                f"counts for '{outcome.circuit_name}' sum to {total}, "
+                f"expected {outcome.shots} shots"
+            )
+    if "memory" in data and outcome.shots:
+        if len(data["memory"]) != outcome.shots:
+            raise CorruptedResultError(
+                f"memory for '{outcome.circuit_name}' has "
+                f"{len(data['memory'])} entries, expected "
+                f"{outcome.shots} shots"
+            )
+
+
 def run_assembled_experiment(backend, experiment: dict, config: dict):
-    """Run one assembled experiment; never raises.
+    """Run one assembled experiment with per-experiment retry; never raises.
 
     The experiment dictionary is disassembled back into a circuit (the
     Qobj is the wire format of the pipeline, for every executor) and the
-    backend's ``_run_experiment`` hook does the actual simulation.  Errors
-    are captured into an ERROR result with zero fan-out to siblings.
+    backend's ``_run_experiment`` hook does the actual simulation.  A
+    failure classified as transient by the config's
+    :class:`~repro.providers.retry.RetryPolicy` re-runs the experiment —
+    with its original derived seed, so a successful retry is bit-identical
+    to a fault-free run.  Non-transient errors, and transient ones that
+    exhaust the retry budget, are captured into an ERROR result with zero
+    fan-out to siblings.
     """
+    from repro.providers.faults import FaultInjector
     from repro.providers.result import ExperimentResult
+    from repro.providers.retry import resolve_retry_policy
     from repro.qobj.assembler import experiment_to_circuit
 
     name = experiment.get("header", {}).get("name", "unnamed")
+    policy = resolve_retry_policy(config.get("retry_policy"))
+    injector = config.get("fault_injector")
+    if injector is not None and not isinstance(injector, FaultInjector):
+        raise BackendError("fault_injector must be a FaultInjector")
+    seed = config.get("seed")
     start = time.perf_counter()
-    try:
-        circuit = experiment_to_circuit(experiment)
-        if config.get("use_kernels", True):
-            outcome = backend._run_experiment(circuit, config)
-        else:
-            from repro.simulators import kernels
-
-            with kernels.disabled():
+    attempts = 0
+    backoff_total = 0.0
+    fault_log: list = []
+    while True:
+        attempt = attempts
+        attempts += 1
+        try:
+            if injector is not None:
+                injector.before_attempt(name, attempt, fault_log)
+            circuit = experiment_to_circuit(experiment)
+            if config.get("use_kernels", True):
                 outcome = backend._run_experiment(circuit, config)
-    except Exception as exc:  # noqa: BLE001 — isolation is the point
-        outcome = ExperimentResult(
-            name,
-            config.get("shots", 0),
-            {},
-            status=JobStatus.ERROR,
-            error=f"{type(exc).__name__}: {exc}",
-        )
+            else:
+                from repro.simulators import kernels
+
+                with kernels.disabled():
+                    outcome = backend._run_experiment(circuit, config)
+            if injector is not None:
+                injector.after_attempt(name, attempt, outcome, fault_log)
+            validate_outcome(outcome)
+            break
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            if policy.retryable(exc) and attempts < policy.max_attempts:
+                wait = policy.backoff(attempt, seed=seed)
+                if wait > 0:
+                    backoff_total += wait
+                    time.sleep(wait)
+                continue
+            outcome = ExperimentResult(
+                name,
+                config.get("shots", 0),
+                {},
+                status=JobStatus.ERROR,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            break
     outcome.time_taken = time.perf_counter() - start
-    outcome.seed = config.get("seed")
+    outcome.seed = seed
+    outcome.attempts = attempts
+    outcome.backoff_total = backoff_total
+    outcome.faults = fault_log
     return outcome
 
 
 def _process_worker(spec, experiment, config):
     """Top-level (hence picklable) entry point for process-pool workers."""
     return run_assembled_experiment(resolve_backend(spec), experiment, config)
+
+
+def _payload_name(payload) -> str:
+    """Experiment name of one (experiment, config) payload."""
+    return payload[0].get("header", {}).get("name", "unnamed")
+
+
+def _placeholder(payload, status: str, message: str):
+    """An ExperimentResult stand-in for work that never produced one."""
+    from repro.providers.result import ExperimentResult
+
+    return ExperimentResult(
+        _payload_name(payload), 0, {}, status=status, error=message,
+        attempts=0,
+    )
 
 
 class SerialDispatch:
@@ -153,6 +260,9 @@ class SerialDispatch:
         self._state = JobStatus.INITIALIZING
         self._outcomes = None
         self._finished: list = []
+        #: Executor fallbacks taken (always empty for serial; present so
+        #: the fault-stats ledger reads uniformly across dispatch kinds).
+        self.fallbacks: list = []
 
     def status(self) -> str:
         """INITIALIZING until collect() first runs, then RUNNING/DONE."""
@@ -165,17 +275,28 @@ class SerialDispatch:
             return True
         return False
 
-    def collect(self, timeout=None) -> list:
+    def finished_outcomes(self) -> list:
+        """Snapshot of the outcomes completed so far (non-blocking)."""
+        return list(self._finished)
+
+    def collect(self, timeout=None, partial=False) -> list:
         """Run (once) and return the experiment outcomes in batch order.
 
         The ``timeout`` deadline is cooperative: it is checked between
         experiments (a running experiment cannot be interrupted in-process)
-        and raises :class:`JobTimeoutError` when exceeded.  Finished
-        experiments are kept, so a later ``collect`` resumes where the
+        and raises :class:`JobTimeoutError` when exceeded — unless
+        ``partial=True``, which instead returns the finished outcomes plus
+        INCOMPLETE placeholders for the rest.  Finished experiments are
+        kept either way, so a later ``collect`` resumes where the
         timed-out one stopped.
         """
         if self._state == JobStatus.CANCELLED:
-            raise BackendError("job was cancelled")
+            if not partial:
+                raise BackendError("job was cancelled")
+            return self._finished + [
+                _placeholder(payload, JobStatus.CANCELLED, "job was cancelled")
+                for payload in self._payloads[len(self._finished):]
+            ]
         if self._outcomes is None:
             self._state = JobStatus.RUNNING
             deadline = (
@@ -183,6 +304,15 @@ class SerialDispatch:
             )
             while len(self._finished) < len(self._payloads):
                 if deadline is not None and time.monotonic() >= deadline:
+                    if partial:
+                        done = len(self._finished)
+                        return self._finished + [
+                            _placeholder(
+                                payload, JobStatus.INCOMPLETE,
+                                f"not finished within {timeout}s",
+                            )
+                            for payload in self._payloads[done:]
+                        ]
                     raise JobTimeoutError(
                         f"job timed out after {timeout}s "
                         f"({len(self._finished)}/{len(self._payloads)} "
@@ -199,7 +329,13 @@ class SerialDispatch:
 
 
 class PoolDispatch:
-    """Experiments submitted to a thread or process pool."""
+    """Experiments submitted to a thread or process pool.
+
+    A pool that breaks mid-batch (a crashed worker, most commonly) is not
+    fatal: the unfinished experiments are re-dispatched down the
+    degradation chain processes -> threads -> serial, recorded in
+    :attr:`fallbacks`, and the batch completes.
+    """
 
     def __init__(self, backend, payloads, kind: str, max_workers=None):
         workers = max_workers or min(len(payloads), os.cpu_count() or 1)
@@ -210,6 +346,10 @@ class PoolDispatch:
                 # No provider registry entry to rebuild the backend from in
                 # a worker process; threads share the instance instead.
                 kind = "threads"
+        self._backend = backend
+        self._payloads = payloads
+        self._kind = kind
+        self._workers = workers
         if kind == "processes":
             self._pool = ProcessPoolExecutor(max_workers=workers)
             self._futures = [
@@ -226,6 +366,11 @@ class PoolDispatch:
             ]
         self._cancelled = False
         self._outcomes = None
+        #: index -> outcome, filled as futures (and fallback runs) resolve
+        #: so repeated/partial collects never re-run finished work.
+        self._collected: dict = {}
+        #: Degradations taken, e.g. ["processes->threads"].
+        self.fallbacks: list = []
 
     def status(self) -> str:
         """RUNNING while any future is outstanding, then DONE."""
@@ -238,7 +383,16 @@ class PoolDispatch:
         return JobStatus.RUNNING
 
     def cancel(self) -> bool:
-        """Cancel futures that have not started; True if any were."""
+        """Cancel futures that have not started; True if any were.
+
+        Idempotent: the job transitions to CANCELLED exactly once, and a
+        second ``cancel()`` returns False.  Experiments already finished
+        (or mid-flight, which the pool cannot interrupt) keep their
+        results; ``collect(partial=True)`` gathers them alongside
+        CANCELLED placeholders for the prevented ones.
+        """
+        if self._cancelled or self._outcomes is not None:
+            return False
         prevented = [future.cancel() for future in self._futures]
         if any(prevented):
             self._cancelled = True
@@ -246,49 +400,196 @@ class PoolDispatch:
             return True
         return False
 
-    def collect(self, timeout=None) -> list:
+    def finished_outcomes(self) -> list:
+        """Snapshot of the outcomes completed so far (non-blocking)."""
+        snapshot = dict(self._collected)
+        for index, future in enumerate(self._futures):
+            if index in snapshot or not future.done() or future.cancelled():
+                continue
+            try:
+                snapshot[index] = future.result(timeout=0)
+            except Exception:  # noqa: BLE001 — broken pool etc.; skip
+                continue
+        return [snapshot[index] for index in sorted(snapshot)]
+
+    def _remaining(self, deadline):
+        if deadline is None:
+            return None
+        return max(0.0, deadline - time.monotonic())
+
+    def _fallback_kind(self, kind: str) -> str:
+        """Next executor down the degradation chain for these payloads."""
+        next_kind = FALLBACK_ORDER.get(kind, "serial")
+        if next_kind == "threads" and any(
+            not config.get("use_kernels", True)
+            for _experiment, config in self._payloads
+        ):
+            # The kernel switch is process-global: un-kernelled payloads
+            # must not share the interpreter with concurrent threads.
+            next_kind = "serial"
+        return next_kind
+
+    def _run_fallbacks(self, indices, deadline, partial, incomplete):
+        """Re-dispatch broken-pool experiments down the degradation chain.
+
+        Fills ``self._collected`` for every index it completes; deadline
+        overruns either extend ``incomplete`` (partial mode) or raise
+        :class:`JobTimeoutError`.
+        """
+        kind = self._kind
+        pending = list(indices)
+        while pending:
+            next_kind = self._fallback_kind(kind)
+            self.fallbacks.append(f"{kind}->{next_kind}")
+            kind = next_kind
+            if kind == "threads":
+                pool = ThreadPoolExecutor(max_workers=self._workers)
+                futures = {
+                    index: pool.submit(
+                        run_assembled_experiment, self._backend,
+                        *self._payloads[index]
+                    )
+                    for index in pending
+                }
+                broken = []
+                for index in pending:
+                    try:
+                        self._collected[index] = futures[index].result(
+                            timeout=self._remaining(deadline)
+                        )
+                    except _FuturesTimeout:
+                        if partial:
+                            incomplete.append(index)
+                            continue
+                        pool.shutdown(wait=False)
+                        raise JobTimeoutError(
+                            f"job timed out during threads fallback "
+                            f"({len(self._collected)}/{len(self._payloads)}"
+                            " experiments collected)"
+                        ) from None
+                    except BrokenExecutor:
+                        broken.append(index)
+                    except Exception as exc:  # noqa: BLE001
+                        self._collected[index] = _placeholder(
+                            self._payloads[index], JobStatus.ERROR,
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                pool.shutdown(wait=False)
+                pending = broken
+            else:  # serial: the executor of last resort cannot break
+                for index in pending:
+                    remaining = self._remaining(deadline)
+                    if remaining is not None and remaining <= 0:
+                        if partial:
+                            incomplete.append(index)
+                            continue
+                        raise JobTimeoutError(
+                            f"job timed out during serial fallback "
+                            f"({len(self._collected)}/{len(self._payloads)}"
+                            " experiments collected)"
+                        )
+                    self._collected[index] = run_assembled_experiment(
+                        self._backend, *self._payloads[index]
+                    )
+                pending = []
+
+    def _collect_after_cancel(self, deadline, partial):
+        """Partial gather once cancelled: keep everything that ran."""
+        if not partial:
+            raise BackendError("job was cancelled")
+        outcomes = []
+        for index, future in enumerate(self._futures):
+            if index in self._collected:
+                outcomes.append(self._collected[index])
+                continue
+            if future.cancelled():
+                outcomes.append(_placeholder(
+                    self._payloads[index], JobStatus.CANCELLED,
+                    "cancelled before start",
+                ))
+                continue
+            try:
+                # Mid-flight when cancel() hit: let it finish rather than
+                # lose a completed experiment.
+                self._collected[index] = future.result(
+                    timeout=self._remaining(deadline)
+                )
+                outcomes.append(self._collected[index])
+            except _FuturesTimeout:
+                outcomes.append(_placeholder(
+                    self._payloads[index], JobStatus.INCOMPLETE,
+                    "still running at partial collect",
+                ))
+            except Exception as exc:  # noqa: BLE001 — broken pool
+                outcomes.append(_placeholder(
+                    self._payloads[index], JobStatus.ERROR,
+                    f"{type(exc).__name__}: {exc}",
+                ))
+        return outcomes
+
+    def collect(self, timeout=None, partial=False) -> list:
         """Await and return the experiment outcomes in batch order.
 
         ``timeout`` bounds the whole collection, not each future; hitting
         it raises :class:`JobTimeoutError` (same type as the serial
         executor) and leaves the futures running, so a later ``collect``
-        can still gather them.
+        can still gather them — or, with ``partial=True``, returns the
+        finished outcomes plus INCOMPLETE placeholders instead of
+        raising.  A broken pool triggers the processes -> threads ->
+        serial degradation chain rather than failing the batch.
         """
+        if self._outcomes is not None:
+            return self._outcomes
+        deadline = None if timeout is None else time.monotonic() + timeout
         if self._cancelled:
-            raise BackendError("job was cancelled")
-        if self._outcomes is None:
-            from repro.providers.result import ExperimentResult
-
-            deadline = (
-                None if timeout is None else time.monotonic() + timeout
-            )
-            outcomes = []
-            for index, future in enumerate(self._futures):
-                remaining = (
-                    None
-                    if deadline is None
-                    else max(0.0, deadline - time.monotonic())
+            return self._collect_after_cancel(deadline, partial)
+        broken = []
+        incomplete = []
+        for index, future in enumerate(self._futures):
+            if index in self._collected:
+                continue
+            try:
+                self._collected[index] = future.result(
+                    timeout=self._remaining(deadline)
                 )
-                try:
-                    outcomes.append(future.result(timeout=remaining))
-                except _FuturesTimeout:
-                    raise JobTimeoutError(
-                        f"job timed out after {timeout}s "
-                        f"({index}/{len(self._futures)} experiments "
-                        "collected)"
-                    ) from None
-                except Exception as exc:  # pool breakage, unpicklable payload
-                    outcomes.append(
-                        ExperimentResult(
-                            "unnamed", 0, {},
-                            status=JobStatus.ERROR,
-                            error=f"{type(exc).__name__}: {exc}",
-                        )
-                    )
-            # Every future has resolved, so this reaps workers immediately;
-            # a lazy shutdown would leave process pools to a noisy atexit.
-            self._pool.shutdown(wait=True)
-            self._outcomes = outcomes
+            except _FuturesTimeout:
+                if partial:
+                    incomplete.append(index)
+                    continue
+                done = sum(
+                    1 for f in self._futures if f.done()
+                )
+                raise JobTimeoutError(
+                    f"job timed out after {timeout}s "
+                    f"({done}/{len(self._futures)} experiments "
+                    "collected)"
+                ) from None
+            except BrokenExecutor:
+                broken.append(index)
+            except Exception as exc:  # unpicklable payload and kin
+                self._collected[index] = _placeholder(
+                    self._payloads[index], JobStatus.ERROR,
+                    f"{type(exc).__name__}: {exc}",
+                )
+        if broken:
+            self._run_fallbacks(broken, deadline, partial, incomplete)
+        if incomplete:
+            # Not final: leave the pool running and nothing cached, so a
+            # later collect picks up where this one left off.
+            return [
+                self._collected[index] if index in self._collected
+                else _placeholder(
+                    self._payloads[index], JobStatus.INCOMPLETE,
+                    f"not finished within {timeout}s",
+                )
+                for index in range(len(self._payloads))
+            ]
+        # Every experiment has resolved, so this reaps workers immediately;
+        # a lazy shutdown would leave process pools to a noisy atexit.
+        self._pool.shutdown(wait=True)
+        self._outcomes = [
+            self._collected[index] for index in range(len(self._payloads))
+        ]
         return self._outcomes
 
 

@@ -34,45 +34,66 @@ _DEVICE_ERRORS = {
 
 
 class BackendProperties:
-    """Per-qubit / per-edge calibration data for a fake device.
+    """Per-qubit / per-edge calibration data for a device.
 
     Mirrors the cloud API's ``backend.properties()`` payload: gate error
     and duration for every (gate, qubits) combination plus readout error
-    per qubit.  Values are derived deterministically from the device name,
-    jittered around the published error magnitudes so each coupler is
-    distinguishable — which is what lets error-aware layout/routing
-    meaningfully prefer one region over another.
+    per qubit.  For the fake QX devices, :meth:`from_device` derives the
+    values deterministically from the device name, jittered around the
+    published error magnitudes so each coupler is distinguishable — which
+    is what lets error-aware layout/routing meaningfully prefer one
+    region over another.  Real device calibration data loads through
+    :meth:`from_json` (schema in DESIGN.md, "Calibration file format")
+    and round-trips via :meth:`to_json`.
     """
 
     _DURATION_1Q = 50e-9
     _DURATION_CX = 300e-9
     _DURATION_READOUT = 1e-6
 
-    def __init__(self, name: str, coupling: CouplingMap):
+    SCHEMA_VERSION = "1.0"
+
+    def __init__(self, backend_name: str, gate_errors=None,
+                 gate_durations=None, readout_errors=None,
+                 readout_durations=None):
+        self.backend_name = backend_name
+        #: {(gate, (qubits...)): error rate}
+        self._gate_errors: dict = dict(gate_errors or {})
+        #: {(gate, (qubits...)): duration in seconds}
+        self._gate_durations: dict = dict(gate_durations or {})
+        #: {qubit: readout error}
+        self._readout_errors: dict = dict(readout_errors or {})
+        #: {qubit: readout duration}; falls back to _DURATION_READOUT
+        self._readout_durations: dict = dict(readout_durations or {})
+
+    @classmethod
+    def from_device(cls, name: str,
+                    coupling: CouplingMap) -> "BackendProperties":
+        """Synthesize deterministic calibrations for a fake QX device."""
         if name not in _DEVICE_ERRORS:
             raise BackendError(f"unknown device '{name}'")
         err_1q, err_2q, err_ro = _DEVICE_ERRORS[name]
         seed = int.from_bytes(name.encode(), "little") % (2**32)
         rng = np.random.default_rng(seed)
-        self.backend_name = name
-        self._gate_errors: dict = {}
-        self._gate_durations: dict = {}
-        self._readout_errors: dict = {}
+        properties = cls(name)
         for qubit in range(coupling.num_qubits):
             jitter = 0.7 + 0.6 * rng.random()
             for gate in ("u1", "u2", "u3", "id"):
                 scale = 0.0 if gate == "u1" else jitter
-                self._gate_errors[(gate, (qubit,))] = err_1q * scale
-                self._gate_durations[(gate, (qubit,))] = (
-                    0.0 if gate == "u1" else self._DURATION_1Q
+                properties._gate_errors[(gate, (qubit,))] = err_1q * scale
+                properties._gate_durations[(gate, (qubit,))] = (
+                    0.0 if gate == "u1" else cls._DURATION_1Q
                 )
-            self._readout_errors[qubit] = err_ro * (0.7 + 0.6 * rng.random())
+            properties._readout_errors[qubit] = (
+                err_ro * (0.7 + 0.6 * rng.random())
+            )
         for edge in coupling.edges:
             jitter = 0.6 + 0.8 * rng.random()
-            self._gate_errors[("cx", tuple(edge))] = err_2q * jitter
-            self._gate_durations[("cx", tuple(edge))] = (
-                self._DURATION_CX * (0.8 + 0.4 * rng.random())
+            properties._gate_errors[("cx", tuple(edge))] = err_2q * jitter
+            properties._gate_durations[("cx", tuple(edge))] = (
+                cls._DURATION_CX * (0.8 + 0.4 * rng.random())
             )
+        return properties
 
     def gate_error(self, gate: str, qubits) -> float | None:
         """Calibrated error rate for ``gate`` on ``qubits`` (or None)."""
@@ -88,7 +109,70 @@ class BackendProperties:
 
     def readout_duration(self, qubit: int) -> float:
         """Readout duration (seconds)."""
-        return self._DURATION_READOUT
+        return self._readout_durations.get(qubit, self._DURATION_READOUT)
+
+    def to_json(self) -> dict:
+        """JSON-compatible calibration payload (see DESIGN.md schema)."""
+        gates = [
+            {
+                "gate": gate,
+                "qubits": list(qubits),
+                "error": self._gate_errors.get((gate, qubits)),
+                "duration": self._gate_durations.get((gate, qubits)),
+            }
+            for gate, qubits in sorted(
+                set(self._gate_errors) | set(self._gate_durations)
+            )
+        ]
+        readout = [
+            {
+                "qubit": qubit,
+                "error": self._readout_errors.get(qubit),
+                "duration": self.readout_duration(qubit),
+            }
+            for qubit in sorted(
+                set(self._readout_errors) | set(self._readout_durations)
+            )
+        ]
+        return {
+            "backend_name": self.backend_name,
+            "schema_version": self.SCHEMA_VERSION,
+            "gates": gates,
+            "readout": readout,
+        }
+
+    @classmethod
+    def from_json(cls, payload) -> "BackendProperties":
+        """Load calibrations from a payload dict or JSON string.
+
+        This is the entry point for *real* device calibration data: any
+        backend name is accepted, and a Target built from a backend
+        carrying these properties uses them verbatim.
+        """
+        import json as _json
+
+        if isinstance(payload, (str, bytes)):
+            payload = _json.loads(payload)
+        if not isinstance(payload, dict) or "backend_name" not in payload:
+            raise BackendError(
+                "calibration payload must be a dict with a 'backend_name'"
+            )
+        properties = cls(payload["backend_name"])
+        for entry in payload.get("gates", []):
+            key = (entry["gate"], tuple(entry["qubits"]))
+            if entry.get("error") is not None:
+                properties._gate_errors[key] = float(entry["error"])
+            if entry.get("duration") is not None:
+                properties._gate_durations[key] = float(entry["duration"])
+        for entry in payload.get("readout", []):
+            qubit = int(entry["qubit"])
+            if entry.get("error") is not None:
+                properties._readout_errors[qubit] = float(entry["error"])
+            if entry.get("duration") is not None:
+                properties._readout_durations[qubit] = (
+                    float(entry["duration"])
+                )
+        return properties
 
 
 def build_device_noise_model(name: str) -> NoiseModel:
@@ -125,10 +209,23 @@ class FakeQXBackend(BaseBackend):
         )
         self._noise_model = build_device_noise_model(name)
         self._engine = QasmSimulator()
-        self._properties = BackendProperties(name, coupling)
+        self._properties = BackendProperties.from_device(name, coupling)
 
     def properties(self) -> BackendProperties:
         """Per-qubit/per-edge calibration data, like the cloud API."""
+        return self._properties
+
+    def load_properties(self, payload) -> BackendProperties:
+        """Replace the calibrations from a file payload.
+
+        Accepts a ready :class:`BackendProperties`, a payload dict, or a
+        JSON string (see DESIGN.md, "Calibration file format") — the hook
+        for loading *real* device calibration data, which then flows into
+        ``Target.from_backend`` and the error-aware layout/routing passes.
+        """
+        if not isinstance(payload, BackendProperties):
+            payload = BackendProperties.from_json(payload)
+        self._properties = payload
         return self._properties
 
     @property

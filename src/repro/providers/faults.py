@@ -1,0 +1,209 @@
+"""Deterministic, seed-driven fault injection for the execution pipeline.
+
+The paper's workflow targets the real IBM Q cloud, where jobs queue, time
+out, and fail transiently.  Offline, the provider stack simulates that
+hostile environment with this module: a :class:`FaultInjector` armed on a
+job (``backend.run(..., fault_injector=...)`` or
+``execute(..., fault_injector=...)``) fires faults on a *seeded schedule*,
+so chaos tests are reproducible down to the bit — the same seed fires the
+same faults on the same (experiment, attempt) pairs no matter which
+executor runs the batch.
+
+Fault kinds (:class:`FaultKind`):
+
+* ``transient`` — raises :class:`~repro.exceptions.TransientFaultError`
+  before the engine runs; the retry layer re-runs the experiment with its
+  original derived seed.
+* ``crash`` — kills the worker.  Inside a process-pool worker this is a
+  real ``os._exit`` (the parent sees a broken pool and degrades
+  processes -> threads -> serial); in-process executors raise the
+  retryable :class:`~repro.exceptions.WorkerCrashError` instead.
+* ``slow`` — sleeps ``latency`` seconds before the engine runs; the
+  experiment still succeeds.  Used to exercise timeouts and cancellation.
+* ``corrupt`` — mangles the returned counts histogram so it no longer
+  sums to the requested shots; the retry layer's payload validation
+  detects the mismatch and re-runs.
+
+Both classes are plain-attribute objects, hence picklable: they ride the
+per-experiment config dictionaries into process-pool workers unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import time
+
+from repro.exceptions import (
+    BackendError,
+    TransientFaultError,
+    WorkerCrashError,
+)
+
+
+class FaultKind:
+    """String constants for the supported fault kinds."""
+
+    TRANSIENT = "transient"
+    CRASH = "crash"
+    SLOW = "slow"
+    CORRUPT = "corrupt"
+
+    ALL = (TRANSIENT, CRASH, SLOW, CORRUPT)
+
+
+class FaultSpec:
+    """Where and when one kind of fault fires.
+
+    * ``experiments`` — restrict to these experiment names (None = all).
+    * ``attempts`` — restrict to these attempt numbers, 0-based
+      (default ``(0,)``: fire on the first attempt only, so a retry
+      succeeds; ``None`` = every attempt, which exhausts the retry
+      budget).
+    * ``probability`` — chance of firing on a matching (experiment,
+      attempt) pair; below 1.0 the decision is drawn deterministically
+      from the injector seed, never from global randomness.
+    * ``latency`` — sleep duration in seconds (``slow`` faults only).
+    """
+
+    def __init__(self, kind: str, experiments=None, attempts=(0,),
+                 probability: float = 1.0, latency: float = 0.05):
+        if kind not in FaultKind.ALL:
+            raise BackendError(
+                f"unknown fault kind '{kind}'; choose one of "
+                f"{list(FaultKind.ALL)}"
+            )
+        if not 0.0 <= probability <= 1.0:
+            raise BackendError("fault probability must be in [0, 1]")
+        self.kind = kind
+        self.experiments = (
+            None if experiments is None else frozenset(experiments)
+        )
+        self.attempts = None if attempts is None else frozenset(attempts)
+        self.probability = float(probability)
+        self.latency = float(latency)
+
+    def matches(self, experiment_name: str, attempt: int) -> bool:
+        """Whether this spec targets the given (experiment, attempt)."""
+        if self.experiments is not None \
+                and experiment_name not in self.experiments:
+            return False
+        if self.attempts is not None and attempt not in self.attempts:
+            return False
+        return True
+
+    def __repr__(self):
+        return (
+            f"FaultSpec({self.kind!r}, experiments="
+            f"{sorted(self.experiments) if self.experiments else None}, "
+            f"attempts={sorted(self.attempts) if self.attempts else None}, "
+            f"probability={self.probability})"
+        )
+
+
+def _schedule_fraction(seed: int, kind: str, name: str, attempt: int) -> float:
+    """Deterministic uniform draw in [0, 1) for one firing decision.
+
+    Keyed by (seed, kind, experiment name, attempt) — not by wall clock or
+    executor ordering — so every executor sees the identical schedule.
+    """
+    digest = hashlib.sha256(
+        f"{seed}:{kind}:{name}:{attempt}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+class FaultInjector:
+    """A seeded set of fault specs, armed on a job.
+
+    The injector is consulted by ``run_assembled_experiment`` before each
+    attempt (transient/crash/slow) and after each attempt (corrupt).
+    Every fired fault is appended to the experiment's fault log, which
+    surfaces in ``job.fault_stats`` — except a real process-worker crash,
+    whose log dies with the worker; those show up as pool fallbacks
+    instead.
+    """
+
+    def __init__(self, specs, seed: int = 0):
+        if isinstance(specs, FaultSpec):
+            specs = [specs]
+        self.specs = list(specs)
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise BackendError(
+                    "fault_injector takes FaultSpec instances, "
+                    f"got {type(spec).__name__}"
+                )
+        self.seed = int(seed)
+
+    def fires(self, spec: FaultSpec, experiment_name: str,
+              attempt: int) -> bool:
+        """Deterministic firing decision for one spec."""
+        if not spec.matches(experiment_name, attempt):
+            return False
+        if spec.probability >= 1.0:
+            return True
+        return _schedule_fraction(
+            self.seed, spec.kind, experiment_name, attempt
+        ) < spec.probability
+
+    def before_attempt(self, experiment_name: str, attempt: int,
+                       fault_log: list) -> None:
+        """Apply pre-engine faults; may sleep, raise, or kill the worker."""
+        for spec in self.specs:
+            if not self.fires(spec, experiment_name, attempt):
+                continue
+            if spec.kind == FaultKind.SLOW:
+                fault_log.append(f"slow@{attempt}")
+                time.sleep(spec.latency)
+            elif spec.kind == FaultKind.TRANSIENT:
+                fault_log.append(f"transient@{attempt}")
+                raise TransientFaultError(
+                    f"injected transient fault on '{experiment_name}' "
+                    f"(attempt {attempt})"
+                )
+            elif spec.kind == FaultKind.CRASH:
+                fault_log.append(f"crash@{attempt}")
+                if multiprocessing.parent_process() is not None:
+                    # A real worker crash: the parent's future breaks with
+                    # BrokenProcessPool and the dispatcher degrades.
+                    os._exit(13)
+                raise WorkerCrashError(
+                    f"injected worker crash on '{experiment_name}' "
+                    f"(attempt {attempt})"
+                )
+
+    def after_attempt(self, experiment_name: str, attempt: int, outcome,
+                      fault_log: list) -> None:
+        """Apply post-engine faults (payload corruption)."""
+        for spec in self.specs:
+            if spec.kind != FaultKind.CORRUPT:
+                continue
+            if not self.fires(spec, experiment_name, attempt):
+                continue
+            counts = outcome.data.get("counts") if outcome.data else None
+            if not counts:
+                continue  # nothing corruptible in this payload
+            fault_log.append(f"corrupt@{attempt}")
+            # Knock one shot off the most frequent outcome: the histogram
+            # no longer sums to the requested shots, which is exactly what
+            # the retry layer's payload validation checks.
+            key = max(counts, key=counts.get)
+            counts[key] -= 1
+            if counts[key] <= 0:
+                del counts[key]
+
+    def __repr__(self):
+        return f"FaultInjector({self.specs!r}, seed={self.seed})"
+
+
+def resolve_injector(value):
+    """Normalize the ``fault_injector`` run option.
+
+    Accepts None, a ready :class:`FaultInjector`, a single
+    :class:`FaultSpec`, or a list of specs (seeded with 0).
+    """
+    if value is None or isinstance(value, FaultInjector):
+        return value
+    return FaultInjector(value)

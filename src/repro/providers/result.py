@@ -43,20 +43,29 @@ class ExperimentResult:
     """Result of one circuit's execution, including execution metadata."""
 
     def __init__(self, circuit_name, shots, data, status="DONE", error=None,
-                 time_taken=None, seed=None):
+                 time_taken=None, seed=None, attempts=1, backoff_total=0.0,
+                 faults=()):
         self.circuit_name = circuit_name
         self.shots = shots
         #: Raw payload: may contain 'counts', 'memory', 'statevector',
         #: 'unitary', 'density_matrix', 'dd_nodes', ...
         self.data = data
-        #: "DONE" or "ERROR"; a failed experiment does not abort its batch.
+        #: "DONE" or "ERROR" (also "INCOMPLETE"/"CANCELLED" for partial
+        #: placeholders); a failed experiment does not abort its batch.
         self.status = status
-        #: Exception text when status is "ERROR".
+        #: Exception text when status is not "DONE".
         self.error = error
         #: Wall-clock seconds spent on this experiment (set by the executor).
         self.time_taken = time_taken
         #: The derived per-experiment seed the engine actually used.
         self.seed = seed
+        #: How many times the executor ran this experiment (retries count;
+        #: 0 for placeholders that never ran).
+        self.attempts = attempts
+        #: Total seconds slept in retry backoff for this experiment.
+        self.backoff_total = backoff_total
+        #: Injected-fault log, e.g. ["transient@0", "corrupt@1"].
+        self.faults = list(faults)
 
     @property
     def success(self) -> bool:
@@ -87,6 +96,36 @@ class Result:
     def success(self) -> bool:
         """Whether every experiment in the batch completed without error."""
         return all(experiment.success for experiment in self._results)
+
+    @property
+    def partial(self) -> bool:
+        """Whether this result is missing any successful experiment.
+
+        A partial result is still collectable: the accessors work for
+        every completed experiment and raise only for the failed,
+        incomplete, or cancelled ones.  Partial results arise from
+        exhausted retries, ``result(timeout=..., partial=True)`` after a
+        deadline, and ``result(partial=True)`` after a cancel.
+        """
+        return any(
+            experiment.status != "DONE" for experiment in self._results
+        )
+
+    @property
+    def failed_experiments(self) -> list:
+        """The non-successful :class:`ExperimentResult` entries."""
+        return [
+            experiment for experiment in self._results
+            if experiment.status != "DONE"
+        ]
+
+    @property
+    def completed_experiments(self) -> list:
+        """The successful :class:`ExperimentResult` entries."""
+        return [
+            experiment for experiment in self._results
+            if experiment.status == "DONE"
+        ]
 
     def _lookup(self, circuit=None) -> ExperimentResult:
         if circuit is None:

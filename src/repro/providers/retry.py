@@ -1,0 +1,162 @@
+"""Per-experiment retry: policy, deterministic backoff, fault ledger.
+
+A :class:`RetryPolicy` is applied *inside* ``run_assembled_experiment``
+(the common worker path of the serial, thread, and process dispatchers),
+so a transient fault re-runs only the affected experiment — with its
+original derived seed, which keeps a retried batch bit-identical to a
+fault-free run.  The policy is a plain-attribute object and therefore
+picklable: it rides the per-experiment config into process-pool workers.
+
+Classification: only exception types listed in ``retryable_exceptions``
+are retried.  By default that is the transient family
+(:class:`~repro.exceptions.TransientFaultError`,
+:class:`~repro.exceptions.WorkerCrashError`,
+:class:`~repro.exceptions.CorruptedResultError`, plus
+``ConnectionError``); genuine programming/validation errors (a circuit
+the simulator rejects, say) fail immediately, exactly as before.
+
+Backoff is exponential with *deterministic* jitter: the jitter fraction
+is derived from the experiment's seed and the attempt number, never from
+global randomness, so the ledger of backoff waits is reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.exceptions import (
+    BackendError,
+    CorruptedResultError,
+    TransientFaultError,
+    WorkerCrashError,
+)
+
+#: Exception types retried by default: the transient/flaky family.
+DEFAULT_RETRYABLE = (
+    TransientFaultError,
+    WorkerCrashError,
+    CorruptedResultError,
+    ConnectionError,
+)
+
+
+class RetryPolicy:
+    """How many times, and how patiently, to re-run a failed experiment.
+
+    * ``max_attempts`` — total tries per experiment (1 = no retries).
+    * ``base_delay`` / ``backoff_factor`` / ``max_delay`` — the wait
+      before retry *k* is ``base_delay * backoff_factor**k``, capped at
+      ``max_delay``.
+    * ``jitter`` — symmetric fractional jitter (0.1 = +/-10%) applied to
+      each wait, derived deterministically from (seed, attempt).
+    * ``retryable_exceptions`` — exception types classified as transient.
+    """
+
+    def __init__(self, max_attempts: int = 3, base_delay: float = 0.05,
+                 backoff_factor: float = 2.0, max_delay: float = 1.0,
+                 jitter: float = 0.1, retryable_exceptions=None):
+        if max_attempts < 1:
+            raise BackendError("max_attempts must be at least 1")
+        if base_delay < 0 or max_delay < 0:
+            raise BackendError("retry delays must be non-negative")
+        if not 0.0 <= jitter <= 1.0:
+            raise BackendError("jitter must be in [0, 1]")
+        self.max_attempts = int(max_attempts)
+        self.base_delay = float(base_delay)
+        self.backoff_factor = float(backoff_factor)
+        self.max_delay = float(max_delay)
+        self.jitter = float(jitter)
+        self.retryable_exceptions = tuple(
+            DEFAULT_RETRYABLE if retryable_exceptions is None
+            else retryable_exceptions
+        )
+
+    def retryable(self, exc: BaseException) -> bool:
+        """Whether the exception is classified as transient."""
+        return isinstance(exc, self.retryable_exceptions)
+
+    def backoff(self, attempt: int, seed=None) -> float:
+        """Wait (seconds) before re-running after failed attempt number
+        ``attempt`` (0-based).  Deterministic for a given (seed, attempt).
+        """
+        if self.base_delay <= 0:
+            return 0.0
+        delay = min(
+            self.base_delay * self.backoff_factor ** attempt, self.max_delay
+        )
+        if self.jitter > 0:
+            digest = hashlib.sha256(
+                f"backoff:{seed}:{attempt}".encode()
+            ).digest()
+            fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+            delay *= 1.0 + self.jitter * (2.0 * fraction - 1.0)
+        return delay
+
+    def __repr__(self):
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base_delay={self.base_delay}, "
+            f"backoff_factor={self.backoff_factor}, jitter={self.jitter})"
+        )
+
+
+#: The pipeline default: up to 3 attempts, 50 ms first backoff.  Inert for
+#: healthy batches — non-transient errors are never retried.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def resolve_retry_policy(value) -> RetryPolicy:
+    """Normalize the ``retry_policy`` run option.
+
+    Accepts None (pipeline default), a ready :class:`RetryPolicy`, a
+    kwargs dictionary, or False (disable retries entirely).
+    """
+    if value is None:
+        return DEFAULT_RETRY_POLICY
+    if value is False:
+        return RetryPolicy(max_attempts=1, base_delay=0.0)
+    if isinstance(value, RetryPolicy):
+        return value
+    if isinstance(value, dict):
+        return RetryPolicy(**value)
+    raise BackendError(
+        "retry_policy must be a RetryPolicy, a kwargs dict, False, or None"
+    )
+
+
+def aggregate_fault_stats(outcomes, fallbacks=()) -> dict:
+    """Build the job-level fault/retry ledger from experiment outcomes.
+
+    Accounts for every attempt, backoff wait, injected fault, and executor
+    fallback; exposed as ``job.fault_stats``.
+    """
+    per_experiment = {}
+    attempts = retries = faults = 0
+    backoff_total = 0.0
+    failed = []
+    for outcome in outcomes:
+        exp_attempts = getattr(outcome, "attempts", 1) or 0
+        exp_backoff = getattr(outcome, "backoff_total", 0.0) or 0.0
+        exp_faults = list(getattr(outcome, "faults", ()) or ())
+        attempts += exp_attempts
+        retries += max(0, exp_attempts - 1)
+        backoff_total += exp_backoff
+        faults += len(exp_faults)
+        if not outcome.success:
+            failed.append(outcome.circuit_name)
+        per_experiment[outcome.circuit_name] = {
+            "status": outcome.status,
+            "attempts": exp_attempts,
+            "backoff_s": round(exp_backoff, 6),
+            "faults": exp_faults,
+        }
+    return {
+        "experiments": len(list(outcomes)),
+        "attempts": attempts,
+        "retries": retries,
+        "backoff_total_s": round(backoff_total, 6),
+        "faults_injected": faults,
+        "fallbacks": list(fallbacks),
+        "failed_experiments": failed,
+        "per_experiment": per_experiment,
+    }

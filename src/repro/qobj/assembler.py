@@ -136,10 +136,13 @@ def assemble(circuits, shots: int = 1024, seed=None,
     if not circuits:
         raise BackendError("nothing to assemble")
     experiments = [circuit_to_experiment(c) for c in circuits]
-    for experiment, exp_seed in zip(
+    for index, (experiment, exp_seed) in enumerate(zip(
         experiments, derive_experiment_seeds(seed, len(experiments))
-    ):
-        experiment["config"] = {"seed": exp_seed}
+    )):
+        # The index is the experiment's stable identity within the batch:
+        # retries and executor fallbacks re-run by index with this same
+        # derived seed, which is what keeps them bit-identical.
+        experiment["config"] = {"seed": exp_seed, "index": index}
     return {
         "qobj_id": f"qobj-{next(_QOBJ_COUNTER)}",
         "type": "QASM",

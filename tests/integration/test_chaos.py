@@ -1,0 +1,249 @@
+"""Chaos suite: every fault kind x every executor, against a baseline.
+
+The contract (ISSUE 5 acceptance): with a fixed injector seed, injected
+faults either retry to *bit-identical* counts — a retried experiment
+re-runs with its original derived seed — or degrade to a collectable
+partial Result.  No hung jobs, no lost experiments, and
+``job.fault_stats`` accounts for every attempt and fallback.
+
+The CI chaos job runs this suite (plus the unit layer) under three fixed
+``CHAOS_SEED`` values, blocking.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.providers import (
+    Aer,
+    FaultInjector,
+    FaultKind,
+    FaultSpec,
+    IBMQ,
+    RetryPolicy,
+    execute,
+)
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "7"))
+
+EXECUTORS = ["serial", "threads", "processes"]
+
+#: Fault kinds that a retry (or the degradation chain) fully absorbs.
+RECOVERABLE_KINDS = [
+    FaultKind.TRANSIENT,
+    FaultKind.CRASH,
+    FaultKind.SLOW,
+    FaultKind.CORRUPT,
+]
+
+FAST_RETRY = RetryPolicy(base_delay=0.0)
+
+BATCH_SEED = 2024
+SHOTS = 128
+
+
+def _ghz(num_qubits, name):
+    circuit = QuantumCircuit(num_qubits, num_qubits)
+    circuit.h(0)
+    for i in range(num_qubits - 1):
+        circuit.cx(i, i + 1)
+    for i in range(num_qubits):
+        circuit.measure(i, i)
+    circuit.name = name
+    return circuit
+
+
+def _batch(size=3, num_qubits=3):
+    return [_ghz(num_qubits, f"exp-{i}") for i in range(size)]
+
+
+@pytest.fixture(scope="module")
+def baseline_counts():
+    """Fault-free reference counts for the standard chaos batch."""
+    backend = Aer.get_backend("qasm_simulator")
+    result = backend.run(_batch(), shots=SHOTS, seed=BATCH_SEED,
+                         executor="serial").result()
+    assert result.success
+    return [dict(result.get_counts(f"exp-{i}")) for i in range(3)]
+
+
+def _spec(kind):
+    # Target the middle experiment on its first attempt, so one retry
+    # (or one fallback hop) recovers it.
+    return FaultSpec(kind, experiments=["exp-1"], attempts=(0,),
+                     latency=0.1)
+
+
+class TestFaultKindsByExecutor:
+    """The full sweep: 4 fault kinds x 3 executors."""
+
+    @pytest.mark.parametrize("kind", RECOVERABLE_KINDS)
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_recovers_to_bit_identical_counts(self, kind, executor,
+                                              baseline_counts):
+        backend = Aer.get_backend("qasm_simulator")
+        injector = FaultInjector([_spec(kind)], seed=CHAOS_SEED)
+        job = backend.run(_batch(), shots=SHOTS, seed=BATCH_SEED,
+                          executor=executor, fault_injector=injector,
+                          retry_policy=FAST_RETRY)
+        result = job.result(timeout=120)
+        assert result.success and not result.partial
+        counts = [dict(result.get_counts(f"exp-{i}")) for i in range(3)]
+        assert counts == baseline_counts
+        stats = job.fault_stats
+        # Every attempt is accounted for: all three experiments ran, and
+        # any in-process fault shows up as a retry or a fault-log entry;
+        # a real worker crash shows up as a pool fallback instead.
+        assert stats["experiments"] == 3
+        assert stats["attempts"] >= 3
+        if kind == FaultKind.SLOW:
+            assert stats["retries"] == 0  # slow experiments still succeed
+            assert stats["faults_injected"] >= 1
+        elif kind == FaultKind.CRASH and executor == "processes":
+            assert stats["fallbacks"] == ["processes->threads"]
+        else:
+            assert stats["retries"] >= 1
+            assert stats["faults_injected"] >= 1
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_exhausted_retries_degrade_to_partial_result(self, executor,
+                                                         baseline_counts):
+        """A fault firing on *every* attempt fails only its experiment."""
+        backend = Aer.get_backend("qasm_simulator")
+        injector = FaultInjector(
+            [FaultSpec(FaultKind.TRANSIENT, experiments=["exp-1"],
+                       attempts=None)],
+            seed=CHAOS_SEED,
+        )
+        job = backend.run(_batch(), shots=SHOTS, seed=BATCH_SEED,
+                          executor=executor, fault_injector=injector,
+                          retry_policy=FAST_RETRY)
+        result = job.result(timeout=120)
+        assert result.partial and not result.success
+        assert [e.circuit_name for e in result.failed_experiments] \
+            == ["exp-1"]
+        # The survivors are collectable and bit-identical to the baseline.
+        assert dict(result.get_counts("exp-0")) == baseline_counts[0]
+        assert dict(result.get_counts("exp-2")) == baseline_counts[2]
+        stats = job.fault_stats
+        assert stats["per_experiment"]["exp-1"]["attempts"] \
+            == FAST_RETRY.max_attempts
+        assert stats["failed_experiments"] == ["exp-1"]
+
+
+class TestRetryDeterminism:
+    """Satellite: seeded transient fault on experiment k -> final counts
+    for the whole batch are bit-identical to the fault-free run across
+    serial/threads/processes."""
+
+    @pytest.mark.parametrize("target", ["exp-0", "exp-1", "exp-2"])
+    def test_bit_identical_across_executors(self, target, baseline_counts):
+        backend = Aer.get_backend("qasm_simulator")
+        per_executor = {}
+        for executor in EXECUTORS:
+            injector = FaultInjector(
+                [FaultSpec(FaultKind.TRANSIENT, experiments=[target],
+                           attempts=(0,))],
+                seed=CHAOS_SEED,
+            )
+            result = backend.run(
+                _batch(), shots=SHOTS, seed=BATCH_SEED, executor=executor,
+                fault_injector=injector, retry_policy=FAST_RETRY,
+            ).result(timeout=120)
+            assert result.success
+            per_executor[executor] = [
+                dict(result.get_counts(f"exp-{i}")) for i in range(3)
+            ]
+        assert per_executor["serial"] == baseline_counts
+        assert per_executor["threads"] == baseline_counts
+        assert per_executor["processes"] == baseline_counts
+
+    def test_memory_bit_identical_after_retry(self):
+        """Per-shot memory, not just histograms, survives a retry."""
+        backend = Aer.get_backend("qasm_simulator")
+        reference = backend.run(
+            _batch(), shots=32, seed=BATCH_SEED, executor="serial",
+            memory=True,
+        ).result()
+        injector = FaultInjector(
+            [FaultSpec(FaultKind.CORRUPT, experiments=["exp-1"],
+                       attempts=(0,))],
+            seed=CHAOS_SEED,
+        )
+        retried = backend.run(
+            _batch(), shots=32, seed=BATCH_SEED, executor="serial",
+            memory=True, fault_injector=injector, retry_policy=FAST_RETRY,
+        ).result()
+        for i in range(3):
+            assert retried.get_memory(f"exp-{i}") \
+                == reference.get_memory(f"exp-{i}")
+
+    def test_probabilistic_schedule_is_executor_independent(self):
+        """A sub-1.0 probability draws from the injector seed, so every
+        executor sees the same faults and converges to the same counts."""
+        backend = Aer.get_backend("qasm_simulator")
+        snapshots = {}
+        for executor in EXECUTORS:
+            injector = FaultInjector(
+                [FaultSpec(FaultKind.TRANSIENT, attempts=(0,),
+                           probability=0.5)],
+                seed=CHAOS_SEED,
+            )
+            job = backend.run(_batch(5), shots=64, seed=BATCH_SEED,
+                              executor=executor, fault_injector=injector,
+                              retry_policy=FAST_RETRY)
+            result = job.result(timeout=120)
+            assert result.success
+            snapshots[executor] = (
+                [dict(result.get_counts(f"exp-{i}")) for i in range(5)],
+                job.fault_stats["attempts"],
+            )
+        assert snapshots["serial"] == snapshots["threads"]
+        assert snapshots["serial"] == snapshots["processes"]
+
+
+class TestChaosOnDevicesAndExecute:
+    """Faults flow through execute() and the fake QX devices too."""
+
+    def test_execute_with_faults_on_fake_device(self):
+        circuit = _ghz(2, "bell")
+        backend = IBMQ.get_backend("ibmqx4")
+        clean = execute(circuit, backend, shots=SHOTS, seed=BATCH_SEED)
+        injector = FaultInjector(
+            [FaultSpec(FaultKind.TRANSIENT, attempts=(0,))],
+            seed=CHAOS_SEED,
+        )
+        chaotic = execute(circuit, backend, shots=SHOTS, seed=BATCH_SEED,
+                          fault_injector=injector,
+                          retry_policy={"base_delay": 0.0})
+        assert dict(chaotic.result().get_counts()) \
+            == dict(clean.result().get_counts())
+        assert chaotic.fault_stats["retries"] == 1
+
+    def test_no_hung_jobs_under_mixed_chaos(self):
+        """Several fault kinds at once: the job still terminates and
+        every experiment is accounted for."""
+        backend = Aer.get_backend("qasm_simulator")
+        injector = FaultInjector(
+            [
+                FaultSpec(FaultKind.TRANSIENT, experiments=["exp-0"],
+                          attempts=(0,)),
+                FaultSpec(FaultKind.SLOW, experiments=["exp-1"],
+                          latency=0.05),
+                FaultSpec(FaultKind.CORRUPT, experiments=["exp-2"],
+                          attempts=(0,)),
+            ],
+            seed=CHAOS_SEED,
+        )
+        job = backend.run(_batch(4), shots=64, seed=BATCH_SEED,
+                          executor="threads", fault_injector=injector,
+                          retry_policy=FAST_RETRY)
+        result = job.result(timeout=120)
+        assert result.success
+        assert len(result.results) == 4
+        stats = job.fault_stats
+        assert stats["experiments"] == 4
+        assert stats["faults_injected"] >= 3

@@ -99,6 +99,88 @@ class TestDeviceExecution:
         assert set(counts) == {"00", "11"}
 
 
+class TestCalibrationFileFormat:
+    """Satellite: BackendProperties <-> JSON round-trip (DESIGN.md schema),
+    so real device calibration data can be loaded into a Target."""
+
+    def test_round_trip_preserves_calibrations(self):
+        import json
+
+        from repro.providers import BackendProperties
+
+        backend = IBMQ.get_backend("ibmqx4")
+        properties = backend.properties()
+        payload = properties.to_json()
+        assert payload["backend_name"] == "ibmqx4"
+        assert payload["schema_version"] == BackendProperties.SCHEMA_VERSION
+        # A serialize/parse cycle through real JSON text, not just dicts.
+        loaded = BackendProperties.from_json(json.dumps(payload))
+        for (gate, qubits), error in properties._gate_errors.items():
+            assert loaded.gate_error(gate, qubits) == error
+            assert loaded.gate_duration(gate, qubits) \
+                == properties.gate_duration(gate, qubits)
+        for qubit, error in properties._readout_errors.items():
+            assert loaded.readout_error(qubit) == error
+            assert loaded.readout_duration(qubit) \
+                == properties.readout_duration(qubit)
+        assert loaded.to_json() == payload
+
+    def test_loaded_calibrations_flow_into_target(self):
+        from repro.transpiler.target import Target
+
+        backend = IBMQ.get_backend("ibmqx4")
+        before = Target.from_backend(backend).cache_key()
+        backend.load_properties(backend.properties().to_json())
+        after = Target.from_backend(backend).cache_key()
+        assert before == after
+
+    def test_real_device_payload_loads(self):
+        """Arbitrary (non-fake) device names are accepted — the hook for
+        actual cloud calibration files."""
+        from repro.providers import BackendProperties
+
+        payload = {
+            "backend_name": "ibm_real_device",
+            "schema_version": "1.0",
+            "gates": [
+                {"gate": "cx", "qubits": [0, 1], "error": 0.015,
+                 "duration": 2.5e-7},
+                {"gate": "u3", "qubits": [0], "error": 0.001,
+                 "duration": 5e-8},
+            ],
+            "readout": [
+                {"qubit": 0, "error": 0.02, "duration": 1e-6},
+            ],
+        }
+        properties = BackendProperties.from_json(payload)
+        assert properties.backend_name == "ibm_real_device"
+        assert properties.gate_error("cx", (0, 1)) == 0.015
+        assert properties.gate_duration("u3", (0,)) == 5e-8
+        assert properties.readout_error(0) == 0.02
+        assert properties.gate_error("cx", (1, 0)) is None
+
+    def test_loaded_properties_steer_error_aware_routing(self):
+        """Doctored calibrations visibly change the compiled target's
+        error landscape (what DenseLayout/SabreSwap read)."""
+        from repro.providers import BackendProperties
+        from repro.transpiler.target import Target
+
+        backend = IBMQ.get_backend("ibmqx4")
+        payload = backend.properties().to_json()
+        for entry in payload["gates"]:
+            if entry["gate"] == "cx" and entry["qubits"] == [1, 0]:
+                entry["error"] = 0.5  # make this coupler terrible
+        backend.load_properties(payload)
+        target = Target.from_backend(backend)
+        assert target.cx_error(1, 0) == 0.5
+
+    def test_malformed_payload_rejected(self):
+        from repro.providers import BackendProperties
+
+        with pytest.raises(BackendError, match="backend_name"):
+            BackendProperties.from_json({"gates": []})
+
+
 class TestCounts:
     def test_most_frequent(self):
         from repro.providers import Counts
