@@ -42,4 +42,12 @@ def __getattr__(name):
         from repro.providers.aer import Aer
 
         return Aer
+    if name == "SamplerV2":
+        from repro.primitives import SamplerV2
+
+        return SamplerV2
+    if name == "EstimatorV2":
+        from repro.primitives import EstimatorV2
+
+        return EstimatorV2
     raise AttributeError(f"module 'repro' has no attribute '{name}'")

@@ -96,6 +96,66 @@ class ExpectationEstimator:
             return self.hamiltonian.expectation(state)
         return self._estimate_shots(circuit)
 
+    def estimate_many(self, circuit: QuantumCircuit, parameter_values,
+                      parameters=None) -> list[float]:
+        """<H> for every binding of a parameterized template, batched.
+
+        One broadcast pass replaces ``batch`` sequential :meth:`estimate`
+        calls.  Exact mode: row ``b`` is bitwise identical to
+        ``estimate(circuit.bind_parameters(row_b))``.  Shot mode: each
+        binding gets its own seed derived from ``self.seed`` (a
+        :meth:`estimate` loop reuses ``self.seed`` verbatim per call);
+        templates the broadcast path cannot reproduce, and noisy
+        estimation, fall back to exactly that per-binding loop.
+        """
+        import numpy as np
+
+        from repro.qobj.assembler import derive_experiment_seeds
+        from repro.simulators.batched import (
+            broadcast_supported,
+            estimate_broadcast_shots,
+            estimator_broadcastable,
+            evolve_broadcast,
+        )
+
+        if circuit.num_qubits != self.hamiltonian.num_qubits:
+            raise AlgorithmError(
+                "circuit width does not match the Hamiltonian"
+            )
+        values = np.asarray(parameter_values, dtype=float)
+        if values.ndim == 1:
+            values = values.reshape(1, -1)
+        batch = values.shape[0]
+        if self.mode == "exact" and broadcast_supported(circuit):
+            states = evolve_broadcast(circuit, values, parameters)
+            self.evaluations += batch
+            return [
+                self.hamiltonian.expectation(row) for row in states
+            ]
+        if (
+            self.mode == "shots"
+            and self.noise_model is None
+            and broadcast_supported(circuit)
+            and estimator_broadcastable(circuit)
+        ):
+            seeds = derive_experiment_seeds(self.seed, batch)
+            energies = estimate_broadcast_shots(
+                circuit, values, parameters, self.hamiltonian,
+                self.shots, seeds,
+            )
+            self.evaluations += batch
+            return energies
+        if parameters is None:
+            from repro.circuit.parameterbinding import get_bind_plan
+
+            parameters = list(get_bind_plan(circuit).ordered)
+        return [
+            self.estimate(
+                circuit.bind_parameters(dict(zip(parameters, row)))
+            )
+            for row in values
+        ]
+
     def _estimate_shots(self, circuit: QuantumCircuit) -> float:
         """One batched submission covering every measured Pauli term.
 

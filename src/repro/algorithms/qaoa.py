@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.optimizers import COBYLA, Optimizer
+from repro.algorithms.optimizers import BatchableObjective, COBYLA, Optimizer
 from repro.circuit.parameter import Parameter
 from repro.circuit.quantumcircuit import QuantumCircuit
 from repro.exceptions import AlgorithmError
@@ -119,12 +119,31 @@ class QAOA:
         state = self._engine.run(self.bind(point))
         return self.hamiltonian.expectation(state)
 
+    def energy_many(self, points) -> np.ndarray:
+        """Cost expectations at a batch of (gamma..., beta...) points.
+
+        The whole batch evolves in one broadcast pass over the template;
+        entry ``b`` is bitwise identical to ``energy(points[b])``.
+        """
+        from repro.simulators.batched import evolve_broadcast
+
+        points = np.asarray(points, dtype=float)
+        if points.ndim == 1:
+            points = points.reshape(1, -1)
+        states = evolve_broadcast(
+            self._template, points, self._gammas + self._betas
+        )
+        return np.array([
+            self.hamiltonian.expectation(row) for row in states
+        ])
+
     def run(self, initial_point=None, shots: int = 4096) -> QAOAResult:
         """Optimize the angles, then sample candidate cuts."""
         rng = np.random.default_rng(self.seed)
         if initial_point is None:
             initial_point = rng.uniform(0, np.pi, size=2 * self.reps)
-        outcome = self.optimizer.optimize(self.energy, np.asarray(initial_point))
+        objective = BatchableObjective(self.energy, self.energy_many)
+        outcome = self.optimizer.optimize(objective, np.asarray(initial_point))
         final_state = self._engine.run(self.bind(outcome.x))
         counts = final_state.sample_counts(shots, seed=self.seed)
         best_bitstring = max(

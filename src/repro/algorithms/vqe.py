@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.algorithms.ansatz import VariationalForm, ry_ansatz
 from repro.algorithms.expectation import ExpectationEstimator
-from repro.algorithms.optimizers import COBYLA, Optimizer
+from repro.algorithms.optimizers import BatchableObjective, COBYLA, Optimizer
 from repro.exceptions import AlgorithmError
 from repro.quantum_info.pauli import PauliSumOp
 
@@ -57,11 +57,42 @@ class VQE:
             noise_model=noise_model,
         )
         self.seed = seed
+        # Noise-free estimation exposes a vectorized objective: optimizers
+        # that probe several points per step (SPSA) submit them as one
+        # broadcast job instead of one estimate per point.
+        self._estimator_v2 = None
+        self._batched_evaluations = 0
+        if noise_model is None:
+            from repro.primitives import EstimatorV2
+
+            self._estimator_v2 = EstimatorV2(
+                mode=mode, default_shots=shots, seed=seed
+            )
 
     def energy(self, values) -> float:
         """Objective: <H> at one parameter point."""
         bound = self.ansatz.bind(values)
         return self.estimator.estimate(bound)
+
+    def energy_many(self, points) -> np.ndarray:
+        """<H> at a batch of parameter points, as one broadcast job.
+
+        Exact mode: entry ``b`` is bitwise identical to
+        ``energy(points[b])``.  Shot mode: each point samples with its own
+        seed derived from the VQE seed (a scalar :meth:`energy` loop
+        reuses the same seed per call).
+        """
+        points = np.asarray(points, dtype=float)
+        if points.ndim == 1:
+            points = points.reshape(1, -1)
+        if self._estimator_v2 is None:
+            return np.array([self.energy(point) for point in points])
+        job = self._estimator_v2.run([
+            (self.ansatz.circuit, self.hamiltonian, points,
+             self.ansatz.parameters)
+        ])
+        self._batched_evaluations += points.shape[0]
+        return job.result()[0].data.evs
 
     def run(self, initial_point=None) -> VQEResult:
         """Execute the hybrid optimization loop."""
@@ -76,9 +107,13 @@ class VQE:
             raise AlgorithmError(
                 f"initial point must have {num_parameters} entries"
             )
-        outcome = self.optimizer.optimize(self.energy, initial_point)
+        objective = self.energy
+        if self._estimator_v2 is not None:
+            objective = BatchableObjective(self.energy, self.energy_many)
+        outcome = self.optimizer.optimize(objective, initial_point)
         return VQEResult(
-            outcome.fun, outcome.x, outcome, self.estimator.evaluations
+            outcome.fun, outcome.x, outcome,
+            self.estimator.evaluations + self._batched_evaluations,
         )
 
 

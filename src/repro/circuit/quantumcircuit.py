@@ -24,7 +24,6 @@ from repro.circuit.gate import Gate
 from repro.circuit.instruction import Instruction
 from repro.circuit.library import standard_gates as sg
 from repro.circuit.measure import Barrier, Measure, Reset
-from repro.circuit.parameter import ParameterExpression
 from repro.circuit.register import ClassicalRegister, QuantumRegister, Register
 from repro.exceptions import CircuitError
 
@@ -567,12 +566,9 @@ class QuantumCircuit:
     @property
     def parameters(self) -> set:
         """The set of unbound parameters appearing in the circuit."""
-        found = set()
-        for item in self.data:
-            for param in item.operation.params:
-                if isinstance(param, ParameterExpression):
-                    found |= param.parameters
-        return found
+        from repro.circuit.parameterbinding import get_bind_plan
+
+        return set(get_bind_plan(self).parameters)
 
     def bind_parameters(self, binding) -> "QuantumCircuit":
         """Return a copy with parameters substituted.
@@ -580,19 +576,22 @@ class QuantumCircuit:
         Args:
             binding: either a dict ``{Parameter: value}`` or a sequence of
                 values matched to ``sorted(parameters, key=name)``.
+
+        Repeated binds of the same template reuse a cached
+        :class:`~repro.circuit.parameterbinding.BindPlan` (the
+        parameter -> instruction-index map), so only the parameterized
+        instructions are rebound instead of rescanning every instruction.
         """
+        from repro.circuit.parameterbinding import get_bind_plan
+
+        plan = get_bind_plan(self)
         if not isinstance(binding, dict):
-            ordered = sorted(self.parameters, key=lambda p: p.name)
-            values = list(binding)
-            if len(values) != len(ordered):
-                raise CircuitError(
-                    f"expected {len(ordered)} values, got {len(values)}"
-                )
-            binding = dict(zip(ordered, values))
+            binding = plan.make_binding(binding)
         bound = self.copy_empty_like()
-        for item in self.data:
+        parameterized = plan.parameterized_indices
+        for index, item in enumerate(self.data):
             op = item.operation
-            if op.is_parameterized():
+            if index in parameterized:
                 op = op.bind_parameters(binding)
             else:
                 op = op.copy()

@@ -1,0 +1,31 @@
+"""V2 primitives: batched Sampler/Estimator over PUBs.
+
+The primitive unified bloc (PUB) bundles one circuit template with a
+``(batch, num_parameters)`` value array; the broadcast engine
+(:mod:`repro.simulators.batched`) vectorizes the batch axis so one pub is
+one experiment instead of ``batch`` bound-circuit runs — with counts and
+expectation values bit-identical to the per-binding loop under the same
+batch seed.
+"""
+
+from repro.primitives.containers import (
+    DataBin,
+    EstimatorPub,
+    PrimitiveResult,
+    PubResult,
+    SamplerPub,
+)
+from repro.primitives.estimator import EstimatorV2
+from repro.primitives.job import PrimitiveJob
+from repro.primitives.sampler import SamplerV2
+
+__all__ = [
+    "DataBin",
+    "EstimatorPub",
+    "EstimatorV2",
+    "PrimitiveJob",
+    "PrimitiveResult",
+    "PubResult",
+    "SamplerPub",
+    "SamplerV2",
+]

@@ -1,0 +1,205 @@
+"""Data containers for the V2 primitives: PUBs, data bins, and results.
+
+A **PUB** (Primitive Unified Bloc) is the unit of work of the V2
+primitive interface: one circuit template plus an array of parameter
+value sets (and, for the estimator, an observable).  The batch axis of
+the value array is what the broadcast engine vectorizes — submitting one
+pub with 256 bindings is one experiment, not 256.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.parameterbinding import get_bind_plan
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import AlgorithmError
+from repro.quantum_info.pauli import Pauli, PauliSumOp
+
+
+class DataBin:
+    """Attribute bag holding one pub's output arrays.
+
+    Sampler pubs carry ``counts`` (one histogram dict per binding) and
+    ``shots``; estimator pubs carry ``evs`` (one expectation value per
+    binding, as a float array).
+    """
+
+    def __init__(self, **fields):
+        self._fields = tuple(sorted(fields))
+        for key, value in fields.items():
+            setattr(self, key, value)
+
+    def __contains__(self, key):
+        return key in self._fields
+
+    def __iter__(self):
+        return iter(self._fields)
+
+    def __repr__(self):
+        return f"DataBin({', '.join(self._fields)})"
+
+
+class PubResult:
+    """The result of one pub: a :class:`DataBin` plus metadata."""
+
+    def __init__(self, data: DataBin, metadata=None):
+        self.data = data
+        self.metadata = dict(metadata or {})
+
+    def __repr__(self):
+        return f"PubResult({self.data!r}, metadata={self.metadata})"
+
+
+class PrimitiveResult:
+    """Sequence of :class:`PubResult`, one per submitted pub."""
+
+    def __init__(self, pub_results, metadata=None):
+        self._pub_results = list(pub_results)
+        self.metadata = dict(metadata or {})
+
+    def __getitem__(self, index):
+        return self._pub_results[index]
+
+    def __len__(self):
+        return len(self._pub_results)
+
+    def __iter__(self):
+        return iter(self._pub_results)
+
+    def __repr__(self):
+        return (
+            f"PrimitiveResult({len(self._pub_results)} pubs, "
+            f"metadata={self.metadata})"
+        )
+
+
+def _coerce_values(circuit, values, parameters):
+    """Normalize one pub's value array and parameter ordering.
+
+    ``parameters=None`` defaults to the circuit's parameters sorted by
+    name — beware that ``θ[10]`` sorts before ``θ[2]``; pass the list
+    explicitly (e.g. ``VariationalForm.parameters``, creation order) when
+    the column layout matters.
+    """
+    if parameters is None:
+        parameters = list(get_bind_plan(circuit).ordered)
+    else:
+        parameters = list(parameters)
+    if values is None:
+        values = np.zeros((1, 0))
+    values = np.asarray(values, dtype=float)
+    if values.ndim == 1:
+        values = values.reshape(1, -1)
+    if values.ndim != 2:
+        raise AlgorithmError(
+            "pub parameter values must be a (batch, num_parameters) array"
+        )
+    if values.shape[1] != len(parameters):
+        raise AlgorithmError(
+            f"pub has {len(parameters)} parameters but the value array "
+            f"has {values.shape[1]} columns"
+        )
+    if values.shape[0] < 1:
+        raise AlgorithmError("pub needs at least one parameter value set")
+    return values, parameters
+
+
+def coerce_observable(observable) -> PauliSumOp:
+    """Accept a PauliSumOp, a Pauli / label string, or a coeff mapping."""
+    if isinstance(observable, PauliSumOp):
+        return observable
+    if isinstance(observable, Pauli):
+        return PauliSumOp([(1.0, observable)])
+    if isinstance(observable, str):
+        return PauliSumOp([(1.0, observable)])
+    if isinstance(observable, dict):
+        return PauliSumOp.from_dict(observable)
+    raise AlgorithmError(
+        f"cannot coerce {type(observable).__name__} to a PauliSumOp"
+    )
+
+
+class SamplerPub:
+    """``(circuit, parameter_values, parameters)`` for the sampler."""
+
+    def __init__(self, circuit, parameter_values, parameters):
+        self.circuit = circuit
+        self.parameter_values = parameter_values
+        self.parameters = parameters
+
+    @property
+    def batch_size(self) -> int:
+        """Number of bindings on the batch axis."""
+        return self.parameter_values.shape[0]
+
+    @classmethod
+    def coerce(cls, pub) -> "SamplerPub":
+        """From a circuit or a ``(circuit[, values[, parameters]])`` tuple."""
+        if isinstance(pub, cls):
+            return pub
+        if isinstance(pub, QuantumCircuit):
+            pub = (pub,)
+        if not isinstance(pub, (list, tuple)) or not pub or len(pub) > 3:
+            raise AlgorithmError(
+                "a sampler pub is a circuit or a tuple "
+                "(circuit, parameter_values[, parameters])"
+            )
+        circuit = pub[0]
+        if not isinstance(circuit, QuantumCircuit):
+            raise AlgorithmError("pub element 0 must be a QuantumCircuit")
+        values = pub[1] if len(pub) > 1 else None
+        parameters = pub[2] if len(pub) > 2 else None
+        values, parameters = _coerce_values(circuit, values, parameters)
+        return cls(circuit, values, parameters)
+
+    def __repr__(self):
+        return (
+            f"SamplerPub({self.circuit.name!r}, "
+            f"batch={self.batch_size}, params={len(self.parameters)})"
+        )
+
+
+class EstimatorPub:
+    """``(circuit, observable, parameter_values, parameters)``."""
+
+    def __init__(self, circuit, observable, parameter_values, parameters):
+        self.circuit = circuit
+        self.observable = observable
+        self.parameter_values = parameter_values
+        self.parameters = parameters
+
+    @property
+    def batch_size(self) -> int:
+        """Number of bindings on the batch axis."""
+        return self.parameter_values.shape[0]
+
+    @classmethod
+    def coerce(cls, pub) -> "EstimatorPub":
+        """From ``(circuit, observable[, values[, parameters]])``."""
+        if isinstance(pub, cls):
+            return pub
+        if not isinstance(pub, (list, tuple)) or len(pub) < 2 or len(pub) > 4:
+            raise AlgorithmError(
+                "an estimator pub is a tuple "
+                "(circuit, observable, parameter_values[, parameters])"
+            )
+        circuit = pub[0]
+        if not isinstance(circuit, QuantumCircuit):
+            raise AlgorithmError("pub element 0 must be a QuantumCircuit")
+        observable = coerce_observable(pub[1])
+        if observable.num_qubits != circuit.num_qubits:
+            raise AlgorithmError(
+                f"observable acts on {observable.num_qubits} qubits but "
+                f"the circuit has {circuit.num_qubits}"
+            )
+        values = pub[2] if len(pub) > 2 else None
+        parameters = pub[3] if len(pub) > 3 else None
+        values, parameters = _coerce_values(circuit, values, parameters)
+        return cls(circuit, observable, values, parameters)
+
+    def __repr__(self):
+        return (
+            f"EstimatorPub({self.circuit.name!r}, {self.observable!r}, "
+            f"batch={self.batch_size})"
+        )

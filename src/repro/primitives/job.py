@@ -1,0 +1,78 @@
+"""The primitive job: a provider job plus pub-level result collation."""
+
+from __future__ import annotations
+
+from repro.exceptions import BackendError
+from repro.providers.executor import JobStatus
+
+
+class PrimitiveJob:
+    """Wraps a provider :class:`~repro.providers.backend.Job`.
+
+    ``result()`` collects the underlying experiment outcomes and regroups
+    them into one :class:`~repro.primitives.containers.PubResult` per
+    submitted pub (merging memory-cap chunks back along the batch axis).
+
+    The synchronous fallback paths (unsupported templates run per
+    binding in-process) construct the job with ``job=None`` and a
+    collate thunk that does the work at first ``result()`` call.
+    """
+
+    def __init__(self, job, collate):
+        self._job = job
+        self._collate = collate
+        self._result = None
+
+    def result(self, timeout=None):
+        """Block for and return the :class:`PrimitiveResult`."""
+        if self._result is None:
+            provider_result = (
+                None if self._job is None
+                else self._job.result(timeout=timeout)
+            )
+            self._result = self._collate(provider_result)
+        return self._result
+
+    def status(self) -> str:
+        """Provider job status (synchronous jobs report DONE once run)."""
+        if self._job is None:
+            return (
+                JobStatus.DONE if self._result is not None
+                else JobStatus.INITIALIZING
+            )
+        return self._job.status()
+
+    def cancel(self) -> bool:
+        """Cancel the underlying job if it has not started."""
+        if self._job is None:
+            return False
+        return self._job.cancel()
+
+    @property
+    def provider_job(self):
+        """The wrapped provider job (None on synchronous fallback)."""
+        return self._job
+
+    @property
+    def fault_stats(self) -> dict:
+        """The provider job's fault/retry ledger."""
+        if self._job is None:
+            return {}
+        return self._job.fault_stats
+
+    def __repr__(self):
+        inner = "sync" if self._job is None else repr(self._job)
+        return f"PrimitiveJob({inner})"
+
+
+def raise_on_error(result) -> None:
+    """Surface the first failed experiment of a provider result."""
+    if result.success:
+        return
+    for outcome in result.results:
+        if outcome.status == JobStatus.ERROR:
+            raise BackendError(
+                f"primitive experiment '{outcome.circuit_name}' failed: "
+                f"{outcome.error}"
+            )
+    raise BackendError("primitive job failed")

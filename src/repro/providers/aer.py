@@ -48,6 +48,9 @@ class QasmSimulatorBackend(_AerBackend):
         self._engine = QasmSimulator()
 
     def _run_experiment(self, circuit, options):
+        broadcast = options.get("broadcast")
+        if broadcast is not None:
+            return self._run_broadcast(circuit, options, broadcast)
         payload = self._engine.run(
             circuit,
             shots=options.get("shots", 1024),
@@ -57,6 +60,39 @@ class QasmSimulatorBackend(_AerBackend):
             elide_diagonals=options.get("elide_diagonals", True),
         )
         return ExperimentResult(circuit.name, payload["shots"], payload)
+
+    def _run_broadcast(self, circuit, options, broadcast):
+        from repro.simulators.batched import (
+            estimate_broadcast_shots,
+            sample_broadcast,
+        )
+
+        shots = options.get("shots", 1024)
+        if broadcast.get("observable") is not None:
+            energies = estimate_broadcast_shots(
+                circuit,
+                broadcast["values"],
+                broadcast["parameters"],
+                broadcast["observable"],
+                shots,
+                broadcast["seeds"],
+            )
+            return ExperimentResult(
+                circuit.name, shots,
+                {"broadcast_evs": energies, "shots": shots},
+            )
+        outcomes = sample_broadcast(
+            circuit,
+            broadcast["values"],
+            broadcast["parameters"],
+            shots,
+            broadcast["seeds"],
+            elide_diagonals=options.get("elide_diagonals", True),
+        )
+        return ExperimentResult(
+            circuit.name, shots,
+            {"broadcast_counts": outcomes, "shots": shots},
+        )
 
 
 class StatevectorSimulatorBackend(_AerBackend):
@@ -72,6 +108,22 @@ class StatevectorSimulatorBackend(_AerBackend):
         self._engine = StatevectorSimulator()
 
     def _run_experiment(self, circuit, options):
+        broadcast = options.get("broadcast")
+        if broadcast is not None:
+            states = self._engine.run_batch(
+                circuit, broadcast["values"], broadcast["parameters"]
+            )
+            observable = broadcast.get("observable")
+            if observable is not None:
+                energies = [
+                    observable.expectation(state) for state in states
+                ]
+                return ExperimentResult(
+                    circuit.name, 1, {"broadcast_evs": energies}
+                )
+            return ExperimentResult(
+                circuit.name, 1, {"broadcast_statevectors": states}
+            )
         state = self._engine.run(circuit)
         return ExperimentResult(circuit.name, 1, {"statevector": state})
 

@@ -242,6 +242,141 @@ class BaseBackend:
         dispatch = create_dispatch(self, payloads, kind, max_workers)
         return Job(self, dispatch)
 
+    def run_pubs(self, pubs, **options) -> Job:
+        """Schedule broadcast primitive unified blocs (PUBs).
+
+        Each pub is ``(circuit, parameter_values, parameters)`` or
+        ``(circuit, parameter_values, parameters, observable)``: one
+        *symbolic* template circuit plus a ``(batch, num_parameters)``
+        value array (columns ordered like ``parameters``).  With an
+        observable (a :class:`~repro.quantum_info.pauli.PauliSumOp`) the
+        backend estimates one expectation value per binding; without one,
+        a qasm backend samples per-binding counts and a statevector
+        backend returns per-binding states.
+
+        The whole batch axis of a pub runs as **one** experiment through
+        the vectorized broadcast engine
+        (:mod:`repro.simulators.batched`), split into several experiments
+        only when ``batch * 2**n`` amplitudes exceed the engine's memory
+        cap — so the executor fleet parallelizes across pubs/chunks while
+        each chunk is one big vectorized pass.
+
+        Determinism matches :meth:`run` exactly: the batch ``seed`` is
+        expanded into one derived seed per *binding* (concatenated across
+        pubs), identical to running the equivalent list of bound circuits
+        through ``run(bound_circuits, seed=seed)``.  Retries re-run a
+        chunk with its original per-binding seeds, so fault recovery is
+        bit-identical.  ``retry_policy`` / ``fault_injector`` /
+        ``executor`` / ``max_workers`` behave as in :meth:`run`;
+        ``noise_model`` and ``use_kernels=False`` are rejected (the
+        broadcast engine is kernel-only and noise-free).
+        """
+        import numpy as np
+
+        from repro.providers.faults import resolve_injector
+        from repro.providers.retry import resolve_retry_policy
+        from repro.qobj.assembler import (
+            circuit_to_experiment,
+            derive_experiment_seeds,
+        )
+        from repro.simulators.batched import broadcast_chunk_bounds
+
+        if not isinstance(pubs, (list, tuple)):
+            pubs = [pubs]
+        if not pubs:
+            raise BackendError("no pubs to run")
+        shots = options.get("shots", 1024)
+        if shots > self._configuration.max_shots:
+            raise BackendError(
+                f"shots {shots} exceeds backend maximum "
+                f"{self._configuration.max_shots}"
+            )
+        if options.get("noise_model") is not None:
+            raise BackendError(
+                "broadcast execution does not support noise models; bind "
+                "the circuits and use run() instead"
+            )
+        if not options.get("use_kernels", True):
+            raise BackendError(
+                "broadcast execution requires the specialized kernels; "
+                "use run() for use_kernels=False A/B comparisons"
+            )
+        normalized = []
+        for pub in pubs:
+            if not isinstance(pub, (list, tuple)) or len(pub) not in (3, 4):
+                raise BackendError(
+                    "each pub must be (circuit, parameter_values, "
+                    "parameters[, observable])"
+                )
+            circuit, values, parameters = pub[0], pub[1], pub[2]
+            observable = pub[3] if len(pub) == 4 else None
+            values = np.asarray(values, dtype=float)
+            if values.ndim == 1:
+                values = values.reshape(1, -1)
+            if values.ndim != 2 or values.shape[0] < 1:
+                raise BackendError(
+                    "pub parameter_values must be a non-empty "
+                    "(batch, num_parameters) array"
+                )
+            normalized.append(
+                (circuit, values, list(parameters or ()), observable)
+            )
+        self._validate_batch([pub[0] for pub in normalized])
+        total_bindings = sum(pub[1].shape[0] for pub in normalized)
+        all_seeds = derive_experiment_seeds(
+            options.get("seed"), total_bindings
+        )
+        requested = options.get("executor")
+        max_workers = options.get("max_workers")
+        engine_options = {
+            key: value
+            for key, value in options.items()
+            if key not in SCHEDULING_OPTIONS
+        }
+        engine_options["retry_policy"] = resolve_retry_policy(
+            options.get("retry_policy")
+        )
+        engine_options["fault_injector"] = resolve_injector(
+            options.get("fault_injector")
+        )
+        engine_options["shots"] = shots
+        payloads = []
+        offset = 0
+        index = 0
+        for circuit, values, parameters, observable in normalized:
+            batch = values.shape[0]
+            template = circuit_to_experiment(circuit)
+            for start, stop in broadcast_chunk_bounds(
+                batch, circuit.num_qubits
+            ):
+                config = dict(engine_options)
+                # The chunk is the retry unit: its value rows and derived
+                # per-binding seeds ride the config, so a retried or
+                # fallback run reproduces every binding bit-identically.
+                config["broadcast"] = {
+                    "values": values[start:stop],
+                    "parameters": parameters,
+                    "seeds": all_seeds[offset + start:offset + stop],
+                    "observable": observable,
+                    "binding_start": start,
+                }
+                config["seed"] = all_seeds[offset + start]
+                config["experiment_index"] = index
+                experiment = dict(template)
+                experiment["config"] = {
+                    "seed": config["seed"], "index": index,
+                }
+                payloads.append((experiment, config))
+                index += 1
+            offset += batch
+        kind = choose_executor(
+            len(payloads),
+            max(pub[0].num_qubits for pub in normalized),
+            requested,
+        )
+        dispatch = create_dispatch(self, payloads, kind, max_workers)
+        return Job(self, dispatch)
+
     def _validate_batch(self, circuits) -> None:
         """Submission-time validation hook; raise to reject the batch."""
 

@@ -153,6 +153,16 @@ def validate_outcome(outcome) -> None:
                 f"counts for '{outcome.circuit_name}' sum to {total}, "
                 f"expected {outcome.shots} shots"
             )
+    if "broadcast_counts" in data and outcome.shots:
+        for index, entry in enumerate(data["broadcast_counts"]):
+            expected = entry.get("shots", outcome.shots)
+            total = sum(entry.get("counts", {}).values())
+            if total != expected:
+                raise CorruptedResultError(
+                    f"broadcast counts[{index}] for "
+                    f"'{outcome.circuit_name}' sum to {total}, expected "
+                    f"{expected} shots"
+                )
     if "memory" in data and outcome.shots:
         if len(data["memory"]) != outcome.shots:
             raise CorruptedResultError(

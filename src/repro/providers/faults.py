@@ -184,6 +184,21 @@ class FaultInjector:
                 continue
             counts = outcome.data.get("counts") if outcome.data else None
             if not counts:
+                # Broadcast payloads carry one histogram per binding;
+                # corrupt the first non-empty one, deterministically.
+                rows = (
+                    outcome.data.get("broadcast_counts")
+                    if outcome.data else None
+                )
+                counts = next(
+                    (
+                        row["counts"]
+                        for row in rows or []
+                        if row.get("counts")
+                    ),
+                    None,
+                )
+            if not counts:
                 continue  # nothing corruptible in this payload
             fault_log.append(f"corrupt@{attempt}")
             # Knock one shot off the most frequent outcome: the histogram

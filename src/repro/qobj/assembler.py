@@ -21,6 +21,7 @@ from repro.circuit.library.standard_gates import (
     get_standard_gate,
 )
 from repro.circuit.measure import Barrier, Measure, Reset
+from repro.circuit.parameter import is_parameterized
 from repro.circuit.quantumcircuit import QuantumCircuit
 from repro.circuit.register import ClassicalRegister, QuantumRegister
 from repro.exceptions import BackendError
@@ -58,7 +59,15 @@ def _serialize_operation(operation, qubit_indices, clbit_indices,
         return [entry]
     if name in _DIRECT_NAMES:
         if operation.params:
-            entry["params"] = [float(p) for p in operation.params]
+            # Unbound parameter expressions survive serialization so a
+            # broadcast experiment can ship one symbolic template plus a
+            # (batch, params) value array instead of `batch` bound copies.
+            # They are picklable (not JSON-able); bound circuits still
+            # serialize to plain floats.
+            entry["params"] = [
+                p if is_parameterized(p) else float(p)
+                for p in operation.params
+            ]
         return [entry]
     definition = operation.definition
     if definition is None:

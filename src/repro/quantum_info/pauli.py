@@ -157,10 +157,46 @@ class PauliSumOp:
         return float(eigenvalues[0])
 
     def expectation(self, statevector) -> float:
-        """<psi|H|psi> for a Statevector or raw amplitude array."""
+        """<psi|H|psi> for a Statevector or raw amplitude array.
+
+        Matrix-free: a Pauli string is a signed bit-flip permutation, so
+        each term is one parity-sign pass plus an inner product —
+        ``O(T * 2**n)`` instead of materializing the ``2**n x 2**n``
+        Hamiltonian (which dominated every exact VQE iteration at 12+
+        qubits).
+        """
         data = getattr(statevector, "data", statevector)
-        data = np.asarray(data, dtype=complex)
-        return float(np.real(np.vdot(data, self.to_matrix() @ data)))
+        data = np.asarray(data, dtype=complex).reshape(-1)
+        if data.size != 1 << self._num_qubits:
+            raise AlgorithmError(
+                "statevector dimension does not match the Pauli sum"
+            )
+        indices = np.arange(data.size, dtype=np.intp)
+        total = 0.0 + 0.0j
+        for coeff, pauli in self._terms:
+            label = pauli.label
+            n = len(label)
+            x_mask = y_mask = z_mask = 0
+            for position, char in enumerate(label):
+                bit = 1 << (n - 1 - position)
+                if char == "X":
+                    x_mask |= bit
+                elif char == "Y":
+                    y_mask |= bit
+                elif char == "Z":
+                    z_mask |= bit
+            flip = x_mask | y_mask
+            sign_mask = z_mask | y_mask
+            target = data[indices ^ flip] if flip else data
+            if sign_mask:
+                parity = np.bitwise_count(
+                    (indices & sign_mask).astype(np.uint64)
+                ).astype(np.int64) & 1
+                target = (1.0 - 2.0 * parity) * target
+            value = np.vdot(data, target)
+            y_count = bin(y_mask).count("1")
+            total += coeff * ((-1j) ** y_count) * value
+        return float(np.real(total))
 
     def __add__(self, other: "PauliSumOp") -> "PauliSumOp":
         if not isinstance(other, PauliSumOp):

@@ -1,0 +1,883 @@
+"""Parameter-axis broadcast engine — batched statevector evolution.
+
+The V2 primitives evaluate one parameterized template at a whole array of
+parameter value sets.  Evolving each binding separately repeats every
+binding-independent gate ``batch`` times; this module instead stacks the
+states into one C-contiguous ``(batch, 2**n)`` array and applies each gate
+across the batch axis in a handful of numpy ops:
+
+* **shared** gates (no unbound parameters) apply identically to every row:
+  dense blocks go through one flat GEMM / stacked matmul over all rows at
+  once, diagonal/permutation/controlled structures reuse the slice kernels
+  of :mod:`repro.simulators.kernels` on a batch-leading compact view;
+* **per-binding** gates (``rx``/``rz``/``u3``/``crz``/... with symbolic
+  angles) get their matrices built as stacked ``(batch, 2, 2)`` tensors in
+  one vectorized pass over the resolved angle vectors, then applied with a
+  broadcast matmul (dense), a broadcast elementwise multiply (diagonal), or
+  a control-sliced tensor update (controlled-dense).
+
+Bit-exactness is the design contract, not an accident: every batched
+operation reduces to the *same* floating-point arithmetic per row as the
+single-state kernels (``np.matmul`` on a row-contiguous stack equals the
+per-row GEMM; ``np.exp``/``np.sin``/``np.cos`` agree bitwise with their
+``cmath``/``math`` scalar counterparts on float64), so the broadcast
+results — statevectors, sampled counts, expectation values — are bitwise
+identical to a per-binding loop under the same seeds.  The only documented
+exception: a binding sitting exactly on a structural corner (``rx(0)``,
+``rx(pi)``, a generically-parameterized diagonal entry landing on ``1``)
+may flip the sign of a ``-0.0`` component, because the single-state path
+reclassifies such matrices structurally while the batch path dispatches by
+gate name.
+
+Memory model: the working set is two ``(chunk, 2**n)`` complex buffers.
+The batch axis is chunked so one buffer never exceeds
+``MAX_BROADCAST_AMPLITUDES`` amplitudes (64 MiB at complex128), i.e.
+``chunk = max(1, MAX_BROADCAST_AMPLITUDES // 2**n)`` rows at a time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.gate import Gate
+from repro.circuit.parameterbinding import get_bind_plan
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.exceptions import SimulatorError
+from repro.simulators import kernels
+from repro.simulators.qasm_simulator import (
+    QasmSimulator,
+    _sample_outcomes,
+    _zeros_for_width,
+    bin_counts,
+)
+
+#: Amplitude cap per batch chunk: ``chunk * 2**n <= 1 << 22`` keeps each of
+#: the two working buffers at or under 64 MiB of complex128.
+MAX_BROADCAST_AMPLITUDES = 1 << 22
+
+_SQRT2_INV = 1.0 / np.sqrt(2.0)
+
+
+def broadcast_chunk_bounds(batch, num_qubits, cap=None):
+    """Split ``batch`` rows into ``(start, stop)`` chunks under the cap."""
+    if cap is None:
+        cap = MAX_BROADCAST_AMPLITUDES
+    rows = max(1, cap // (1 << num_qubits))
+    return [
+        (start, min(start + rows, batch)) for start in range(0, batch, rows)
+    ]
+
+
+def broadcast_supported(circuit) -> bool:
+    """True when every operation is a gate, a barrier, or a measurement."""
+    for item in circuit.data:
+        op = item.operation
+        if op.name in ("barrier", "measure"):
+            continue
+        if op.condition is not None or op.name == "reset":
+            return False
+        if not isinstance(op, Gate):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Batch-leading views and shared-gate application
+#
+# ``states`` everywhere below is ``(B, 2**n)`` C-contiguous complex128: each
+# row is one binding's full state, itself contiguous, so any per-row
+# operation is *the* single-state operation.
+# ---------------------------------------------------------------------------
+
+
+def _batch_view(states, targets, num_qubits):
+    """Batch-leading analogue of :func:`kernels._compact_view`.
+
+    Same compact shape per row with an extra leading batch axis; returned
+    ``axes`` are the single-state axes shifted by one.
+    """
+    descending = sorted(targets, reverse=True)
+    shape = [states.shape[0]]
+    prev = num_qubits
+    for qubit in descending:
+        shape.append(1 << (prev - qubit - 1))
+        shape.append(2)
+        prev = qubit
+    shape.append(1 << prev)
+    position = {qubit: 2 + 2 * i for i, qubit in enumerate(descending)}
+    return states.reshape(shape), [position[qubit] for qubit in targets]
+
+
+def _shared_diag_tiled(states, diagonal, targets, num_qubits):
+    """Row-wise mirror of :func:`kernels._apply_diag_tiled` (batch=1 shape).
+
+    The tiled pattern of one state divides each row exactly, so one
+    broadcast multiply covers all rows with the same per-element arithmetic.
+    """
+    dim = states.shape[1]
+    low = [t for t in targets if (1 << t) < kernels._DIAG_TILE_RUN]
+    high = sorted(t for t in targets if t not in low)
+    length = 1 << (max(low) + 1)
+    offsets = np.arange(length)
+    pattern = np.zeros(length, dtype=np.intp)
+    for position, target in enumerate(targets):
+        if target in low:
+            pattern += ((offsets // (1 << target)) & 1) << position
+    block = (1 << min(high)) if high else dim
+    repeats = 1
+    while length * repeats * 2 <= min(block, kernels._DIAG_TILE_TARGET):
+        repeats *= 2
+    if high:
+        view, axes = _batch_view(states, high, num_qubits)
+    for bits in range(1 << len(high)):
+        offset = 0
+        for position, target in enumerate(targets):
+            if target in low:
+                continue
+            offset |= ((bits >> high.index(target)) & 1) << position
+        entries = diagonal[pattern + offset]
+        if np.all(entries == 1):
+            continue
+        tile = np.tile(entries, repeats)
+        if high:
+            index = [slice(None)] * view.ndim
+            for rank, axis in enumerate(axes):
+                index[axis] = (bits >> rank) & 1
+            sub = view[tuple(index)]
+            sub.reshape(sub.shape[:-1] + (-1, tile.size))[...] *= tile
+        else:
+            states.reshape(-1, tile.size)[...] *= tile
+
+
+def _apply_shared_sliced(states, descriptor, targets, num_qubits):
+    """Apply a non-dense shared descriptor to every row at once."""
+    if descriptor[0] == "diag":
+        if kernels._diag_tile_selected(states.shape[1], targets, 1):
+            _shared_diag_tiled(states, descriptor[1], targets, num_qubits)
+            return
+        if len(targets) == 1:
+            d0, d1 = descriptor[1]
+            stride = 1 << targets[0]
+            narrow = states.reshape(-1, 2, stride)
+            if d0 != 1:
+                narrow[:, 0, :] *= d0
+            if d1 != 1:
+                narrow[:, 1, :] *= d1
+            return
+    view, axes = _batch_view(states, targets, num_qubits)
+    kernels._dispatch_sliced(view, axes, descriptor)
+
+
+def _apply_shared_dense(states, scratch, matrix, lowest):
+    """Dense shared gate on a contiguous ascending block for all rows.
+
+    The flat reshape never crosses a row boundary (the gate's span divides
+    ``2**n``), so this is the per-row low/high dense kernel verbatim.
+    Returns the ping-ponged ``(states, scratch)`` pair.
+    """
+    dim = matrix.shape[0]
+    stride = 1 << lowest
+    if lowest <= kernels._KRON_GEMM_MAX_TARGET:
+        operator = kernels._kron_gemm_operator(matrix, stride)
+        width = dim * stride
+        np.matmul(
+            states.reshape(-1, width), operator,
+            out=scratch.reshape(-1, width),
+        )
+    else:
+        np.matmul(
+            matrix,
+            states.reshape(-1, dim, stride),
+            out=scratch.reshape(-1, dim, stride),
+        )
+    return scratch, states
+
+
+def _make_shared_step(op, targets, num_qubits):
+    """Compile one binding-independent operation into a step tuple.
+
+    Mirrors the dispatch decisions of :func:`kernels.apply_gate` exactly so
+    every row sees the same arithmetic the single-state path would use.
+    """
+    diagonal = getattr(op, "diagonal", None)
+    if diagonal is not None:
+        vector = np.ascontiguousarray(diagonal, dtype=complex)
+        return ("ssliced", ("diag", vector), targets)
+    if len(targets) > kernels._MAX_ANALYZED_QUBITS:
+        return ("srow", op, targets)
+    matrix = np.ascontiguousarray(op.to_matrix(), dtype=complex)
+    descriptor = kernels._analysis(matrix)
+    if descriptor[0] != "dense":
+        return ("ssliced", descriptor, targets)
+    if len(targets) > 1 and not kernels._is_contiguous_block(targets):
+        return ("srow", op, targets)
+    lowest = min(targets)
+    positions = [t - lowest for t in targets]
+    if positions != list(range(len(targets))):
+        matrix = kernels._permute_gate_qubits(matrix, positions)
+    return ("sdense", matrix, lowest)
+
+
+# ---------------------------------------------------------------------------
+# Per-binding matrix builders
+#
+# Each mirrors the corresponding ``Gate._matrix`` formula with the scalar
+# ``math``/``cmath`` calls replaced by their bitwise-equal numpy
+# vectorizations over the ``(batch,)`` angle vectors.
+# ---------------------------------------------------------------------------
+
+
+def _build_rx(batch, theta):
+    cos = np.cos(theta / 2)
+    sin = np.sin(theta / 2)
+    mats = np.empty((batch, 2, 2), dtype=complex)
+    mats[:, 0, 0] = cos
+    mats[:, 0, 1] = -1j * sin
+    mats[:, 1, 0] = -1j * sin
+    mats[:, 1, 1] = cos
+    return mats
+
+
+def _build_ry(batch, theta):
+    cos = np.cos(theta / 2)
+    sin = np.sin(theta / 2)
+    mats = np.empty((batch, 2, 2), dtype=complex)
+    mats[:, 0, 0] = cos
+    mats[:, 0, 1] = -sin
+    mats[:, 1, 0] = sin
+    mats[:, 1, 1] = cos
+    return mats
+
+
+def _build_u2(batch, phi, lam):
+    mats = np.empty((batch, 2, 2), dtype=complex)
+    mats[:, 0, 0] = 1
+    mats[:, 0, 1] = -np.exp(1j * lam)
+    mats[:, 1, 0] = np.exp(1j * phi)
+    mats[:, 1, 1] = np.exp(1j * (phi + lam))
+    mats *= _SQRT2_INV
+    return mats
+
+
+def _build_u3(batch, theta, phi, lam):
+    cos = np.cos(theta / 2)
+    sin = np.sin(theta / 2)
+    mats = np.empty((batch, 2, 2), dtype=complex)
+    mats[:, 0, 0] = cos
+    mats[:, 0, 1] = -np.exp(1j * lam) * sin
+    mats[:, 1, 0] = np.exp(1j * phi) * sin
+    mats[:, 1, 1] = np.exp(1j * (phi + lam)) * cos
+    return mats
+
+
+def _diag_rz(batch, phi):
+    entries = np.empty((batch, 2), dtype=complex)
+    entries[:, 0] = np.exp(-1j * phi / 2)
+    entries[:, 1] = np.exp(1j * phi / 2)
+    return entries
+
+
+def _diag_u1(batch, lam):
+    entries = np.empty((batch, 2), dtype=complex)
+    entries[:, 0] = 1
+    entries[:, 1] = np.exp(1j * lam)
+    return entries
+
+
+def _diag_crz(batch, theta):
+    entries = np.empty((batch, 4), dtype=complex)
+    entries[:, 0] = 1
+    entries[:, 1] = np.exp(-1j * theta / 2)
+    entries[:, 2] = 1
+    entries[:, 3] = np.exp(1j * theta / 2)
+    return entries
+
+
+def _diag_cu1(batch, lam):
+    entries = np.empty((batch, 4), dtype=complex)
+    entries[:, 0] = 1
+    entries[:, 1] = 1
+    entries[:, 2] = 1
+    entries[:, 3] = np.exp(1j * lam)
+    return entries
+
+
+def _diag_rzz(batch, theta):
+    plus = np.exp(1j * theta / 2)
+    minus = np.exp(-1j * theta / 2)
+    entries = np.empty((batch, 4), dtype=complex)
+    entries[:, 0] = minus
+    entries[:, 1] = plus
+    entries[:, 2] = plus
+    entries[:, 3] = minus
+    return entries
+
+
+#: name -> (step kind, builder).  ``bdense1`` applies a stacked (B, 2, 2)
+#: matmul, ``bdiag`` a broadcast diagonal multiply, ``bctrl`` the dense-1q
+#: tensor update on the control==1 slice (matching the structural ``ctrl``
+#: classification of crx/cry/cu3 at generic angles).
+_BOUND_BUILDERS = {
+    "rx": ("bdense1", _build_rx),
+    "ry": ("bdense1", _build_ry),
+    "u2": ("bdense1", _build_u2),
+    "u3": ("bdense1", _build_u3),
+    "u": ("bdense1", _build_u3),
+    "rz": ("bdiag", _diag_rz),
+    "u1": ("bdiag", _diag_u1),
+    "p": ("bdiag", _diag_u1),
+    "crz": ("bdiag", _diag_crz),
+    "cu1": ("bdiag", _diag_cu1),
+    "cp": ("bdiag", _diag_cu1),
+    "rzz": ("bdiag", _diag_rzz),
+    "crx": ("bctrl", _build_rx),
+    "cry": ("bctrl", _build_ry),
+    "cu3": ("bctrl", _build_u3),
+}
+
+
+# ---------------------------------------------------------------------------
+# Per-binding step application
+# ---------------------------------------------------------------------------
+
+
+def _kron_stack(mats, stride):
+    """Stacked ``kron(m.T, I_stride)`` for a ``(B, 2, 2)`` matrix stack."""
+    count = mats.shape[0]
+    width = 2 * stride
+    operators = np.zeros((count, width, width), dtype=complex)
+    diag = np.arange(stride)
+    for i in range(2):
+        for j in range(2):
+            operators[:, i * stride + diag, j * stride + diag] = (
+                mats[:, j, i][:, None]
+            )
+    return operators
+
+
+def _apply_bound_dense1(states, scratch, mats, target):
+    """Per-binding dense 1q gate: one broadcast matmul over the row stack."""
+    count = states.shape[0]
+    stride = 1 << target
+    if target <= kernels._KRON_GEMM_MAX_TARGET:
+        width = 2 * stride
+        operators = _kron_stack(mats, stride)
+        np.matmul(
+            states.reshape(count, -1, width), operators,
+            out=scratch.reshape(count, -1, width),
+        )
+    else:
+        np.matmul(
+            mats[:, None, :, :],
+            states.reshape(count, -1, 2, stride),
+            out=scratch.reshape(count, -1, 2, stride),
+        )
+    return scratch, states
+
+
+def _bound_diag_tiled(states, entries, targets, num_qubits):
+    """Per-binding analogue of :func:`_shared_diag_tiled`."""
+    count, dim = states.shape
+    low = [t for t in targets if (1 << t) < kernels._DIAG_TILE_RUN]
+    high = sorted(t for t in targets if t not in low)
+    length = 1 << (max(low) + 1)
+    offsets = np.arange(length)
+    pattern = np.zeros(length, dtype=np.intp)
+    for position, target in enumerate(targets):
+        if target in low:
+            pattern += ((offsets // (1 << target)) & 1) << position
+    block = (1 << min(high)) if high else dim
+    repeats = 1
+    while length * repeats * 2 <= min(block, kernels._DIAG_TILE_TARGET):
+        repeats *= 2
+    if high:
+        view, axes = _batch_view(states, high, num_qubits)
+    for bits in range(1 << len(high)):
+        offset = 0
+        for position, target in enumerate(targets):
+            if target in low:
+                continue
+            offset |= ((bits >> high.index(target)) & 1) << position
+        block_entries = entries[:, pattern + offset]
+        if np.all(block_entries == 1):
+            continue
+        tile = np.tile(block_entries, (1, repeats))
+        if high:
+            index = [slice(None)] * view.ndim
+            for rank, axis in enumerate(axes):
+                index[axis] = (bits >> rank) & 1
+            sub = view[tuple(index)]
+            reshaped = sub.reshape(sub.shape[:-1] + (-1, tile.shape[1]))
+            reshaped *= tile.reshape(
+                (count,) + (1,) * (reshaped.ndim - 2) + (tile.shape[1],)
+            )
+        else:
+            states.reshape(count, -1, tile.shape[1])[...] *= tile[:, None, :]
+
+
+def _apply_bound_diag(states, entries, targets, num_qubits):
+    """Per-binding diagonal: broadcast multiply each basis slice.
+
+    An entry column is skipped only when it is 1 for *every* binding (the
+    structural constants of cu1/crz); a generic angle landing exactly on a
+    unit entry for some binding is the documented ``-0.0`` corner.
+    """
+    count, dim = states.shape
+    if kernels._diag_tile_selected(dim, targets, 1):
+        _bound_diag_tiled(states, entries, targets, num_qubits)
+        return
+    if len(targets) == 1:
+        stride = 1 << targets[0]
+        narrow = states.reshape(count, -1, 2, stride)
+        for j in range(2):
+            column = entries[:, j]
+            if np.all(column == 1):
+                continue
+            narrow[:, :, j, :] *= column[:, None, None]
+        return
+    view, axes = _batch_view(states, targets, num_qubits)
+    for j in range(entries.shape[1]):
+        column = entries[:, j]
+        if np.all(column == 1):
+            continue
+        index = [slice(None)] * view.ndim
+        for position, axis in enumerate(axes):
+            index[axis] = (j >> position) & 1
+        sub = view[tuple(index)]
+        sub *= column.reshape((count,) + (1,) * (sub.ndim - 1))
+
+
+def _bound_dense1_tensor(view, axis, mats):
+    """Per-binding mirror of :func:`kernels._apply_dense_1q_tensor`."""
+    count = mats.shape[0]
+    index0 = kernels._axis_slice(view, axis, 0)
+    index1 = kernels._axis_slice(view, axis, 1)
+    a0 = view[index0]
+    a1 = view[index1]
+    shape = (count,) + (1,) * (a0.ndim - 1)
+    m00 = mats[:, 0, 0].reshape(shape)
+    m01 = mats[:, 0, 1].reshape(shape)
+    m10 = mats[:, 1, 0].reshape(shape)
+    m11 = mats[:, 1, 1].reshape(shape)
+    new0 = m00 * a0 + m01 * a1
+    view[index1] = m10 * a0 + m11 * a1
+    view[index0] = new0
+
+
+def _apply_bound_ctrl(states, mats, targets, num_qubits):
+    """Controlled per-binding dense 1q (crx/cry/cu3): slice then update."""
+    view, axes = _batch_view(states, targets, num_qubits)
+    control_axis = axes[0]
+    sub = view[kernels._axis_slice(view, control_axis, 1)]
+    target_axis = axes[1] - 1 if axes[1] > control_axis else axes[1]
+    _bound_dense1_tensor(sub, target_axis, mats)
+
+
+# ---------------------------------------------------------------------------
+# Program compilation and execution
+# ---------------------------------------------------------------------------
+
+
+class BroadcastProgram:
+    """One circuit structure compiled against a batch of parameter values.
+
+    Every ``circuit.data`` position maps to a precompiled step (or ``None``
+    for barriers/measures); applying a subset of positions — the estimator
+    replays shared prefixes and per-term suffixes — slices per-binding
+    arrays by batch-row range so chunked execution composes freely.
+    """
+
+    def __init__(self, circuit, parameter_values, parameters=None):
+        self.circuit = circuit
+        self.num_qubits = circuit.num_qubits
+        self.plan = get_bind_plan(circuit)
+        values = np.asarray(parameter_values, dtype=float)
+        if values.ndim != 2:
+            raise SimulatorError(
+                "parameter values must be a (batch, num_parameters) array"
+            )
+        if values.shape[0] < 1:
+            raise SimulatorError("parameter value batch is empty")
+        if parameters is not None:
+            parameters = list(parameters)
+            if set(parameters) != set(self.plan.ordered) or len(
+                parameters
+            ) != len(self.plan.ordered):
+                raise SimulatorError(
+                    "parameters do not match the circuit's free parameters"
+                )
+            if values.shape[1] != len(parameters):
+                raise SimulatorError(
+                    f"parameter values must have shape (batch, "
+                    f"{len(parameters)}), got {values.shape}"
+                )
+            order = [parameters.index(p) for p in self.plan.ordered]
+            values = np.ascontiguousarray(values[:, order])
+        #: ``(batch, num_parameters)`` in ``plan.ordered`` column order.
+        self.values = values
+        self.batch = values.shape[0]
+        resolved = self.plan.resolve_arrays(values)
+        qubit_index = {q: i for i, q in enumerate(circuit.qubits)}
+        clbit_index = {c: i for i, c in enumerate(circuit.clbits)}
+        #: measured qubit -> clbit (data order, later measures overwrite).
+        self.measures: dict = {}
+        self.steps: list = []
+        for index, item in enumerate(circuit.data):
+            op = item.operation
+            if op.name == "barrier":
+                self.steps.append(None)
+                continue
+            if op.name == "measure":
+                self.measures[qubit_index[item.qubits[0]]] = clbit_index[
+                    item.clbits[0]
+                ]
+                self.steps.append(None)
+                continue
+            if op.condition is not None:
+                raise SimulatorError(
+                    "classical conditions require the qasm simulator"
+                )
+            if op.name == "reset":
+                raise SimulatorError("reset requires the qasm simulator")
+            if not isinstance(op, Gate):
+                raise SimulatorError(f"cannot simulate '{op.name}'")
+            targets = [qubit_index[q] for q in item.qubits]
+            if index in resolved:
+                self.steps.append(
+                    self._make_bound_step(op, targets, resolved[index])
+                )
+            else:
+                self.steps.append(
+                    _make_shared_step(op, targets, self.num_qubits)
+                )
+
+    def _make_bound_step(self, op, targets, resolved):
+        slots, angle_vectors = resolved
+        entry = _BOUND_BUILDERS.get(op.name)
+        if entry is None:
+            # No vectorized builder (rxx/ryy/custom gates): bind and apply
+            # row by row through the ordinary kernels.
+            return ("brow", op, slots, angle_vectors, targets)
+        kind, builder = entry
+        arguments = []
+        for slot in range(len(op.params)):
+            if slot in slots:
+                arguments.append(angle_vectors[slots.index(slot)])
+            else:
+                arguments.append(np.full(self.batch, float(op.params[slot])))
+        payload = builder(self.batch, *arguments)
+        return (kind, payload, targets)
+
+    def apply(self, states, scratch, positions, rows):
+        """Run the steps at ``positions`` over ``states`` rows ``rows``.
+
+        ``rows`` is the slice of the full batch these state rows represent;
+        per-binding step payloads are sliced to match.  Returns the
+        (possibly swapped) ``(states, scratch)`` buffer pair.
+        """
+        num_qubits = self.num_qubits
+        for position in positions:
+            step = self.steps[position]
+            if step is None:
+                continue
+            kind = step[0]
+            if kind == "sdense":
+                states, scratch = _apply_shared_dense(
+                    states, scratch, step[1], step[2]
+                )
+            elif kind == "ssliced":
+                _apply_shared_sliced(states, step[1], step[2], num_qubits)
+            elif kind == "srow":
+                for row in range(states.shape[0]):
+                    states[row] = kernels.apply_gate(
+                        states[row], step[1], step[2], num_qubits
+                    )
+            elif kind == "bdense1":
+                states, scratch = _apply_bound_dense1(
+                    states, scratch, step[1][rows], step[2][0]
+                )
+            elif kind == "bdiag":
+                _apply_bound_diag(
+                    states, step[1][rows], step[2], num_qubits
+                )
+            elif kind == "bctrl":
+                _apply_bound_ctrl(
+                    states, step[1][rows], step[2], num_qubits
+                )
+            else:  # brow
+                _, op, slots, angle_vectors, targets = step
+                start = rows.start or 0
+                for row in range(states.shape[0]):
+                    params = list(op.params)
+                    for slot, vector in zip(slots, angle_vectors):
+                        params[slot] = float(vector[start + row])
+                    bound = op.copy()
+                    bound._params = params
+                    bound._definition = None
+                    states[row] = kernels.apply_gate(
+                        states[row], bound, targets, num_qubits
+                    )
+        return states, scratch
+
+    def fresh_buffers(self, rows):
+        """A zeroed ``|0...0>`` row stack and a matching scratch buffer."""
+        states = np.zeros((rows, 1 << self.num_qubits), dtype=complex)
+        states[:, 0] = 1.0
+        return states, np.empty_like(states)
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def evolve_broadcast(circuit, parameter_values, parameters=None):
+    """Final statevectors for every binding, as a ``(batch, 2**n)`` array.
+
+    Statevector-simulator semantics: barriers skipped, trailing measures
+    ignored, conditions/reset/mid-circuit measurement rejected.  Row ``b``
+    is bitwise identical to ``StatevectorSimulator().run(bound_b)``.
+    """
+    if circuit.num_qubits == 0:
+        raise SimulatorError("cannot simulate a circuit with no qubits")
+    measured: set = set()
+    for item in circuit.data:
+        op = item.operation
+        if op.name == "barrier":
+            continue
+        if op.name == "measure":
+            measured.add(item.qubits[0])
+            continue
+        if op.condition is not None:
+            raise SimulatorError(
+                "classical conditions require the qasm simulator"
+            )
+        if op.name == "reset":
+            raise SimulatorError("reset requires the qasm simulator")
+        if not isinstance(op, Gate):
+            raise SimulatorError(f"cannot simulate operation '{op.name}'")
+        for qubit in item.qubits:
+            if qubit in measured:
+                raise SimulatorError(
+                    "gate after measurement requires the qasm simulator"
+                )
+    program = BroadcastProgram(circuit, parameter_values, parameters)
+    positions = range(len(circuit.data))
+    out = np.empty((program.batch, 1 << program.num_qubits), dtype=complex)
+    for start, stop in broadcast_chunk_bounds(
+        program.batch, program.num_qubits
+    ):
+        states, scratch = program.fresh_buffers(stop - start)
+        states, _ = program.apply(
+            states, scratch, positions, slice(start, stop)
+        )
+        out[start:stop] = states
+    return out
+
+
+def sample_broadcast(circuit, parameter_values, parameters, shots, seeds, *,
+                     elide_diagonals=True):
+    """Sampled counts per binding, one statevector pass for the whole batch.
+
+    Entry ``b`` is bitwise identical to
+    ``QasmSimulator().run(bound_b, shots, seed=seeds[b])`` (noise-free,
+    samplable circuits only).  Returns ``[{"counts", "shots"}, ...]``.
+    """
+    if shots < 1:
+        raise SimulatorError("shots must be positive")
+    if circuit.num_qubits == 0:
+        raise SimulatorError("circuit has no qubits")
+    if circuit.num_clbits == 0:
+        raise SimulatorError(
+            "qasm simulation needs classical bits; add measurements"
+        )
+    stripped = QasmSimulator._strip_idle_qubits(circuit)
+    if not QasmSimulator._samplable(stripped):
+        raise SimulatorError(
+            "broadcast sampling requires a samplable circuit "
+            "(no reset, conditions, or mid-circuit measurement)"
+        )
+    program = BroadcastProgram(stripped, parameter_values, parameters)
+    if len(seeds) != program.batch:
+        raise SimulatorError("need one seed per parameter binding")
+    if elide_diagonals:
+        bound0 = stripped.bind_parameters(list(program.values[0]))
+        elided = QasmSimulator._terminal_diagonals(bound0.data)
+    else:
+        elided = set()
+    positions = [
+        p for p in range(len(stripped.data)) if p not in elided
+    ]
+    width = stripped.num_clbits
+    results = []
+    for start, stop in broadcast_chunk_bounds(
+        program.batch, program.num_qubits
+    ):
+        states, scratch = program.fresh_buffers(stop - start)
+        states, _ = program.apply(
+            states, scratch, positions, slice(start, stop)
+        )
+        for row in range(stop - start):
+            rng = np.random.default_rng(seeds[start + row])
+            outcomes = _sample_outcomes(states[row], shots, rng)
+            values = _zeros_for_width(shots, width)
+            for qubit, clbit in program.measures.items():
+                bits = (outcomes >> qubit) & 1
+                values |= bits.astype(values.dtype) << clbit
+            counts, _memory = bin_counts(values, width)
+            results.append({"counts": counts, "shots": shots})
+    return results
+
+
+def estimator_broadcastable(circuit) -> bool:
+    """Whether the shots-mode broadcast estimator reproduces the loop path.
+
+    The per-binding comparator routes each term circuit through
+    ``QasmSimulator.run``, which strips idle qubits; a template leaving any
+    qubit untouched would then be sampled at a smaller width than the
+    broadcast evolution uses.  Measurements in the template land
+    mid-circuit after composition.  Both cases fall back to the loop.
+    """
+    if not broadcast_supported(circuit):
+        return False
+    used: set = set()
+    for item in circuit.data:
+        if item.operation.name == "measure":
+            return False
+        used.update(item.qubits)
+    return len(used) == circuit.num_qubits
+
+
+def estimate_broadcast_shots(circuit, parameter_values, parameters,
+                             observable, shots, seeds):
+    """Shots-mode ``<H>`` per binding via shared-prefix broadcast sampling.
+
+    Entry ``b`` is bitwise identical to
+    ``ExpectationEstimator(observable, mode="shots", shots=shots,
+    seed=seeds[b]).estimate(bound_b)``: same derived per-term seeds, same
+    terminal-diagonal elision, same float accumulation order.
+
+    The ansatz positions every term's elision would drop form a tail
+    ``[split, len)``; everything before ``split`` is evolved once per chunk
+    and each term replays only its non-elided tail plus its basis-change
+    rotations before sampling.
+    """
+    from repro.algorithms.expectation import measurement_basis_change
+    from repro.qobj.assembler import derive_experiment_seeds
+
+    num_qubits = circuit.num_qubits
+    if observable.num_qubits != num_qubits:
+        raise SimulatorError("circuit width does not match the observable")
+    if not estimator_broadcastable(circuit):
+        raise SimulatorError(
+            "broadcast estimation requires a measurement-free template "
+            "using every qubit"
+        )
+    program = BroadcastProgram(circuit, parameter_values, parameters)
+    if len(seeds) != program.batch:
+        raise SimulatorError("need one seed per parameter binding")
+    bound0 = circuit.bind_parameters(list(program.values[0]))
+
+    base = 0.0
+    measured_terms = []  # (coeff_real, pauli, suffix_positions, rot_steps)
+    tail: set = set()
+    term_infos = []
+    for index, (coeff, pauli) in enumerate(observable.terms):
+        if abs(coeff.imag) > 1e-9:
+            raise SimulatorError("shot estimation needs real coefficients")
+        if not pauli.support:
+            base += coeff.real
+            continue
+        composed = QuantumCircuit(num_qubits, num_qubits,
+                                  name=f"term-{index}")
+        composed.compose(bound0, qubits=composed.qubits, inplace=True)
+        measurement_basis_change(pauli, composed)
+        for qubit in pauli.support:
+            composed.measure(qubit, qubit)
+        elided = {
+            p
+            for p in QasmSimulator._terminal_diagonals(composed.data)
+            if p < len(circuit.data)
+        }
+        tail |= elided
+        term_infos.append((coeff.real, pauli, elided))
+    if not term_infos:
+        return [base] * program.batch
+    split = min(tail) if tail else len(circuit.data)
+    for coeff_real, pauli, elided in term_infos:
+        suffix = [
+            p for p in range(split, len(circuit.data)) if p not in elided
+        ]
+        rot_steps = []
+        for qubit in range(num_qubits):
+            char = pauli.char(qubit)
+            if char == "X":
+                rot_steps.append(("h", qubit))
+            elif char == "Y":
+                rot_steps.append(("sdg", qubit))
+                rot_steps.append(("h", qubit))
+        measured_terms.append((coeff_real, pauli, suffix, rot_steps))
+
+    from repro.circuit.library.standard_gates import get_standard_gate
+
+    rot_step_cache: dict = {}
+
+    def shared_rot_step(name, qubit):
+        key = (name, qubit)
+        if key not in rot_step_cache:
+            rot_step_cache[key] = _make_shared_step(
+                get_standard_gate(name), [qubit], num_qubits
+            )
+        return rot_step_cache[key]
+
+    term_count = len(measured_terms)
+    energies = [base] * program.batch
+    prefix_positions = range(split)
+    for start, stop in broadcast_chunk_bounds(program.batch, num_qubits):
+        rows = slice(start, stop)
+        prefix, scratch = program.fresh_buffers(stop - start)
+        prefix, scratch = program.apply(
+            prefix, scratch, prefix_positions, rows
+        )
+        work = np.empty_like(prefix)
+        term_seeds = [
+            derive_experiment_seeds(seeds[start + row], term_count)
+            for row in range(stop - start)
+        ]
+        for term_index, (coeff_real, pauli, suffix, rot_steps) in enumerate(
+            measured_terms
+        ):
+            np.copyto(work, prefix)
+            states, aux = program.apply(work, scratch, suffix, rows)
+            for name, qubit in rot_steps:
+                step = shared_rot_step(name, qubit)
+                if step[0] == "sdense":
+                    states, aux = _apply_shared_dense(
+                        states, aux, step[1], step[2]
+                    )
+                else:
+                    _apply_shared_sliced(
+                        states, step[1], step[2], num_qubits
+                    )
+            # <P> from counts is (#even-parity - #odd-parity) / shots — an
+            # exact integer accumulator divided once — so computing the
+            # parity tally straight off the outcome integers reproduces
+            # expectation_from_counts(bin_counts(...)) bitwise while
+            # skipping the bitstring rendering entirely.
+            mask = 0
+            for qubit in pauli.support:
+                mask |= 1 << qubit
+            for row in range(stop - start):
+                rng = np.random.default_rng(term_seeds[row][term_index])
+                outcomes = _sample_outcomes(states[row], shots, rng)
+                odd = int(
+                    (np.bitwise_count(outcomes & mask) & 1).sum()
+                )
+                energies[start + row] += coeff_real * (
+                    (shots - 2 * odd) / shots
+                )
+            # Dense ping-pong permutes {work, scratch}; prefix is never
+            # handed out as an output buffer, so rebinding keeps the trio
+            # distinct for the next term's copy.
+            work, scratch = states, aux
+    return energies

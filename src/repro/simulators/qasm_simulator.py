@@ -84,6 +84,33 @@ def _zeros_for_width(shots: int, num_clbits: int) -> np.ndarray:
     return np.zeros(shots, dtype=np.int64 if num_clbits <= 63 else object)
 
 
+def bin_counts(shot_values, width: int, *, memory: bool = False):
+    """Bin raw outcome integers into a ``{bitstring: count}`` dict.
+
+    Bins once over the distinct outcomes instead of per shot: formatting
+    and dict updates dominate for large shot counts otherwise.  Shared by
+    :meth:`QasmSimulator.run` and the broadcast sampler so both produce
+    identically formatted keys.  Returns ``(counts, memory_list_or_None)``.
+    """
+    values = np.asarray(shot_values, dtype=np.int64 if width <= 63 else object)
+    unique, multiplicity = np.unique(values, return_counts=True)
+    if width <= 63:
+        # One shift/mask over all outcomes, rendered as a single byte
+        # string and sliced — far cheaper than format() per key.
+        bits = (unique[:, None] >> np.arange(width - 1, -1, -1)) & 1
+        rendered = (bits + ord("0")).astype(np.uint8).tobytes().decode()
+        keys = [
+            rendered[i * width : (i + 1) * width] for i in range(len(unique))
+        ]
+    else:
+        keys = [format(int(value), f"0{width}b") for value in unique]
+    counts = dict(zip(keys, multiplicity.tolist()))
+    if memory:
+        lookup = dict(zip(unique.tolist(), keys))
+        return counts, [lookup[int(value)] for value in shot_values]
+    return counts, None
+
+
 class QasmSimulator:
     """Executes measured circuits for a number of shots."""
 
@@ -148,29 +175,12 @@ class QasmSimulator:
             shot_values = self._run_trajectories(
                 circuit, shots, rng, noise_model
             )
-        width = circuit.num_clbits
-        # Bin once over the distinct outcomes instead of per shot: formatting
-        # and dict updates dominate run() for large shot counts otherwise.
-        values = np.asarray(
-            shot_values, dtype=np.int64 if width <= 63 else object
+        counts, memory_list = bin_counts(
+            shot_values, circuit.num_clbits, memory=memory
         )
-        unique, multiplicity = np.unique(values, return_counts=True)
-        if width <= 63:
-            # One shift/mask over all outcomes, rendered as a single byte
-            # string and sliced — far cheaper than format() per key.
-            bits = (unique[:, None] >> np.arange(width - 1, -1, -1)) & 1
-            rendered = (bits + ord("0")).astype(np.uint8).tobytes().decode()
-            keys = [
-                rendered[i * width : (i + 1) * width]
-                for i in range(len(unique))
-            ]
-        else:
-            keys = [format(int(value), f"0{width}b") for value in unique]
-        counts = dict(zip(keys, multiplicity.tolist()))
         result = {"counts": counts, "shots": shots}
         if memory:
-            lookup = dict(zip(unique.tolist(), keys))
-            result["memory"] = [lookup[int(value)] for value in shot_values]
+            result["memory"] = memory_list
         return result
 
     @staticmethod

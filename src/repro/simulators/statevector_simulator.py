@@ -80,3 +80,23 @@ class StatevectorSimulator:
                 state, op, targets, num_qubits, mutate=True
             )
         return Statevector(state, validate=False)
+
+    def run_batch(self, circuit: QuantumCircuit, parameter_values,
+                  parameters=None) -> list[Statevector]:
+        """Evolve one parameterized template at a batch of value sets.
+
+        Row ``b`` of ``parameter_values`` (columns ordered like
+        ``parameters``, or sorted by name when omitted) yields a state
+        bitwise identical to ``self.run(circuit.bind_parameters(row))`` —
+        the broadcast engine applies each binding-independent gate across
+        the whole batch in one vectorized kernel pass.
+        """
+        from repro.simulators.batched import evolve_broadcast
+
+        if circuit.num_qubits > self._max_qubits:
+            raise SimulatorError(
+                f"{circuit.num_qubits} qubits exceeds the dense-array limit "
+                f"({self._max_qubits}); consider the DD simulator"
+            )
+        states = evolve_broadcast(circuit, parameter_values, parameters)
+        return [Statevector(row, validate=False) for row in states]

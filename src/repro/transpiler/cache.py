@@ -18,6 +18,8 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 
+from repro.circuit.parameter import is_parameterized
+
 
 def circuit_fingerprint(circuit) -> str:
     """A content hash of the circuit's structure.
@@ -46,8 +48,20 @@ def circuit_fingerprint(circuit) -> str:
         operation = item.operation
         feed(operation.name)
         for param in operation.params:
-            feed(repr(complex(param)) if isinstance(param, complex)
-                 else repr(float(param)))
+            if is_parameterized(param):
+                # A symbolic angle hashes by expression structure and the
+                # identities of its free symbols — so a parameterized
+                # template fingerprints stably across bindings (one
+                # transpile per pub, not per binding) while distinct
+                # same-named parameters stay distinct.
+                uuids = ",".join(sorted(
+                    p._uuid.hex for p in param.parameters
+                ))
+                feed(f"expr:{param!s}:{uuids}")
+            elif isinstance(param, complex):
+                feed(repr(complex(param)))
+            else:
+                feed(repr(float(param)))
         for attr in ("_unitary", "_diag"):
             payload = getattr(operation, attr, None)
             if payload is not None:
