@@ -60,6 +60,18 @@ class PrimitiveJob:
             return {}
         return self._job.fault_stats
 
+    def trace(self):
+        """The provider job's telemetry trace (see ``Job.trace``).
+
+        Raises :class:`~repro.exceptions.BackendError` on synchronous
+        fallback jobs, which never touch the provider pipeline.
+        """
+        if self._job is None:
+            raise BackendError(
+                "synchronous primitive jobs record no trace"
+            )
+        return self._job.trace()
+
     def __repr__(self):
         inner = "sync" if self._job is None else repr(self._job)
         return f"PrimitiveJob({inner})"

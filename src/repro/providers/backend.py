@@ -63,11 +63,26 @@ class Job:
 
     _id_counter = itertools.count()
 
-    def __init__(self, backend, dispatch):
+    def __init__(self, backend, dispatch, trace=None):
         self._backend = backend
         self._dispatch = dispatch
         self._result = None
-        self.job_id = f"job-{next(Job._id_counter)}"
+        if trace is None:
+            from repro.telemetry.jobtrace import JobTrace
+
+            trace = JobTrace(Job.reserve_id(), backend.name())
+        self._trace = trace
+        self.job_id = trace.job_id
+
+    @classmethod
+    def reserve_id(cls) -> str:
+        """Allocate the next job id ahead of construction.
+
+        ``execute`` reserves the id before transpiling so the compile
+        spans join the job's trace; the id is then threaded through
+        ``backend.run(job_trace=...)`` into the :class:`Job`.
+        """
+        return f"job-{next(cls._id_counter)}"
 
     def result(self, timeout=None, partial=False):
         """Collect the :class:`~repro.providers.result.Result` (blocking).
@@ -88,8 +103,10 @@ class Job:
         if self._result is None:
             from repro.providers.result import Result
 
-            outcomes = self._dispatch.collect(timeout=timeout,
-                                              partial=partial)
+            with self._trace.stage("collect"):
+                outcomes = self._dispatch.collect(timeout=timeout,
+                                                  partial=partial)
+                self._trace.merge_outcomes(outcomes)
             result = Result(self._backend.name(), self.job_id, outcomes)
             if any(
                 outcome.status
@@ -100,6 +117,9 @@ class Job:
                 # without caching so the job stays collectable.
                 return result
             self._result = result
+            self._trace.finalize(
+                outcomes, getattr(self._dispatch, "fallbacks", [])
+            )
         return self._result
 
     @property
@@ -108,11 +128,16 @@ class Job:
 
         Accounts for every attempt (retries included), total backoff
         seconds, injected faults, executor fallbacks taken by the
-        degradation chain, and failed experiments.  Before the job is
-        collected this reflects only the experiments finished so far.
+        degradation chain, and failed experiments.  Once the job is
+        collected this is a thin view over the job-labelled counters in
+        the unified metrics registry (see
+        :mod:`repro.telemetry.metrics`); before that it reflects only
+        the experiments finished so far, aggregated live.
         """
         from repro.providers.retry import aggregate_fault_stats
 
+        if self._trace.finalized:
+            return self._trace.fault_stats_view()
         if self._result is not None:
             outcomes = self._result.results
         else:
@@ -120,6 +145,23 @@ class Job:
         return aggregate_fault_stats(
             outcomes, getattr(self._dispatch, "fallbacks", [])
         )
+
+    def trace(self):
+        """The job's :class:`~repro.telemetry.trace.Trace`.
+
+        Requires tracing to have been enabled
+        (:func:`repro.telemetry.enable_tracing`) before the job was
+        submitted; raises :class:`BackendError` otherwise.  Before the
+        result is collected the trace holds the spans recorded so far;
+        after collection it is the complete connected tree — worker
+        spans included, whichever executor ran them.
+        """
+        return self._trace.trace()
+
+    @property
+    def job_trace(self):
+        """The job's :class:`~repro.telemetry.jobtrace.JobTrace` hub."""
+        return self._trace
 
     def status(self) -> str:
         """Current :class:`JobStatus` constant."""
@@ -188,6 +230,10 @@ class BaseBackend:
         * ``fault_injector`` — a
           :class:`~repro.providers.faults.FaultInjector` (or FaultSpec
           list) armed on this batch for reproducible chaos testing.
+        * ``job_trace`` — a pre-created
+          :class:`~repro.telemetry.jobtrace.JobTrace` to attach this run
+          to (``execute`` passes one so transpile spans join the job's
+          trace); by default a fresh one is created here.
         """
         from repro.providers.faults import resolve_injector
         from repro.providers.retry import resolve_retry_policy
@@ -222,25 +268,38 @@ class BaseBackend:
         engine_options["fault_injector"] = resolve_injector(
             options.get("fault_injector")
         )
-        qobj = assemble(
-            circuits,
-            shots=shots,
-            seed=options.get("seed"),
-            memory=options.get("memory", False),
-        )
+        job_trace = options.get("job_trace")
+        if job_trace is None:
+            from repro.telemetry.jobtrace import JobTrace
+
+            job_trace = JobTrace(Job.reserve_id(), self.name())
+        max_qubits = max(circuit.num_qubits for circuit in circuits)
+        with job_trace.stage("assemble", attributes={
+            "experiments": len(circuits), "shots": shots,
+            "max_qubits": max_qubits,
+        }):
+            qobj = assemble(
+                circuits,
+                shots=shots,
+                seed=options.get("seed"),
+                memory=options.get("memory", False),
+            )
+        kind = choose_executor(len(circuits), max_qubits, requested)
+        job_trace.dispatch_started(kind, len(qobj["experiments"]))
         payloads = []
-        for experiment in qobj["experiments"]:
+        for index, experiment in enumerate(qobj["experiments"]):
             config = dict(engine_options)
             config["seed"] = experiment["config"]["seed"]
             config["experiment_index"] = experiment["config"]["index"]
+            context = job_trace.experiment_context(
+                index, experiment.get("header", {}).get("name", "unnamed")
+            )
+            if context is not None:
+                config["span_context"] = context
             payloads.append((experiment, config))
-        kind = choose_executor(
-            len(circuits),
-            max(circuit.num_qubits for circuit in circuits),
-            requested,
-        )
-        dispatch = create_dispatch(self, payloads, kind, max_workers)
-        return Job(self, dispatch)
+        dispatch = create_dispatch(self, payloads, kind, max_workers,
+                                   job_trace)
+        return Job(self, dispatch, trace=job_trace)
 
     def run_pubs(self, pubs, **options) -> Job:
         """Schedule broadcast primitive unified blocs (PUBs).
@@ -340,42 +399,61 @@ class BaseBackend:
             options.get("fault_injector")
         )
         engine_options["shots"] = shots
+        job_trace = options.get("job_trace")
+        if job_trace is None:
+            from repro.telemetry.jobtrace import JobTrace
+
+            job_trace = JobTrace(Job.reserve_id(), self.name())
         payloads = []
         offset = 0
         index = 0
-        for circuit, values, parameters, observable in normalized:
-            batch = values.shape[0]
-            template = circuit_to_experiment(circuit)
-            for start, stop in broadcast_chunk_bounds(
-                batch, circuit.num_qubits
-            ):
-                config = dict(engine_options)
-                # The chunk is the retry unit: its value rows and derived
-                # per-binding seeds ride the config, so a retried or
-                # fallback run reproduces every binding bit-identically.
-                config["broadcast"] = {
-                    "values": values[start:stop],
-                    "parameters": parameters,
-                    "seeds": all_seeds[offset + start:offset + stop],
-                    "observable": observable,
-                    "binding_start": start,
-                }
-                config["seed"] = all_seeds[offset + start]
-                config["experiment_index"] = index
-                experiment = dict(template)
-                experiment["config"] = {
-                    "seed": config["seed"], "index": index,
-                }
-                payloads.append((experiment, config))
-                index += 1
-            offset += batch
+        with job_trace.stage("assemble", attributes={
+            "pubs": len(normalized), "bindings": total_bindings,
+            "shots": shots,
+        }):
+            for circuit, values, parameters, observable in normalized:
+                batch = values.shape[0]
+                template = circuit_to_experiment(circuit)
+                for start, stop in broadcast_chunk_bounds(
+                    batch, circuit.num_qubits
+                ):
+                    config = dict(engine_options)
+                    # The chunk is the retry unit: its value rows and
+                    # derived per-binding seeds ride the config, so a
+                    # retried or fallback run reproduces every binding
+                    # bit-identically.
+                    config["broadcast"] = {
+                        "values": values[start:stop],
+                        "parameters": parameters,
+                        "seeds": all_seeds[offset + start:offset + stop],
+                        "observable": observable,
+                        "binding_start": start,
+                    }
+                    config["seed"] = all_seeds[offset + start]
+                    config["experiment_index"] = index
+                    experiment = dict(template)
+                    experiment["config"] = {
+                        "seed": config["seed"], "index": index,
+                    }
+                    payloads.append((experiment, config))
+                    index += 1
+                offset += batch
         kind = choose_executor(
             len(payloads),
             max(pub[0].num_qubits for pub in normalized),
             requested,
         )
-        dispatch = create_dispatch(self, payloads, kind, max_workers)
-        return Job(self, dispatch)
+        job_trace.dispatch_started(kind, len(payloads))
+        for exp_index, (experiment, config) in enumerate(payloads):
+            context = job_trace.experiment_context(
+                exp_index,
+                experiment.get("header", {}).get("name", "unnamed"),
+            )
+            if context is not None:
+                config["span_context"] = context
+        dispatch = create_dispatch(self, payloads, kind, max_workers,
+                                   job_trace)
+        return Job(self, dispatch, trace=job_trace)
 
     def _validate_batch(self, circuits) -> None:
         """Submission-time validation hook; raise to reject the batch."""

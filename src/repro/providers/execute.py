@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.providers.backend import BaseBackend, Job
 from repro.exceptions import BackendError
+from repro.telemetry.jobtrace import JobTrace
 from repro.transpiler.cache import get_transpile_cache
 from repro.transpiler.preset import transpile as _transpile
 from repro.transpiler.target import Target
@@ -55,27 +56,42 @@ def execute(circuits, backend: BaseBackend, shots: int = 1024, seed=None,
     assembly, so a seeded batch returns bit-identical results under every
     executor.  The returned :class:`Job` exposes ``status()``, ``cancel()``,
     and per-experiment timing/error metadata on its result.
+
+    When tracing is enabled (:func:`repro.telemetry.enable_tracing`
+    before this call) the job records a hierarchical trace — transpile
+    and per-pass spans included — queryable via ``job.trace()``.
     """
     if not isinstance(backend, BaseBackend):
         raise BackendError("backend must come from Aer or IBMQ get_backend")
     single = not isinstance(circuits, (list, tuple))
     batch = [circuits] if single else list(circuits)
     configuration = backend.configuration()
+    # The trace is created before compiling so the transpile spans (and
+    # their per-pass children) join the job's trace; the reserved id
+    # becomes the Job's id inside ``backend.run``.
+    job_trace = JobTrace(Job.reserve_id(), backend.name())
     if not configuration.simulator:
         target = Target.from_backend(backend)
         prepared = []
         for circuit in batch:
-            mapped = _transpile(
-                circuit,
-                target=target,
-                optimization_level=optimization_level,
-                seed=seed,
-                transpile_cache=transpile_cache,
-            )
+            with job_trace.stage("transpile", attributes={
+                "circuit": circuit.name,
+                "width": circuit.num_qubits,
+                "depth_in": circuit.depth(),
+            }) as span:
+                mapped = _transpile(
+                    circuit,
+                    target=target,
+                    optimization_level=optimization_level,
+                    seed=seed,
+                    transpile_cache=transpile_cache,
+                )
+                span.set_attribute("depth_out", mapped.depth())
             mapped.name = circuit.name
             prepared.append(mapped)
         batch = prepared
-    options = {"shots": shots, "seed": seed, "memory": memory}
+    options = {"shots": shots, "seed": seed, "memory": memory,
+               "job_trace": job_trace}
     if noise_model is not None:
         options["noise_model"] = noise_model
     if executor is not None:

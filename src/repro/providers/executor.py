@@ -65,7 +65,7 @@ from repro.exceptions import (
 
 #: Options consumed by the scheduling layer itself (everything else in
 #: ``backend.run(**options)`` is forwarded to the simulator engines).
-SCHEDULING_OPTIONS = ("executor", "max_workers")
+SCHEDULING_OPTIONS = ("executor", "max_workers", "job_trace")
 
 #: Auto mode goes parallel only past these thresholds: process start-up and
 #: payload pickling cost more than re-running a narrow circuit in-process.
@@ -195,6 +195,14 @@ def run_assembled_experiment(backend, experiment: dict, config: dict):
     injector = config.get("fault_injector")
     if injector is not None and not isinstance(injector, FaultInjector):
         raise BackendError("fault_injector must be a FaultInjector")
+    recorder = None
+    if "span_context" in config:
+        # Telemetry is opt-in per job: the submitting process injects a
+        # span context only when tracing is enabled, so the disabled path
+        # costs one dict lookup and allocates nothing.
+        from repro.telemetry.jobtrace import ExperimentRecorder
+
+        recorder = ExperimentRecorder(config["span_context"])
     seed = config.get("seed")
     start = time.perf_counter()
     attempts = 0
@@ -203,6 +211,9 @@ def run_assembled_experiment(backend, experiment: dict, config: dict):
     while True:
         attempt = attempts
         attempts += 1
+        attempt_span = (
+            recorder.start_attempt(attempt) if recorder is not None else None
+        )
         try:
             if injector is not None:
                 injector.before_attempt(name, attempt, fault_log)
@@ -217,12 +228,18 @@ def run_assembled_experiment(backend, experiment: dict, config: dict):
             if injector is not None:
                 injector.after_attempt(name, attempt, outcome, fault_log)
             validate_outcome(outcome)
+            if recorder is not None:
+                recorder.end_attempt(attempt_span)
             break
         except Exception as exc:  # noqa: BLE001 — isolation is the point
+            if recorder is not None:
+                recorder.end_attempt(attempt_span, error=exc)
             if policy.retryable(exc) and attempts < policy.max_attempts:
                 wait = policy.backoff(attempt, seed=seed)
                 if wait > 0:
                     backoff_total += wait
+                    if recorder is not None:
+                        recorder.record_backoff(wait)
                     time.sleep(wait)
                 continue
             outcome = ExperimentResult(
@@ -238,6 +255,8 @@ def run_assembled_experiment(backend, experiment: dict, config: dict):
     outcome.attempts = attempts
     outcome.backoff_total = backoff_total
     outcome.faults = fault_log
+    if recorder is not None:
+        outcome.spans = recorder.finish(outcome)
     return outcome
 
 
@@ -264,15 +283,21 @@ def _placeholder(payload, status: str, message: str):
 class SerialDispatch:
     """Deferred in-process execution of a payload list."""
 
-    def __init__(self, backend, payloads):
+    def __init__(self, backend, payloads, job_trace=None):
         self._backend = backend
         self._payloads = payloads
         self._state = JobStatus.INITIALIZING
         self._outcomes = None
         self._finished: list = []
+        self._job_trace = job_trace
         #: Executor fallbacks taken (always empty for serial; present so
         #: the fault-stats ledger reads uniformly across dispatch kinds).
         self.fallbacks: list = []
+
+    @property
+    def kind(self) -> str:
+        """The executor kind that runs this dispatch."""
+        return "serial"
 
     def status(self) -> str:
         """INITIALIZING until collect() first runs, then RUNNING/DONE."""
@@ -347,7 +372,8 @@ class PoolDispatch:
     :attr:`fallbacks`, and the batch completes.
     """
 
-    def __init__(self, backend, payloads, kind: str, max_workers=None):
+    def __init__(self, backend, payloads, kind: str, max_workers=None,
+                 job_trace=None):
         workers = max_workers or min(len(payloads), os.cpu_count() or 1)
         workers = max(1, workers)
         if kind == "processes":
@@ -360,6 +386,9 @@ class PoolDispatch:
         self._payloads = payloads
         self._kind = kind
         self._workers = workers
+        self._job_trace = job_trace
+        if job_trace is not None:
+            job_trace.set_executor(kind)
         if kind == "processes":
             self._pool = ProcessPoolExecutor(max_workers=workers)
             self._futures = [
@@ -381,6 +410,12 @@ class PoolDispatch:
         self._collected: dict = {}
         #: Degradations taken, e.g. ["processes->threads"].
         self.fallbacks: list = []
+
+    @property
+    def kind(self) -> str:
+        """The executor kind that runs this dispatch (post any silent
+        processes→threads flip for spec-less backends)."""
+        return self._kind
 
     def status(self) -> str:
         """RUNNING while any future is outstanding, then DONE."""
@@ -451,6 +486,8 @@ class PoolDispatch:
         while pending:
             next_kind = self._fallback_kind(kind)
             self.fallbacks.append(f"{kind}->{next_kind}")
+            if self._job_trace is not None:
+                self._job_trace.record_fallback(f"{kind}->{next_kind}")
             kind = next_kind
             if kind == "threads":
                 pool = ThreadPoolExecutor(max_workers=self._workers)
@@ -603,10 +640,12 @@ class PoolDispatch:
         return self._outcomes
 
 
-def create_dispatch(backend, payloads, kind: str, max_workers=None):
+def create_dispatch(backend, payloads, kind: str, max_workers=None,
+                    job_trace=None):
     """Build the dispatch object for a resolved executor kind."""
     if kind == "serial":
-        return SerialDispatch(backend, payloads)
+        return SerialDispatch(backend, payloads, job_trace=job_trace)
     if kind in ("threads", "processes"):
-        return PoolDispatch(backend, payloads, kind, max_workers)
+        return PoolDispatch(backend, payloads, kind, max_workers,
+                            job_trace=job_trace)
     raise BackendError(f"unknown executor '{kind}'")

@@ -44,7 +44,7 @@ class ExperimentResult:
 
     def __init__(self, circuit_name, shots, data, status="DONE", error=None,
                  time_taken=None, seed=None, attempts=1, backoff_total=0.0,
-                 faults=()):
+                 faults=(), spans=()):
         self.circuit_name = circuit_name
         self.shots = shots
         #: Raw payload: may contain 'counts', 'memory', 'statevector',
@@ -66,6 +66,10 @@ class ExperimentResult:
         self.backoff_total = backoff_total
         #: Injected-fault log, e.g. ["transient@0", "corrupt@1"].
         self.faults = list(faults)
+        #: Telemetry span dictionaries recorded where the experiment ran
+        #: (empty unless tracing was enabled at submission); merged into
+        #: the job's trace at collect time.
+        self.spans = list(spans)
 
     @property
     def success(self) -> bool:

@@ -50,6 +50,7 @@ from repro.simulators.qasm_simulator import (
     _zeros_for_width,
     bin_counts,
 )
+from repro.telemetry.tracer import get_tracer
 
 #: Amplitude cap per batch chunk: ``chunk * 2**n <= 1 << 22`` keeps each of
 #: the two working buffers at or under 64 MiB of complex128.
@@ -667,11 +668,14 @@ def evolve_broadcast(circuit, parameter_values, parameters=None):
     for start, stop in broadcast_chunk_bounds(
         program.batch, program.num_qubits
     ):
-        states, scratch = program.fresh_buffers(stop - start)
-        states, _ = program.apply(
-            states, scratch, positions, slice(start, stop)
-        )
-        out[start:stop] = states
+        with get_tracer().span("chunk:evolve", attributes={
+            "rows": stop - start, "binding_start": start,
+        }):
+            states, scratch = program.fresh_buffers(stop - start)
+            states, _ = program.apply(
+                states, scratch, positions, slice(start, stop)
+            )
+            out[start:stop] = states
     return out
 
 
@@ -713,19 +717,22 @@ def sample_broadcast(circuit, parameter_values, parameters, shots, seeds, *,
     for start, stop in broadcast_chunk_bounds(
         program.batch, program.num_qubits
     ):
-        states, scratch = program.fresh_buffers(stop - start)
-        states, _ = program.apply(
-            states, scratch, positions, slice(start, stop)
-        )
-        for row in range(stop - start):
-            rng = np.random.default_rng(seeds[start + row])
-            outcomes = _sample_outcomes(states[row], shots, rng)
-            values = _zeros_for_width(shots, width)
-            for qubit, clbit in program.measures.items():
-                bits = (outcomes >> qubit) & 1
-                values |= bits.astype(values.dtype) << clbit
-            counts, _memory = bin_counts(values, width)
-            results.append({"counts": counts, "shots": shots})
+        with get_tracer().span("chunk:sample", attributes={
+            "rows": stop - start, "binding_start": start, "shots": shots,
+        }):
+            states, scratch = program.fresh_buffers(stop - start)
+            states, _ = program.apply(
+                states, scratch, positions, slice(start, stop)
+            )
+            for row in range(stop - start):
+                rng = np.random.default_rng(seeds[start + row])
+                outcomes = _sample_outcomes(states[row], shots, rng)
+                values = _zeros_for_width(shots, width)
+                for qubit, clbit in program.measures.items():
+                    bits = (outcomes >> qubit) & 1
+                    values |= bits.astype(values.dtype) << clbit
+                counts, _memory = bin_counts(values, width)
+                results.append({"counts": counts, "shots": shots})
     return results
 
 
@@ -834,50 +841,53 @@ def estimate_broadcast_shots(circuit, parameter_values, parameters,
     energies = [base] * program.batch
     prefix_positions = range(split)
     for start, stop in broadcast_chunk_bounds(program.batch, num_qubits):
-        rows = slice(start, stop)
-        prefix, scratch = program.fresh_buffers(stop - start)
-        prefix, scratch = program.apply(
-            prefix, scratch, prefix_positions, rows
-        )
-        work = np.empty_like(prefix)
-        term_seeds = [
-            derive_experiment_seeds(seeds[start + row], term_count)
-            for row in range(stop - start)
-        ]
-        for term_index, (coeff_real, pauli, suffix, rot_steps) in enumerate(
-            measured_terms
-        ):
-            np.copyto(work, prefix)
-            states, aux = program.apply(work, scratch, suffix, rows)
-            for name, qubit in rot_steps:
-                step = shared_rot_step(name, qubit)
-                if step[0] == "sdense":
-                    states, aux = _apply_shared_dense(
-                        states, aux, step[1], step[2]
+        with get_tracer().span("chunk:estimate", attributes={
+            "rows": stop - start, "binding_start": start, "shots": shots,
+        }):
+            rows = slice(start, stop)
+            prefix, scratch = program.fresh_buffers(stop - start)
+            prefix, scratch = program.apply(
+                prefix, scratch, prefix_positions, rows
+            )
+            work = np.empty_like(prefix)
+            term_seeds = [
+                derive_experiment_seeds(seeds[start + row], term_count)
+                for row in range(stop - start)
+            ]
+            for term_index, (coeff_real, pauli, suffix, rot_steps) in enumerate(
+                measured_terms
+            ):
+                np.copyto(work, prefix)
+                states, aux = program.apply(work, scratch, suffix, rows)
+                for name, qubit in rot_steps:
+                    step = shared_rot_step(name, qubit)
+                    if step[0] == "sdense":
+                        states, aux = _apply_shared_dense(
+                            states, aux, step[1], step[2]
+                        )
+                    else:
+                        _apply_shared_sliced(
+                            states, step[1], step[2], num_qubits
+                        )
+                # <P> from counts is (#even-parity - #odd-parity) / shots — an
+                # exact integer accumulator divided once — so computing the
+                # parity tally straight off the outcome integers reproduces
+                # expectation_from_counts(bin_counts(...)) bitwise while
+                # skipping the bitstring rendering entirely.
+                mask = 0
+                for qubit in pauli.support:
+                    mask |= 1 << qubit
+                for row in range(stop - start):
+                    rng = np.random.default_rng(term_seeds[row][term_index])
+                    outcomes = _sample_outcomes(states[row], shots, rng)
+                    odd = int(
+                        (np.bitwise_count(outcomes & mask) & 1).sum()
                     )
-                else:
-                    _apply_shared_sliced(
-                        states, step[1], step[2], num_qubits
+                    energies[start + row] += coeff_real * (
+                        (shots - 2 * odd) / shots
                     )
-            # <P> from counts is (#even-parity - #odd-parity) / shots — an
-            # exact integer accumulator divided once — so computing the
-            # parity tally straight off the outcome integers reproduces
-            # expectation_from_counts(bin_counts(...)) bitwise while
-            # skipping the bitstring rendering entirely.
-            mask = 0
-            for qubit in pauli.support:
-                mask |= 1 << qubit
-            for row in range(stop - start):
-                rng = np.random.default_rng(term_seeds[row][term_index])
-                outcomes = _sample_outcomes(states[row], shots, rng)
-                odd = int(
-                    (np.bitwise_count(outcomes & mask) & 1).sum()
-                )
-                energies[start + row] += coeff_real * (
-                    (shots - 2 * odd) / shots
-                )
-            # Dense ping-pong permutes {work, scratch}; prefix is never
-            # handed out as an output buffer, so rebinding keeps the trio
-            # distinct for the next term's copy.
-            work, scratch = states, aux
+                # Dense ping-pong permutes {work, scratch}; prefix is never
+                # handed out as an output buffer, so rebinding keeps the trio
+                # distinct for the next term's copy.
+                work, scratch = states, aux
     return energies

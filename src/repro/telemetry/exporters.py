@@ -1,0 +1,93 @@
+"""Exporters: JSON-lines span streams and Prometheus text dumps.
+
+Two render targets for the telemetry layer's data:
+
+* :class:`JsonlExporter` / :func:`export_jsonl` — one JSON object per
+  finished span, suitable for streaming to a file as spans close (hook
+  it into :func:`~repro.telemetry.tracer.enable_tracing` via
+  ``exporter=``) or for dumping a finished trace after the fact.
+* :func:`prometheus_text` — the process-wide metrics registry in
+  Prometheus text exposition format.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+
+class JsonlExporter:
+    """Streams span dictionaries to a JSON-lines file as spans finish.
+
+    Instances are callable with a span dictionary, matching the
+    ``exporter`` hook of :class:`~repro.telemetry.tracer.RecordingTracer`.
+    """
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "w", encoding="utf-8")
+
+    def __call__(self, span_dict: dict) -> None:
+        """Append one span dictionary as a JSON line."""
+        line = json.dumps(span_dict, sort_keys=True, default=str)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+
+def span_sort_key(span) -> tuple:
+    """Deterministic ordering for exported spans (tree-ish, stable)."""
+    return (span.start_wall, span.seq, span.name, span.span_id)
+
+
+def export_jsonl(spans, path=None) -> str:
+    """Serialize ``spans`` (an iterable, or a Trace) as JSON lines.
+
+    Returns the JSON-lines text; also writes it to ``path`` when given.
+    Spans are sorted deterministically so repeated exports of the same
+    seeded trace differ only in timing fields.
+    """
+    span_list = sorted(spans, key=span_sort_key)
+    text = "\n".join(
+        json.dumps(span.to_dict(), sort_keys=True, default=str)
+        for span in span_list
+    )
+    if text:
+        text += "\n"
+    if path is not None:
+        with open(str(path), "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return text
+
+
+def load_jsonl(path) -> list:
+    """Parse a JSON-lines span file back into span dictionaries."""
+    with open(str(path), encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+def prometheus_text(registry=None) -> str:
+    """The metrics registry in Prometheus text exposition format.
+
+    Defaults to the process-wide registry from
+    :func:`~repro.telemetry.metrics.get_metrics_registry`.
+    """
+    from repro.telemetry.metrics import get_metrics_registry
+
+    if registry is None:
+        registry = get_metrics_registry()
+    return registry.to_prometheus()

@@ -1,0 +1,341 @@
+"""Job-level telemetry: the pipeline's tracing and metrics glue.
+
+Two classes bridge the generic tracer to the execution pipeline:
+
+* :class:`JobTrace` lives in the submitting process, one per
+  :class:`~repro.providers.backend.Job`.  It owns the deterministic root
+  ``job`` span (trace id derived from the job id), opens the
+  ``assemble`` / ``transpile`` / ``dispatch`` / ``collect`` stage spans,
+  hands each experiment a serializable span context for the config
+  payload, merges worker-recorded spans back at collect, and — tracing
+  enabled or not — publishes the job's fault/retry/cache tallies into
+  the process-wide metrics registry exactly once at :meth:`finalize`.
+
+* :class:`ExperimentRecorder` lives wherever the experiment actually
+  runs — a process-pool worker, a thread, or the collecting thread
+  itself.  Built from the ``span_context`` dictionary in the experiment
+  config, it records an ``experiment`` span (sequence number = the
+  experiment's batch index, so ids are executor-independent) with one
+  ``run``/``retry`` child per attempt, and ships everything back as
+  plain dictionaries on ``outcome.spans``.
+
+When tracing is disabled no span context is injected, recorders are
+never constructed, and every :class:`JobTrace` method degrades to the
+no-op tracer — the disabled pipeline allocates zero spans.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.exceptions import BackendError
+from repro.telemetry.metrics import get_metrics_registry
+from repro.telemetry.span import Span, SpanContext, derive_trace_id
+from repro.telemetry.trace import Trace
+from repro.telemetry.tracer import (
+    RecordingTracer,
+    TraceStore,
+    get_global_tracer,
+    pop_ambient_span,
+    pop_tracer_override,
+    push_ambient_span,
+    push_tracer_override,
+)
+
+#: Counter families that absorb the legacy ``job.fault_stats`` ledger.
+#: Every family is labelled by job id, so per-job views and fleet-wide
+#: totals come from the same series.
+FAULT_COUNTERS = (
+    ("repro_job_experiments_total", "Experiments collected per job"),
+    ("repro_job_attempts_total", "Experiment attempts (retries included)"),
+    ("repro_job_retries_total", "Experiment re-runs after transient faults"),
+    ("repro_job_faults_injected_total", "Faults injected by chaos testing"),
+    ("repro_job_fallbacks_total", "Executor degradations taken"),
+    ("repro_job_failures_total", "Experiments that exhausted retries"),
+    ("repro_job_backoff_seconds_total", "Seconds slept in retry backoff"),
+)
+
+
+class JobTrace:
+    """Per-job telemetry hub: root span, stage spans, metrics publication.
+
+    Constructed at submission (``execute`` builds one before transpiling
+    so compile spans join the trace; ``BaseBackend.run`` builds one
+    otherwise).  The tracer is captured at construction, so a job keeps
+    recording into the store that was active when it was submitted even
+    if tracing is toggled afterwards.
+    """
+
+    def __init__(self, job_id: str, backend_name: str = "", tracer=None):
+        self.tracer = get_global_tracer() if tracer is None else tracer
+        self.enabled = self.tracer.enabled
+        self.job_id = job_id
+        self.trace_id = derive_trace_id(job_id)
+        self.backend_name = backend_name
+        self.finalized = False
+        self.root = None
+        self._dispatch_span = None
+        self._fallbacks: list = []
+        self._failed: list = []
+        self._per_experiment: dict = {}
+        if self.enabled:
+            self.root = Span(
+                "job", self.trace_id, "", 0,
+                {"job_id": job_id, "backend": backend_name},
+            )
+
+    def stage(self, name: str, attributes=None):
+        """Context manager for a pipeline stage span under the job root.
+
+        Stage spans (``assemble``, ``transpile``, ``collect``) become the
+        ambient span on this thread while open, so nested layers — the
+        pass manager, the broadcast engine — attach without plumbing.
+        """
+        return self.tracer.span(name, parent=self.root,
+                                attributes=attributes)
+
+    def dispatch_started(self, kind: str, experiments: int):
+        """Open the ``dispatch`` span (ends at :meth:`finalize`)."""
+        self._dispatch_span = self.tracer.start_span(
+            "dispatch", parent=self.root, seq=0,
+            attributes={"executor": kind, "experiments": experiments},
+        )
+        return self._dispatch_span
+
+    def set_executor(self, kind: str) -> None:
+        """Record the executor kind that actually ran (degradations and
+        the silent processes→threads flip for spec-less backends)."""
+        if self._dispatch_span is not None:
+            self._dispatch_span.set_attribute("executor", kind)
+
+    def experiment_context(self, index: int, name: str):
+        """The serializable span context for experiment ``index``.
+
+        Injected into the experiment config as ``span_context`` so the
+        worker-side :class:`ExperimentRecorder` parents its spans to this
+        job's ``dispatch`` span.  None when tracing is disabled — the
+        config then carries no telemetry at all.
+        """
+        if not self.enabled or self._dispatch_span is None:
+            return None
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self._dispatch_span.span_id,
+            "experiment_index": int(index),
+            "experiment_name": name,
+        }
+
+    def record_fallback(self, transition: str) -> None:
+        """Record one executor degradation as an ERROR child span."""
+        self._fallbacks.append(transition)
+        if not self.enabled:
+            return
+        span = self.tracer.start_span(
+            "fallback", parent=self._dispatch_span or self.root,
+            attributes={"transition": transition},
+        )
+        span.set_error(f"executor degraded: {transition}")
+        self.tracer.end_span(span)
+
+    def merge_outcomes(self, outcomes) -> None:
+        """Absorb worker-recorded spans shipped on ``outcome.spans``.
+
+        Idempotent: spans are keyed by their deterministic ids, so
+        repeated partial collects never duplicate.
+        """
+        if not self.enabled:
+            return
+        store = self.tracer.store
+        for outcome in outcomes:
+            for payload in getattr(outcome, "spans", ()) or ():
+                store.add_dict(payload)
+
+    def finalize(self, outcomes, fallbacks=()) -> None:
+        """Close the trace and publish the job's metrics (exactly once).
+
+        Runs regardless of tracing state: the metrics registry is always
+        on.  Publishes the fault/retry counters (the registry-backed
+        ``job.fault_stats`` view reads them back), per-experiment DD
+        unique-table gauges when present, and ends the ``dispatch`` and
+        root ``job`` spans.
+        """
+        if self.finalized:
+            return
+        self.finalized = True
+        from repro.providers.retry import aggregate_fault_stats
+
+        stats = aggregate_fault_stats(outcomes, fallbacks)
+        self._fallbacks = list(stats["fallbacks"])
+        self._failed = list(stats["failed_experiments"])
+        self._per_experiment = {
+            name: dict(entry)
+            for name, entry in stats["per_experiment"].items()
+        }
+        registry = get_metrics_registry()
+        labels = {"job": self.job_id}
+        values = {
+            "repro_job_experiments_total": stats["experiments"],
+            "repro_job_attempts_total": stats["attempts"],
+            "repro_job_retries_total": stats["retries"],
+            "repro_job_faults_injected_total": stats["faults_injected"],
+            "repro_job_fallbacks_total": len(stats["fallbacks"]),
+            "repro_job_failures_total": len(stats["failed_experiments"]),
+            "repro_job_backoff_seconds_total": stats["backoff_total_s"],
+        }
+        for name, help_text in FAULT_COUNTERS:
+            registry.counter(name, help_text, labelnames=("job",)).inc(
+                values[name], labels=labels
+            )
+        dd_gauge = registry.gauge(
+            "repro_dd_table_stats",
+            "DD unique-table statistics per experiment",
+            labelnames=("job", "experiment", "stat"),
+        )
+        for outcome in outcomes:
+            data = outcome.data if isinstance(outcome.data, dict) else {}
+            table = data.get("dd_table_stats")
+            if not isinstance(table, dict):
+                continue
+            for stat, value in table.items():
+                if isinstance(value, (int, float)):
+                    dd_gauge.set(value, labels={
+                        "job": self.job_id,
+                        "experiment": outcome.circuit_name,
+                        "stat": stat,
+                    })
+        if self.enabled:
+            if self._dispatch_span is not None:
+                self._dispatch_span.set_attribute(
+                    "fallbacks", list(self._fallbacks)
+                )
+                self.tracer.end_span(self._dispatch_span)
+            self.root.set_attributes({
+                "experiments": stats["experiments"],
+                "attempts": stats["attempts"],
+                "retries": stats["retries"],
+            })
+            if self._failed:
+                self.root.set_error(
+                    f"{len(self._failed)} experiment(s) failed: "
+                    f"{', '.join(self._failed)}"
+                )
+            self.tracer.end_span(self.root)
+
+    def fault_stats_view(self) -> dict:
+        """The legacy ``fault_stats`` dictionary, read from the registry.
+
+        Numeric totals come from the job-labelled counter families
+        published at :meth:`finalize`; the list/detail fields
+        (``fallbacks``, ``failed_experiments``, ``per_experiment``) come
+        from the finalize-time snapshot.
+        """
+        registry = get_metrics_registry()
+        labels = {"job": self.job_id}
+
+        def value(name):
+            family = registry.get(name)
+            return family.value(labels) if family is not None else 0
+
+        return {
+            "experiments": int(value("repro_job_experiments_total")),
+            "attempts": int(value("repro_job_attempts_total")),
+            "retries": int(value("repro_job_retries_total")),
+            "backoff_total_s": round(
+                value("repro_job_backoff_seconds_total"), 6
+            ),
+            "faults_injected": int(
+                value("repro_job_faults_injected_total")
+            ),
+            "fallbacks": list(self._fallbacks),
+            "failed_experiments": list(self._failed),
+            "per_experiment": {
+                name: dict(entry)
+                for name, entry in self._per_experiment.items()
+            },
+        }
+
+    def trace(self) -> Trace:
+        """The job's :class:`~repro.telemetry.trace.Trace` as recorded so
+        far (complete once the job's result has been collected).
+
+        Raises :class:`BackendError` when tracing was disabled at
+        submission — there is nothing to query.
+        """
+        if not self.enabled:
+            raise BackendError(
+                "tracing is disabled; call "
+                "repro.telemetry.enable_tracing() before submitting the "
+                "job to record its trace"
+            )
+        spans = list(self.tracer.store.spans(self.trace_id))
+        have = {span.span_id for span in spans}
+        for span in (self.root, self._dispatch_span):
+            if isinstance(span, Span) and span.span_id not in have:
+                spans.append(span)
+        return Trace(self.trace_id, spans)
+
+    def __repr__(self):
+        state = "enabled" if self.enabled else "disabled"
+        return f"JobTrace({self.job_id}, {state})"
+
+
+class ExperimentRecorder:
+    """Worker-side span recording for one experiment.
+
+    Built inside ``run_assembled_experiment`` from the ``span_context``
+    dictionary the submitting process injected into the experiment
+    config.  Records into its own local tracer/store (installed as this
+    thread's tracer override, so engine-level instrumentation lands
+    here), and :meth:`finish` returns every recorded span as a plain
+    dictionary — picklable cargo for ``outcome.spans``.
+    """
+
+    def __init__(self, payload: dict):
+        self.tracer = RecordingTracer(store=TraceStore())
+        parent = SpanContext(payload["trace_id"], payload["span_id"])
+        index = int(payload.get("experiment_index", 0))
+        self.span = self.tracer.start_span(
+            "experiment", parent=parent, seq=index,
+            attributes={
+                "experiment": payload.get("experiment_name", ""),
+                "index": index,
+                "pid": os.getpid(),
+            },
+        )
+        push_tracer_override(self.tracer)
+        push_ambient_span(self.span)
+
+    def start_attempt(self, attempt: int) -> Span:
+        """Open the span for attempt ``attempt`` (``run`` then ``retry``)."""
+        span = self.tracer.start_span(
+            "run" if attempt == 0 else "retry",
+            parent=self.span, seq=attempt,
+            attributes={"attempt": attempt},
+        )
+        push_ambient_span(span)
+        return span
+
+    def end_attempt(self, span: Span, error=None) -> None:
+        """Close an attempt span, marking it ERROR when the attempt raised."""
+        pop_ambient_span(span)
+        if error is not None:
+            span.set_error(f"{type(error).__name__}: {error}")
+        self.tracer.end_span(span)
+
+    def record_backoff(self, wait: float) -> None:
+        """Note a retry backoff sleep on the experiment span."""
+        self.span.add_event(f"retry backoff {wait:.4f}s")
+
+    def finish(self, outcome) -> list:
+        """Close the experiment span and return all spans as dictionaries."""
+        pop_ambient_span(self.span)
+        pop_tracer_override()
+        self.span.set_attributes({
+            "status": outcome.status,
+            "attempts": getattr(outcome, "attempts", 1),
+            "shots": outcome.shots,
+        })
+        if not outcome.success and outcome.error:
+            self.span.set_error(outcome.error)
+        self.tracer.end_span(self.span)
+        return [span.to_dict() for span in self.tracer.store.all_spans()]

@@ -1,0 +1,121 @@
+"""Trace: a queryable tree view over one trace's finished spans.
+
+A :class:`Trace` wraps the flat span list a :class:`TraceStore` holds
+for one trace id and exposes tree navigation (roots, children, DFS),
+lookup by name, and rendering hooks.  Children are ordered by their
+deterministic sequence number first and wall-clock start second, so the
+printed tree of a seeded job is stable across runs and executors.
+"""
+
+from __future__ import annotations
+
+
+class Trace:
+    """All spans of one trace, navigable as a tree."""
+
+    def __init__(self, trace_id: str, spans):
+        self.trace_id = trace_id
+        self._spans = {span.span_id: span for span in spans}
+        self._children: dict = {}
+        for span in self._spans.values():
+            self._children.setdefault(span.parent_id, []).append(span)
+        for siblings in self._children.values():
+            siblings.sort(key=lambda s: (s.seq, s.start_wall, s.name))
+
+    def __len__(self):
+        return len(self._spans)
+
+    def __iter__(self):
+        return iter(self._spans.values())
+
+    @property
+    def spans(self) -> list:
+        """Every span in the trace (unordered)."""
+        return list(self._spans.values())
+
+    def get(self, span_id: str):
+        """The span with ``span_id``, or None."""
+        return self._spans.get(span_id)
+
+    def roots(self) -> list:
+        """Spans whose parent is absent from the trace (usually one)."""
+        return sorted(
+            (
+                span for span in self._spans.values()
+                if span.parent_id not in self._spans
+            ),
+            key=lambda s: (s.seq, s.start_wall, s.name),
+        )
+
+    @property
+    def root(self):
+        """The first root span, or None for an empty trace."""
+        roots = self.roots()
+        return roots[0] if roots else None
+
+    def children(self, span) -> list:
+        """Direct children of ``span`` (or of a span id), ordered."""
+        span_id = span if isinstance(span, str) else span.span_id
+        return list(self._children.get(span_id, ()))
+
+    def walk(self):
+        """Yield ``(depth, span)`` pairs in depth-first tree order."""
+        stack = [(0, root) for root in reversed(self.roots())]
+        while stack:
+            depth, span = stack.pop()
+            yield depth, span
+            for child in reversed(self.children(span)):
+                stack.append((depth + 1, child))
+
+    def span_tree(self) -> list:
+        """``[(depth, span), ...]`` — :meth:`walk` materialized."""
+        return list(self.walk())
+
+    def find(self, name: str) -> list:
+        """Every span named ``name``, in tree order."""
+        return [span for _, span in self.walk() if span.name == name]
+
+    def find_one(self, name: str):
+        """The first span named ``name``, or None."""
+        for _, span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    @property
+    def duration(self):
+        """The root span's duration in seconds (None if unfinished)."""
+        root = self.root
+        return root.duration if root is not None else None
+
+    def errors(self) -> list:
+        """Every ERROR-status span, in tree order."""
+        return [span for _, span in self.walk() if span.status == "ERROR"]
+
+    def shape(self) -> list:
+        """``[(depth, name, seq), ...]`` — the tree stripped of timings.
+
+        Two runs of the same seeded batch produce equal shapes no matter
+        which executor ran them; tests compare this.
+        """
+        return [(depth, span.name, span.seq) for depth, span in self.walk()]
+
+    def render(self, width: int = 80) -> str:
+        """ASCII timeline of the trace (see ``visualization.timeline``)."""
+        from repro.visualization.timeline import trace_timeline
+
+        return trace_timeline(self, width=width)
+
+    def render_svg(self) -> str:
+        """SVG timeline of the trace (see ``visualization.timeline``)."""
+        from repro.visualization.timeline import trace_timeline_svg
+
+        return trace_timeline_svg(self)
+
+    def __repr__(self):
+        root = self.root
+        head = root.name if root is not None else "<empty>"
+        return (
+            f"Trace({self.trace_id}, root={head!r}, "
+            f"spans={len(self._spans)})"
+        )

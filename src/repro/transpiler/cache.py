@@ -19,6 +19,16 @@ import hashlib
 from collections import OrderedDict
 
 from repro.circuit.parameter import is_parameterized
+from repro.telemetry.metrics import get_metrics_registry
+
+#: Registry gauges mirroring the cache ledger (name -> stats key).
+_GAUGES = (
+    ("repro_transpile_cache_hits", "Transpile cache hits", "hits"),
+    ("repro_transpile_cache_misses", "Transpile cache misses", "misses"),
+    ("repro_transpile_cache_size", "Transpile cache occupancy", "size"),
+    ("repro_transpile_cache_maxsize", "Transpile cache capacity",
+     "maxsize"),
+)
 
 
 def circuit_fingerprint(circuit) -> str:
@@ -89,14 +99,26 @@ class TranspileCache:
         target_key = target.cache_key() if target is not None else None
         return (circuit_fingerprint(circuit), target_key, options)
 
+    def _sync_registry(self) -> None:
+        """Mirror the hit/miss/occupancy ledger into the metrics registry."""
+        registry = get_metrics_registry()
+        values = {
+            "hits": self.hits, "misses": self.misses,
+            "size": len(self._entries), "maxsize": self.maxsize,
+        }
+        for name, help_text, stat in _GAUGES:
+            registry.gauge(name, help_text).set(values[stat])
+
     def lookup(self, key):
         """The cached compiled circuit for ``key``, or None (counts a
         hit/miss either way)."""
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            self._sync_registry()
             return None
         self.hits += 1
+        self._sync_registry()
         self._entries.move_to_end(key)
         compiled, initial_layout, final_permutation = entry
         result = compiled.copy()
@@ -119,14 +141,20 @@ class TranspileCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+        self._sync_registry()
 
     def stats(self) -> dict:
-        """Hit/miss counters and current occupancy."""
+        """Hit/miss counters and current occupancy.
+
+        A thin view over the ``repro_transpile_cache_*`` gauges in the
+        unified metrics registry (synced here, so the dictionary and a
+        Prometheus dump always agree).
+        """
+        self._sync_registry()
+        registry = get_metrics_registry()
         return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "size": len(self._entries),
-            "maxsize": self.maxsize,
+            stat: int(registry.get(name).value())
+            for name, _help, stat in _GAUGES
         }
 
     def clear(self) -> None:
@@ -134,6 +162,7 @@ class TranspileCache:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self._sync_registry()
 
 
 _CACHE = TranspileCache()
@@ -154,3 +183,4 @@ def resize_transpile_cache(maxsize: int) -> None:
     _CACHE.maxsize = maxsize
     while len(_CACHE._entries) > maxsize:
         _CACHE._entries.popitem(last=False)
+    _CACHE._sync_registry()

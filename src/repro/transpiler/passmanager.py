@@ -24,9 +24,12 @@ invalidates all analysis results).
 
 from __future__ import annotations
 
+import time
+
 from repro.circuit.dag import DAGCircuit, circuit_to_dag, dag_to_circuit
 from repro.circuit.quantumcircuit import QuantumCircuit
 from repro.exceptions import TranspilerError
+from repro.telemetry.tracer import get_tracer
 
 
 class PropertySet(dict):
@@ -36,7 +39,9 @@ class PropertySet(dict):
     ``ps["layout"]`` and reads of missing keys yield ``None``.  Well-known
     keys: ``layout``, ``final_permutation``, ``physical_register``,
     ``original_qubits``, ``is_swap_mapped``, ``is_direction_mapped``,
-    ``depth``, ``size``, ``fixed_point``.
+    ``depth``, ``size``, ``fixed_point``, and ``pass_times`` — a list of
+    ``(pass_name, seconds)`` entries, one per pass actually executed, in
+    execution order (skipped analyses do not appear).
     """
 
     def __getattr__(self, key):
@@ -193,10 +198,23 @@ class PassManager:
         for prerequisite in pass_.requires:
             if prerequisite.fingerprint() not in self._valid:
                 dag = self._run_pass(prerequisite, dag)
+        if (
+            isinstance(pass_, AnalysisPass)
+            and pass_.cacheable
+            and pass_.fingerprint() in self._valid
+        ):
+            # Valid prior result: skipped passes record no timing entry.
+            return dag
+        start = time.perf_counter()
+        with get_tracer().span(f"pass:{pass_.name}"):
+            dag = self._apply_pass(pass_, dag)
+        self.property_set.setdefault("pass_times", []).append(
+            (pass_.name, time.perf_counter() - start)
+        )
+        return dag
 
+    def _apply_pass(self, pass_: BasePass, dag: DAGCircuit) -> DAGCircuit:
         if isinstance(pass_, AnalysisPass):
-            if pass_.cacheable and pass_.fingerprint() in self._valid:
-                return dag
             pass_.run(dag, self.property_set)
             if pass_.cacheable:
                 self._valid.add(pass_.fingerprint())

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from repro.circuit.quantumcircuit import QuantumCircuit
 from repro.exceptions import TranspilerError
+from repro.telemetry.tracer import current_span
 from repro.transpiler.cache import get_transpile_cache
 from repro.transpiler.coupling import CouplingMap
 from repro.transpiler.layout import Layout
@@ -154,12 +155,39 @@ def _coupling_key(coupling_map):
     return tuple(sorted(tuple(edge) for edge in coupling_map.edges))
 
 
+def _print_pass_report(circuit_name: str, pass_times, limit: int = 10
+                       ) -> None:
+    """Print the slowest-pass table for one transpile call.
+
+    Aggregates per-pass wall time across every pass execution (portfolio
+    attempts included) and lists the ``limit`` slowest, with run counts
+    and the share of total compile time.
+    """
+    totals: dict = {}
+    runs: dict = {}
+    for name, seconds in pass_times:
+        totals[name] = totals.get(name, 0.0) + seconds
+        runs[name] = runs.get(name, 0) + 1
+    grand_total = sum(totals.values()) or 1.0
+    print(
+        f"transpile '{circuit_name}': {len(pass_times)} pass runs, "
+        f"{grand_total * 1e3:.2f}ms total"
+    )
+    print(f"  {'pass':<28} {'runs':>4} {'total':>10} {'share':>6}")
+    ranked = sorted(totals.items(), key=lambda item: -item[1])
+    for name, seconds in ranked[:limit]:
+        print(
+            f"  {name:<28} {runs[name]:>4} {seconds * 1e3:>8.2f}ms "
+            f"{100.0 * seconds / grand_total:>5.1f}%"
+        )
+
+
 def transpile(circuit: QuantumCircuit, coupling_map=None,
               basis_gates=IBMQX_BASIS, initial_layout=None,
               optimization_level=1, routing_method=None,
               seed=None, backend=None, target=None,
               fuse_diagonals=None,
-              transpile_cache=True) -> QuantumCircuit:
+              transpile_cache=True, verbose=False) -> QuantumCircuit:
     """Compile ``circuit`` for a device (the paper's Sec. IV ``compile``).
 
     The compilation target comes from (highest priority first) ``target``,
@@ -170,7 +198,10 @@ def transpile(circuit: QuantumCircuit, coupling_map=None,
     fused diagonal instructions; ``None`` (default) enables it exactly when
     the target natively supports ``diagonal`` (simulators do, devices do
     not).  ``transpile_cache=False`` bypasses the content-hash result cache
-    for this call.
+    for this call.  ``verbose=True`` prints a slowest-pass timing table
+    (per-pass wall times also land in the property set's ``pass_times``
+    and, when tracing is enabled, as ``pass:*`` spans feeding the
+    ``repro_stage_seconds`` histogram).
 
     Returns the mapped circuit.  Layout and routing metadata are attached as
     ``result.initial_layout`` (a :class:`Layout` or None) and
@@ -205,7 +236,17 @@ def transpile(circuit: QuantumCircuit, coupling_map=None,
         cache_key = cache.make_key(circuit, target, options_key)
         cached = cache.lookup(cache_key)
         if cached is not None:
+            span = current_span()
+            if span is not None:
+                span.set_attribute("cache_hit", True)
+            if verbose:
+                print(
+                    f"transpile '{circuit.name}': cache hit, no passes run"
+                )
+            cached.pass_times = []
             return cached
+
+    pass_times: list = []
 
     def run_once(layout_method, routing):
         manager = build_pass_manager(
@@ -220,6 +261,7 @@ def transpile(circuit: QuantumCircuit, coupling_map=None,
             fuse_diagonals=fuse_diagonals,
         )
         result = manager.run(circuit)
+        pass_times.extend(manager.property_set.get("pass_times") or ())
         if coupling_map is not None and not manager.property_set.get(
             "is_direction_mapped", True
         ):
@@ -260,6 +302,14 @@ def transpile(circuit: QuantumCircuit, coupling_map=None,
         compiled = min(attempts, key=cost)
     else:
         compiled = run_once(None, routing_method)
+    span = current_span()
+    if span is not None:
+        span.set_attributes(
+            {"cache_hit": False, "pass_runs": len(pass_times)}
+        )
+    compiled.pass_times = list(pass_times)
+    if verbose:
+        _print_pass_report(circuit.name, pass_times)
     if cache_key is not None:
         cache.store(cache_key, compiled)
     return compiled

@@ -1,6 +1,12 @@
-"""Text-mode visualization: circuit diagrams, histograms, coupling maps."""
+"""Text-mode visualization: circuit diagrams, histograms, trace timelines."""
 
 from repro.visualization.histogram import plot_histogram
 from repro.visualization.text import circuit_to_text
+from repro.visualization.timeline import trace_timeline, trace_timeline_svg
 
-__all__ = ["circuit_to_text", "plot_histogram"]
+__all__ = [
+    "circuit_to_text",
+    "plot_histogram",
+    "trace_timeline",
+    "trace_timeline_svg",
+]

@@ -1,0 +1,107 @@
+"""Trace-timeline rendering: terminal Gantt charts and SVG.
+
+Renders a :class:`~repro.telemetry.trace.Trace` as a per-span timeline —
+one row per span in tree order, indented by depth, with a bar positioned
+on a shared wall-clock axis.  ERROR-status spans are marked (``!`` bars
+in text, red bars in SVG) so retries and fallbacks stand out.
+"""
+
+from __future__ import annotations
+
+_SVG_ROW_HEIGHT = 22
+_SVG_LABEL_WIDTH = 260
+_SVG_BAR_AREA = 640
+
+
+def _span_rows(trace):
+    """``(depth, span, offset_s, duration_s)`` rows in tree order.
+
+    Offsets are wall-clock, measured from the earliest span start, so
+    worker-recorded spans line up with the parent process's stages.
+    """
+    rows = []
+    spans = [span for _, span in trace.walk()]
+    if not spans:
+        return [], 0.0
+    origin = min(span.start_wall for span in spans)
+    total = 0.0
+    for depth, span in trace.walk():
+        offset = span.start_wall - origin
+        duration = span.duration or 0.0
+        rows.append((depth, span, offset, duration))
+        total = max(total, offset + duration)
+    return rows, total
+
+
+def _format_duration(seconds: float) -> str:
+    """Human-scaled duration label."""
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def trace_timeline(trace, width: int = 80) -> str:
+    """ASCII timeline of a trace: one bar row per span, tree-indented.
+
+    ``width`` bounds the total line width; the bar area scales to what
+    the labels leave over.  ERROR spans render with ``!`` bars.
+    """
+    rows, total = _span_rows(trace)
+    if not rows:
+        return "(empty trace)\n"
+    labels = []
+    for depth, span, offset, duration in rows:
+        marker = "x " if span.status == "ERROR" else ""
+        labels.append(
+            f"{'  ' * depth}{marker}{span.name} "
+            f"[{_format_duration(duration)}]"
+        )
+    label_width = min(max(len(label) for label in labels) + 1, width - 20)
+    bar_width = max(10, width - label_width - 2)
+    scale = bar_width / total if total > 0 else 0.0
+    lines = [
+        f"trace {trace.trace_id}  "
+        f"({len(rows)} spans, {_format_duration(total)})"
+    ]
+    for label, (depth, span, offset, duration) in zip(labels, rows):
+        start = int(offset * scale)
+        length = max(1, int(duration * scale)) if duration > 0 else 1
+        start = min(start, bar_width - 1)
+        length = min(length, bar_width - start)
+        fill = "!" if span.status == "ERROR" else "#"
+        bar = " " * start + fill * length
+        lines.append(f"{label:<{label_width}}|{bar:<{bar_width}}|")
+    return "\n".join(lines) + "\n"
+
+
+def trace_timeline_svg(trace) -> str:
+    """SVG timeline of a trace (one bar per span on a shared time axis)."""
+    rows, total = _span_rows(trace)
+    height = _SVG_ROW_HEIGHT * (len(rows) + 1)
+    width = _SVG_LABEL_WIDTH + _SVG_BAR_AREA + 20
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="12">',
+        f'<text x="4" y="14">trace {trace.trace_id} '
+        f'({len(rows)} spans, {_format_duration(total)})</text>',
+    ]
+    scale = _SVG_BAR_AREA / total if total > 0 else 0.0
+    for index, (depth, span, offset, duration) in enumerate(rows):
+        y = _SVG_ROW_HEIGHT * (index + 1)
+        color = "#c0392b" if span.status == "ERROR" else "#2d7dd2"
+        x = _SVG_LABEL_WIDTH + offset * scale
+        bar = max(1.0, duration * scale)
+        label = f"{span.name} [{_format_duration(duration or 0.0)}]"
+        parts.append(
+            f'<text x="{4 + 10 * depth}" y="{y + 14}">{label}</text>'
+        )
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y + 4}" width="{bar:.1f}" '
+            f'height="{_SVG_ROW_HEIGHT - 8}" fill="{color}">'
+            f'<title>{span.name}: {_format_duration(duration or 0.0)} '
+            f'({span.status})</title></rect>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)

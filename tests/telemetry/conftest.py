@@ -1,0 +1,26 @@
+"""Shared fixtures: every telemetry test leaves the process clean.
+
+Tracing state and the metrics registry are process-global; a test that
+enabled tracing or published metrics must not leak into its neighbours
+(or into the non-telemetry test modules running in the same session).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import disable_tracing, get_metrics_registry
+from repro.telemetry.tracer import _tls, pop_tracer_override
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    """Disable tracing and zero the metrics registry around each test."""
+    disable_tracing()
+    get_metrics_registry().reset()
+    yield
+    disable_tracing()
+    pop_tracer_override()
+    if getattr(_tls, "stack", None):
+        _tls.stack = []
+    get_metrics_registry().reset()

@@ -1,0 +1,135 @@
+"""Unit tests for the unified metrics registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    MetricError,
+    MetricsRegistry,
+    get_metrics_registry,
+    prometheus_text,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", "Hits")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value() == 3
+
+    def test_labelled_series_are_independent(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c", labelnames=("job",))
+        counter.inc(labels={"job": "a"})
+        counter.inc(5, labels={"job": "b"})
+        assert counter.value(labels={"job": "a"}) == 1
+        assert counter.value(labels={"job": "b"}) == 5
+        assert counter.total() == 6
+        assert counter.total(match={"job": "b"}) == 5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(MetricError):
+            counter.inc(-1)
+
+    def test_label_mismatch_rejected(self):
+        counter = MetricsRegistry().counter("c", labelnames=("job",))
+        with pytest.raises(MetricError):
+            counter.inc()
+        with pytest.raises(MetricError):
+            counter.inc(labels={"job": "a", "extra": "x"})
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.inc(-3)
+        assert gauge.value() == 7
+
+
+class TestHistogram:
+    def test_observe_snapshot(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "h", buckets=(0.1, 1.0), labelnames=("stage",)
+        )
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value, labels={"stage": "run"})
+        snap = histogram.snapshot(labels={"stage": "run"})
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(5.55)
+        assert snap["min"] == 0.05
+        assert snap["max"] == 5.0
+        # Internal buckets are per-bin (non-cumulative).
+        assert snap["buckets"] == {"0.1": 1, "1.0": 1, "+Inf": 1}
+
+    def test_prometheus_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        text = registry.to_prometheus()
+        assert 'h_bucket{le="0.1"} 1' in text
+        assert 'h_bucket{le="1.0"} 2' in text
+        assert 'h_bucket{le="+Inf"} 3' in text
+        assert "h_count 3" in text
+
+
+class TestRegistry:
+    def test_families_are_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c", "help")
+        second = registry.counter("c")
+        assert first is second
+
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(MetricError):
+            registry.gauge("m")
+
+    def test_label_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m", labelnames=("a",))
+        with pytest.raises(MetricError):
+            registry.counter("m", labelnames=("b",))
+
+    def test_snapshot_is_json_compatible(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labelnames=("job",)).inc(labels={"job": "x"})
+        registry.histogram("h").observe(0.2)
+        tree = json.loads(json.dumps(registry.snapshot()))
+        assert tree["c"]["type"] == "counter"
+        assert tree["c"]["series"][0] == {
+            "labels": {"job": "x"}, "value": 1,
+        }
+        assert tree["h"]["series"][0]["count"] == 1
+
+    def test_reset_keeps_families(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(4)
+        registry.reset()
+        assert registry.get("c") is counter
+        assert counter.value() == 0
+
+    def test_prometheus_text_defaults_to_global(self):
+        get_metrics_registry().counter(
+            "tele_test_total", "A test counter"
+        ).inc(2)
+        text = prometheus_text()
+        assert "# TYPE tele_test_total counter" in text
+        assert "tele_test_total 2" in text
+
+    def test_prometheus_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labelnames=("name",)).inc(
+            labels={"name": 'quo"te'}
+        )
+        assert r'c{name="quo\"te"} 1' in registry.to_prometheus()

@@ -1,0 +1,200 @@
+"""Unit tests for spans, deterministic identity, and the tracers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import BackendError
+from repro.telemetry import (
+    MetricsRegistry,
+    RecordingTracer,
+    Span,
+    SpanContext,
+    Trace,
+    TraceStore,
+    current_span,
+    derive_span_id,
+    derive_trace_id,
+    disable_tracing,
+    enable_tracing,
+    export_jsonl,
+    get_tracer,
+    tracing_enabled,
+)
+from repro.telemetry.tracer import NOOP_SPAN, NoOpTracer
+
+
+class TestSpanIdentity:
+    def test_trace_id_is_deterministic(self):
+        assert derive_trace_id("job-1") == derive_trace_id("job-1")
+        assert derive_trace_id("job-1") != derive_trace_id("job-2")
+        assert len(derive_trace_id("job-1")) == 16
+
+    def test_span_id_covers_all_coordinates(self):
+        base = derive_span_id("t", "p", "run", 0)
+        assert derive_span_id("t", "p", "run", 0) == base
+        assert derive_span_id("t", "p", "run", 1) != base
+        assert derive_span_id("t", "p", "retry", 0) != base
+        assert derive_span_id("t", "q", "run", 0) != base
+
+    def test_span_round_trips_through_dict(self):
+        span = Span("run", "t" * 16, "p" * 16, 2, {"shots": 7})
+        span.add_event("backoff 0.1s")
+        span.set_error("boom")
+        span.end()
+        clone = Span.from_dict(span.to_dict())
+        assert clone.span_id == span.span_id
+        assert clone.attributes == span.attributes
+        assert clone.status == "ERROR"
+        assert clone.duration == span.duration
+
+
+class TestRecordingTracer:
+    def test_sibling_sequence_numbers_increment(self):
+        tracer = RecordingTracer()
+        with tracer.span("job", trace_id="t" * 16) as root:
+            first = tracer.start_span("step", parent=root)
+            tracer.end_span(first)
+            second = tracer.start_span("step", parent=root)
+            tracer.end_span(second)
+        assert (first.seq, second.seq) == (0, 1)
+        assert first.span_id != second.span_id
+
+    def test_ambient_nesting(self):
+        tracer = RecordingTracer()
+        assert current_span() is None
+        with tracer.span("outer") as outer:
+            assert current_span() is outer
+            with tracer.span("inner") as inner:
+                assert current_span() is inner
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == outer.trace_id
+            assert current_span() is outer
+        assert current_span() is None
+
+    def test_parent_may_be_a_span_context(self):
+        tracer = RecordingTracer()
+        context = SpanContext("a" * 16, "b" * 16)
+        span = tracer.start_span("child", parent=context, seq=3)
+        assert span.trace_id == "a" * 16
+        assert span.parent_id == "b" * 16
+        assert span.seq == 3
+        assert span.span_id == derive_span_id(
+            "a" * 16, "b" * 16, "child", 3
+        )
+
+    def test_exception_marks_span_error_and_reraises(self):
+        tracer = RecordingTracer()
+        with pytest.raises(ValueError):
+            with tracer.span("bad") as span:
+                raise ValueError("boom")
+        assert span.status == "ERROR"
+        assert "boom" in span.error
+        assert tracer.store.all_spans() == [span]
+
+    def test_store_add_is_idempotent_by_span_id(self):
+        store = TraceStore()
+        span = Span("run", "t" * 16, "", 0)
+        span.end()
+        store.add(span)
+        store.add_dict(span.to_dict())
+        assert len(store.spans("t" * 16)) == 1
+
+    def test_finished_spans_feed_stage_histogram(self):
+        registry = MetricsRegistry()
+        tracer = RecordingTracer(registry=registry)
+        with tracer.span("assemble"):
+            pass
+        snap = registry.get("repro_stage_seconds").snapshot(
+            labels={"stage": "assemble"}
+        )
+        assert snap["count"] == 1
+
+    def test_exporter_callable_sees_each_finished_span(self):
+        seen = []
+        tracer = RecordingTracer(exporter=seen.append)
+        with tracer.span("a"):
+            pass
+        assert [entry["name"] for entry in seen] == ["a"]
+
+
+class TestNoOpTracer:
+    def test_disabled_is_the_default(self):
+        assert not tracing_enabled()
+        assert isinstance(get_tracer(), NoOpTracer)
+
+    def test_noop_span_allocates_nothing(self):
+        tracer = NoOpTracer()
+        before = Span.allocations
+        for _ in range(100):
+            with tracer.span("stage", attributes={"k": 1}) as span:
+                span.set_attribute("x", 2)
+                span.add_event("nothing")
+        assert Span.allocations == before
+        assert span is NOOP_SPAN
+        assert not span  # falsy for "if span:" guards
+
+    def test_enable_disable_swaps_the_global(self):
+        tracer = enable_tracing(registry=MetricsRegistry())
+        try:
+            assert tracing_enabled()
+            assert get_tracer() is tracer
+        finally:
+            disable_tracing()
+        assert not tracing_enabled()
+
+
+class TestTraceTree:
+    def _make_trace(self):
+        tracer = RecordingTracer()
+        with tracer.span("job", trace_id=derive_trace_id("j")) as root:
+            with tracer.span("dispatch"):
+                for index in range(2):
+                    with tracer.span("experiment", seq=index):
+                        pass
+        return Trace(root.trace_id, tracer.store.spans(root.trace_id))
+
+    def test_walk_and_shape(self):
+        trace = self._make_trace()
+        assert trace.shape() == [
+            (0, "job", 0),
+            (1, "dispatch", 0),
+            (2, "experiment", 0),
+            (2, "experiment", 1),
+        ]
+        assert trace.root.name == "job"
+        assert [s.name for s in trace.find("experiment")] == [
+            "experiment", "experiment",
+        ]
+        assert trace.find_one("dispatch").parent_id == trace.root.span_id
+        assert trace.errors() == []
+        assert trace.duration is not None
+
+    def test_render_ascii_and_svg(self):
+        trace = self._make_trace()
+        text = trace.render(width=60)
+        assert "job" in text and "#" in text
+        svg = trace.render_svg()
+        assert svg.startswith("<svg") and "experiment" in svg
+
+    def test_export_jsonl_round_trip(self, tmp_path):
+        trace = self._make_trace()
+        path = tmp_path / "trace.jsonl"
+        text = export_jsonl(trace, path=path)
+        assert len(text.strip().splitlines()) == len(trace)
+        from repro.telemetry import load_jsonl
+
+        loaded = load_jsonl(path)
+        assert {d["span_id"] for d in loaded} == {
+            s.span_id for s in trace
+        }
+
+
+class TestJobTraceGuards:
+    def test_trace_raises_when_tracing_disabled(self):
+        from repro.telemetry import JobTrace
+
+        job_trace = JobTrace("job-x", "fake")
+        assert not job_trace.enabled
+        with pytest.raises(BackendError):
+            job_trace.trace()

@@ -30,6 +30,7 @@ _SUBPACKAGES = [
     "repro.pulse",
     "repro.qobj",
     "repro.visualization",
+    "repro.telemetry",
 ]
 
 
