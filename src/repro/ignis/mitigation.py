@@ -153,13 +153,11 @@ class TensoredMeasurementFitter:
 
     @staticmethod
     def _marginal_one(counts, qubit) -> float:
-        total = sum(counts.values())
-        ones = sum(
-            value
-            for key, value in counts.items()
-            if key[len(key) - 1 - qubit] == "1"
-        )
-        return ones / total
+        from repro.providers.result import Counts
+
+        marginal = Counts(counts).marginal([qubit])
+        total = sum(marginal.values())
+        return marginal.get("1", 0) / total
 
     def qubit_matrix(self, qubit: int) -> np.ndarray:
         """The 2x2 confusion matrix of one qubit."""

@@ -33,6 +33,19 @@ class PrimitiveJob:
             self._result = self._collate(provider_result)
         return self._result
 
+    def stream(self):
+        """Yield the provider job's incremental events (see ``Job.stream``).
+
+        Each memory-cap chunk of the pub batch surfaces as its own
+        experiment event the moment its worker finishes; call
+        :meth:`result` afterwards for the collated pub-level view.
+        Synchronous fallback jobs yield nothing — their work happens at
+        ``result()``.
+        """
+        if self._job is None:
+            return
+        yield from self._job.stream()
+
     def status(self) -> str:
         """Provider job status (synchronous jobs report DONE once run)."""
         if self._job is None:

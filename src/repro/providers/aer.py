@@ -47,6 +47,18 @@ class QasmSimulatorBackend(_AerBackend):
         )
         self._engine = QasmSimulator()
 
+    def _chunk_support(self, circuit, options):
+        if circuit.num_clbits == 0:
+            return "none"
+        noise = options.get("noise_model")
+        if noise is not None and noise.noisy_gates:
+            # Trajectory/batched path: chunks are independent noisy runs,
+            # worth dispatching across workers.
+            return "dispatch"
+        # Sampling path: the statevector evolves once; loop the chunk
+        # layout inline rather than re-evolving per worker.
+        return "inline"
+
     def _run_experiment(self, circuit, options):
         broadcast = options.get("broadcast")
         if broadcast is not None:
@@ -58,6 +70,7 @@ class QasmSimulatorBackend(_AerBackend):
             noise_model=options.get("noise_model"),
             memory=options.get("memory", False),
             elide_diagonals=options.get("elide_diagonals", True),
+            shot_chunks=options.get("shot_chunks"),
         )
         return ExperimentResult(circuit.name, payload["shots"], payload)
 
@@ -158,6 +171,11 @@ class DensityMatrixSimulatorBackend(_AerBackend):
         )
         self._engine = DensityMatrixSimulator()
 
+    def _chunk_support(self, circuit, options):
+        # The density matrix itself is deterministic; only the sampling
+        # loop is chunked, and it reuses the one derived matrix inline.
+        return "inline" if circuit.num_clbits else "none"
+
     def _run_experiment(self, circuit, options):
         noise = options.get("noise_model")
         if circuit.num_clbits:
@@ -166,8 +184,14 @@ class DensityMatrixSimulatorBackend(_AerBackend):
                 shots=options.get("shots", 1024),
                 seed=options.get("seed"),
                 noise_model=noise,
+                shot_chunks=options.get("shot_chunks"),
             )
-            payload["density_matrix"] = self._engine.run(circuit, noise)
+            chunk = options.get("shot_chunk")
+            if chunk is None or chunk["index"] == 0:
+                # Under forced chunk dispatch, only chunk 0 carries the
+                # (identical) exact matrix; the merge takes payload keys
+                # from the first completed chunk.
+                payload["density_matrix"] = self._engine.run(circuit, noise)
             return ExperimentResult(circuit.name, payload["shots"], payload)
         state = self._engine.run(circuit, noise)
         return ExperimentResult(circuit.name, 1, {"density_matrix": state})
@@ -184,6 +208,9 @@ class DDSimulatorBackend(_AerBackend):
             )
         )
         self._engine = DDSimulator()
+
+    def _chunk_support(self, circuit, options):
+        return "dispatch" if circuit.num_clbits else "none"
 
     def _run_experiment(self, circuit, options):
         dd_state = self._engine.run(circuit)
@@ -218,6 +245,9 @@ class StabilizerSimulatorBackend(_AerBackend):
             )
         )
         self._engine = StabilizerSimulator()
+
+    def _chunk_support(self, circuit, options):
+        return "dispatch" if circuit.num_clbits else "none"
 
     def _run_experiment(self, circuit, options):
         payload = self._engine.run(

@@ -63,10 +63,24 @@ class Job:
 
     _id_counter = itertools.count()
 
-    def __init__(self, backend, dispatch, trace=None):
+    def __init__(self, backend, dispatch, trace=None, plan=None,
+                 preloaded=None):
         self._backend = backend
         self._dispatch = dispatch
         self._result = None
+        #: Dispatch plan: one entry per payload unit, in payload order —
+        #: ``{"experiment_index", "name", "chunk": int|None, "chunks"}``.
+        #: None for legacy construction (each payload is one experiment).
+        self._plan = plan
+        #: Checkpoint-restored outcomes keyed by plan position (resume).
+        self._preloaded = dict(preloaded or {})
+        if plan is not None:
+            self._dispatch_positions = [
+                position for position in range(len(plan))
+                if position not in self._preloaded
+            ]
+        else:
+            self._dispatch_positions = None
         if trace is None:
             from repro.telemetry.jobtrace import JobTrace
 
@@ -84,6 +98,146 @@ class Job:
         """
         return f"job-{next(cls._id_counter)}"
 
+    @classmethod
+    def resume(cls, checkpoint_path, executor=None, max_workers=None):
+        """Restart a checkpointed job, re-running only the missing chunks.
+
+        Loads the JSON-lines ledger a previous submission wrote (the job
+        must have been run with ``checkpoint=<path>``), rebuilds the
+        backend from its provider spec, and dispatches exactly the
+        ``(experiment, chunk)`` units that have no DONE record — each
+        with its original config (derived seed, retry policy, fault
+        schedule), so the merged result is bit-identical to an
+        uninterrupted run.  Restored chunks count as
+        ``resumed_chunks`` in ``fault_stats`` and stream first from
+        :meth:`stream`.  The resumed job appends new completions to the
+        same ledger, so resume is itself resumable.
+        """
+        from repro.providers.checkpoint import load_ledger
+        from repro.providers.executor import (
+            choose_executor,
+            create_dispatch,
+            resolve_backend,
+        )
+        from repro.telemetry.jobtrace import JobTrace
+
+        header, chunks = load_ledger(checkpoint_path)
+        payloads = header["payloads"]
+        plan = header["plan"]
+        backend = resolve_backend(tuple(header["backend"]))
+        preloaded: dict = {}
+        missing: list = []
+        for position, entry in enumerate(plan):
+            key = (entry["experiment_index"], entry["chunk"] or 0)
+            outcome = chunks.get(key)
+            if outcome is not None:
+                outcome.resumed = True
+                preloaded[position] = outcome
+            else:
+                missing.append(position)
+        job_trace = JobTrace(cls.reserve_id(), backend.name())
+        resumed = []
+        for position in missing:
+            experiment, config = payloads[position]
+            config = dict(config)
+            # The original trace died with the original process, and the
+            # ledger may have been moved: re-point the checkpoint and drop
+            # the stale span context.
+            config.pop("span_context", None)
+            if "checkpoint" in config:
+                config["checkpoint"] = dict(
+                    config["checkpoint"], path=checkpoint_path
+                )
+            resumed.append((experiment, config))
+        if resumed:
+            chunked = [
+                config for _experiment, config in resumed
+                if config.get("shot_chunk")
+            ]
+            kind = choose_executor(
+                len(resumed),
+                max(
+                    experiment.get("header", {}).get("n_qubits", 1)
+                    for experiment, _config in resumed
+                ),
+                executor,
+                chunk_payloads=len(chunked),
+                chunk_shots=min(
+                    (config.get("shots", 0) for config in chunked),
+                    default=0,
+                ),
+            )
+        else:
+            kind = "serial"
+        job_trace.dispatch_started(kind, len(resumed))
+        dispatch = create_dispatch(backend, resumed, kind, max_workers,
+                                   job_trace)
+        return cls(backend, dispatch, trace=job_trace, plan=plan,
+                   preloaded=preloaded)
+
+    def _weave(self, raw) -> list:
+        """Interleave dispatch outcomes with checkpoint-restored ones,
+        back into full plan order."""
+        if not self._preloaded:
+            return list(raw)
+        full = [None] * len(self._plan)
+        for position, outcome in self._preloaded.items():
+            full[position] = outcome
+        for position, outcome in zip(self._dispatch_positions, raw):
+            full[position] = outcome
+        return full
+
+    def _merge_plan(self, full) -> list:
+        """Merge per-chunk outcomes into per-experiment results.
+
+        Returns one outcome per experiment, in first-appearance order —
+        identical to the submitted circuit order.  Experiments that were
+        never chunked pass through untouched.
+        """
+        if self._plan is None:
+            return list(full)
+        from repro.providers.result import merge_chunk_outcomes
+
+        groups: dict = {}
+        order: list = []
+        for entry, outcome in zip(self._plan, full):
+            key = entry["experiment_index"]
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append((entry, outcome))
+        merged = []
+        for key in order:
+            entries = groups[key]
+            if len(entries) == 1 and entries[0][0]["chunk"] is None:
+                merged.append(entries[0][1])
+                continue
+            merged.append(merge_chunk_outcomes(
+                entries[0][0]["name"],
+                [outcome for _entry, outcome in entries],
+                entries[0][0]["chunks"],
+            ))
+        return merged
+
+    def _finalize(self, full):
+        """Merge, build, and (when final) cache the job's Result."""
+        from repro.providers.result import Result
+
+        outcomes = self._merge_plan(full)
+        result = Result(self._backend.name(), self.job_id, outcomes)
+        if any(
+            outcome.status in (JobStatus.INCOMPLETE, JobStatus.CANCELLED)
+            for outcome in outcomes
+        ):
+            # Not final (or gathered after a cancel): hand it back
+            # without caching so the job stays collectable.
+            return result
+        self._result = result
+        self._trace.finalize(
+            outcomes, getattr(self._dispatch, "fallbacks", [])
+        )
+        return result
+
     def result(self, timeout=None, partial=False):
         """Collect the :class:`~repro.providers.result.Result` (blocking).
 
@@ -96,31 +250,132 @@ class Job:
         result with INCOMPLETE entries is never cached, so a later
         ``result()`` call picks up the still-running experiments.
 
+        Shot-chunked experiments are merged here: per-chunk counts are
+        added exactly (:meth:`~repro.providers.result.Counts.merge`), so
+        the merged histogram is bit-identical no matter how the chunks
+        were scheduled.  A cancelled or partially-collected chunked
+        experiment keeps the counts of every chunk that finished.
+
         Individual experiment failures do not raise here — they surface
         as ERROR entries in the result (and through the accessors for
         that experiment only).
         """
         if self._result is None:
-            from repro.providers.result import Result
-
             with self._trace.stage("collect"):
-                outcomes = self._dispatch.collect(timeout=timeout,
-                                                  partial=partial)
-                self._trace.merge_outcomes(outcomes)
-            result = Result(self._backend.name(), self.job_id, outcomes)
-            if any(
-                outcome.status
-                in (JobStatus.INCOMPLETE, JobStatus.CANCELLED)
-                for outcome in outcomes
-            ):
-                # Not final (or gathered after a cancel): hand it back
-                # without caching so the job stays collectable.
-                return result
-            self._result = result
-            self._trace.finalize(
-                outcomes, getattr(self._dispatch, "fallbacks", [])
-            )
+                raw = self._dispatch.collect(timeout=timeout,
+                                             partial=partial)
+                full = self._weave(raw)
+                self._trace.merge_outcomes(full)
+            return self._finalize(full)
         return self._result
+
+    def stream(self):
+        """Yield incremental results as the job executes (generator).
+
+        Events are dictionaries.  Each completed dispatch unit yields a
+        ``chunk`` event::
+
+            {"type": "chunk", "experiment": name, "experiment_index": i,
+             "chunk": j, "total_chunks": k, "status": "DONE",
+             "shots": n, "counts": {...} | None, "resumed": False}
+
+        and once all of an experiment's chunks are in, an ``experiment``
+        event follows with the merged
+        :class:`~repro.providers.result.ExperimentResult` under
+        ``"result"``.  Unchunked experiments emit one of each.  On a
+        resumed job, checkpoint-restored chunks stream first (with
+        ``"resumed": True``).  ``result()`` after exhausting the stream
+        returns the cached result without re-running anything; abandoning
+        the stream mid-way keeps every delivered chunk, and a
+        ``cancel()`` between chunks ends the stream with delivered
+        results intact.
+        """
+        if self._result is not None:
+            for index, outcome in enumerate(self._result.results):
+                yield self._experiment_event(index, outcome)
+            return
+        plan = self._plan
+        if plan is None:
+            # Legacy construction: one experiment per payload.
+            for index, outcome in self._dispatch.iter_outcomes():
+                yield self._chunk_event(
+                    outcome.circuit_name, index, None, 1, outcome
+                )
+                yield self._experiment_event(index, outcome)
+            return
+        from repro.providers.result import merge_chunk_outcomes
+
+        full = [None] * len(plan)
+        remaining = {}
+        for entry in plan:
+            key = entry["experiment_index"]
+            remaining[key] = remaining.get(key, 0) + 1
+
+        def deliver(position, outcome):
+            entry = plan[position]
+            full[position] = outcome
+            events = [self._chunk_event(
+                entry["name"], entry["experiment_index"], entry["chunk"],
+                entry["chunks"], outcome,
+            )]
+            key = entry["experiment_index"]
+            remaining[key] -= 1
+            if remaining[key] == 0:
+                group = [
+                    (plan[i], full[i]) for i in range(len(plan))
+                    if plan[i]["experiment_index"] == key
+                ]
+                if len(group) == 1 and group[0][0]["chunk"] is None:
+                    merged = group[0][1]
+                else:
+                    merged = merge_chunk_outcomes(
+                        entry["name"],
+                        [outcome for _e, outcome in group],
+                        entry["chunks"],
+                    )
+                events.append(self._experiment_event(key, merged))
+            return events
+
+        for position in sorted(self._preloaded):
+            for event in deliver(position, self._preloaded[position]):
+                yield event
+        for index, outcome in self._dispatch.iter_outcomes():
+            position = (
+                self._dispatch_positions[index]
+                if self._dispatch_positions is not None else index
+            )
+            for event in deliver(position, outcome):
+                yield event
+        if all(outcome is not None for outcome in full):
+            self._trace.merge_outcomes(full)
+            self._finalize(full)
+
+    @staticmethod
+    def _chunk_event(name, experiment_index, chunk, chunks, outcome):
+        data = outcome.data if isinstance(outcome.data, dict) else {}
+        return {
+            "type": "chunk",
+            "experiment": name,
+            "experiment_index": experiment_index,
+            "chunk": 0 if chunk is None else chunk,
+            "total_chunks": chunks,
+            "status": outcome.status,
+            "shots": outcome.shots,
+            "counts": data.get("counts"),
+            "resumed": bool(getattr(outcome, "resumed", False)),
+        }
+
+    @staticmethod
+    def _experiment_event(experiment_index, outcome):
+        return {
+            "type": "experiment",
+            "experiment": outcome.circuit_name,
+            "experiment_index": experiment_index,
+            "status": outcome.status,
+            "total_chunks": getattr(outcome, "chunks", 1),
+            "completed_chunks": getattr(outcome, "completed_chunks", 1),
+            "result": outcome,
+        }
 
     @property
     def fault_stats(self) -> dict:
@@ -128,9 +383,11 @@ class Job:
 
         Accounts for every attempt (retries included), total backoff
         seconds, injected faults, executor fallbacks taken by the
-        degradation chain, and failed experiments.  Once the job is
-        collected this is a thin view over the job-labelled counters in
-        the unified metrics registry (see
+        degradation chain, failed experiments, and the shot-chunk tallies
+        (``total_chunks`` / ``completed_chunks`` / ``resumed_chunks`` —
+        a cancelled streaming job reports how many chunks it delivered).
+        Once the job is collected this is a thin view over the
+        job-labelled counters in the unified metrics registry (see
         :mod:`repro.telemetry.metrics`); before that it reflects only
         the experiments finished so far, aggregated live.
         """
@@ -141,10 +398,23 @@ class Job:
         if self._result is not None:
             outcomes = self._result.results
         else:
-            outcomes = self._dispatch.finished_outcomes()
-        return aggregate_fault_stats(
+            outcomes = (
+                list(self._preloaded.values())
+                + self._dispatch.finished_outcomes()
+            )
+        stats = aggregate_fault_stats(
             outcomes, getattr(self._dispatch, "fallbacks", [])
         )
+        if self._result is None and self._plan is not None:
+            # Pre-collect (including after a cancel): the finished chunk
+            # outcomes only know themselves, but the dispatch plan knows
+            # the full layout — report planned totals, delivered progress.
+            layout = {
+                entry["experiment_index"]: entry["chunks"]
+                for entry in self._plan
+            }
+            stats["total_chunks"] = sum(layout.values())
+        return stats
 
     def trace(self):
         """The job's :class:`~repro.telemetry.trace.Trace`.
@@ -230,6 +500,21 @@ class BaseBackend:
         * ``fault_injector`` — a
           :class:`~repro.providers.faults.FaultInjector` (or FaultSpec
           list) armed on this batch for reproducible chaos testing.
+        * ``shot_chunk_size`` — shots per dispatch/sampling chunk
+          (default :data:`~repro.qobj.assembler.DEFAULT_SHOT_CHUNK_SIZE`;
+          0/False disables chunking).  Experiments whose shots exceed the
+          chunk size split into shot-chunks with per-chunk seeds derived
+          from the experiment's SeedSequence; single-chunk experiments
+          keep the experiment seed unchanged, so results below the chunk
+          size are bit-identical to the unchunked pipeline.
+        * ``shot_chunk_dispatch`` — force chunked experiments to dispatch
+          each chunk as its own executor payload (parallel across
+          workers) even where the engine prefers to loop chunks inline;
+          the merged counts are bit-identical either way.
+        * ``checkpoint`` — path of a JSON-lines ledger; every completed
+          ``(experiment, chunk)`` unit is appended as it finishes, and
+          :meth:`Job.resume` restarts the job re-running only the
+          missing units.
         * ``job_trace`` — a pre-created
           :class:`~repro.telemetry.jobtrace.JobTrace` to attach this run
           to (``execute`` passes one so transpile spans join the job's
@@ -237,7 +522,11 @@ class BaseBackend:
         """
         from repro.providers.faults import resolve_injector
         from repro.providers.retry import resolve_retry_policy
-        from repro.qobj.assembler import assemble
+        from repro.qobj.assembler import (
+            assemble,
+            derive_chunk_seeds,
+            shot_chunk_bounds,
+        )
 
         if not isinstance(circuits, (list, tuple)):
             circuits = [circuits]
@@ -284,22 +573,102 @@ class BaseBackend:
                 seed=options.get("seed"),
                 memory=options.get("memory", False),
             )
-        kind = choose_executor(len(circuits), max_qubits, requested)
-        job_trace.dispatch_started(kind, len(qobj["experiments"]))
+        chunk_size = options.get("shot_chunk_size")
+        force_dispatch = bool(options.get("shot_chunk_dispatch"))
         payloads = []
+        plan = []
+        chunked = False
         for index, experiment in enumerate(qobj["experiments"]):
-            config = dict(engine_options)
-            config["seed"] = experiment["config"]["seed"]
-            config["experiment_index"] = experiment["config"]["index"]
+            exp_seed = experiment["config"]["seed"]
+            name = experiment.get("header", {}).get("name", "unnamed")
+            support = self._chunk_support(circuits[index], options)
+            bounds = (
+                shot_chunk_bounds(shots, chunk_size)
+                if support != "none" else [(0, shots)]
+            )
+            base = dict(engine_options)
+            base["experiment_index"] = experiment["config"]["index"]
+            if len(bounds) == 1:
+                # Single chunk (or unchunkable): the experiment seed and
+                # payload shape are exactly the pre-chunking pipeline's.
+                config = dict(base, seed=exp_seed)
+                payloads.append((experiment, config))
+                plan.append({
+                    "experiment_index": index, "name": name,
+                    "chunk": None, "chunks": 1,
+                })
+                continue
+            chunked = True
+            seeds = derive_chunk_seeds(exp_seed, len(bounds))
+            if support == "dispatch" or force_dispatch:
+                for chunk, ((start, stop), seed) in enumerate(
+                    zip(bounds, seeds)
+                ):
+                    config = dict(base, seed=seed, shots=stop - start)
+                    config["shot_chunk"] = {
+                        "index": chunk, "total": len(bounds),
+                        "start": start, "stop": stop,
+                    }
+                    payloads.append((experiment, config))
+                    plan.append({
+                        "experiment_index": index, "name": name,
+                        "chunk": chunk, "chunks": len(bounds),
+                    })
+            else:
+                # Inline: one payload, the engine loops the same chunk
+                # layout (same seeds) itself — bit-identical to dispatch
+                # mode, without re-deriving the state per chunk.
+                config = dict(base, seed=exp_seed)
+                config["shot_chunks"] = [
+                    {"index": chunk, "start": start, "stop": stop,
+                     "seed": seed}
+                    for chunk, ((start, stop), seed) in enumerate(
+                        zip(bounds, seeds)
+                    )
+                ]
+                payloads.append((experiment, config))
+                plan.append({
+                    "experiment_index": index, "name": name,
+                    "chunk": None, "chunks": len(bounds),
+                })
+        chunk_payloads = [
+            config for _experiment, config in payloads
+            if config.get("shot_chunk")
+        ]
+        kind = choose_executor(
+            len(payloads), max_qubits, requested,
+            chunk_payloads=len(chunk_payloads),
+            chunk_shots=min(
+                (config["shots"] for config in chunk_payloads), default=0
+            ),
+        )
+        job_trace.dispatch_started(kind, len(payloads))
+        for seq, ((experiment, config), entry) in enumerate(
+            zip(payloads, plan)
+        ):
             context = job_trace.experiment_context(
-                index, experiment.get("header", {}).get("name", "unnamed")
+                entry["experiment_index"], entry["name"],
+                chunk=entry["chunk"], chunks=entry["chunks"], seq=seq,
             )
             if context is not None:
                 config["span_context"] = context
-            payloads.append((experiment, config))
+        checkpoint = options.get("checkpoint")
+        if checkpoint:
+            from repro.providers.checkpoint import write_header
+
+            for (experiment, config), entry in zip(payloads, plan):
+                config["checkpoint"] = {
+                    "path": checkpoint,
+                    "job_id": job_trace.job_id,
+                    "experiment": entry["experiment_index"],
+                    "chunk": entry["chunk"] or 0,
+                }
+            write_header(checkpoint, job_trace.job_id,
+                         self._backend_spec(), payloads, plan)
         dispatch = create_dispatch(self, payloads, kind, max_workers,
                                    job_trace)
-        return Job(self, dispatch, trace=job_trace)
+        return Job(self, dispatch, trace=job_trace,
+                   plan=plan if (chunked or checkpoint) else None)
 
     def run_pubs(self, pubs, **options) -> Job:
         """Schedule broadcast primitive unified blocs (PUBs).
@@ -457,6 +826,20 @@ class BaseBackend:
 
     def _validate_batch(self, circuits) -> None:
         """Submission-time validation hook; raise to reject the batch."""
+
+    def _chunk_support(self, circuit, options) -> str:
+        """How this backend runs one circuit's shot-chunks.
+
+        ``"none"`` — the experiment never splits (statevector/unitary
+        backends, circuits without measurements); ``"dispatch"`` — each
+        chunk becomes its own executor payload (trajectory-style engines,
+        where chunks are genuinely independent runs); ``"inline"`` — one
+        payload whose engine loops the chunk layout itself (sampling
+        engines that derive an expensive deterministic state once and
+        draw each chunk from it).  Both chunked modes merge to
+        bit-identical counts; the split only moves where the loop lives.
+        """
+        return "none"
 
     def _backend_spec(self):
         """``(provider, name)`` registry key for process-pool workers, or

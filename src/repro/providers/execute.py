@@ -17,7 +17,9 @@ def execute(circuits, backend: BaseBackend, shots: int = 1024, seed=None,
             noise_model=None, memory: bool = False,
             optimization_level: int = 1, executor: str = None,
             max_workers: int = None, transpile_cache: bool = True,
-            retry_policy=None, fault_injector=None) -> Job:
+            retry_policy=None, fault_injector=None,
+            shot_chunk_size=None, shot_chunk_dispatch=None,
+            checkpoint=None) -> Job:
     """Compile (if needed), assemble, and run circuits on a backend.
 
     For simulator backends the circuits run as-is.  For device backends the
@@ -47,6 +49,14 @@ def execute(circuits, backend: BaseBackend, shots: int = 1024, seed=None,
     * ``fault_injector`` — arm a seeded
       :class:`~repro.providers.faults.FaultInjector` for reproducible
       chaos testing.
+
+    Shot-chunk streaming and resume (see ``BaseBackend.run``):
+
+    * ``shot_chunk_size`` — shots per chunk (default 16384; 0 disables);
+      ``shot_chunk_dispatch=True`` forces one executor payload per chunk.
+    * ``checkpoint`` — ledger path; completed chunks persist as they
+      finish and ``Job.resume(path)`` restarts a crashed job re-running
+      only the missing ones.
 
     The returned job exposes the fault/retry ledger as
     ``job.fault_stats`` and supports ``result(timeout=..., partial=True)``
@@ -102,6 +112,12 @@ def execute(circuits, backend: BaseBackend, shots: int = 1024, seed=None,
         options["retry_policy"] = retry_policy
     if fault_injector is not None:
         options["fault_injector"] = fault_injector
+    if shot_chunk_size is not None:
+        options["shot_chunk_size"] = shot_chunk_size
+    if shot_chunk_dispatch is not None:
+        options["shot_chunk_dispatch"] = shot_chunk_dispatch
+    if checkpoint is not None:
+        options["checkpoint"] = checkpoint
     job = backend.run(batch, **options)
     job.transpile_cache_stats = get_transpile_cache().stats()
     return job

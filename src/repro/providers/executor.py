@@ -51,11 +51,13 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import (
+    FIRST_COMPLETED,
     BrokenExecutor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
 from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures import wait as _futures_wait
 
 from repro.exceptions import (
     BackendError,
@@ -65,12 +67,21 @@ from repro.exceptions import (
 
 #: Options consumed by the scheduling layer itself (everything else in
 #: ``backend.run(**options)`` is forwarded to the simulator engines).
-SCHEDULING_OPTIONS = ("executor", "max_workers", "job_trace")
+SCHEDULING_OPTIONS = (
+    "executor", "max_workers", "job_trace", "shot_chunk_size",
+    "shot_chunk_dispatch", "checkpoint",
+)
 
 #: Auto mode goes parallel only past these thresholds: process start-up and
 #: payload pickling cost more than re-running a narrow circuit in-process.
 AUTO_MIN_EXPERIMENTS = 4
 AUTO_MIN_QUBITS = 10
+
+#: Auto mode also goes parallel for chunk-split batches — the
+#: few-circuits/many-shots shape — once each chunk carries enough shots
+#: to amortize process start-up, regardless of circuit width (work
+#: scales with shots, not qubits, on that shape).
+AUTO_MIN_CHUNK_SHOTS = 4096
 
 #: Graceful-degradation order when a pool breaks mid-batch.
 FALLBACK_ORDER = {"processes": "threads", "threads": "serial"}
@@ -93,14 +104,19 @@ class JobStatus:
 
 
 def choose_executor(num_experiments: int, max_qubits: int,
-                    requested=None) -> str:
+                    requested=None, chunk_payloads: int = 0,
+                    chunk_shots: int = 0) -> str:
     """Resolve the executor kind for a batch.
 
     ``requested`` may be ``"serial"``, ``"threads"``, ``"processes"``,
     ``"auto"``, or None (same as auto).  Auto picks processes for batches
     of at least ``AUTO_MIN_EXPERIMENTS`` experiments whose widest circuit
     has at least ``AUTO_MIN_QUBITS`` qubits when more than one CPU is
-    available, and serial otherwise.
+    available, and serial otherwise — except that a batch split into
+    ``chunk_payloads`` shot-chunk payloads of at least
+    ``AUTO_MIN_CHUNK_SHOTS`` shots each also goes to the process pool:
+    the few-circuits/many-shots shape is exactly where chunk-parallel
+    dispatch pays, however narrow the circuit.
     """
     if requested in ("serial", "threads", "processes"):
         return requested
@@ -109,11 +125,14 @@ def choose_executor(num_experiments: int, max_qubits: int,
             f"unknown executor '{requested}'; choose serial, threads, "
             "processes, or auto"
         )
+    if (os.cpu_count() or 1) <= 1:
+        return "serial"
     if (
         num_experiments >= AUTO_MIN_EXPERIMENTS
         and max_qubits >= AUTO_MIN_QUBITS
-        and (os.cpu_count() or 1) > 1
     ):
+        return "processes"
+    if chunk_payloads >= 2 and chunk_shots >= AUTO_MIN_CHUNK_SHOTS:
         return "processes"
     return "serial"
 
@@ -204,6 +223,8 @@ def run_assembled_experiment(backend, experiment: dict, config: dict):
 
         recorder = ExperimentRecorder(config["span_context"])
     seed = config.get("seed")
+    chunk_info = config.get("shot_chunk")
+    chunk_index = chunk_info["index"] if chunk_info else None
     start = time.perf_counter()
     attempts = 0
     backoff_total = 0.0
@@ -216,7 +237,8 @@ def run_assembled_experiment(backend, experiment: dict, config: dict):
         )
         try:
             if injector is not None:
-                injector.before_attempt(name, attempt, fault_log)
+                injector.before_attempt(name, attempt, fault_log,
+                                        chunk=chunk_index)
             circuit = experiment_to_circuit(experiment)
             if config.get("use_kernels", True):
                 outcome = backend._run_experiment(circuit, config)
@@ -226,7 +248,8 @@ def run_assembled_experiment(backend, experiment: dict, config: dict):
                 with kernels.disabled():
                     outcome = backend._run_experiment(circuit, config)
             if injector is not None:
-                injector.after_attempt(name, attempt, outcome, fault_log)
+                injector.after_attempt(name, attempt, outcome, fault_log,
+                                       chunk=chunk_index)
             validate_outcome(outcome)
             if recorder is not None:
                 recorder.end_attempt(attempt_span)
@@ -255,8 +278,30 @@ def run_assembled_experiment(backend, experiment: dict, config: dict):
     outcome.attempts = attempts
     outcome.backoff_total = backoff_total
     outcome.faults = fault_log
+    if chunk_info is not None:
+        outcome.chunk = dict(chunk_info)
+    inline_chunks = config.get("shot_chunks")
+    if inline_chunks:
+        # The engine ran the whole chunk layout in one payload; report the
+        # layout on the outcome so chunk accounting matches dispatch mode.
+        outcome.chunks = len(inline_chunks)
+        outcome.completed_chunks = (
+            len(inline_chunks) if outcome.status == JobStatus.DONE else 0
+        )
     if recorder is not None:
         outcome.spans = recorder.finish(outcome)
+    checkpoint = config.get("checkpoint")
+    if checkpoint is not None and outcome.status == JobStatus.DONE:
+        from repro.providers.checkpoint import append_chunk
+
+        try:
+            append_chunk(
+                checkpoint["path"], checkpoint["job_id"],
+                checkpoint["experiment"], checkpoint["chunk"], outcome,
+            )
+        except Exception as exc:  # noqa: BLE001 — a full disk must not
+            # fail the experiment; the unit simply re-runs on resume.
+            fault_log.append(f"checkpoint-error:{type(exc).__name__}")
     return outcome
 
 
@@ -289,6 +334,7 @@ class SerialDispatch:
         self._state = JobStatus.INITIALIZING
         self._outcomes = None
         self._finished: list = []
+        self._cancel_requested = False
         self._job_trace = job_trace
         #: Executor fallbacks taken (always empty for serial; present so
         #: the fault-stats ledger reads uniformly across dispatch kinds).
@@ -304,15 +350,57 @@ class SerialDispatch:
         return self._state
 
     def cancel(self) -> bool:
-        """Cancel the whole batch; only possible before execution starts."""
+        """Stop the batch; True if any payload was prevented from running.
+
+        Before execution starts the whole batch is cancelled.  While a
+        streaming iteration is RUNNING, cancellation is cooperative and
+        chunk-granular: the flag is checked between payloads, so the unit
+        in flight finishes (and is kept — exactly-once delivery) and the
+        rest never run.
+        """
         if self._state == JobStatus.INITIALIZING:
             self._state = JobStatus.CANCELLED
+            return True
+        if self._state == JobStatus.RUNNING and not self._cancel_requested \
+                and len(self._finished) < len(self._payloads):
+            self._cancel_requested = True
             return True
         return False
 
     def finished_outcomes(self) -> list:
         """Snapshot of the outcomes completed so far (non-blocking)."""
         return list(self._finished)
+
+    def iter_outcomes(self):
+        """Yield ``(index, outcome)`` as each payload finishes.
+
+        The streaming twin of :meth:`collect`: payloads run one at a time
+        and are yielded immediately.  Abandoning the iterator mid-batch
+        keeps the finished outcomes, and a later ``collect`` (or a fresh
+        iteration) resumes from the first unfinished payload.  A
+        ``cancel()`` between payloads ends the iteration with everything
+        already yielded kept.
+        """
+        if self._state == JobStatus.CANCELLED:
+            return
+        if self._outcomes is not None:
+            for index, outcome in enumerate(self._outcomes):
+                yield index, outcome
+            return
+        self._state = JobStatus.RUNNING
+        for index, outcome in enumerate(self._finished):
+            yield index, outcome
+        while len(self._finished) < len(self._payloads):
+            if self._cancel_requested:
+                self._state = JobStatus.CANCELLED
+                return
+            experiment, config = self._payloads[len(self._finished)]
+            outcome = run_assembled_experiment(self._backend, experiment,
+                                               config)
+            self._finished.append(outcome)
+            yield len(self._finished) - 1, outcome
+        self._outcomes = self._finished
+        self._state = JobStatus.DONE
 
     def collect(self, timeout=None, partial=False) -> list:
         """Run (once) and return the experiment outcomes in batch order.
@@ -338,6 +426,16 @@ class SerialDispatch:
                 None if timeout is None else time.monotonic() + timeout
             )
             while len(self._finished) < len(self._payloads):
+                if self._cancel_requested:
+                    # Cancelled mid-stream: keep what was delivered, stop.
+                    self._state = JobStatus.CANCELLED
+                    if not partial:
+                        raise BackendError("job was cancelled")
+                    return self._finished + [
+                        _placeholder(payload, JobStatus.CANCELLED,
+                                     "job was cancelled")
+                        for payload in self._payloads[len(self._finished):]
+                    ]
                 if deadline is not None and time.monotonic() >= deadline:
                     if partial:
                         done = len(self._finished)
@@ -456,6 +554,63 @@ class PoolDispatch:
             except Exception:  # noqa: BLE001 — broken pool etc.; skip
                 continue
         return [snapshot[index] for index in sorted(snapshot)]
+
+    def iter_outcomes(self):
+        """Yield ``(index, outcome)`` as futures resolve (completion order).
+
+        The streaming twin of :meth:`collect`.  Chunks of one experiment
+        dispatched across the pool surface here the moment their worker
+        finishes, regardless of submission order.  A ``cancel()`` during
+        iteration ends it after the in-flight completions drain; what was
+        yielded stays collected (``collect(partial=True)`` returns it
+        alongside CANCELLED placeholders).  A broken pool degrades down
+        the usual fallback chain, then yields the recovered outcomes.
+        """
+        if self._outcomes is not None:
+            for index, outcome in enumerate(self._outcomes):
+                yield index, outcome
+            return
+        for index in sorted(self._collected):
+            yield index, self._collected[index]
+        index_of = {
+            future: index for index, future in enumerate(self._futures)
+        }
+        pending = {
+            future for index, future in enumerate(self._futures)
+            if index not in self._collected
+        }
+        broken: list = []
+        while pending and not self._cancelled:
+            done, pending = _futures_wait(
+                pending, timeout=0.05, return_when=FIRST_COMPLETED
+            )
+            for future in sorted(done, key=index_of.get):
+                index = index_of[future]
+                if future.cancelled():
+                    continue
+                try:
+                    self._collected[index] = future.result(timeout=0)
+                except BrokenExecutor:
+                    broken.append(index)
+                    continue
+                except Exception as exc:  # noqa: BLE001
+                    self._collected[index] = _placeholder(
+                        self._payloads[index], JobStatus.ERROR,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                yield index, self._collected[index]
+        if broken and not self._cancelled:
+            self._run_fallbacks(broken, None, False, [])
+            for index in sorted(broken):
+                if index in self._collected:
+                    yield index, self._collected[index]
+        if not self._cancelled \
+                and len(self._collected) == len(self._payloads):
+            self._pool.shutdown(wait=True)
+            self._outcomes = [
+                self._collected[index]
+                for index in range(len(self._payloads))
+            ]
 
     def _remaining(self, deadline):
         if deadline is None:

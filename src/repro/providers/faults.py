@@ -61,6 +61,8 @@ class FaultSpec:
       (default ``(0,)``: fire on the first attempt only, so a retry
       succeeds; ``None`` = every attempt, which exhausts the retry
       budget).
+    * ``chunks`` — restrict to these shot-chunk indices (None = all;
+      an unchunked experiment counts as chunk 0).
     * ``probability`` — chance of firing on a matching (experiment,
       attempt) pair; below 1.0 the decision is drawn deterministically
       from the injector seed, never from global randomness.
@@ -68,7 +70,8 @@ class FaultSpec:
     """
 
     def __init__(self, kind: str, experiments=None, attempts=(0,),
-                 probability: float = 1.0, latency: float = 0.05):
+                 probability: float = 1.0, latency: float = 0.05,
+                 chunks=None):
         if kind not in FaultKind.ALL:
             raise BackendError(
                 f"unknown fault kind '{kind}'; choose one of "
@@ -81,15 +84,20 @@ class FaultSpec:
             None if experiments is None else frozenset(experiments)
         )
         self.attempts = None if attempts is None else frozenset(attempts)
+        self.chunks = None if chunks is None else frozenset(chunks)
         self.probability = float(probability)
         self.latency = float(latency)
 
-    def matches(self, experiment_name: str, attempt: int) -> bool:
-        """Whether this spec targets the given (experiment, attempt)."""
+    def matches(self, experiment_name: str, attempt: int,
+                chunk=None) -> bool:
+        """Whether this spec targets the given (experiment, attempt[,
+        chunk])."""
         if self.experiments is not None \
                 and experiment_name not in self.experiments:
             return False
         if self.attempts is not None and attempt not in self.attempts:
+            return False
+        if self.chunks is not None and (chunk or 0) not in self.chunks:
             return False
         return True
 
@@ -102,12 +110,18 @@ class FaultSpec:
         )
 
 
-def _schedule_fraction(seed: int, kind: str, name: str, attempt: int) -> float:
+def _schedule_fraction(seed: int, kind: str, name: str, attempt: int,
+                       chunk=None) -> float:
     """Deterministic uniform draw in [0, 1) for one firing decision.
 
-    Keyed by (seed, kind, experiment name, attempt) — not by wall clock or
-    executor ordering — so every executor sees the identical schedule.
+    Keyed by (seed, kind, experiment name, attempt[, chunk]) — not by
+    wall clock or executor ordering — so every executor sees the
+    identical schedule.  Chunk 0 (and unchunked runs) keep the legacy
+    key, so pre-chunking chaos schedules replay unchanged; higher chunks
+    draw independently via a ``#c<chunk>`` name suffix.
     """
+    if chunk:
+        name = f"{name}#c{chunk}"
     digest = hashlib.sha256(
         f"{seed}:{kind}:{name}:{attempt}".encode()
     ).digest()
@@ -138,21 +152,21 @@ class FaultInjector:
         self.seed = int(seed)
 
     def fires(self, spec: FaultSpec, experiment_name: str,
-              attempt: int) -> bool:
+              attempt: int, chunk=None) -> bool:
         """Deterministic firing decision for one spec."""
-        if not spec.matches(experiment_name, attempt):
+        if not spec.matches(experiment_name, attempt, chunk):
             return False
         if spec.probability >= 1.0:
             return True
         return _schedule_fraction(
-            self.seed, spec.kind, experiment_name, attempt
+            self.seed, spec.kind, experiment_name, attempt, chunk
         ) < spec.probability
 
     def before_attempt(self, experiment_name: str, attempt: int,
-                       fault_log: list) -> None:
+                       fault_log: list, chunk=None) -> None:
         """Apply pre-engine faults; may sleep, raise, or kill the worker."""
         for spec in self.specs:
-            if not self.fires(spec, experiment_name, attempt):
+            if not self.fires(spec, experiment_name, attempt, chunk):
                 continue
             if spec.kind == FaultKind.SLOW:
                 fault_log.append(f"slow@{attempt}")
@@ -175,12 +189,12 @@ class FaultInjector:
                 )
 
     def after_attempt(self, experiment_name: str, attempt: int, outcome,
-                      fault_log: list) -> None:
+                      fault_log: list, chunk=None) -> None:
         """Apply post-engine faults (payload corruption)."""
         for spec in self.specs:
             if spec.kind != FaultKind.CORRUPT:
                 continue
-            if not self.fires(spec, experiment_name, attempt):
+            if not self.fires(spec, experiment_name, attempt, chunk):
                 continue
             counts = outcome.data.get("counts") if outcome.data else None
             if not counts:

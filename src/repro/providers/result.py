@@ -2,7 +2,27 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.exceptions import BackendError
+
+
+def _sum_by_key(keys, values) -> dict:
+    """Sum ``values`` grouped by ``keys`` (numpy-backed histogram add).
+
+    The shared core of :meth:`Counts.merge` and :meth:`Counts.marginal`:
+    one ``np.unique`` over the key strings plus an ``np.add.at`` scatter
+    replaces the per-entry dict updates, which dominate when merging
+    many-chunk histograms with wide supports.
+    """
+    key_array = np.asarray(keys, dtype=str)
+    value_array = np.asarray(values)
+    if not np.issubdtype(value_array.dtype, np.integer):
+        value_array = value_array.astype(float)
+    unique, inverse = np.unique(key_array, return_inverse=True)
+    totals = np.zeros(len(unique), dtype=value_array.dtype)
+    np.add.at(totals, inverse, value_array)
+    return dict(zip(unique.tolist(), totals.tolist()))
 
 
 class Counts(dict):
@@ -23,20 +43,44 @@ class Counts(dict):
         """Counts keyed by integer outcome values."""
         return {int(key, 2): value for key, value in self.items()}
 
+    @classmethod
+    def merge(cls, histograms) -> "Counts":
+        """Add histograms key-wise (numpy-backed).
+
+        The chunk-merge primitive of the collect path: summing the
+        per-chunk histograms of one experiment is exact integer
+        addition, so merged chunked counts are bit-identical to the
+        whole-experiment run no matter how the chunks were scheduled.
+        Empty histograms are skipped; merging nothing returns empty
+        counts.
+        """
+        histograms = [h for h in histograms if h]
+        if not histograms:
+            return cls()
+        if len(histograms) == 1:
+            return cls(histograms[0])
+        keys: list = []
+        values: list = []
+        for histogram in histograms:
+            keys.extend(histogram.keys())
+            values.extend(histogram.values())
+        return cls(_sum_by_key(keys, values))
+
     def marginal(self, positions) -> "Counts":
         """Marginalize onto the given clbit positions (0 = rightmost).
 
         The returned keys list ``positions[-1] ... positions[0]`` left to
         right, i.e. ``positions[0]`` becomes the new bit 0.
         """
-        merged: dict = {}
-        for key, value in self.items():
+        if not self:
+            return Counts()
+        keys = []
+        for key in self:
             bits = key[::-1]  # bits[i] = clbit i
-            selected = "".join(
+            keys.append("".join(
                 bits[p] if p < len(bits) else "0" for p in positions
-            )[::-1]
-            merged[selected] = merged.get(selected, 0) + value
-        return Counts(merged)
+            )[::-1])
+        return Counts(_sum_by_key(keys, list(self.values())))
 
 
 class ExperimentResult:
@@ -70,6 +114,15 @@ class ExperimentResult:
         #: (empty unless tracing was enabled at submission); merged into
         #: the job's trace at collect time.
         self.spans = list(spans)
+        #: Shot-chunk bookkeeping.  For a chunk-of-an-experiment outcome,
+        #: ``chunk`` is the dispatch-time chunk descriptor (index/start/
+        #: stop); for a merged experiment, ``chunks`` is the layout size
+        #: and ``completed_chunks``/``resumed_chunks`` count the chunks
+        #: that finished / were loaded from a checkpoint ledger.
+        self.chunk = None
+        self.chunks = 1
+        self.completed_chunks = 1 if status == "DONE" else 0
+        self.resumed_chunks = 0
 
     @property
     def success(self) -> bool:
@@ -88,6 +141,102 @@ class ExperimentResult:
         )
 
 
+def merge_chunk_outcomes(name, outcomes, total_chunks=None):
+    """Merge one experiment's shot-chunk outcomes into one result.
+
+    ``outcomes`` are the per-chunk :class:`ExperimentResult` entries in
+    chunk-index order (checkpoint-loaded chunks included).  Counts are
+    added with :meth:`Counts.merge` — exact integer addition, so the
+    merged histogram is bit-identical to an unchunked run — and memory
+    lists concatenate in chunk order.  Non-shot payload keys (a density
+    matrix, say) are identical across chunks and taken from the first
+    completed one.  Attempt/backoff/fault ledgers accumulate; fault
+    entries gain a ``c<chunk>:`` prefix so ``fault_stats`` stays
+    attributable per chunk.
+
+    Status: DONE only when every chunk of the layout completed; a chunk
+    that failed makes the merge ERROR; otherwise a cancelled or
+    incomplete chunk makes it CANCELLED/INCOMPLETE — with the counts
+    accumulated so far still attached, which is what lets a cancelled
+    streaming job keep its already-delivered chunks.
+    """
+    outcomes = list(outcomes)
+    if (
+        len(outcomes) == 1
+        and outcomes[0].chunk is None
+        and total_chunks in (None, 1)
+    ):
+        return outcomes[0]
+    if total_chunks is None:
+        total_chunks = len(outcomes)
+    done = [o for o in outcomes if o.status == "DONE"]
+    data: dict = {}
+    counts_parts = [
+        o.data["counts"] for o in done
+        if isinstance(o.data, dict) and "counts" in o.data
+    ]
+    if counts_parts:
+        data["counts"] = Counts.merge(counts_parts)
+    memory_parts = [
+        o.data["memory"] for o in done
+        if isinstance(o.data, dict) and "memory" in o.data
+    ]
+    if memory_parts:
+        memory: list = []
+        for part in memory_parts:
+            memory.extend(part)
+        data["memory"] = memory
+    shots = sum(o.shots or 0 for o in done)
+    data["shots"] = shots
+    for outcome in done:
+        if not isinstance(outcome.data, dict):
+            continue
+        for key, value in outcome.data.items():
+            if key not in data and key != "chunk_results":
+                data[key] = value
+    errors = [o for o in outcomes if o.status == "ERROR"]
+    cancelled = [o for o in outcomes if o.status == "CANCELLED"]
+    if len(done) == total_chunks and not errors:
+        status, error = "DONE", None
+    elif errors:
+        status = "ERROR"
+        first = errors[0]
+        index = first.chunk["index"] if first.chunk else "?"
+        error = (
+            f"chunk {index}/{total_chunks} failed: {first.error} "
+            f"({len(done)}/{total_chunks} chunks completed)"
+        )
+    elif cancelled:
+        status = "CANCELLED"
+        error = f"cancelled after {len(done)}/{total_chunks} chunks"
+    else:
+        status = "INCOMPLETE"
+        error = f"{len(done)}/{total_chunks} chunks completed"
+    merged = ExperimentResult(name, shots, data, status=status, error=error)
+    times = [o.time_taken for o in outcomes if o.time_taken is not None]
+    merged.time_taken = sum(times) if times else None
+    merged.attempts = sum(getattr(o, "attempts", 1) or 0 for o in outcomes)
+    merged.backoff_total = sum(
+        getattr(o, "backoff_total", 0.0) or 0.0 for o in outcomes
+    )
+    faults: list = []
+    spans: list = []
+    for outcome in outcomes:
+        index = outcome.chunk["index"] if outcome.chunk else 0
+        faults.extend(
+            f"c{index}:{entry}" for entry in getattr(outcome, "faults", ())
+        )
+        spans.extend(getattr(outcome, "spans", ()) or ())
+    merged.faults = faults
+    merged.spans = spans
+    merged.chunks = total_chunks
+    merged.completed_chunks = len(done)
+    merged.resumed_chunks = sum(
+        1 for o in outcomes if getattr(o, "resumed", False)
+    )
+    return merged
+
+
 class Result:
     """Results for a batch of circuits run on one backend."""
 
@@ -95,6 +244,12 @@ class Result:
         self.backend_name = backend_name
         self.job_id = job_id
         self._results = list(experiment_results)
+
+    @classmethod
+    def merge_chunks(cls, name, outcomes, total_chunks=None):
+        """Merge per-chunk outcomes of one experiment (see
+        :func:`merge_chunk_outcomes`)."""
+        return merge_chunk_outcomes(name, outcomes, total_chunks)
 
     @property
     def success(self) -> bool:

@@ -130,8 +130,10 @@ def aggregate_fault_stats(outcomes, fallbacks=()) -> dict:
     Accounts for every attempt, backoff wait, injected fault, and executor
     fallback; exposed as ``job.fault_stats``.
     """
+    outcomes = list(outcomes)
     per_experiment = {}
     attempts = retries = faults = 0
+    total_chunks = completed_chunks = resumed_chunks = 0
     backoff_total = 0.0
     failed = []
     for outcome in outcomes:
@@ -142,21 +144,47 @@ def aggregate_fault_stats(outcomes, fallbacks=()) -> dict:
         retries += max(0, exp_attempts - 1)
         backoff_total += exp_backoff
         faults += len(exp_faults)
+        # Chunk accounting: an outcome is either a merged experiment
+        # (chunks/completed_chunks set by the merge), one chunk of an
+        # experiment (descriptor in .chunk, counted as 1-of-1 here since
+        # its siblings are separate outcomes), or plain unchunked.
+        total_chunks += getattr(outcome, "chunks", 1) or 1
+        completed_chunks += getattr(
+            outcome, "completed_chunks", 1 if outcome.status == "DONE" else 0
+        )
+        resumed_chunks += getattr(outcome, "resumed_chunks", 0) or 0
+        if getattr(outcome, "resumed", False):
+            resumed_chunks += 1
         if not outcome.success:
             failed.append(outcome.circuit_name)
-        per_experiment[outcome.circuit_name] = {
-            "status": outcome.status,
-            "attempts": exp_attempts,
-            "backoff_s": round(exp_backoff, 6),
-            "faults": exp_faults,
-        }
+        entry = per_experiment.get(outcome.circuit_name)
+        if entry is None:
+            per_experiment[outcome.circuit_name] = {
+                "status": outcome.status,
+                "attempts": exp_attempts,
+                "backoff_s": round(exp_backoff, 6),
+                "faults": exp_faults,
+            }
+        else:
+            # Several chunk outcomes of one experiment (pre-collect live
+            # view): accumulate, and let any non-DONE status win.
+            entry["attempts"] += exp_attempts
+            entry["backoff_s"] = round(
+                entry["backoff_s"] + exp_backoff, 6
+            )
+            entry["faults"].extend(exp_faults)
+            if outcome.status != "DONE":
+                entry["status"] = outcome.status
     return {
-        "experiments": len(list(outcomes)),
+        "experiments": len(per_experiment),
         "attempts": attempts,
         "retries": retries,
         "backoff_total_s": round(backoff_total, 6),
         "faults_injected": faults,
         "fallbacks": list(fallbacks),
-        "failed_experiments": failed,
+        "failed_experiments": sorted(set(failed), key=failed.index),
         "per_experiment": per_experiment,
+        "total_chunks": total_chunks,
+        "completed_chunks": completed_chunks,
+        "resumed_chunks": resumed_chunks,
     }

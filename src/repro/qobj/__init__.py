@@ -1,17 +1,23 @@
 """Qobj-style circuit serialization (JSON-compatible interchange)."""
 
 from repro.qobj.assembler import (
+    DEFAULT_SHOT_CHUNK_SIZE,
     assemble,
     circuit_to_experiment,
+    derive_chunk_seeds,
     derive_experiment_seeds,
     disassemble,
     experiment_to_circuit,
+    shot_chunk_bounds,
 )
 
 __all__ = [
+    "DEFAULT_SHOT_CHUNK_SIZE",
     "assemble",
     "circuit_to_experiment",
+    "derive_chunk_seeds",
     "derive_experiment_seeds",
     "disassemble",
     "experiment_to_circuit",
+    "shot_chunk_bounds",
 ]

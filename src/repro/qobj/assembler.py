@@ -132,6 +132,54 @@ def derive_experiment_seeds(seed, count: int) -> list:
     return [int(s) for s in sequence.generate_state(count, dtype=np.uint64)]
 
 
+#: Shots per chunk when an experiment's shots are split into shot-chunks.
+#: Runs at or below this size stay a single chunk, whose seed is the
+#: experiment seed itself — exactly the pre-chunking pipeline.
+DEFAULT_SHOT_CHUNK_SIZE = 16384
+
+
+def shot_chunk_bounds(shots: int, chunk_size=None) -> list:
+    """Split ``shots`` into ``(start, stop)`` shot-chunk bounds.
+
+    The layout is a pure function of ``(shots, chunk_size)`` — never of
+    the executor kind, worker count, or host — so the chunk unit is
+    identical whether the chunks are dispatched across a pool, run
+    inline by one worker, or re-run by ``Job.resume``.  ``chunk_size``
+    of None means :data:`DEFAULT_SHOT_CHUNK_SIZE`; False (or anything
+    falsy but not None) disables splitting entirely.
+    """
+    if shots < 1:
+        raise BackendError("shots must be positive")
+    if chunk_size is None:
+        chunk_size = DEFAULT_SHOT_CHUNK_SIZE
+    if not chunk_size or shots <= int(chunk_size):
+        return [(0, shots)]
+    chunk_size = int(chunk_size)
+    if chunk_size < 1:
+        raise BackendError("shot_chunk_size must be positive")
+    return [
+        (start, min(start + chunk_size, shots))
+        for start in range(0, shots, chunk_size)
+    ]
+
+
+def derive_chunk_seeds(experiment_seed, count: int) -> list:
+    """One deterministic seed per shot-chunk from the experiment seed.
+
+    A single chunk keeps the experiment seed unchanged, so runs that do
+    not split (shots within the chunk size, or chunking disabled) are
+    bit-identical to the pre-chunking pipeline.  Multi-chunk layouts
+    expand the experiment seed through the same
+    :class:`numpy.random.SeedSequence` construction that derives
+    experiment seeds from the batch seed — fixed at assemble time, so a
+    chunk re-run by the retry path, another executor, or
+    ``Job.resume`` reproduces its counts bit-identically.
+    """
+    if count == 1:
+        return [experiment_seed]
+    return derive_experiment_seeds(experiment_seed, count)
+
+
 def assemble(circuits, shots: int = 1024, seed=None,
              memory: bool = False) -> dict:
     """Bundle circuits into a Qobj-style dictionary.

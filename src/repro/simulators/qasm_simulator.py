@@ -123,7 +123,7 @@ class QasmSimulator:
 
     def run(self, circuit: QuantumCircuit, shots: int = 1024, seed=None,
             noise_model=None, memory: bool = False,
-            elide_diagonals: bool = True) -> dict:
+            elide_diagonals: bool = True, shot_chunks=None) -> dict:
         """Simulate and return ``{"counts": ..., "shots": ..., ["memory"]}``.
 
         Counts keys are bitstrings over *all* classical bits, clbit 0
@@ -134,6 +134,15 @@ class QasmSimulator:
         they change amplitudes' phases but not ``|amplitude|**2``, so
         counts, memory, and sampled values are bit-identical either way.
         Pass False for A/B checks.
+
+        ``shot_chunks`` — inline shot-chunk layout: a list of
+        ``{"start", "stop", "seed"}`` descriptors covering ``shots``.
+        Each chunk is drawn with a fresh generator seeded by its own
+        derived seed, so the concatenated outcomes are bit-identical to
+        running each chunk as a separate ``run(shots=stop-start,
+        seed=seed)`` call (the dispatch-mode split) and merging.  Any
+        expensive deterministic work — the sampling path's statevector
+        evolution — happens once, not per chunk.
         """
         if shots < 1:
             raise SimulatorError("shots must be positive")
@@ -149,32 +158,53 @@ class QasmSimulator:
             )
         if self._strippable(noise_model):
             circuit = self._strip_idle_qubits(circuit)
-        rng = np.random.default_rng(seed)
         gate_noise_free = noise_model is None or not noise_model.noisy_gates
         if gate_noise_free and self._samplable(circuit):
             # Readout errors (if any) are applied to the sampled bits, so
             # readout-only noise models still take the fast sampling path.
-            shot_values = self._run_sampling(
-                circuit, shots, rng, noise_model,
-                elide_diagonals=elide_diagonals,
+            state, qubit_to_clbit = self._evolve_sampling_state(
+                circuit, elide_diagonals=elide_diagonals
             )
+
+            def run_chunk(chunk_shots, rng):
+                return self._sample_values(
+                    state, qubit_to_clbit, circuit.num_clbits,
+                    chunk_shots, rng, noise_model,
+                )
         elif self._samplable(circuit) and self._batchable(circuit, noise_model):
             # Probabilistic-unitary noise with terminal measurement: evolve
             # all shots as one (2**n x chunk) batch, splitting columns only
             # where noise branches differ.  Chunk to bound memory at ~64 MiB.
             max_columns = max(1, (1 << 22) // (2**circuit.num_qubits))
-            shot_values = []
-            remaining = shots
-            while remaining:
-                chunk = min(remaining, max_columns)
-                shot_values.extend(
-                    self._run_batched(circuit, chunk, rng, noise_model)
-                )
-                remaining -= chunk
+
+            def run_chunk(chunk_shots, rng):
+                values = []
+                remaining = chunk_shots
+                while remaining:
+                    chunk = min(remaining, max_columns)
+                    values.extend(
+                        self._run_batched(circuit, chunk, rng, noise_model)
+                    )
+                    remaining -= chunk
+                return values
         else:
-            shot_values = self._run_trajectories(
-                circuit, shots, rng, noise_model
-            )
+            def run_chunk(chunk_shots, rng):
+                return self._run_trajectories(
+                    circuit, chunk_shots, rng, noise_model
+                )
+        if shot_chunks:
+            if sum(c["stop"] - c["start"] for c in shot_chunks) != shots:
+                raise SimulatorError(
+                    "shot_chunks layout does not cover the requested shots"
+                )
+            shot_values = []
+            for chunk in shot_chunks:
+                shot_values.extend(run_chunk(
+                    chunk["stop"] - chunk["start"],
+                    np.random.default_rng(chunk["seed"]),
+                ))
+        else:
+            shot_values = run_chunk(shots, np.random.default_rng(seed))
         counts, memory_list = bin_counts(
             shot_values, circuit.num_clbits, memory=memory
         )
@@ -277,8 +307,13 @@ class QasmSimulator:
             terminal.difference_update(item.qubits)
         return elided
 
-    def _run_sampling(self, circuit, shots, rng, noise_model=None, *,
-                      elide_diagonals=True) -> list[int]:
+    def _evolve_sampling_state(self, circuit, *, elide_diagonals=True):
+        """Evolve the final statevector once for the sampling strategy.
+
+        Returns ``(state, qubit_to_clbit)``; deterministic — no RNG is
+        consumed — which is what lets the inline shot-chunk loop share
+        one evolution across all chunks.
+        """
         num_qubits = circuit.num_qubits
         qubit_index = {q: i for i, q in enumerate(circuit.qubits)}
         clbit_index = {c: i for i, c in enumerate(circuit.clbits)}
@@ -304,8 +339,15 @@ class QasmSimulator:
             state = kernels.apply_gate(
                 state, op, targets, num_qubits, mutate=True
             )
+        return state, qubit_to_clbit
+
+    @staticmethod
+    def _sample_values(state, qubit_to_clbit, num_clbits, shots, rng,
+                       noise_model=None) -> list[int]:
+        """Draw ``shots`` classical values from a final state (readout
+        noise applied to the sampled bits)."""
         outcomes = _sample_outcomes(state, shots, rng)
-        values = _zeros_for_width(shots, circuit.num_clbits)
+        values = _zeros_for_width(shots, num_clbits)
         for qubit, clbit in qubit_to_clbit.items():
             bits = (outcomes >> qubit) & 1
             if noise_model is not None:
@@ -318,6 +360,16 @@ class QasmSimulator:
                     bits = (flips < p_one).astype(np.int64)
             values |= bits.astype(values.dtype) << clbit
         return values.tolist()
+
+    def _run_sampling(self, circuit, shots, rng, noise_model=None, *,
+                      elide_diagonals=True) -> list[int]:
+        state, qubit_to_clbit = self._evolve_sampling_state(
+            circuit, elide_diagonals=elide_diagonals
+        )
+        return self._sample_values(
+            state, qubit_to_clbit, circuit.num_clbits, shots, rng,
+            noise_model,
+        )
 
     # -- batched trajectory strategy ---------------------------------------------------
 

@@ -53,6 +53,10 @@ FAULT_COUNTERS = (
     ("repro_job_fallbacks_total", "Executor degradations taken"),
     ("repro_job_failures_total", "Experiments that exhausted retries"),
     ("repro_job_backoff_seconds_total", "Seconds slept in retry backoff"),
+    ("repro_job_chunks_total", "Shot-chunks planned per job"),
+    ("repro_job_chunks_completed_total", "Shot-chunks that finished"),
+    ("repro_job_chunks_resumed_total",
+     "Shot-chunks restored from a checkpoint ledger"),
 )
 
 
@@ -108,22 +112,31 @@ class JobTrace:
         if self._dispatch_span is not None:
             self._dispatch_span.set_attribute("executor", kind)
 
-    def experiment_context(self, index: int, name: str):
+    def experiment_context(self, index: int, name: str, chunk=None,
+                           chunks: int = 1, seq=None):
         """The serializable span context for experiment ``index``.
 
         Injected into the experiment config as ``span_context`` so the
         worker-side :class:`ExperimentRecorder` parents its spans to this
         job's ``dispatch`` span.  None when tracing is disabled — the
-        config then carries no telemetry at all.
+        config then carries no telemetry at all.  For a shot-chunk
+        payload, ``chunk``/``chunks`` describe the unit and ``seq`` (the
+        payload's batch position) keeps the deterministic span ids unique
+        across the chunks of one experiment.
         """
         if not self.enabled or self._dispatch_span is None:
             return None
-        return {
+        context = {
             "trace_id": self.trace_id,
             "span_id": self._dispatch_span.span_id,
             "experiment_index": int(index),
             "experiment_name": name,
         }
+        if chunk is not None:
+            context["chunk_index"] = int(chunk)
+            context["total_chunks"] = int(chunks)
+            context["payload_seq"] = int(index if seq is None else seq)
+        return context
 
     def record_fallback(self, transition: str) -> None:
         """Record one executor degradation as an ERROR child span."""
@@ -181,6 +194,9 @@ class JobTrace:
             "repro_job_fallbacks_total": len(stats["fallbacks"]),
             "repro_job_failures_total": len(stats["failed_experiments"]),
             "repro_job_backoff_seconds_total": stats["backoff_total_s"],
+            "repro_job_chunks_total": stats["total_chunks"],
+            "repro_job_chunks_completed_total": stats["completed_chunks"],
+            "repro_job_chunks_resumed_total": stats["resumed_chunks"],
         }
         for name, help_text in FAULT_COUNTERS:
             registry.counter(name, help_text, labelnames=("job",)).inc(
@@ -252,6 +268,13 @@ class JobTrace:
                 name: dict(entry)
                 for name, entry in self._per_experiment.items()
             },
+            "total_chunks": int(value("repro_job_chunks_total")),
+            "completed_chunks": int(
+                value("repro_job_chunks_completed_total")
+            ),
+            "resumed_chunks": int(
+                value("repro_job_chunks_resumed_total")
+            ),
         }
 
     def trace(self) -> Trace:
@@ -294,13 +317,25 @@ class ExperimentRecorder:
         self.tracer = RecordingTracer(store=TraceStore())
         parent = SpanContext(payload["trace_id"], payload["span_id"])
         index = int(payload.get("experiment_index", 0))
+        attributes = {
+            "experiment": payload.get("experiment_name", ""),
+            "index": index,
+            "pid": os.getpid(),
+        }
+        chunk = payload.get("chunk_index")
+        if chunk is not None:
+            # One span per shot-chunk: the span name changes and the seq
+            # is the payload's batch position, so the deterministic ids
+            # of sibling chunks (same experiment index) never collide.
+            attributes["chunk"] = int(chunk)
+            attributes["total_chunks"] = int(
+                payload.get("total_chunks", 1)
+            )
+            name, seq = "chunk", int(payload.get("payload_seq", index))
+        else:
+            name, seq = "experiment", index
         self.span = self.tracer.start_span(
-            "experiment", parent=parent, seq=index,
-            attributes={
-                "experiment": payload.get("experiment_name", ""),
-                "index": index,
-                "pid": os.getpid(),
-            },
+            name, parent=parent, seq=seq, attributes=attributes,
         )
         push_tracer_override(self.tracer)
         push_ambient_span(self.span)

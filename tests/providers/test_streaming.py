@@ -1,0 +1,375 @@
+"""Shot-chunk streaming: layout, merge, bit-identity, cancel, ledger."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.providers import (
+    Aer,
+    Counts,
+    ExperimentResult,
+    FaultInjector,
+    FaultSpec,
+    Job,
+    RetryPolicy,
+)
+from repro.providers.checkpoint import (
+    append_chunk,
+    load_ledger,
+    write_header,
+)
+from repro.providers.result import merge_chunk_outcomes
+from repro.qobj import (
+    DEFAULT_SHOT_CHUNK_SIZE,
+    derive_chunk_seeds,
+    shot_chunk_bounds,
+)
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "7"))
+
+EXECUTORS = ["serial", "threads", "processes"]
+
+FAST_RETRY = RetryPolicy(base_delay=0.0)
+
+
+def _bell(name="bell"):
+    circuit = QuantumCircuit(2, 2)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.measure(0, 0)
+    circuit.measure(1, 1)
+    circuit.name = name
+    return circuit
+
+
+class TestChunkLayout:
+    def test_bounds_default_size(self):
+        bounds = shot_chunk_bounds(DEFAULT_SHOT_CHUNK_SIZE * 2 + 7)
+        assert bounds == [
+            (0, DEFAULT_SHOT_CHUNK_SIZE),
+            (DEFAULT_SHOT_CHUNK_SIZE, 2 * DEFAULT_SHOT_CHUNK_SIZE),
+            (2 * DEFAULT_SHOT_CHUNK_SIZE, 2 * DEFAULT_SHOT_CHUNK_SIZE + 7),
+        ]
+
+    def test_bounds_single_chunk(self):
+        assert shot_chunk_bounds(100, 256) == [(0, 100)]
+
+    def test_bounds_disabled(self):
+        assert shot_chunk_bounds(10_000, 0) == [(0, 10_000)]
+
+    def test_single_chunk_keeps_experiment_seed(self):
+        # The backward-compatibility contract: one chunk == the
+        # experiment's own seed, so small runs replay the pre-chunking
+        # pipeline bit-for-bit.
+        assert derive_chunk_seeds(12345, 1) == [12345]
+
+    def test_multi_chunk_seeds_deterministic(self):
+        seeds = derive_chunk_seeds(12345, 4)
+        assert len(seeds) == 4
+        assert len(set(seeds)) == 4
+        assert seeds == derive_chunk_seeds(12345, 4)
+        assert 12345 not in seeds[1:]
+
+
+class TestCountsMerge:
+    def test_merge_adds_keywise(self):
+        merged = Counts.merge([{"00": 3, "11": 5}, {"11": 2, "01": 1}])
+        assert merged == {"00": 3, "11": 7, "01": 1}
+        assert all(isinstance(v, int) for v in merged.values())
+
+    def test_merge_skips_empty(self):
+        assert Counts.merge([{}, {"0": 4}, {}]) == {"0": 4}
+        assert Counts.merge([]) == {}
+
+    def test_marginal(self):
+        counts = Counts({"10": 6, "01": 3, "11": 1})
+        assert counts.marginal([0]) == {"0": 6, "1": 4}
+        assert counts.marginal([1]) == {"1": 7, "0": 3}
+        assert counts.marginal([0, 1]) == counts
+
+
+class TestMergeChunkOutcomes:
+    @staticmethod
+    def _chunk(index, total, counts, status="DONE", **kwargs):
+        outcome = ExperimentResult(
+            "exp", sum(counts.values()), {"counts": dict(counts)},
+            status=status, **kwargs,
+        )
+        outcome.chunk = {"index": index, "total": total,
+                         "start": 0, "stop": outcome.shots}
+        return outcome
+
+    def test_merges_counts_and_ledgers(self):
+        a = self._chunk(0, 2, {"00": 10, "11": 10}, attempts=2,
+                        faults=["transient@0"])
+        b = self._chunk(1, 2, {"11": 5, "01": 15})
+        merged = merge_chunk_outcomes("exp", [a, b], 2)
+        assert merged.status == "DONE"
+        assert merged.data["counts"] == {"00": 10, "11": 15, "01": 15}
+        assert merged.shots == 40
+        assert merged.attempts == 3
+        assert merged.faults == ["c0:transient@0"]
+        assert merged.chunks == 2
+        assert merged.completed_chunks == 2
+
+    def test_missing_chunk_is_incomplete(self):
+        merged = merge_chunk_outcomes(
+            "exp", [self._chunk(0, 3, {"00": 4})], 3
+        )
+        assert merged.status == "INCOMPLETE"
+        assert merged.completed_chunks == 1
+        assert merged.data["counts"] == {"00": 4}
+
+    def test_failed_chunk_wins_over_cancelled(self):
+        bad = self._chunk(1, 2, {}, status="ERROR", error="boom")
+        merged = merge_chunk_outcomes(
+            "exp", [self._chunk(0, 2, {"0": 1}), bad], 2
+        )
+        assert merged.status == "ERROR"
+        assert "chunk 1/2" in merged.error
+
+    def test_single_unchunked_passthrough(self):
+        solo = ExperimentResult("exp", 4, {"counts": {"0": 4}})
+        assert merge_chunk_outcomes("exp", [solo], 1) is solo
+
+
+class TestChunkBitIdentity:
+    """The tentpole invariant: one chunk layout, any scheduling."""
+
+    SHOTS = 4000
+    CHUNK = 1024
+
+    def _counts(self, executor, dispatch, backend="qasm_simulator",
+                **options):
+        job = Aer.get_backend(backend).run(
+            [_bell()], shots=self.SHOTS, seed=99,
+            shot_chunk_size=self.CHUNK, shot_chunk_dispatch=dispatch,
+            executor=executor, **options,
+        )
+        return job.result().get_counts()
+
+    def test_inline_equals_dispatch(self):
+        assert self._counts("serial", False) == self._counts("serial", True)
+
+    @pytest.mark.parametrize("executor", EXECUTORS[1:])
+    def test_dispatch_identical_across_executors(self, executor):
+        assert self._counts("serial", True) == self._counts(executor, True)
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_chaos_does_not_change_counts(self, executor):
+        injector = FaultInjector(
+            [FaultSpec("transient", probability=0.6)], seed=CHAOS_SEED
+        )
+        clean = self._counts("serial", True)
+        chaotic = self._counts(
+            executor, True, fault_injector=injector,
+            retry_policy=FAST_RETRY,
+        )
+        assert chaotic == clean
+
+    def test_density_matrix_inline_equals_dispatch(self):
+        kwargs = {"backend": "density_matrix_simulator"}
+        assert self._counts("serial", False, **kwargs) == \
+            self._counts("serial", True, **kwargs)
+
+    def test_below_chunk_size_matches_unchunked(self):
+        backend = Aer.get_backend("qasm_simulator")
+        small = backend.run([_bell()], shots=500, seed=5).result()
+        off = backend.run(
+            [_bell()], shots=500, seed=5, shot_chunk_size=0
+        ).result()
+        assert small.get_counts() == off.get_counts()
+
+    def test_memory_concatenates_in_chunk_order(self):
+        backend = Aer.get_backend("qasm_simulator")
+        chunked = backend.run(
+            [_bell()], shots=self.SHOTS, seed=99, memory=True,
+            shot_chunk_size=self.CHUNK, shot_chunk_dispatch=True,
+            executor="threads",
+        ).result().get_memory()
+        plain = backend.run(
+            [_bell()], shots=self.SHOTS, seed=99, memory=True,
+            shot_chunk_size=self.CHUNK,
+        ).result().get_memory()
+        assert chunked == plain
+        assert len(chunked) == self.SHOTS
+
+
+class TestStreaming:
+    SHOTS = 3000
+    CHUNK = 1024  # -> 3 chunks
+
+    def _job(self, executor="serial", **options):
+        return Aer.get_backend("qasm_simulator").run(
+            [_bell()], shots=self.SHOTS, seed=42,
+            shot_chunk_size=self.CHUNK, shot_chunk_dispatch=True,
+            executor=executor, **options,
+        )
+
+    def test_chunk_events_then_experiment_event(self):
+        job = self._job()
+        events = list(job.stream())
+        kinds = [event["type"] for event in events]
+        assert kinds == ["chunk", "chunk", "chunk", "experiment"]
+        assert [e["chunk"] for e in events[:3]] == [0, 1, 2]
+        assert all(e["status"] == "DONE" for e in events)
+        total = sum(sum(e["counts"].values()) for e in events[:3])
+        assert total == self.SHOTS
+        merged = events[-1]["result"]
+        assert merged.completed_chunks == 3
+        assert sum(merged.data["counts"].values()) == self.SHOTS
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_stream_matches_result(self, executor):
+        job = self._job(executor)
+        events = list(job.stream())
+        assert events[-1]["type"] == "experiment"
+        assert job.result().get_counts() == \
+            Counts(events[-1]["result"].data["counts"])
+
+    def test_result_cached_after_stream(self):
+        job = self._job()
+        list(job.stream())
+        result = job.result()
+        assert result.success
+        # Streaming again replays the cached result.
+        replay = list(job.stream())
+        assert [e["type"] for e in replay] == ["experiment"]
+
+    def test_unchunked_job_streams_one_event_pair(self):
+        job = Aer.get_backend("qasm_simulator").run(
+            [_bell("a"), _bell("b")], shots=64, seed=1,
+        )
+        events = list(job.stream())
+        assert [e["type"] for e in events] == [
+            "chunk", "experiment", "chunk", "experiment",
+        ]
+        assert [e["experiment"] for e in events[::2]] == ["a", "b"]
+
+    def test_multi_experiment_stream_interleaves(self):
+        job = Aer.get_backend("qasm_simulator").run(
+            [_bell("a"), _bell("b")], shots=self.SHOTS, seed=42,
+            shot_chunk_size=self.CHUNK, shot_chunk_dispatch=True,
+            executor="serial",
+        )
+        events = list(job.stream())
+        experiment_events = [e for e in events if e["type"] == "experiment"]
+        assert [e["experiment"] for e in experiment_events] == ["a", "b"]
+        assert len([e for e in events if e["type"] == "chunk"]) == 6
+        assert job.result().success
+
+
+class TestCancelDuringStream:
+    SHOTS = 3000
+    CHUNK = 1024
+
+    def _job(self):
+        return Aer.get_backend("qasm_simulator").run(
+            [_bell()], shots=self.SHOTS, seed=42,
+            shot_chunk_size=self.CHUNK, shot_chunk_dispatch=True,
+            executor="serial",
+        )
+
+    def test_cancel_keeps_delivered_chunks(self):
+        job = self._job()
+        stream = job.stream()
+        first = next(stream)
+        assert first["type"] == "chunk" and first["chunk"] == 0
+        assert job.cancel() is True
+        assert list(stream) == []  # ends without further chunks
+        result = job.result(partial=True)
+        merged = result.results[0]
+        assert merged.status == "CANCELLED"
+        assert sum(merged.data["counts"].values()) == self.CHUNK
+        assert merged.completed_chunks == 1
+
+    def test_cancel_is_exactly_once(self):
+        job = self._job()
+        stream = job.stream()
+        next(stream)
+        assert job.cancel() is True
+        assert job.cancel() is False
+
+    def test_cancelled_fault_stats_report_chunk_progress(self):
+        job = self._job()
+        stream = job.stream()
+        next(stream)
+        next(stream)
+        job.cancel()
+        list(stream)
+        stats = job.fault_stats
+        assert stats["total_chunks"] == 3
+        assert stats["completed_chunks"] == 2
+
+
+class TestCheckpointLedger:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        payloads = [({"header": {"name": "exp"}}, {"seed": 7})]
+        plan = [{"experiment_index": 0, "name": "exp",
+                 "chunk": 0, "chunks": 2}]
+        write_header(path, "job-1", ("aer", "qasm_simulator"),
+                     payloads, plan)
+        outcome = ExperimentResult("exp", 8, {"counts": {"00": 8}})
+        append_chunk(path, "job-1", 0, 0, outcome)
+        header, chunks = load_ledger(path)
+        assert header["job_id"] == "job-1"
+        assert header["backend"] == ["aer", "qasm_simulator"]
+        assert header["payloads"] == payloads
+        assert header["plan"] == plan
+        restored = chunks[(0, 0)]
+        assert restored.circuit_name == "exp"
+        assert restored.data["counts"] == {"00": 8}
+
+    def test_duplicate_chunk_records_keep_first(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        write_header(path, "job-1", ("aer", "qasm_simulator"), [], [])
+        append_chunk(path, "job-1", 0, 0,
+                     ExperimentResult("exp", 1, {"counts": {"0": 1}}))
+        append_chunk(path, "job-1", 0, 0,
+                     ExperimentResult("exp", 1, {"counts": {"1": 1}}))
+        _header, chunks = load_ledger(path)
+        assert chunks[(0, 0)].data["counts"] == {"0": 1}
+
+    def test_torn_tail_line_is_ignored(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        write_header(path, "job-1", ("aer", "qasm_simulator"), [], [])
+        append_chunk(path, "job-1", 0, 1,
+                     ExperimentResult("exp", 1, {"counts": {"0": 1}}))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "chunk", "experiment": 0, "chu')
+        _header, chunks = load_ledger(path)
+        assert set(chunks) == {(0, 1)}
+
+    def test_non_done_records_are_skipped(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        write_header(path, "job-1", ("aer", "qasm_simulator"), [], [])
+        failed = ExperimentResult("exp", 0, {}, status="ERROR",
+                                  error="boom")
+        append_chunk(path, "job-1", 0, 0, failed)
+        _header, chunks = load_ledger(path)
+        assert chunks == {}
+
+    def test_checkpointed_job_appends_every_chunk(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        job = Aer.get_backend("qasm_simulator").run(
+            [_bell()], shots=3000, seed=42, shot_chunk_size=1024,
+            shot_chunk_dispatch=True, executor="serial",
+            checkpoint=path,
+        )
+        reference = job.result().get_counts()
+        _header, chunks = load_ledger(path)
+        assert set(chunks) == {(0, 0), (0, 1), (0, 2)}
+        merged = Counts.merge(
+            [chunks[key].data["counts"] for key in sorted(chunks)]
+        )
+        assert merged == reference
+
+    def test_resume_requires_ledger(self, tmp_path):
+        from repro.exceptions import BackendError
+
+        with pytest.raises(BackendError):
+            Job.resume(str(tmp_path / "missing.jsonl"))
