@@ -1,0 +1,281 @@
+"""Benchmark the runtime service layer: disk-tier compiles and queue
+latency.
+
+Run as a script to emit ``BENCH_runtime.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_runtime.py [--fast]
+
+Two sections:
+
+* **disk-tier compile speedup** — the same transpile workload is timed
+  in *fresh subprocesses* (cold interpreter, empty memory cache) three
+  ways: no disk tier (every process recompiles), disk tier cold (first
+  process: compile + write-through), and disk tier warm (second process:
+  every lookup served from disk).  The warm/no-tier ratio is the
+  speedup repeated CLI/batch invocations get from the on-disk cache;
+  the run also asserts the warm process recorded only disk hits.
+
+* **queue latency under multi-tenant load** — a 4-tenant burst (one
+  rate-limited) is pushed through a :class:`RuntimeService`; per-tenant
+  wait times come from the service's own
+  ``repro_runtime_wait_seconds`` histogram, plus scheduling overhead
+  per job (wall time minus pure execution time).  Every job's counts
+  are asserted bit-identical to a quiet direct ``backend.run`` with the
+  same seed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_ROOT / "src"))
+sys.path.insert(0, str(_ROOT))
+
+from repro.circuit import QuantumCircuit  # noqa: E402
+from repro.providers.aer import Aer  # noqa: E402
+from repro.runtime import RuntimeService  # noqa: E402
+from repro.telemetry.metrics import get_metrics_registry  # noqa: E402
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_runtime.json"
+
+SEED = 2025
+QFT_WIDTHS = (4, 5, 6)
+COMPILE_REPEATS = 4  # distinct circuits compiled per subprocess
+TENANTS = 4
+JOBS_PER_TENANT = 6
+JOB_SHOTS = 400
+DISK_SPEEDUP_TARGET = 2.0
+
+#: Child process: compile the workload, print timing + cache stats JSON.
+_COMPILE_CHILD = """
+import json, sys, time
+from repro.algorithms.qft import qft_circuit
+from repro.transpiler import get_transpile_cache, transpile
+
+widths = json.loads(sys.argv[1])
+start = time.perf_counter()
+for width in widths:
+    transpile(qft_circuit(width), coupling_map="ibmqx5", seed=2025)
+wall = time.perf_counter() - start
+print(json.dumps({"wall": wall, "stats": get_transpile_cache().stats()}))
+"""
+
+
+def _compile_in_subprocess(widths, cache_dir=None) -> dict:
+    """Run the compile workload in a fresh interpreter; returns timing
+    and the child's cache stats."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH"), str(_ROOT / "src")) if p
+    )
+    env.pop("REPRO_TRANSPILE_CACHE_DIR", None)
+    if cache_dir is not None:
+        env["REPRO_TRANSPILE_CACHE_DIR"] = str(cache_dir)
+    completed = subprocess.run(
+        [sys.executable, "-c", _COMPILE_CHILD, json.dumps(list(widths))],
+        env=env, capture_output=True, text=True, timeout=600,
+    )
+    if completed.returncode != 0:
+        raise RuntimeError(f"compile child failed: {completed.stderr}")
+    return json.loads(completed.stdout.strip())
+
+
+def bench_disk_tier(fast: bool) -> dict:
+    widths = list(QFT_WIDTHS[:2] if fast else QFT_WIDTHS)
+    repeats = 2 if fast else COMPILE_REPEATS
+    # Several distinct widths, each compiled once per process — the
+    # cross-process win is per unique circuit, so more circuits = more
+    # saved compiles.
+    workload = widths * repeats
+
+    no_tier = _compile_in_subprocess(workload, cache_dir=None)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold = _compile_in_subprocess(workload, cache_dir=cache_dir)
+        warm = _compile_in_subprocess(workload, cache_dir=cache_dir)
+    warm_stats = warm["stats"]
+    if warm_stats["disk_hits"] < len(set(workload)):
+        raise AssertionError(
+            f"warm process expected >= {len(set(workload))} disk hits, "
+            f"got {warm_stats}"
+        )
+    if warm_stats["misses"] != 0:
+        raise AssertionError(
+            f"warm process should compile nothing, stats: {warm_stats}"
+        )
+    return {
+        "workload": {
+            "qft_widths": widths,
+            "repeats": repeats,
+            "unique_circuits": len(set(workload)),
+        },
+        "wall_seconds": {
+            "no_disk_tier": round(no_tier["wall"], 4),
+            "disk_cold": round(cold["wall"], 4),
+            "disk_warm": round(warm["wall"], 4),
+        },
+        "warm_process_stats": warm_stats,
+        "speedup_warm_vs_no_tier": round(
+            no_tier["wall"] / warm["wall"], 2
+        ),
+        "write_through_overhead": round(
+            cold["wall"] / no_tier["wall"], 2
+        ),
+    }
+
+
+def _bell(name):
+    circuit = QuantumCircuit(2, 2, name=name)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.measure(0, 0)
+    circuit.measure(1, 1)
+    return circuit
+
+
+def bench_queue_latency(fast: bool) -> dict:
+    jobs_per_tenant = 3 if fast else JOBS_PER_TENANT
+    shots = 200 if fast else JOB_SHOTS
+
+    # Quiet single-job baseline: pure execution wall time.
+    backend = Aer.get_backend("qasm_simulator")
+    start = time.perf_counter()
+    reference = {}
+    for index in range(jobs_per_tenant):
+        reference[index] = backend.run(
+            _bell(f"bell-{index}"), shots=shots, seed=SEED + index,
+        ).result().get_counts()
+    direct_wall = time.perf_counter() - start
+
+    registry = get_metrics_registry()
+    wait_metric = registry.get("repro_runtime_wait_seconds")
+    if wait_metric is not None:
+        wait_metric.reset()
+
+    tenants = [f"tenant-{index}" for index in range(TENANTS)]
+    with tempfile.TemporaryDirectory() as store_dir:
+        service = RuntimeService(store_dir, max_workers=2)
+        # Mixed shares plus one rate-limited tenant whose burst must
+        # queue (never error).
+        service.set_tenant(tenants[0], weight=4.0)
+        service.set_tenant(tenants[1], weight=2.0)
+        service.set_tenant(tenants[2], weight=1.0)
+        service.set_tenant(tenants[3], weight=1.0, rate=20.0, burst=2)
+        start = time.perf_counter()
+        jobs = []
+        for index in range(jobs_per_tenant):
+            for tenant in tenants:
+                jobs.append((index, service.submit(
+                    _bell(f"bell-{index}"), shots=shots,
+                    seed=SEED + index, tenant=tenant,
+                )))
+        for index, job in jobs:
+            counts = job.result(timeout=300).get_counts()
+            if counts != reference[index]:
+                raise AssertionError(
+                    f"service counts diverged from direct run for "
+                    f"seed offset {index}"
+                )
+        burst_wall = time.perf_counter() - start
+        service.shutdown()
+
+    waits = {
+        tenant: registry.get("repro_runtime_wait_seconds").snapshot(
+            labels={"tenant": tenant}
+        )
+        for tenant in tenants
+    }
+    total_jobs = jobs_per_tenant * TENANTS
+    return {
+        "workload": {
+            "tenants": TENANTS,
+            "jobs_per_tenant": jobs_per_tenant,
+            "shots": shots,
+            "weights": [4.0, 2.0, 1.0, 1.0],
+            "rate_limited_tenant": tenants[3],
+        },
+        "bit_identical": True,  # asserted above for every job
+        "wall_seconds": {
+            "direct_serial_one_tenant": round(direct_wall, 4),
+            "service_burst_all_tenants": round(burst_wall, 4),
+        },
+        "scheduling_overhead_ms_per_job": round(
+            max(0.0, burst_wall - direct_wall * TENANTS)
+            / total_jobs * 1000, 3
+        ),
+        "queue_wait_seconds": {
+            tenant: {
+                "count": snapshot["count"],
+                "mean": round(snapshot["sum"] / snapshot["count"], 4)
+                if snapshot["count"] else None,
+                "max": round(snapshot["max"], 4)
+                if snapshot["count"] else None,
+            }
+            for tenant, snapshot in waits.items()
+        },
+    }
+
+
+def main(argv=None) -> int:
+    fast = "--fast" in (argv if argv is not None else sys.argv[1:])
+    cpu_count = os.cpu_count() or 1
+
+    print("disk-tier compile speedup (fresh subprocesses):")
+    disk = bench_disk_tier(fast)
+    print(
+        f"  no tier {disk['wall_seconds']['no_disk_tier']}s, cold "
+        f"{disk['wall_seconds']['disk_cold']}s, warm "
+        f"{disk['wall_seconds']['disk_warm']}s -> "
+        f"{disk['speedup_warm_vs_no_tier']}x warm speedup"
+    )
+
+    print(f"queue latency under {TENANTS}-tenant load:")
+    queue = bench_queue_latency(fast)
+    for tenant, wait in queue["queue_wait_seconds"].items():
+        print(
+            f"  {tenant}: {wait['count']} jobs, mean wait "
+            f"{wait['mean']}s, max {wait['max']}s"
+        )
+    print(
+        f"  scheduling overhead "
+        f"{queue['scheduling_overhead_ms_per_job']}ms/job"
+    )
+
+    speedup = disk["speedup_warm_vs_no_tier"]
+    payload = {
+        "suite": "runtime",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "cpu_count": cpu_count,
+        "fast_mode": fast,
+        "disk_tier": disk,
+        "queue": queue,
+        "acceptance": {
+            "disk_warm_speedup": speedup,
+            "disk_warm_speedup_target": DISK_SPEEDUP_TARGET,
+            "warm_process_compiled_nothing": True,  # asserted above
+        },
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"written to {OUTPUT_PATH}")
+    status = (
+        "ok" if speedup >= DISK_SPEEDUP_TARGET
+        else f"BELOW TARGET (>={DISK_SPEEDUP_TARGET}x)"
+    )
+    print(f"  disk warm speedup: {speedup:.2f}x  [{status}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,4 +50,8 @@ def __getattr__(name):
         from repro.primitives import EstimatorV2
 
         return EstimatorV2
+    if name == "RuntimeService":
+        from repro.runtime import RuntimeService
+
+        return RuntimeService
     raise AttributeError(f"module 'repro' has no attribute '{name}'")

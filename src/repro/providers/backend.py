@@ -12,19 +12,19 @@ stages shared by every backend:
    with per-experiment timing and error capture;
 4. **collect** — :meth:`Job.result` gathers the experiment results into a
    :class:`~repro.providers.result.Result`.
+
+The pipeline itself lives in :mod:`repro.providers.engine`:
+``BaseBackend.run``/``run_pubs`` are thin submission APIs over the
+process-wide :class:`~repro.providers.engine.ExecutionEngine`, which the
+multi-tenant :mod:`repro.runtime` service drives directly — so direct
+backend submissions and service-scheduled ones share one code path.
 """
 
 from __future__ import annotations
 
 import itertools
 
-from repro.exceptions import BackendError
-from repro.providers.executor import (
-    SCHEDULING_OPTIONS,
-    JobStatus,
-    choose_executor,
-    create_dispatch,
-)
+from repro.providers.executor import JobStatus
 
 
 class BackendConfiguration:
@@ -112,9 +112,15 @@ class Job:
         ``resumed_chunks`` in ``fault_stats`` and stream first from
         :meth:`stream`.  The resumed job appends new completions to the
         same ledger, so resume is itself resumable.
+
+        A ledger with no missing units short-circuits: the returned job
+        is DONE immediately (no executor is consulted, no empty payload
+        set dispatched) and ``result()`` just merges the restored
+        chunks.
         """
         from repro.providers.checkpoint import load_ledger
         from repro.providers.executor import (
+            CompletedDispatch,
             choose_executor,
             create_dispatch,
             resolve_backend,
@@ -149,26 +155,30 @@ class Job:
                     config["checkpoint"], path=checkpoint_path
                 )
             resumed.append((experiment, config))
-        if resumed:
-            chunked = [
-                config for _experiment, config in resumed
-                if config.get("shot_chunk")
-            ]
-            kind = choose_executor(
-                len(resumed),
-                max(
-                    experiment.get("header", {}).get("n_qubits", 1)
-                    for experiment, _config in resumed
-                ),
-                executor,
-                chunk_payloads=len(chunked),
-                chunk_shots=min(
-                    (config.get("shots", 0) for config in chunked),
-                    default=0,
-                ),
-            )
-        else:
-            kind = "serial"
+        if not resumed:
+            # Fully checkpointed: nothing to dispatch — the job is DONE
+            # from construction and result() just merges the restored
+            # chunks.
+            job_trace.dispatch_started("none", 0)
+            return cls(backend, CompletedDispatch(), trace=job_trace,
+                       plan=plan, preloaded=preloaded)
+        chunked = [
+            config for _experiment, config in resumed
+            if config.get("shot_chunk")
+        ]
+        kind = choose_executor(
+            len(resumed),
+            max(
+                experiment.get("header", {}).get("n_qubits", 1)
+                for experiment, _config in resumed
+            ),
+            executor,
+            chunk_payloads=len(chunked),
+            chunk_shots=min(
+                (config.get("shots", 0) for config in chunked),
+                default=0,
+            ),
+        )
         job_trace.dispatch_started(kind, len(resumed))
         dispatch = create_dispatch(backend, resumed, kind, max_workers,
                                    job_trace)
@@ -520,155 +530,9 @@ class BaseBackend:
           to (``execute`` passes one so transpile spans join the job's
           trace); by default a fresh one is created here.
         """
-        from repro.providers.faults import resolve_injector
-        from repro.providers.retry import resolve_retry_policy
-        from repro.qobj.assembler import (
-            assemble,
-            derive_chunk_seeds,
-            shot_chunk_bounds,
-        )
+        from repro.providers.engine import get_execution_engine
 
-        if not isinstance(circuits, (list, tuple)):
-            circuits = [circuits]
-        if not circuits:
-            raise BackendError("no circuits to run")
-        shots = options.get("shots", 1024)
-        if shots > self._configuration.max_shots:
-            raise BackendError(
-                f"shots {shots} exceeds backend maximum "
-                f"{self._configuration.max_shots}"
-            )
-        self._validate_batch(circuits)
-        requested = options.get("executor")
-        if not options.get("use_kernels", True) and requested == "threads":
-            requested = "serial"
-        max_workers = options.get("max_workers")
-        engine_options = {
-            key: value
-            for key, value in options.items()
-            if key not in SCHEDULING_OPTIONS
-        }
-        # Normalize the fault-tolerance knobs once here, so every worker
-        # (including process-pool ones, via pickled configs) agrees on the
-        # retry budget and the seeded fault schedule.
-        engine_options["retry_policy"] = resolve_retry_policy(
-            options.get("retry_policy")
-        )
-        engine_options["fault_injector"] = resolve_injector(
-            options.get("fault_injector")
-        )
-        job_trace = options.get("job_trace")
-        if job_trace is None:
-            from repro.telemetry.jobtrace import JobTrace
-
-            job_trace = JobTrace(Job.reserve_id(), self.name())
-        max_qubits = max(circuit.num_qubits for circuit in circuits)
-        with job_trace.stage("assemble", attributes={
-            "experiments": len(circuits), "shots": shots,
-            "max_qubits": max_qubits,
-        }):
-            qobj = assemble(
-                circuits,
-                shots=shots,
-                seed=options.get("seed"),
-                memory=options.get("memory", False),
-            )
-        chunk_size = options.get("shot_chunk_size")
-        force_dispatch = bool(options.get("shot_chunk_dispatch"))
-        payloads = []
-        plan = []
-        chunked = False
-        for index, experiment in enumerate(qobj["experiments"]):
-            exp_seed = experiment["config"]["seed"]
-            name = experiment.get("header", {}).get("name", "unnamed")
-            support = self._chunk_support(circuits[index], options)
-            bounds = (
-                shot_chunk_bounds(shots, chunk_size)
-                if support != "none" else [(0, shots)]
-            )
-            base = dict(engine_options)
-            base["experiment_index"] = experiment["config"]["index"]
-            if len(bounds) == 1:
-                # Single chunk (or unchunkable): the experiment seed and
-                # payload shape are exactly the pre-chunking pipeline's.
-                config = dict(base, seed=exp_seed)
-                payloads.append((experiment, config))
-                plan.append({
-                    "experiment_index": index, "name": name,
-                    "chunk": None, "chunks": 1,
-                })
-                continue
-            chunked = True
-            seeds = derive_chunk_seeds(exp_seed, len(bounds))
-            if support == "dispatch" or force_dispatch:
-                for chunk, ((start, stop), seed) in enumerate(
-                    zip(bounds, seeds)
-                ):
-                    config = dict(base, seed=seed, shots=stop - start)
-                    config["shot_chunk"] = {
-                        "index": chunk, "total": len(bounds),
-                        "start": start, "stop": stop,
-                    }
-                    payloads.append((experiment, config))
-                    plan.append({
-                        "experiment_index": index, "name": name,
-                        "chunk": chunk, "chunks": len(bounds),
-                    })
-            else:
-                # Inline: one payload, the engine loops the same chunk
-                # layout (same seeds) itself — bit-identical to dispatch
-                # mode, without re-deriving the state per chunk.
-                config = dict(base, seed=exp_seed)
-                config["shot_chunks"] = [
-                    {"index": chunk, "start": start, "stop": stop,
-                     "seed": seed}
-                    for chunk, ((start, stop), seed) in enumerate(
-                        zip(bounds, seeds)
-                    )
-                ]
-                payloads.append((experiment, config))
-                plan.append({
-                    "experiment_index": index, "name": name,
-                    "chunk": None, "chunks": len(bounds),
-                })
-        chunk_payloads = [
-            config for _experiment, config in payloads
-            if config.get("shot_chunk")
-        ]
-        kind = choose_executor(
-            len(payloads), max_qubits, requested,
-            chunk_payloads=len(chunk_payloads),
-            chunk_shots=min(
-                (config["shots"] for config in chunk_payloads), default=0
-            ),
-        )
-        job_trace.dispatch_started(kind, len(payloads))
-        for seq, ((experiment, config), entry) in enumerate(
-            zip(payloads, plan)
-        ):
-            context = job_trace.experiment_context(
-                entry["experiment_index"], entry["name"],
-                chunk=entry["chunk"], chunks=entry["chunks"], seq=seq,
-            )
-            if context is not None:
-                config["span_context"] = context
-        checkpoint = options.get("checkpoint")
-        if checkpoint:
-            from repro.providers.checkpoint import write_header
-
-            for (experiment, config), entry in zip(payloads, plan):
-                config["checkpoint"] = {
-                    "path": checkpoint,
-                    "job_id": job_trace.job_id,
-                    "experiment": entry["experiment_index"],
-                    "chunk": entry["chunk"] or 0,
-                }
-            write_header(checkpoint, job_trace.job_id,
-                         self._backend_spec(), payloads, plan)
-        dispatch = create_dispatch(self, payloads, kind, max_workers,
-                                   job_trace)
-        return Job(self, dispatch, trace=job_trace,
-                   plan=plan if (chunked or checkpoint) else None)
+        return get_execution_engine().run(self, circuits, options)
 
     def run_pubs(self, pubs, **options) -> Job:
         """Schedule broadcast primitive unified blocs (PUBs).
@@ -699,130 +563,9 @@ class BaseBackend:
         ``noise_model`` and ``use_kernels=False`` are rejected (the
         broadcast engine is kernel-only and noise-free).
         """
-        import numpy as np
+        from repro.providers.engine import get_execution_engine
 
-        from repro.providers.faults import resolve_injector
-        from repro.providers.retry import resolve_retry_policy
-        from repro.qobj.assembler import (
-            circuit_to_experiment,
-            derive_experiment_seeds,
-        )
-        from repro.simulators.batched import broadcast_chunk_bounds
-
-        if not isinstance(pubs, (list, tuple)):
-            pubs = [pubs]
-        if not pubs:
-            raise BackendError("no pubs to run")
-        shots = options.get("shots", 1024)
-        if shots > self._configuration.max_shots:
-            raise BackendError(
-                f"shots {shots} exceeds backend maximum "
-                f"{self._configuration.max_shots}"
-            )
-        if options.get("noise_model") is not None:
-            raise BackendError(
-                "broadcast execution does not support noise models; bind "
-                "the circuits and use run() instead"
-            )
-        if not options.get("use_kernels", True):
-            raise BackendError(
-                "broadcast execution requires the specialized kernels; "
-                "use run() for use_kernels=False A/B comparisons"
-            )
-        normalized = []
-        for pub in pubs:
-            if not isinstance(pub, (list, tuple)) or len(pub) not in (3, 4):
-                raise BackendError(
-                    "each pub must be (circuit, parameter_values, "
-                    "parameters[, observable])"
-                )
-            circuit, values, parameters = pub[0], pub[1], pub[2]
-            observable = pub[3] if len(pub) == 4 else None
-            values = np.asarray(values, dtype=float)
-            if values.ndim == 1:
-                values = values.reshape(1, -1)
-            if values.ndim != 2 or values.shape[0] < 1:
-                raise BackendError(
-                    "pub parameter_values must be a non-empty "
-                    "(batch, num_parameters) array"
-                )
-            normalized.append(
-                (circuit, values, list(parameters or ()), observable)
-            )
-        self._validate_batch([pub[0] for pub in normalized])
-        total_bindings = sum(pub[1].shape[0] for pub in normalized)
-        all_seeds = derive_experiment_seeds(
-            options.get("seed"), total_bindings
-        )
-        requested = options.get("executor")
-        max_workers = options.get("max_workers")
-        engine_options = {
-            key: value
-            for key, value in options.items()
-            if key not in SCHEDULING_OPTIONS
-        }
-        engine_options["retry_policy"] = resolve_retry_policy(
-            options.get("retry_policy")
-        )
-        engine_options["fault_injector"] = resolve_injector(
-            options.get("fault_injector")
-        )
-        engine_options["shots"] = shots
-        job_trace = options.get("job_trace")
-        if job_trace is None:
-            from repro.telemetry.jobtrace import JobTrace
-
-            job_trace = JobTrace(Job.reserve_id(), self.name())
-        payloads = []
-        offset = 0
-        index = 0
-        with job_trace.stage("assemble", attributes={
-            "pubs": len(normalized), "bindings": total_bindings,
-            "shots": shots,
-        }):
-            for circuit, values, parameters, observable in normalized:
-                batch = values.shape[0]
-                template = circuit_to_experiment(circuit)
-                for start, stop in broadcast_chunk_bounds(
-                    batch, circuit.num_qubits
-                ):
-                    config = dict(engine_options)
-                    # The chunk is the retry unit: its value rows and
-                    # derived per-binding seeds ride the config, so a
-                    # retried or fallback run reproduces every binding
-                    # bit-identically.
-                    config["broadcast"] = {
-                        "values": values[start:stop],
-                        "parameters": parameters,
-                        "seeds": all_seeds[offset + start:offset + stop],
-                        "observable": observable,
-                        "binding_start": start,
-                    }
-                    config["seed"] = all_seeds[offset + start]
-                    config["experiment_index"] = index
-                    experiment = dict(template)
-                    experiment["config"] = {
-                        "seed": config["seed"], "index": index,
-                    }
-                    payloads.append((experiment, config))
-                    index += 1
-                offset += batch
-        kind = choose_executor(
-            len(payloads),
-            max(pub[0].num_qubits for pub in normalized),
-            requested,
-        )
-        job_trace.dispatch_started(kind, len(payloads))
-        for exp_index, (experiment, config) in enumerate(payloads):
-            context = job_trace.experiment_context(
-                exp_index,
-                experiment.get("header", {}).get("name", "unnamed"),
-            )
-            if context is not None:
-                config["span_context"] = context
-        dispatch = create_dispatch(self, payloads, kind, max_workers,
-                                   job_trace)
-        return Job(self, dispatch, trace=job_trace)
+        return get_execution_engine().run_pubs(self, pubs, options)
 
     def _validate_batch(self, circuits) -> None:
         """Submission-time validation hook; raise to reject the batch."""

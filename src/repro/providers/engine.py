@@ -1,0 +1,432 @@
+"""The reusable execution engine behind ``BaseBackend.run`` and the
+runtime service.
+
+Submission used to live entirely inside ``BaseBackend.run``: every call
+validated, assembled, planned shot-chunks, resolved an executor, and
+created the dispatch in one monolithic method — fine for a single
+process, but a hosted service needs to *prepare* a job at submission
+time and *launch* it later, when the scheduler picks it.  This module is
+that split:
+
+* :meth:`ExecutionEngine.prepare` turns ``(backend, circuits, options)``
+  into a :class:`PreparedExecution` — validated payloads, the dispatch
+  plan, the resolved executor kind, and the job's telemetry hub — without
+  running anything;
+* :meth:`ExecutionEngine.launch` creates the dispatch for a prepared
+  execution and returns the live :class:`~repro.providers.backend.Job`;
+* :meth:`ExecutionEngine.run` is both in sequence — exactly what
+  ``BaseBackend.run`` did before the refactor, bit for bit;
+* :meth:`ExecutionEngine.compile_batch` is the device-compile stage that
+  ``execute`` used to inline: transpile against the backend's
+  :class:`~repro.transpiler.target.Target` through the (two-tier)
+  content-hash cache, with per-circuit spans on the job trace.
+
+``BaseBackend.run``/``run_pubs`` delegate here, so direct backend
+submissions and service-driven ones share one code path and stay
+bit-identical.  The engine is stateless; the process-wide instance from
+:func:`get_execution_engine` is what the runtime service drives.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import BackendError
+from repro.providers.executor import (
+    SCHEDULING_OPTIONS,
+    choose_executor,
+    create_dispatch,
+)
+
+
+class PreparedExecution:
+    """A validated, assembled, scheduled-but-not-launched batch.
+
+    Everything :meth:`ExecutionEngine.launch` needs to create the
+    dispatch: the target backend, the payload list (one entry per
+    dispatch unit), the chunk plan, the resolved executor ``kind``, and
+    the :class:`~repro.telemetry.jobtrace.JobTrace` the job will record
+    into.  ``plan`` is None when the legacy unplanned Job construction
+    applies (no chunking, no checkpoint).
+    """
+
+    __slots__ = ("backend", "payloads", "plan", "kind", "max_workers",
+                 "job_trace", "use_plan")
+
+    def __init__(self, backend, payloads, plan, kind, max_workers,
+                 job_trace, use_plan):
+        self.backend = backend
+        self.payloads = payloads
+        self.plan = plan
+        self.kind = kind
+        self.max_workers = max_workers
+        self.job_trace = job_trace
+        self.use_plan = use_plan
+
+
+class ExecutionEngine:
+    """Builds, plans, and launches experiment batches on any backend."""
+
+    def prepare(self, backend, circuits, options) -> PreparedExecution:
+        """Validate, assemble, and plan a circuit batch (runs nothing).
+
+        This is the submission half of the old ``BaseBackend.run``: it
+        derives per-experiment (and per-chunk) seeds, builds the payload
+        list and dispatch plan, resolves the executor kind, injects span
+        contexts, and writes the checkpoint header when asked — leaving
+        only dispatch creation to :meth:`launch`.
+        """
+        from repro.providers.faults import resolve_injector
+        from repro.providers.retry import resolve_retry_policy
+        from repro.qobj.assembler import (
+            assemble,
+            derive_chunk_seeds,
+            shot_chunk_bounds,
+        )
+
+        if not isinstance(circuits, (list, tuple)):
+            circuits = [circuits]
+        if not circuits:
+            raise BackendError("no circuits to run")
+        configuration = backend.configuration()
+        shots = options.get("shots", 1024)
+        if shots > configuration.max_shots:
+            raise BackendError(
+                f"shots {shots} exceeds backend maximum "
+                f"{configuration.max_shots}"
+            )
+        backend._validate_batch(circuits)
+        requested = options.get("executor")
+        if not options.get("use_kernels", True) and requested == "threads":
+            requested = "serial"
+        max_workers = options.get("max_workers")
+        engine_options = {
+            key: value
+            for key, value in options.items()
+            if key not in SCHEDULING_OPTIONS
+        }
+        # Normalize the fault-tolerance knobs once here, so every worker
+        # (including process-pool ones, via pickled configs) agrees on the
+        # retry budget and the seeded fault schedule.
+        engine_options["retry_policy"] = resolve_retry_policy(
+            options.get("retry_policy")
+        )
+        engine_options["fault_injector"] = resolve_injector(
+            options.get("fault_injector")
+        )
+        job_trace = options.get("job_trace")
+        if job_trace is None:
+            from repro.providers.backend import Job
+            from repro.telemetry.jobtrace import JobTrace
+
+            job_trace = JobTrace(Job.reserve_id(), backend.name())
+        max_qubits = max(circuit.num_qubits for circuit in circuits)
+        with job_trace.stage("assemble", attributes={
+            "experiments": len(circuits), "shots": shots,
+            "max_qubits": max_qubits,
+        }):
+            qobj = assemble(
+                circuits,
+                shots=shots,
+                seed=options.get("seed"),
+                memory=options.get("memory", False),
+            )
+        chunk_size = options.get("shot_chunk_size")
+        force_dispatch = bool(options.get("shot_chunk_dispatch"))
+        payloads = []
+        plan = []
+        chunked = False
+        for index, experiment in enumerate(qobj["experiments"]):
+            exp_seed = experiment["config"]["seed"]
+            name = experiment.get("header", {}).get("name", "unnamed")
+            support = backend._chunk_support(circuits[index], options)
+            bounds = (
+                shot_chunk_bounds(shots, chunk_size)
+                if support != "none" else [(0, shots)]
+            )
+            base = dict(engine_options)
+            base["experiment_index"] = experiment["config"]["index"]
+            if len(bounds) == 1:
+                # Single chunk (or unchunkable): the experiment seed and
+                # payload shape are exactly the pre-chunking pipeline's.
+                config = dict(base, seed=exp_seed)
+                payloads.append((experiment, config))
+                plan.append({
+                    "experiment_index": index, "name": name,
+                    "chunk": None, "chunks": 1,
+                })
+                continue
+            chunked = True
+            seeds = derive_chunk_seeds(exp_seed, len(bounds))
+            if support == "dispatch" or force_dispatch:
+                for chunk, ((start, stop), seed) in enumerate(
+                    zip(bounds, seeds)
+                ):
+                    config = dict(base, seed=seed, shots=stop - start)
+                    config["shot_chunk"] = {
+                        "index": chunk, "total": len(bounds),
+                        "start": start, "stop": stop,
+                    }
+                    payloads.append((experiment, config))
+                    plan.append({
+                        "experiment_index": index, "name": name,
+                        "chunk": chunk, "chunks": len(bounds),
+                    })
+            else:
+                # Inline: one payload, the engine loops the same chunk
+                # layout (same seeds) itself — bit-identical to dispatch
+                # mode, without re-deriving the state per chunk.
+                config = dict(base, seed=exp_seed)
+                config["shot_chunks"] = [
+                    {"index": chunk, "start": start, "stop": stop,
+                     "seed": seed}
+                    for chunk, ((start, stop), seed) in enumerate(
+                        zip(bounds, seeds)
+                    )
+                ]
+                payloads.append((experiment, config))
+                plan.append({
+                    "experiment_index": index, "name": name,
+                    "chunk": None, "chunks": len(bounds),
+                })
+        chunk_payloads = [
+            config for _experiment, config in payloads
+            if config.get("shot_chunk")
+        ]
+        kind = choose_executor(
+            len(payloads), max_qubits, requested,
+            chunk_payloads=len(chunk_payloads),
+            chunk_shots=min(
+                (config["shots"] for config in chunk_payloads), default=0
+            ),
+        )
+        job_trace.dispatch_started(kind, len(payloads))
+        for seq, ((experiment, config), entry) in enumerate(
+            zip(payloads, plan)
+        ):
+            context = job_trace.experiment_context(
+                entry["experiment_index"], entry["name"],
+                chunk=entry["chunk"], chunks=entry["chunks"], seq=seq,
+            )
+            if context is not None:
+                config["span_context"] = context
+        checkpoint = options.get("checkpoint")
+        if checkpoint:
+            from repro.providers.checkpoint import write_header
+
+            for (experiment, config), entry in zip(payloads, plan):
+                config["checkpoint"] = {
+                    "path": checkpoint,
+                    "job_id": job_trace.job_id,
+                    "experiment": entry["experiment_index"],
+                    "chunk": entry["chunk"] or 0,
+                }
+            write_header(checkpoint, job_trace.job_id,
+                         backend._backend_spec(), payloads, plan)
+        return PreparedExecution(
+            backend, payloads, plan, kind, max_workers, job_trace,
+            use_plan=bool(chunked or checkpoint),
+        )
+
+    def launch(self, prepared: PreparedExecution):
+        """Create the dispatch for a prepared batch; returns the live Job."""
+        from repro.providers.backend import Job
+
+        dispatch = create_dispatch(
+            prepared.backend, prepared.payloads, prepared.kind,
+            prepared.max_workers, prepared.job_trace,
+        )
+        return Job(
+            prepared.backend, dispatch, trace=prepared.job_trace,
+            plan=prepared.plan if prepared.use_plan else None,
+        )
+
+    def run(self, backend, circuits, options):
+        """Prepare and launch in one step (the ``BaseBackend.run`` path)."""
+        return self.launch(self.prepare(backend, circuits, options))
+
+    def prepare_pubs(self, backend, pubs, options) -> PreparedExecution:
+        """Validate and plan a broadcast-pub batch (runs nothing).
+
+        The pub twin of :meth:`prepare`: normalizes the pub tuples,
+        derives one seed per *binding* (concatenated across pubs, exactly
+        the bound-circuit layout), splits each batch axis at the
+        broadcast engine's memory cap, and resolves the executor.
+        """
+        import numpy as np
+
+        from repro.providers.faults import resolve_injector
+        from repro.providers.retry import resolve_retry_policy
+        from repro.qobj.assembler import (
+            circuit_to_experiment,
+            derive_experiment_seeds,
+        )
+        from repro.simulators.batched import broadcast_chunk_bounds
+
+        if not isinstance(pubs, (list, tuple)):
+            pubs = [pubs]
+        if not pubs:
+            raise BackendError("no pubs to run")
+        configuration = backend.configuration()
+        shots = options.get("shots", 1024)
+        if shots > configuration.max_shots:
+            raise BackendError(
+                f"shots {shots} exceeds backend maximum "
+                f"{configuration.max_shots}"
+            )
+        if options.get("noise_model") is not None:
+            raise BackendError(
+                "broadcast execution does not support noise models; bind "
+                "the circuits and use run() instead"
+            )
+        if not options.get("use_kernels", True):
+            raise BackendError(
+                "broadcast execution requires the specialized kernels; "
+                "use run() for use_kernels=False A/B comparisons"
+            )
+        normalized = []
+        for pub in pubs:
+            if not isinstance(pub, (list, tuple)) or len(pub) not in (3, 4):
+                raise BackendError(
+                    "each pub must be (circuit, parameter_values, "
+                    "parameters[, observable])"
+                )
+            circuit, values, parameters = pub[0], pub[1], pub[2]
+            observable = pub[3] if len(pub) == 4 else None
+            values = np.asarray(values, dtype=float)
+            if values.ndim == 1:
+                values = values.reshape(1, -1)
+            if values.ndim != 2 or values.shape[0] < 1:
+                raise BackendError(
+                    "pub parameter_values must be a non-empty "
+                    "(batch, num_parameters) array"
+                )
+            normalized.append(
+                (circuit, values, list(parameters or ()), observable)
+            )
+        backend._validate_batch([pub[0] for pub in normalized])
+        total_bindings = sum(pub[1].shape[0] for pub in normalized)
+        all_seeds = derive_experiment_seeds(
+            options.get("seed"), total_bindings
+        )
+        requested = options.get("executor")
+        max_workers = options.get("max_workers")
+        engine_options = {
+            key: value
+            for key, value in options.items()
+            if key not in SCHEDULING_OPTIONS
+        }
+        engine_options["retry_policy"] = resolve_retry_policy(
+            options.get("retry_policy")
+        )
+        engine_options["fault_injector"] = resolve_injector(
+            options.get("fault_injector")
+        )
+        engine_options["shots"] = shots
+        job_trace = options.get("job_trace")
+        if job_trace is None:
+            from repro.providers.backend import Job
+            from repro.telemetry.jobtrace import JobTrace
+
+            job_trace = JobTrace(Job.reserve_id(), backend.name())
+        payloads = []
+        offset = 0
+        index = 0
+        with job_trace.stage("assemble", attributes={
+            "pubs": len(normalized), "bindings": total_bindings,
+            "shots": shots,
+        }):
+            for circuit, values, parameters, observable in normalized:
+                batch = values.shape[0]
+                template = circuit_to_experiment(circuit)
+                for start, stop in broadcast_chunk_bounds(
+                    batch, circuit.num_qubits
+                ):
+                    config = dict(engine_options)
+                    # The chunk is the retry unit: its value rows and
+                    # derived per-binding seeds ride the config, so a
+                    # retried or fallback run reproduces every binding
+                    # bit-identically.
+                    config["broadcast"] = {
+                        "values": values[start:stop],
+                        "parameters": parameters,
+                        "seeds": all_seeds[offset + start:offset + stop],
+                        "observable": observable,
+                        "binding_start": start,
+                    }
+                    config["seed"] = all_seeds[offset + start]
+                    config["experiment_index"] = index
+                    experiment = dict(template)
+                    experiment["config"] = {
+                        "seed": config["seed"], "index": index,
+                    }
+                    payloads.append((experiment, config))
+                    index += 1
+                offset += batch
+        kind = choose_executor(
+            len(payloads),
+            max(pub[0].num_qubits for pub in normalized),
+            requested,
+        )
+        job_trace.dispatch_started(kind, len(payloads))
+        for exp_index, (experiment, config) in enumerate(payloads):
+            context = job_trace.experiment_context(
+                exp_index,
+                experiment.get("header", {}).get("name", "unnamed"),
+            )
+            if context is not None:
+                config["span_context"] = context
+        return PreparedExecution(
+            backend, payloads, None, kind, max_workers, job_trace,
+            use_plan=False,
+        )
+
+    def run_pubs(self, backend, pubs, options):
+        """Prepare and launch a pub batch (the ``run_pubs`` path)."""
+        return self.launch(self.prepare_pubs(backend, pubs, options))
+
+    def compile_batch(self, backend, circuits, job_trace, *,
+                      optimization_level=1, seed=None,
+                      transpile_cache=True):
+        """Compile circuits for a device backend (``execute``'s old inline
+        stage).
+
+        Simulator backends take circuits as-is; device backends compile
+        each one against a :class:`~repro.transpiler.target.Target` built
+        from the backend's configuration and calibrations, with a
+        ``transpile`` span (and its per-pass children) per circuit on the
+        job's trace.  Results are memoised in the two-tier content-hash
+        transpile cache, so warm sessions and repeated processes skip the
+        pass pipeline entirely.
+        """
+        if backend.configuration().simulator:
+            return list(circuits)
+        from repro.transpiler.preset import transpile as _transpile
+        from repro.transpiler.target import Target
+
+        target = Target.from_backend(backend)
+        prepared = []
+        for circuit in circuits:
+            with job_trace.stage("transpile", attributes={
+                "circuit": circuit.name,
+                "width": circuit.num_qubits,
+                "depth_in": circuit.depth(),
+            }) as span:
+                mapped = _transpile(
+                    circuit,
+                    target=target,
+                    optimization_level=optimization_level,
+                    seed=seed,
+                    transpile_cache=transpile_cache,
+                )
+                span.set_attribute("depth_out", mapped.depth())
+            mapped.name = circuit.name
+            prepared.append(mapped)
+        return prepared
+
+
+#: The stateless process-wide engine instance.
+_ENGINE = ExecutionEngine()
+
+
+def get_execution_engine() -> ExecutionEngine:
+    """The process-wide :class:`ExecutionEngine`."""
+    return _ENGINE

@@ -1,13 +1,25 @@
-"""Top-level ``execute`` and ``transpile`` entry points (paper Sec. IV)."""
+"""Top-level ``execute`` and ``transpile`` entry points (paper Sec. IV).
+
+.. deprecated:: (soft)
+    ``execute()`` remains supported for one-off submissions, but
+    multi-job workloads should prefer a :class:`repro.runtime.Session`
+    on a :class:`repro.runtime.RuntimeService`: sessions pin jobs to a
+    warm backend (reusing its gate-matrix caches and the two-tier
+    transpile cache), persist jobs in a durable store that survives
+    process restarts, and apply fair-share scheduling across tenants.
+    ``execute`` re-instantiates nothing per call either — it drives the
+    same :class:`~repro.providers.engine.ExecutionEngine` — but it gives
+    you none of the queueing, durability, or warm-session behavior.
+"""
 
 from __future__ import annotations
 
 from repro.providers.backend import BaseBackend, Job
 from repro.exceptions import BackendError
+from repro.providers.engine import get_execution_engine
 from repro.telemetry.jobtrace import JobTrace
 from repro.transpiler.cache import get_transpile_cache
 from repro.transpiler.preset import transpile as _transpile
-from repro.transpiler.target import Target
 
 #: Re-exported so ``from repro import transpile`` matches the Qiskit API.
 transpile = _transpile
@@ -75,31 +87,16 @@ def execute(circuits, backend: BaseBackend, shots: int = 1024, seed=None,
         raise BackendError("backend must come from Aer or IBMQ get_backend")
     single = not isinstance(circuits, (list, tuple))
     batch = [circuits] if single else list(circuits)
-    configuration = backend.configuration()
+    engine = get_execution_engine()
     # The trace is created before compiling so the transpile spans (and
     # their per-pass children) join the job's trace; the reserved id
     # becomes the Job's id inside ``backend.run``.
     job_trace = JobTrace(Job.reserve_id(), backend.name())
-    if not configuration.simulator:
-        target = Target.from_backend(backend)
-        prepared = []
-        for circuit in batch:
-            with job_trace.stage("transpile", attributes={
-                "circuit": circuit.name,
-                "width": circuit.num_qubits,
-                "depth_in": circuit.depth(),
-            }) as span:
-                mapped = _transpile(
-                    circuit,
-                    target=target,
-                    optimization_level=optimization_level,
-                    seed=seed,
-                    transpile_cache=transpile_cache,
-                )
-                span.set_attribute("depth_out", mapped.depth())
-            mapped.name = circuit.name
-            prepared.append(mapped)
-        batch = prepared
+    batch = engine.compile_batch(
+        backend, batch, job_trace,
+        optimization_level=optimization_level, seed=seed,
+        transpile_cache=transpile_cache,
+    )
     options = {"shots": shots, "seed": seed, "memory": memory,
                "job_trace": job_trace}
     if noise_model is not None:

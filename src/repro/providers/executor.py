@@ -92,9 +92,16 @@ class JobStatus:
 
     ``INCOMPLETE`` is a per-experiment status only: it marks placeholder
     entries in a partial result for experiments that had not finished
-    when the deadline hit.
+    when the deadline hit.  ``SUBMITTED`` and ``QUEUED`` are
+    service-level states used by :mod:`repro.runtime`: a job accepted by
+    the service is SUBMITTED (persisted, not yet schedulable), then
+    QUEUED (waiting for the fair-share scheduler to pick it), and only
+    becomes a live provider dispatch — INITIALIZING/RUNNING — once a
+    service worker launches it.
     """
 
+    SUBMITTED = "SUBMITTED"
+    QUEUED = "QUEUED"
     INITIALIZING = "INITIALIZING"
     RUNNING = "RUNNING"
     DONE = "DONE"
@@ -323,6 +330,44 @@ def _placeholder(payload, status: str, message: str):
         _payload_name(payload), 0, {}, status=status, error=message,
         attempts=0,
     )
+
+
+class CompletedDispatch:
+    """A dispatch with nothing to run: DONE from construction.
+
+    ``Job.resume`` on a fully-checkpointed ledger has every outcome
+    restored already — dispatching an empty payload set through a real
+    executor would leave the job stuck INITIALIZING until the first
+    ``result()`` call and spin up scheduling machinery for zero work.
+    This stand-in short-circuits: status is DONE immediately, collection
+    returns no outcomes (the job weaves in the restored ones), and
+    cancel is a no-op.
+    """
+
+    kind = "none"
+
+    def __init__(self):
+        self.fallbacks: list = []
+
+    def status(self) -> str:
+        """Always :data:`JobStatus.DONE`."""
+        return JobStatus.DONE
+
+    def cancel(self) -> bool:
+        """No-op; there is nothing in flight to cancel."""
+        return False
+
+    def finished_outcomes(self) -> list:
+        """Return no outcomes — the job restores its own."""
+        return []
+
+    def iter_outcomes(self):
+        """Yield nothing; every chunk was restored from the ledger."""
+        return iter(())
+
+    def collect(self, timeout=None, partial=False) -> list:
+        """Return no outcomes — the job restores its own."""
+        return []
 
 
 class SerialDispatch:

@@ -1,0 +1,36 @@
+"""Runtime service layer: durable queue, fair-share scheduling, sessions.
+
+The paper's execution story ends at ``backend.run``; the real IBM Q
+stack wraps that call in a managed runtime — jobs persist in a queue,
+a fair-share policy arbitrates tenants, and sessions keep a device (and
+its compiled artifacts) warm between jobs.  This package reproduces
+that layer locally:
+
+* :class:`~repro.runtime.store.JobStore` — append-only JSON-lines job
+  ledger plus per-job chunk checkpoints; jobs survive process death;
+* :class:`~repro.runtime.scheduler.FairShareScheduler` — weighted
+  stride scheduling with per-tenant priorities, token-bucket rate
+  limits, and backend concurrency caps;
+* :class:`~repro.runtime.service.RuntimeService` — worker threads
+  driving the shared :class:`~repro.providers.engine.ExecutionEngine`
+  over warm backend instances; service jobs are bit-identical to
+  direct ``backend.run`` submissions;
+* :class:`~repro.runtime.session.Session` — pins a tenant's jobs to a
+  warm backend; quacks like a backend so the V2 primitives work over
+  the service unchanged.
+"""
+
+from repro.runtime.scheduler import FairShareScheduler, TokenBucket
+from repro.runtime.service import RuntimeJob, RuntimeService
+from repro.runtime.session import Session
+from repro.runtime.store import JobRecord, JobStore
+
+__all__ = [
+    "FairShareScheduler",
+    "JobRecord",
+    "JobStore",
+    "RuntimeJob",
+    "RuntimeService",
+    "Session",
+    "TokenBucket",
+]

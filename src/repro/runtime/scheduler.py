@@ -1,0 +1,236 @@
+"""Fair-share scheduling for the runtime service.
+
+The real IBM Q cloud arbitrates a shared device between many users with a
+fair-share queue: each hub/group/project has an allocation, and the
+scheduler picks the next job so that observed throughput tracks the
+allocations over time.  This module reproduces that policy for the
+:class:`~repro.runtime.service.RuntimeService` with **stride
+scheduling** — the deterministic cousin of lottery scheduling:
+
+* every tenant has a ``weight`` and a running ``pass`` value;
+* the next job comes from the eligible tenant with the smallest pass
+  (ties broken by tenant name, so the pick order is fully
+  deterministic);
+* picking charges the tenant a *stride* of ``1 / weight`` — heavier
+  tenants advance slower and therefore win proportionally more picks.
+
+Over any window where two tenants both have work queued, tenant A with
+weight ``2w`` receives twice the picks of tenant B with weight ``w`` —
+the fair-share invariant the tests assert.
+
+Within one tenant, jobs order by descending ``priority`` then
+submission order (a FIFO per priority class).
+
+Two eligibility filters sit in front of the stride pick:
+
+* **rate limiting** — an optional per-tenant :class:`TokenBucket`; a
+  tenant with an empty bucket is skipped *without* charging its pass,
+  so its jobs queue (and run later, when tokens refill) rather than
+  error;
+* **backend saturation** — the service passes the set of backends at
+  their concurrency cap; a tenant whose head-of-queue job targets a
+  saturated backend is skipped this round (head-of-line, like a real
+  device queue).
+
+The scheduler is deliberately free of threads and wall clocks: the
+service serializes calls under its own lock, and the token buckets take
+an injectable clock so policy tests are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+
+from repro.exceptions import BackendError
+
+
+class TokenBucket:
+    """A token-bucket rate limiter (``rate`` tokens/second, ``burst`` cap).
+
+    The bucket starts full.  :meth:`try_acquire` refills lazily from the
+    injected ``clock`` (default ``time.monotonic``) and consumes one
+    token when available — it never blocks, matching the scheduler's
+    queue-don't-error contract.
+    """
+
+    def __init__(self, rate: float, burst: float = None, clock=None):
+        if rate <= 0:
+            raise BackendError("token bucket rate must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst if burst is not None else rate)
+        if self.burst < 1:
+            raise BackendError("token bucket burst must allow >= 1 token")
+        self._clock = clock if clock is not None else time.monotonic
+        self._tokens = self.burst
+        self._stamp = self._clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._stamp
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._stamp = now
+
+    def available(self) -> float:
+        """Tokens currently in the bucket (after a lazy refill)."""
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, tokens: float = 1) -> bool:
+        """Consume ``tokens`` if the bucket holds them; never blocks."""
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+
+class _Tenant:
+    """Per-tenant scheduler state: weight, pass value, priority queue."""
+
+    __slots__ = ("name", "weight", "pass_value", "bucket", "heap")
+
+    def __init__(self, name: str, weight: float, bucket: TokenBucket):
+        self.name = name
+        self.weight = float(weight)
+        self.pass_value = 0.0
+        self.bucket = bucket
+        #: Min-heap of ``(-priority, seq, entry)`` — highest priority
+        #: first, FIFO within a priority class.
+        self.heap: list = []
+
+    @property
+    def stride(self) -> float:
+        return 1.0 / self.weight
+
+
+class FairShareScheduler:
+    """Weighted fair-share job ordering across tenants (stride
+    scheduling)."""
+
+    def __init__(self, clock=None):
+        self._clock = clock if clock is not None else time.monotonic
+        self._tenants: dict = {}
+        self._seq = itertools.count()
+
+    # -- tenant administration -------------------------------------------
+
+    def set_tenant(self, name: str, weight: float = 1.0, rate: float = None,
+                   burst: float = None) -> None:
+        """Create or reconfigure a tenant.
+
+        ``weight`` sets the fair share (relative to the other tenants'
+        weights); ``rate``/``burst`` arm a token-bucket rate limit
+        (``rate`` jobs/second, bursts up to ``burst``), ``rate=None``
+        removes it.  Reconfiguring preserves the tenant's queued jobs
+        and pass value.
+        """
+        if weight <= 0:
+            raise BackendError(
+                f"tenant '{name}' weight must be positive, got {weight}"
+            )
+        bucket = (
+            TokenBucket(rate, burst, clock=self._clock)
+            if rate is not None else None
+        )
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            self._tenants[name] = _Tenant(name, weight, bucket)
+        else:
+            tenant.weight = float(weight)
+            tenant.bucket = bucket
+
+    def tenant_names(self):
+        """The configured tenant names (sorted)."""
+        return sorted(self._tenants)
+
+    def _tenant(self, name: str) -> _Tenant:
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            # Unconfigured tenants get the default share.
+            tenant = _Tenant(name, 1.0, None)
+            self._tenants[name] = tenant
+        return tenant
+
+    # -- queue operations ------------------------------------------------
+
+    def submit(self, entry, tenant: str, priority: int = 0,
+               backend: str = None) -> None:
+        """Queue ``entry`` (an opaque token, e.g. a job id) for a tenant.
+
+        ``backend`` names the backend the entry will run on, for the
+        saturation filter in :meth:`next_ready`.
+        """
+        state = self._tenant(tenant)
+        if not state.heap:
+            # A tenant returning from idle must not have banked virtual
+            # time: restart its pass at the current minimum so it cannot
+            # starve the tenants that kept working while it was away.
+            busy = [
+                t.pass_value for t in self._tenants.values() if t.heap
+            ]
+            if busy:
+                state.pass_value = max(state.pass_value, min(busy))
+        heapq.heappush(
+            state.heap, (-int(priority), next(self._seq), entry, backend)
+        )
+
+    def pending(self, tenant: str = None) -> int:
+        """Queued entries for one tenant (or all tenants)."""
+        if tenant is not None:
+            state = self._tenants.get(tenant)
+            return len(state.heap) if state is not None else 0
+        return sum(len(state.heap) for state in self._tenants.values())
+
+    def remove(self, entry) -> bool:
+        """Withdraw a queued entry (job cancellation); True if found."""
+        for state in self._tenants.values():
+            for index, item in enumerate(state.heap):
+                if item[2] == entry:
+                    state.heap.pop(index)
+                    heapq.heapify(state.heap)
+                    return True
+        return False
+
+    def next_ready(self, saturated=frozenset()):
+        """Pop the next runnable entry, or None when nothing is eligible.
+
+        Tenants are considered in stride order (smallest pass first,
+        name tie-break).  A tenant is skipped without being charged if
+        its rate-limit bucket is empty or its head-of-queue entry
+        targets a backend in ``saturated``.  None therefore means "no
+        job may start *right now*" — queued work may still exist (check
+        :meth:`pending`), becoming eligible when tokens refill or a
+        backend slot frees up.
+        """
+        candidates = sorted(
+            (state for state in self._tenants.values() if state.heap),
+            key=lambda state: (state.pass_value, state.name),
+        )
+        for state in candidates:
+            backend = state.heap[0][3]
+            if backend is not None and backend in saturated:
+                continue
+            if state.bucket is not None and not state.bucket.try_acquire():
+                continue
+            _neg_priority, _seq, entry, _backend = heapq.heappop(state.heap)
+            state.pass_value += state.stride
+            return entry
+        return None
+
+    def snapshot(self) -> dict:
+        """Queue depth and pass value per tenant (observability)."""
+        return {
+            name: {
+                "pending": len(state.heap),
+                "pass": state.pass_value,
+                "weight": state.weight,
+                "rate_limited": (
+                    state.bucket is not None
+                    and state.bucket.available() < 1
+                ),
+            }
+            for name, state in self._tenants.items()
+        }

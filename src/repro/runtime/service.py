@@ -1,0 +1,635 @@
+"""The runtime service: durable queue, fair-share dispatch, warm backends.
+
+:class:`RuntimeService` models the managed execution layer of the real
+IBM Q cloud on top of this repo's local simulators.  A submission does
+not run inline — it is persisted to the :class:`~repro.runtime.store
+.JobStore`, queued through the :class:`~repro.runtime.scheduler
+.FairShareScheduler`, and eventually dispatched by a worker thread onto
+a *warm* backend instance through the same
+:class:`~repro.providers.engine.ExecutionEngine` that powers direct
+``backend.run`` calls — so a service-scheduled job is bit-identical to
+the equivalent direct submission.
+
+Durability: every job's payload lands in ``jobs.jsonl`` before it is
+queued, and every circuits job runs with a per-job chunk checkpoint
+ledger.  A service constructed over an existing store directory
+**recovers**: unfinished jobs re-queue, and a job that died mid-run
+resumes from its chunk ledger via ``Job.resume`` — re-running only the
+missing chunks, with merged results bit-identical to an uninterrupted
+run.
+
+Telemetry (unified metrics registry):
+
+* ``repro_runtime_queue_depth{tenant}`` — queued jobs per tenant;
+* ``repro_runtime_wait_seconds{tenant}`` — queue wait histogram;
+* ``repro_runtime_jobs_submitted/started/completed{tenant}`` counters
+  (completions carry a ``state`` label: DONE/ERROR/CANCELLED);
+
+and each job's trace (when tracing is enabled) gains a ``queued`` span
+between submission and dispatch, parented to the same root the engine's
+assemble/dispatch/collect spans join.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+
+from repro.exceptions import BackendError, JobTimeoutError
+from repro.providers.executor import JobStatus, resolve_backend
+from repro.runtime.scheduler import FairShareScheduler
+from repro.runtime.store import JobRecord, JobStore, TERMINAL_STATES
+from repro.telemetry.jobtrace import JobTrace
+from repro.telemetry.metrics import get_metrics_registry
+
+#: Buckets tuned for queue waits: sub-millisecond to minutes.
+_WAIT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0,
+                 120.0, float("inf"))
+
+
+class RuntimeJob:
+    """A service-side job handle, quacking like a provider ``Job``.
+
+    Lifecycle: ``SUBMITTED`` (persisted) -> ``QUEUED`` (scheduler) ->
+    ``RUNNING`` (worker picked it, a provider job exists) -> ``DONE`` /
+    ``ERROR`` / ``CANCELLED``.  :meth:`result`, :meth:`stream`,
+    :meth:`cancel`, ``fault_stats`` and :meth:`trace` mirror the
+    provider job API, so primitives (and user code written against
+    ``backend.run``) work unchanged over the service.
+    """
+
+    def __init__(self, service, record: JobRecord, trace: JobTrace):
+        self._service = service
+        self._record = record
+        self._trace = trace
+        self._state = record.state
+        self._provider_job = None
+        self._result = record.result
+        self._error = None
+        self._events: list = []
+        self._done = threading.Event()
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+        if record.state in TERMINAL_STATES:
+            self._done.set()
+
+    # -- identity --------------------------------------------------------
+
+    @property
+    def job_id(self) -> str:
+        return self._record.job_id
+
+    @property
+    def tenant(self) -> str:
+        return self._record.tenant
+
+    @property
+    def session_id(self):
+        return self._record.session
+
+    @property
+    def provider_job(self):
+        """The underlying provider ``Job`` once dispatched (else None)."""
+        return self._provider_job
+
+    # -- lifecycle -------------------------------------------------------
+
+    def status(self) -> str:
+        """Current state: SUBMITTED/QUEUED/RUNNING/DONE/ERROR/CANCELLED."""
+        return self._state
+
+    def result(self, timeout=None):
+        """Block for the job's :class:`~repro.providers.result.Result`.
+
+        Unlike a direct ``backend.run`` job, a service job may sit in
+        the queue first — the timeout covers queue wait plus execution.
+        Raises :class:`JobTimeoutError` past the deadline (the job keeps
+        running; call again), :class:`BackendError` if the job was
+        cancelled, and re-raises the original exception if the service
+        runner crashed.
+        """
+        if not self._done.wait(timeout):
+            raise JobTimeoutError(
+                f"runtime job {self.job_id} did not finish within "
+                f"{timeout}s (state {self._state})"
+            )
+        if self._error is not None:
+            raise self._error
+        if self._result is None:
+            raise BackendError(f"runtime job {self.job_id} was cancelled")
+        return self._result
+
+    def stream(self):
+        """Yield the job's incremental events (chunk/experiment), live.
+
+        Events match ``Job.stream`` exactly — the service runner relays
+        them as the provider job produces them, so a consumer can watch
+        a queued job start and stream through to completion.  Events
+        delivered before the consumer attached are replayed first.
+        """
+        index = 0
+        while True:
+            with self._changed:
+                while index >= len(self._events) and not self._done.is_set():
+                    self._changed.wait()
+                events = self._events[index:]
+                index = len(self._events)
+                finished = self._done.is_set()
+            for event in events:
+                yield event
+            if finished and index >= len(self._events):
+                return
+
+    def cancel(self) -> bool:
+        """Cancel the job; True if anything was actually stopped.
+
+        A queued job is withdrawn from the scheduler and moves straight
+        to CANCELLED; a running job delegates to the provider job's
+        ``cancel`` (experiments already finished keep their results).
+        """
+        return self._service._cancel(self)
+
+    # -- observability ---------------------------------------------------
+
+    @property
+    def fault_stats(self) -> dict:
+        """The provider job's fault/retry ledger (empty pre-dispatch)."""
+        if self._provider_job is not None:
+            return self._provider_job.fault_stats
+        return {}
+
+    def trace(self):
+        """The job's trace (requires tracing enabled before submit)."""
+        return self._trace.trace()
+
+    @property
+    def job_trace(self) -> JobTrace:
+        return self._trace
+
+    def __repr__(self):
+        return (
+            f"RuntimeJob({self.job_id}, tenant={self.tenant!r}, "
+            f"state={self._state})"
+        )
+
+    # -- service-side hooks ---------------------------------------------
+
+    def _set_state(self, state: str) -> None:
+        with self._changed:
+            self._state = state
+            self._record.state = state
+            if state in TERMINAL_STATES:
+                self._done.set()
+            self._changed.notify_all()
+
+    def _push_event(self, event) -> None:
+        with self._changed:
+            self._events.append(event)
+            self._changed.notify_all()
+
+    def _finish(self, result=None, error=None, state="DONE") -> None:
+        self._result = result
+        self._error = error
+        self._set_state(state)
+
+
+class RuntimeService:
+    """Multi-tenant execution service over a durable job store.
+
+    ``store_dir`` holds the job ledger and per-job chunk checkpoints —
+    point a fresh service at the same directory to recover jobs that a
+    dead process left behind.  ``max_workers`` bounds concurrently
+    *running* jobs (each worker thread drives one job at a time);
+    ``backend_limits`` maps backend names to per-backend concurrency
+    caps (jobs past the cap wait in the queue).  ``autostart=False``
+    leaves the workers parked — submissions queue up and nothing runs
+    until :meth:`start` — which the policy tests use to stage
+    deterministic queue states.
+
+    The service is a context manager; leaving the ``with`` block drains
+    running jobs and stops the workers.
+    """
+
+    def __init__(self, store_dir, max_workers: int = 2,
+                 backend_limits: dict = None, autostart: bool = True,
+                 clock=None):
+        self._store = JobStore(store_dir)
+        self._clock = clock if clock is not None else time.monotonic
+        self._scheduler = FairShareScheduler(clock=self._clock)
+        self._scheduler.set_tenant("default", weight=1.0)
+        self._max_workers = max(1, int(max_workers))
+        self._backend_limits = dict(backend_limits or {})
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._jobs: dict = {}
+        self._queue_spans: dict = {}
+        self._submit_stamps: dict = {}
+        self._running_on: dict = {}
+        self._backends: dict = {}
+        self._session_counter = 0
+        self._stop = False
+        self._threads: list = []
+        registry = get_metrics_registry()
+        self._depth_gauge = registry.gauge(
+            "repro_runtime_queue_depth",
+            "Jobs queued in the runtime service", ("tenant",),
+        )
+        self._wait_hist = registry.histogram(
+            "repro_runtime_wait_seconds",
+            "Queue wait before dispatch", ("tenant",),
+            buckets=_WAIT_BUCKETS,
+        )
+        self._submitted = registry.counter(
+            "repro_runtime_jobs_submitted",
+            "Jobs accepted by the runtime service", ("tenant",),
+        )
+        self._started = registry.counter(
+            "repro_runtime_jobs_started",
+            "Jobs dispatched by the runtime service", ("tenant",),
+        )
+        self._completed = registry.counter(
+            "repro_runtime_jobs_completed",
+            "Jobs finished by the runtime service", ("tenant", "state"),
+        )
+        self._recover()
+        if autostart:
+            self.start()
+
+    # -- tenants and backends --------------------------------------------
+
+    def set_tenant(self, name: str, weight: float = 1.0, rate: float = None,
+                   burst: float = None) -> None:
+        """Configure a tenant's fair share and optional rate limit."""
+        with self._wake:
+            self._scheduler.set_tenant(name, weight, rate, burst)
+            self._wake.notify_all()
+
+    def backend(self, name: str, provider: str = "aer"):
+        """The service's warm backend instance for ``(provider, name)``.
+
+        One instance per name lives for the service's lifetime, so its
+        gate-matrix caches (and the process transpile cache) stay warm
+        across every job the service runs on it.
+        """
+        key = (provider, name)
+        with self._lock:
+            backend = self._backends.get(key)
+            if backend is None:
+                backend = resolve_backend(key)
+                self._backends[key] = backend
+            return backend
+
+    def session(self, backend: str = "qasm_simulator",
+                provider: str = "aer", tenant: str = "default"):
+        """Open a :class:`~repro.runtime.session.Session` on a warm
+        backend."""
+        from repro.runtime.session import Session
+
+        warm = self.backend(backend, provider)
+        with self._lock:
+            self._session_counter += 1
+            session_id = f"sess-{self._session_counter}"
+        return Session(self, warm, tenant=tenant, session_id=session_id)
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, circuits, backend="qasm_simulator", provider="aer",
+               tenant: str = "default", priority: int = 0, session=None,
+               **options) -> RuntimeJob:
+        """Queue a circuits job; returns immediately with a
+        :class:`RuntimeJob`.
+
+        ``backend`` may be a name (resolved against ``provider``) or a
+        registry backend instance.  ``priority`` orders jobs *within*
+        the tenant (higher first); fairness *across* tenants is the
+        scheduler's weighted share.  Remaining keyword options are the
+        ``backend.run`` options (shots, seed, executor, retry_policy,
+        ...) plus ``execute``'s compile knobs (``optimization_level``,
+        ``transpile_cache``) — device backends compile at dispatch, on
+        the worker, through the shared two-tier transpile cache.
+        ``checkpoint`` defaults to a per-job ledger inside the
+        store directory — pass ``checkpoint=False`` to opt out of chunk
+        durability (the job then restarts from scratch on recovery).
+        """
+        return self._submit(circuits, "circuits", backend, provider,
+                            tenant, priority, session, options)
+
+    def submit_pubs(self, pubs, backend="qasm_simulator", provider="aer",
+                    tenant: str = "default", priority: int = 0,
+                    session=None, **options) -> RuntimeJob:
+        """Queue a primitives PUB job (see ``BaseBackend.run_pubs``)."""
+        return self._submit(pubs, "pubs", backend, provider, tenant,
+                            priority, session, options)
+
+    def _submit(self, payload, kind, backend, provider, tenant, priority,
+                session, options) -> RuntimeJob:
+        if not isinstance(backend, str):
+            spec = backend._backend_spec()
+            if spec is None:
+                raise BackendError(
+                    "runtime jobs need a registry backend (Aer/IBMQ) so "
+                    "the store can rebuild it after a restart"
+                )
+        else:
+            spec = (provider, backend)
+            resolve_backend(spec)  # validate the name before persisting
+        try:
+            pickle.dumps((payload, options))
+        except Exception as error:
+            raise BackendError(
+                f"runtime job payloads must be picklable for the durable "
+                f"store: {error}"
+            ) from None
+        job_id = self._store.next_job_id()
+        record = JobRecord(job_id, tenant, spec, priority, session, kind,
+                           payload, options, submitted_at=time.time())
+        trace = JobTrace(job_id, spec[1])
+        job = RuntimeJob(self, record, trace)
+        self._jobs[job_id] = job
+        self._store.append_job(record)
+        self._store.append_state(job_id, "QUEUED")
+        with self._wake:
+            self._enqueue(job, trace)
+            self._submitted.inc(labels={"tenant": tenant})
+            self._wake.notify_all()
+        return job
+
+    def _enqueue(self, job: RuntimeJob, trace: JobTrace) -> None:
+        """Queue a job with the scheduler (caller holds the lock)."""
+        record = job._record
+        # The queued span closes when a worker picks the job, so traces
+        # show queue wait alongside the engine's pipeline stages.
+        span = trace.stage("queued", {"tenant": record.tenant})
+        span.__enter__()
+        self._queue_spans[job.job_id] = span
+        self._submit_stamps[job.job_id] = self._clock()
+        self._scheduler.submit(job.job_id, record.tenant,
+                               priority=record.priority,
+                               backend=record.backend_spec[1])
+        job._set_state("QUEUED")
+        self._sync_depth(record.tenant)
+
+    def _sync_depth(self, tenant: str) -> None:
+        self._depth_gauge.set(self._scheduler.pending(tenant),
+                              labels={"tenant": tenant})
+
+    # -- recovery --------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Re-queue the store's unfinished jobs (crashed process pickup).
+
+        Terminal jobs come back as finished :class:`RuntimeJob` handles
+        (DONE jobs with their persisted Result).  SUBMITTED/QUEUED/
+        RUNNING jobs re-queue; a RUNNING job whose chunk ledger has a
+        header will resume through ``Job.resume`` when dispatched,
+        re-running only the chunks that never checkpointed.
+        """
+        for job_id, record in sorted(self._store.load().items()):
+            trace = JobTrace(job_id, record.backend_spec[1])
+            job = RuntimeJob(self, record, trace)
+            self._jobs[job_id] = job
+            if record.state in TERMINAL_STATES:
+                continue
+            job._record.options = dict(record.options)
+            job._record.options["_recovered_from"] = record.state
+            self._store.append_state(job_id, "QUEUED")
+            with self._wake:
+                self._enqueue(job, trace)
+
+    # -- worker machinery ------------------------------------------------
+
+    def start(self) -> None:
+        """Launch the worker threads (idempotent)."""
+        with self._wake:
+            self._stop = False
+            self._threads = [t for t in self._threads if t.is_alive()]
+            for index in range(self._max_workers - len(self._threads)):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"runtime-worker-{len(self._threads)}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the workers; with ``wait`` blocks until they exit.
+
+        Queued jobs stay QUEUED in the store — a new service over the
+        same directory picks them up.
+        """
+        with self._wake:
+            self._stop = True
+            self._wake.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=30)
+        self._threads = []
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.shutdown(wait=True)
+        return False
+
+    def _saturated(self) -> frozenset:
+        counts: dict = {}
+        for backend_name in self._running_on.values():
+            counts[backend_name] = counts.get(backend_name, 0) + 1
+        saturated = set()
+        for backend_name, count in counts.items():
+            limit = self._backend_limits.get(backend_name)
+            if limit is not None and count >= limit:
+                saturated.add(backend_name)
+        return frozenset(saturated)
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._wake:
+                job = None
+                while not self._stop:
+                    job_id = self._scheduler.next_ready(self._saturated())
+                    if job_id is not None:
+                        job = self._jobs[job_id]
+                        self._begin_dispatch(job)
+                        break
+                    # Nothing eligible right now.  A short timed wait
+                    # covers the cases no notify fires for: token buckets
+                    # refilling and backend slots freed by other services.
+                    if self._scheduler.pending() > 0:
+                        self._wake.wait(timeout=0.02)
+                    else:
+                        self._wake.wait()
+                if self._stop:
+                    return
+            self._run_job(job)
+
+    def _begin_dispatch(self, job: RuntimeJob) -> None:
+        """Transition QUEUED -> RUNNING (caller holds the lock)."""
+        record = job._record
+        span = self._queue_spans.pop(job.job_id, None)
+        if span is not None:
+            span.__exit__(None, None, None)
+        stamp = self._submit_stamps.pop(job.job_id, None)
+        if stamp is not None:
+            self._wait_hist.observe(self._clock() - stamp,
+                                    labels={"tenant": record.tenant})
+        self._running_on[job.job_id] = record.backend_spec[1]
+        self._started.inc(labels={"tenant": record.tenant})
+        self._sync_depth(record.tenant)
+        self._store.append_state(job.job_id, "RUNNING")
+        job._set_state("RUNNING")
+
+    def _run_job(self, job: RuntimeJob) -> None:
+        """Drive one job to completion on this worker thread."""
+        record = job._record
+        error = None
+        result = None
+        try:
+            provider_job = self._dispatch(job)
+            job._provider_job = provider_job
+            for event in provider_job.stream():
+                job._push_event(event)
+            result = provider_job.result()
+        except Exception as exc:  # noqa: BLE001 — recorded, re-raised to
+            error = exc           # the caller from job.result()
+        finally:
+            with self._wake:
+                self._running_on.pop(job.job_id, None)
+                self._wake.notify_all()
+        if job._state == "CANCELLED":
+            # cancel() landed mid-run; keep the terminal state (a
+            # provider-job "cancelled" error is expected, not a failure).
+            state = "CANCELLED"
+        elif error is not None:
+            state = "ERROR"
+        else:
+            state = "DONE" if result.success else "ERROR"
+            self._store.append_result(job.job_id, result)
+        # Persist the terminal state and bump the counter BEFORE waking
+        # result() waiters, so anything they observe (store contents,
+        # metrics) already reflects the finished job.
+        self._store.append_state(job.job_id, state)
+        self._completed.inc(
+            labels={"tenant": record.tenant, "state": state}
+        )
+        if state == "ERROR" and error is not None:
+            job._finish(error=error, state=state)
+        else:
+            job._finish(result=result, state=state)
+
+    def _dispatch(self, job: RuntimeJob):
+        """Launch the provider job for one runtime job.
+
+        Circuits jobs get a chunk checkpoint ledger inside the store by
+        default; a recovered job whose ledger already has a header goes
+        through ``Job.resume`` instead of a fresh run, so only the
+        missing chunks execute.
+        """
+        from repro.providers.backend import Job
+        from repro.providers.engine import get_execution_engine
+
+        record = job._record
+        options = dict(record.options)
+        recovered = options.pop("_recovered_from", None)
+        backend = self.backend(record.backend_spec[1],
+                               record.backend_spec[0])
+        engine = get_execution_engine()
+        if record.kind == "pubs":
+            # The broadcast engine has no chunk ledger; recovery re-runs.
+            options.pop("checkpoint", None)
+            options["job_trace"] = job._trace
+            return engine.run_pubs(backend, record.payload, options)
+        # Device backends compile first, exactly like ``execute`` —
+        # through the shared transpile cache (memory + disk tiers), which
+        # is what keeps a session's repeat compiles warm.
+        single = not isinstance(record.payload, (list, tuple))
+        batch = [record.payload] if single else list(record.payload)
+        batch = engine.compile_batch(
+            backend, batch, job._trace,
+            optimization_level=options.pop("optimization_level", 1),
+            seed=options.get("seed"),
+            transpile_cache=options.pop("transpile_cache", True),
+        )
+        payload = batch[0] if single else batch
+        checkpoint = options.get("checkpoint", None)
+        if checkpoint is None:
+            checkpoint = self._store.chunk_ledger_path(job.job_id)
+        if checkpoint is False:
+            options.pop("checkpoint", None)
+            checkpoint = None
+        else:
+            options["checkpoint"] = checkpoint
+        if recovered and checkpoint and self._ledger_has_header(checkpoint):
+            return Job.resume(checkpoint,
+                              executor=options.get("executor"),
+                              max_workers=options.get("max_workers"))
+        options["job_trace"] = job._trace
+        return engine.run(backend, payload, options)
+
+    @staticmethod
+    def _ledger_has_header(path: str) -> bool:
+        import json
+        import os
+
+        if not os.path.exists(path):
+            return False
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                first = handle.readline().strip()
+            return bool(first) and (
+                json.loads(first).get("type") == "header"
+            )
+        except (OSError, ValueError):
+            return False
+
+    # -- job access ------------------------------------------------------
+
+    def job(self, job_id: str) -> RuntimeJob:
+        """Look up a job handle by id (live or recovered from the
+        store)."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise BackendError(f"unknown runtime job '{job_id}'")
+        return job
+
+    def jobs(self, tenant: str = None) -> list:
+        """All job handles, newest first, optionally one tenant's."""
+        selected = [
+            job for job in self._jobs.values()
+            if tenant is None or job.tenant == tenant
+        ]
+        selected.sort(
+            key=lambda job: int(job.job_id.rsplit("-", 1)[1]), reverse=True
+        )
+        return selected
+
+    def queue_snapshot(self) -> dict:
+        """Per-tenant queue depth / pass / rate-limit state."""
+        with self._lock:
+            return self._scheduler.snapshot()
+
+    def _cancel(self, job: RuntimeJob) -> bool:
+        with self._wake:
+            if job._state in ("SUBMITTED", "QUEUED"):
+                removed = self._scheduler.remove(job.job_id)
+                if removed:
+                    span = self._queue_spans.pop(job.job_id, None)
+                    if span is not None:
+                        span.__exit__(None, None, None)
+                    self._submit_stamps.pop(job.job_id, None)
+                    self._store.append_state(job.job_id, "CANCELLED")
+                    self._completed.inc(labels={
+                        "tenant": job.tenant, "state": "CANCELLED",
+                    })
+                    job._finish(state="CANCELLED")
+                    self._sync_depth(job.tenant)
+                return removed
+        if job._provider_job is not None:
+            cancelled = job._provider_job.cancel()
+            if cancelled:
+                job._set_state("CANCELLED")
+            return cancelled
+        return False

@@ -1,0 +1,207 @@
+"""The durable job store behind the runtime service.
+
+One directory holds everything a service instance needs to survive a
+process death:
+
+* ``jobs.jsonl`` — the job ledger, in the same JSON-lines idiom as the
+  chunk checkpoint ledger (:mod:`repro.providers.checkpoint`): one JSON
+  object per line, appended atomically through a single ``os.write`` on
+  an ``O_APPEND`` descriptor, torn trailing lines ignored on load.
+  Three record types:
+
+  - ``job`` — written once at submission: job id, tenant, backend
+    ``(provider, name)`` spec, priority, session id, payload kind
+    (``circuits`` or ``pubs``), and the base64-pickled
+    ``(payload, options)`` pair — everything needed to re-run the job
+    in a fresh process;
+  - ``state`` — one per lifecycle transition
+    (``SUBMITTED -> QUEUED -> RUNNING -> DONE/ERROR/CANCELLED``); the
+    *last* state record for a job id wins on load;
+  - ``result`` — written when the job completes, carrying the base64-
+    pickled :class:`~repro.providers.result.Result` plus plain-JSON
+    summary fields (success flag, experiment count) for ``grep``-level
+    auditing.
+
+* ``<job_id>.chunks.jsonl`` — the per-job chunk checkpoint ledger the
+  service passes to the execution engine as the ``checkpoint`` option;
+  a job interrupted mid-run resumes from it via ``Job.resume`` with
+  bit-identical merged results.
+
+Job ids are ``rt-<N>`` with ``N`` continuing from the largest id in the
+ledger, so ids stay unique across restarts.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from repro.exceptions import BackendError
+from repro.providers.checkpoint import _append_line, _decode, _encode
+
+#: Store schema version, bumped on incompatible record changes.
+STORE_VERSION = 1
+
+#: Lifecycle states a ``state`` record may carry.
+JOB_STATES = ("SUBMITTED", "QUEUED", "RUNNING", "DONE", "ERROR",
+              "CANCELLED")
+
+#: States from which a job never transitions again.
+TERMINAL_STATES = ("DONE", "ERROR", "CANCELLED")
+
+
+class JobRecord:
+    """One job's durable state, assembled from its ledger records."""
+
+    __slots__ = ("job_id", "tenant", "backend_spec", "priority", "session",
+                 "kind", "payload", "options", "state", "result",
+                 "submitted_at")
+
+    def __init__(self, job_id, tenant, backend_spec, priority, session,
+                 kind, payload, options, submitted_at=None):
+        self.job_id = job_id
+        self.tenant = tenant
+        self.backend_spec = tuple(backend_spec)
+        self.priority = int(priority)
+        self.session = session
+        self.kind = kind
+        self.payload = payload
+        self.options = options
+        self.state = "SUBMITTED"
+        self.result = None
+        self.submitted_at = submitted_at
+
+    def __repr__(self):
+        return (
+            f"JobRecord({self.job_id}, tenant={self.tenant!r}, "
+            f"state={self.state})"
+        )
+
+
+class JobStore:
+    """Append-only JSON-lines persistence for runtime jobs.
+
+    All appends go through :func:`~repro.providers.checkpoint._append_line`
+    (single atomic ``os.write`` on ``O_APPEND``), so a service crash can
+    at worst tear the final line — which :meth:`load` skips, exactly like
+    the chunk ledger's reader.  An in-process lock keeps the service's
+    worker threads from interleaving their own appends.
+    """
+
+    LEDGER_NAME = "jobs.jsonl"
+
+    def __init__(self, directory: str):
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.path = os.path.join(self.directory, self.LEDGER_NAME)
+        self._lock = threading.Lock()
+        self._next_id = 0
+        records = self.load()
+        for job_id in records:
+            try:
+                number = int(job_id.rsplit("-", 1)[1])
+            except (IndexError, ValueError):
+                continue
+            self._next_id = max(self._next_id, number + 1)
+
+    # -- writes ----------------------------------------------------------
+
+    def next_job_id(self) -> str:
+        """Allocate the next ``rt-<N>`` id (monotone across restarts)."""
+        with self._lock:
+            job_id = f"rt-{self._next_id}"
+            self._next_id += 1
+            return job_id
+
+    def append_job(self, record: JobRecord) -> None:
+        """Persist a new job's submission record (then its first state)."""
+        with self._lock:
+            _append_line(self.path, {
+                "type": "job",
+                "version": STORE_VERSION,
+                "job_id": record.job_id,
+                "tenant": record.tenant,
+                "backend": list(record.backend_spec),
+                "priority": record.priority,
+                "session": record.session,
+                "kind": record.kind,
+                "submitted_at": record.submitted_at,
+                "payload": _encode((record.payload, record.options)),
+            })
+
+    def append_state(self, job_id: str, state: str) -> None:
+        """Persist a lifecycle transition."""
+        if state not in JOB_STATES:
+            raise BackendError(f"unknown job state '{state}'")
+        with self._lock:
+            _append_line(self.path, {
+                "type": "state", "job_id": job_id, "state": state,
+            })
+
+    def append_result(self, job_id: str, result) -> None:
+        """Persist a completed job's :class:`Result`."""
+        with self._lock:
+            _append_line(self.path, {
+                "type": "result",
+                "job_id": job_id,
+                "success": bool(result.success),
+                "experiments": len(result.results),
+                "result": _encode(result),
+            })
+
+    # -- reads -----------------------------------------------------------
+
+    def load(self) -> dict:
+        """Replay the ledger into ``{job_id: JobRecord}``.
+
+        Later records override earlier ones (last state wins); malformed
+        lines — a torn append from a crash — are skipped.  Records whose
+        pickled payload cannot be decoded are dropped entirely: a job the
+        service cannot re-run is not recoverable.
+        """
+        import json
+
+        records: dict = {}
+        if not os.path.exists(self.path):
+            return records
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue  # torn tail
+                kind = entry.get("type")
+                job_id = entry.get("job_id")
+                if kind == "job":
+                    if entry.get("version") != STORE_VERSION:
+                        raise BackendError(
+                            f"job store version {entry.get('version')} "
+                            f"is not supported"
+                        )
+                    try:
+                        payload, options = _decode(entry["payload"])
+                    except Exception:  # noqa: BLE001 — torn/corrupt blob
+                        continue
+                    records[job_id] = JobRecord(
+                        job_id, entry["tenant"], entry["backend"],
+                        entry.get("priority", 0), entry.get("session"),
+                        entry.get("kind", "circuits"), payload, options,
+                        submitted_at=entry.get("submitted_at"),
+                    )
+                elif kind == "state" and job_id in records:
+                    state = entry.get("state")
+                    if state in JOB_STATES:
+                        records[job_id].state = state
+                elif kind == "result" and job_id in records:
+                    try:
+                        records[job_id].result = _decode(entry["result"])
+                    except Exception:  # noqa: BLE001
+                        continue
+        return records
+
+    def chunk_ledger_path(self, job_id: str) -> str:
+        """The per-job chunk checkpoint ledger path."""
+        return os.path.join(self.directory, f"{job_id}.chunks.jsonl")

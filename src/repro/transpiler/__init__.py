@@ -2,9 +2,11 @@
 
 from repro.circuit.dag import DAGCircuit, circuit_to_dag, dag_to_circuit
 from repro.transpiler.cache import (
+    DiskCacheTier,
     TranspileCache,
     circuit_fingerprint,
     clear_transpile_cache,
+    configure_disk_cache,
     get_transpile_cache,
     resize_transpile_cache,
 )
@@ -33,6 +35,7 @@ __all__ = [
     "ConditionalController",
     "CouplingMap",
     "DAGCircuit",
+    "DiskCacheTier",
     "DoWhileController",
     "FlowController",
     "InstructionProperties",
@@ -46,6 +49,7 @@ __all__ = [
     "circuit_fingerprint",
     "circuit_to_dag",
     "clear_transpile_cache",
+    "configure_disk_cache",
     "dag_to_circuit",
     "get_transpile_cache",
     "resize_transpile_cache",

@@ -1,4 +1,4 @@
-"""Content-hash transpile cache.
+"""Two-tier content-hash transpile cache.
 
 Compiling the same circuit for the same device repeatedly is common —
 parameter sweeps, shot-batching loops, repeated ``execute`` calls over a
@@ -6,16 +6,43 @@ fixed workload.  The cache keys on a content fingerprint of the circuit
 *structure* (registers, instruction sequence, parameters, wiring) plus the
 target identity and every transpile option that can change the output, so
 a hit is guaranteed to be the exact circuit the compiler would have
-produced.  Entries are kept in LRU order with hit/miss counters exposed
-for observability (``execute`` surfaces them through job metadata).
+produced.
+
+Two tiers share that key:
+
+* **memory** — the process-local LRU map that has always been here;
+* **disk** (optional) — a directory of pickled compile results named by
+  the sha256 of the full cache key, so *fresh processes* hit warm
+  compiles: repeated CLI/batch invocations, runtime-service restarts,
+  process-pool workers.  Writes are process-safe — each entry lands in a
+  unique temp file first and is published with an atomic
+  :func:`os.replace`, so concurrent writers can never expose a torn
+  entry; readers treat unreadable/corrupt files as misses and drop them.
+  A disk hit is promoted into the memory tier.
+
+Enable the disk tier with :func:`configure_disk_cache` (a
+:class:`~repro.runtime.Session`'s service does this for its store
+directory) or the ``REPRO_TRANSPILE_CACHE_DIR`` environment variable,
+which is honoured at interpreter start — the knob that makes separate
+CLI invocations share compiles.
+
+Entries are kept in LRU order with hit/miss counters (memory and disk
+tiers separately) exposed for observability — ``execute`` surfaces them
+through job metadata and they are mirrored as
+``repro_transpile_cache_*`` gauges in the unified metrics registry.
 
 Knobs: ``transpile(..., transpile_cache=False)`` bypasses the cache for
-one call; :func:`resize_transpile_cache` changes capacity (0 disables).
+one call; :func:`resize_transpile_cache` changes memory-tier capacity
+(0 disables) while preserving the cumulative hit/miss counters, so the
+registry-backed gauges stay monotone across resizes.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
+import tempfile
 from collections import OrderedDict
 
 from repro.circuit.parameter import is_parameterized
@@ -25,10 +52,20 @@ from repro.telemetry.metrics import get_metrics_registry
 _GAUGES = (
     ("repro_transpile_cache_hits", "Transpile cache hits", "hits"),
     ("repro_transpile_cache_misses", "Transpile cache misses", "misses"),
+    ("repro_transpile_cache_disk_hits",
+     "Transpile cache disk-tier hits", "disk_hits"),
+    ("repro_transpile_cache_disk_misses",
+     "Transpile cache disk-tier misses", "disk_misses"),
     ("repro_transpile_cache_size", "Transpile cache occupancy", "size"),
     ("repro_transpile_cache_maxsize", "Transpile cache capacity",
      "maxsize"),
 )
+
+#: Disk-entry format version; bumped on incompatible payload changes.
+DISK_CACHE_VERSION = 1
+
+#: Environment variable that enables the disk tier at interpreter start.
+DISK_CACHE_ENV = "REPRO_TRANSPILE_CACHE_DIR"
 
 
 def circuit_fingerprint(circuit) -> str:
@@ -85,13 +122,101 @@ def circuit_fingerprint(circuit) -> str:
     return hasher.hexdigest()
 
 
-class TranspileCache:
-    """An LRU map from (circuit, target, options) to compiled results."""
+def disk_entry_name(key: tuple) -> str:
+    """The disk filename for a cache key.
 
-    def __init__(self, maxsize: int = 64):
+    The key is built from primitives with stable ``repr`` (the sha256
+    fingerprint string, the target's calibration tuple, option scalars),
+    so the same circuit/target/options hash to the same file in every
+    process.
+    """
+    digest = hashlib.sha256(repr(key).encode()).hexdigest()
+    return f"{digest}.transpile.pkl"
+
+
+class DiskCacheTier:
+    """The on-disk tier: one pickle file per compile result.
+
+    Process-safe by construction — writes go to a ``tempfile`` in the
+    cache directory and are published with :func:`os.replace`, which is
+    atomic on POSIX and Windows alike; a reader either sees the whole
+    entry or none of it.  Every failure mode (unreadable file, pickle
+    from a different version, a full disk) degrades to a miss: the disk
+    tier can slow a compile down by a stat call, never break it.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    def _path(self, key: tuple) -> str:
+        return os.path.join(self.directory, disk_entry_name(key))
+
+    def load(self, key: tuple):
+        """The stored ``(compiled, layout, permutation)`` entry, or None."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != DISK_CACHE_VERSION
+        ):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        return payload["entry"]
+
+    def store(self, key: tuple, entry) -> None:
+        """Publish one entry atomically; failures are silently dropped."""
+        path = self._path(key)
+        payload = {"version": DISK_CACHE_VERSION, "entry": entry}
+        try:
+            fd, temp_path = tempfile.mkstemp(
+                dir=self.directory, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(payload, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(temp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError, TypeError):
+            # Unpicklable payloads and full disks must not fail the
+            # compile; the entry just stays memory-only.
+            return
+
+    def __len__(self) -> int:
+        try:
+            return sum(
+                1 for name in os.listdir(self.directory)
+                if name.endswith(".transpile.pkl")
+            )
+        except OSError:
+            return 0
+
+
+class TranspileCache:
+    """A two-tier LRU map from (circuit, target, options) to compiled
+    results."""
+
+    def __init__(self, maxsize: int = 64, disk: DiskCacheTier = None):
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.disk_misses = 0
+        self.disk = disk
         self._entries: OrderedDict = OrderedDict()
 
     def make_key(self, circuit, target, options: tuple) -> tuple:
@@ -104,22 +229,14 @@ class TranspileCache:
         registry = get_metrics_registry()
         values = {
             "hits": self.hits, "misses": self.misses,
+            "disk_hits": self.disk_hits, "disk_misses": self.disk_misses,
             "size": len(self._entries), "maxsize": self.maxsize,
         }
         for name, help_text, stat in _GAUGES:
             registry.gauge(name, help_text).set(values[stat])
 
-    def lookup(self, key):
-        """The cached compiled circuit for ``key``, or None (counts a
-        hit/miss either way)."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            self._sync_registry()
-            return None
-        self.hits += 1
-        self._sync_registry()
-        self._entries.move_to_end(key)
+    def _materialize(self, entry):
+        """A caller-owned circuit copy of one cached entry."""
         compiled, initial_layout, final_permutation = entry
         result = compiled.copy()
         result.name = compiled.name
@@ -127,24 +244,75 @@ class TranspileCache:
         result.final_permutation = final_permutation
         return result
 
-    def store(self, key, compiled) -> None:
-        """Cache a compiled circuit (a private copy is stored)."""
+    def lookup(self, key):
+        """The cached compiled circuit for ``key``, or None (counts a
+        hit/miss either way).
+
+        Memory first; on a memory miss with the disk tier enabled, the
+        entry is loaded from disk (counted as ``disk_hits``/
+        ``disk_misses``), promoted into the memory tier, and returned —
+        so a fresh process pays the pass pipeline only for circuits no
+        previous process compiled.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._sync_registry()
+            self._entries.move_to_end(key)
+            return self._materialize(entry)
+        if self.disk is not None:
+            entry = self.disk.load(key)
+            if entry is not None:
+                self.disk_hits += 1
+                # Promote: later lookups in this process are memory hits.
+                self._store_memory(key, entry)
+                self._sync_registry()
+                return self._materialize(entry)
+            self.disk_misses += 1
+        self.misses += 1
+        self._sync_registry()
+        return None
+
+    def _store_memory(self, key, entry) -> None:
         if self.maxsize <= 0:
+            return
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def store(self, key, compiled) -> None:
+        """Cache a compiled circuit (a private copy is stored), writing
+        through to the disk tier when one is configured."""
+        if self.maxsize <= 0 and self.disk is None:
             return
         kept = compiled.copy()
         kept.name = compiled.name
-        self._entries[key] = (
+        entry = (
             kept,
             getattr(compiled, "initial_layout", None),
             getattr(compiled, "final_permutation", None),
         )
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
+        self._store_memory(key, entry)
+        if self.disk is not None:
+            self.disk.store(key, entry)
+        self._sync_registry()
+
+    def resize(self, maxsize: int) -> None:
+        """Change memory-tier capacity (0 disables it); overflowing
+        entries are evicted LRU-first.
+
+        The cumulative hit/miss counters (both tiers) survive the
+        resize, so the registry-backed gauges stay monotone — a resize
+        reshapes capacity, it does not restart observability.
+        """
+        self.maxsize = maxsize
+        while len(self._entries) > maxsize:
             self._entries.popitem(last=False)
         self._sync_registry()
 
     def stats(self) -> dict:
-        """Hit/miss counters and current occupancy.
+        """Hit/miss counters (memory and disk tiers) and current occupancy.
 
         A thin view over the ``repro_transpile_cache_*`` gauges in the
         unified metrics registry (synced here, so the dictionary and a
@@ -158,14 +326,31 @@ class TranspileCache:
         }
 
     def clear(self) -> None:
-        """Drop all entries and reset the counters."""
+        """Drop all memory-tier entries and reset the counters.
+
+        The disk tier's files are left alone (other processes may be
+        reading them); use :func:`configure_disk_cache(None)
+        <configure_disk_cache>` to detach it.
+        """
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.disk_misses = 0
         self._sync_registry()
 
 
-_CACHE = TranspileCache()
+def _disk_tier_from_env():
+    directory = os.environ.get(DISK_CACHE_ENV)
+    if not directory:
+        return None
+    try:
+        return DiskCacheTier(directory)
+    except OSError:
+        return None
+
+
+_CACHE = TranspileCache(disk=_disk_tier_from_env())
 
 
 def get_transpile_cache() -> TranspileCache:
@@ -174,13 +359,27 @@ def get_transpile_cache() -> TranspileCache:
 
 
 def clear_transpile_cache() -> None:
-    """Empty the process-wide cache and reset its counters."""
+    """Empty the process-wide cache's memory tier and reset its counters."""
     _CACHE.clear()
 
 
 def resize_transpile_cache(maxsize: int) -> None:
-    """Change cache capacity; 0 disables caching entirely."""
-    _CACHE.maxsize = maxsize
-    while len(_CACHE._entries) > maxsize:
-        _CACHE._entries.popitem(last=False)
+    """Change memory-tier capacity; 0 disables memory caching entirely.
+
+    Cumulative hit/miss statistics are preserved across resizes (the
+    registry gauges must stay monotone); only capacity and the LRU
+    overflow change.
+    """
+    _CACHE.resize(maxsize)
+
+
+def configure_disk_cache(directory) -> None:
+    """Attach (or with ``None`` detach) the on-disk cache tier.
+
+    ``directory`` is created if missing.  Every process pointing at the
+    same directory shares compiles: lookups fall back to disk on memory
+    misses and stores write through, with atomic-rename publication so
+    concurrent processes never observe torn entries.
+    """
+    _CACHE.disk = None if directory is None else DiskCacheTier(directory)
     _CACHE._sync_registry()

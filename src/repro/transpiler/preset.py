@@ -223,7 +223,7 @@ def transpile(circuit: QuantumCircuit, coupling_map=None,
 
     cache = get_transpile_cache()
     cache_key = None
-    if transpile_cache and cache.maxsize > 0:
+    if transpile_cache and (cache.maxsize > 0 or cache.disk is not None):
         options_key = (
             tuple(basis_gates),
             _coupling_key(coupling_map) if target is None else None,

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import os
+import subprocess
+import sys
 
 import pytest
 
@@ -15,6 +17,7 @@ from repro.providers import (
     RetryPolicy,
 )
 from repro.providers.checkpoint import load_ledger
+from repro.runtime import RuntimeService
 
 CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "7"))
 
@@ -129,3 +132,111 @@ class TestResume:
         first = Job.resume(str(path)).result().get_counts()
         second = Job.resume(str(path)).result().get_counts()
         assert first == second == _reference()
+
+
+#: Child process: start a runtime service, submit a chunked checkpointed
+#: job, hard-kill the interpreter after N chunk events hit the stream.
+_CRASHING_SERVICE = """
+import os, sys
+from repro.circuit import QuantumCircuit
+from repro.runtime import RuntimeService
+
+store_dir, consume = sys.argv[1], int(sys.argv[2])
+chaos = sys.argv[3] if len(sys.argv) > 3 else None
+
+circuit = QuantumCircuit(2, 2)
+circuit.h(0)
+circuit.cx(0, 1)
+circuit.measure(0, 0)
+circuit.measure(1, 1)
+circuit.name = "bell"
+
+options = dict(shots={shots}, seed=42, shot_chunk_size={chunk},
+               shot_chunk_dispatch=True, executor="serial")
+if chaos:
+    from repro.providers import FaultInjector, FaultSpec, RetryPolicy
+    options["fault_injector"] = FaultInjector(
+        [FaultSpec("transient", probability=0.4)], seed=int(chaos))
+    options["retry_policy"] = RetryPolicy(base_delay=0.0)
+
+service = RuntimeService(store_dir)
+job = service.submit(circuit, **options)
+print(job.job_id, flush=True)
+seen = 0
+for event in job.stream():
+    if event["type"] == "chunk":
+        seen += 1
+        if seen >= consume:
+            os._exit(1)  # simulated crash: no shutdown, no cleanup
+"""
+
+
+def _crash_service(tmp_path, consume, chaos_seed=None):
+    """Run the crashing child; returns (store_dir, job_id)."""
+    store = tmp_path / "store"
+    script = _CRASHING_SERVICE.format(shots=SHOTS, chunk=CHUNK)
+    argv = [sys.executable, "-c", script, str(store), str(consume)]
+    if chaos_seed is not None:
+        argv.append(str(chaos_seed))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH"), os.path.join(
+            os.path.dirname(__file__), os.pardir, os.pardir, "src",
+        )) if p
+    )
+    completed = subprocess.run(
+        argv, env=env, capture_output=True, text=True, timeout=120,
+    )
+    assert completed.returncode == 1, completed.stderr
+    job_id = completed.stdout.strip().splitlines()[0]
+    return store, job_id
+
+
+class TestServiceRestart:
+    """Crash/restart durability of the runtime service (satellite of the
+    runtime-layer refactor): a job killed mid-run resumes from the
+    store's chunk ledger bit-identically."""
+
+    def test_killed_service_job_resumes_bit_identically(self, tmp_path):
+        store, job_id = _crash_service(tmp_path, consume=2)
+
+        revived = RuntimeService(str(store))
+        try:
+            job = revived.job(job_id)
+            result = job.result(timeout=60)
+            assert result.get_counts() == _reference()
+            assert job.status() == "DONE"
+            # The resume really did reuse the dead process's chunks.
+            assert job.provider_job.fault_stats["resumed_chunks"] >= 1
+        finally:
+            revived.shutdown()
+
+    def test_killed_service_job_resumes_under_chaos(self, tmp_path):
+        store, job_id = _crash_service(tmp_path, consume=2,
+                                       chaos_seed=CHAOS_SEED)
+
+        revived = RuntimeService(str(store))
+        try:
+            result = revived.job(job_id).result(timeout=60)
+            # The counts contract is with the seeded sampler: faults and
+            # retries in either process never change the histogram.
+            assert result.get_counts() == _reference()
+        finally:
+            revived.shutdown()
+
+    def test_restart_without_crash_reloads_the_result(self, tmp_path):
+        store = tmp_path / "store"
+        with RuntimeService(str(store)) as service:
+            job = service.submit(_bell(), shots=SHOTS, seed=42,
+                                 shot_chunk_size=CHUNK,
+                                 shot_chunk_dispatch=True,
+                                 executor="serial")
+            reference = job.result(timeout=60).get_counts()
+            job_id = job.job_id
+        revived = RuntimeService(str(store), autostart=False)
+        try:
+            assert revived.job(job_id).result(timeout=1).get_counts() == (
+                reference
+            )
+        finally:
+            revived.shutdown()

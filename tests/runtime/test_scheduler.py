@@ -1,0 +1,200 @@
+"""Fair-share scheduler policy tests (fully deterministic: fake clock)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import BackendError
+from repro.runtime.scheduler import FairShareScheduler, TokenBucket
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_starts_full_and_consumes(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+        bucket.try_acquire()
+        bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 2/s * 0.5s = 1 token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_burst_caps_the_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=3, clock=clock)
+        clock.advance(100)
+        assert bucket.available() == pytest.approx(3)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(BackendError):
+            TokenBucket(rate=0)
+        with pytest.raises(BackendError):
+            TokenBucket(rate=1, burst=0.5)
+
+
+def _drain(scheduler, picks, saturated=frozenset()):
+    out = []
+    for _ in range(picks):
+        entry = scheduler.next_ready(saturated)
+        if entry is None:
+            break
+        out.append(entry)
+    return out
+
+
+class TestFairShare:
+    def test_weighted_share_is_proportional(self):
+        """Weights 2:1 -> tenant A wins 2 of every 3 picks."""
+        clock = FakeClock()
+        scheduler = FairShareScheduler(clock=clock)
+        scheduler.set_tenant("alice", weight=2.0)
+        scheduler.set_tenant("bob", weight=1.0)
+        for index in range(9):
+            scheduler.submit(f"a{index}", "alice")
+            scheduler.submit(f"b{index}", "bob")
+        picks = _drain(scheduler, 9)
+        from_alice = sum(1 for entry in picks if entry.startswith("a"))
+        assert from_alice == 6
+        assert len(picks) - from_alice == 3
+
+    def test_equal_weights_alternate_deterministically(self):
+        scheduler = FairShareScheduler(clock=FakeClock())
+        scheduler.set_tenant("a", weight=1.0)
+        scheduler.set_tenant("b", weight=1.0)
+        for index in range(3):
+            scheduler.submit(f"a{index}", "a")
+            scheduler.submit(f"b{index}", "b")
+        assert _drain(scheduler, 6) == ["a0", "b0", "a1", "b1", "a2", "b2"]
+
+    def test_priority_orders_within_tenant(self):
+        scheduler = FairShareScheduler(clock=FakeClock())
+        scheduler.submit("low", "t", priority=0)
+        scheduler.submit("high", "t", priority=10)
+        scheduler.submit("mid", "t", priority=5)
+        assert _drain(scheduler, 3) == ["high", "mid", "low"]
+
+    def test_fifo_within_priority_class(self):
+        scheduler = FairShareScheduler(clock=FakeClock())
+        for index in range(4):
+            scheduler.submit(f"j{index}", "t", priority=1)
+        assert _drain(scheduler, 4) == ["j0", "j1", "j2", "j3"]
+
+    def test_rate_limited_tenant_queues_rather_than_errors(self):
+        clock = FakeClock()
+        scheduler = FairShareScheduler(clock=clock)
+        scheduler.set_tenant("limited", weight=1.0, rate=1.0, burst=1)
+        scheduler.submit("j0", "limited")
+        scheduler.submit("j1", "limited")
+        assert scheduler.next_ready() == "j0"
+        # Bucket empty: the job stays queued, no error.
+        assert scheduler.next_ready() is None
+        assert scheduler.pending("limited") == 1
+        clock.advance(1.0)
+        assert scheduler.next_ready() == "j1"
+
+    def test_rate_limit_skip_does_not_charge_the_pass(self):
+        """A rate-limited tenant does not lose its fair share while
+        throttled: once tokens refill it still gets its proportional
+        picks."""
+        clock = FakeClock()
+        scheduler = FairShareScheduler(clock=clock)
+        scheduler.set_tenant("a", weight=1.0, rate=100.0, burst=1)
+        scheduler.set_tenant("b", weight=1.0)
+        for index in range(3):
+            scheduler.submit(f"a{index}", "a")
+            scheduler.submit(f"b{index}", "b")
+        picks = []
+        for _ in range(20):
+            entry = scheduler.next_ready()
+            if entry is None:
+                clock.advance(0.01)  # one token refills
+                continue
+            picks.append(entry)
+            if len(picks) == 6:
+                break
+        assert sorted(picks[:6]) == ["a0", "a1", "a2", "b0", "b1", "b2"]
+
+    def test_unlimited_tenant_proceeds_while_other_is_throttled(self):
+        clock = FakeClock()
+        scheduler = FairShareScheduler(clock=clock)
+        scheduler.set_tenant("limited", weight=5.0, rate=1.0, burst=1)
+        scheduler.set_tenant("free", weight=1.0)
+        scheduler.submit("l0", "limited")
+        scheduler.submit("l1", "limited")
+        scheduler.submit("f0", "free")
+        scheduler.submit("f1", "free")
+        # limited has the smaller stride but only one token: once its
+        # bucket empties the free tenant keeps the scheduler busy.
+        picks = _drain(scheduler, 4)
+        assert len(picks) == 3
+        assert picks.count("l0") == 1 and "l1" not in picks
+        assert scheduler.pending("limited") == 1
+
+    def test_saturated_backend_skips_the_tenant(self):
+        scheduler = FairShareScheduler(clock=FakeClock())
+        scheduler.submit("on_busy", "a", backend="busy_backend")
+        scheduler.submit("on_free", "b", backend="free_backend")
+        picks = _drain(scheduler, 2, saturated=frozenset({"busy_backend"}))
+        assert picks == ["on_free"]
+        assert scheduler.next_ready() == "on_busy"
+
+    def test_remove_withdraws_a_queued_entry(self):
+        scheduler = FairShareScheduler(clock=FakeClock())
+        scheduler.submit("keep", "t")
+        scheduler.submit("drop", "t")
+        assert scheduler.remove("drop") is True
+        assert scheduler.remove("drop") is False
+        assert _drain(scheduler, 2) == ["keep"]
+
+    def test_returning_idle_tenant_cannot_starve_the_busy_one(self):
+        """A tenant coming back from idle starts at the current minimum
+        pass, so it does not get an unbounded burst of back picks."""
+        scheduler = FairShareScheduler(clock=FakeClock())
+        scheduler.set_tenant("busy", weight=1.0)
+        scheduler.set_tenant("idle", weight=1.0)
+        for index in range(10):
+            scheduler.submit(f"busy{index}", "busy")
+        _drain(scheduler, 6)  # busy's pass is now 6 strides ahead
+        scheduler.submit("idle0", "idle")
+        scheduler.submit("idle1", "idle")
+        picks = _drain(scheduler, 4)
+        # Alternation resumes immediately — not idle-idle-...-idle first.
+        assert picks.count("idle0") + picks.count("idle1") == 2
+        assert picks[0].startswith("busy") and picks[1] == "idle0"
+
+    def test_invalid_weight_rejected(self):
+        scheduler = FairShareScheduler(clock=FakeClock())
+        with pytest.raises(BackendError):
+            scheduler.set_tenant("t", weight=0)
+
+    def test_snapshot_reports_queue_state(self):
+        clock = FakeClock()
+        scheduler = FairShareScheduler(clock=clock)
+        scheduler.set_tenant("t", weight=2.0, rate=1.0, burst=1)
+        scheduler.submit("j0", "t")
+        scheduler.submit("j1", "t")
+        scheduler.next_ready()
+        snapshot = scheduler.snapshot()
+        assert snapshot["t"]["pending"] == 1
+        assert snapshot["t"]["pass"] == pytest.approx(0.5)
+        assert snapshot["t"]["rate_limited"] is True

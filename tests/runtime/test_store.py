@@ -1,0 +1,98 @@
+"""Durable job store: JSON-lines ledger round trips and crash tolerance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.exceptions import BackendError
+from repro.runtime.store import JobRecord, JobStore
+
+
+def _bell():
+    circuit = QuantumCircuit(2, 2, name="bell")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.measure(0, 0)
+    circuit.measure(1, 1)
+    return circuit
+
+
+def _record(job_id, tenant="default", priority=0, session=None):
+    return JobRecord(job_id, tenant, ("aer", "qasm_simulator"), priority,
+                     session, "circuits", [_bell()],
+                     {"shots": 100, "seed": 7})
+
+
+class TestJobStore:
+    def test_job_ids_are_monotone_across_restarts(self, tmp_path):
+        store = JobStore(tmp_path)
+        first = store.next_job_id()
+        second = store.next_job_id()
+        assert (first, second) == ("rt-0", "rt-1")
+        store.append_job(_record(second))
+        reopened = JobStore(tmp_path)
+        assert reopened.next_job_id() == "rt-2"
+
+    def test_roundtrip_preserves_payload_and_options(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = _record("rt-0", tenant="alice", priority=3,
+                         session="sess-1")
+        store.append_job(record)
+        loaded = JobStore(tmp_path).load()["rt-0"]
+        assert loaded.tenant == "alice"
+        assert loaded.priority == 3
+        assert loaded.session == "sess-1"
+        assert loaded.backend_spec == ("aer", "qasm_simulator")
+        assert loaded.options == {"shots": 100, "seed": 7}
+        assert loaded.payload[0].name == "bell"
+        assert loaded.state == "SUBMITTED"
+
+    def test_last_state_record_wins(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.append_job(_record("rt-0"))
+        for state in ("QUEUED", "RUNNING", "DONE"):
+            store.append_state("rt-0", state)
+        assert JobStore(tmp_path).load()["rt-0"].state == "DONE"
+
+    def test_unknown_state_rejected(self, tmp_path):
+        store = JobStore(tmp_path)
+        with pytest.raises(BackendError):
+            store.append_state("rt-0", "EXPLODED")
+
+    def test_result_roundtrips_bit_identical(self, tmp_path):
+        from repro.providers import Aer
+
+        result = Aer.get_backend("qasm_simulator").run(
+            _bell(), shots=500, seed=11,
+        ).result()
+        store = JobStore(tmp_path)
+        store.append_job(_record("rt-0"))
+        store.append_state("rt-0", "DONE")
+        store.append_result("rt-0", result)
+        loaded = JobStore(tmp_path).load()["rt-0"]
+        assert loaded.result.get_counts() == result.get_counts()
+        assert loaded.result.success is result.success
+
+    def test_torn_tail_is_ignored(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.append_job(_record("rt-0"))
+        store.append_state("rt-0", "QUEUED")
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "state", "job_id": "rt-0", "sta')
+        loaded = JobStore(tmp_path).load()
+        assert loaded["rt-0"].state == "QUEUED"
+
+    def test_state_for_unknown_job_is_skipped(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.append_state("rt-9", "DONE")  # no job record
+        assert JobStore(tmp_path).load() == {}
+
+    def test_chunk_ledger_path_is_per_job(self, tmp_path):
+        store = JobStore(tmp_path)
+        assert store.chunk_ledger_path("rt-3").endswith(
+            "rt-3.chunks.jsonl"
+        )
+        assert store.chunk_ledger_path("rt-3") != store.chunk_ledger_path(
+            "rt-4"
+        )

@@ -9,9 +9,11 @@ from repro.circuit.quantumcircuit import QuantumCircuit
 from repro.providers.aer import Aer
 from repro.providers.fake import IBMQ
 from repro.transpiler.cache import (
+    DiskCacheTier,
     TranspileCache,
     circuit_fingerprint,
     clear_transpile_cache,
+    configure_disk_cache,
     get_transpile_cache,
     resize_transpile_cache,
 )
@@ -183,3 +185,141 @@ class TestTranspileCache:
             cached.final_permutation == fresh.final_permutation
         )
         clear_transpile_cache()
+
+    def test_resize_preserves_cumulative_stats(self):
+        """Resizing reshapes capacity only: the hit/miss counters (and
+        therefore the registry-backed gauges) stay monotone."""
+        clear_transpile_cache()
+        circuit = qft_circuit(3)
+        transpile(circuit, coupling_map="ibmqx4")  # miss
+        transpile(circuit, coupling_map="ibmqx4")  # hit
+        before = get_transpile_cache().stats()
+        assert (before["hits"], before["misses"]) == (1, 1)
+
+        resize_transpile_cache(0)
+        mid = get_transpile_cache().stats()
+        assert mid["hits"] == before["hits"]
+        assert mid["misses"] == before["misses"]
+        assert mid["size"] == 0
+
+        resize_transpile_cache(64)
+        after = get_transpile_cache().stats()
+        assert after["hits"] == before["hits"]
+        assert after["misses"] == before["misses"]
+        assert after["maxsize"] == 64
+        clear_transpile_cache()
+
+
+class TestDiskCacheTier:
+    def _key(self, circuit):
+        return TranspileCache().make_key(circuit, None, ())
+
+    def test_write_through_and_second_cache_hits_disk(self, tmp_path):
+        """Two caches sharing a directory model two processes: the
+        second's memory miss is served from disk and promoted."""
+        disk = DiskCacheTier(str(tmp_path))
+        writer = TranspileCache(disk=disk)
+        circuit = qft_circuit(3)
+        key = writer.make_key(circuit, None, ())
+        writer.store(key, circuit)
+        assert len(disk) == 1
+
+        reader = TranspileCache(disk=DiskCacheTier(str(tmp_path)))
+        found = reader.lookup(key)
+        assert found is not None
+        assert found.count_ops() == circuit.count_ops()
+        assert reader.disk_hits == 1 and reader.misses == 0
+        # Promoted: the next lookup is a pure memory hit.
+        reader.lookup(key)
+        assert reader.hits == 1 and reader.disk_hits == 1
+
+    def test_disk_miss_counts_and_falls_through(self, tmp_path):
+        cache = TranspileCache(disk=DiskCacheTier(str(tmp_path)))
+        assert cache.lookup(self._key(qft_circuit(2))) is None
+        assert cache.disk_misses == 1 and cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        from repro.transpiler.cache import disk_entry_name
+
+        disk = DiskCacheTier(str(tmp_path))
+        cache = TranspileCache(disk=disk)
+        circuit = qft_circuit(2)
+        key = cache.make_key(circuit, None, ())
+        cache.store(key, circuit)
+        path = tmp_path / disk_entry_name(key)
+        path.write_bytes(b"not a pickle")
+        fresh = TranspileCache(disk=DiskCacheTier(str(tmp_path)))
+        assert fresh.lookup(key) is None
+        assert fresh.disk_misses == 1
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        disk = DiskCacheTier(str(tmp_path))
+        cache = TranspileCache(disk=disk)
+        for width in (2, 3, 4):
+            circuit = qft_circuit(width)
+            cache.store(cache.make_key(circuit, None, ()), circuit)
+        leftovers = [
+            name for name in tmp_path.iterdir()
+            if name.suffix == ".tmp"
+        ]
+        assert leftovers == []
+        assert len(disk) == 3
+
+    def test_disk_tier_works_with_memory_tier_disabled(self, tmp_path):
+        cache = TranspileCache(maxsize=0, disk=DiskCacheTier(str(tmp_path)))
+        circuit = qft_circuit(2)
+        key = cache.make_key(circuit, None, ())
+        cache.store(key, circuit)
+        assert cache.stats()["size"] == 0  # nothing in memory
+        assert cache.lookup(key) is not None  # served from disk
+        assert cache.disk_hits == 1
+
+    def test_second_process_hits_disk_tier(self, tmp_path):
+        """The acceptance check: a fresh *process* pointed at the same
+        cache directory reports a disk-tier hit in its registry gauges."""
+        import json
+        import os
+        import subprocess
+        import sys
+
+        child = (
+            "import json\n"
+            "from repro.algorithms.qft import qft_circuit\n"
+            "from repro.transpiler import transpile, get_transpile_cache\n"
+            "transpile(qft_circuit(3), coupling_map='ibmqx4')\n"
+            "print(json.dumps(get_transpile_cache().stats()))\n"
+        )
+        src = os.path.join(
+            os.path.dirname(__file__), os.pardir, os.pardir, "src"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH"), src) if p
+        )
+        env["REPRO_TRANSPILE_CACHE_DIR"] = str(tmp_path)
+        stats = []
+        for _ in range(2):
+            completed = subprocess.run(
+                [sys.executable, "-c", child], env=env,
+                capture_output=True, text=True, timeout=120,
+            )
+            assert completed.returncode == 0, completed.stderr
+            stats.append(json.loads(completed.stdout.strip()))
+        # Process 1 compiled (disk miss) and wrote through; process 2's
+        # only lookup was served from the disk tier.
+        assert stats[0]["disk_misses"] == 1 and stats[0]["misses"] == 1
+        assert stats[1]["disk_hits"] == 1 and stats[1]["misses"] == 0
+
+    def test_configure_disk_cache_attach_detach(self, tmp_path):
+        try:
+            configure_disk_cache(str(tmp_path))
+            assert get_transpile_cache().disk is not None
+            clear_transpile_cache()
+            circuit = qft_circuit(3)
+            transpile(circuit, coupling_map="ibmqx4")
+            assert get_transpile_cache().stats()["disk_misses"] == 1
+            assert len(get_transpile_cache().disk) == 1
+        finally:
+            configure_disk_cache(None)
+            clear_transpile_cache()
+        assert get_transpile_cache().disk is None
