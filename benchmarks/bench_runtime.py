@@ -22,6 +22,18 @@ Two sections:
   per job (wall time minus pure execution time).  Every job's counts
   are asserted bit-identical to a quiet direct ``backend.run`` with the
   same seed.
+
+* **admission-control overhead** — the same submit burst is timed with
+  admission limits disarmed and armed (generous enough never to
+  reject): the delta is the pure cost of the limit checks on the
+  accept path.  The reject fast path is timed separately against a
+  full queue; the run asserts every rejection carried a positive
+  ``retry_after`` hint and left no ledger record behind.
+
+* **compaction throughput** — a ledger populated with many
+  multi-transition job histories is compacted once; records/s and
+  bytes/s through :meth:`JobStore.compact`, with replay equivalence
+  asserted after the rewrite.
 """
 
 from __future__ import annotations
@@ -42,8 +54,9 @@ sys.path.insert(0, str(_ROOT / "src"))
 sys.path.insert(0, str(_ROOT))
 
 from repro.circuit import QuantumCircuit  # noqa: E402
+from repro.exceptions import QueueFullError  # noqa: E402
 from repro.providers.aer import Aer  # noqa: E402
-from repro.runtime import RuntimeService  # noqa: E402
+from repro.runtime import JobRecord, JobStore, RuntimeService  # noqa: E402
 from repro.telemetry.metrics import get_metrics_registry  # noqa: E402
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -56,6 +69,10 @@ TENANTS = 4
 JOBS_PER_TENANT = 6
 JOB_SHOTS = 400
 DISK_SPEEDUP_TARGET = 2.0
+ADMISSION_SUBMITS = 300
+REJECT_ATTEMPTS = 500
+COMPACTION_JOBS = 400
+COMPACTION_TRANSITIONS = 4  # QUEUED/RUNNING/DONE + the job record
 
 #: Child process: compile the workload, print timing + cache stats JSON.
 _COMPILE_CHILD = """
@@ -226,6 +243,121 @@ def bench_queue_latency(fast: bool) -> dict:
     }
 
 
+def _submit_burst(service, count, shots) -> float:
+    start = time.perf_counter()
+    for index in range(count):
+        service.submit(_bell(f"bell-{index}"), shots=shots, seed=index)
+    return time.perf_counter() - start
+
+
+def bench_admission(fast: bool) -> dict:
+    submits = 100 if fast else ADMISSION_SUBMITS
+    attempts = 200 if fast else REJECT_ATTEMPTS
+    shots = 64
+
+    # Accept path: the same burst with limits disarmed vs armed (but
+    # generous — no submit is ever rejected), workers parked so the
+    # queue depth is deterministic.
+    with tempfile.TemporaryDirectory() as store_dir:
+        with RuntimeService(store_dir, autostart=False) as service:
+            unlimited_wall = _submit_burst(service, submits, shots)
+    with tempfile.TemporaryDirectory() as store_dir:
+        with RuntimeService(
+            store_dir, autostart=False,
+            max_queued_jobs=submits + 1,
+            max_queued_per_tenant=submits + 1,
+            max_queued_shots=shots * (submits + 1),
+        ) as service:
+            limited_wall = _submit_burst(service, submits, shots)
+
+    # Reject fast path: a full single-slot queue bounces every submit
+    # before any payload encode or ledger append.
+    with tempfile.TemporaryDirectory() as store_dir:
+        with RuntimeService(
+            store_dir, autostart=False, max_queued_jobs=1,
+        ) as service:
+            service.submit(_bell("occupant"), shots=shots, seed=0)
+            probe = _bell("rejected")
+            start = time.perf_counter()
+            for _ in range(attempts):
+                try:
+                    service.submit(probe, shots=shots, seed=1)
+                except QueueFullError as error:
+                    if error.retry_after <= 0:
+                        raise AssertionError(
+                            "rejection carried no retry_after hint"
+                        )
+                else:
+                    raise AssertionError(
+                        "full queue accepted a submit"
+                    )
+            reject_wall = time.perf_counter() - start
+            if len(service.jobs()) != 1:
+                raise AssertionError(
+                    "rejected submits left ledger records behind"
+                )
+
+    return {
+        "workload": {"submits": submits, "reject_attempts": attempts},
+        "wall_seconds": {
+            "unlimited": round(unlimited_wall, 4),
+            "limits_armed": round(limited_wall, 4),
+            "rejections": round(reject_wall, 4),
+        },
+        "admission_overhead_us_per_submit": round(
+            max(0.0, limited_wall - unlimited_wall) / submits * 1e6, 2
+        ),
+        "accepts_per_s": round(submits / limited_wall, 1),
+        "rejects_per_s": round(attempts / reject_wall, 1),
+        "rejections_leave_no_record": True,  # asserted above
+    }
+
+
+def bench_compaction(fast: bool) -> dict:
+    jobs = 100 if fast else COMPACTION_JOBS
+
+    with tempfile.TemporaryDirectory() as store_dir:
+        store = JobStore(store_dir)
+        now = time.time()
+        for index in range(jobs):
+            record = JobRecord(
+                f"rt-{index}", "default", ("aer", "qasm_simulator"),
+                0, None, "circuits", "payload", {"shots": 100},
+                submitted_at=now,
+            )
+            store.append_job(record)
+            store.append_state(record.job_id, "QUEUED")
+            store.append_state(record.job_id, "RUNNING")
+            store.append_state(record.job_id, "DONE")
+        start = time.perf_counter()
+        stats = store.compact()
+        wall = time.perf_counter() - start
+        replayed = JobStore(store_dir).load()
+        if len(replayed) != jobs:
+            raise AssertionError(
+                f"replay after compaction lost jobs: {len(replayed)}"
+            )
+        if any(r.state != "DONE" for r in replayed.values()):
+            raise AssertionError("replay after compaction lost states")
+
+    return {
+        "workload": {
+            "jobs": jobs,
+            "records_per_job": COMPACTION_TRANSITIONS,
+        },
+        "ledger": {
+            "records_in": stats["records_in"],
+            "records_out": stats["records_out"],
+            "bytes_in": stats["bytes_in"],
+            "bytes_out": stats["bytes_out"],
+        },
+        "wall_seconds": round(wall, 4),
+        "compact_records_per_s": round(stats["records_in"] / wall, 1),
+        "compact_bytes_per_s": round(stats["bytes_in"] / wall, 1),
+        "replay_preserved": True,  # asserted above
+    }
+
+
 def main(argv=None) -> int:
     fast = "--fast" in (argv if argv is not None else sys.argv[1:])
     cpu_count = os.cpu_count() or 1
@@ -251,6 +383,23 @@ def main(argv=None) -> int:
         f"{queue['scheduling_overhead_ms_per_job']}ms/job"
     )
 
+    print("admission-control overhead:")
+    admission = bench_admission(fast)
+    print(
+        f"  +{admission['admission_overhead_us_per_submit']}us/submit "
+        f"with limits armed, {admission['accepts_per_s']} accepts/s, "
+        f"{admission['rejects_per_s']} rejects/s on the full-queue path"
+    )
+
+    print("ledger compaction throughput:")
+    compaction = bench_compaction(fast)
+    print(
+        f"  {compaction['ledger']['records_in']} records in "
+        f"{compaction['wall_seconds']}s -> "
+        f"{compaction['compact_records_per_s']} records/s, "
+        f"{compaction['compact_bytes_per_s']} bytes/s"
+    )
+
     speedup = disk["speedup_warm_vs_no_tier"]
     payload = {
         "suite": "runtime",
@@ -261,10 +410,14 @@ def main(argv=None) -> int:
         "fast_mode": fast,
         "disk_tier": disk,
         "queue": queue,
+        "admission": admission,
+        "compaction": compaction,
         "acceptance": {
             "disk_warm_speedup": speedup,
             "disk_warm_speedup_target": DISK_SPEEDUP_TARGET,
             "warm_process_compiled_nothing": True,  # asserted above
+            "rejections_leave_no_record": True,  # asserted above
+            "compaction_replay_preserved": True,  # asserted above
         },
     }
     OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")

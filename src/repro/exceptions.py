@@ -69,6 +69,46 @@ class CorruptedResultError(BackendError):
     """
 
 
+class QueueFullError(BackendError):
+    """The runtime service refused a submission: the queue is at capacity.
+
+    Admission control protects the service from unbounded backlog —
+    per-tenant and global queue-depth / queued-shots limits reject new
+    work instead of letting wait times grow without bound.  The
+    ``retry_after`` attribute carries a deterministic hint (seconds),
+    derived from the current backlog and the service's observed job
+    duration, after which a resubmission is likely to be admitted.
+    ``submit(..., wait=True)`` blocks for capacity instead of raising.
+    """
+
+    def __init__(self, message, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class DeadlineExpiredError(BackendError):
+    """A runtime job's deadline passed before it could finish.
+
+    Jobs submitted with ``deadline=<seconds>`` expire at dequeue (the
+    scheduler drops them without dispatching) or mid-run (a cooperative
+    cancel at the next shot-chunk boundary; chunks delivered before the
+    deadline are kept and collectable).  The terminal state is
+    ``EXPIRED``, persisted to the job ledger.
+    """
+
+
+class JobQuarantinedError(BackendError):
+    """A runtime job was moved to the dead-letter quarantine.
+
+    The job's experiments exhausted their retry budget across every
+    service-level attempt — re-running it unchanged would poison a
+    worker again.  The quarantine record in the job ledger keeps the
+    full fault ledger for diagnosis; ``RuntimeService.requeue(job_id)``
+    re-submits it (optionally with corrected options) after the
+    operator fixes the underlying issue.
+    """
+
+
 class AlgorithmError(ReproError):
     """Raised by application-level (Aqua-like) algorithms."""
 

@@ -385,7 +385,7 @@ class ExecutionEngine:
 
     def compile_batch(self, backend, circuits, job_trace, *,
                       optimization_level=1, seed=None,
-                      transpile_cache=True):
+                      transpile_cache=True, cache_namespace=None):
         """Compile circuits for a device backend (``execute``'s old inline
         stage).
 
@@ -395,7 +395,8 @@ class ExecutionEngine:
         ``transpile`` span (and its per-pass children) per circuit on the
         job's trace.  Results are memoised in the two-tier content-hash
         transpile cache, so warm sessions and repeated processes skip the
-        pass pipeline entirely.
+        pass pipeline entirely.  ``cache_namespace`` isolates the cache
+        reads/writes to a private namespace (per-session sub-tier).
         """
         if backend.configuration().simulator:
             return list(circuits)
@@ -416,6 +417,7 @@ class ExecutionEngine:
                     optimization_level=optimization_level,
                     seed=seed,
                     transpile_cache=transpile_cache,
+                    cache_namespace=cache_namespace,
                 )
                 span.set_attribute("depth_out", mapped.depth())
             mapped.name = circuit.name

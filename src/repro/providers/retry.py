@@ -104,6 +104,56 @@ class RetryPolicy:
 #: healthy batches — non-transient errors are never retried.
 DEFAULT_RETRY_POLICY = RetryPolicy()
 
+#: Error type names the runtime service classifies as *infrastructure*
+#: failures: the transient family plus the executor-degradation
+#: surfaces.  Experiment errors are persisted as ``"TypeName: message"``
+#: strings, so classification is by leading type name.
+INFRASTRUCTURE_ERROR_NAMES = frozenset(
+    exc.__name__ for exc in DEFAULT_RETRYABLE
+) | {"BrokenExecutor", "BrokenProcessPool", "TimeoutError"}
+
+
+def is_infrastructure_error(error) -> bool:
+    """Whether an exception (or persisted error string) is an
+    infrastructure failure.
+
+    Drives the runtime service's circuit breakers and dead-letter
+    policy: only failures of the transient/flaky family count against a
+    backend's health or a job's service-attempt budget — a circuit the
+    simulator genuinely rejects is the *user's* failure and must neither
+    open a breaker nor be retried at the service level.
+    """
+    if error is None:
+        return False
+    if isinstance(error, BaseException):
+        return isinstance(error, DEFAULT_RETRYABLE + (TimeoutError,))
+    text = str(error)
+    if text.split(":", 1)[0].strip() in INFRASTRUCTURE_ERROR_NAMES:
+        return True
+    # Merged chunk errors wrap the original ("chunk 1/3 failed:
+    # TransientFaultError: ..."): classify by the embedded type name.
+    return any(f"{name}:" in text for name in INFRASTRUCTURE_ERROR_NAMES)
+
+
+def infrastructure_failure(result) -> bool:
+    """Whether a collected :class:`Result`'s failures are all
+    infrastructure-class.
+
+    True only when the result failed *and* every failed experiment's
+    recorded error classifies as infrastructure — a batch with any
+    genuine user error is not eligible for service-level retry or
+    quarantine (re-running it would fail identically by design).
+    """
+    failed = [
+        experiment for experiment in result.results
+        if not experiment.success
+    ]
+    if not failed:
+        return False
+    return all(
+        is_infrastructure_error(experiment.error) for experiment in failed
+    )
+
 
 def resolve_retry_policy(value) -> RetryPolicy:
     """Normalize the ``retry_policy`` run option.

@@ -1,0 +1,199 @@
+"""Per-backend circuit breakers for the runtime service.
+
+A real cloud backend goes unhealthy as a *unit*: a calibration glitch or
+a dead control rack fails every job routed to it, and a queue service
+that keeps dispatching just burns its retry budget and its workers.
+The classic containment pattern is the circuit breaker:
+
+* **CLOSED** — traffic flows; consecutive *infrastructure* failures
+  (transient faults, worker crashes, corrupted payloads — never user
+  errors like a rejected circuit) are counted, and at
+  ``failure_threshold`` the breaker opens.
+* **OPEN** — the scheduler treats the backend exactly like a saturated
+  one (head-of-line skip, no pass charge), so queued jobs wait instead
+  of failing.  After ``reset_timeout`` seconds — stretched by a
+  deterministic, seed-derived jitter fraction so a fleet of breakers
+  never re-probes in lockstep — the breaker goes half-open.
+* **HALF_OPEN** — up to ``probe_limit`` jobs are admitted as health
+  probes.  A probe succeeding closes the breaker (failure count reset);
+  a probe failing re-opens it, with the next probe window drawing a
+  fresh jitter from the seed and the re-open generation, so the whole
+  open → half-open → open cadence is reproducible under a fixed seed.
+
+The breaker is deliberately clock-injected and thread-free (the service
+serializes access under its own lock), which is what lets the chaos
+suite drive every transition deterministically with a fake clock and
+the existing seeded fault-injection kinds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+
+from repro.exceptions import BackendError
+
+
+class BreakerState:
+    """String constants for the breaker states."""
+
+    CLOSED = "CLOSED"
+    OPEN = "OPEN"
+    HALF_OPEN = "HALF_OPEN"
+
+
+#: Gauge encoding of the state (CLOSED < HALF_OPEN < OPEN severity).
+_STATE_GAUGE = {
+    BreakerState.CLOSED: 0,
+    BreakerState.HALF_OPEN: 1,
+    BreakerState.OPEN: 2,
+}
+
+
+class CircuitBreaker:
+    """Failure containment for one backend.
+
+    ``failure_threshold`` consecutive infrastructure failures open the
+    breaker; ``reset_timeout`` (plus up to ``jitter`` fraction of
+    seed-derived stretch) gates the half-open probe window;
+    ``probe_limit`` bounds concurrent probes.  ``clock`` must be
+    monotonic (the service injects its own, fake in tests).
+    """
+
+    def __init__(self, backend_name: str, failure_threshold: int = 5,
+                 reset_timeout: float = 30.0, probe_limit: int = 1,
+                 jitter: float = 0.25, seed: int = 0, clock=None):
+        if failure_threshold < 1:
+            raise BackendError("breaker failure_threshold must be >= 1")
+        if reset_timeout < 0:
+            raise BackendError("breaker reset_timeout must be >= 0")
+        if probe_limit < 1:
+            raise BackendError("breaker probe_limit must be >= 1")
+        self.backend_name = backend_name
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self.probe_limit = int(probe_limit)
+        self.jitter = float(jitter)
+        self.seed = int(seed)
+        self._clock = clock if clock is not None else time.monotonic
+        self._state = BreakerState.CLOSED
+        self._failures = 0
+        self._generation = 0  # bumps on every open, feeds the jitter
+        self._opened_at = None
+        self._probes_in_flight = 0
+        self._transitions: list = []
+
+    # -- observability ---------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing OPEN -> HALF_OPEN when the window
+        elapsed."""
+        self._maybe_half_open()
+        return self._state
+
+    @property
+    def transitions(self) -> list:
+        """``(state, generation)`` history, for the chaos assertions."""
+        return list(self._transitions)
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self._failures,
+            "generation": self._generation,
+            "probes_in_flight": self._probes_in_flight,
+            "probe_window_s": self._probe_window(),
+        }
+
+    def gauge_value(self) -> int:
+        """The state encoded for the metrics gauge (0/1/2)."""
+        return _STATE_GAUGE[self.state]
+
+    # -- state machine ---------------------------------------------------
+
+    def _probe_window(self) -> float:
+        """This generation's open duration: timeout + seeded jitter.
+
+        The jitter fraction derives from sha256(seed, backend,
+        generation) — never from global randomness — so chaos runs
+        replay the exact same re-probe cadence.  Quantized to whole
+        microseconds so the window ``snapshot()`` advertises is exactly
+        the window the state machine enforces: waiting precisely
+        ``probe_window_s`` always reaches HALF_OPEN.
+        """
+        if self.jitter <= 0:
+            return self.reset_timeout
+        digest = hashlib.sha256(
+            f"breaker:{self.seed}:{self.backend_name}:{self._generation}"
+            .encode()
+        ).digest()
+        fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return round(self.reset_timeout * (1.0 + self.jitter * fraction), 6)
+
+    def _transition(self, state: str) -> None:
+        self._state = state
+        self._transitions.append((state, self._generation))
+
+    def _maybe_half_open(self) -> None:
+        if self._state == BreakerState.OPEN and (
+            self._clock() - self._opened_at >= self._probe_window()
+        ):
+            self._probes_in_flight = 0
+            self._transition(BreakerState.HALF_OPEN)
+
+    def allows_dispatch(self) -> bool:
+        """Whether the scheduler may start a job on this backend now.
+
+        OPEN refuses everything; HALF_OPEN admits up to ``probe_limit``
+        concurrent probes; CLOSED always admits.
+        """
+        state = self.state
+        if state == BreakerState.OPEN:
+            return False
+        if state == BreakerState.HALF_OPEN:
+            return self._probes_in_flight < self.probe_limit
+        return True
+
+    def on_dispatch(self) -> bool:
+        """Record a dispatch; True when the job runs as a half-open
+        probe."""
+        if self.state == BreakerState.HALF_OPEN:
+            self._probes_in_flight += 1
+            return True
+        return False
+
+    def record_success(self, probe: bool = False) -> None:
+        """A job finished healthy; a successful probe closes the
+        breaker."""
+        if probe:
+            self._probes_in_flight = max(0, self._probes_in_flight - 1)
+        self._failures = 0
+        if self._state == BreakerState.HALF_OPEN:
+            self._transition(BreakerState.CLOSED)
+
+    def record_failure(self, probe: bool = False) -> None:
+        """An infrastructure failure; may open (or re-open) the breaker."""
+        if probe:
+            self._probes_in_flight = max(0, self._probes_in_flight - 1)
+        if self._state == BreakerState.HALF_OPEN:
+            # The probe failed: straight back to OPEN, new generation.
+            self._open()
+            return
+        self._failures += 1
+        if self._state == BreakerState.CLOSED and \
+                self._failures >= self.failure_threshold:
+            self._open()
+
+    def _open(self) -> None:
+        self._generation += 1
+        self._failures = 0
+        self._opened_at = self._clock()
+        self._probes_in_flight = 0
+        self._transition(BreakerState.OPEN)
+
+    def __repr__(self):
+        return (
+            f"CircuitBreaker({self.backend_name!r}, state={self.state}, "
+            f"failures={self._failures}, generation={self._generation})"
+        )

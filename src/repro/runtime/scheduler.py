@@ -50,9 +50,17 @@ class TokenBucket:
     """A token-bucket rate limiter (``rate`` tokens/second, ``burst`` cap).
 
     The bucket starts full.  :meth:`try_acquire` refills lazily from the
-    injected ``clock`` (default ``time.monotonic``) and consumes one
-    token when available — it never blocks, matching the scheduler's
-    queue-don't-error contract.
+    injected ``clock`` and consumes one token when available — it never
+    blocks, matching the scheduler's queue-don't-error contract.
+
+    The clock is injected **at construction** and defaults to
+    ``time.monotonic``; never hand it a wall clock — NTP corrections
+    step wall time backwards, and a rate limiter fed backwards time
+    either stalls or double-credits.  The refill is hardened anyway: a
+    backwards step leaves the stamp untouched, so elapsed time is
+    credited exactly once no matter what the clock does (and the policy
+    tests drive the bucket with a manual fake clock instead of
+    sleeping).
     """
 
     def __init__(self, rate: float, burst: float = None, clock=None):
@@ -71,7 +79,10 @@ class TokenBucket:
         elapsed = now - self._stamp
         if elapsed > 0:
             self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
-        self._stamp = now
+            # Only ever move the stamp forward: a clock that steps
+            # backwards (wall time under NTP) must not re-credit the
+            # interval it already paid out when it catches back up.
+            self._stamp = now
 
     def available(self) -> float:
         """Tokens currently in the bucket (after a lazy refill)."""

@@ -18,28 +18,75 @@ resumes from its chunk ledger via ``Job.resume`` — re-running only the
 missing chunks, with merged results bit-identical to an uninterrupted
 run.
 
+**Overload and failure containment** (the production-hardening layer):
+
+* *admission control* — optional per-tenant and global queue-depth and
+  queued-shots limits; a submission over the limit raises
+  :class:`~repro.exceptions.QueueFullError` carrying a deterministic
+  ``retry_after`` hint, or blocks for capacity with
+  ``submit(..., wait=True)``;
+* *deadlines* — ``submit(..., deadline=<seconds>)`` expires the job at
+  dequeue (never dispatched) or mid-run (cooperative cancel at the next
+  chunk boundary, delivered chunks kept); terminal state ``EXPIRED``;
+* *circuit breakers* — consecutive infrastructure failures on one
+  backend open its :class:`~repro.runtime.breaker.CircuitBreaker`; the
+  scheduler then skips that backend like a saturated one, and seeded
+  half-open probes re-admit traffic once the backend recovers;
+* *dead-letter quarantine* — a job whose experiments exhaust their
+  retries across ``service_attempts`` service-level attempts lands in
+  ``QUARANTINED`` with its fault ledger persisted, instead of poisoning
+  workers forever; :meth:`RuntimeService.requeue` re-submits it;
+* *compaction* — :meth:`RuntimeService.compact` rewrites the job
+  ledger to a last-state-wins snapshot and applies the configured
+  :class:`~repro.runtime.store.RetentionPolicy`.
+
 Telemetry (unified metrics registry):
 
-* ``repro_runtime_queue_depth{tenant}`` — queued jobs per tenant;
+* ``repro_runtime_queue_depth{tenant}`` / ``repro_runtime_queued_shots
+  {tenant}`` — queued jobs and shots per tenant;
 * ``repro_runtime_wait_seconds{tenant}`` — queue wait histogram;
 * ``repro_runtime_jobs_submitted/started/completed{tenant}`` counters
-  (completions carry a ``state`` label: DONE/ERROR/CANCELLED);
+  (completions carry a ``state`` label: DONE/ERROR/CANCELLED/EXPIRED/
+  QUARANTINED), plus ``repro_runtime_jobs_rejected/requeued{tenant}``;
+* ``repro_runtime_state_transitions{state}`` — every persisted
+  lifecycle transition;
+* ``repro_runtime_breaker_state{backend}`` (0=closed, 1=half-open,
+  2=open) and ``repro_runtime_breaker_transitions{backend,state}``;
 
 and each job's trace (when tracing is enabled) gains a ``queued`` span
 between submission and dispatch, parented to the same root the engine's
-assemble/dispatch/collect spans join.
+assemble/dispatch/collect spans join; breaker trips and the
+EXPIRED/QUARANTINED transitions add their own spans to the trace of the
+job that caused them.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 import threading
 import time
 
-from repro.exceptions import BackendError, JobTimeoutError
-from repro.providers.executor import JobStatus, resolve_backend
+from repro.exceptions import (
+    BackendError,
+    DeadlineExpiredError,
+    JobQuarantinedError,
+    JobTimeoutError,
+    QueueFullError,
+)
+from repro.providers.executor import resolve_backend
+from repro.providers.retry import (
+    infrastructure_failure,
+    is_infrastructure_error,
+)
+from repro.runtime.breaker import CircuitBreaker
 from repro.runtime.scheduler import FairShareScheduler
-from repro.runtime.store import JobRecord, JobStore, TERMINAL_STATES
+from repro.runtime.store import (
+    JobRecord,
+    JobStore,
+    RetentionPolicy,
+    TERMINAL_STATES,
+)
 from repro.telemetry.jobtrace import JobTrace
 from repro.telemetry.metrics import get_metrics_registry
 
@@ -47,16 +94,21 @@ from repro.telemetry.metrics import get_metrics_registry
 _WAIT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0,
                  120.0, float("inf"))
 
+#: States a quarantined/failed job may be requeued from.
+_REQUEUEABLE_STATES = ("QUARANTINED", "ERROR", "CANCELLED", "EXPIRED")
+
 
 class RuntimeJob:
     """A service-side job handle, quacking like a provider ``Job``.
 
     Lifecycle: ``SUBMITTED`` (persisted) -> ``QUEUED`` (scheduler) ->
     ``RUNNING`` (worker picked it, a provider job exists) -> ``DONE`` /
-    ``ERROR`` / ``CANCELLED``.  :meth:`result`, :meth:`stream`,
-    :meth:`cancel`, ``fault_stats`` and :meth:`trace` mirror the
-    provider job API, so primitives (and user code written against
-    ``backend.run``) work unchanged over the service.
+    ``ERROR`` / ``CANCELLED`` / ``EXPIRED`` (deadline passed) /
+    ``QUARANTINED`` (dead-lettered after exhausting service attempts).
+    :meth:`result`, :meth:`stream`, :meth:`cancel`, ``fault_stats`` and
+    :meth:`trace` mirror the provider job API, so primitives (and user
+    code written against ``backend.run``) work unchanged over the
+    service.
     """
 
     def __init__(self, service, record: JobRecord, trace: JobTrace):
@@ -71,6 +123,8 @@ class RuntimeJob:
         self._done = threading.Event()
         self._lock = threading.Lock()
         self._changed = threading.Condition(self._lock)
+        #: Deadline on the service's (monotonic) clock scale, or None.
+        self._deadline_at = None
         if record.state in TERMINAL_STATES:
             self._done.set()
 
@@ -96,8 +150,20 @@ class RuntimeJob:
     # -- lifecycle -------------------------------------------------------
 
     def status(self) -> str:
-        """Current state: SUBMITTED/QUEUED/RUNNING/DONE/ERROR/CANCELLED."""
+        """Current state: SUBMITTED/QUEUED/RUNNING/DONE/ERROR/CANCELLED/
+        EXPIRED/QUARANTINED."""
         return self._state
+
+    @property
+    def service_attempts(self) -> int:
+        """Service-level attempts consumed (dead-letter budget input)."""
+        return self._record.attempts
+
+    @property
+    def quarantine_record(self):
+        """The persisted fault ledger for a QUARANTINED job (else
+        None)."""
+        return self._record.quarantine
 
     def result(self, timeout=None):
         """Block for the job's :class:`~repro.providers.result.Result`.
@@ -106,8 +172,11 @@ class RuntimeJob:
         the queue first — the timeout covers queue wait plus execution.
         Raises :class:`JobTimeoutError` past the deadline (the job keeps
         running; call again), :class:`BackendError` if the job was
-        cancelled, and re-raises the original exception if the service
-        runner crashed.
+        cancelled, :class:`DeadlineExpiredError` if it expired before
+        anything ran, and :class:`JobQuarantinedError` if it was
+        dead-lettered.  A job that expired *mid-run* returns its partial
+        result instead — the chunks delivered before the deadline are
+        kept.
         """
         if not self._done.wait(timeout):
             raise JobTimeoutError(
@@ -154,9 +223,12 @@ class RuntimeJob:
 
     @property
     def fault_stats(self) -> dict:
-        """The provider job's fault/retry ledger (empty pre-dispatch)."""
+        """The provider job's fault/retry ledger (empty pre-dispatch;
+        the persisted quarantine ledger for a dead-lettered job)."""
         if self._provider_job is not None:
             return self._provider_job.fault_stats
+        if self._record.quarantine is not None:
+            return self._record.quarantine.get("fault_stats", {})
         return {}
 
     def trace(self):
@@ -173,7 +245,7 @@ class RuntimeJob:
             f"state={self._state})"
         )
 
-    # -- service-side hooks ---------------------------------------------
+    # -- service-side hooks ----------------------------------------------
 
     def _set_state(self, state: str) -> None:
         with self._changed:
@@ -193,6 +265,15 @@ class RuntimeJob:
         self._error = error
         self._set_state(state)
 
+    def _reopen(self) -> None:
+        """Back to a runnable state (service retry / operator requeue)."""
+        with self._changed:
+            self._result = None
+            self._error = None
+            self._provider_job = None
+            self._events = []
+            self._done.clear()
+
 
 class RuntimeService:
     """Multi-tenant execution service over a durable job store.
@@ -207,19 +288,63 @@ class RuntimeService:
     until :meth:`start` — which the policy tests use to stage
     deterministic queue states.
 
+    Hardening knobs:
+
+    * ``max_queued_jobs`` / ``max_queued_per_tenant`` /
+      ``max_queued_shots`` — admission-control ceilings (None =
+      unlimited; rejected submissions raise
+      :class:`~repro.exceptions.QueueFullError` with a deterministic
+      ``retry_after`` hint);
+    * ``service_attempts`` — how many service-level attempts an
+      infrastructure-failing job gets before it is dead-lettered to
+      ``QUARANTINED`` (default 2: one automatic requeue);
+      ``quarantine=False`` disables dead-lettering entirely (such jobs
+      terminate ERROR, the pre-hardening behaviour);
+    * ``breaker`` — per-backend circuit-breaker configuration, a kwargs
+      dict for :class:`~repro.runtime.breaker.CircuitBreaker`
+      (``failure_threshold``/``reset_timeout``/``probe_limit``/
+      ``jitter``/``seed``); ``False`` disables breakers;
+    * ``retention`` — the default
+      :class:`~repro.runtime.store.RetentionPolicy` (or kwargs dict)
+      applied by :meth:`compact`.
+
     The service is a context manager; leaving the ``with`` block drains
     running jobs and stops the workers.
     """
 
     def __init__(self, store_dir, max_workers: int = 2,
                  backend_limits: dict = None, autostart: bool = True,
-                 clock=None):
+                 clock=None, max_queued_jobs: int = None,
+                 max_queued_per_tenant: int = None,
+                 max_queued_shots: int = None, service_attempts: int = 2,
+                 quarantine: bool = True, breaker=None, retention=None):
         self._store = JobStore(store_dir)
         self._clock = clock if clock is not None else time.monotonic
         self._scheduler = FairShareScheduler(clock=self._clock)
         self._scheduler.set_tenant("default", weight=1.0)
         self._max_workers = max(1, int(max_workers))
         self._backend_limits = dict(backend_limits or {})
+        if max_queued_jobs is not None and max_queued_jobs < 1:
+            raise BackendError("max_queued_jobs must be >= 1")
+        if max_queued_per_tenant is not None and max_queued_per_tenant < 1:
+            raise BackendError("max_queued_per_tenant must be >= 1")
+        if max_queued_shots is not None and max_queued_shots < 1:
+            raise BackendError("max_queued_shots must be >= 1")
+        self._max_queued_jobs = max_queued_jobs
+        self._max_queued_per_tenant = max_queued_per_tenant
+        self._max_queued_shots = max_queued_shots
+        if service_attempts < 1:
+            raise BackendError("service_attempts must be >= 1")
+        self._service_attempts = int(service_attempts)
+        self._quarantine_enabled = bool(quarantine)
+        if breaker is False:
+            self._breaker_config = None
+        else:
+            self._breaker_config = dict(breaker or {})
+        if retention is None or isinstance(retention, RetentionPolicy):
+            self._retention = retention
+        else:
+            self._retention = RetentionPolicy(**retention)
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._jobs: dict = {}
@@ -227,6 +352,11 @@ class RuntimeService:
         self._submit_stamps: dict = {}
         self._running_on: dict = {}
         self._backends: dict = {}
+        self._breakers: dict = {}
+        self._probe_jobs: dict = {}
+        self._queued_shots: dict = {}
+        self._job_shots: dict = {}
+        self._avg_job_seconds = None
         self._session_counter = 0
         self._stop = False
         self._threads: list = []
@@ -234,6 +364,10 @@ class RuntimeService:
         self._depth_gauge = registry.gauge(
             "repro_runtime_queue_depth",
             "Jobs queued in the runtime service", ("tenant",),
+        )
+        self._shots_gauge = registry.gauge(
+            "repro_runtime_queued_shots",
+            "Shots queued in the runtime service", ("tenant",),
         )
         self._wait_hist = registry.histogram(
             "repro_runtime_wait_seconds",
@@ -244,6 +378,14 @@ class RuntimeService:
             "repro_runtime_jobs_submitted",
             "Jobs accepted by the runtime service", ("tenant",),
         )
+        self._rejected = registry.counter(
+            "repro_runtime_jobs_rejected",
+            "Submissions refused by admission control", ("tenant",),
+        )
+        self._requeued = registry.counter(
+            "repro_runtime_jobs_requeued",
+            "Service-level retry and operator requeues", ("tenant",),
+        )
         self._started = registry.counter(
             "repro_runtime_jobs_started",
             "Jobs dispatched by the runtime service", ("tenant",),
@@ -251,6 +393,19 @@ class RuntimeService:
         self._completed = registry.counter(
             "repro_runtime_jobs_completed",
             "Jobs finished by the runtime service", ("tenant", "state"),
+        )
+        self._transitions = registry.counter(
+            "repro_runtime_state_transitions",
+            "Persisted job lifecycle transitions", ("state",),
+        )
+        self._breaker_gauge = registry.gauge(
+            "repro_runtime_breaker_state",
+            "Circuit breaker state (0=closed, 1=half-open, 2=open)",
+            ("backend",),
+        )
+        self._breaker_trans = registry.counter(
+            "repro_runtime_breaker_transitions",
+            "Circuit breaker state transitions", ("backend", "state"),
         )
         self._recover()
         if autostart:
@@ -281,49 +436,202 @@ class RuntimeService:
             return backend
 
     def session(self, backend: str = "qasm_simulator",
-                provider: str = "aer", tenant: str = "default"):
+                provider: str = "aer", tenant: str = "default",
+                cache_namespace: str = None):
         """Open a :class:`~repro.runtime.session.Session` on a warm
-        backend."""
+        backend.
+
+        ``cache_namespace`` isolates the session's disk-tier transpile
+        cache entries under a private namespace (default: the shared
+        root), so a tenant's compiles cannot be evicted — or polluted —
+        by another tenant's retention sweeps.
+        """
         from repro.runtime.session import Session
 
         warm = self.backend(backend, provider)
         with self._lock:
             self._session_counter += 1
             session_id = f"sess-{self._session_counter}"
-        return Session(self, warm, tenant=tenant, session_id=session_id)
+        return Session(self, warm, tenant=tenant, session_id=session_id,
+                       cache_namespace=cache_namespace)
+
+    def _breaker(self, backend_name: str):
+        """The (lazily created) breaker for a backend, or None when
+        disabled.  Caller holds the lock."""
+        if self._breaker_config is None:
+            return None
+        breaker = self._breakers.get(backend_name)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                backend_name, clock=self._clock, **self._breaker_config
+            )
+            self._breakers[backend_name] = breaker
+        return breaker
+
+    def _sync_breaker(self, breaker, job=None) -> None:
+        """Mirror a breaker's state into metrics (and the job's trace)."""
+        synced = getattr(breaker, "_synced", 0)
+        history = breaker.transitions
+        for state, generation in history[synced:]:
+            self._breaker_trans.inc(labels={
+                "backend": breaker.backend_name, "state": state,
+            })
+            if job is not None:
+                span = job._trace.stage("breaker", {
+                    "backend": breaker.backend_name,
+                    "state": state,
+                    "generation": generation,
+                })
+                span.__enter__()
+                span.__exit__(None, None, None)
+        breaker._synced = len(history)
+        self._breaker_gauge.set(
+            breaker.gauge_value(),
+            labels={"backend": breaker.backend_name},
+        )
+
+    def breaker_snapshot(self) -> dict:
+        """Per-backend breaker state (observability/admin CLI)."""
+        with self._lock:
+            return {
+                name: breaker.snapshot()
+                for name, breaker in sorted(self._breakers.items())
+            }
 
     # -- submission ------------------------------------------------------
 
     def submit(self, circuits, backend="qasm_simulator", provider="aer",
                tenant: str = "default", priority: int = 0, session=None,
-               **options) -> RuntimeJob:
+               deadline: float = None, wait: bool = False,
+               wait_timeout: float = None, **options) -> RuntimeJob:
         """Queue a circuits job; returns immediately with a
         :class:`RuntimeJob`.
 
         ``backend`` may be a name (resolved against ``provider``) or a
         registry backend instance.  ``priority`` orders jobs *within*
         the tenant (higher first); fairness *across* tenants is the
-        scheduler's weighted share.  Remaining keyword options are the
-        ``backend.run`` options (shots, seed, executor, retry_policy,
-        ...) plus ``execute``'s compile knobs (``optimization_level``,
-        ``transpile_cache``) — device backends compile at dispatch, on
-        the worker, through the shared two-tier transpile cache.
-        ``checkpoint`` defaults to a per-job ledger inside the
-        store directory — pass ``checkpoint=False`` to opt out of chunk
-        durability (the job then restarts from scratch on recovery).
+        scheduler's weighted share.  ``deadline`` (seconds from now)
+        expires the job if it has not finished in time: never dispatched
+        if it expires in the queue, cooperatively cancelled at the next
+        chunk boundary if it expires mid-run (delivered chunks kept) —
+        terminal state ``EXPIRED`` either way.  When admission control
+        is configured and the queue is full, ``wait=True`` blocks (up to
+        ``wait_timeout`` seconds) for capacity instead of raising
+        :class:`~repro.exceptions.QueueFullError`.  Remaining keyword
+        options are the ``backend.run`` options (shots, seed, executor,
+        retry_policy, ...) plus ``execute``'s compile knobs
+        (``optimization_level``, ``transpile_cache``) — device backends
+        compile at dispatch, on the worker, through the shared two-tier
+        transpile cache.  ``checkpoint`` defaults to a per-job ledger
+        inside the store directory — pass ``checkpoint=False`` to opt
+        out of chunk durability (the job then restarts from scratch on
+        recovery).
         """
         return self._submit(circuits, "circuits", backend, provider,
-                            tenant, priority, session, options)
+                            tenant, priority, session, options,
+                            deadline=deadline, wait=wait,
+                            wait_timeout=wait_timeout)
 
     def submit_pubs(self, pubs, backend="qasm_simulator", provider="aer",
                     tenant: str = "default", priority: int = 0,
-                    session=None, **options) -> RuntimeJob:
+                    session=None, deadline: float = None,
+                    wait: bool = False, wait_timeout: float = None,
+                    **options) -> RuntimeJob:
         """Queue a primitives PUB job (see ``BaseBackend.run_pubs``)."""
         return self._submit(pubs, "pubs", backend, provider, tenant,
-                            priority, session, options)
+                            priority, session, options, deadline=deadline,
+                            wait=wait, wait_timeout=wait_timeout)
+
+    @staticmethod
+    def _payload_shots(payload, options) -> int:
+        """Queued-shots cost of one submission (admission accounting)."""
+        shots = int(options.get("shots", 1024))
+        if isinstance(payload, (list, tuple)):
+            units = max(1, len(payload))
+        else:
+            units = 1
+        return shots * units
+
+    def _retry_after_hint(self) -> float:
+        """Deterministic backoff hint for a rejected submission.
+
+        Backlog divided by worker parallelism, scaled by the observed
+        average job duration (EWMA) — a pure function of the service's
+        current state, never of randomness.
+        """
+        average = self._avg_job_seconds or 0.1
+        pending = self._scheduler.pending() + len(self._running_on)
+        return round(
+            max(0.05, average * (pending + 1) / self._max_workers), 3
+        )
+
+    def _admission_denial(self, tenant: str, shots: int):
+        """Why a submission must be refused right now, or None.
+
+        Caller holds the lock.
+        """
+        if self._max_queued_jobs is not None and \
+                self._scheduler.pending() >= self._max_queued_jobs:
+            return (
+                f"queue full: {self._scheduler.pending()} jobs queued "
+                f"(max_queued_jobs={self._max_queued_jobs})"
+            )
+        if self._max_queued_per_tenant is not None and \
+                self._scheduler.pending(tenant) >= \
+                self._max_queued_per_tenant:
+            return (
+                f"queue full for tenant '{tenant}': "
+                f"{self._scheduler.pending(tenant)} jobs queued "
+                f"(max_queued_per_tenant={self._max_queued_per_tenant})"
+            )
+        if self._max_queued_shots is not None:
+            total = sum(self._queued_shots.values())
+            if total + shots > self._max_queued_shots:
+                return (
+                    f"queue full: {total} shots queued + {shots} "
+                    f"requested exceeds max_queued_shots="
+                    f"{self._max_queued_shots}"
+                )
+        return None
+
+    def _admit(self, tenant: str, shots: int, wait: bool,
+               wait_timeout: float) -> None:
+        """Block or raise until the submission fits under the limits.
+
+        Caller holds the lock.
+        """
+        deadline_at = (
+            None if wait_timeout is None
+            else self._clock() + wait_timeout
+        )
+        while True:
+            denial = self._admission_denial(tenant, shots)
+            if denial is None:
+                return
+            if not wait:
+                self._rejected.inc(labels={"tenant": tenant})
+                raise QueueFullError(
+                    f"{denial}; retry after "
+                    f"{self._retry_after_hint()}s",
+                    retry_after=self._retry_after_hint(),
+                )
+            remaining = None
+            if deadline_at is not None:
+                remaining = deadline_at - self._clock()
+                if remaining <= 0:
+                    self._rejected.inc(labels={"tenant": tenant})
+                    raise QueueFullError(
+                        f"{denial}; gave up waiting after "
+                        f"{wait_timeout}s",
+                        retry_after=self._retry_after_hint(),
+                    )
+            self._wake.wait(timeout=(
+                min(0.05, remaining) if remaining is not None else 0.05
+            ))
 
     def _submit(self, payload, kind, backend, provider, tenant, priority,
-                session, options) -> RuntimeJob:
+                session, options, deadline=None, wait=False,
+                wait_timeout=None) -> RuntimeJob:
         if not isinstance(backend, str):
             spec = backend._backend_spec()
             if spec is None:
@@ -334,6 +642,8 @@ class RuntimeService:
         else:
             spec = (provider, backend)
             resolve_backend(spec)  # validate the name before persisting
+        if deadline is not None and deadline <= 0:
+            raise BackendError("deadline must be positive seconds")
         try:
             pickle.dumps((payload, options))
         except Exception as error:
@@ -341,19 +651,34 @@ class RuntimeService:
                 f"runtime job payloads must be picklable for the durable "
                 f"store: {error}"
             ) from None
-        job_id = self._store.next_job_id()
-        record = JobRecord(job_id, tenant, spec, priority, session, kind,
-                           payload, options, submitted_at=time.time())
-        trace = JobTrace(job_id, spec[1])
-        job = RuntimeJob(self, record, trace)
-        self._jobs[job_id] = job
-        self._store.append_job(record)
-        self._store.append_state(job_id, "QUEUED")
+        shots = self._payload_shots(payload, options)
         with self._wake:
+            self._admit(tenant, shots, wait, wait_timeout)
+            job_id = self._store.next_job_id()
+            record = JobRecord(
+                job_id, tenant, spec, priority, session, kind, payload,
+                options, submitted_at=time.time(),
+                deadline=(
+                    None if deadline is None else time.time() + deadline
+                ),
+            )
+            trace = JobTrace(job_id, spec[1])
+            job = RuntimeJob(self, record, trace)
+            if deadline is not None:
+                job._deadline_at = self._clock() + deadline
+            self._jobs[job_id] = job
+            self._store.append_job(record)
+            self._persist_state(job, "QUEUED")
             self._enqueue(job, trace)
             self._submitted.inc(labels={"tenant": tenant})
             self._wake.notify_all()
         return job
+
+    def _persist_state(self, job: RuntimeJob, state: str,
+                       attempt: int = None) -> None:
+        """Write one lifecycle transition to the ledger + counter."""
+        self._store.append_state(job.job_id, state, attempt=attempt)
+        self._transitions.inc(labels={"state": state})
 
     def _enqueue(self, job: RuntimeJob, trace: JobTrace) -> None:
         """Queue a job with the scheduler (caller holds the lock)."""
@@ -364,14 +689,40 @@ class RuntimeService:
         span.__enter__()
         self._queue_spans[job.job_id] = span
         self._submit_stamps[job.job_id] = self._clock()
+        shots = self._job_shots.get(job.job_id)
+        if shots is None:
+            shots = self._payload_shots(record.payload, record.options)
+            self._job_shots[job.job_id] = shots
+        self._queued_shots[record.tenant] = (
+            self._queued_shots.get(record.tenant, 0) + shots
+        )
         self._scheduler.submit(job.job_id, record.tenant,
                                priority=record.priority,
                                backend=record.backend_spec[1])
         job._set_state("QUEUED")
         self._sync_depth(record.tenant)
 
+    def _release_queued(self, job: RuntimeJob) -> None:
+        """Drop a job's queue accounting (dispatch/cancel/expire).
+
+        Caller holds the lock.
+        """
+        span = self._queue_spans.pop(job.job_id, None)
+        if span is not None:
+            span.__exit__(None, None, None)
+        shots = self._job_shots.pop(job.job_id, 0)
+        tenant = job._record.tenant
+        remaining = self._queued_shots.get(tenant, 0) - shots
+        if remaining > 0:
+            self._queued_shots[tenant] = remaining
+        else:
+            self._queued_shots.pop(tenant, None)
+        self._shots_gauge.set(max(0, remaining), labels={"tenant": tenant})
+
     def _sync_depth(self, tenant: str) -> None:
         self._depth_gauge.set(self._scheduler.pending(tenant),
+                              labels={"tenant": tenant})
+        self._shots_gauge.set(self._queued_shots.get(tenant, 0),
                               labels={"tenant": tenant})
 
     # -- recovery --------------------------------------------------------
@@ -380,21 +731,36 @@ class RuntimeService:
         """Re-queue the store's unfinished jobs (crashed process pickup).
 
         Terminal jobs come back as finished :class:`RuntimeJob` handles
-        (DONE jobs with their persisted Result).  SUBMITTED/QUEUED/
-        RUNNING jobs re-queue; a RUNNING job whose chunk ledger has a
-        header will resume through ``Job.resume`` when dispatched,
-        re-running only the chunks that never checkpointed.
+        (DONE jobs with their persisted Result, QUARANTINED jobs with
+        their fault ledger).  SUBMITTED/QUEUED/RUNNING jobs re-queue
+        (service attempt counters restored from the ledger, so a restart
+        cannot reset a poison job's dead-letter budget); a RUNNING job
+        whose chunk ledger has a header will resume through
+        ``Job.resume`` when dispatched, re-running only the chunks that
+        never checkpointed.  A recovered job keeps its wall-clock
+        deadline: whatever budget remains is re-armed on the service
+        clock, and an already-expired job expires at dequeue.
         """
         for job_id, record in sorted(self._store.load().items()):
             trace = JobTrace(job_id, record.backend_spec[1])
             job = RuntimeJob(self, record, trace)
             self._jobs[job_id] = job
             if record.state in TERMINAL_STATES:
+                if record.state == "QUARANTINED":
+                    job._error = JobQuarantinedError(
+                        f"runtime job {job_id} is quarantined; "
+                        f"requeue() it after fixing the cause"
+                    )
                 continue
+            if record.deadline is not None:
+                job._deadline_at = self._clock() + max(
+                    0.0, record.deadline - time.time()
+                )
             job._record.options = dict(record.options)
             job._record.options["_recovered_from"] = record.state
-            self._store.append_state(job_id, "QUEUED")
             with self._wake:
+                self._persist_state(job, "QUEUED",
+                                    attempt=record.attempts or None)
                 self._enqueue(job, trace)
 
     # -- worker machinery ------------------------------------------------
@@ -434,30 +800,80 @@ class RuntimeService:
         self.shutdown(wait=True)
         return False
 
-    def _saturated(self) -> frozenset:
+    def _blocked_backends(self) -> frozenset:
+        """Backends the scheduler must skip: saturated or breaker-held.
+
+        Caller holds the lock.  An open breaker blocks its backend
+        outright; a half-open one blocks it while its probe quota is in
+        flight — either way the head-of-line job waits without being
+        charged scheduler pass, exactly like backend saturation.
+        """
         counts: dict = {}
         for backend_name in self._running_on.values():
             counts[backend_name] = counts.get(backend_name, 0) + 1
-        saturated = set()
+        blocked = set()
         for backend_name, count in counts.items():
             limit = self._backend_limits.get(backend_name)
             if limit is not None and count >= limit:
-                saturated.add(backend_name)
-        return frozenset(saturated)
+                blocked.add(backend_name)
+        for backend_name, breaker in self._breakers.items():
+            if not breaker.allows_dispatch():
+                blocked.add(backend_name)
+            self._sync_breaker(breaker)
+        return frozenset(blocked)
+
+    def _deadline_passed(self, job: RuntimeJob) -> bool:
+        return (
+            job._deadline_at is not None
+            and self._clock() >= job._deadline_at
+        )
+
+    def _expire_queued(self, job: RuntimeJob) -> None:
+        """Expire a job at dequeue — never dispatched.
+
+        Caller holds the lock.
+        """
+        record = job._record
+        self._release_queued(job)
+        self._submit_stamps.pop(job.job_id, None)
+        self._persist_state(job, "EXPIRED")
+        self._completed.inc(
+            labels={"tenant": record.tenant, "state": "EXPIRED"}
+        )
+        span = job._trace.stage("expired", {"where": "queue"})
+        span.__enter__()
+        span.__exit__(None, None, None)
+        job._finish(
+            error=DeadlineExpiredError(
+                f"runtime job {job.job_id} expired in the queue "
+                f"(deadline passed before dispatch)"
+            ),
+            state="EXPIRED",
+        )
+        self._sync_depth(record.tenant)
 
     def _worker_loop(self) -> None:
         while True:
             with self._wake:
                 job = None
                 while not self._stop:
-                    job_id = self._scheduler.next_ready(self._saturated())
+                    job_id = self._scheduler.next_ready(
+                        self._blocked_backends()
+                    )
                     if job_id is not None:
                         job = self._jobs[job_id]
+                        if self._deadline_passed(job):
+                            # Deadline enforcement at dequeue: the job
+                            # is dropped without dispatch, and this
+                            # worker goes straight back to the queue.
+                            self._expire_queued(job)
+                            continue
                         self._begin_dispatch(job)
                         break
                     # Nothing eligible right now.  A short timed wait
                     # covers the cases no notify fires for: token buckets
-                    # refilling and backend slots freed by other services.
+                    # refilling, breaker probe windows elapsing, and
+                    # backend slots freed by other services.
                     if self._scheduler.pending() > 0:
                         self._wake.wait(timeout=0.02)
                     else:
@@ -469,56 +885,214 @@ class RuntimeService:
     def _begin_dispatch(self, job: RuntimeJob) -> None:
         """Transition QUEUED -> RUNNING (caller holds the lock)."""
         record = job._record
-        span = self._queue_spans.pop(job.job_id, None)
-        if span is not None:
-            span.__exit__(None, None, None)
+        self._release_queued(job)
         stamp = self._submit_stamps.pop(job.job_id, None)
         if stamp is not None:
             self._wait_hist.observe(self._clock() - stamp,
                                     labels={"tenant": record.tenant})
         self._running_on[job.job_id] = record.backend_spec[1]
+        breaker = self._breaker(record.backend_spec[1])
+        if breaker is not None:
+            self._probe_jobs[job.job_id] = breaker.on_dispatch()
+            self._sync_breaker(breaker, job)
         self._started.inc(labels={"tenant": record.tenant})
         self._sync_depth(record.tenant)
-        self._store.append_state(job.job_id, "RUNNING")
+        self._persist_state(job, "RUNNING")
         job._set_state("RUNNING")
+
+    def _record_backend_health(self, job: RuntimeJob,
+                               healthy: bool) -> None:
+        """Feed one job's outcome to its backend's circuit breaker."""
+        with self._wake:
+            breaker = self._breakers.get(job._record.backend_spec[1])
+            probe = self._probe_jobs.pop(job.job_id, False)
+            if breaker is None:
+                return
+            if healthy:
+                breaker.record_success(probe)
+            else:
+                breaker.record_failure(probe)
+            self._sync_breaker(breaker, job)
+            self._wake.notify_all()
 
     def _run_job(self, job: RuntimeJob) -> None:
         """Drive one job to completion on this worker thread."""
         record = job._record
         error = None
         result = None
+        expired = False
+        started = self._clock()
         try:
             provider_job = self._dispatch(job)
             job._provider_job = provider_job
             for event in provider_job.stream():
                 job._push_event(event)
-            result = provider_job.result()
+                if self._deadline_passed(job) and \
+                        job._state != "CANCELLED":
+                    # Mid-run expiry: cooperative cancel at this chunk
+                    # boundary; everything delivered so far is kept.
+                    expired = True
+                    provider_job.cancel()
+                    break
+            if expired:
+                result = provider_job.result(partial=True)
+            else:
+                result = provider_job.result()
         except Exception as exc:  # noqa: BLE001 — recorded, re-raised to
             error = exc           # the caller from job.result()
         finally:
             with self._wake:
                 self._running_on.pop(job.job_id, None)
+                duration = self._clock() - started
+                if self._avg_job_seconds is None:
+                    self._avg_job_seconds = duration
+                else:
+                    self._avg_job_seconds = (
+                        0.8 * self._avg_job_seconds + 0.2 * duration
+                    )
                 self._wake.notify_all()
         if job._state == "CANCELLED":
             # cancel() landed mid-run; keep the terminal state (a
             # provider-job "cancelled" error is expected, not a failure).
-            state = "CANCELLED"
-        elif error is not None:
-            state = "ERROR"
-        else:
-            state = "DONE" if result.success else "ERROR"
+            self._record_backend_health(job, healthy=True)
+            self._terminate(job, result=None, state="CANCELLED")
+            return
+        if expired:
+            self._record_backend_health(job, healthy=True)
+            span = job._trace.stage("expired", {"where": "running"})
+            span.__enter__()
+            span.__exit__(None, None, None)
+            if result is not None:
+                self._store.append_result(job.job_id, result)
+            self._terminate(job, result=result, state="EXPIRED")
+            return
+        if error is None and result.success:
+            self._record_backend_health(job, healthy=True)
             self._store.append_result(job.job_id, result)
-        # Persist the terminal state and bump the counter BEFORE waking
-        # result() waiters, so anything they observe (store contents,
-        # metrics) already reflects the finished job.
-        self._store.append_state(job.job_id, state)
-        self._completed.inc(
-            labels={"tenant": record.tenant, "state": state}
+            self._terminate(job, result=result, state="DONE")
+            return
+        # The job failed.  Infrastructure-class failures feed the
+        # breaker and the dead-letter budget; user errors terminate
+        # ERROR immediately (re-running them would fail identically).
+        infra = (
+            is_infrastructure_error(error) if error is not None
+            else infrastructure_failure(result)
         )
-        if state == "ERROR" and error is not None:
-            job._finish(error=error, state=state)
+        self._record_backend_health(job, healthy=not infra)
+        record.attempts += 1
+        if infra and self._quarantine_enabled:
+            if record.attempts < self._service_attempts:
+                self._service_retry(job)
+                return
+            self._quarantine(job, result, error)
+            return
+        if error is not None:
+            self._terminate(job, error=error, state="ERROR")
         else:
-            job._finish(result=result, state=state)
+            self._store.append_result(job.job_id, result)
+            self._terminate(job, result=result, state="ERROR")
+
+    def _terminate(self, job: RuntimeJob, result=None, error=None,
+                   state="DONE") -> None:
+        """Persist a terminal state and release result() waiters.
+
+        The ledger write and the counter bump happen BEFORE waking the
+        waiters, so anything they observe (store contents, metrics)
+        already reflects the finished job.
+        """
+        self._persist_state(job, state)
+        self._completed.inc(
+            labels={"tenant": job._record.tenant, "state": state}
+        )
+        job._finish(result=result, error=error, state=state)
+
+    def _service_retry(self, job: RuntimeJob) -> None:
+        """Give an infrastructure-failed job another service attempt."""
+        record = job._record
+        job._reopen()
+        with self._wake:
+            self._requeued.inc(labels={"tenant": record.tenant})
+            self._persist_state(job, "QUEUED", attempt=record.attempts)
+            self._enqueue(job, job._trace)
+            self._wake.notify_all()
+
+    def _quarantine(self, job: RuntimeJob, result, error) -> None:
+        """Dead-letter a poison job with its fault ledger attached."""
+        record = job._record
+        fault_stats = {}
+        if job._provider_job is not None:
+            try:
+                fault_stats = job._provider_job.fault_stats
+            except Exception:  # noqa: BLE001 — ledger is best-effort
+                fault_stats = {}
+        message = (
+            str(error) if error is not None else "; ".join(
+                f"{experiment.circuit_name}: {experiment.error}"
+                for experiment in result.results
+                if not experiment.success
+            )
+        )
+        record.quarantine = {"fault_stats": fault_stats, "error": message}
+        self._store.append_quarantine(job.job_id, fault_stats, message)
+        span = job._trace.stage("quarantined", {
+            "attempts": record.attempts,
+        })
+        span.__enter__()
+        span.__exit__(None, None, None)
+        self._terminate(
+            job,
+            error=JobQuarantinedError(
+                f"runtime job {job.job_id} quarantined after "
+                f"{record.attempts} service attempts: {message}"
+            ),
+            state="QUARANTINED",
+        )
+
+    def requeue(self, job_id: str, **option_overrides) -> RuntimeJob:
+        """Re-submit a quarantined (or failed/cancelled/expired) job.
+
+        The dead-letter escape hatch: after fixing the cause, the
+        operator requeues the job — optionally overriding run options
+        (``service.requeue(job_id, fault_injector=None)``) — and it goes
+        back through the normal queue with a fresh service-attempt
+        budget.  Overridden options are persisted, so a restart replays
+        the corrected job, and the quarantine record stays in the ledger
+        for the audit trail.
+        """
+        job = self.job(job_id)
+        with self._wake:
+            if job._state not in _REQUEUEABLE_STATES:
+                raise BackendError(
+                    f"runtime job {job_id} is {job._state}; only "
+                    f"{'/'.join(_REQUEUEABLE_STATES)} jobs can be requeued"
+                )
+            record = job._record
+            record.attempts = 0
+            if option_overrides:
+                record.options = dict(record.options)
+                record.options.update(option_overrides)
+                # Persist the corrected options: replay must re-run the
+                # fixed job, not the poison original.
+                self._store.append_job(record)
+            if record.deadline is not None:
+                job._deadline_at = self._clock() + max(
+                    0.0, record.deadline - time.time()
+                )
+            # A requeue is a fresh run: drop the failed attempt's chunk
+            # ledger so a later recovery cannot resume its (possibly
+            # poisoned) payload configs.
+            try:
+                os.unlink(self._store.chunk_ledger_path(job_id))
+            except OSError:
+                pass
+            job._reopen()
+            self._requeued.inc(labels={"tenant": record.tenant})
+            self._persist_state(job, "QUEUED", attempt=0)
+            self._enqueue(job, job._trace)
+            self._wake.notify_all()
+        return job
+
+    # -- dispatch --------------------------------------------------------
 
     def _dispatch(self, job: RuntimeJob):
         """Launch the provider job for one runtime job.
@@ -534,6 +1108,7 @@ class RuntimeService:
         record = job._record
         options = dict(record.options)
         recovered = options.pop("_recovered_from", None)
+        cache_namespace = options.pop("cache_namespace", None)
         backend = self.backend(record.backend_spec[1],
                                record.backend_spec[0])
         engine = get_execution_engine()
@@ -552,6 +1127,7 @@ class RuntimeService:
             optimization_level=options.pop("optimization_level", 1),
             seed=options.get("seed"),
             transpile_cache=options.pop("transpile_cache", True),
+            cache_namespace=cache_namespace,
         )
         payload = batch[0] if single else batch
         checkpoint = options.get("checkpoint", None)
@@ -585,6 +1161,25 @@ class RuntimeService:
         except (OSError, ValueError):
             return False
 
+    # -- maintenance -----------------------------------------------------
+
+    def compact(self, retention=None) -> dict:
+        """Compact the job ledger, applying the retention policy.
+
+        ``retention`` overrides the service-level policy for this run
+        (a :class:`~repro.runtime.store.RetentionPolicy` or kwargs
+        dict); with neither, compaction rewrites the ledger without
+        pruning.  Safe while the service is running — appends and the
+        snapshot/replace cycle are serialized by the store's locks — and
+        safe against a crash mid-way (the replace is atomic).  Returns
+        the compaction stats (also mirrored to the metrics registry).
+        """
+        if retention is None:
+            retention = self._retention
+        elif not isinstance(retention, RetentionPolicy):
+            retention = RetentionPolicy(**retention)
+        return self._store.compact(retention=retention)
+
     # -- job access ------------------------------------------------------
 
     def job(self, job_id: str) -> RuntimeJob:
@@ -611,16 +1206,33 @@ class RuntimeService:
         with self._lock:
             return self._scheduler.snapshot()
 
+    def health_snapshot(self) -> dict:
+        """Service-level health: admission state, breakers, backlog."""
+        with self._lock:
+            return {
+                "queued_jobs": self._scheduler.pending(),
+                "queued_shots": dict(self._queued_shots),
+                "running_jobs": len(self._running_on),
+                "limits": {
+                    "max_queued_jobs": self._max_queued_jobs,
+                    "max_queued_per_tenant": self._max_queued_per_tenant,
+                    "max_queued_shots": self._max_queued_shots,
+                },
+                "retry_after_hint": self._retry_after_hint(),
+                "breakers": {
+                    name: breaker.snapshot()
+                    for name, breaker in sorted(self._breakers.items())
+                },
+            }
+
     def _cancel(self, job: RuntimeJob) -> bool:
         with self._wake:
             if job._state in ("SUBMITTED", "QUEUED"):
                 removed = self._scheduler.remove(job.job_id)
                 if removed:
-                    span = self._queue_spans.pop(job.job_id, None)
-                    if span is not None:
-                        span.__exit__(None, None, None)
+                    self._release_queued(job)
                     self._submit_stamps.pop(job.job_id, None)
-                    self._store.append_state(job.job_id, "CANCELLED")
+                    self._persist_state(job, "CANCELLED")
                     self._completed.inc(labels={
                         "tenant": job.tenant, "state": "CANCELLED",
                     })

@@ -33,11 +33,15 @@ class Session:
     """
 
     def __init__(self, service, backend, tenant: str = "default",
-                 session_id: str = None):
+                 session_id: str = None, cache_namespace: str = None):
         self._service = service
         self._backend = backend
         self.tenant = tenant
         self.session_id = session_id
+        #: Private disk-tier transpile-cache namespace (None = shared
+        #: root tier); rides every submission as the ``cache_namespace``
+        #: run option.
+        self.cache_namespace = cache_namespace
         self._closed = False
 
     # -- backend-compatible surface --------------------------------------
@@ -64,6 +68,8 @@ class Session:
         :class:`~repro.runtime.service.RuntimeJob`.
         """
         self._check_open()
+        if self.cache_namespace is not None:
+            options.setdefault("cache_namespace", self.cache_namespace)
         return self._service.submit(
             circuits, backend=self._backend, tenant=self.tenant,
             priority=priority, session=self.session_id, **options,

@@ -149,12 +149,62 @@ class DiskCacheTier:
         self.directory = str(directory)
         os.makedirs(self.directory, exist_ok=True)
 
-    def _path(self, key: tuple) -> str:
-        return os.path.join(self.directory, disk_entry_name(key))
+    @staticmethod
+    def _safe_namespace(namespace: str) -> str:
+        """A filesystem-safe directory name for a namespace label."""
+        cleaned = "".join(
+            ch if ch.isalnum() or ch in "-_." else "_"
+            for ch in str(namespace)
+        )
+        return f"ns-{cleaned}" if cleaned else "ns-_"
 
-    def load(self, key: tuple):
+    def _path(self, key: tuple, namespace: str = None) -> str:
+        if namespace is None:
+            return os.path.join(self.directory, disk_entry_name(key))
+        subdir = os.path.join(
+            self.directory, self._safe_namespace(namespace)
+        )
+        os.makedirs(subdir, exist_ok=True)
+        return os.path.join(subdir, disk_entry_name(key))
+
+    def namespaces(self) -> list:
+        """The namespace labels' directory names present on disk."""
+        try:
+            return sorted(
+                name for name in os.listdir(self.directory)
+                if name.startswith("ns-")
+                and os.path.isdir(os.path.join(self.directory, name))
+            )
+        except OSError:
+            return []
+
+    def purge_namespace(self, namespace: str) -> int:
+        """Delete one namespace's entries; returns how many were
+        removed.
+
+        A session's private compiles can be retired without touching the
+        shared root tier or any other namespace.
+        """
+        subdir = os.path.join(
+            self.directory, self._safe_namespace(namespace)
+        )
+        removed = 0
+        try:
+            for name in os.listdir(subdir):
+                if name.endswith(".transpile.pkl"):
+                    try:
+                        os.unlink(os.path.join(subdir, name))
+                        removed += 1
+                    except OSError:
+                        pass
+            os.rmdir(subdir)
+        except OSError:
+            pass
+        return removed
+
+    def load(self, key: tuple, namespace: str = None):
         """The stored ``(compiled, layout, permutation)`` entry, or None."""
-        path = self._path(key)
+        path = self._path(key, namespace)
         try:
             with open(path, "rb") as handle:
                 payload = pickle.load(handle)
@@ -172,13 +222,13 @@ class DiskCacheTier:
             return None
         return payload["entry"]
 
-    def store(self, key: tuple, entry) -> None:
+    def store(self, key: tuple, entry, namespace: str = None) -> None:
         """Publish one entry atomically; failures are silently dropped."""
-        path = self._path(key)
+        path = self._path(key, namespace)
         payload = {"version": DISK_CACHE_VERSION, "entry": entry}
         try:
             fd, temp_path = tempfile.mkstemp(
-                dir=self.directory, suffix=".tmp"
+                dir=os.path.dirname(path), suffix=".tmp"
             )
             try:
                 with os.fdopen(fd, "wb") as handle:
@@ -244,7 +294,7 @@ class TranspileCache:
         result.final_permutation = final_permutation
         return result
 
-    def lookup(self, key):
+    def lookup(self, key, namespace: str = None):
         """The cached compiled circuit for ``key``, or None (counts a
         hit/miss either way).
 
@@ -252,20 +302,23 @@ class TranspileCache:
         entry is loaded from disk (counted as ``disk_hits``/
         ``disk_misses``), promoted into the memory tier, and returned —
         so a fresh process pays the pass pipeline only for circuits no
-        previous process compiled.
+        previous process compiled.  ``namespace`` isolates the lookup to
+        a private disk subdirectory (and a disjoint memory key), so
+        namespaced sessions never read another namespace's entries.
         """
-        entry = self._entries.get(key)
+        memory_key = key if namespace is None else (namespace, key)
+        entry = self._entries.get(memory_key)
         if entry is not None:
             self.hits += 1
             self._sync_registry()
-            self._entries.move_to_end(key)
+            self._entries.move_to_end(memory_key)
             return self._materialize(entry)
         if self.disk is not None:
-            entry = self.disk.load(key)
+            entry = self.disk.load(key, namespace)
             if entry is not None:
                 self.disk_hits += 1
                 # Promote: later lookups in this process are memory hits.
-                self._store_memory(key, entry)
+                self._store_memory(memory_key, entry)
                 self._sync_registry()
                 return self._materialize(entry)
             self.disk_misses += 1
@@ -281,9 +334,13 @@ class TranspileCache:
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
 
-    def store(self, key, compiled) -> None:
+    def store(self, key, compiled, namespace: str = None) -> None:
         """Cache a compiled circuit (a private copy is stored), writing
-        through to the disk tier when one is configured."""
+        through to the disk tier when one is configured.
+
+        With a ``namespace`` the disk entry lands in that namespace's
+        subdirectory and the memory entry under a disjoint key.
+        """
         if self.maxsize <= 0 and self.disk is None:
             return
         kept = compiled.copy()
@@ -293,9 +350,10 @@ class TranspileCache:
             getattr(compiled, "initial_layout", None),
             getattr(compiled, "final_permutation", None),
         )
-        self._store_memory(key, entry)
+        memory_key = key if namespace is None else (namespace, key)
+        self._store_memory(memory_key, entry)
         if self.disk is not None:
-            self.disk.store(key, entry)
+            self.disk.store(key, entry, namespace)
         self._sync_registry()
 
     def resize(self, maxsize: int) -> None:

@@ -1,0 +1,264 @@
+"""Compaction and retention: correctness under concurrency and crashes.
+
+The satellite invariants from the hardening issue:
+
+* compaction racing concurrent appenders loses no record (the shared/
+  exclusive flock protocol serializes them at the filesystem level, even
+  across *independent* :class:`JobStore` instances — the multi-process
+  shape);
+* a process killed mid-compaction leaves a replayable ledger: the
+  snapshot is built in a temp file and published atomically, so replay
+  sees the complete old ledger or the complete new one, never a hybrid;
+* compact + restart replays bit-identically — recovered DONE jobs carry
+  the exact persisted Result.
+"""
+
+from __future__ import annotations
+
+import glob
+import multiprocessing
+import os
+import threading
+import time
+
+from repro.circuit import QuantumCircuit
+from repro.runtime import (
+    JobRecord,
+    JobStore,
+    RetentionPolicy,
+    RuntimeService,
+)
+
+
+def _bell(name="bell"):
+    circuit = QuantumCircuit(2, 2, name=name)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.measure(0, 0)
+    circuit.measure(1, 1)
+    return circuit
+
+
+def _record(job_id, submitted_at=None):
+    return JobRecord(job_id, "default", ("aer", "qasm_simulator"), 0,
+                     None, "circuits", "payload", {"shots": 10},
+                     submitted_at=submitted_at)
+
+
+class TestCompactionBasics:
+    def test_compact_shrinks_and_preserves_replay(self, tmp_path):
+        store = JobStore(tmp_path)
+        for index in range(5):
+            record = _record(f"rt-{index}", submitted_at=time.time())
+            store.append_job(record)
+            store.append_state(record.job_id, "QUEUED")
+            store.append_state(record.job_id, "RUNNING")
+            store.append_state(record.job_id, "DONE")
+        before = store.load()
+        stats = store.compact()
+        after = JobStore(tmp_path).load()
+        assert stats["records_in"] == 5 * 4
+        assert stats["records_out"] == 5 * 2  # job + final state each
+        assert stats["bytes_out"] < stats["bytes_in"]
+        assert stats["jobs_kept"] == 5 and stats["jobs_pruned"] == 0
+        assert sorted(after) == sorted(before)
+        for job_id, record in after.items():
+            assert record.state == before[job_id].state == "DONE"
+            assert record.options == before[job_id].options
+
+    def test_retention_prunes_terminal_jobs_and_chunk_ledgers(
+        self, tmp_path
+    ):
+        store = JobStore(tmp_path)
+        now = time.time()
+        for index in range(4):
+            record = _record(f"rt-{index}", submitted_at=now - 1000)
+            store.append_job(record)
+            store.append_state(record.job_id, "DONE")
+            with open(store.chunk_ledger_path(record.job_id), "w") as fh:
+                fh.write("{}\n")
+        # rt-4 is still queued: retention must never touch it, however
+        # old it is.
+        pending = _record("rt-4", submitted_at=now - 5000)
+        store.append_job(pending)
+        store.append_state("rt-4", "QUEUED")
+        stats = store.compact(
+            retention=RetentionPolicy(max_terminal_jobs=2), now=now
+        )
+        remaining = JobStore(tmp_path).load()
+        assert stats["jobs_pruned"] == 2
+        assert sorted(remaining) == ["rt-2", "rt-3", "rt-4"]
+        # Pruned jobs' chunk ledgers went with them; survivors keep
+        # theirs.
+        assert not os.path.exists(store.chunk_ledger_path("rt-0"))
+        assert not os.path.exists(store.chunk_ledger_path("rt-1"))
+        assert os.path.exists(store.chunk_ledger_path("rt-2"))
+
+    def test_max_age_retention(self, tmp_path):
+        store = JobStore(tmp_path)
+        now = time.time()
+        old = _record("rt-0", submitted_at=now - 7200)
+        young = _record("rt-1", submitted_at=now - 60)
+        for record in (old, young):
+            store.append_job(record)
+            store.append_state(record.job_id, "DONE")
+        store.compact(retention=RetentionPolicy(max_age=3600), now=now)
+        assert sorted(JobStore(tmp_path).load()) == ["rt-1"]
+
+    def test_compaction_metrics_are_published(self, tmp_path):
+        from repro.telemetry.metrics import get_metrics_registry
+
+        store = JobStore(tmp_path)
+        record = _record("rt-0", submitted_at=time.time())
+        store.append_job(record)
+        store.append_state("rt-0", "DONE")
+        stats = store.compact()
+        registry = get_metrics_registry()
+        assert registry.get(
+            "repro_runtime_compaction_records_out"
+        ).value() == stats["records_out"]
+
+
+class TestCompactionUnderService:
+    def test_compact_and_restart_replays_bit_identically(self, tmp_path):
+        with RuntimeService(tmp_path) as service:
+            jobs = [service.submit(_bell(), shots=300, seed=seed)
+                    for seed in range(3)]
+            counts = [job.result(timeout=30).get_counts()
+                      for job in jobs]
+            stats = service.compact()
+        assert stats["jobs_kept"] == 3
+        # A fresh service replays the compacted ledger: every DONE job
+        # comes back with the exact persisted Result — zero lost or
+        # duplicated results.
+        with RuntimeService(tmp_path, autostart=False) as revived:
+            assert len(revived.jobs()) == 3
+            for job, expected in zip(reversed(revived.jobs()), counts):
+                assert job.status() == "DONE"
+                assert job.result(timeout=1).get_counts() == expected
+
+    def test_compact_while_service_is_running(self, tmp_path):
+        with RuntimeService(tmp_path, max_workers=2) as service:
+            jobs = [service.submit(_bell(), shots=200, seed=seed)
+                    for seed in range(6)]
+            # Compact concurrently with the live workers appending
+            # RUNNING/DONE transitions.
+            for _ in range(5):
+                service.compact()
+            results = [job.result(timeout=30) for job in jobs]
+            service.compact()
+        assert all(result.success for result in results)
+        records = JobStore(tmp_path).load()
+        assert len(records) == 6
+        assert all(r.state == "DONE" for r in records.values())
+        assert all(r.result is not None for r in records.values())
+
+
+class TestConcurrentAppenders:
+    def test_compaction_races_independent_appender_stores(self, tmp_path):
+        """Appender and compactor use *separate* JobStore instances on
+        one directory — the multi-process shape, coordinated only by the
+        cross-process flock.  No append may be lost."""
+        jobs = 30
+        seed_store = JobStore(tmp_path)
+        for index in range(jobs):
+            seed_store.append_job(
+                _record(f"rt-{index}", submitted_at=time.time())
+            )
+        stop = threading.Event()
+        errors: list = []
+
+        def appender():
+            # Its own store instance: a different thread lock, so the
+            # only serialization against the compactor is the flock.
+            mine = JobStore(tmp_path)
+            try:
+                for index in range(jobs):
+                    mine.append_state(f"rt-{index}", "QUEUED")
+                    mine.append_state(f"rt-{index}", "RUNNING")
+                    mine.append_state(f"rt-{index}", "DONE")
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        def compactor():
+            mine = JobStore(tmp_path)
+            try:
+                while not stop.is_set():
+                    mine.compact()
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        writer = threading.Thread(target=appender)
+        packer = threading.Thread(target=compactor)
+        writer.start()
+        packer.start()
+        writer.join(timeout=60)
+        stop.set()
+        packer.join(timeout=60)
+        assert not errors
+        final = JobStore(tmp_path)
+        final.compact()
+        records = final.load()
+        assert len(records) == jobs
+        assert all(
+            record.state == "DONE" for record in records.values()
+        ), {k: v.state for k, v in records.items() if v.state != "DONE"}
+
+    def test_post_compaction_appends_go_to_the_new_inode(self, tmp_path):
+        store_a = JobStore(tmp_path)
+        store_b = JobStore(tmp_path)
+        record = _record("rt-0", submitted_at=time.time())
+        store_a.append_job(record)
+        store_a.append_state("rt-0", "DONE")
+        store_b.compact()
+        # store_a's next append must land in the replaced file (appends
+        # reopen the path each time), not the unlinked old inode.
+        store_a.append_job(_record("rt-1", submitted_at=time.time()))
+        store_a.append_state("rt-1", "QUEUED")
+        records = JobStore(tmp_path).load()
+        assert sorted(records) == ["rt-0", "rt-1"]
+        assert records["rt-1"].state == "QUEUED"
+
+
+def _compact_forever(directory):  # pragma: no cover — child process
+    store = JobStore(directory)
+    while True:
+        store.compact()
+
+
+class TestCrashDuringCompaction:
+    def test_killing_the_compactor_never_loses_records(self, tmp_path):
+        jobs = 20
+        store = JobStore(tmp_path)
+        for index in range(jobs):
+            record = _record(f"rt-{index}", submitted_at=time.time())
+            store.append_job(record)
+            store.append_state(record.job_id, "DONE")
+        context = multiprocessing.get_context("fork")
+        for round_number in range(3):
+            child = context.Process(
+                target=_compact_forever, args=(str(tmp_path),)
+            )
+            child.start()
+            time.sleep(0.05 * (round_number + 1))
+            child.kill()  # SIGKILL: no cleanup handlers run
+            child.join(timeout=30)
+            # Replay after the crash: the atomic replace guarantees a
+            # complete old or new ledger, so every job is still there
+            # with its final state — zero lost, zero duplicated.
+            records = JobStore(tmp_path).load()
+            assert len(records) == jobs
+            assert all(
+                record.state == "DONE" for record in records.values()
+            )
+        # Orphaned temp snapshots may remain after a kill; they must
+        # never be replayed and a later compaction run leaves a clean
+        # single ledger.
+        JobStore(tmp_path).compact()
+        records = JobStore(tmp_path).load()
+        assert len(records) == jobs
+        leftovers = glob.glob(os.path.join(str(tmp_path), "*.compact.tmp"))
+        # Stale temp files are inert; the published ledger is the only
+        # file replay ever reads.
+        for path in leftovers:
+            assert path != store.path

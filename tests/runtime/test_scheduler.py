@@ -51,6 +51,28 @@ class TestTokenBucket:
         with pytest.raises(BackendError):
             TokenBucket(rate=1, burst=0.5)
 
+    def test_backwards_clock_step_never_double_credits(self):
+        # A wall clock stepping backwards (NTP correction) must not let
+        # the bucket re-credit the recovered interval when it catches
+        # back up: elapsed time is paid out exactly once.
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+        bucket.try_acquire()
+        bucket.try_acquire()
+        assert bucket.available() == pytest.approx(0)
+        clock.advance(-100)          # backwards step
+        assert bucket.available() == pytest.approx(0)
+        clock.advance(100)           # back to where the stamp was
+        assert bucket.available() == pytest.approx(0)
+        clock.advance(1)             # only genuinely new time refills
+        assert bucket.available() == pytest.approx(1)
+
+    def test_default_clock_is_monotonic(self):
+        import time
+
+        bucket = TokenBucket(rate=1.0)
+        assert bucket._clock is time.monotonic
+
 
 def _drain(scheduler, picks, saturated=frozenset()):
     out = []

@@ -83,14 +83,14 @@ class TestServiceParity:
         injector = FaultInjector(
             [FaultSpec("transient", probability=1.0)], seed=3
         )
-        with RuntimeService(tmp_path) as service:
+        # Dead-lettering disabled: the pre-hardening contract — an
+        # exhausted transient experiment terminates the job in ERROR,
+        # with the Result still returned, provider-job style.
+        with RuntimeService(tmp_path, quarantine=False) as service:
             job = service.submit(_bell(), shots=10, seed=1,
                                  fault_injector=injector,
                                  retry_policy=False)
             result = job.result(timeout=30)
-        # Every attempt faulted with retries off: the experiment is an
-        # ERROR entry and the job lands in the ERROR state — but the
-        # Result is still returned, provider-job style.
         assert job.status() == "ERROR"
         assert result.success is False
 
